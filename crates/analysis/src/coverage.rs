@@ -1,0 +1,74 @@
+//! Coverage ranges and ratios for the Figure-1 comparison (AIBench spans a
+//! 1.3×-6.4× wider range than MLPerf on every model-characteristic axis).
+
+/// The `[min, max]` coverage of one suite on one characteristic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverageRange {
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl CoverageRange {
+    /// The max/min span ratio (∞ when min is zero).
+    pub fn span(&self) -> f64 {
+        if self.min <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.max / self.min
+        }
+    }
+
+    /// Whether this range fully contains `other`.
+    pub fn contains(&self, other: &CoverageRange) -> bool {
+        self.min <= other.min && self.max >= other.max
+    }
+
+    /// Ratio of peak values against another suite (the paper's
+    /// "1.3×–6.4×" comparison uses peak numbers).
+    pub fn peak_ratio(&self, other: &CoverageRange) -> f64 {
+        self.max / other.max.max(1e-12)
+    }
+}
+
+/// The coverage range of a value list.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn range_of(values: &[f64]) -> CoverageRange {
+    assert!(!values.is_empty(), "range of empty slice");
+    CoverageRange {
+        min: values.iter().copied().fold(f64::INFINITY, f64::min),
+        max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_and_span() {
+        let r = range_of(&[2.0, 8.0, 4.0]);
+        assert_eq!(r.min, 2.0);
+        assert_eq!(r.max, 8.0);
+        assert_eq!(r.span(), 4.0);
+    }
+
+    #[test]
+    fn containment() {
+        let wide = range_of(&[1.0, 100.0]);
+        let narrow = range_of(&[5.0, 50.0]);
+        assert!(wide.contains(&narrow));
+        assert!(!narrow.contains(&wide));
+    }
+
+    #[test]
+    fn peak_ratio() {
+        let a = range_of(&[1.0, 64.0]);
+        let b = range_of(&[1.0, 10.0]);
+        assert!((a.peak_ratio(&b) - 6.4).abs() < 1e-12);
+    }
+}

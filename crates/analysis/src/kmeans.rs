@@ -1,0 +1,165 @@
+//! Deterministic k-means with k-means++ seeding.
+
+use aibench_tensor::Rng;
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Clusters `points` into `k` groups; returns the assignment per point.
+///
+/// Runs eight k-means++-seeded Lloyd restarts (derived deterministically
+/// from `seed`) and keeps the assignment with the lowest within-cluster
+/// sum of squares, which makes small-n clustering robust to local optima.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the point count, or rows are ragged.
+pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> Vec<usize> {
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    for restart in 0..8u64 {
+        let assign = kmeans_once(points, k, seed.wrapping_add(restart.wrapping_mul(0x9E37_79B9)));
+        let inertia = within_cluster_sse(points, k, &assign);
+        if best.as_ref().is_none_or(|(b, _)| inertia < *b) {
+            best = Some((inertia, assign));
+        }
+    }
+    best.expect("at least one restart").1
+}
+
+fn within_cluster_sse(points: &[Vec<f64>], k: usize, assign: &[usize]) -> f64 {
+    let dims = points[0].len();
+    let mut centers = vec![vec![0.0; dims]; k];
+    let mut counts = vec![0usize; k];
+    for (p, &a) in points.iter().zip(assign) {
+        counts[a] += 1;
+        for d in 0..dims {
+            centers[a][d] += p[d];
+        }
+    }
+    for (c, &n) in centers.iter_mut().zip(&counts) {
+        if n > 0 {
+            c.iter_mut().for_each(|v| *v /= n as f64);
+        }
+    }
+    points.iter().zip(assign).map(|(p, &a)| sq_dist(p, &centers[a])).sum()
+}
+
+fn kmeans_once(points: &[Vec<f64>], k: usize, seed: u64) -> Vec<usize> {
+    assert!(k > 0 && k <= points.len(), "kmeans: k={k} for {} points", points.len());
+    let dims = points[0].len();
+    for p in points {
+        assert_eq!(p.len(), dims, "kmeans: ragged rows");
+    }
+    let mut rng = Rng::seed_from(seed);
+
+    // k-means++ seeding.
+    let mut centers: Vec<Vec<f64>> = vec![points[rng.below(points.len())].clone()];
+    while centers.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|p| centers.iter().map(|c| sq_dist(p, c)).fold(f64::INFINITY, f64::min))
+            .collect();
+        let total: f64 = d2.iter().sum();
+        let pick = if total <= 0.0 {
+            rng.below(points.len())
+        } else {
+            let mut r = rng.uniform() as f64 * total;
+            let mut idx = 0;
+            for (i, &d) in d2.iter().enumerate() {
+                r -= d;
+                if r <= 0.0 {
+                    idx = i;
+                    break;
+                }
+                idx = i;
+            }
+            idx
+        };
+        centers.push(points[pick].clone());
+    }
+
+    let mut assign = vec![0usize; points.len()];
+    for _ in 0..100 {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    sq_dist(p, &centers[a])
+                        .partial_cmp(&sq_dist(p, &centers[b]))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("k > 0");
+            if assign[i] != best {
+                assign[i] = best;
+                changed = true;
+            }
+        }
+        // Recompute centers.
+        for (ci, center) in centers.iter_mut().enumerate() {
+            let members: Vec<&Vec<f64>> =
+                points.iter().zip(&assign).filter(|(_, &a)| a == ci).map(|(p, _)| p).collect();
+            if members.is_empty() {
+                continue;
+            }
+            for d in 0..dims {
+                center[d] = members.iter().map(|m| m[d]).sum::<f64>() / members.len() as f64;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    assign
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..5 {
+            pts.push(vec![0.0 + i as f64 * 0.01, 0.0]);
+            pts.push(vec![10.0 + i as f64 * 0.01, 10.0]);
+            pts.push(vec![0.0 + i as f64 * 0.01, 10.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_obvious_blobs() {
+        let pts = blobs();
+        let assign = kmeans(&pts, 3, 1);
+        // All points of each blob share a cluster; blobs differ.
+        for blob in 0..3 {
+            let label = assign[blob];
+            for i in 0..5 {
+                assert_eq!(assign[3 * i + blob], label, "blob {blob} split");
+            }
+        }
+        assert_ne!(assign[0], assign[1]);
+        assert_ne!(assign[1], assign[2]);
+        assert_ne!(assign[0], assign[2]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = blobs();
+        assert_eq!(kmeans(&pts, 3, 7), kmeans(&pts, 3, 7));
+    }
+
+    #[test]
+    fn k_equals_n_gives_distinct_clusters() {
+        let pts = vec![vec![0.0], vec![5.0], vec![10.0]];
+        let mut assign = kmeans(&pts, 3, 2);
+        assign.sort_unstable();
+        assert_eq!(assign, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "kmeans: k=")]
+    fn k_larger_than_n_panics() {
+        let _ = kmeans(&[vec![1.0]], 2, 0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Statistical and analytical tooling for the AIBench workload
+//! characterization: run-to-run variation statistics (Table 5), min-max
+//! normalization and coverage ratios (Figure 1), k-means and t-SNE for the
+//! subset-similarity clustering (Figure 4), and plain-text table rendering
+//! for the benchmark harnesses.
+
+#![deny(missing_docs)]
+
+mod coverage;
+mod kmeans;
+mod stats;
+mod table;
+mod tsne;
+
+pub use coverage::{range_of, CoverageRange};
+pub use kmeans::kmeans;
+pub use stats::{coefficient_of_variation, mean, std_dev};
+pub use table::TextTable;
+pub use tsne::{tsne, TsneParams};
+
+/// Min-max normalizes each column of `rows` into `[0, 1]` (constant
+/// columns map to 0.5).
+pub fn min_max_normalize(rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let dims = rows[0].len();
+    let mut lo = vec![f64::INFINITY; dims];
+    let mut hi = vec![f64::NEG_INFINITY; dims];
+    for r in rows {
+        assert_eq!(r.len(), dims, "min_max_normalize: ragged rows");
+        for (d, &v) in r.iter().enumerate() {
+            lo[d] = lo[d].min(v);
+            hi[d] = hi[d].max(v);
+        }
+    }
+    rows.iter()
+        .map(|r| {
+            r.iter()
+                .enumerate()
+                .map(|(d, &v)| if hi[d] > lo[d] { (v - lo[d]) / (hi[d] - lo[d]) } else { 0.5 })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_max_maps_to_unit_interval() {
+        let rows = vec![vec![0.0, 10.0], vec![5.0, 20.0], vec![10.0, 15.0]];
+        let n = min_max_normalize(&rows);
+        assert_eq!(n[0], vec![0.0, 0.0]);
+        assert_eq!(n[2], vec![1.0, 0.5]);
+    }
+
+    #[test]
+    fn constant_column_maps_to_half() {
+        let rows = vec![vec![3.0], vec![3.0]];
+        let n = min_max_normalize(&rows);
+        assert_eq!(n[0][0], 0.5);
+    }
+}

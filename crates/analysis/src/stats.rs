@@ -1,0 +1,63 @@
+//! Descriptive statistics for the repeatability analysis (Table 5).
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty slice");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n-1 denominator, as the repeatability
+/// literature prescribes). Zero for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Coefficient of variation as a percentage: `100 · σ/μ` — the paper's
+/// run-to-run variation measure over epochs-to-quality.
+///
+/// # Panics
+///
+/// Panics on an empty slice or zero mean.
+pub fn coefficient_of_variation(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    assert!(m.abs() > 1e-12, "coefficient of variation undefined at zero mean");
+    100.0 * std_dev(xs) / m.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_known_values() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample std of this classic set is ~2.138.
+        assert!((std_dev(&xs) - 2.13809).abs() < 1e-4);
+    }
+
+    #[test]
+    fn identical_runs_have_zero_variation() {
+        assert_eq!(coefficient_of_variation(&[7.0, 7.0, 7.0, 7.0]), 0.0);
+    }
+
+    #[test]
+    fn variation_scales_with_spread() {
+        let tight = coefficient_of_variation(&[10.0, 10.2, 9.8]);
+        let loose = coefficient_of_variation(&[10.0, 14.0, 6.0]);
+        assert!(loose > 10.0 * tight);
+    }
+
+    #[test]
+    fn single_sample_std_is_zero() {
+        assert_eq!(std_dev(&[42.0]), 0.0);
+    }
+}

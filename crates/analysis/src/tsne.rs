@@ -1,0 +1,210 @@
+//! Exact t-distributed stochastic neighbor embedding (van der Maaten &
+//! Hinton), used to reproduce Figure 4's benchmark-similarity map.
+
+use aibench_tensor::Rng;
+
+/// t-SNE hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TsneParams {
+    /// Target perplexity of the input-space Gaussian neighborhoods.
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub early_exaggeration: f64,
+}
+
+impl Default for TsneParams {
+    fn default() -> Self {
+        TsneParams { perplexity: 5.0, iterations: 800, learning_rate: 10.0, early_exaggeration: 4.0 }
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Row-wise conditional affinities with per-point bandwidths found by
+/// binary search to match the target perplexity.
+fn input_affinities(points: &[Vec<f64>], perplexity: f64) -> Vec<Vec<f64>> {
+    let n = points.len();
+    let target_entropy = perplexity.ln();
+    let mut p = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        let d2: Vec<f64> = (0..n).map(|j| if i == j { 0.0 } else { sq_dist(&points[i], &points[j]) }).collect();
+        let (mut lo, mut hi) = (1e-12f64, 1e12f64);
+        let mut beta = 1.0;
+        for _ in 0..64 {
+            let mut row = vec![0.0; n];
+            let mut sum = 0.0;
+            for j in 0..n {
+                if j != i {
+                    row[j] = (-beta * d2[j]).exp();
+                    sum += row[j];
+                }
+            }
+            if sum <= 0.0 {
+                break;
+            }
+            // Shannon entropy of the normalized row.
+            let mut entropy = 0.0;
+            for j in 0..n {
+                if j != i && row[j] > 0.0 {
+                    let pj = row[j] / sum;
+                    entropy -= pj * pj.ln();
+                }
+            }
+            if (entropy - target_entropy).abs() < 1e-5 {
+                p[i] = row.iter().map(|r| r / sum).collect();
+                break;
+            }
+            if entropy > target_entropy {
+                lo = beta;
+                beta = if hi >= 1e12 { beta * 2.0 } else { (beta + hi) / 2.0 };
+            } else {
+                hi = beta;
+                beta = (beta + lo) / 2.0;
+            }
+            p[i] = row.iter().map(|r| r / sum).collect();
+        }
+    }
+    // Symmetrize.
+    let mut sym = vec![vec![0.0; n]; n];
+    let denom = (2 * n) as f64;
+    for i in 0..n {
+        for j in 0..n {
+            sym[i][j] = ((p[i][j] + p[j][i]) / denom).max(1e-12);
+        }
+    }
+    sym
+}
+
+/// Embeds `points` into 2-D. Deterministic given `seed`.
+///
+/// # Panics
+///
+/// Panics if fewer than three points are given.
+pub fn tsne(points: &[Vec<f64>], params: TsneParams, seed: u64) -> Vec<[f64; 2]> {
+    let n = points.len();
+    assert!(n >= 3, "t-SNE needs at least three points");
+    let perplexity = params.perplexity.min((n as f64 - 1.0) / 3.0).max(1.0);
+    let p = input_affinities(points, perplexity);
+
+    let mut rng = Rng::seed_from(seed);
+    let mut y: Vec<[f64; 2]> = (0..n).map(|_| [rng.normal() as f64 * 1e-2, rng.normal() as f64 * 1e-2]).collect();
+    let mut vel = vec![[0.0f64; 2]; n];
+    let exaggeration_until = params.iterations / 4;
+
+    for it in 0..params.iterations {
+        let exag = if it < exaggeration_until { params.early_exaggeration } else { 1.0 };
+        // Student-t affinities in the embedding.
+        let mut q_num = vec![vec![0.0; n]; n];
+        let mut q_sum = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let d2 = (y[i][0] - y[j][0]).powi(2) + (y[i][1] - y[j][1]).powi(2);
+                    q_num[i][j] = 1.0 / (1.0 + d2);
+                    q_sum += q_num[i][j];
+                }
+            }
+        }
+        // KL gradient with momentum.
+        let momentum = if it < exaggeration_until { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut grad = [0.0f64; 2];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let q = (q_num[i][j] / q_sum).max(1e-12);
+                let mult = (exag * p[i][j] - q) * q_num[i][j];
+                grad[0] += 4.0 * mult * (y[i][0] - y[j][0]);
+                grad[1] += 4.0 * mult * (y[i][1] - y[j][1]);
+            }
+            for d in 0..2 {
+                // Clamp the step to keep the tiny-n regime stable.
+                vel[i][d] = (momentum * vel[i][d] - params.learning_rate * grad[d]).clamp(-2.0, 2.0);
+                y[i][d] += vel[i][d];
+            }
+        }
+        // Re-center so the embedding cannot drift away from the origin.
+        let (mx, my) = (
+            y.iter().map(|p| p[0]).sum::<f64>() / n as f64,
+            y.iter().map(|p| p[1]).sum::<f64>() / n as f64,
+        );
+        for p in &mut y {
+            p[0] -= mx;
+            p[1] -= my;
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        let centers = [[0.0, 0.0, 0.0], [8.0, 8.0, 0.0], [0.0, 8.0, 8.0]];
+        let mut rng = Rng::seed_from(3);
+        for (li, c) in centers.iter().enumerate() {
+            for _ in 0..6 {
+                pts.push(c.iter().map(|&v| v + rng.normal() as f64 * 0.2).collect());
+                labels.push(li);
+            }
+        }
+        (pts, labels)
+    }
+
+    /// Mean intra-label distance vs inter-label distance in the embedding.
+    fn separation(y: &[[f64; 2]], labels: &[usize]) -> (f64, f64) {
+        let mut intra = (0.0, 0usize);
+        let mut inter = (0.0, 0usize);
+        for i in 0..y.len() {
+            for j in i + 1..y.len() {
+                let d = ((y[i][0] - y[j][0]).powi(2) + (y[i][1] - y[j][1]).powi(2)).sqrt();
+                if labels[i] == labels[j] {
+                    intra = (intra.0 + d, intra.1 + 1);
+                } else {
+                    inter = (inter.0 + d, inter.1 + 1);
+                }
+            }
+        }
+        (intra.0 / intra.1 as f64, inter.0 / inter.1 as f64)
+    }
+
+    #[test]
+    fn blobs_stay_separated_in_embedding() {
+        let (pts, labels) = three_blobs();
+        let y = tsne(&pts, TsneParams::default(), 1);
+        let (intra, inter) = separation(&y, &labels);
+        assert!(inter > 2.0 * intra, "intra {intra:.3} vs inter {inter:.3}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (pts, _) = three_blobs();
+        let a = tsne(&pts, TsneParams::default(), 9);
+        let b = tsne(&pts, TsneParams::default(), 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn output_is_finite() {
+        let (pts, _) = three_blobs();
+        for p in tsne(&pts, TsneParams::default(), 4) {
+            assert!(p[0].is_finite() && p[1].is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three")]
+    fn too_few_points_panics() {
+        let _ = tsne(&[vec![0.0], vec![1.0]], TsneParams::default(), 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests of the analysis toolkit's invariants.
+
+use aibench_analysis::{
+    coefficient_of_variation, kmeans, mean, min_max_normalize, range_of, std_dev,
+};
+use proptest::prelude::*;
+
+fn values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.1f64..100.0, 2..20)
+}
+
+proptest! {
+    #[test]
+    fn mean_within_range(xs in values()) {
+        let m = mean(&xs);
+        let r = range_of(&xs);
+        prop_assert!(m >= r.min - 1e-9 && m <= r.max + 1e-9);
+    }
+
+    #[test]
+    fn std_dev_shift_invariant(xs in values(), shift in -50.0f64..50.0) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        prop_assert!((std_dev(&xs) - std_dev(&shifted)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cov_scale_invariant(xs in values(), scale in 0.5f64..10.0) {
+        let scaled: Vec<f64> = xs.iter().map(|x| x * scale).collect();
+        prop_assert!((coefficient_of_variation(&xs) - coefficient_of_variation(&scaled)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalization_lands_in_unit_cube(rows in prop::collection::vec(
+        prop::collection::vec(-100.0f64..100.0, 3), 2..10)) {
+        for row in min_max_normalize(&rows) {
+            for v in row {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_assignments_valid(seed in 0u64..100, k in 1usize..4) {
+        let points: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64, (i * i) as f64 * 0.1]).collect();
+        let assign = kmeans(&points, k, seed);
+        prop_assert_eq!(assign.len(), points.len());
+        prop_assert!(assign.iter().all(|&a| a < k));
+        // Every cluster id below k appears when duplicate-free points >= k.
+        let mut used: Vec<usize> = assign.clone();
+        used.sort_unstable();
+        used.dedup();
+        prop_assert_eq!(used.len(), k);
+    }
+
+    #[test]
+    fn kmeans_deterministic(seed in 0u64..100) {
+        let points: Vec<Vec<f64>> = (0..9).map(|i| vec![(i % 3) as f64 * 10.0, (i / 3) as f64]).collect();
+        prop_assert_eq!(kmeans(&points, 3, seed), kmeans(&points, 3, seed));
+    }
+
+    #[test]
+    fn range_contains_is_reflexive(xs in values()) {
+        let r = range_of(&xs);
+        prop_assert!(r.contains(&r));
+    }
+}

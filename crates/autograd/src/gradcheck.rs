@@ -1,0 +1,105 @@
+//! Finite-difference gradient checking for tests.
+
+use aibench_tensor::Tensor;
+
+use crate::graph::{Graph, Var};
+use crate::param::Param;
+
+/// Verifies analytic gradients against central finite differences.
+///
+/// `build` receives a fresh graph and one param-bound [`Var`] per input
+/// tensor, and must return a scalar loss node. Every element of every input
+/// is perturbed by `eps` and the numeric derivative compared to the analytic
+/// gradient within absolute-or-relative tolerance `tol`.
+///
+/// # Panics
+///
+/// Panics (failing the test) when any gradient component disagrees.
+///
+/// # Example
+///
+/// ```
+/// use aibench_autograd::check_gradients;
+/// use aibench_tensor::Tensor;
+///
+/// check_gradients(&[Tensor::from_vec(vec![1.0, -2.0], &[2])], 1e-2, 1e-2, |g, vars| {
+///     let y = g.square(vars[0]);
+///     g.sum(y)
+/// });
+/// ```
+pub fn check_gradients(
+    inputs: &[Tensor],
+    eps: f32,
+    tol: f32,
+    build: impl Fn(&mut Graph, &[Var]) -> Var,
+) {
+    let params: Vec<Param> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, t)| Param::new(format!("gc{i}"), t.clone()))
+        .collect();
+
+    let eval = |params: &[Param]| -> f32 {
+        let mut g = Graph::new();
+        let vars: Vec<Var> = params.iter().map(|p| g.param(p)).collect();
+        let loss = build(&mut g, &vars);
+        g.value(loss).item()
+    };
+
+    // Analytic gradients.
+    {
+        let mut g = Graph::new();
+        let vars: Vec<Var> = params.iter().map(|p| g.param(p)).collect();
+        let loss = build(&mut g, &vars);
+        g.backward(loss);
+    }
+
+    for (pi, p) in params.iter().enumerate() {
+        let analytic = p.grad().clone();
+        let n = p.len();
+        for i in 0..n {
+            let orig = p.value().data()[i];
+            p.value_mut().data_mut()[i] = orig + eps;
+            let up = eval(&params);
+            p.value_mut().data_mut()[i] = orig - eps;
+            let down = eval(&params);
+            p.value_mut().data_mut()[i] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            let a = analytic.data()[i];
+            let denom = 1.0f32.max(a.abs()).max(numeric.abs());
+            assert!(
+                (a - numeric).abs() / denom <= tol,
+                "gradient mismatch: input {pi} element {i}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_for_correct_gradient() {
+        check_gradients(&[Tensor::from_vec(vec![0.5, -1.5, 2.0], &[3])], 1e-2, 1e-2, |g, vars| {
+            let y = g.square(vars[0]);
+            g.sum(y)
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient mismatch")]
+    fn fails_for_wrong_gradient() {
+        // Deliberately use a function whose autograd path we sabotage by
+        // detaching the input: input() leaves get zero gradient, so the
+        // analytic gradient is 0 while the numeric one is not... but the
+        // check only perturbs params. Instead, compare against a
+        // discontinuous function where finite differences disagree.
+        check_gradients(&[Tensor::from_vec(vec![0.0005], &[1])], 1e-2, 1e-4, |g, vars| {
+            // relu is kinked at 0; with the sample at 0.0005 and eps 1e-2 the
+            // numeric slope is ~0.55 while the analytic slope is 1.
+            let y = g.relu(vars[0]);
+            g.sum(y)
+        });
+    }
+}

@@ -1,0 +1,46 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] is a single-use tape: each training step builds a fresh graph
+//! by applying operations to [`Var`] handles, computes a scalar loss, and
+//! calls [`Graph::backward`]. Gradients of [`Param`] leaves accumulate into
+//! the shared parameter storage, where optimizers (in `aibench-nn`) consume
+//! them.
+//!
+//! Every differentiable operation the seventeen AIBench benchmark models
+//! need is provided: broadcasting arithmetic, GEMM, im2col convolution and
+//! transposed convolution, pooling, batch/layer normalization, dropout,
+//! embedding lookup, softmax/cross-entropy and friends, and the bilinear
+//! grid sampler used by the Spatial Transformer benchmark.
+//!
+//! # Example
+//!
+//! ```
+//! use aibench_autograd::{Graph, Param};
+//! use aibench_tensor::Tensor;
+//!
+//! let w = Param::new("w", Tensor::from_vec(vec![2.0], &[1]));
+//! let mut g = Graph::new();
+//! let x = g.input(Tensor::from_vec(vec![3.0], &[1]));
+//! let wv = g.param(&w);
+//! let y = g.mul(x, wv);
+//! let loss = g.sum(y);
+//! g.backward(loss);
+//! assert_eq!(w.grad().data(), &[3.0]); // d(w*x)/dw = x
+//! ```
+
+#![deny(missing_docs)]
+
+mod gradcheck;
+mod graph;
+mod ops_basic;
+mod ops_conv;
+mod ops_index;
+mod ops_loss;
+mod ops_matmul;
+mod ops_norm;
+mod ops_spatial;
+mod param;
+
+pub use gradcheck::check_gradients;
+pub use graph::{Graph, Var};
+pub use param::Param;

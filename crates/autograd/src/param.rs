@@ -1,0 +1,169 @@
+//! Shared, named trainable parameters.
+
+use std::cell::{Ref, RefCell, RefMut};
+use std::fmt;
+use std::rc::Rc;
+
+use aibench_tensor::Tensor;
+
+struct ParamInner {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+}
+
+/// A trainable parameter: a named tensor with a gradient accumulator,
+/// shared between the model that owns it and every [`Graph`](crate::Graph)
+/// built during training.
+///
+/// Cloning a `Param` clones the *handle* (both clones refer to the same
+/// storage), which is how layers hand their parameters to optimizers.
+///
+/// # Example
+///
+/// ```
+/// use aibench_autograd::Param;
+/// use aibench_tensor::Tensor;
+///
+/// let p = Param::new("weight", Tensor::zeros(&[2, 2]));
+/// assert_eq!(p.name(), "weight");
+/// assert_eq!(p.grad().sum(), 0.0);
+/// ```
+#[derive(Clone)]
+pub struct Param {
+    inner: Rc<RefCell<ParamInner>>,
+}
+
+impl Param {
+    /// Creates a parameter with the given debug name and initial value.
+    /// The gradient starts at zero.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param { inner: Rc::new(RefCell::new(ParamInner { name: name.into(), value, grad })) }
+    }
+
+    /// The debug name.
+    pub fn name(&self) -> String {
+        self.inner.borrow().name.clone()
+    }
+
+    /// The parameter shape.
+    pub fn shape(&self) -> Vec<usize> {
+        self.inner.borrow().value.shape().to_vec()
+    }
+
+    /// Number of scalar elements.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrows the current value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is mutably borrowed elsewhere.
+    pub fn value(&self) -> Ref<'_, Tensor> {
+        Ref::map(self.inner.borrow(), |p| &p.value)
+    }
+
+    /// Mutably borrows the current value (used by optimizers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is borrowed elsewhere.
+    pub fn value_mut(&self) -> RefMut<'_, Tensor> {
+        RefMut::map(self.inner.borrow_mut(), |p| &mut p.value)
+    }
+
+    /// Borrows the accumulated gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient is mutably borrowed elsewhere.
+    pub fn grad(&self) -> Ref<'_, Tensor> {
+        Ref::map(self.inner.borrow(), |p| &p.grad)
+    }
+
+    /// Mutably borrows the gradient (used by optimizers for e.g. clipping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient is borrowed elsewhere.
+    pub fn grad_mut(&self) -> RefMut<'_, Tensor> {
+        RefMut::map(self.inner.borrow_mut(), |p| &mut p.grad)
+    }
+
+    /// Adds `g` into the gradient accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn accumulate_grad(&self, g: &Tensor) {
+        self.inner.borrow_mut().grad.add_scaled_inplace(g, 1.0);
+    }
+
+    /// Resets the gradient to zero.
+    pub fn zero_grad(&self) {
+        let mut p = self.inner.borrow_mut();
+        p.grad.map_inplace(|_| 0.0);
+    }
+
+    /// Replaces the value (keeping the gradient buffer shape in sync).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new value has a different shape.
+    pub fn set_value(&self, value: Tensor) {
+        let mut p = self.inner.borrow_mut();
+        assert_eq!(p.value.shape(), value.shape(), "set_value: shape change not allowed");
+        p.value = value;
+    }
+
+    /// Whether two handles refer to the same underlying storage.
+    pub fn same_storage(&self, other: &Param) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl fmt::Debug for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = self.inner.borrow();
+        write!(f, "Param({:?}, shape {:?})", p.name, p.value.shape())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_storage() {
+        let p = Param::new("w", Tensor::zeros(&[2]));
+        let q = p.clone();
+        q.value_mut().data_mut()[0] = 5.0;
+        assert_eq!(p.value().data()[0], 5.0);
+        assert!(p.same_storage(&q));
+    }
+
+    #[test]
+    fn grad_accumulates_and_zeroes() {
+        let p = Param::new("w", Tensor::zeros(&[2]));
+        p.accumulate_grad(&Tensor::ones(&[2]));
+        p.accumulate_grad(&Tensor::ones(&[2]));
+        assert_eq!(p.grad().data(), &[2.0, 2.0]);
+        p.zero_grad();
+        assert_eq!(p.grad().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape change")]
+    fn set_value_rejects_shape_change() {
+        let p = Param::new("w", Tensor::zeros(&[2]));
+        p.set_value(Tensor::zeros(&[3]));
+    }
+}

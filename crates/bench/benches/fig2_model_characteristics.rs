@@ -1,0 +1,46 @@
+//! Figure 2: the scatter of epochs-to-convergent-quality against forward
+//! M-FLOPs, with parameter counts, for AIBench (16) and MLPerf (6) models
+//! (the reinforcement-learning models are excluded, as in the paper).
+
+use aibench::characterize::{excluded_from_model_characteristics, model_characteristics};
+use aibench::registry::Registry;
+use aibench_analysis::TextTable;
+use aibench_bench::{banner, measured_epochs};
+
+fn print_suite(name: &str, registry: &Registry) {
+    let chars = model_characteristics(registry);
+    let epochs = measured_epochs(registry);
+    let mut t = TextTable::new(vec![
+        "benchmark".into(),
+        "algorithm".into(),
+        "params (M)".into(),
+        "M-FLOPs".into(),
+        "epochs".into(),
+    ]);
+    for b in registry.benchmarks() {
+        if excluded_from_model_characteristics(b.id) {
+            continue;
+        }
+        let c = chars.iter().find(|c| c.code == b.id.code()).expect("characterized");
+        t.row(vec![
+            c.code.clone(),
+            c.algorithm.clone(),
+            format!("{:.3}", c.params_m),
+            format!("{:.2}", c.mflops),
+            format!("{}", epochs[b.id.code()] as usize),
+        ]);
+    }
+    println!("--- {name} ---");
+    print!("{}", t.render());
+    println!();
+}
+
+fn main() {
+    banner("Figure 2", "model complexity, computational cost, and convergent rate");
+    print_suite("AIBench (16 of 17; NAS excluded)", &Registry::aibench());
+    print_suite("MLPerf (6 of 7; RL excluded)", &Registry::mlperf());
+    println!("Paper shape: Object Detection and 3D Object Reconstruction have the");
+    println!("largest (and approximately equal) FLOPs; Learning-to-Rank the smallest");
+    println!("FLOPs; Image-to-Text the most parameters; Spatial Transformer the");
+    println!("fewest; Text-to-Text needs the most epochs.");
+}

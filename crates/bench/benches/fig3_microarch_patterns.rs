@@ -1,0 +1,44 @@
+//! Figure 3: the computation and memory-access patterns of all 24
+//! benchmarks — per-benchmark radar values of the five micro-architectural
+//! metrics (1: achieved occupancy; 2: IPC efficiency; 3: gld efficiency;
+//! 4: gst efficiency; 5: dram utilization).
+
+use aibench::characterize::microarch_vectors;
+use aibench::registry::Registry;
+use aibench_analysis::TextTable;
+use aibench_bench::banner;
+use aibench_gpusim::DeviceConfig;
+
+fn print_suite(name: &str, registry: &Registry) {
+    let vectors = microarch_vectors(registry, DeviceConfig::titan_xp());
+    let mut t = TextTable::new(vec![
+        "benchmark".into(),
+        "occupancy".into(),
+        "ipc_eff".into(),
+        "gld_eff".into(),
+        "gst_eff".into(),
+        "dram_util".into(),
+    ]);
+    for (code, m) in &vectors {
+        let v = m.as_vector();
+        t.row(vec![
+            code.clone(),
+            format!("{:.3}", v[0]),
+            format!("{:.3}", v[1]),
+            format!("{:.3}", v[2]),
+            format!("{:.3}", v[3]),
+            format!("{:.3}", v[4]),
+        ]);
+    }
+    println!("--- {name} ---");
+    print!("{}", t.render());
+    println!();
+}
+
+fn main() {
+    banner("Figure 3", "computation and memory access patterns of the 24 benchmarks");
+    print_suite("AIBench (17)", &Registry::aibench());
+    print_suite("MLPerf (7)", &Registry::mlperf());
+    println!("Paper shape: IPC efficiency spans from Learning-to-Rank (lowest, data-");
+    println!("arrangement bound) to Text-to-Text translation (highest, GEMM bound).");
+}

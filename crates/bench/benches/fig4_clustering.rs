@@ -1,0 +1,54 @@
+//! Figure 4: t-SNE embedding and clustering of the seventeen AIBench
+//! benchmarks' micro-architectural vectors — the subset members land in
+//! three different clusters.
+
+use aibench::characterize::combined_features;
+use aibench::registry::Registry;
+use aibench_analysis::{kmeans, tsne, TextTable, TsneParams};
+use aibench_bench::{banner, measured_epochs};
+use aibench_gpusim::DeviceConfig;
+
+const SUBSET: [&str; 3] = ["DC-AI-C1", "DC-AI-C9", "DC-AI-C16"];
+
+fn main() {
+    banner("Figure 4", "t-SNE clustering of the seventeen AIBench benchmarks");
+    let registry = Registry::aibench();
+    let epochs = measured_epochs(&registry);
+    // Features arrive normalized and group-weighted from combined_features.
+    let vectors = combined_features(&registry, DeviceConfig::titan_xp(), &epochs);
+    let normalized: Vec<Vec<f64>> = vectors.iter().map(|(_, f)| f.clone()).collect();
+    let embedding = tsne(&normalized, TsneParams::default(), 42);
+    let clusters = kmeans(&normalized, 3, 42);
+
+    let mut t = TextTable::new(vec![
+        "benchmark".into(),
+        "tsne_x".into(),
+        "tsne_y".into(),
+        "cluster".into(),
+        "in subset".into(),
+    ]);
+    for (i, (code, _)) in vectors.iter().enumerate() {
+        t.row(vec![
+            code.clone(),
+            format!("{:+.2}", embedding[i][0]),
+            format!("{:+.2}", embedding[i][1]),
+            format!("{}", clusters[i]),
+            if SUBSET.contains(&code.as_str()) { "*".into() } else { String::new() },
+        ]);
+    }
+    print!("{}", t.render());
+
+    let subset_clusters: Vec<usize> = vectors
+        .iter()
+        .enumerate()
+        .filter(|(_, (code, _))| SUBSET.contains(&code.as_str()))
+        .map(|(i, _)| clusters[i])
+        .collect();
+    let mut distinct = subset_clusters.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    println!();
+    println!("Subset clusters: {subset_clusters:?} (distinct: {})", distinct.len());
+    println!("Paper claim: the subset members fall into three different clusters,");
+    println!("so the subset is a minimum set with maximum representativeness.");
+}

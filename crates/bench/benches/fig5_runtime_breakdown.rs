@@ -1,0 +1,28 @@
+//! Figure 5: runtime breakdown of every AIBench benchmark into the eight
+//! kernel categories.
+
+use aibench::registry::Registry;
+use aibench_analysis::TextTable;
+use aibench_bench::banner;
+use aibench_gpusim::{DeviceConfig, KernelCategory, Simulator};
+
+fn main() {
+    banner("Figure 5", "runtime breakdown by kernel category (AIBench, 17)");
+    let sim = Simulator::new(DeviceConfig::titan_xp());
+    let mut header = vec!["benchmark".to_string()];
+    header.extend(KernelCategory::ALL.iter().map(|c| c.label().to_string()));
+    let mut t = TextTable::new(header);
+    for b in Registry::aibench().benchmarks() {
+        let p = sim.profile(&b.spec());
+        let mut cells = vec![b.id.code().to_string()];
+        for cat in KernelCategory::ALL {
+            let share = p.categories.iter().find(|c| c.category == cat).map_or(0.0, |c| c.share);
+            cells.push(format!("{:.1}%", 100.0 * share));
+        }
+        t.row(cells);
+    }
+    print!("{}", t.render());
+    println!();
+    println!("Paper shape: Learning-to-Rank spends most of its time on data");
+    println!("arrangement; the CNN tasks are convolution-dominated.");
+}

@@ -1,0 +1,67 @@
+//! Figure 6 + Table 7: hotspot-function analysis — how many distinct
+//! hotspot functions fall into each time-percentage bucket for AIBench vs
+//! MLPerf, plus the per-category hotspot names.
+
+use std::collections::BTreeSet;
+
+use aibench::registry::Registry;
+use aibench_analysis::TextTable;
+use aibench_bench::banner;
+use aibench_gpusim::{DeviceConfig, Simulator};
+
+/// Buckets of runtime share: 0-5%, 5-10%, 10-15%, 15%+.
+fn bucket(share: f64) -> usize {
+    match share {
+        s if s < 5.0 => 0,
+        s if s < 10.0 => 1,
+        s if s < 15.0 => 2,
+        _ => 3,
+    }
+}
+
+fn count_hotspots(registry: &Registry) -> [BTreeSet<String>; 4] {
+    let sim = Simulator::new(DeviceConfig::titan_xp());
+    let mut buckets: [BTreeSet<String>; 4] = Default::default();
+    for b in registry.benchmarks() {
+        let p = sim.profile(&b.spec());
+        for (name, share) in &p.hotspots {
+            // Distinct (benchmark, function) hotspot instances, as nvprof
+            // traces them per run.
+            buckets[bucket(*share)].insert(format!("{}::{}", b.id.code(), name));
+        }
+    }
+    buckets
+}
+
+fn main() {
+    banner("Figure 6 / Table 7", "hotspot functions by time-percentage bucket");
+    let a = count_hotspots(&Registry::aibench());
+    let m = count_hotspots(&Registry::mlperf());
+    let mut t = TextTable::new(vec!["time bucket".into(), "AIBench".into(), "MLPerf".into()]);
+    for (i, label) in ["0-5%", "5-10%", "10-15%", "15%+"].iter().enumerate() {
+        t.row(vec![(*label).into(), a[i].len().to_string(), m[i].len().to_string()]);
+    }
+    print!("{}", t.render());
+    println!();
+    let a10: usize = a[2].len() + a[3].len();
+    let m10: usize = m[2].len() + m[3].len();
+    println!(">=10% hotspots: AIBench {a10}, MLPerf {m10} (paper: 30 vs 9)");
+    println!();
+
+    // Table 7: representative hotspot functions of the suite.
+    println!("--- Table 7: hotspot functions by category (AIBench union) ---");
+    let sim = Simulator::new(DeviceConfig::titan_xp());
+    let mut by_cat: std::collections::BTreeMap<String, BTreeSet<String>> = Default::default();
+    for b in Registry::aibench().benchmarks() {
+        let p = sim.profile(&b.spec());
+        for kp in &p.kernels {
+            by_cat.entry(kp.kernel.category.label().to_string()).or_default().insert(kp.kernel.name.clone());
+        }
+    }
+    for (cat, names) in by_cat {
+        println!("{cat}:");
+        for n in names {
+            println!("    {n}");
+        }
+    }
+}

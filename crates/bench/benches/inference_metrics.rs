@@ -1,0 +1,41 @@
+//! Section 4.2.1 online-inference metrics: query latency, tail latency,
+//! throughput, and energy per query for every component benchmark (the
+//! paper ships an inference variant of each benchmark; this regenerates
+//! the metrics its spec lists).
+
+use aibench::inference::inference_table;
+use aibench::registry::Registry;
+use aibench_analysis::TextTable;
+use aibench_bench::banner;
+use aibench_gpusim::DeviceConfig;
+
+fn print_suite(name: &str, registry: &Registry) {
+    let device = DeviceConfig::titan_xp();
+    let mut t = TextTable::new(vec![
+        "benchmark".into(),
+        "p50 latency (ms)".into(),
+        "p99 latency (ms)".into(),
+        "throughput (qps)".into(),
+        "energy/query (mJ)".into(),
+        "batch".into(),
+    ]);
+    for r in inference_table(registry, &device) {
+        t.row(vec![
+            r.code,
+            format!("{:.3}", r.latency_p50_ms),
+            format!("{:.3}", r.latency_p99_ms),
+            format!("{:.0}", r.throughput_qps),
+            format!("{:.2}", r.energy_per_query_mj),
+            r.serving_batch.to_string(),
+        ]);
+    }
+    println!("--- {name} ---");
+    print!("{}", t.render());
+    println!();
+}
+
+fn main() {
+    banner("Section 4.2.1", "online-inference metrics (latency, tail latency, throughput, energy)");
+    print_suite("AIBench (17)", &Registry::aibench());
+    print_suite("MLPerf (7)", &Registry::mlperf());
+}

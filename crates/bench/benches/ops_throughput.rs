@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks of the framework's hot numeric kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use aibench_autograd::{Graph, Param};
+use aibench_tensor::ops::{conv2d, matmul, Conv2dArgs};
+use aibench_tensor::{Rng, Tensor};
+
+fn bench_ops(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(7);
+    let a = Tensor::randn(&[64, 64], &mut rng);
+    let b = Tensor::randn(&[64, 64], &mut rng);
+    c.bench_function("matmul_64", |bench| bench.iter(|| black_box(matmul(&a, &b))));
+
+    let x = Tensor::randn(&[2, 8, 16, 16], &mut rng);
+    let w = Tensor::randn(&[16, 8, 3, 3], &mut rng);
+    c.bench_function("conv2d_8to16_16px", |bench| {
+        bench.iter(|| black_box(conv2d(&x, &w, Conv2dArgs::new(1, 1))))
+    });
+
+    let wp = Param::new("w", Tensor::randn(&[64, 64], &mut rng));
+    let xb = Tensor::randn(&[32, 64], &mut rng);
+    c.bench_function("linear_fwd_bwd_32x64", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let xv = g.input(xb.clone());
+            let wv = g.param(&wp);
+            let y = g.matmul(xv, wv);
+            let sq = g.square(y);
+            let loss = g.sum(sq);
+            g.backward(loss);
+            wp.zero_grad();
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table 3 (and Table 2's task column): the seventeen component benchmarks
+//! with their algorithms, datasets, and quality targets.
+
+use aibench::registry::Registry;
+use aibench_analysis::TextTable;
+use aibench_bench::banner;
+
+fn main() {
+    banner("Table 3", "component benchmarks in AIBench");
+    let mut t = TextTable::new(vec![
+        "no.".into(),
+        "component benchmark".into(),
+        "algorithm".into(),
+        "dataset (original -> synthetic)".into(),
+        "paper target".into(),
+        "scaled target".into(),
+    ]);
+    for b in Registry::aibench().benchmarks() {
+        t.row(vec![
+            b.id.code().into(),
+            b.task.into(),
+            b.algorithm.into(),
+            b.dataset.into(),
+            b.paper.target_quality.into(),
+            format!("{} {}", b.metric, b.target),
+        ]);
+    }
+    print!("{}", t.render());
+}

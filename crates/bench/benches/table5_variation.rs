@@ -1,0 +1,38 @@
+//! Table 5: run-to-run variation of the seventeen AIBench benchmarks —
+//! the coefficient of variation of epochs-to-convergent-quality over
+//! repeated entire training sessions.
+
+use aibench::registry::Registry;
+use aibench::repeatability::measure_variation;
+use aibench_analysis::TextTable;
+use aibench_bench::{banner, session_config};
+
+fn main() {
+    banner("Table 5", "run-to-run variation (coefficient of variation of epochs)");
+    let registry = Registry::aibench();
+    let cfg = session_config();
+    let mut t = TextTable::new(vec![
+        "no.".into(),
+        "component benchmark".into(),
+        "measured variation".into(),
+        "repeats".into(),
+        "paper variation".into(),
+        "epochs per run".into(),
+    ]);
+    for b in registry.benchmarks() {
+        let repeats = (b.paper.repeats.unwrap_or(4) as usize).min(5);
+        let rep = measure_variation(b, repeats, &cfg);
+        t.row(vec![
+            b.id.code().into(),
+            b.task.into(),
+            rep.variation_pct.map_or("Not available".into(), |v| format!("{v:.2}%")),
+            rep.runs.to_string(),
+            b.paper.variation_pct.map_or("Not available".into(), |v| format!("{v:.2}%")),
+            format!("{:?}", rep.epochs.iter().map(|&e| e as usize).collect::<Vec<_>>()),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+    println!("Paper shape: variation differs wildly across benchmarks (0%..38.46%);");
+    println!("the GAN tasks have no accepted metric, so no variation is reported.");
+}

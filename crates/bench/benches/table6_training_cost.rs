@@ -1,0 +1,66 @@
+//! Table 6: training cost of the seventeen AIBench benchmarks — simulated
+//! full-scale seconds per epoch times measured epochs-to-quality — plus
+//! the Section 5.4.2 subset cost-reduction claims.
+
+use aibench::cost::{subset_saving_pct, training_costs};
+use aibench_gpusim::Simulator;
+use aibench::registry::Registry;
+use aibench_analysis::TextTable;
+use aibench_bench::{banner, measured_epochs};
+use aibench_gpusim::DeviceConfig;
+
+const SUBSET: [&str; 3] = ["DC-AI-C1", "DC-AI-C9", "DC-AI-C16"];
+
+fn main() {
+    banner("Table 6", "training cost per benchmark and subset savings");
+    let aibench = Registry::aibench();
+    let epochs = measured_epochs(&aibench);
+    let costs = training_costs(&aibench, DeviceConfig::titan_rtx(), |b| epochs[b.id.code()]);
+    let sim = Simulator::new(DeviceConfig::titan_rtx());
+
+    let mut t = TextTable::new(vec![
+        "no.".into(),
+        "component benchmark".into(),
+        "sim s/epoch".into(),
+        "paper s/epoch".into(),
+        "epochs".into(),
+        "sim total (h)".into(),
+        "paper total (h)".into(),
+        "sim energy (kWh)".into(),
+        "samples/s".into(),
+    ]);
+    for (c, b) in costs.iter().zip(aibench.benchmarks()) {
+        let sps = sim.profile(&b.spec()).samples_per_second();
+        t.row(vec![
+            c.code.clone(),
+            c.task.into(),
+            format!("{:.1}", c.sim_seconds_per_epoch),
+            c.paper_seconds_per_epoch.map_or("-".into(), |v| format!("{v:.1}")),
+            format!("{}", c.epochs as usize),
+            format!("{:.2}", c.total_hours),
+            c.paper_total_hours.map_or("N/A".into(), |v| format!("{v:.2}")),
+            format!("{:.2}", c.total_kwh),
+            format!("{:.0}", sps),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let aibench_total: f64 = costs.iter().map(|c| c.total_hours).sum();
+    let saving = subset_saving_pct(&costs, &SUBSET);
+    println!();
+    println!("AIBench full suite: {aibench_total:.1} simulated hours per pass");
+    println!("Subset (C1+C9+C16) saving vs AIBench full: {saving:.0}% (paper: 41%)");
+
+    // MLPerf comparison (Section 5.3.2 / 5.4.2).
+    let mlperf = Registry::mlperf();
+    let m_epochs = measured_epochs(&mlperf);
+    let m_costs = training_costs(&mlperf, DeviceConfig::titan_rtx(), |b| m_epochs[b.id.code()]);
+    let mlperf_total: f64 = m_costs.iter().map(|c| c.total_hours).sum();
+    let subset_total: f64 =
+        costs.iter().filter(|c| SUBSET.contains(&c.code.as_str())).map(|c| c.total_hours).sum();
+    println!("MLPerf full suite: {mlperf_total:.1} simulated hours per pass");
+    println!(
+        "Subset saving vs MLPerf: {:.0}% (paper: 63%)",
+        100.0 * (1.0 - subset_total / mlperf_total.max(1e-9))
+    );
+}

@@ -1,0 +1,42 @@
+//! Target-sweep tool for the subset members: epochs-to-quality and its
+//! coefficient of variation across seeds for candidate quality targets.
+//!
+//! ```sh
+//! cargo run --release -p aibench --example subset_tune
+//! ```
+
+use aibench_models::scaled::*;
+use aibench_models::Trainer;
+
+fn epochs_to(f: impl Fn(u64) -> Box<dyn Trainer>, target: f64, higher: bool, seeds: u64, cap: usize) -> Vec<usize> {
+    (1..=seeds).map(|s| {
+        let mut t = f(s);
+        for e in 1..=cap {
+            t.train_epoch();
+            let q = t.evaluate();
+            if (higher && q >= target) || (!higher && q <= target) { return e; }
+        }
+        cap
+    }).collect()
+}
+
+fn cov(e: &[usize]) -> f64 {
+    let m = e.iter().sum::<usize>() as f64 / e.len() as f64;
+    let v = e.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / (e.len() - 1) as f64;
+    100.0 * v.sqrt() / m
+}
+
+fn main() {
+    for target in [0.88, 0.90, 0.93] {
+        let e = epochs_to(|s| Box::new(ImageClassification::new(s)), target, true, 5, 45);
+        println!("C1 target {target}: {e:?} cov {:.1}%", cov(&e));
+    }
+    for target in [0.30, 0.40, 0.50] {
+        let e = epochs_to(|s| Box::new(ObjectDetection::new(s, DetectionConfig::aibench())), target, true, 5, 45);
+        println!("C9 target {target}: {e:?} cov {:.1}%", cov(&e));
+    }
+    for target in [0.25, 0.30, 0.35] {
+        let e = epochs_to(|s| Box::new(LearningToRank::new(s)), target, true, 5, 45);
+        println!("C16 target {target}: {e:?} cov {:.1}%", cov(&e));
+    }
+}

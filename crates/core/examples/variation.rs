@@ -1,0 +1,24 @@
+//! Repeatability tool: measures the Table-5 run-to-run variation of all
+//! seventeen AIBench benchmarks at their paper repeat counts.
+//!
+//! ```sh
+//! cargo run --release -p aibench --example variation
+//! ```
+
+use aibench::registry::Registry;
+use aibench::repeatability::measure_variation;
+use aibench::runner::RunConfig;
+
+fn main() {
+    let r = Registry::aibench();
+    let cfg = RunConfig { max_epochs: 45, eval_every: 1 };
+    for b in r.benchmarks() {
+        let repeats = b.paper.repeats.unwrap_or(4) as usize;
+        let rep = measure_variation(b, repeats, &cfg);
+        println!(
+            "{:<12} runs {} epochs {:?} cov {:?} paper {:?}",
+            b.id.code(), rep.runs, rep.epochs, rep.variation_pct.map(|v| format!("{v:.2}%")),
+            b.paper.variation_pct
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Benchmarking-cost accounting (Table 6 and Section 5.4.2): per-epoch
+//! simulated time at paper scale × measured epochs-to-convergence, plus
+//! the subset's cost-reduction claims.
+
+use aibench_gpusim::{DeviceConfig, Simulator};
+
+use crate::registry::{Benchmark, Registry};
+
+/// Cost entry for one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostEntry {
+    /// Benchmark code.
+    pub code: String,
+    /// Task name.
+    pub task: &'static str,
+    /// Simulated seconds per epoch at paper scale.
+    pub sim_seconds_per_epoch: f64,
+    /// Epochs used for the total (measured epochs-to-target when
+    /// available, otherwise the convergence cap).
+    pub epochs: f64,
+    /// Total simulated training hours.
+    pub total_hours: f64,
+    /// Total simulated energy to train to target, kilowatt-hours.
+    pub total_kwh: f64,
+    /// The paper's reported per-epoch seconds (Table 6).
+    pub paper_seconds_per_epoch: Option<f64>,
+    /// The paper's reported total hours (Table 6).
+    pub paper_total_hours: Option<f64>,
+}
+
+/// Computes Table-6-style costs: each benchmark's simulated epoch time on
+/// the given device, multiplied by `epochs(benchmark)` (typically the
+/// measured epochs-to-quality from the runner).
+pub fn training_costs(
+    registry: &Registry,
+    device: DeviceConfig,
+    epochs: impl Fn(&Benchmark) -> f64,
+) -> Vec<CostEntry> {
+    let sim = Simulator::new(device);
+    registry
+        .benchmarks()
+        .iter()
+        .map(|b| {
+            let profile = sim.profile(&b.spec());
+            let e = epochs(b);
+            CostEntry {
+                code: b.id.code().to_string(),
+                task: b.task,
+                sim_seconds_per_epoch: profile.epoch_seconds,
+                epochs: e,
+                total_hours: profile.epoch_seconds * e / 3600.0,
+                total_kwh: profile.epoch_joules * e / 3.6e6,
+                paper_seconds_per_epoch: b.paper.time_per_epoch_s,
+                paper_total_hours: b.paper.total_hours,
+            }
+        })
+        .collect()
+}
+
+/// Percentage cost reduction of running only `subset_codes` instead of all
+/// of `costs` (the paper: the subset shortens AIBench's cost by 41%).
+pub fn subset_saving_pct(costs: &[CostEntry], subset_codes: &[&str]) -> f64 {
+    let total: f64 = costs.iter().map(|c| c.total_hours).sum();
+    let subset: f64 =
+        costs.iter().filter(|c| subset_codes.contains(&c.code.as_str())).map(|c| c.total_hours).sum();
+    if total <= 0.0 {
+        0.0
+    } else {
+        100.0 * (1.0 - subset / total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_are_positive_and_complete() {
+        let r = Registry::aibench();
+        let costs = training_costs(&r, DeviceConfig::titan_xp(), |_| 10.0);
+        assert_eq!(costs.len(), 17);
+        for c in &costs {
+            assert!(c.sim_seconds_per_epoch > 0.0, "{}", c.code);
+            assert!(c.total_hours > 0.0);
+            assert!(c.total_kwh > 0.0, "{}", c.code);
+            // Mean power implied by (kWh, hours) stays under the TDP.
+            let watts = c.total_kwh * 1000.0 / c.total_hours;
+            assert!(watts <= 260.0, "{}: {watts} W", c.code);
+        }
+    }
+
+    #[test]
+    fn image_classification_is_most_expensive_per_epoch_among_cnn_tasks() {
+        let r = Registry::aibench();
+        let costs = training_costs(&r, DeviceConfig::titan_xp(), |_| 1.0);
+        let get = |code: &str| costs.iter().find(|c| c.code == code).unwrap().sim_seconds_per_epoch;
+        // Table 6 shape: IC epoch cost dwarfs STN's.
+        assert!(get("DC-AI-C1") > 100.0 * get("DC-AI-C15"));
+    }
+
+    #[test]
+    fn subset_saves_cost() {
+        let r = Registry::aibench();
+        let costs = training_costs(&r, DeviceConfig::titan_xp(), |_| 10.0);
+        let saving = subset_saving_pct(&costs, &["DC-AI-C1", "DC-AI-C9", "DC-AI-C16"]);
+        assert!(saving > 0.0 && saving < 100.0, "saving {saving}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Benchmark identifiers.
+
+use std::fmt;
+
+/// Identifier of one component benchmark: the seventeen AIBench tasks
+/// (`DC-AI-C1` … `DC-AI-C17`, Table 3) plus the seven MLPerf training
+/// baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BenchmarkId {
+    /// DC-AI-C1 Image classification (ResNet-50).
+    ImageClassification,
+    /// DC-AI-C2 Image generation (WGAN).
+    ImageGeneration,
+    /// DC-AI-C3 Text-to-Text translation (Transformer).
+    TextToText,
+    /// DC-AI-C4 Image-to-Text (Neural Image Caption).
+    ImageToText,
+    /// DC-AI-C5 Image-to-Image (CycleGAN).
+    ImageToImage,
+    /// DC-AI-C6 Speech recognition (DeepSpeech2).
+    SpeechRecognition,
+    /// DC-AI-C7 Face embedding (FaceNet).
+    FaceEmbedding,
+    /// DC-AI-C8 3D face recognition (RGB-D ResNet-50).
+    FaceRecognition3d,
+    /// DC-AI-C9 Object detection (Faster R-CNN).
+    ObjectDetection,
+    /// DC-AI-C10 Recommendation (Neural Collaborative Filtering).
+    Recommendation,
+    /// DC-AI-C11 Video prediction (motion-focused predictive model).
+    VideoPrediction,
+    /// DC-AI-C12 Image compression (recurrent autoencoder).
+    ImageCompression,
+    /// DC-AI-C13 3D object reconstruction (perspective transformer nets).
+    ObjectReconstruction3d,
+    /// DC-AI-C14 Text summarization (attentional seq2seq).
+    TextSummarization,
+    /// DC-AI-C15 Spatial transformer network.
+    SpatialTransformer,
+    /// DC-AI-C16 Learning to rank (Ranking Distillation).
+    LearningToRank,
+    /// DC-AI-C17 Neural architecture search (ENAS).
+    NeuralArchitectureSearch,
+    /// MLPerf Image Classification (shared with DC-AI-C1).
+    MlperfImageClassification,
+    /// MLPerf Object Detection, heavy (Mask R-CNN).
+    MlperfObjectDetectionHeavy,
+    /// MLPerf Object Detection, light (SSD).
+    MlperfObjectDetectionLight,
+    /// MLPerf Translation, recurrent (GNMT).
+    MlperfTranslationRecurrent,
+    /// MLPerf Translation, non-recurrent (Transformer).
+    MlperfTranslationNonRecurrent,
+    /// MLPerf Recommendation (shared with DC-AI-C10).
+    MlperfRecommendation,
+    /// MLPerf Reinforcement Learning (minigo).
+    MlperfReinforcementLearning,
+}
+
+impl BenchmarkId {
+    /// The seventeen AIBench ids in DC-AI-C order.
+    pub const AIBENCH: [BenchmarkId; 17] = [
+        BenchmarkId::ImageClassification,
+        BenchmarkId::ImageGeneration,
+        BenchmarkId::TextToText,
+        BenchmarkId::ImageToText,
+        BenchmarkId::ImageToImage,
+        BenchmarkId::SpeechRecognition,
+        BenchmarkId::FaceEmbedding,
+        BenchmarkId::FaceRecognition3d,
+        BenchmarkId::ObjectDetection,
+        BenchmarkId::Recommendation,
+        BenchmarkId::VideoPrediction,
+        BenchmarkId::ImageCompression,
+        BenchmarkId::ObjectReconstruction3d,
+        BenchmarkId::TextSummarization,
+        BenchmarkId::SpatialTransformer,
+        BenchmarkId::LearningToRank,
+        BenchmarkId::NeuralArchitectureSearch,
+    ];
+
+    /// The seven MLPerf ids.
+    pub const MLPERF: [BenchmarkId; 7] = [
+        BenchmarkId::MlperfImageClassification,
+        BenchmarkId::MlperfObjectDetectionHeavy,
+        BenchmarkId::MlperfObjectDetectionLight,
+        BenchmarkId::MlperfTranslationRecurrent,
+        BenchmarkId::MlperfTranslationNonRecurrent,
+        BenchmarkId::MlperfRecommendation,
+        BenchmarkId::MlperfReinforcementLearning,
+    ];
+
+    /// The paper's identifier code (e.g. `DC-AI-C1`) or an `MLPerf-*`
+    /// label for baselines.
+    pub fn code(self) -> &'static str {
+        match self {
+            BenchmarkId::ImageClassification => "DC-AI-C1",
+            BenchmarkId::ImageGeneration => "DC-AI-C2",
+            BenchmarkId::TextToText => "DC-AI-C3",
+            BenchmarkId::ImageToText => "DC-AI-C4",
+            BenchmarkId::ImageToImage => "DC-AI-C5",
+            BenchmarkId::SpeechRecognition => "DC-AI-C6",
+            BenchmarkId::FaceEmbedding => "DC-AI-C7",
+            BenchmarkId::FaceRecognition3d => "DC-AI-C8",
+            BenchmarkId::ObjectDetection => "DC-AI-C9",
+            BenchmarkId::Recommendation => "DC-AI-C10",
+            BenchmarkId::VideoPrediction => "DC-AI-C11",
+            BenchmarkId::ImageCompression => "DC-AI-C12",
+            BenchmarkId::ObjectReconstruction3d => "DC-AI-C13",
+            BenchmarkId::TextSummarization => "DC-AI-C14",
+            BenchmarkId::SpatialTransformer => "DC-AI-C15",
+            BenchmarkId::LearningToRank => "DC-AI-C16",
+            BenchmarkId::NeuralArchitectureSearch => "DC-AI-C17",
+            BenchmarkId::MlperfImageClassification => "MLPerf-IC",
+            BenchmarkId::MlperfObjectDetectionHeavy => "MLPerf-OD-Heavy",
+            BenchmarkId::MlperfObjectDetectionLight => "MLPerf-OD-Light",
+            BenchmarkId::MlperfTranslationRecurrent => "MLPerf-Trans-Rec",
+            BenchmarkId::MlperfTranslationNonRecurrent => "MLPerf-Trans-NonRec",
+            BenchmarkId::MlperfRecommendation => "MLPerf-Rec",
+            BenchmarkId::MlperfReinforcementLearning => "MLPerf-RL",
+        }
+    }
+
+    /// Whether this is an AIBench (vs MLPerf) benchmark.
+    pub fn is_aibench(self) -> bool {
+        Self::AIBENCH.contains(&self)
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_paper() {
+        assert_eq!(BenchmarkId::AIBENCH.len(), 17);
+        assert_eq!(BenchmarkId::MLPERF.len(), 7);
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let mut codes: Vec<&str> =
+            BenchmarkId::AIBENCH.iter().chain(&BenchmarkId::MLPERF).map(|i| i.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 24);
+    }
+
+    #[test]
+    fn membership() {
+        assert!(BenchmarkId::LearningToRank.is_aibench());
+        assert!(!BenchmarkId::MlperfReinforcementLearning.is_aibench());
+    }
+}

@@ -1,0 +1,119 @@
+//! Online-inference metrics (Section 4.2.1): query latency, tail latency,
+//! throughput, and per-query energy for every component benchmark, from
+//! the GPU simulator's forward-only lowering.
+//!
+//! The paper's suite ships an inference variant of each component
+//! benchmark; its metrics are "query response latency, tail latency,
+//! throughput, inference accuracy, and inference energy consumption".
+//! Accuracy is the training-side quality metric evaluated on held-out
+//! data; the rest are produced here.
+
+use aibench_gpusim::{execute, lower_inference_iteration, DeviceConfig};
+
+use crate::registry::{Benchmark, Registry};
+
+/// Simulated online-inference metrics for one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceReport {
+    /// Benchmark code.
+    pub code: String,
+    /// Median single-query latency, milliseconds (batch of 1).
+    pub latency_p50_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub latency_p99_ms: f64,
+    /// Throughput at the serving batch size, queries/second.
+    pub throughput_qps: f64,
+    /// Energy per query at the serving batch size, millijoules.
+    pub energy_per_query_mj: f64,
+    /// Serving batch size used for throughput/energy.
+    pub serving_batch: usize,
+}
+
+/// Deterministic tail model: queueing and kernel-launch jitter grow with
+/// the number of kernel launches on the critical path. Calibrated so a
+/// single-kernel model shows a ~1.3× p99/p50 ratio and a thousand-launch
+/// RNN shows ~2.5×, the regime nvprof-based serving studies report.
+fn tail_factor(launches: usize) -> f64 {
+    1.3 + 0.4 * ((launches.max(1) as f64).ln() / 3.0)
+}
+
+/// Produces the inference report of one benchmark on `device`.
+pub fn inference_metrics(benchmark: &Benchmark, device: &DeviceConfig) -> InferenceReport {
+    let spec = benchmark.spec();
+    // Single-query latency.
+    let single = lower_inference_iteration(&spec, 1);
+    let launches: usize = single.iter().map(|k| k.count).sum();
+    let p50_s: f64 = single.iter().map(|k| execute(k, device).time_s).sum();
+    // Server-side batching amortizes launch overhead.
+    let serving_batch = spec.batch_size.min(64).max(1);
+    let batched = lower_inference_iteration(&spec, serving_batch);
+    let profiles: Vec<_> = batched.iter().map(|k| execute(k, device)).collect();
+    let batch_s: f64 = profiles.iter().map(|p| p.time_s).sum();
+    let batch_j: f64 = profiles.iter().map(|p| p.energy_j).sum();
+    InferenceReport {
+        code: benchmark.id.code().to_string(),
+        latency_p50_ms: p50_s * 1e3,
+        latency_p99_ms: p50_s * tail_factor(launches) * 1e3,
+        throughput_qps: serving_batch as f64 / batch_s,
+        energy_per_query_mj: batch_j / serving_batch as f64 * 1e3,
+        serving_batch,
+    }
+}
+
+/// Inference reports for a whole registry.
+pub fn inference_table(registry: &Registry, device: &DeviceConfig) -> Vec<InferenceReport> {
+    registry.benchmarks().iter().map(|b| inference_metrics(b, device)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_exceeds_median_everywhere() {
+        let device = DeviceConfig::titan_xp();
+        for r in inference_table(&Registry::aibench(), &device) {
+            assert!(r.latency_p99_ms > r.latency_p50_ms, "{}", r.code);
+            assert!(r.latency_p99_ms < 10.0 * r.latency_p50_ms, "{}", r.code);
+            assert!(r.throughput_qps > 0.0);
+            assert!(r.energy_per_query_mj > 0.0);
+        }
+    }
+
+    #[test]
+    fn batching_raises_throughput_over_single_query_rate() {
+        let device = DeviceConfig::titan_xp();
+        let registry = Registry::aibench();
+        // Image Classification serves batches of 64+; throughput must beat
+        // the 1/p50 single-stream rate.
+        let r = inference_metrics(registry.get("DC-AI-C1").unwrap(), &device);
+        let single_stream_qps = 1e3 / r.latency_p50_ms;
+        assert!(r.throughput_qps > single_stream_qps, "{} vs {}", r.throughput_qps, single_stream_qps);
+    }
+
+    #[test]
+    fn big_models_are_slower_than_small_ones() {
+        let device = DeviceConfig::titan_xp();
+        let registry = Registry::aibench();
+        let ic = inference_metrics(registry.get("DC-AI-C1").unwrap(), &device);
+        let stn = inference_metrics(registry.get("DC-AI-C15").unwrap(), &device);
+        assert!(ic.latency_p50_ms > stn.latency_p50_ms);
+    }
+
+    #[test]
+    fn inference_is_cheaper_than_training_per_iteration() {
+        let device = DeviceConfig::titan_xp();
+        let registry = Registry::aibench();
+        let b = registry.get("DC-AI-C1").unwrap();
+        let spec = b.spec();
+        let inf: f64 = lower_inference_iteration(&spec, spec.batch_size)
+            .iter()
+            .map(|k| execute(k, &device).time_s)
+            .sum();
+        let train: f64 = aibench_gpusim::lower_training_iteration(&spec)
+            .iter()
+            .map(|k| execute(k, &device).time_s)
+            .sum();
+        assert!(inf < 0.6 * train, "inference {inf} vs training {train}");
+    }
+}

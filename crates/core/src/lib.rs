@@ -1,0 +1,51 @@
+//! AIBench Training: the balanced industry-standard AI training benchmark
+//! suite (Tang et al., ISPASS 2021), reproduced in Rust.
+//!
+//! This crate ties the workspace together into the paper's methodology:
+//!
+//! * a [`registry`] of the seventeen AIBench component benchmarks
+//!   (DC-AI-C1..C17) plus the seven MLPerf training baselines, each pairing
+//!   a full-scale [`aibench_models::ModelSpec`] with a scaled trainable
+//!   instance and a quality target;
+//! * a training [`runner`] that executes entire training sessions to a
+//!   target quality and records epochs, quality traces, and wall time;
+//! * a [`repeatability`] harness measuring run-to-run variation
+//!   (coefficient of variation of epochs-to-quality, Table 5);
+//! * [`cost`] accounting combining measured epochs with simulated
+//!   full-scale epoch times and energy (Table 6);
+//! * [`inference`] — the Section 4.2.1 online-inference metrics (latency,
+//!   tail latency, throughput, energy per query);
+//! * the [`subset`] selector implementing Section 5.4's criteria, which
+//!   recovers the paper's minimum subset — Image Classification, Object
+//!   Detection, and Learning-to-Rank;
+//! * [`characterize`], the model- and micro-architecture-characterization
+//!   pipeline behind Figures 1-7.
+//!
+//! # Example
+//!
+//! ```
+//! use aibench::registry::Registry;
+//! use aibench::runner::{run_to_quality, RunConfig};
+//!
+//! let registry = Registry::aibench();
+//! let stn = registry.get("DC-AI-C15").expect("spatial transformer");
+//! let result = run_to_quality(stn, 1, &RunConfig { max_epochs: 3, ..RunConfig::default() });
+//! assert!(result.epochs_run >= 1);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod characterize;
+pub mod cost;
+pub mod id;
+pub mod inference;
+pub mod quality;
+pub mod registry;
+pub mod repeatability;
+pub mod runner;
+pub mod subset;
+pub mod suite_comparison;
+
+pub use id::BenchmarkId;
+pub use quality::{Direction, QualityTarget};
+pub use registry::{Benchmark, PaperFacts, Registry};

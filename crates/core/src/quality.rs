@@ -1,0 +1,87 @@
+//! Quality targets: each component benchmark trains until its metric
+//! reaches a target (the paper's "entire training session" definition).
+
+use std::fmt;
+
+/// Whether larger or smaller metric values are better.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Accuracy-style metrics.
+    HigherBetter,
+    /// Error/perplexity-style metrics.
+    LowerBetter,
+}
+
+/// A convergence target in the metric's native units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityTarget {
+    /// Target value.
+    pub value: f64,
+    /// Metric direction.
+    pub direction: Direction,
+}
+
+impl QualityTarget {
+    /// A target where larger values are better (accuracy, mAP, HR@K, …).
+    pub fn at_least(value: f64) -> Self {
+        QualityTarget { value, direction: Direction::HigherBetter }
+    }
+
+    /// A target where smaller values are better (WER, MSE, perplexity, …).
+    pub fn at_most(value: f64) -> Self {
+        QualityTarget { value, direction: Direction::LowerBetter }
+    }
+
+    /// Whether `quality` satisfies the target.
+    pub fn met_by(&self, quality: f64) -> bool {
+        match self.direction {
+            Direction::HigherBetter => quality >= self.value,
+            Direction::LowerBetter => quality <= self.value,
+        }
+    }
+
+    /// Whether `a` is strictly better than `b` under this direction.
+    pub fn better(&self, a: f64, b: f64) -> bool {
+        match self.direction {
+            Direction::HigherBetter => a > b,
+            Direction::LowerBetter => a < b,
+        }
+    }
+}
+
+impl fmt::Display for QualityTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.direction {
+            Direction::HigherBetter => write!(f, ">= {}", self.value),
+            Direction::LowerBetter => write!(f, "<= {}", self.value),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higher_better_semantics() {
+        let t = QualityTarget::at_least(0.75);
+        assert!(t.met_by(0.75));
+        assert!(t.met_by(0.9));
+        assert!(!t.met_by(0.74));
+        assert!(t.better(0.8, 0.7));
+    }
+
+    #[test]
+    fn lower_better_semantics() {
+        let t = QualityTarget::at_most(5.33);
+        assert!(t.met_by(5.0));
+        assert!(!t.met_by(5.34));
+        assert!(t.better(4.0, 5.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(QualityTarget::at_least(0.5).to_string(), ">= 0.5");
+        assert_eq!(QualityTarget::at_most(72.0).to_string(), "<= 72");
+    }
+}

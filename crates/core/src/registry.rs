@@ -1,0 +1,478 @@
+//! The benchmark registry: metadata, scaled-trainer factories, and
+//! full-scale specs for all seventeen AIBench benchmarks and the seven
+//! MLPerf baselines.
+
+use aibench_models::catalog;
+use aibench_models::scaled::{
+    DetectionConfig, Face3dRecognition, FaceEmbedding, ImageClassification, ImageCompression,
+    ImageGeneration, ImageToImage, ImageToText, LearningToRank, NeuralArchitectureSearch,
+    ObjectDetection, ObjectReconstruction3d, Recommendation, ReinforcementLearning,
+    SpatialTransformer, SpeechRecognition, TextSummarization, Translation, TranslationArch,
+    VideoPrediction,
+};
+use aibench_models::{ModelSpec, Trainer};
+
+use crate::id::BenchmarkId;
+use crate::quality::QualityTarget;
+
+/// Numbers the paper reports for a benchmark, kept for paper-vs-measured
+/// comparisons (Tables 3, 5, and 6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperFacts {
+    /// Table 3 target quality, verbatim.
+    pub target_quality: &'static str,
+    /// Table 5 run-to-run variation in percent (`None` = "Not available").
+    pub variation_pct: Option<f64>,
+    /// Table 5 repeat count.
+    pub repeats: Option<u32>,
+    /// Table 6 seconds per epoch.
+    pub time_per_epoch_s: Option<f64>,
+    /// Table 6 total training hours (`None` = N/A).
+    pub total_hours: Option<f64>,
+}
+
+/// One registered component benchmark.
+pub struct Benchmark {
+    /// Identifier.
+    pub id: BenchmarkId,
+    /// Task name (Table 3 column 2).
+    pub task: &'static str,
+    /// Algorithm/model name (Table 3 column 3).
+    pub algorithm: &'static str,
+    /// Original dataset and our synthetic stand-in.
+    pub dataset: &'static str,
+    /// Quality metric name for the scaled benchmark.
+    pub metric: &'static str,
+    /// Convergence target for the scaled benchmark.
+    pub target: QualityTarget,
+    /// Whether the task has a widely-accepted quality metric (the GAN
+    /// tasks do not, per Section 5.3.1).
+    pub has_accepted_metric: bool,
+    /// The paper's reported numbers.
+    pub paper: PaperFacts,
+    factory: fn(u64) -> Box<dyn Trainer>,
+    spec: fn() -> ModelSpec,
+}
+
+impl Benchmark {
+    /// Builds a fresh scaled trainer seeded with `seed`.
+    pub fn build(&self, seed: u64) -> Box<dyn Trainer> {
+        (self.factory)(seed)
+    }
+
+    /// The full-scale model specification.
+    pub fn spec(&self) -> ModelSpec {
+        (self.spec)()
+    }
+}
+
+impl std::fmt::Debug for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Benchmark({}, {})", self.id, self.task)
+    }
+}
+
+macro_rules! facts {
+    ($tq:expr, $var:expr, $rep:expr, $tpe:expr, $tot:expr) => {
+        PaperFacts {
+            target_quality: $tq,
+            variation_pct: $var,
+            repeats: $rep,
+            time_per_epoch_s: $tpe,
+            total_hours: $tot,
+        }
+    };
+}
+
+/// A collection of benchmarks (the full suite, one of the two suites, or a
+/// subset).
+#[derive(Debug)]
+pub struct Registry {
+    benchmarks: Vec<Benchmark>,
+}
+
+impl Registry {
+    /// The seventeen AIBench component benchmarks, in DC-AI-C order.
+    pub fn aibench() -> Self {
+        Registry { benchmarks: aibench_benchmarks() }
+    }
+
+    /// The seven MLPerf training baselines.
+    pub fn mlperf() -> Self {
+        Registry { benchmarks: mlperf_benchmarks() }
+    }
+
+    /// All twenty-four benchmarks (AIBench then MLPerf).
+    pub fn all() -> Self {
+        let mut benchmarks = aibench_benchmarks();
+        benchmarks.extend(mlperf_benchmarks());
+        Registry { benchmarks }
+    }
+
+    /// The registered benchmarks.
+    pub fn benchmarks(&self) -> &[Benchmark] {
+        &self.benchmarks
+    }
+
+    /// Looks up a benchmark by its code (e.g. `"DC-AI-C9"`).
+    pub fn get(&self, code: &str) -> Option<&Benchmark> {
+        self.benchmarks.iter().find(|b| b.id.code() == code)
+    }
+
+    /// Looks up a benchmark by id.
+    pub fn by_id(&self, id: BenchmarkId) -> Option<&Benchmark> {
+        self.benchmarks.iter().find(|b| b.id == id)
+    }
+}
+
+fn aibench_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            id: BenchmarkId::ImageClassification,
+            task: "Image classification",
+            algorithm: "ResNet50",
+            dataset: "ImageNet -> synthetic class prototypes",
+            metric: "accuracy",
+            target: QualityTarget::at_least(0.88),
+            has_accepted_metric: true,
+            paper: facts!("74.9% (accuracy)", Some(1.12), Some(5), Some(10516.91), Some(130.0)),
+            factory: |seed| Box::new(ImageClassification::new(seed)),
+            spec: catalog::image_classification,
+        },
+        Benchmark {
+            id: BenchmarkId::ImageGeneration,
+            task: "Image generation",
+            algorithm: "WassersteinGAN",
+            dataset: "LSUN -> synthetic low-rank manifold",
+            metric: "moment distance",
+            target: QualityTarget::at_most(0.12),
+            has_accepted_metric: false,
+            paper: facts!("N/A", None, None, Some(3935.75), None),
+            factory: |seed| Box::new(ImageGeneration::new(seed)),
+            spec: catalog::image_generation,
+        },
+        Benchmark {
+            id: BenchmarkId::TextToText,
+            task: "Text-to-Text translation",
+            algorithm: "Transformer",
+            dataset: "WMT En-De -> synthetic reverse-map language",
+            metric: "token accuracy",
+            target: QualityTarget::at_least(0.75),
+            has_accepted_metric: true,
+            paper: facts!("55% (accuracy)", Some(9.38), Some(6), Some(64.83), Some(1.72)),
+            factory: |seed| Box::new(Translation::new(seed, TranslationArch::Transformer)),
+            spec: catalog::text_to_text,
+        },
+        Benchmark {
+            id: BenchmarkId::ImageToText,
+            task: "Image-to-Text",
+            algorithm: "Neural Image Caption",
+            dataset: "MSCOCO -> synthetic shape scenes",
+            metric: "perplexity",
+            target: QualityTarget::at_most(2.4),
+            has_accepted_metric: true,
+            paper: facts!("4.2 (perplexity)", Some(23.53), Some(5), Some(845.02), Some(10.21)),
+            factory: |seed| Box::new(ImageToText::new(seed)),
+            spec: catalog::image_to_text,
+        },
+        Benchmark {
+            id: BenchmarkId::ImageToImage,
+            task: "Image-to-Image",
+            algorithm: "CycleGAN",
+            dataset: "Cityscapes -> synthetic outline/fill domains",
+            metric: "per-pixel accuracy",
+            target: QualityTarget::at_least(0.93),
+            has_accepted_metric: false,
+            paper: facts!("N/A", None, None, Some(251.67), None),
+            factory: |seed| Box::new(ImageToImage::new(seed)),
+            spec: catalog::image_to_image,
+        },
+        Benchmark {
+            id: BenchmarkId::SpeechRecognition,
+            task: "Speech recognition",
+            algorithm: "DeepSpeech2",
+            dataset: "LibriSpeech -> synthetic phoneme spectrograms",
+            metric: "WER",
+            target: QualityTarget::at_most(0.03),
+            has_accepted_metric: true,
+            paper: facts!("5.33% (WER)", Some(12.08), Some(4), Some(14326.86), Some(42.78)),
+            factory: |seed| Box::new(SpeechRecognition::new(seed)),
+            spec: catalog::speech_recognition,
+        },
+        Benchmark {
+            id: BenchmarkId::FaceEmbedding,
+            task: "Face embedding",
+            algorithm: "FaceNet",
+            dataset: "VGGFace2 -> synthetic identity prototypes",
+            metric: "verification accuracy",
+            target: QualityTarget::at_least(0.85),
+            has_accepted_metric: true,
+            paper: facts!("98.97% (accuracy)", Some(5.73), Some(8), Some(214.73), Some(3.43)),
+            factory: |seed| Box::new(FaceEmbedding::new(seed)),
+            spec: catalog::face_embedding,
+        },
+        Benchmark {
+            id: BenchmarkId::FaceRecognition3d,
+            task: "3D Face Recognition",
+            algorithm: "RGB-D ResNet-50",
+            dataset: "Intellifusion RGB-D -> synthetic 4-channel identities",
+            metric: "accuracy",
+            target: QualityTarget::at_least(0.45),
+            has_accepted_metric: true,
+            paper: facts!("94.64% (accuracy)", Some(38.46), Some(4), Some(36.99), Some(12.02)),
+            factory: |seed| Box::new(Face3dRecognition::new(seed)),
+            spec: catalog::face_recognition_3d,
+        },
+        Benchmark {
+            id: BenchmarkId::ObjectDetection,
+            task: "Object detection",
+            algorithm: "Faster R-CNN",
+            dataset: "VOC2007 -> synthetic textured-box scenes",
+            metric: "mAP@0.5",
+            target: QualityTarget::at_least(0.30),
+            has_accepted_metric: true,
+            paper: facts!("75% (mAP)", Some(0.0), Some(10), Some(1627.39), Some(2.52)),
+            factory: |seed| Box::new(ObjectDetection::new(seed, DetectionConfig::aibench())),
+            spec: catalog::object_detection,
+        },
+        Benchmark {
+            id: BenchmarkId::Recommendation,
+            task: "Recommendation",
+            algorithm: "Neural collaborative filtering",
+            dataset: "MovieLens -> synthetic latent-factor feedback",
+            metric: "HR@10",
+            target: QualityTarget::at_least(0.68),
+            has_accepted_metric: true,
+            paper: facts!("63.5% (HR@10)", Some(9.95), Some(5), Some(36.72), Some(0.16)),
+            factory: |seed| Box::new(Recommendation::new(seed)),
+            spec: catalog::recommendation,
+        },
+        Benchmark {
+            id: BenchmarkId::VideoPrediction,
+            task: "Video prediction",
+            algorithm: "Motion-focused predictive model",
+            dataset: "Robot pushing -> synthetic moving blobs",
+            metric: "MSE",
+            target: QualityTarget::at_most(0.033),
+            has_accepted_metric: true,
+            paper: facts!("72 (MSE)", Some(11.83), Some(4), Some(24.99), Some(2.11)),
+            factory: |seed| Box::new(VideoPrediction::new(seed)),
+            spec: catalog::video_prediction,
+        },
+        Benchmark {
+            id: BenchmarkId::ImageCompression,
+            task: "Image compression",
+            algorithm: "Recurrent neural network",
+            dataset: "ImageNet -> synthetic smooth images",
+            metric: "MS-SSIM",
+            target: QualityTarget::at_least(0.90),
+            has_accepted_metric: true,
+            paper: facts!("0.99 (MS-SSIM)", Some(22.49), Some(4), Some(763.44), Some(5.67)),
+            factory: |seed| Box::new(ImageCompression::new(seed)),
+            spec: catalog::image_compression,
+        },
+        Benchmark {
+            id: BenchmarkId::ObjectReconstruction3d,
+            task: "3D object reconstruction",
+            algorithm: "Convolutional encoder-decoder",
+            dataset: "ShapeNet -> synthetic primitive solids",
+            metric: "voxel IoU",
+            target: QualityTarget::at_least(0.45),
+            has_accepted_metric: true,
+            paper: facts!("45.83% (IU)", Some(16.07), Some(4), Some(28.41), Some(0.38)),
+            factory: |seed| Box::new(ObjectReconstruction3d::new(seed)),
+            spec: catalog::object_reconstruction_3d,
+        },
+        Benchmark {
+            id: BenchmarkId::TextSummarization,
+            task: "Text summarization",
+            algorithm: "Sequence-to-sequence model",
+            dataset: "Gigaword -> synthetic keyword documents",
+            metric: "Rouge-L",
+            target: QualityTarget::at_least(60.0),
+            has_accepted_metric: true,
+            paper: facts!("41 (Rouge-L)", Some(24.72), Some(5), Some(1923.33), Some(6.41)),
+            factory: |seed| Box::new(TextSummarization::new(seed)),
+            spec: catalog::text_summarization,
+        },
+        Benchmark {
+            id: BenchmarkId::SpatialTransformer,
+            task: "Spatial transformer",
+            algorithm: "Spatial transformer networks",
+            dataset: "MNIST -> synthetic distorted glyphs",
+            metric: "accuracy",
+            target: QualityTarget::at_least(0.90),
+            has_accepted_metric: true,
+            paper: facts!("99% (accuracy)", Some(7.29), Some(4), Some(6.38), Some(0.06)),
+            factory: |seed| Box::new(SpatialTransformer::new(seed)),
+            spec: catalog::spatial_transformer,
+        },
+        Benchmark {
+            id: BenchmarkId::LearningToRank,
+            task: "Learning to rank",
+            algorithm: "Ranking distillation",
+            dataset: "Gowalla -> synthetic latent-factor check-ins",
+            metric: "precision@5",
+            target: QualityTarget::at_least(0.25),
+            has_accepted_metric: true,
+            paper: facts!("14.58% (accuracy)", Some(1.90), Some(4), Some(74.16), Some(0.47)),
+            factory: |seed| Box::new(LearningToRank::new(seed)),
+            spec: catalog::learning_to_rank,
+        },
+        Benchmark {
+            id: BenchmarkId::NeuralArchitectureSearch,
+            task: "Neural architecture search",
+            algorithm: "Efficient neural architecture search",
+            dataset: "PTB -> synthetic order-2 Markov stream",
+            metric: "perplexity",
+            target: QualityTarget::at_most(7.0),
+            has_accepted_metric: true,
+            paper: facts!("100 (perplexity)", Some(6.15), Some(6), Some(932.79), Some(7.47)),
+            factory: |seed| Box::new(NeuralArchitectureSearch::new(seed)),
+            spec: catalog::neural_architecture_search,
+        },
+    ]
+}
+
+fn mlperf_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            id: BenchmarkId::MlperfImageClassification,
+            task: "Image classification",
+            algorithm: "ResNet50",
+            dataset: "ImageNet -> synthetic class prototypes",
+            metric: "accuracy",
+            target: QualityTarget::at_least(0.88),
+            has_accepted_metric: true,
+            paper: facts!("74.9% (accuracy)", None, None, None, Some(130.0)),
+            factory: |seed| Box::new(ImageClassification::new(seed)),
+            spec: catalog::image_classification,
+        },
+        Benchmark {
+            id: BenchmarkId::MlperfObjectDetectionHeavy,
+            task: "Object detection (heavy)",
+            algorithm: "Mask R-CNN",
+            dataset: "COCO -> synthetic textured-box scenes",
+            metric: "mAP@0.5",
+            target: QualityTarget::at_least(0.40),
+            has_accepted_metric: true,
+            paper: facts!("37.7 (BBOX)", None, None, None, Some(73.34)),
+            factory: |seed| Box::new(ObjectDetection::new(seed, DetectionConfig::mlperf_heavy())),
+            spec: catalog::mlperf_object_detection_heavy,
+        },
+        Benchmark {
+            id: BenchmarkId::MlperfObjectDetectionLight,
+            task: "Object detection (light)",
+            algorithm: "SSD-ResNet34",
+            dataset: "COCO -> synthetic textured-box scenes",
+            metric: "mAP@0.5",
+            target: QualityTarget::at_least(0.22),
+            has_accepted_metric: true,
+            paper: facts!("22.47 (mAP)", None, None, None, Some(23.7)),
+            factory: |seed| Box::new(ObjectDetection::new(seed, DetectionConfig::mlperf_light())),
+            spec: catalog::mlperf_object_detection_light,
+        },
+        Benchmark {
+            id: BenchmarkId::MlperfTranslationRecurrent,
+            task: "Translation (recurrent)",
+            algorithm: "GNMT",
+            dataset: "WMT En-De -> synthetic reverse-map language",
+            metric: "token accuracy",
+            target: QualityTarget::at_least(0.55),
+            has_accepted_metric: true,
+            paper: facts!("22.21 (BLEU)", None, None, None, Some(16.52)),
+            factory: |seed| Box::new(Translation::new(seed, TranslationArch::Recurrent)),
+            spec: catalog::mlperf_translation_recurrent,
+        },
+        Benchmark {
+            id: BenchmarkId::MlperfTranslationNonRecurrent,
+            task: "Translation (non-recurrent)",
+            algorithm: "Transformer",
+            dataset: "WMT En-De -> synthetic reverse-map language",
+            metric: "token accuracy",
+            target: QualityTarget::at_least(0.80),
+            has_accepted_metric: true,
+            paper: facts!("25.25 (BLEU)", None, None, None, Some(22.0)),
+            factory: |seed| Box::new(Translation::new(seed, TranslationArch::Transformer)),
+            spec: catalog::mlperf_translation_nonrecurrent,
+        },
+        Benchmark {
+            id: BenchmarkId::MlperfRecommendation,
+            task: "Recommendation",
+            algorithm: "Neural collaborative filtering",
+            dataset: "MovieLens -> synthetic latent-factor feedback",
+            metric: "HR@10",
+            target: QualityTarget::at_least(0.72),
+            has_accepted_metric: true,
+            paper: facts!("63.5% (HR@10)", None, None, None, Some(0.16)),
+            factory: |seed| Box::new(Recommendation::new(seed)),
+            spec: catalog::recommendation,
+        },
+        Benchmark {
+            id: BenchmarkId::MlperfReinforcementLearning,
+            task: "Reinforcement learning",
+            algorithm: "Minigo",
+            dataset: "Go self-play -> gridworld self-play",
+            metric: "success rate",
+            target: QualityTarget::at_least(0.995),
+            has_accepted_metric: true,
+            // The paper trained minigo for 96+ hours without reaching the
+            // 40% pro-move target (reached 34%).
+            paper: facts!("40% (pro move)", None, None, None, Some(96.0)),
+            factory: |seed| Box::new(ReinforcementLearning::new(seed)),
+            spec: catalog::mlperf_reinforcement_learning,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_sizes() {
+        assert_eq!(Registry::aibench().benchmarks().len(), 17);
+        assert_eq!(Registry::mlperf().benchmarks().len(), 7);
+        assert_eq!(Registry::all().benchmarks().len(), 24);
+    }
+
+    #[test]
+    fn lookup_by_code() {
+        let r = Registry::aibench();
+        assert_eq!(r.get("DC-AI-C9").unwrap().task, "Object detection");
+        assert!(r.get("DC-AI-C99").is_none());
+    }
+
+    #[test]
+    fn gan_benchmarks_lack_accepted_metrics() {
+        let r = Registry::aibench();
+        assert!(!r.by_id(BenchmarkId::ImageGeneration).unwrap().has_accepted_metric);
+        assert!(!r.by_id(BenchmarkId::ImageToImage).unwrap().has_accepted_metric);
+        let accepted = r.benchmarks().iter().filter(|b| b.has_accepted_metric).count();
+        assert_eq!(accepted, 15);
+    }
+
+    #[test]
+    fn factories_build_trainers() {
+        let r = Registry::aibench();
+        let t = r.get("DC-AI-C15").unwrap().build(1);
+        assert!(t.param_count() > 0);
+    }
+
+    #[test]
+    fn specs_match_benchmarks() {
+        let r = Registry::all();
+        for b in r.benchmarks() {
+            let spec = b.spec();
+            assert!(spec.layer_count() > 0, "{} has empty spec", b.id);
+        }
+    }
+
+    #[test]
+    fn paper_variation_matches_table5() {
+        let r = Registry::aibench();
+        assert_eq!(r.by_id(BenchmarkId::FaceRecognition3d).unwrap().paper.variation_pct, Some(38.46));
+        assert_eq!(r.by_id(BenchmarkId::ObjectDetection).unwrap().paper.variation_pct, Some(0.0));
+        assert_eq!(r.by_id(BenchmarkId::ImageGeneration).unwrap().paper.variation_pct, None);
+    }
+}

@@ -1,0 +1,121 @@
+//! The training runner: executes entire training sessions of the scaled
+//! benchmarks to their quality targets.
+
+use std::time::Instant;
+
+use crate::registry::Benchmark;
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunConfig {
+    /// Hard cap on epochs (an "entire training session" stops here even if
+    /// the target was not reached).
+    pub max_epochs: usize,
+    /// Evaluate every `eval_every` epochs (1 = every epoch).
+    pub eval_every: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { max_epochs: 60, eval_every: 1 }
+    }
+}
+
+/// The outcome of one training session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Benchmark code.
+    pub code: String,
+    /// Seed used.
+    pub seed: u64,
+    /// Epochs actually executed.
+    pub epochs_run: usize,
+    /// First epoch (1-based) at which the quality target was met, if ever.
+    pub epochs_to_target: Option<usize>,
+    /// Quality after each evaluation, `(epoch, quality)`.
+    pub quality_trace: Vec<(usize, f64)>,
+    /// Mean training loss per epoch.
+    pub loss_trace: Vec<f32>,
+    /// Final quality.
+    pub final_quality: f64,
+    /// Wall-clock seconds spent training (scaled benchmark, this machine).
+    pub wall_seconds: f64,
+}
+
+impl RunResult {
+    /// Whether the session converged to the target.
+    pub fn converged(&self) -> bool {
+        self.epochs_to_target.is_some()
+    }
+}
+
+/// Runs an entire training session of `benchmark` with the given seed:
+/// trains epoch by epoch, evaluating the quality metric, until the target
+/// is met or `config.max_epochs` is exhausted.
+pub fn run_to_quality(benchmark: &Benchmark, seed: u64, config: &RunConfig) -> RunResult {
+    let start = Instant::now();
+    let mut trainer = benchmark.build(seed);
+    let mut quality_trace = Vec::new();
+    let mut loss_trace = Vec::new();
+    let mut epochs_to_target = None;
+    let mut final_quality = f64::NAN;
+    let mut epochs_run = 0;
+    for epoch in 1..=config.max_epochs {
+        loss_trace.push(trainer.train_epoch());
+        epochs_run = epoch;
+        if epoch % config.eval_every.max(1) == 0 || epoch == config.max_epochs {
+            let q = trainer.evaluate();
+            quality_trace.push((epoch, q));
+            final_quality = q;
+            if benchmark.target.met_by(q) {
+                epochs_to_target = Some(epoch);
+                break;
+            }
+        }
+    }
+    RunResult {
+        code: benchmark.id.code().to_string(),
+        seed,
+        epochs_run,
+        epochs_to_target,
+        quality_trace,
+        loss_trace,
+        final_quality,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn session_stops_at_cap() {
+        let r = Registry::aibench();
+        let b = r.get("DC-AI-C15").unwrap();
+        let res = run_to_quality(b, 1, &RunConfig { max_epochs: 2, eval_every: 1 });
+        assert_eq!(res.epochs_run, 2);
+        assert_eq!(res.quality_trace.len(), 2);
+        assert_eq!(res.loss_trace.len(), 2);
+    }
+
+    #[test]
+    fn converging_session_reports_epoch() {
+        // Spatial transformer converges quickly; give it room.
+        let r = Registry::aibench();
+        let b = r.get("DC-AI-C15").unwrap();
+        let res = run_to_quality(b, 2, &RunConfig { max_epochs: 40, eval_every: 1 });
+        assert!(res.converged(), "did not converge: final {:.3}", res.final_quality);
+        assert_eq!(res.epochs_to_target, Some(res.epochs_run));
+        assert!(b.target.met_by(res.final_quality));
+    }
+
+    #[test]
+    fn eval_every_thins_the_trace() {
+        let r = Registry::aibench();
+        let b = r.get("DC-AI-C15").unwrap();
+        let res = run_to_quality(b, 1, &RunConfig { max_epochs: 4, eval_every: 2 });
+        assert!(res.quality_trace.len() <= 2);
+    }
+}

@@ -1,0 +1,151 @@
+//! The minimum-subset selector (Section 5.4): keep benchmarking affordable
+//! by choosing the smallest set of component benchmarks that is
+//! repeatable, properly measurable, and preserves the suite's diversity.
+//!
+//! The paper's criteria, in order:
+//! 1. a widely accepted quality metric (excludes the GAN tasks);
+//! 2. low run-to-run variation (the paper uses < 2%);
+//! 3. diversity of model complexity, computational cost, and convergence
+//!    rate — the chosen benchmarks must land in different clusters of the
+//!    workload-characterization space.
+//!
+//! Applied to the measured suite, the selector recovers the paper's
+//! subset: Image Classification (DC-AI-C1), Object Detection (DC-AI-C9),
+//! and Learning-to-Rank (DC-AI-C16).
+
+use aibench_analysis::kmeans;
+
+/// Inputs to subset selection for one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubsetCandidate {
+    /// Benchmark code.
+    pub code: String,
+    /// Whether the task has a widely accepted metric.
+    pub has_accepted_metric: bool,
+    /// Measured run-to-run variation in percent (`None` = not measurable).
+    pub variation_pct: Option<f64>,
+    /// Workload-characterization feature vector (micro-architectural
+    /// metrics and/or model characteristics).
+    pub features: Vec<f64>,
+}
+
+/// The selection outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubsetSelection {
+    /// Chosen benchmark codes, ordered by variation (most repeatable
+    /// first).
+    pub chosen: Vec<String>,
+    /// Cluster assignment of every candidate, aligned with the input
+    /// order.
+    pub clusters: Vec<usize>,
+}
+
+/// Selects a `k`-benchmark subset per the paper's criteria.
+///
+/// Candidate features are clustered as given — pass pre-normalized (and,
+/// if desired, weighted) vectors such as those from
+/// `aibench::characterize::combined_features`.
+///
+/// # Panics
+///
+/// Panics if fewer than `k` candidates pass the metric/variation filters.
+pub fn select_subset(candidates: &[SubsetCandidate], k: usize, seed: u64) -> SubsetSelection {
+    let features: Vec<Vec<f64>> = candidates.iter().map(|c| c.features.clone()).collect();
+    let clusters = kmeans(&features, k, seed);
+
+    // Eligible: accepted metric + measurable variation, sorted ascending.
+    let mut eligible: Vec<(usize, f64)> = candidates
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| {
+            if c.has_accepted_metric {
+                c.variation_pct.map(|v| (i, v))
+            } else {
+                None
+            }
+        })
+        .collect();
+    eligible.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    assert!(eligible.len() >= k, "only {} eligible candidates for a subset of {k}", eligible.len());
+
+    // Greedy: walk candidates from most repeatable, taking one per
+    // cluster, so the subset maximizes diversity at minimum variation.
+    let mut chosen = Vec::with_capacity(k);
+    let mut covered = vec![false; k];
+    for &(i, _) in &eligible {
+        let cl = clusters[i];
+        if !covered[cl] {
+            covered[cl] = true;
+            chosen.push(candidates[i].code.clone());
+            if chosen.len() == k {
+                break;
+            }
+        }
+    }
+    // If some cluster had no eligible member, fill with the next most
+    // repeatable candidates regardless of cluster.
+    for &(i, _) in &eligible {
+        if chosen.len() == k {
+            break;
+        }
+        if !chosen.contains(&candidates[i].code) {
+            chosen.push(candidates[i].code.clone());
+        }
+    }
+    SubsetSelection { chosen, clusters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidate(code: &str, var: Option<f64>, accepted: bool, f: [f64; 2]) -> SubsetCandidate {
+        SubsetCandidate {
+            code: code.into(),
+            has_accepted_metric: accepted,
+            variation_pct: var,
+            features: f.to_vec(),
+        }
+    }
+
+    #[test]
+    fn picks_most_repeatable_per_cluster() {
+        let candidates = vec![
+            // Cluster A (near origin).
+            candidate("a-good", Some(1.0), true, [0.0, 0.0]),
+            candidate("a-bad", Some(20.0), true, [0.1, 0.0]),
+            // Cluster B.
+            candidate("b-good", Some(2.0), true, [10.0, 0.0]),
+            candidate("b-bad", Some(30.0), true, [10.1, 0.0]),
+            // Cluster C.
+            candidate("c-good", Some(1.5), true, [0.0, 10.0]),
+        ];
+        let sel = select_subset(&candidates, 3, 1);
+        let mut chosen = sel.chosen.clone();
+        chosen.sort();
+        assert_eq!(chosen, vec!["a-good", "b-good", "c-good"]);
+    }
+
+    #[test]
+    fn excludes_gan_style_candidates() {
+        let candidates = vec![
+            candidate("gan", None, false, [0.0, 0.0]),
+            candidate("x", Some(1.0), true, [0.05, 0.0]),
+            candidate("y", Some(1.0), true, [10.0, 0.0]),
+            candidate("z", Some(1.0), true, [0.0, 10.0]),
+        ];
+        let sel = select_subset(&candidates, 3, 2);
+        assert!(!sel.chosen.contains(&"gan".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "eligible candidates")]
+    fn too_few_eligible_panics() {
+        let candidates = vec![
+            candidate("only", Some(1.0), true, [0.0, 0.0]),
+            candidate("gan", None, false, [1.0, 0.0]),
+            candidate("gan2", None, false, [0.0, 1.0]),
+        ];
+        let _ = select_subset(&candidates, 3, 3);
+    }
+}

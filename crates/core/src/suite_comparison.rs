@@ -1,0 +1,158 @@
+//! Static suite-comparison data behind Table 1: which AI benchmark suites
+//! cover which component tasks, datasets, and software stacks.
+
+/// Coverage facts for one benchmark suite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuiteInfo {
+    /// Suite name.
+    pub name: &'static str,
+    /// Component tasks with training coverage.
+    pub train_tasks: &'static [&'static str],
+    /// Whether the suite defines an affordable subset.
+    pub has_subset: bool,
+    /// Real-world dataset counts: (text, image, 3D, audio, video).
+    pub datasets: (u8, u8, u8, u8, u8),
+    /// Software stacks provided.
+    pub software_stacks: u8,
+}
+
+impl SuiteInfo {
+    /// Number of training component benchmarks.
+    pub fn train_count(&self) -> usize {
+        self.train_tasks.len()
+    }
+
+    /// Total real-world datasets.
+    pub fn dataset_count(&self) -> u8 {
+        let (t, i, d3, a, v) = self.datasets;
+        t + i + d3 + a + v
+    }
+}
+
+const AIBENCH_TASKS: &[&str] = &[
+    "Image classification",
+    "Image generation",
+    "Text-to-Text translation",
+    "Image-to-Text",
+    "Image-to-Image",
+    "Speech recognition",
+    "Face embedding",
+    "3D Face Recognition",
+    "Object detection",
+    "Recommendation",
+    "Video prediction",
+    "Image compression",
+    "3D object reconstruction",
+    "Text summarization",
+    "Spatial transformer",
+    "Learning to rank",
+    "Neural architecture search",
+];
+
+/// The suite-comparison rows of Table 1.
+pub fn suites() -> Vec<SuiteInfo> {
+    vec![
+        SuiteInfo {
+            name: "AIBench",
+            train_tasks: AIBENCH_TASKS,
+            has_subset: true,
+            datasets: (3, 8, 2, 1, 1),
+            software_stacks: 3,
+        },
+        SuiteInfo {
+            name: "MLPerf",
+            train_tasks: &[
+                "Image classification",
+                "Object detection",
+                "Text-to-Text translation",
+                "Recommendation",
+                "Games",
+            ],
+            has_subset: false,
+            datasets: (1, 2, 0, 0, 0),
+            software_stacks: 2,
+        },
+        SuiteInfo {
+            name: "Fathom",
+            train_tasks: &[
+                "Image classification",
+                "Text-to-Text translation",
+                "Speech recognition",
+                "Image compression",
+                "Games",
+                "Memory network",
+            ],
+            has_subset: false,
+            datasets: (2, 2, 0, 1, 1),
+            software_stacks: 1,
+        },
+        SuiteInfo {
+            name: "DeepBench",
+            train_tasks: &[],
+            has_subset: false,
+            datasets: (0, 0, 0, 0, 0),
+            software_stacks: 1,
+        },
+        SuiteInfo {
+            name: "DNNMark",
+            train_tasks: &[],
+            has_subset: false,
+            datasets: (0, 0, 0, 0, 0),
+            software_stacks: 1,
+        },
+        SuiteInfo {
+            name: "DAWNBench",
+            train_tasks: &["Image classification", "Question answering"],
+            has_subset: false,
+            datasets: (1, 2, 0, 0, 0),
+            software_stacks: 2,
+        },
+        SuiteInfo {
+            name: "TBD",
+            train_tasks: &[
+                "Image classification",
+                "Image generation",
+                "Text-to-Text translation",
+                "Speech recognition",
+                "Object detection",
+                "Recommendation",
+                "Games",
+            ],
+            has_subset: false,
+            datasets: (1, 4, 0, 1, 0),
+            software_stacks: 4,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aibench_has_most_component_benchmarks_and_only_subset() {
+        let all = suites();
+        let aibench = &all[0];
+        assert_eq!(aibench.train_count(), 17);
+        assert!(aibench.has_subset);
+        for other in &all[1..] {
+            assert!(other.train_count() < aibench.train_count(), "{}", other.name);
+            assert!(!other.has_subset, "{}", other.name);
+        }
+    }
+
+    #[test]
+    fn micro_benchmark_suites_have_no_component_tasks() {
+        let all = suites();
+        let deepbench = all.iter().find(|s| s.name == "DeepBench").unwrap();
+        assert_eq!(deepbench.train_count(), 0);
+        assert_eq!(deepbench.dataset_count(), 0);
+    }
+
+    #[test]
+    fn dataset_counts_match_table1() {
+        let aibench = &suites()[0];
+        assert_eq!(aibench.dataset_count(), 15);
+        assert_eq!(aibench.software_stacks, 3);
+    }
+}

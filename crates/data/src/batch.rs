@@ -1,0 +1,57 @@
+//! Mini-batch index iteration.
+
+use aibench_tensor::Rng;
+
+/// Yields shuffled index mini-batches over `0..len`, dropping no remainder
+/// (the final batch may be short).
+///
+/// # Example
+///
+/// ```
+/// use aibench_data::batch::batches;
+/// use aibench_tensor::Rng;
+///
+/// let mut rng = Rng::seed_from(1);
+/// let bs: Vec<Vec<usize>> = batches(10, 4, &mut rng);
+/// assert_eq!(bs.len(), 3);
+/// assert_eq!(bs.iter().map(Vec::len).sum::<usize>(), 10);
+/// ```
+pub fn batches(len: usize, batch_size: usize, rng: &mut Rng) -> Vec<Vec<usize>> {
+    assert!(batch_size > 0, "batch_size must be positive");
+    let perm = rng.permutation(len);
+    perm.chunks(batch_size).map(|c| c.to_vec()).collect()
+}
+
+/// Yields sequential (unshuffled) index mini-batches over `0..len`.
+pub fn sequential_batches(len: usize, batch_size: usize) -> Vec<Vec<usize>> {
+    assert!(batch_size > 0, "batch_size must be positive");
+    (0..len).collect::<Vec<_>>().chunks(batch_size).map(|c| c.to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_indices_once() {
+        let mut rng = Rng::seed_from(2);
+        let bs = batches(23, 5, &mut rng);
+        let mut all: Vec<usize> = bs.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_differs_between_epochs() {
+        let mut rng = Rng::seed_from(3);
+        let a = batches(50, 50, &mut rng);
+        let b = batches(50, 50, &mut rng);
+        assert_ne!(a[0], b[0]);
+    }
+
+    #[test]
+    fn sequential_is_ordered() {
+        let bs = sequential_batches(7, 3);
+        assert_eq!(bs, vec![vec![0, 1, 2], vec![3, 4, 5], vec![6]]);
+    }
+}

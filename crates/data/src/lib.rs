@@ -1,0 +1,30 @@
+//! Synthetic datasets and quality metrics for the AIBench component
+//! benchmarks.
+//!
+//! The paper's benchmarks train on ImageNet, VOC2007, Gowalla, LibriSpeech,
+//! and a dozen other real datasets that are unavailable in this environment,
+//! so each task gets a *synthetic equivalent*: a deterministic, seeded
+//! generator producing data with a genuine learnable signal in the same
+//! modality (images with class structure, detection boxes, token sequences
+//! with a translation rule, spectrogram-like frames, implicit-feedback
+//! interactions, voxel shapes, …). DESIGN.md documents each substitution.
+//!
+//! The [`metrics`] module implements the paper's quality measures: WER,
+//! Rouge-L, mAP, HR@K, precision@K, (MS-)SSIM, voxel IoU, and perplexity.
+//!
+//! # Example
+//!
+//! ```
+//! use aibench_data::synth::ImageClassDataset;
+//!
+//! let ds = ImageClassDataset::new(8, 1, 12, 200, 7);
+//! let (x, y) = ds.train_batch(&(0..16).collect::<Vec<_>>());
+//! assert_eq!(x.shape(), &[16, 1, 12, 12]);
+//! assert_eq!(y.len(), 16);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod batch;
+pub mod metrics;
+pub mod synth;

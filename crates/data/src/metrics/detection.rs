@@ -1,0 +1,196 @@
+//! Object-detection metrics: IoU and PASCAL-VOC-style mean average
+//! precision (the Faster R-CNN quality metric, target 75% mAP on VOC2007).
+
+/// An axis-aligned bounding box in pixel coordinates, `(x1, y1)` inclusive
+/// top-left and `(x2, y2)` exclusive bottom-right.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    /// Left edge.
+    pub x1: f32,
+    /// Top edge.
+    pub y1: f32,
+    /// Right edge.
+    pub x2: f32,
+    /// Bottom edge.
+    pub y2: f32,
+}
+
+impl BoundingBox {
+    /// Creates a box; coordinates are normalized so `x1 <= x2`, `y1 <= y2`.
+    pub fn new(x1: f32, y1: f32, x2: f32, y2: f32) -> Self {
+        BoundingBox { x1: x1.min(x2), y1: y1.min(y2), x2: x1.max(x2), y2: y1.max(y2) }
+    }
+
+    /// Box area.
+    pub fn area(&self) -> f32 {
+        (self.x2 - self.x1).max(0.0) * (self.y2 - self.y1).max(0.0)
+    }
+}
+
+/// Intersection-over-union of two boxes, in `[0, 1]`.
+pub fn box_iou(a: &BoundingBox, b: &BoundingBox) -> f32 {
+    let ix = (a.x2.min(b.x2) - a.x1.max(b.x1)).max(0.0);
+    let iy = (a.y2.min(b.y2) - a.y1.max(b.y1)).max(0.0);
+    let inter = ix * iy;
+    let union = a.area() + b.area() - inter;
+    if union <= 0.0 {
+        0.0
+    } else {
+        inter / union
+    }
+}
+
+/// A scored, classified detection attached to an image index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Index of the image this detection belongs to.
+    pub image: usize,
+    /// Predicted class.
+    pub class: usize,
+    /// Confidence score (higher ranks earlier).
+    pub score: f32,
+    /// Predicted box.
+    pub bbox: BoundingBox,
+}
+
+/// PASCAL-VOC-style mAP at the given IoU threshold (the paper uses 0.5).
+///
+/// `ground_truth[i]` holds `(class, box)` pairs for image `i`. Average
+/// precision per class uses the all-points interpolation; classes with no
+/// ground truth are skipped.
+pub fn mean_average_precision(
+    detections: &[Detection],
+    ground_truth: &[Vec<(usize, BoundingBox)>],
+    iou_threshold: f32,
+    num_classes: usize,
+) -> f64 {
+    let mut aps = Vec::new();
+    for class in 0..num_classes {
+        let total_gt: usize = ground_truth.iter().map(|g| g.iter().filter(|(c, _)| *c == class).count()).sum();
+        if total_gt == 0 {
+            continue;
+        }
+        let mut dets: Vec<&Detection> = detections.iter().filter(|d| d.class == class).collect();
+        dets.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        // Track which ground-truth boxes have been matched.
+        let mut matched: Vec<Vec<bool>> =
+            ground_truth.iter().map(|g| vec![false; g.len()]).collect();
+        let mut tp = vec![0u32; dets.len()];
+        for (di, det) in dets.iter().enumerate() {
+            let gts = &ground_truth[det.image];
+            let mut best_iou = 0.0;
+            let mut best_j = None;
+            for (j, (c, gbox)) in gts.iter().enumerate() {
+                if *c != class || matched[det.image][j] {
+                    continue;
+                }
+                let iou = box_iou(&det.bbox, gbox);
+                if iou > best_iou {
+                    best_iou = iou;
+                    best_j = Some(j);
+                }
+            }
+            if best_iou >= iou_threshold {
+                if let Some(j) = best_j {
+                    matched[det.image][j] = true;
+                    tp[di] = 1;
+                }
+            }
+        }
+        // Precision-recall sweep.
+        let mut cum_tp = 0u32;
+        let mut ap = 0.0f64;
+        let mut prev_recall = 0.0f64;
+        for (di, &t) in tp.iter().enumerate() {
+            cum_tp += t;
+            if t == 1 {
+                let recall = cum_tp as f64 / total_gt as f64;
+                let precision = cum_tp as f64 / (di + 1) as f64;
+                ap += (recall - prev_recall) * precision;
+                prev_recall = recall;
+            }
+        }
+        aps.push(ap);
+    }
+    if aps.is_empty() {
+        0.0
+    } else {
+        aps.iter().sum::<f64>() / aps.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iou_identical_is_one() {
+        let b = BoundingBox::new(0.0, 0.0, 4.0, 4.0);
+        assert!((box_iou(&b, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iou_disjoint_is_zero() {
+        let a = BoundingBox::new(0.0, 0.0, 2.0, 2.0);
+        let b = BoundingBox::new(3.0, 3.0, 5.0, 5.0);
+        assert_eq!(box_iou(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn iou_half_overlap() {
+        let a = BoundingBox::new(0.0, 0.0, 2.0, 2.0);
+        let b = BoundingBox::new(1.0, 0.0, 3.0, 2.0);
+        // intersection 2, union 6.
+        assert!((box_iou(&a, &b) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_detections_score_one() {
+        let gt = vec![vec![(0usize, BoundingBox::new(0.0, 0.0, 4.0, 4.0))]];
+        let dets = vec![Detection { image: 0, class: 0, score: 0.9, bbox: BoundingBox::new(0.0, 0.0, 4.0, 4.0) }];
+        let map = mean_average_precision(&dets, &gt, 0.5, 1);
+        assert!((map - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missed_boxes_lower_map() {
+        let gt = vec![vec![
+            (0usize, BoundingBox::new(0.0, 0.0, 4.0, 4.0)),
+            (0usize, BoundingBox::new(10.0, 10.0, 14.0, 14.0)),
+        ]];
+        let dets = vec![Detection { image: 0, class: 0, score: 0.9, bbox: BoundingBox::new(0.0, 0.0, 4.0, 4.0) }];
+        let map = mean_average_precision(&dets, &gt, 0.5, 1);
+        assert!((map - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn false_positive_before_true_positive_hurts() {
+        let gt = vec![vec![(0usize, BoundingBox::new(0.0, 0.0, 4.0, 4.0))]];
+        let dets = vec![
+            Detection { image: 0, class: 0, score: 0.95, bbox: BoundingBox::new(20.0, 20.0, 24.0, 24.0) },
+            Detection { image: 0, class: 0, score: 0.90, bbox: BoundingBox::new(0.0, 0.0, 4.0, 4.0) },
+        ];
+        let map = mean_average_precision(&dets, &gt, 0.5, 1);
+        assert!((map - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_detection_counts_once() {
+        let gt = vec![vec![(0usize, BoundingBox::new(0.0, 0.0, 4.0, 4.0))]];
+        let b = BoundingBox::new(0.0, 0.0, 4.0, 4.0);
+        let dets = vec![
+            Detection { image: 0, class: 0, score: 0.95, bbox: b },
+            Detection { image: 0, class: 0, score: 0.90, bbox: b },
+        ];
+        let map = mean_average_precision(&dets, &gt, 0.5, 1);
+        assert!((map - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classes_without_gt_are_skipped() {
+        let gt = vec![vec![(1usize, BoundingBox::new(0.0, 0.0, 4.0, 4.0))]];
+        let dets = vec![Detection { image: 0, class: 1, score: 0.9, bbox: BoundingBox::new(0.0, 0.0, 4.0, 4.0) }];
+        let map = mean_average_precision(&dets, &gt, 0.5, 5);
+        assert!((map - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,210 @@
+//! Image-quality metrics: SSIM, MS-SSIM, PSNR, per-pixel accuracy, and
+//! voxel IoU.
+
+use aibench_tensor::Tensor;
+
+const C1: f64 = 0.0001; // (0.01 * L)^2 with L = 1
+const C2: f64 = 0.0009; // (0.03 * L)^2
+
+fn window_stats(a: &[f32], b: &[f32]) -> (f64, f64, f64, f64, f64) {
+    let n = a.len() as f64;
+    let ma = a.iter().map(|&x| x as f64).sum::<f64>() / n;
+    let mb = b.iter().map(|&x| x as f64).sum::<f64>() / n;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    let mut cov = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        va += (x as f64 - ma) * (x as f64 - ma);
+        vb += (y as f64 - mb) * (y as f64 - mb);
+        cov += (x as f64 - ma) * (y as f64 - mb);
+    }
+    (ma, mb, va / n, vb / n, cov / n)
+}
+
+/// Structural similarity over non-overlapping 8×8 windows of two
+/// single-channel images in `[0, 1]` of shape `[h, w]` (smaller images fall
+/// back to a single whole-image window).
+///
+/// # Panics
+///
+/// Panics if shapes differ or the images are not 2-D.
+pub fn ssim(a: &Tensor, b: &Tensor) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "ssim: shape mismatch");
+    assert_eq!(a.ndim(), 2, "ssim: images must be [h, w]");
+    let (h, w) = (a.shape()[0], a.shape()[1]);
+    let win = 8.min(h).min(w);
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for y0 in (0..=h - win).step_by(win) {
+        for x0 in (0..=w - win).step_by(win) {
+            let mut wa = Vec::with_capacity(win * win);
+            let mut wb = Vec::with_capacity(win * win);
+            for y in y0..y0 + win {
+                for x in x0..x0 + win {
+                    wa.push(a.data()[y * w + x]);
+                    wb.push(b.data()[y * w + x]);
+                }
+            }
+            let (ma, mb, va, vb, cov) = window_stats(&wa, &wb);
+            let s = ((2.0 * ma * mb + C1) * (2.0 * cov + C2)) / ((ma * ma + mb * mb + C1) * (va + vb + C2));
+            total += s;
+            count += 1;
+        }
+    }
+    total / count.max(1) as f64
+}
+
+fn downsample2(x: &Tensor) -> Tensor {
+    let (h, w) = (x.shape()[0], x.shape()[1]);
+    let (ho, wo) = (h / 2, w / 2);
+    Tensor::from_fn(&[ho, wo], |i| {
+        let (y, xx) = (i / wo, i % wo);
+        0.25 * (x.data()[2 * y * w + 2 * xx]
+            + x.data()[2 * y * w + 2 * xx + 1]
+            + x.data()[(2 * y + 1) * w + 2 * xx]
+            + x.data()[(2 * y + 1) * w + 2 * xx + 1])
+    })
+}
+
+/// Multi-scale SSIM over `scales` dyadic scales (Wang et al. 2003), the
+/// Image Compression quality metric (target 0.99 MS-SSIM).
+///
+/// Weights follow the standard five-scale profile, renormalized to the
+/// number of scales that fit the image.
+///
+/// # Panics
+///
+/// Panics if shapes differ or `scales == 0`.
+pub fn ms_ssim(a: &Tensor, b: &Tensor, scales: usize) -> f64 {
+    assert!(scales > 0, "ms_ssim with zero scales");
+    const WEIGHTS: [f64; 5] = [0.0448, 0.2856, 0.3001, 0.2363, 0.1333];
+    let usable = scales.min(5);
+    let wsum: f64 = WEIGHTS[..usable].iter().sum();
+    let mut cur_a = a.clone();
+    let mut cur_b = b.clone();
+    let mut result = 1.0f64;
+    for s in 0..usable {
+        let sv = ssim(&cur_a, &cur_b).max(1e-6);
+        result *= sv.powf(WEIGHTS[s] / wsum);
+        if s + 1 < usable {
+            if cur_a.shape()[0] < 16 || cur_a.shape()[1] < 16 {
+                break;
+            }
+            cur_a = downsample2(&cur_a);
+            cur_b = downsample2(&cur_b);
+        }
+    }
+    result
+}
+
+/// Peak signal-to-noise ratio in dB for images in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn psnr(a: &Tensor, b: &Tensor) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "psnr: shape mismatch");
+    let mse = a.sub(b).sq_norm() as f64 / a.len() as f64;
+    if mse <= 0.0 {
+        f64::INFINITY
+    } else {
+        -10.0 * mse.log10()
+    }
+}
+
+/// Fraction of pixels whose binarized values (threshold 0.5) agree — the
+/// CycleGAN "per-pixel accuracy" metric.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn per_pixel_accuracy(pred: &Tensor, target: &Tensor) -> f64 {
+    assert_eq!(pred.shape(), target.shape(), "per_pixel_accuracy: shape mismatch");
+    let hits = pred
+        .data()
+        .iter()
+        .zip(target.data())
+        .filter(|(&p, &t)| (p > 0.5) == (t > 0.5))
+        .count();
+    hits as f64 / pred.len() as f64
+}
+
+/// Intersection-over-union of two occupancy grids thresholded at 0.5 — the
+/// 3D Object Reconstruction quality metric (target 45.83% average IU).
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn voxel_iou(pred: &Tensor, target: &Tensor) -> f64 {
+    assert_eq!(pred.shape(), target.shape(), "voxel_iou: shape mismatch");
+    let mut inter = 0usize;
+    let mut union = 0usize;
+    for (&p, &t) in pred.data().iter().zip(target.data()) {
+        let (bp, bt) = (p > 0.5, t > 0.5);
+        if bp && bt {
+            inter += 1;
+        }
+        if bp || bt {
+            union += 1;
+        }
+    }
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aibench_tensor::Rng;
+
+    #[test]
+    fn ssim_identical_is_one() {
+        let mut rng = Rng::seed_from(1);
+        let a = Tensor::rand_uniform(&[16, 16], 0.0, 1.0, &mut rng);
+        assert!((ssim(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ssim_decreases_with_noise() {
+        let mut rng = Rng::seed_from(2);
+        let a = Tensor::rand_uniform(&[16, 16], 0.0, 1.0, &mut rng);
+        let slight = a.add(&Tensor::from_fn(&[16, 16], |_| rng.normal_with(0.0, 0.02)));
+        let heavy = a.add(&Tensor::from_fn(&[16, 16], |_| rng.normal_with(0.0, 0.4)));
+        assert!(ssim(&a, &slight) > ssim(&a, &heavy));
+    }
+
+    #[test]
+    fn ms_ssim_identical_is_one() {
+        let mut rng = Rng::seed_from(3);
+        let a = Tensor::rand_uniform(&[32, 32], 0.0, 1.0, &mut rng);
+        assert!((ms_ssim(&a, &a, 3) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn psnr_infinite_for_identical() {
+        let a = Tensor::ones(&[4, 4]);
+        assert!(psnr(&a, &a).is_infinite());
+        let b = a.add_scalar(0.1);
+        assert!((psnr(&a, &b) - 20.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn per_pixel_accuracy_counts() {
+        let a = Tensor::from_vec(vec![0.9, 0.1, 0.8, 0.2], &[2, 2]);
+        let b = Tensor::from_vec(vec![0.7, 0.6, 0.9, 0.1], &[2, 2]);
+        assert_eq!(per_pixel_accuracy(&a, &b), 0.75);
+    }
+
+    #[test]
+    fn voxel_iou_cases() {
+        let a = Tensor::from_vec(vec![1.0, 1.0, 0.0, 0.0], &[4]);
+        let b = Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0], &[4]);
+        assert!((voxel_iou(&a, &b) - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(voxel_iou(&a, &a), 1.0);
+        let empty = Tensor::zeros(&[4]);
+        assert_eq!(voxel_iou(&empty, &empty), 1.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Quality metrics used by the seventeen benchmarks: accuracy-style
+//! measures, sequence metrics (WER, Rouge-L, perplexity), detection mAP,
+//! ranking metrics (HR@K, precision@K), and image-quality metrics
+//! ((MS-)SSIM, voxel IoU).
+
+mod detection;
+mod image;
+mod ranking;
+mod sequence;
+
+pub use detection::{box_iou, mean_average_precision, BoundingBox, Detection};
+pub use image::{ms_ssim, per_pixel_accuracy, psnr, ssim, voxel_iou};
+pub use ranking::{hit_rate_at_k, ndcg_at_k, precision_at_k};
+pub use sequence::{edit_distance, perplexity, rouge_l, word_error_rate};
+
+/// Fraction of predictions equal to their label.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the slices are empty.
+pub fn accuracy(pred: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(pred.len(), labels.len(), "accuracy: length mismatch");
+    assert!(!pred.is_empty(), "accuracy of empty slice");
+    let hits = pred.iter().zip(labels).filter(|(a, b)| a == b).count();
+    hits as f64 / pred.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::accuracy;
+
+    #[test]
+    fn accuracy_counts_hits() {
+        assert_eq!(accuracy(&[1, 2, 3, 4], &[1, 0, 3, 0]), 0.5);
+        assert_eq!(accuracy(&[7], &[7]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_mismatch_panics() {
+        accuracy(&[1], &[1, 2]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Ranking and recommendation metrics: HR@K, precision@K, NDCG@K.
+
+/// Hit rate at K: fraction of queries whose single relevant item appears in
+/// the top-K ranked list. The NCF quality metric (target 63.5% HR@10 on
+/// MovieLens).
+///
+/// `rankings[i]` is the ranked item list for query `i`; `relevant[i]` is the
+/// held-out item.
+///
+/// # Panics
+///
+/// Panics if lengths differ or there are no queries.
+pub fn hit_rate_at_k(rankings: &[Vec<usize>], relevant: &[usize], k: usize) -> f64 {
+    assert_eq!(rankings.len(), relevant.len(), "HR@K: length mismatch");
+    assert!(!rankings.is_empty(), "HR@K of empty query set");
+    let hits = rankings
+        .iter()
+        .zip(relevant)
+        .filter(|(ranked, rel)| ranked.iter().take(k).any(|i| i == *rel))
+        .count();
+    hits as f64 / rankings.len() as f64
+}
+
+/// Precision at K averaged over queries: the fraction of each top-K list
+/// that is relevant. The Learning-to-Rank quality metric (target 14.58%
+/// precision on Gowalla).
+///
+/// # Panics
+///
+/// Panics if lengths differ, there are no queries, or `k == 0`.
+pub fn precision_at_k(rankings: &[Vec<usize>], relevant: &[Vec<usize>], k: usize) -> f64 {
+    assert_eq!(rankings.len(), relevant.len(), "P@K: length mismatch");
+    assert!(!rankings.is_empty(), "P@K of empty query set");
+    assert!(k > 0, "P@K with k = 0");
+    let mut total = 0.0;
+    for (ranked, rel) in rankings.iter().zip(relevant) {
+        let hits = ranked.iter().take(k).filter(|i| rel.contains(i)).count();
+        total += hits as f64 / k as f64;
+    }
+    total / rankings.len() as f64
+}
+
+/// Normalized discounted cumulative gain at K with binary relevance.
+///
+/// # Panics
+///
+/// Panics if lengths differ or there are no queries.
+pub fn ndcg_at_k(rankings: &[Vec<usize>], relevant: &[Vec<usize>], k: usize) -> f64 {
+    assert_eq!(rankings.len(), relevant.len(), "NDCG@K: length mismatch");
+    assert!(!rankings.is_empty(), "NDCG@K of empty query set");
+    let mut total = 0.0;
+    for (ranked, rel) in rankings.iter().zip(relevant) {
+        if rel.is_empty() {
+            continue;
+        }
+        let dcg: f64 = ranked
+            .iter()
+            .take(k)
+            .enumerate()
+            .filter(|(_, i)| rel.contains(i))
+            .map(|(pos, _)| 1.0 / ((pos + 2) as f64).log2())
+            .sum();
+        let ideal: f64 = (0..rel.len().min(k)).map(|pos| 1.0 / ((pos + 2) as f64).log2()).sum();
+        total += dcg / ideal;
+    }
+    total / rankings.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hr_hits_and_misses() {
+        let rankings = vec![vec![3, 1, 2], vec![5, 6, 7]];
+        let relevant = vec![1, 9];
+        assert_eq!(hit_rate_at_k(&rankings, &relevant, 2), 0.5);
+        assert_eq!(hit_rate_at_k(&rankings, &relevant, 1), 0.0);
+    }
+
+    #[test]
+    fn precision_counts_fraction() {
+        let rankings = vec![vec![1, 2, 3, 4]];
+        let relevant = vec![vec![2, 4, 9]];
+        assert_eq!(precision_at_k(&rankings, &relevant, 4), 0.5);
+        assert_eq!(precision_at_k(&rankings, &relevant, 2), 0.5);
+    }
+
+    #[test]
+    fn ndcg_perfect_order_is_one() {
+        let rankings = vec![vec![1, 2, 3]];
+        let relevant = vec![vec![1, 2]];
+        assert!((ndcg_at_k(&rankings, &relevant, 3) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ndcg_penalizes_late_hits() {
+        let early = ndcg_at_k(&[vec![1, 9, 8]], &[vec![1]], 3);
+        let late = ndcg_at_k(&[vec![9, 8, 1]], &[vec![1]], 3);
+        assert!(early > late);
+    }
+}

@@ -1,0 +1,142 @@
+//! Sequence metrics: edit distance, word error rate, Rouge-L, perplexity.
+
+/// Levenshtein edit distance between two token sequences.
+pub fn edit_distance<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut cur = vec![0usize; m + 1];
+    for i in 1..=n {
+        cur[0] = i;
+        for j in 1..=m {
+            let sub = prev[j - 1] + usize::from(a[i - 1] != b[j - 1]);
+            cur[j] = sub.min(prev[j] + 1).min(cur[j - 1] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// Word error rate over a corpus: total edit distance divided by total
+/// reference length. The DeepSpeech2 quality metric (lower is better).
+///
+/// # Panics
+///
+/// Panics if the corpora have different lengths or the references are all
+/// empty.
+pub fn word_error_rate<T: PartialEq>(references: &[Vec<T>], hypotheses: &[Vec<T>]) -> f64 {
+    assert_eq!(references.len(), hypotheses.len(), "WER: corpus length mismatch");
+    let total_ref: usize = references.iter().map(Vec::len).sum();
+    assert!(total_ref > 0, "WER: empty reference corpus");
+    let total_edits: usize = references.iter().zip(hypotheses).map(|(r, h)| edit_distance(r, h)).sum();
+    total_edits as f64 / total_ref as f64
+}
+
+fn lcs_len<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    let m = b.len();
+    let mut prev = vec![0usize; m + 1];
+    let mut cur = vec![0usize; m + 1];
+    for ai in a {
+        for j in 1..=m {
+            cur[j] = if *ai == b[j - 1] { prev[j - 1] + 1 } else { prev[j].max(cur[j - 1]) };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur.iter_mut().for_each(|v| *v = 0);
+    }
+    prev[m]
+}
+
+/// Rouge-L F-measure (β = 1.2, the convention of the summarization
+/// literature), averaged over the corpus and scaled to `[0, 100]` as the
+/// paper reports it (target: 41 on Gigaword).
+///
+/// # Panics
+///
+/// Panics if corpus lengths differ.
+pub fn rouge_l<T: PartialEq>(references: &[Vec<T>], hypotheses: &[Vec<T>]) -> f64 {
+    assert_eq!(references.len(), hypotheses.len(), "Rouge-L: corpus length mismatch");
+    let beta2 = 1.2f64 * 1.2;
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (r, h) in references.iter().zip(hypotheses) {
+        if r.is_empty() || h.is_empty() {
+            count += 1;
+            continue;
+        }
+        let l = lcs_len(r, h) as f64;
+        let rec = l / r.len() as f64;
+        let prec = l / h.len() as f64;
+        if rec + prec > 0.0 {
+            total += (1.0 + beta2) * rec * prec / (rec + beta2 * prec);
+        }
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        100.0 * total / count as f64
+    }
+}
+
+/// Perplexity from a mean negative log-likelihood (nats per token):
+/// `exp(nll)`. The Image-to-Text and NAS quality metric (lower is better).
+pub fn perplexity(mean_nll: f64) -> f64 {
+    mean_nll.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_known_cases() {
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 2, 3]), 0);
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 3]), 1);
+        assert_eq!(edit_distance::<u8>(&[], &[1, 2]), 2);
+        assert_eq!(edit_distance(b"kitten", b"sitting"), 3);
+    }
+
+    #[test]
+    fn wer_perfect_is_zero() {
+        let refs = vec![vec![1, 2, 3], vec![4, 5]];
+        assert_eq!(word_error_rate(&refs, &refs), 0.0);
+    }
+
+    #[test]
+    fn wer_counts_substitutions() {
+        let refs = vec![vec![1, 2, 3, 4]];
+        let hyps = vec![vec![1, 9, 3, 4]];
+        assert_eq!(word_error_rate(&refs, &hyps), 0.25);
+    }
+
+    #[test]
+    fn rouge_l_perfect_is_100() {
+        let refs = vec![vec![1, 2, 3]];
+        let r = rouge_l(&refs, &refs);
+        assert!((r - 100.0).abs() < 1e-9, "{r}");
+    }
+
+    #[test]
+    fn rouge_l_disjoint_is_zero() {
+        let refs = vec![vec![1, 2, 3]];
+        let hyps = vec![vec![7, 8, 9]];
+        assert_eq!(rouge_l(&refs, &hyps), 0.0);
+    }
+
+    #[test]
+    fn rouge_l_partial_between() {
+        let refs = vec![vec![1, 2, 3, 4]];
+        let hyps = vec![vec![1, 2]];
+        let r = rouge_l(&refs, &hyps);
+        assert!(r > 0.0 && r < 100.0, "{r}");
+    }
+
+    #[test]
+    fn perplexity_of_uniform() {
+        // nll = ln(V) over a vocabulary of V gives perplexity V.
+        let v = 50.0f64;
+        assert!((perplexity(v.ln()) - v).abs() < 1e-9);
+    }
+}

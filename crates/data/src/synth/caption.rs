@@ -1,0 +1,149 @@
+//! Synthetic image-captioning data (MSCOCO stand-in for DC-AI-C4).
+
+use aibench_tensor::{Rng, Tensor};
+
+use super::seq::{BOS, EOS};
+
+const SPECIALS: usize = 3;
+const TEST_SALT: u64 = 0x5eed_0000_0004;
+
+/// Scenes containing one to three shape "objects"; the caption names the
+/// shapes present in canonical (left-to-right) order. A CNN encoder + RNN
+/// decoder must learn to read the scene to emit the caption.
+#[derive(Debug, Clone)]
+pub struct CaptionDataset {
+    shapes: usize,
+    size: usize,
+    len: usize,
+    seed: u64,
+}
+
+impl CaptionDataset {
+    /// Creates `len` scenes of `size`² with `shapes` distinct object kinds.
+    pub fn new(shapes: usize, size: usize, len: usize, seed: u64) -> Self {
+        assert!(size >= 12 && shapes >= 2, "degenerate caption task");
+        CaptionDataset { shapes, size, len, seed }
+    }
+
+    /// Number of scenes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the dataset is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Token vocabulary: specials plus one token per shape kind.
+    pub fn vocab_size(&self) -> usize {
+        SPECIALS + self.shapes
+    }
+
+    /// Caption width including BOS/EOS (up to 3 shapes).
+    pub fn caption_width(&self) -> usize {
+        5
+    }
+
+    /// Scene edge length.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The `index`-th `(image, caption)` pair. The caption is
+    /// `BOS, shape tokens.., EOS` padded with PAD(0) to
+    /// [`CaptionDataset::caption_width`].
+    pub fn pair(&self, index: usize, test: bool) -> (Tensor, Vec<usize>) {
+        let salt = if test { TEST_SALT } else { 0 };
+        let mut rng = Rng::seed_from(self.seed ^ salt ^ (index as u64).wrapping_mul(0xCAB1));
+        let s = self.size;
+        let mut image = Tensor::from_fn(&[1, s, s], |_| rng.normal_with(0.0, 0.1));
+        let count = 1 + rng.below(3);
+        let third = s / 3;
+        // One object per horizontal third; caption reads left to right.
+        let mut slots = rng.permutation(3);
+        slots.truncate(count);
+        slots.sort_unstable();
+        let mut caption = vec![BOS];
+        for slot in slots {
+            let kind = rng.below(self.shapes);
+            let cx = slot * third + third / 2;
+            let cy = s / 2 + rng.below(third.max(1)) - third / 2;
+            self.draw_shape(&mut image, kind, cx, cy);
+            caption.push(SPECIALS + kind);
+        }
+        caption.push(EOS);
+        caption.resize(self.caption_width(), 0);
+        (image, caption)
+    }
+
+    fn draw_shape(&self, image: &mut Tensor, kind: usize, cx: usize, cy: usize) {
+        let s = self.size;
+        let r = 2 + kind % 2;
+        let intensity = 0.8 + 0.5 * (kind as f32 / self.shapes as f32);
+        for dy in 0..=2 * r {
+            for dx in 0..=2 * r {
+                let y = (cy + dy).saturating_sub(r).min(s - 1);
+                let x = (cx + dx).saturating_sub(r).min(s - 1);
+                let (fy, fx) = (dy as i32 - r as i32, dx as i32 - r as i32);
+                let inside = match kind % 3 {
+                    0 => fy.abs() + fx.abs() <= r as i32,           // diamond
+                    1 => fy * fy + fx * fx <= (r * r) as i32,       // disc
+                    _ => fy.abs() <= (r / 2).max(1) as i32,         // bar
+                };
+                if inside {
+                    image.data_mut()[y * s + x] = intensity;
+                }
+            }
+        }
+    }
+
+    /// Stacks a batch of pairs: `([n, 1, s, s], captions)`.
+    pub fn batch(&self, indices: &[usize], test: bool) -> (Tensor, Vec<Vec<usize>>) {
+        let s = self.size;
+        let per = s * s;
+        let mut x = Tensor::zeros(&[indices.len(), 1, s, s]);
+        let mut caps = Vec::with_capacity(indices.len());
+        for (bi, &i) in indices.iter().enumerate() {
+            let (img, cap) = self.pair(i, test);
+            x.data_mut()[bi * per..(bi + 1) * per].copy_from_slice(img.data());
+            caps.push(cap);
+        }
+        (x, caps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captions_are_framed_and_padded() {
+        let ds = CaptionDataset::new(4, 16, 100, 1);
+        for i in 0..20 {
+            let (img, cap) = ds.pair(i, false);
+            assert_eq!(img.shape(), &[1, 16, 16]);
+            assert_eq!(cap.len(), 5);
+            assert_eq!(cap[0], BOS);
+            assert!(cap.contains(&EOS));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = CaptionDataset::new(4, 16, 100, 2);
+        let (a, ca) = ds.pair(7, false);
+        let (b, cb) = ds.pair(7, false);
+        assert_eq!(a, b);
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn shapes_brighten_the_scene() {
+        let ds = CaptionDataset::new(4, 16, 100, 3);
+        let (img, cap) = ds.pair(0, false);
+        let objects = cap.iter().filter(|&&t| t >= SPECIALS).count();
+        assert!(objects >= 1);
+        assert!(img.max_val() > 0.7, "no bright object drawn");
+    }
+}

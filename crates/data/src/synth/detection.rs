@@ -1,0 +1,164 @@
+//! Synthetic object-detection data (VOC2007 stand-in for DC-AI-C9 and the
+//! MLPerf detection baselines).
+
+use aibench_tensor::{Rng, Tensor};
+
+use crate::metrics::BoundingBox;
+
+const TEST_SALT: u64 = 0x5eed_0000_0002;
+
+/// One annotated image: objects as `(class, box)` pairs.
+#[derive(Debug, Clone)]
+pub struct DetectionSample {
+    /// The image, `[channels, size, size]`.
+    pub image: Tensor,
+    /// Ground-truth objects.
+    pub objects: Vec<(usize, BoundingBox)>,
+}
+
+/// Synthetic detection scenes: a noisy background containing one or two
+/// rectangular objects whose interior carries a class-specific texture.
+/// A detector must localize the rectangle and identify the texture.
+#[derive(Debug, Clone)]
+pub struct DetectionDataset {
+    class_patterns: Vec<(f32, f32)>, // (intensity, stripe frequency)
+    channels: usize,
+    size: usize,
+    len: usize,
+    seed: u64,
+}
+
+impl DetectionDataset {
+    /// Creates `len` scenes of `size`² with `classes` object classes.
+    pub fn new(classes: usize, size: usize, len: usize, seed: u64) -> Self {
+        assert!(size >= 12, "detection scenes need size >= 12");
+        let class_patterns = (0..classes)
+            .map(|c| (0.6 + 0.9 * (c as f32 / classes.max(1) as f32), 0.8 + 1.2 * c as f32))
+            .collect();
+        DetectionDataset { class_patterns, channels: 1, size, len, seed }
+    }
+
+    /// Number of training scenes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the dataset is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of object classes.
+    pub fn classes(&self) -> usize {
+        self.class_patterns.len()
+    }
+
+    /// Scene edge length.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    fn generate(&self, index: usize, salt: u64) -> DetectionSample {
+        let mut rng = Rng::seed_from(self.seed ^ salt ^ (index as u64).wrapping_mul(0xD1CE_5EED));
+        let s = self.size;
+        let mut image = Tensor::from_fn(&[self.channels, s, s], |_| rng.normal_with(0.0, 0.15));
+        let count = 1 + usize::from(rng.bernoulli(0.4));
+        let mut objects = Vec::with_capacity(count);
+        for _ in 0..count {
+            let class = rng.below(self.class_patterns.len());
+            let (intensity, freq) = self.class_patterns[class];
+            let w = rng.below(s / 2 - 4) + 6;
+            let h = rng.below(s / 2 - 4) + 6;
+            let x1 = rng.below(s - w);
+            let y1 = rng.below(s - h);
+            for y in y1..y1 + h {
+                for x in x1..x1 + w {
+                    let stripe = ((x - x1) as f32 * freq).sin() * 0.3;
+                    image.data_mut()[y * s + x] = intensity + stripe + rng.normal_with(0.0, 0.05);
+                }
+            }
+            objects.push((class, BoundingBox::new(x1 as f32, y1 as f32, (x1 + w) as f32, (y1 + h) as f32)));
+        }
+        DetectionSample { image, objects }
+    }
+
+    /// Generates the `index`-th training scene.
+    pub fn train_sample(&self, index: usize) -> DetectionSample {
+        self.generate(index, 0)
+    }
+
+    /// Generates the `index`-th held-out scene.
+    pub fn test_sample(&self, index: usize) -> DetectionSample {
+        self.generate(index, TEST_SALT)
+    }
+
+    /// Stacks training scenes into a batch tensor plus per-scene objects.
+    pub fn train_batch(&self, indices: &[usize]) -> (Tensor, Vec<Vec<(usize, BoundingBox)>>) {
+        self.batch(indices, 0)
+    }
+
+    /// Stacks held-out scenes into a batch tensor plus per-scene objects.
+    pub fn test_batch(&self, indices: &[usize]) -> (Tensor, Vec<Vec<(usize, BoundingBox)>>) {
+        self.batch(indices, TEST_SALT)
+    }
+
+    fn batch(&self, indices: &[usize], salt: u64) -> (Tensor, Vec<Vec<(usize, BoundingBox)>>) {
+        let s = self.size;
+        let per = self.channels * s * s;
+        let mut x = Tensor::zeros(&[indices.len(), self.channels, s, s]);
+        let mut objs = Vec::with_capacity(indices.len());
+        for (bi, &i) in indices.iter().enumerate() {
+            let sample = self.generate(i, salt);
+            x.data_mut()[bi * per..(bi + 1) * per].copy_from_slice(sample.image.data());
+            objs.push(sample.objects);
+        }
+        (x, objs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenes_have_one_or_two_objects() {
+        let ds = DetectionDataset::new(3, 16, 100, 1);
+        for i in 0..50 {
+            let s = ds.train_sample(i);
+            assert!((1..=2).contains(&s.objects.len()));
+            for (c, b) in &s.objects {
+                assert!(*c < 3);
+                assert!(b.x2 <= 16.0 && b.y2 <= 16.0);
+                assert!(b.area() >= 16.0);
+            }
+        }
+    }
+
+    #[test]
+    fn object_region_brighter_than_background() {
+        let ds = DetectionDataset::new(3, 16, 100, 2);
+        let s = ds.train_sample(0);
+        let (_, b) = s.objects[0];
+        let img = &s.image;
+        let inside = img.at(&[0, (b.y1 as usize + b.y2 as usize) / 2, (b.x1 as usize + b.x2 as usize) / 2]);
+        assert!(inside > 0.3, "inside {inside}");
+    }
+
+    #[test]
+    fn deterministic_and_split() {
+        let ds = DetectionDataset::new(3, 16, 100, 3);
+        let a = ds.train_sample(5);
+        let b = ds.train_sample(5);
+        assert_eq!(a.image, b.image);
+        let t = ds.test_sample(5);
+        assert!(a.image.max_abs_diff(&t.image) > 1e-3);
+    }
+
+    #[test]
+    fn batch_shapes() {
+        let ds = DetectionDataset::new(2, 16, 10, 4);
+        let (x, objs) = ds.train_batch(&[0, 1, 2]);
+        assert_eq!(x.shape(), &[3, 1, 16, 16]);
+        assert_eq!(objs.len(), 3);
+    }
+}

@@ -1,0 +1,127 @@
+//! Paired image-domain translation data (Cityscapes stand-in, DC-AI-C5).
+
+use aibench_tensor::{Rng, Tensor};
+
+const TEST_SALT: u64 = 0x5eed_0000_0008;
+
+/// Paired domains: domain A shows the *outline* of a random blob scene,
+/// domain B shows the same scene *filled* (a segmentation-like rendering).
+/// A translator must learn the outline→fill mapping; per-pixel accuracy on
+/// the fill is the quality metric, mirroring the paper's Cityscapes
+/// photo→label evaluation.
+#[derive(Debug, Clone)]
+pub struct Image2ImageDataset {
+    size: usize,
+    len: usize,
+    seed: u64,
+}
+
+impl Image2ImageDataset {
+    /// Creates `len` paired scenes of `size`².
+    pub fn new(size: usize, len: usize, seed: u64) -> Self {
+        assert!(size >= 12, "scenes need size >= 12");
+        Image2ImageDataset { size, len, seed }
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the dataset is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Scene edge length.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The `index`-th pair `(domain A outline, domain B fill)`, each
+    /// `[1, s, s]` with values in `[0, 1]`.
+    pub fn pair(&self, index: usize, test: bool) -> (Tensor, Tensor) {
+        let salt = if test { TEST_SALT } else { 0 };
+        let mut rng = Rng::seed_from(self.seed ^ salt ^ (index as u64).wrapping_mul(0xc1c1));
+        let s = self.size;
+        let mut fill = Tensor::zeros(&[1, s, s]);
+        // One or two rectangular blobs.
+        for _ in 0..1 + usize::from(rng.bernoulli(0.5)) {
+            let w = 4 + rng.below(s / 2 - 3);
+            let h = 4 + rng.below(s / 2 - 3);
+            let x1 = rng.below(s - w);
+            let y1 = rng.below(s - h);
+            for y in y1..y1 + h {
+                for x in x1..x1 + w {
+                    fill.data_mut()[y * s + x] = 1.0;
+                }
+            }
+        }
+        // Outline: boundary pixels of the filled region.
+        let mut outline = Tensor::zeros(&[1, s, s]);
+        for y in 0..s {
+            for x in 0..s {
+                if fill.data()[y * s + x] > 0.5 {
+                    let edge = y == 0
+                        || x == 0
+                        || y == s - 1
+                        || x == s - 1
+                        || fill.data()[(y - 1) * s + x] < 0.5
+                        || fill.data()[(y + 1) * s + x] < 0.5
+                        || fill.data()[y * s + x - 1] < 0.5
+                        || fill.data()[y * s + x + 1] < 0.5;
+                    if edge {
+                        outline.data_mut()[y * s + x] = 1.0;
+                    }
+                }
+            }
+        }
+        // Light sensor noise on the A domain.
+        let noisy = outline.zip(&Tensor::from_fn(outline.shape(), |_| rng.normal_with(0.0, 0.05)), |o, n| {
+            (o + n).clamp(0.0, 1.0)
+        });
+        (noisy, fill)
+    }
+
+    /// Stacks pairs: `([n, 1, s, s], [n, 1, s, s])`.
+    pub fn batch(&self, indices: &[usize], test: bool) -> (Tensor, Tensor) {
+        let per = self.size * self.size;
+        let mut a = Tensor::zeros(&[indices.len(), 1, self.size, self.size]);
+        let mut b = Tensor::zeros(&[indices.len(), 1, self.size, self.size]);
+        for (bi, &i) in indices.iter().enumerate() {
+            let (ai, bi_img) = self.pair(i, test);
+            a.data_mut()[bi * per..(bi + 1) * per].copy_from_slice(ai.data());
+            b.data_mut()[bi * per..(bi + 1) * per].copy_from_slice(bi_img.data());
+        }
+        (a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outline_is_subset_of_fill_boundary() {
+        let ds = Image2ImageDataset::new(16, 50, 1);
+        let (a, b) = ds.pair(0, false);
+        // Fill has strictly more bright pixels than the outline.
+        let bright = |t: &aibench_tensor::Tensor| t.data().iter().filter(|&&v| v > 0.5).count();
+        assert!(bright(&b) > bright(&a));
+        assert!(b.sum() >= 16.0);
+    }
+
+    #[test]
+    fn values_in_unit_range() {
+        let ds = Image2ImageDataset::new(16, 50, 2);
+        let (a, b) = ds.pair(3, false);
+        assert!(a.min_val() >= 0.0 && a.max_val() <= 1.0);
+        assert!(b.min_val() >= 0.0 && b.max_val() <= 1.0);
+    }
+
+    #[test]
+    fn deterministic_pairs() {
+        let ds = Image2ImageDataset::new(16, 50, 3);
+        assert_eq!(ds.pair(5, false).1, ds.pair(5, false).1);
+    }
+}

@@ -1,0 +1,422 @@
+//! Image datasets: classification prototypes, spatial-transformer digits,
+//! and face-identity sets (RGB and RGB-D).
+
+use aibench_tensor::{Rng, Tensor};
+
+const TEST_SALT: u64 = 0x5eed_0000_0001;
+
+/// Synthetic stand-in for ImageNet-style classification (DC-AI-C1, and the
+/// Image Compression input distribution of DC-AI-C12).
+///
+/// Each class owns a random smooth prototype image; a sample is its class
+/// prototype blended with per-sample noise, so a CNN must learn the class
+/// templates to separate them.
+#[derive(Debug, Clone)]
+pub struct ImageClassDataset {
+    prototypes: Vec<Tensor>,
+    channels: usize,
+    size: usize,
+    len: usize,
+    noise: f32,
+    seed: u64,
+}
+
+impl ImageClassDataset {
+    /// Creates a dataset of `len` training samples over `classes` classes
+    /// of `channels`×`size`×`size` images.
+    pub fn new(classes: usize, channels: usize, size: usize, len: usize, seed: u64) -> Self {
+        Self::with_noise(classes, channels, size, len, seed, 0.6)
+    }
+
+    /// Like [`ImageClassDataset::new`] with an explicit noise level —
+    /// higher noise makes the task harder and convergence more variable.
+    pub fn with_noise(classes: usize, channels: usize, size: usize, len: usize, seed: u64, noise: f32) -> Self {
+        assert!(classes > 0 && size > 0 && len > 0, "degenerate dataset");
+        let mut rng = Rng::seed_from(seed);
+        let prototypes = (0..classes)
+            .map(|_| smooth_image(channels, size, &mut rng))
+            .collect();
+        ImageClassDataset { prototypes, channels, size, len, noise, seed }
+    }
+
+    /// Number of training samples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the dataset is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.prototypes.len()
+    }
+
+    /// Image shape `[channels, size, size]`.
+    pub fn image_shape(&self) -> [usize; 3] {
+        [self.channels, self.size, self.size]
+    }
+
+    fn sample(&self, index: usize, salt: u64) -> (Tensor, usize) {
+        let class = index % self.prototypes.len();
+        let mut rng = Rng::seed_from(self.seed ^ salt ^ (index as u64).wrapping_mul(0x9E37_79B9));
+        let proto = &self.prototypes[class];
+        let img = proto.map(|v| v) // clone via map keeps shape
+            .zip(&Tensor::from_fn(proto.shape(), |_| rng.normal()), |p, n| p + self.noise * n);
+        (img, class)
+    }
+
+    /// Builds a training batch `([n, c, s, s], labels)` for the given
+    /// indices.
+    pub fn train_batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        self.batch(indices, 0)
+    }
+
+    /// Builds a held-out test batch (disjoint noise realizations).
+    pub fn test_batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        self.batch(indices, TEST_SALT)
+    }
+
+    fn batch(&self, indices: &[usize], salt: u64) -> (Tensor, Vec<usize>) {
+        let n = indices.len();
+        let per = self.channels * self.size * self.size;
+        let mut x = Tensor::zeros(&[n, self.channels, self.size, self.size]);
+        let mut y = Vec::with_capacity(n);
+        for (bi, &i) in indices.iter().enumerate() {
+            let (img, class) = self.sample(i, salt);
+            x.data_mut()[bi * per..(bi + 1) * per].copy_from_slice(img.data());
+            y.push(class);
+        }
+        (x, y)
+    }
+}
+
+/// A smooth random image: sum of a few random 2-D cosine modes per channel.
+fn smooth_image(channels: usize, size: usize, rng: &mut Rng) -> Tensor {
+    let mut img = Tensor::zeros(&[channels, size, size]);
+    for c in 0..channels {
+        for _ in 0..4 {
+            let fx = rng.uniform_in(0.5, 3.0);
+            let fy = rng.uniform_in(0.5, 3.0);
+            let px = rng.uniform_in(0.0, std::f32::consts::TAU);
+            let py = rng.uniform_in(0.0, std::f32::consts::TAU);
+            let amp = rng.uniform_in(0.3, 1.0);
+            for y in 0..size {
+                for x in 0..size {
+                    let v = amp
+                        * (fx * x as f32 / size as f32 * std::f32::consts::TAU + px).cos()
+                        * (fy * y as f32 / size as f32 * std::f32::consts::TAU + py).cos();
+                    img.data_mut()[(c * size + y) * size + x] += v;
+                }
+            }
+        }
+    }
+    img.scale(0.5)
+}
+
+/// Synthetic MNIST stand-in with random affine distortion, for the Spatial
+/// Transformer benchmark (DC-AI-C15): classification only succeeds once the
+/// network can undo the rotation/translation/scale jitter.
+#[derive(Debug, Clone)]
+pub struct StnDataset {
+    base: ImageClassDataset,
+    max_rotate: f32,
+    max_shift: f32,
+}
+
+impl StnDataset {
+    /// Creates distorted-digit data over `classes` glyphs of `size`².
+    pub fn new(classes: usize, size: usize, len: usize, seed: u64) -> Self {
+        StnDataset {
+            base: ImageClassDataset::with_noise(classes, 1, size, len, seed, 0.25),
+            max_rotate: 0.4,
+            max_shift: 0.2,
+        }
+    }
+
+    /// Number of training samples.
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Whether the dataset is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.base.classes()
+    }
+
+    /// Image size (square, single channel).
+    pub fn size(&self) -> usize {
+        self.base.size
+    }
+
+    fn distort(&self, img: &Tensor, rng: &mut Rng) -> Tensor {
+        let size = self.base.size;
+        let angle = rng.uniform_in(-self.max_rotate, self.max_rotate);
+        let (sx, sy) = (
+            rng.uniform_in(-self.max_shift, self.max_shift),
+            rng.uniform_in(-self.max_shift, self.max_shift),
+        );
+        let (ca, sa) = (angle.cos(), angle.sin());
+        // Inverse-map each output pixel through the affine transform and
+        // sample bilinearly.
+        let mut out = Tensor::zeros(img.shape());
+        let half = (size as f32 - 1.0) / 2.0;
+        for y in 0..size {
+            for x in 0..size {
+                let nx = (x as f32 - half) / half;
+                let ny = (y as f32 - half) / half;
+                let ux = ca * nx - sa * ny + sx;
+                let uy = sa * nx + ca * ny + sy;
+                let px = (ux + 1.0) * half;
+                let py = (uy + 1.0) * half;
+                let x0 = px.floor() as isize;
+                let y0 = py.floor() as isize;
+                let fx = px - x0 as f32;
+                let fy = py - y0 as f32;
+                let mut acc = 0.0;
+                for (dy, dx, wgt) in [
+                    (0, 0, (1.0 - fx) * (1.0 - fy)),
+                    (0, 1, fx * (1.0 - fy)),
+                    (1, 0, (1.0 - fx) * fy),
+                    (1, 1, fx * fy),
+                ] {
+                    let (yy, xx) = (y0 + dy, x0 + dx);
+                    if yy >= 0 && yy < size as isize && xx >= 0 && xx < size as isize {
+                        acc += wgt * img.data()[yy as usize * size + xx as usize];
+                    }
+                }
+                out.data_mut()[y * size + x] = acc;
+            }
+        }
+        out
+    }
+
+    fn batch(&self, indices: &[usize], salt: u64) -> (Tensor, Vec<usize>) {
+        let size = self.base.size;
+        let per = size * size;
+        let mut x = Tensor::zeros(&[indices.len(), 1, size, size]);
+        let mut labels = Vec::with_capacity(indices.len());
+        for (bi, &i) in indices.iter().enumerate() {
+            let (img, class) = self.base.sample(i, salt);
+            let mut rng = Rng::seed_from(self.base.seed ^ salt ^ (i as u64).wrapping_mul(0xA5A5_1234));
+            let distorted = self.distort(&img, &mut rng);
+            x.data_mut()[bi * per..(bi + 1) * per].copy_from_slice(distorted.data());
+            labels.push(class);
+        }
+        (x, labels)
+    }
+
+    /// Builds a training batch of distorted digits.
+    pub fn train_batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        self.batch(indices, 0)
+    }
+
+    /// Builds a held-out test batch.
+    pub fn test_batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        self.batch(indices, TEST_SALT)
+    }
+}
+
+/// Face-identity data for Face Embedding (DC-AI-C7): each identity is a
+/// prototype image; samples add pose-like smooth perturbations. Supplies
+/// triplets for training and same/different pairs for verification
+/// accuracy.
+#[derive(Debug, Clone)]
+pub struct FaceDataset {
+    base: ImageClassDataset,
+}
+
+impl FaceDataset {
+    /// Creates `identities` identities of `size`² grayscale faces.
+    pub fn new(identities: usize, size: usize, len: usize, seed: u64) -> Self {
+        FaceDataset { base: ImageClassDataset::with_noise(identities, 1, size, len, seed, 0.35) }
+    }
+
+    /// Number of identities.
+    pub fn identities(&self) -> usize {
+        self.base.classes()
+    }
+
+    /// Image size.
+    pub fn size(&self) -> usize {
+        self.base.size
+    }
+
+    /// Builds a triplet batch `(anchor, positive, negative)`, each
+    /// `[n, 1, s, s]`, keyed by a step counter for determinism.
+    pub fn triplet_batch(&self, n: usize, step: u64) -> (Tensor, Tensor, Tensor) {
+        let mut rng = Rng::seed_from(self.base.seed ^ 0xface ^ step);
+        let ids = self.identities();
+        let size = self.base.size;
+        let per = size * size;
+        let mut a = Tensor::zeros(&[n, 1, size, size]);
+        let mut p = Tensor::zeros(&[n, 1, size, size]);
+        let mut ng = Tensor::zeros(&[n, 1, size, size]);
+        for bi in 0..n {
+            let id = rng.below(ids);
+            let mut neg_id = rng.below(ids);
+            while neg_id == id {
+                neg_id = rng.below(ids);
+            }
+            let (ai, _) = self.base.sample(id + ids * rng.below(64), 0);
+            let (pi, _) = self.base.sample(id + ids * rng.below(64), 1);
+            let (ni, _) = self.base.sample(neg_id + ids * rng.below(64), 2);
+            a.data_mut()[bi * per..(bi + 1) * per].copy_from_slice(ai.data());
+            p.data_mut()[bi * per..(bi + 1) * per].copy_from_slice(pi.data());
+            ng.data_mut()[bi * per..(bi + 1) * per].copy_from_slice(ni.data());
+        }
+        (a, p, ng)
+    }
+
+    /// Builds `n` verification pairs: `(left, right, same?)`.
+    pub fn verification_pairs(&self, n: usize) -> (Tensor, Tensor, Vec<bool>) {
+        let mut rng = Rng::seed_from(self.base.seed ^ 0xbeef);
+        let ids = self.identities();
+        let size = self.base.size;
+        let per = size * size;
+        let mut a = Tensor::zeros(&[n, 1, size, size]);
+        let mut b = Tensor::zeros(&[n, 1, size, size]);
+        let mut same = Vec::with_capacity(n);
+        for bi in 0..n {
+            let is_same = bi % 2 == 0;
+            let id = rng.below(ids);
+            let other = if is_same {
+                id
+            } else {
+                let mut o = rng.below(ids);
+                while o == id {
+                    o = rng.below(ids);
+                }
+                o
+            };
+            let (ai, _) = self.base.sample(id + ids * rng.below(64), TEST_SALT);
+            let (bi_img, _) = self.base.sample(other + ids * rng.below(64), TEST_SALT ^ 1);
+            a.data_mut()[bi * per..(bi + 1) * per].copy_from_slice(ai.data());
+            b.data_mut()[bi * per..(bi + 1) * per].copy_from_slice(bi_img.data());
+            same.push(is_same);
+        }
+        (a, b, same)
+    }
+}
+
+/// RGB-D face identification data for 3D Face Recognition (DC-AI-C8):
+/// four-channel images (color + depth) classified by identity. The noise
+/// level is deliberately high — the paper measures this benchmark's
+/// run-to-run variation at 38.46%, the largest of the suite.
+#[derive(Debug, Clone)]
+pub struct FaceDepthDataset {
+    base: ImageClassDataset,
+}
+
+impl FaceDepthDataset {
+    /// Creates `identities` identities of 4-channel `size`² images.
+    pub fn new(identities: usize, size: usize, len: usize, seed: u64) -> Self {
+        FaceDepthDataset { base: ImageClassDataset::with_noise(identities, 4, size, len, seed, 0.9) }
+    }
+
+    /// Number of training samples.
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Whether the dataset is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// Number of identities.
+    pub fn identities(&self) -> usize {
+        self.base.classes()
+    }
+
+    /// Image shape `[4, size, size]`.
+    pub fn image_shape(&self) -> [usize; 3] {
+        self.base.image_shape()
+    }
+
+    /// Builds a training batch.
+    pub fn train_batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        self.base.train_batch(indices)
+    }
+
+    /// Builds a held-out test batch.
+    pub fn test_batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        self.base.test_batch(indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_are_deterministic() {
+        let ds = ImageClassDataset::new(4, 1, 8, 100, 9);
+        let (a, la) = ds.train_batch(&[0, 1, 2]);
+        let (b, lb) = ds.train_batch(&[0, 1, 2]);
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn test_split_differs_from_train() {
+        let ds = ImageClassDataset::new(4, 1, 8, 100, 9);
+        let (a, _) = ds.train_batch(&[0]);
+        let (b, _) = ds.test_batch(&[0]);
+        assert!(a.max_abs_diff(&b) > 1e-3);
+    }
+
+    #[test]
+    fn same_class_closer_than_other_class() {
+        let ds = ImageClassDataset::new(4, 1, 12, 100, 11);
+        // Samples 0 and 4 share class 0; sample 1 is class 1.
+        let (x, y) = ds.train_batch(&[0, 4, 1]);
+        assert_eq!(y, vec![0, 0, 1]);
+        let per = 144;
+        let d01: f32 = (0..per).map(|i| (x.data()[i] - x.data()[per + i]).powi(2)).sum();
+        let d02: f32 = (0..per).map(|i| (x.data()[i] - x.data()[2 * per + i]).powi(2)).sum();
+        assert!(d01 < d02, "intra {d01} vs inter {d02}");
+    }
+
+    #[test]
+    fn stn_distortion_changes_image() {
+        let ds = StnDataset::new(4, 12, 50, 3);
+        let (x, y) = ds.train_batch(&[0, 8]);
+        assert_eq!(x.shape(), &[2, 1, 12, 12]);
+        assert_eq!(y, vec![0, 0]);
+        // Two distortions of the same class differ.
+        let per = 144;
+        let diff: f32 = (0..per).map(|i| (x.data()[i] - x.data()[per + i]).abs()).sum();
+        assert!(diff > 1.0);
+    }
+
+    #[test]
+    fn face_triplets_shapes() {
+        let ds = FaceDataset::new(6, 10, 100, 5);
+        let (a, p, n) = ds.triplet_batch(4, 0);
+        assert_eq!(a.shape(), &[4, 1, 10, 10]);
+        assert_eq!(p.shape(), a.shape());
+        assert_eq!(n.shape(), a.shape());
+    }
+
+    #[test]
+    fn verification_pairs_alternate() {
+        let ds = FaceDataset::new(6, 10, 100, 5);
+        let (_, _, same) = ds.verification_pairs(6);
+        assert_eq!(same, vec![true, false, true, false, true, false]);
+    }
+
+    #[test]
+    fn rgbd_has_four_channels() {
+        let ds = FaceDepthDataset::new(5, 8, 50, 2);
+        let (x, _) = ds.train_batch(&[0, 1]);
+        assert_eq!(x.shape(), &[2, 4, 8, 8]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Synthetic, seeded dataset generators — one per AIBench task modality.
+//!
+//! Each generator replaces a real dataset the paper uses (ImageNet,
+//! VOC2007, Gowalla, …) with a deterministic synthetic equivalent carrying a
+//! genuine learnable signal, so entire training sessions converge to
+//! non-trivial quality targets. Samples are derived from per-index seeds,
+//! so datasets cost O(prototypes) memory regardless of length.
+
+mod caption;
+mod detection;
+mod gan;
+mod image2image;
+mod images;
+mod ranking;
+mod seq;
+mod speech;
+mod video;
+mod voxel;
+
+pub use caption::CaptionDataset;
+pub use detection::{DetectionDataset, DetectionSample};
+pub use gan::GanDataset;
+pub use image2image::Image2ImageDataset;
+pub use images::{FaceDataset, FaceDepthDataset, ImageClassDataset, StnDataset};
+pub use ranking::{RankingDataset, RecommendationDataset};
+pub use seq::{CharLmDataset, SummarizationDataset, TranslationDataset, BOS, EOS, PAD};
+pub use speech::SpeechDataset;
+pub use video::VideoDataset;
+pub use voxel::VoxelDataset;

@@ -1,0 +1,221 @@
+//! Implicit-feedback datasets for Learning-to-Rank (Gowalla stand-in,
+//! DC-AI-C16) and Recommendation (MovieLens stand-in, DC-AI-C10).
+
+use aibench_tensor::{Rng, Tensor};
+
+/// Latent-factor implicit feedback: users and items have hidden
+/// `dim`-dimensional factors; a user "visits" the items with the highest
+/// affinity (dot product plus noise). Ranking models must recover the
+/// latent geometry from the observed interactions.
+#[derive(Debug, Clone)]
+pub struct RankingDataset {
+    user_factors: Vec<Vec<f32>>,
+    item_factors: Vec<Vec<f32>>,
+    train_positives: Vec<Vec<usize>>,
+    test_positives: Vec<Vec<usize>>,
+}
+
+impl RankingDataset {
+    /// Creates `users`×`items` interactions with `per_user` training
+    /// positives and `held_out` test positives per user.
+    pub fn new(users: usize, items: usize, dim: usize, per_user: usize, held_out: usize, seed: u64) -> Self {
+        assert!(per_user + held_out < items, "not enough items for the requested positives");
+        let mut rng = Rng::seed_from(seed);
+        let user_factors: Vec<Vec<f32>> =
+            (0..users).map(|_| (0..dim).map(|_| rng.normal()).collect()).collect();
+        let item_factors: Vec<Vec<f32>> =
+            (0..items).map(|_| (0..dim).map(|_| rng.normal()).collect()).collect();
+        let mut train_positives = Vec::with_capacity(users);
+        let mut test_positives = Vec::with_capacity(users);
+        for u in 0..users {
+            // Rank all items by noisy affinity; the top slots are positives.
+            let mut scored: Vec<(usize, f32)> = (0..items)
+                .map(|i| {
+                    let dot: f32 = user_factors[u].iter().zip(&item_factors[i]).map(|(a, b)| a * b).sum();
+                    (i, dot + rng.normal_with(0.0, 0.3))
+                })
+                .collect();
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            let top: Vec<usize> = scored.iter().take(per_user + held_out).map(|(i, _)| *i).collect();
+            test_positives.push(top[..held_out].to_vec());
+            train_positives.push(top[held_out..].to_vec());
+        }
+        RankingDataset { user_factors, item_factors, train_positives, test_positives }
+    }
+
+    /// Number of users.
+    pub fn users(&self) -> usize {
+        self.user_factors.len()
+    }
+
+    /// Number of items.
+    pub fn items(&self) -> usize {
+        self.item_factors.len()
+    }
+
+    /// Training positives for a user.
+    pub fn train_positives(&self, user: usize) -> &[usize] {
+        &self.train_positives[user]
+    }
+
+    /// Held-out positives for a user (evaluation relevance set).
+    pub fn test_positives(&self, user: usize) -> &[usize] {
+        &self.test_positives[user]
+    }
+
+    /// All `(user, positive item)` training pairs.
+    pub fn train_pairs(&self) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::new();
+        for (u, ps) in self.train_positives.iter().enumerate() {
+            for &i in ps {
+                pairs.push((u, i));
+            }
+        }
+        pairs
+    }
+
+    /// Samples a negative item for `user` (not in train or test positives).
+    pub fn sample_negative(&self, user: usize, rng: &mut Rng) -> usize {
+        loop {
+            let i = rng.below(self.items());
+            if !self.train_positives[user].contains(&i) && !self.test_positives[user].contains(&i) {
+                return i;
+            }
+        }
+    }
+}
+
+/// Leave-one-out recommendation data in the NCF evaluation protocol: each
+/// user holds out one positive; at test time it is ranked against 99
+/// sampled negatives and HR@10 is reported.
+#[derive(Debug, Clone)]
+pub struct RecommendationDataset {
+    inner: RankingDataset,
+    eval_candidates: Vec<Vec<usize>>, // per user: [held_out, 99 negatives]
+}
+
+impl RecommendationDataset {
+    /// Creates the dataset with `per_user` training positives per user.
+    pub fn new(users: usize, items: usize, dim: usize, per_user: usize, seed: u64) -> Self {
+        let inner = RankingDataset::new(users, items, dim, per_user, 1, seed);
+        let mut rng = Rng::seed_from(seed ^ 0xe7a1);
+        let neg_count = 99.min(items.saturating_sub(per_user + 2));
+        let eval_candidates = (0..users)
+            .map(|u| {
+                let mut c = vec![inner.test_positives(u)[0]];
+                while c.len() < 1 + neg_count {
+                    let i = inner.sample_negative(u, &mut rng);
+                    if !c.contains(&i) {
+                        c.push(i);
+                    }
+                }
+                c
+            })
+            .collect();
+        RecommendationDataset { inner, eval_candidates }
+    }
+
+    /// Number of users.
+    pub fn users(&self) -> usize {
+        self.inner.users()
+    }
+
+    /// Number of items.
+    pub fn items(&self) -> usize {
+        self.inner.items()
+    }
+
+    /// All `(user, item)` training pairs.
+    pub fn train_pairs(&self) -> Vec<(usize, usize)> {
+        self.inner.train_pairs()
+    }
+
+    /// Samples a training negative for `user`.
+    pub fn sample_negative(&self, user: usize, rng: &mut Rng) -> usize {
+        self.inner.sample_negative(user, rng)
+    }
+
+    /// The held-out positive item for `user`.
+    pub fn held_out(&self, user: usize) -> usize {
+        self.inner.test_positives(user)[0]
+    }
+
+    /// Evaluation candidates for `user`: the held-out item plus 99
+    /// negatives (element 0 is the relevant one).
+    pub fn eval_candidates(&self, user: usize) -> &[usize] {
+        &self.eval_candidates[user]
+    }
+}
+
+impl RankingDataset {
+    /// Ground-truth affinity matrix `[users, items]`, used by tests and as
+    /// the oracle signal behind the Ranking Distillation teacher.
+    pub fn affinity_matrix(&self) -> Tensor {
+        let (u, i) = (self.users(), self.items());
+        Tensor::from_fn(&[u, i], |idx| {
+            let (uu, ii) = (idx / i, idx % i);
+            self.user_factors[uu].iter().zip(&self.item_factors[ii]).map(|(a, b)| a * b).sum()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positives_disjoint_between_splits() {
+        let ds = RankingDataset::new(10, 50, 4, 5, 3, 1);
+        for u in 0..10 {
+            for p in ds.test_positives(u) {
+                assert!(!ds.train_positives(u).contains(p));
+            }
+        }
+    }
+
+    #[test]
+    fn positives_have_high_affinity() {
+        let ds = RankingDataset::new(20, 100, 4, 5, 2, 2);
+        let aff = ds.affinity_matrix();
+        let items = ds.items();
+        let mut pos_mean = 0.0;
+        let mut all_mean = 0.0;
+        for u in 0..20 {
+            for &p in ds.train_positives(u) {
+                pos_mean += aff.data()[u * items + p];
+            }
+            for i in 0..items {
+                all_mean += aff.data()[u * items + i];
+            }
+        }
+        pos_mean /= 20.0 * 5.0;
+        all_mean /= 20.0 * items as f32;
+        assert!(pos_mean > all_mean + 0.5, "positives {pos_mean} vs mean {all_mean}");
+    }
+
+    #[test]
+    fn negatives_are_never_positive() {
+        let ds = RankingDataset::new(5, 30, 4, 5, 2, 3);
+        let mut rng = Rng::seed_from(1);
+        for _ in 0..100 {
+            let n = ds.sample_negative(2, &mut rng);
+            assert!(!ds.train_positives(2).contains(&n));
+            assert!(!ds.test_positives(2).contains(&n));
+        }
+    }
+
+    #[test]
+    fn recommendation_candidates_include_held_out() {
+        let ds = RecommendationDataset::new(8, 60, 4, 5, 4);
+        for u in 0..8 {
+            let c = ds.eval_candidates(u);
+            assert_eq!(c[0], ds.held_out(u));
+            assert_eq!(c.len(), 100.min(c.len()));
+            // Candidates are distinct.
+            let mut s = c.to_vec();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), c.len());
+        }
+    }
+}

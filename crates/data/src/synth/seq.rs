@@ -1,0 +1,285 @@
+//! Token-sequence datasets: translation, summarization, and a character-
+//! level language-modeling stream for the NAS benchmark.
+
+use aibench_tensor::Rng;
+
+/// Padding token id (shared across all sequence datasets).
+pub const PAD: usize = 0;
+/// Beginning-of-sequence token id.
+pub const BOS: usize = 1;
+/// End-of-sequence token id.
+pub const EOS: usize = 2;
+
+const SPECIALS: usize = 3;
+const TEST_SALT: u64 = 0x5eed_0000_0003;
+
+/// Synthetic WMT stand-in (DC-AI-C3 and the MLPerf translation baselines):
+/// the "target language" applies a fixed vocabulary permutation to the
+/// source and reverses the word order — a rule a seq2seq model must learn
+/// end-to-end.
+#[derive(Debug, Clone)]
+pub struct TranslationDataset {
+    mapping: Vec<usize>,
+    vocab: usize,
+    max_len: usize,
+    len: usize,
+    seed: u64,
+}
+
+impl TranslationDataset {
+    /// Creates `len` sentence pairs over a content vocabulary of `vocab`
+    /// tokens (plus PAD/BOS/EOS), with source lengths in `[3, max_len]`.
+    pub fn new(vocab: usize, max_len: usize, len: usize, seed: u64) -> Self {
+        assert!(max_len >= 3 && vocab >= 4, "degenerate translation task");
+        let mut rng = Rng::seed_from(seed);
+        let perm = rng.permutation(vocab);
+        let mapping = perm.iter().map(|&p| p + SPECIALS).collect();
+        TranslationDataset { mapping, vocab, max_len, len, seed }
+    }
+
+    /// Number of sentence pairs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the dataset is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total vocabulary size including the special tokens.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab + SPECIALS
+    }
+
+    /// Maximum source length (target adds BOS/EOS).
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// The `index`-th pair: `(source, target)`, where
+    /// `target = BOS, rev(map(source)), EOS`, both padded to fixed widths
+    /// (`max_len` and `max_len + 2`).
+    pub fn pair(&self, index: usize, test: bool) -> (Vec<usize>, Vec<usize>) {
+        let salt = if test { TEST_SALT } else { 0 };
+        let mut rng = Rng::seed_from(self.seed ^ salt ^ (index as u64).wrapping_mul(0x7ab1));
+        let n = 3 + rng.below(self.max_len - 2);
+        let src: Vec<usize> = (0..n).map(|_| SPECIALS + rng.below(self.vocab)).collect();
+        let mut tgt = Vec::with_capacity(n + 2);
+        tgt.push(BOS);
+        for &s in src.iter().rev() {
+            tgt.push(self.mapping[s - SPECIALS]);
+        }
+        tgt.push(EOS);
+        let mut src_p = src;
+        src_p.resize(self.max_len, PAD);
+        tgt.resize(self.max_len + 2, PAD);
+        (src_p, tgt)
+    }
+
+    /// Applies the ground-truth translation rule (for metric computation).
+    pub fn translate(&self, src: &[usize]) -> Vec<usize> {
+        src.iter().rev().filter(|&&t| t >= SPECIALS).map(|&t| self.mapping[t - SPECIALS]).collect()
+    }
+}
+
+/// Synthetic Gigaword stand-in (DC-AI-C14): documents are filler tokens
+/// with a few salient "keyword" tokens scattered through; the reference
+/// summary is the keywords in order of appearance.
+#[derive(Debug, Clone)]
+pub struct SummarizationDataset {
+    keyword_vocab: usize,
+    filler_vocab: usize,
+    doc_len: usize,
+    summary_len: usize,
+    len: usize,
+    seed: u64,
+}
+
+impl SummarizationDataset {
+    /// Creates `len` documents of `doc_len` tokens with `summary_len`
+    /// keywords each.
+    pub fn new(keyword_vocab: usize, filler_vocab: usize, doc_len: usize, summary_len: usize, len: usize, seed: u64) -> Self {
+        assert!(summary_len < doc_len, "summary longer than document");
+        SummarizationDataset { keyword_vocab, filler_vocab, doc_len, summary_len, len, seed }
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the dataset is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total vocabulary size: specials + keywords + filler.
+    pub fn vocab_size(&self) -> usize {
+        SPECIALS + self.keyword_vocab + self.filler_vocab
+    }
+
+    /// Document length in tokens.
+    pub fn doc_len(&self) -> usize {
+        self.doc_len
+    }
+
+    /// Summary length including BOS/EOS.
+    pub fn summary_width(&self) -> usize {
+        self.summary_len + 2
+    }
+
+    /// True if `token` is a keyword token.
+    pub fn is_keyword(&self, token: usize) -> bool {
+        (SPECIALS..SPECIALS + self.keyword_vocab).contains(&token)
+    }
+
+    /// The `index`-th `(document, summary)` pair; the summary is
+    /// `BOS, keywords.., EOS`.
+    pub fn pair(&self, index: usize, test: bool) -> (Vec<usize>, Vec<usize>) {
+        let salt = if test { TEST_SALT } else { 0 };
+        let mut rng = Rng::seed_from(self.seed ^ salt ^ (index as u64).wrapping_mul(0x50aa));
+        let mut doc: Vec<usize> = (0..self.doc_len)
+            .map(|_| SPECIALS + self.keyword_vocab + rng.below(self.filler_vocab))
+            .collect();
+        // Place keywords at distinct positions.
+        let positions = {
+            let mut p = rng.permutation(self.doc_len);
+            p.truncate(self.summary_len);
+            p.sort_unstable();
+            p
+        };
+        let mut summary = Vec::with_capacity(self.summary_len + 2);
+        summary.push(BOS);
+        for &pos in &positions {
+            let kw = SPECIALS + rng.below(self.keyword_vocab);
+            doc[pos] = kw;
+            summary.push(kw);
+        }
+        summary.push(EOS);
+        (doc, summary)
+    }
+}
+
+/// A deterministic order-2 Markov token stream standing in for PTB in the
+/// Neural Architecture Search benchmark (DC-AI-C17): each token depends on
+/// the previous two through a sparse transition table, so a recurrent child
+/// model can reach low perplexity while a memoryless one cannot.
+#[derive(Debug, Clone)]
+pub struct CharLmDataset {
+    vocab: usize,
+    table: Vec<[usize; 3]>, // allowed successors per (prev2 * vocab + prev1)
+    seq_len: usize,
+    len: usize,
+    seed: u64,
+}
+
+impl CharLmDataset {
+    /// Creates `len` sequences of `seq_len` tokens over `vocab` symbols.
+    pub fn new(vocab: usize, seq_len: usize, len: usize, seed: u64) -> Self {
+        assert!(vocab >= 4, "vocab too small for a Markov structure");
+        let mut rng = Rng::seed_from(seed);
+        let table = (0..vocab * vocab)
+            .map(|_| [rng.below(vocab), rng.below(vocab), rng.below(vocab)])
+            .collect();
+        CharLmDataset { vocab, table, seq_len, len, seed }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab
+    }
+
+    /// Sequence length.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the dataset is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `index`-th token sequence.
+    pub fn sequence(&self, index: usize, test: bool) -> Vec<usize> {
+        let salt = if test { TEST_SALT } else { 0 };
+        let mut rng = Rng::seed_from(self.seed ^ salt ^ (index as u64).wrapping_mul(0x1a2b));
+        let mut seq = Vec::with_capacity(self.seq_len);
+        seq.push(rng.below(self.vocab));
+        seq.push(rng.below(self.vocab));
+        for t in 2..self.seq_len {
+            let key = seq[t - 2] * self.vocab + seq[t - 1];
+            let choices = &self.table[key];
+            seq.push(choices[rng.below(3)]);
+        }
+        seq
+    }
+
+    /// The best achievable perplexity of the stream (three equiprobable
+    /// successors → 3, modulo collisions in the successor table).
+    pub fn entropy_floor(&self) -> f64 {
+        3.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translation_rule_is_reverse_map() {
+        let ds = TranslationDataset::new(10, 6, 100, 1);
+        let (src, tgt) = ds.pair(0, false);
+        let content: Vec<usize> = src.iter().copied().filter(|&t| t != PAD).collect();
+        let expect = ds.translate(&content);
+        assert_eq!(tgt[0], BOS);
+        let body: Vec<usize> = tgt[1..1 + expect.len()].to_vec();
+        assert_eq!(body, expect);
+        assert_eq!(tgt[1 + expect.len()], EOS);
+    }
+
+    #[test]
+    fn translation_padded_widths_fixed() {
+        let ds = TranslationDataset::new(10, 6, 100, 2);
+        for i in 0..20 {
+            let (src, tgt) = ds.pair(i, false);
+            assert_eq!(src.len(), 6);
+            assert_eq!(tgt.len(), 8);
+        }
+    }
+
+    #[test]
+    fn summarization_keywords_appear_in_doc_order() {
+        let ds = SummarizationDataset::new(8, 40, 20, 4, 100, 3);
+        let (doc, summary) = ds.pair(0, false);
+        assert_eq!(summary.len(), 6);
+        assert_eq!(summary[0], BOS);
+        assert_eq!(summary[5], EOS);
+        let doc_keywords: Vec<usize> = doc.iter().copied().filter(|&t| ds.is_keyword(t)).collect();
+        assert_eq!(doc_keywords, summary[1..5].to_vec());
+    }
+
+    #[test]
+    fn markov_stream_is_predictable() {
+        let ds = CharLmDataset::new(12, 50, 10, 4);
+        let seq = ds.sequence(0, false);
+        assert_eq!(seq.len(), 50);
+        // Every transition must be one of the three allowed successors.
+        for t in 2..seq.len() {
+            let key = seq[t - 2] * 12 + seq[t - 1];
+            assert!(ds.table[key].contains(&seq[t]));
+        }
+    }
+
+    #[test]
+    fn sequences_deterministic() {
+        let ds = CharLmDataset::new(12, 30, 10, 5);
+        assert_eq!(ds.sequence(3, false), ds.sequence(3, false));
+        assert_ne!(ds.sequence(3, false), ds.sequence(3, true));
+    }
+}

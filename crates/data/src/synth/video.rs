@@ -1,0 +1,134 @@
+//! Synthetic video-prediction data (robot-pushing stand-in, DC-AI-C11).
+
+use aibench_tensor::{Rng, Tensor};
+
+const TEST_SALT: u64 = 0x5eed_0000_0006;
+
+/// Moving-blob sequences: a Gaussian blob translates with constant velocity
+/// (bouncing off walls); the model sees the first `context` frames and must
+/// predict the next one, exactly the motion-extrapolation structure of the
+/// paper's motion-focused predictive model.
+#[derive(Debug, Clone)]
+pub struct VideoDataset {
+    size: usize,
+    context: usize,
+    len: usize,
+    seed: u64,
+}
+
+impl VideoDataset {
+    /// Creates `len` sequences of `context`+1 frames of `size`².
+    pub fn new(size: usize, context: usize, len: usize, seed: u64) -> Self {
+        assert!(context >= 2, "need at least two context frames to infer motion");
+        VideoDataset { size, context, len, seed }
+    }
+
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the dataset is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Frame edge length.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of context frames provided as input.
+    pub fn context(&self) -> usize {
+        self.context
+    }
+
+    fn blob_frame(&self, cx: f32, cy: f32) -> Tensor {
+        let s = self.size;
+        Tensor::from_fn(&[s, s], |i| {
+            let (y, x) = ((i / s) as f32, (i % s) as f32);
+            let d2 = (x - cx) * (x - cx) + (y - cy) * (y - cy);
+            (-d2 / 3.0).exp()
+        })
+    }
+
+    /// The `index`-th sequence: `(context frames [context, s, s], next
+    /// frame [s, s])`.
+    pub fn sequence(&self, index: usize, test: bool) -> (Tensor, Tensor) {
+        let salt = if test { TEST_SALT } else { 0 };
+        let mut rng = Rng::seed_from(self.seed ^ salt ^ (index as u64).wrapping_mul(0x71d));
+        let s = self.size as f32;
+        let mut cx = rng.uniform_in(s * 0.25, s * 0.75);
+        let mut cy = rng.uniform_in(s * 0.25, s * 0.75);
+        let mut vx = rng.uniform_in(-1.5, 1.5);
+        let mut vy = rng.uniform_in(-1.5, 1.5);
+        let mut frames = Tensor::zeros(&[self.context, self.size, self.size]);
+        let per = self.size * self.size;
+        for t in 0..self.context {
+            let f = self.blob_frame(cx, cy);
+            frames.data_mut()[t * per..(t + 1) * per].copy_from_slice(f.data());
+            cx += vx;
+            cy += vy;
+            if cx < 1.0 || cx > s - 2.0 {
+                vx = -vx;
+                cx = cx.clamp(1.0, s - 2.0);
+            }
+            if cy < 1.0 || cy > s - 2.0 {
+                vy = -vy;
+                cy = cy.clamp(1.0, s - 2.0);
+            }
+        }
+        let target = self.blob_frame(cx, cy);
+        (frames, target)
+    }
+
+    /// Stacks sequences: `([n, context, s, s], [n, 1, s, s])`.
+    pub fn batch(&self, indices: &[usize], test: bool) -> (Tensor, Tensor) {
+        let per = self.size * self.size;
+        let mut x = Tensor::zeros(&[indices.len(), self.context, self.size, self.size]);
+        let mut y = Tensor::zeros(&[indices.len(), 1, self.size, self.size]);
+        for (bi, &i) in indices.iter().enumerate() {
+            let (ctx, tgt) = self.sequence(i, test);
+            x.data_mut()[bi * self.context * per..(bi + 1) * self.context * per].copy_from_slice(ctx.data());
+            y.data_mut()[bi * per..(bi + 1) * per].copy_from_slice(tgt.data());
+        }
+        (x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blob_moves_between_frames() {
+        let ds = VideoDataset::new(12, 3, 50, 1);
+        let (ctx, tgt) = ds.sequence(0, false);
+        assert_eq!(ctx.shape(), &[3, 12, 12]);
+        assert_eq!(tgt.shape(), &[12, 12]);
+        // Consecutive frames must differ (blob moved).
+        let per = 144;
+        let d: f32 = (0..per).map(|i| (ctx.data()[i] - ctx.data()[per + i]).abs()).sum();
+        assert!(d > 0.1, "blob did not move: {d}");
+    }
+
+    #[test]
+    fn target_extrapolates_motion() {
+        // The target should be closer to the last context frame than to the
+        // first (smooth motion).
+        let ds = VideoDataset::new(12, 3, 50, 2);
+        let (ctx, tgt) = ds.sequence(1, false);
+        let per = 144;
+        let d_last: f32 = (0..per).map(|i| (ctx.data()[2 * per + i] - tgt.data()[i]).powi(2)).sum();
+        let d_first: f32 = (0..per).map(|i| (ctx.data()[i] - tgt.data()[i]).powi(2)).sum();
+        assert!(d_last <= d_first + 1e-3, "last {d_last} vs first {d_first}");
+    }
+
+    #[test]
+    fn batch_shapes() {
+        let ds = VideoDataset::new(10, 2, 20, 3);
+        let (x, y) = ds.batch(&[0, 1, 2, 3], false);
+        assert_eq!(x.shape(), &[4, 2, 10, 10]);
+        assert_eq!(y.shape(), &[4, 1, 10, 10]);
+    }
+}

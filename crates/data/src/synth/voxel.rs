@@ -1,0 +1,130 @@
+//! Synthetic single-view 3-D reconstruction data (ShapeNet stand-in,
+//! DC-AI-C13).
+
+use aibench_tensor::{Rng, Tensor};
+
+const TEST_SALT: u64 = 0x5eed_0000_0007;
+
+/// Primitive solids (boxes, spheres, cylinders) voxelized on a cubic grid;
+/// the input is the 2-D silhouette projected along the depth axis and the
+/// target is the full occupancy grid, mirroring the perspective-transformer
+/// setup of the paper (average IoU metric).
+#[derive(Debug, Clone)]
+pub struct VoxelDataset {
+    grid: usize,
+    len: usize,
+    seed: u64,
+}
+
+impl VoxelDataset {
+    /// Creates `len` shapes on a `grid`³ lattice.
+    pub fn new(grid: usize, len: usize, seed: u64) -> Self {
+        assert!(grid >= 8, "voxel grid too small");
+        VoxelDataset { grid, len, seed }
+    }
+
+    /// Number of shapes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the dataset is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Lattice edge length.
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    /// The `index`-th sample: `(silhouette [g, g], voxels [g, g, g])`.
+    pub fn sample(&self, index: usize, test: bool) -> (Tensor, Tensor) {
+        let salt = if test { TEST_SALT } else { 0 };
+        let mut rng = Rng::seed_from(self.seed ^ salt ^ (index as u64).wrapping_mul(0x3d0b));
+        let g = self.grid;
+        let kind = rng.below(3);
+        let gf = g as f32;
+        let cx = rng.uniform_in(gf * 0.35, gf * 0.65);
+        let cy = rng.uniform_in(gf * 0.35, gf * 0.65);
+        let cz = rng.uniform_in(gf * 0.35, gf * 0.65);
+        let r = rng.uniform_in(gf * 0.15, gf * 0.3);
+        let mut vox = Tensor::zeros(&[g, g, g]);
+        for z in 0..g {
+            for y in 0..g {
+                for x in 0..g {
+                    let (fx, fy, fz) = (x as f32 - cx, y as f32 - cy, z as f32 - cz);
+                    let inside = match kind {
+                        0 => fx.abs() <= r && fy.abs() <= r && fz.abs() <= r, // box
+                        1 => fx * fx + fy * fy + fz * fz <= r * r,            // sphere
+                        _ => fx * fx + fy * fy <= r * r && fz.abs() <= r,     // cylinder
+                    };
+                    if inside {
+                        vox.data_mut()[(z * g + y) * g + x] = 1.0;
+                    }
+                }
+            }
+        }
+        // Silhouette: projection along z (any occupied voxel in the column).
+        let mut sil = Tensor::zeros(&[g, g]);
+        for y in 0..g {
+            for x in 0..g {
+                let occupied = (0..g).any(|z| vox.data()[(z * g + y) * g + x] > 0.5);
+                sil.data_mut()[y * g + x] = if occupied { 1.0 } else { 0.0 };
+            }
+        }
+        (sil, vox)
+    }
+
+    /// Stacks samples: `([n, 1, g, g], [n, g³])`.
+    pub fn batch(&self, indices: &[usize], test: bool) -> (Tensor, Tensor) {
+        let g = self.grid;
+        let sil_per = g * g;
+        let vox_per = g * g * g;
+        let mut x = Tensor::zeros(&[indices.len(), 1, g, g]);
+        let mut y = Tensor::zeros(&[indices.len(), vox_per]);
+        for (bi, &i) in indices.iter().enumerate() {
+            let (sil, vox) = self.sample(i, test);
+            x.data_mut()[bi * sil_per..(bi + 1) * sil_per].copy_from_slice(sil.data());
+            y.data_mut()[bi * vox_per..(bi + 1) * vox_per].copy_from_slice(vox.data());
+        }
+        (x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::voxel_iou;
+
+    #[test]
+    fn silhouette_is_projection_of_voxels() {
+        let ds = VoxelDataset::new(10, 50, 1);
+        let (sil, vox) = ds.sample(0, false);
+        let g = 10;
+        for y in 0..g {
+            for x in 0..g {
+                let col_occupied = (0..g).any(|z| vox.at(&[z, y, x]) > 0.5);
+                assert_eq!(sil.at(&[y, x]) > 0.5, col_occupied);
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_are_nonempty_solids() {
+        let ds = VoxelDataset::new(10, 50, 2);
+        for i in 0..20 {
+            let (_, vox) = ds.sample(i, false);
+            let filled = vox.sum();
+            assert!(filled >= 8.0, "shape {i} too small: {filled}");
+            assert!(filled <= 700.0, "shape {i} fills the grid: {filled}");
+        }
+    }
+
+    #[test]
+    fn iou_against_self_is_one() {
+        let ds = VoxelDataset::new(8, 10, 3);
+        let (_, vox) = ds.sample(0, false);
+        assert_eq!(voxel_iou(&vox, &vox), 1.0);
+    }
+}

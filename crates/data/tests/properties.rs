@@ -1,0 +1,110 @@
+//! Property-based tests of the metric implementations' invariants.
+
+use aibench_data::metrics::{
+    accuracy, box_iou, edit_distance, hit_rate_at_k, per_pixel_accuracy, precision_at_k, rouge_l,
+    ssim, voxel_iou, word_error_rate, BoundingBox,
+};
+use aibench_tensor::{Rng, Tensor};
+use proptest::prelude::*;
+
+fn tokens() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..8, 1..12)
+}
+
+proptest! {
+    #[test]
+    fn edit_distance_is_a_metric(a in tokens(), b in tokens(), c in tokens()) {
+        // Identity, symmetry, triangle inequality.
+        prop_assert_eq!(edit_distance(&a, &a), 0);
+        prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+        prop_assert!(edit_distance(&a, &c) <= edit_distance(&a, &b) + edit_distance(&b, &c));
+    }
+
+    #[test]
+    fn edit_distance_bounded_by_longer_sequence(a in tokens(), b in tokens()) {
+        prop_assert!(edit_distance(&a, &b) <= a.len().max(b.len()));
+    }
+
+    #[test]
+    fn wer_zero_iff_identical(a in prop::collection::vec(tokens(), 1..4)) {
+        prop_assert_eq!(word_error_rate(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn rouge_l_bounded(a in prop::collection::vec(tokens(), 1..4)) {
+        let r = rouge_l(&a, &a);
+        prop_assert!((r - 100.0).abs() < 1e-9);
+        let shuffled: Vec<Vec<usize>> = a.iter().map(|s| {
+            let mut t = s.clone();
+            t.reverse();
+            t
+        }).collect();
+        let r2 = rouge_l(&a, &shuffled);
+        prop_assert!((0.0..=100.0 + 1e-9).contains(&r2));
+    }
+
+    #[test]
+    fn iou_is_symmetric_and_bounded(x1 in 0.0f32..10.0, y1 in 0.0f32..10.0,
+                                    w1 in 0.5f32..10.0, h1 in 0.5f32..10.0,
+                                    x2 in 0.0f32..10.0, y2 in 0.0f32..10.0,
+                                    w2 in 0.5f32..10.0, h2 in 0.5f32..10.0) {
+        let a = BoundingBox::new(x1, y1, x1 + w1, y1 + h1);
+        let b = BoundingBox::new(x2, y2, x2 + w2, y2 + h2);
+        let ab = box_iou(&a, &b);
+        prop_assert!((box_iou(&b, &a) - ab).abs() < 1e-6);
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&ab));
+        prop_assert!((box_iou(&a, &a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accuracy_bounds(pred in prop::collection::vec(0usize..4, 1..20), seed in 0u64..100) {
+        let mut rng = Rng::seed_from(seed);
+        let labels: Vec<usize> = pred.iter().map(|_| rng.below(4)).collect();
+        let a = accuracy(&pred, &labels);
+        prop_assert!((0.0..=1.0).contains(&a));
+        prop_assert_eq!(accuracy(&pred, &pred), 1.0);
+    }
+
+    #[test]
+    fn hit_rate_monotone_in_k(seed in 0u64..200) {
+        let mut rng = Rng::seed_from(seed);
+        let rankings: Vec<Vec<usize>> = (0..5).map(|_| rng.permutation(10)).collect();
+        let relevant: Vec<usize> = (0..5).map(|_| rng.below(10)).collect();
+        let mut prev = 0.0;
+        for k in 1..=10 {
+            let hr = hit_rate_at_k(&rankings, &relevant, k);
+            prop_assert!(hr >= prev - 1e-12);
+            prev = hr;
+        }
+        prop_assert!((prev - 1.0).abs() < 1e-12, "HR@10 over a full permutation must be 1");
+    }
+
+    #[test]
+    fn precision_bounded(seed in 0u64..200, k in 1usize..8) {
+        let mut rng = Rng::seed_from(seed);
+        let rankings: Vec<Vec<usize>> = (0..4).map(|_| rng.permutation(12)).collect();
+        let relevant: Vec<Vec<usize>> = (0..4).map(|_| vec![rng.below(12), rng.below(12)]).collect();
+        let p = precision_at_k(&rankings, &relevant, k);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn ssim_self_is_one_and_bounded(seed in 0u64..100) {
+        let mut rng = Rng::seed_from(seed);
+        let a = Tensor::rand_uniform(&[16, 16], 0.0, 1.0, &mut rng);
+        prop_assert!((ssim(&a, &a) - 1.0).abs() < 1e-9);
+        let b = Tensor::rand_uniform(&[16, 16], 0.0, 1.0, &mut rng);
+        let s = ssim(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn voxel_iou_and_pixel_accuracy_bounds(seed in 0u64..100) {
+        let mut rng = Rng::seed_from(seed);
+        let a = Tensor::rand_uniform(&[64], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[64], 0.0, 1.0, &mut rng);
+        prop_assert!((0.0..=1.0).contains(&voxel_iou(&a, &b)));
+        prop_assert!((0.0..=1.0).contains(&per_pixel_accuracy(&a, &b)));
+        prop_assert_eq!(per_pixel_accuracy(&a, &a), 1.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Device models for the paper's two experiment servers.
+
+/// A GPU device model: enough architectural parameters for roofline timing
+/// and occupancy estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceConfig {
+    /// Marketing name.
+    pub name: String,
+    /// Streaming multiprocessor count.
+    pub sm_count: usize,
+    /// CUDA cores per SM.
+    pub cores_per_sm: usize,
+    /// Boost clock in GHz.
+    pub clock_ghz: f64,
+    /// Device memory bandwidth in GB/s.
+    pub mem_bw_gbs: f64,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: usize,
+    /// Kernel launch overhead in seconds.
+    pub launch_overhead_s: f64,
+    /// Board power at full utilization, watts.
+    pub tdp_watts: f64,
+    /// Board power when idle, watts.
+    pub idle_watts: f64,
+}
+
+impl DeviceConfig {
+    /// NVIDIA TITAN Xp (the paper's workload-characterization GPU):
+    /// 3840 CUDA cores, 12 GB GDDR5X at 547 GB/s.
+    pub fn titan_xp() -> Self {
+        DeviceConfig {
+            name: "TITAN Xp".into(),
+            sm_count: 30,
+            cores_per_sm: 128,
+            clock_ghz: 1.58,
+            mem_bw_gbs: 547.0,
+            max_warps_per_sm: 64,
+            launch_overhead_s: 3e-6,
+            tdp_watts: 250.0,
+            idle_watts: 55.0,
+        }
+    }
+
+    /// NVIDIA TITAN RTX (the paper's training-session GPU): 4608 CUDA
+    /// cores, 24 GB GDDR6 at 672 GB/s.
+    pub fn titan_rtx() -> Self {
+        DeviceConfig {
+            name: "TITAN RTX".into(),
+            sm_count: 72,
+            cores_per_sm: 64,
+            clock_ghz: 1.77,
+            mem_bw_gbs: 672.0,
+            max_warps_per_sm: 32,
+            launch_overhead_s: 3e-6,
+            tdp_watts: 280.0,
+            idle_watts: 60.0,
+        }
+    }
+
+    /// Peak single-precision throughput in FLOP/s (2 FLOPs per core-cycle
+    /// via FMA).
+    pub fn peak_flops(&self) -> f64 {
+        self.sm_count as f64 * self.cores_per_sm as f64 * self.clock_ghz * 1e9 * 2.0
+    }
+
+    /// Peak memory bandwidth in bytes/s.
+    pub fn peak_bytes_per_s(&self) -> f64 {
+        self.mem_bw_gbs * 1e9
+    }
+
+    /// Total resident-thread capacity of the device.
+    pub fn thread_capacity(&self) -> usize {
+        self.sm_count * self.max_warps_per_sm * 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_xp_peaks() {
+        let d = DeviceConfig::titan_xp();
+        // 3840 cores * 1.58 GHz * 2 ≈ 12.1 TFLOPS.
+        assert!((d.peak_flops() / 1e12 - 12.1).abs() < 0.2);
+        assert_eq!(d.sm_count * d.cores_per_sm, 3840);
+    }
+
+    #[test]
+    fn power_envelope_is_sane() {
+        for d in [DeviceConfig::titan_xp(), DeviceConfig::titan_rtx()] {
+            assert!(d.idle_watts > 0.0 && d.idle_watts < d.tdp_watts, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn titan_rtx_has_more_cores() {
+        let xp = DeviceConfig::titan_xp();
+        let rtx = DeviceConfig::titan_rtx();
+        assert!(rtx.sm_count * rtx.cores_per_sm > xp.sm_count * xp.cores_per_sm);
+        assert!(rtx.peak_flops() > xp.peak_flops());
+    }
+}

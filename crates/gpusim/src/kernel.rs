@@ -1,0 +1,124 @@
+//! The kernel taxonomy of Section 5.5.1: every hotspot function the paper
+//! traces falls into one of eight categories.
+
+use std::fmt;
+
+/// The eight kernel categories the paper's runtime breakdown uses
+/// (Figure 5 / Table 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KernelCategory {
+    /// Layout transforms: im2col, strided batched copies, embedding
+    /// gathers (`maxwell_scudnn_*_stridedB_*`).
+    DataArrangement,
+    /// Convolution arithmetic (`maxwell_scudnn_winograd_*`, `wgrad_alg0`).
+    Convolution,
+    /// General matrix multiply (`maxwell_sgemm_*`).
+    Gemm,
+    /// Batch normalization forward/backward (`bn_fw_tr_*`, `bn_bw_*`).
+    BatchNorm,
+    /// Pointwise arithmetic (`element_wise_*_kernel`).
+    ElementWise,
+    /// ReLU activations (`maxwell_scudnn_*_relu_*`).
+    Relu,
+    /// Pooling (`MaxPoolBackward`, `AvePoolForward`).
+    Pooling,
+    /// Host/device and device/device copies (`CUDA memcpy *`).
+    Memcpy,
+}
+
+impl KernelCategory {
+    /// All categories, in the paper's presentation order.
+    pub const ALL: [KernelCategory; 8] = [
+        KernelCategory::DataArrangement,
+        KernelCategory::Convolution,
+        KernelCategory::Gemm,
+        KernelCategory::BatchNorm,
+        KernelCategory::ElementWise,
+        KernelCategory::Relu,
+        KernelCategory::Pooling,
+        KernelCategory::Memcpy,
+    ];
+
+    /// Human-readable label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelCategory::DataArrangement => "Data Arrangement",
+            KernelCategory::Convolution => "Convolution",
+            KernelCategory::Gemm => "GEMM",
+            KernelCategory::BatchNorm => "BatchNorm",
+            KernelCategory::ElementWise => "Element-Wise",
+            KernelCategory::Relu => "Relu",
+            KernelCategory::Pooling => "Pooling",
+            KernelCategory::Memcpy => "Memcpy",
+        }
+    }
+}
+
+impl fmt::Display for KernelCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One kernel launch (possibly repeated) in a lowered training iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// CUDA-style function name (mirrors Table 7's hotspot functions).
+    pub name: String,
+    /// Taxonomy category.
+    pub category: KernelCategory,
+    /// FLOPs per launch.
+    pub flops: f64,
+    /// Global-memory bytes moved per launch.
+    pub bytes: f64,
+    /// Threads per launch (drives occupancy).
+    pub threads: usize,
+    /// Identical launches per training iteration.
+    pub count: usize,
+}
+
+impl Kernel {
+    /// Creates a kernel record.
+    pub fn new(
+        name: impl Into<String>,
+        category: KernelCategory,
+        flops: f64,
+        bytes: f64,
+        threads: usize,
+        count: usize,
+    ) -> Self {
+        Kernel { name: name.into(), category, flops, bytes, threads: threads.max(32), count: count.max(1) }
+    }
+
+    /// Arithmetic intensity in FLOPs per byte.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.flops / self.bytes.max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_categories_enumerated() {
+        assert_eq!(KernelCategory::ALL.len(), 8);
+        let labels: Vec<&str> = KernelCategory::ALL.iter().map(|c| c.label()).collect();
+        assert!(labels.contains(&"GEMM"));
+        assert!(labels.contains(&"Memcpy"));
+    }
+
+    #[test]
+    fn arithmetic_intensity_computed() {
+        let k = Kernel::new("k", KernelCategory::Gemm, 1000.0, 100.0, 256, 1);
+        assert!((k.arithmetic_intensity() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs_clamped() {
+        let k = Kernel::new("k", KernelCategory::Memcpy, 0.0, 0.0, 0, 0);
+        assert_eq!(k.threads, 32);
+        assert_eq!(k.count, 1);
+        assert!(k.arithmetic_intensity().is_finite());
+    }
+}

@@ -1,0 +1,266 @@
+//! Per-model aggregation: the five Figure-3 metrics, the Figure-5 runtime
+//! breakdown, Figure-6 hotspots, Figure-7 stalls, and Table-6 epoch times.
+
+use std::collections::BTreeMap;
+
+use aibench_models::ModelSpec;
+
+use crate::device::DeviceConfig;
+use crate::exec::{execute, KernelProfile, StallBreakdown};
+use crate::kernel::KernelCategory;
+use crate::lower::lower_training_iteration;
+
+/// The five micro-architectural metrics of Figure 1(b)/Figure 3, each in
+/// `[0, 1]`, aggregated time-weighted over a model's kernel trace.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MicroarchMetrics {
+    /// Achieved occupancy.
+    pub achieved_occupancy: f64,
+    /// IPC efficiency.
+    pub ipc_efficiency: f64,
+    /// Global load efficiency.
+    pub gld_efficiency: f64,
+    /// Global store efficiency.
+    pub gst_efficiency: f64,
+    /// DRAM utilization.
+    pub dram_utilization: f64,
+}
+
+impl MicroarchMetrics {
+    /// The metrics as a 5-vector (the clustering feature order of
+    /// Figure 4).
+    pub fn as_vector(&self) -> [f64; 5] {
+        [
+            self.achieved_occupancy,
+            self.ipc_efficiency,
+            self.gld_efficiency,
+            self.gst_efficiency,
+            self.dram_utilization,
+        ]
+    }
+}
+
+/// Runtime share of one kernel category.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CategoryShare {
+    /// The category.
+    pub category: KernelCategory,
+    /// Fraction of total runtime in `[0, 1]`.
+    pub share: f64,
+    /// Time-weighted stall distribution of this category's kernels.
+    pub stalls: StallBreakdown,
+}
+
+/// A full simulated profile of one benchmark model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelProfile {
+    /// Model name.
+    pub name: String,
+    /// Wall time of one training iteration, seconds.
+    pub iteration_seconds: f64,
+    /// Wall time of one epoch (iterations × dataset/batch), seconds.
+    pub epoch_seconds: f64,
+    /// Device energy per training iteration, joules.
+    pub iteration_joules: f64,
+    /// Device energy per epoch, joules.
+    pub epoch_joules: f64,
+    /// Time-weighted micro-architectural metrics.
+    pub metrics: MicroarchMetrics,
+    /// Runtime share and stalls per kernel category (descending share).
+    pub categories: Vec<CategoryShare>,
+    /// Hotspot functions: `(name, % of runtime)`, descending.
+    pub hotspots: Vec<(String, f64)>,
+    /// Per-kernel profiles of the iteration trace.
+    pub kernels: Vec<KernelProfile>,
+    /// Samples per epoch at paper scale (the spec's dataset size).
+    pub dataset_size: usize,
+}
+
+impl ModelProfile {
+    /// Training throughput in samples processed per second — the first
+    /// offline-training metric of Section 4.2.1.
+    pub fn samples_per_second(&self) -> f64 {
+        self.dataset_size as f64 / self.epoch_seconds
+    }
+}
+
+/// The simulator: a device model plus the lowering/execution pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Simulator {
+    device: DeviceConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given device.
+    pub fn new(device: DeviceConfig) -> Self {
+        Simulator { device }
+    }
+
+    /// The device model.
+    pub fn device(&self) -> &DeviceConfig {
+        &self.device
+    }
+
+    /// Profiles one full-scale model: lowers a training iteration,
+    /// executes every kernel, and aggregates.
+    pub fn profile(&self, spec: &ModelSpec) -> ModelProfile {
+        let trace = lower_training_iteration(spec);
+        let kernels: Vec<KernelProfile> = trace.iter().map(|k| execute(k, &self.device)).collect();
+        let total_time: f64 = kernels.iter().map(|p| p.time_s).sum();
+        let total_energy: f64 = kernels.iter().map(|p| p.energy_j).sum();
+
+        // Time-weighted metric aggregation.
+        let mut m = MicroarchMetrics::default();
+        for p in &kernels {
+            let w = p.time_s / total_time;
+            m.achieved_occupancy += w * p.occupancy;
+            m.ipc_efficiency += w * p.ipc_efficiency;
+            m.gld_efficiency += w * p.gld_efficiency;
+            m.gst_efficiency += w * p.gst_efficiency;
+            m.dram_utilization += w * p.dram_utilization;
+        }
+
+        // Per-category shares and stalls.
+        let mut cat_time: BTreeMap<KernelCategory, f64> = BTreeMap::new();
+        let mut cat_stalls: BTreeMap<KernelCategory, [f64; 8]> = BTreeMap::new();
+        for p in &kernels {
+            *cat_time.entry(p.kernel.category).or_insert(0.0) += p.time_s;
+            let acc = cat_stalls.entry(p.kernel.category).or_insert([0.0; 8]);
+            for (i, (_, share)) in p.stalls.iter().enumerate() {
+                acc[i] += share * p.time_s;
+            }
+        }
+        let mut categories: Vec<CategoryShare> = cat_time
+            .iter()
+            .map(|(&category, &t)| CategoryShare {
+                category,
+                share: t / total_time,
+                stalls: StallBreakdown::from_weights(cat_stalls[&category]),
+            })
+            .collect();
+        categories.sort_by(|a, b| b.share.partial_cmp(&a.share).unwrap_or(std::cmp::Ordering::Equal));
+
+        // Hotspot functions: aggregate by name.
+        let mut by_name: BTreeMap<&str, f64> = BTreeMap::new();
+        for p in &kernels {
+            *by_name.entry(p.kernel.name.as_str()).or_insert(0.0) += p.time_s;
+        }
+        let mut hotspots: Vec<(String, f64)> =
+            by_name.into_iter().map(|(n, t)| (n.to_string(), 100.0 * t / total_time)).collect();
+        hotspots.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+
+        let iterations = (spec.dataset_size + spec.batch_size - 1) / spec.batch_size;
+        // Per-iteration host-side overhead (data loading, Python/framework
+        // dispatch) — without it, small-model epoch times are implausibly
+        // cheap relative to the paper's Table 6.
+        const HOST_OVERHEAD_S: f64 = 2e-3;
+        // Host overhead burns idle power.
+        let iter_energy = total_energy + HOST_OVERHEAD_S * self.device.idle_watts;
+        ModelProfile {
+            name: spec.name.clone(),
+            iteration_seconds: total_time + HOST_OVERHEAD_S,
+            epoch_seconds: (total_time + HOST_OVERHEAD_S) * iterations as f64,
+            iteration_joules: iter_energy,
+            epoch_joules: iter_energy * iterations as f64,
+            metrics: m,
+            categories,
+            hotspots,
+            kernels,
+            dataset_size: spec.dataset_size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aibench_models::catalog;
+
+    fn sim() -> Simulator {
+        Simulator::new(DeviceConfig::titan_xp())
+    }
+
+    #[test]
+    fn metrics_are_in_unit_range() {
+        for spec in catalog::aibench_specs() {
+            let p = sim().profile(&spec);
+            for v in p.metrics.as_vector() {
+                assert!((0.0..=1.0).contains(&v), "{}: metric {v}", spec.name);
+            }
+            let share_total: f64 = p.categories.iter().map(|c| c.share).sum();
+            assert!((share_total - 1.0).abs() < 1e-9, "{}: shares {share_total}", spec.name);
+        }
+    }
+
+    #[test]
+    fn learning_to_rank_has_lowest_ipc_efficiency() {
+        // Section 5.5.1: Learning-to-Rank shows the lowest IPC (data
+        // arrangement bound); Text-to-Text shows the highest.
+        let profiles: Vec<ModelProfile> =
+            catalog::aibench_specs().iter().map(|s| sim().profile(s)).collect();
+        let l2r = profiles.iter().find(|p| p.name == "RankingDistillation").unwrap();
+        let t2t = profiles.iter().find(|p| p.name == "Transformer").unwrap();
+        for p in &profiles {
+            assert!(l2r.metrics.ipc_efficiency <= p.metrics.ipc_efficiency + 1e-9, "{} below L2R", p.name);
+            assert!(t2t.metrics.ipc_efficiency >= p.metrics.ipc_efficiency - 1e-9, "{} above T2T", p.name);
+        }
+        assert!(t2t.metrics.ipc_efficiency >= l2r.metrics.ipc_efficiency + 0.2);
+    }
+
+    #[test]
+    fn learning_to_rank_dominated_by_data_arrangement() {
+        let p = sim().profile(&catalog::learning_to_rank());
+        assert_eq!(p.categories[0].category, KernelCategory::DataArrangement, "{:?}", p.categories[0]);
+    }
+
+    #[test]
+    fn image_classification_dominated_by_convolution() {
+        let p = sim().profile(&catalog::image_classification());
+        assert_eq!(p.categories[0].category, KernelCategory::Convolution);
+        assert!(p.categories[0].share > 0.4);
+    }
+
+    #[test]
+    fn epoch_time_ranking_matches_table6_shape() {
+        // Table 6: Image Classification and Speech Recognition are the
+        // most expensive per epoch; Spatial Transformer is the cheapest.
+        let s = sim();
+        let ic = s.profile(&catalog::image_classification()).epoch_seconds;
+        let sp = s.profile(&catalog::speech_recognition()).epoch_seconds;
+        let st = s.profile(&catalog::spatial_transformer()).epoch_seconds;
+        let rec = s.profile(&catalog::recommendation()).epoch_seconds;
+        assert!(ic > 50.0 * st, "IC {ic} vs STN {st}");
+        assert!(sp > 10.0 * st, "Speech {sp} vs STN {st}");
+        assert!(st < 600.0, "STN epoch {st}");
+        assert!(rec < ic, "NCF {rec} vs IC {ic}");
+    }
+
+    #[test]
+    fn throughput_reflects_dataset_and_epoch_time() {
+        let s = sim();
+        let p = s.profile(&catalog::image_classification());
+        let expect = p.dataset_size as f64 / p.epoch_seconds;
+        assert!((p.samples_per_second() - expect).abs() < 1e-9);
+        // ResNet-50 on a TITAN-class GPU trains a few hundred samples/s.
+        assert!((50.0..5000.0).contains(&p.samples_per_second()), "{}", p.samples_per_second());
+    }
+
+    #[test]
+    fn energy_is_positive_and_bounded_by_tdp() {
+        let s = sim();
+        for spec in catalog::mlperf_specs() {
+            let p = s.profile(&spec);
+            assert!(p.epoch_joules > 0.0, "{}", spec.name);
+            let mean_power = p.iteration_joules / p.iteration_seconds;
+            assert!(mean_power <= s.device().tdp_watts + 1e-6, "{}: {mean_power} W", spec.name);
+        }
+    }
+
+    #[test]
+    fn hotspots_sum_to_one_hundred() {
+        let p = sim().profile(&catalog::text_to_text());
+        let total: f64 = p.hotspots.iter().map(|(_, s)| s).sum();
+        assert!((total - 100.0).abs() < 1e-6);
+        assert!(p.hotspots[0].1 >= p.hotspots.last().unwrap().1);
+    }
+}

@@ -1,0 +1,56 @@
+//! Property-based tests of the GPU simulator's invariants.
+
+use aibench_gpusim::{execute, DeviceConfig, Kernel, KernelCategory, StallKind};
+use proptest::prelude::*;
+
+fn any_category() -> impl Strategy<Value = KernelCategory> {
+    prop::sample::select(KernelCategory::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn metrics_stay_in_unit_ranges(cat in any_category(),
+                                   flops in 1.0f64..1e12,
+                                   bytes in 1.0f64..1e10,
+                                   threads in 32usize..(1 << 22),
+                                   count in 1usize..64) {
+        let k = Kernel::new("k", cat, flops, bytes, threads, count);
+        let p = execute(&k, &DeviceConfig::titan_xp());
+        prop_assert!((0.0..=1.0).contains(&p.occupancy));
+        prop_assert!((0.0..=1.0).contains(&p.ipc_efficiency));
+        prop_assert!((0.0..=1.0).contains(&p.gld_efficiency));
+        prop_assert!((0.0..=1.0).contains(&p.gst_efficiency));
+        prop_assert!((0.0..=1.0).contains(&p.dram_utilization));
+        prop_assert!(p.time_s > 0.0 && p.time_s.is_finite());
+        prop_assert!(p.energy_j > 0.0 && p.energy_j.is_finite());
+        let total: f64 = StallKind::ALL.iter().map(|&s| p.stalls.share(s)).sum();
+        prop_assert!((total - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn time_is_monotone_in_work(cat in any_category(), flops in 1e6f64..1e11, bytes in 1e4f64..1e9) {
+        let dev = DeviceConfig::titan_xp();
+        let small = Kernel::new("k", cat, flops, bytes, 1 << 16, 1);
+        let big = Kernel::new("k", cat, flops * 4.0, bytes * 4.0, 1 << 16, 1);
+        prop_assert!(execute(&big, &dev).time_s >= execute(&small, &dev).time_s);
+    }
+
+    #[test]
+    fn launch_count_scales_time_linearly(cat in any_category(), count in 1usize..32) {
+        let dev = DeviceConfig::titan_xp();
+        let one = Kernel::new("k", cat, 1e8, 1e6, 1 << 16, 1);
+        let many = Kernel::new("k", cat, 1e8, 1e6, 1 << 16, count);
+        let t1 = execute(&one, &dev).time_s;
+        let tn = execute(&many, &dev).time_s;
+        prop_assert!((tn - t1 * count as f64).abs() < 1e-9 * count as f64 + 1e-12);
+    }
+
+    #[test]
+    fn faster_device_is_not_slower(cat in any_category(), flops in 1e7f64..1e11) {
+        // TITAN RTX has both more FLOPS and more bandwidth than TITAN Xp.
+        let k = Kernel::new("k", cat, flops, flops / 20.0, 1 << 20, 1);
+        let xp = execute(&k, &DeviceConfig::titan_xp()).time_s;
+        let rtx = execute(&k, &DeviceConfig::titan_rtx()).time_s;
+        prop_assert!(rtx <= xp * 1.0001);
+    }
+}

@@ -1,0 +1,623 @@
+//! Full-scale specifications of every AIBench (17) and MLPerf (7) training
+//! benchmark model, at the paper's scale.
+//!
+//! Layer geometries follow the published architectures (ResNet-50, Faster
+//! R-CNN, Transformer, DeepSpeech2, FaceNet, NCF, …) closely enough that
+//! the counted parameters and forward FLOPs land in the ranges the paper
+//! reports in Section 5.2.1: AIBench spans 0.09–157,802 M-FLOPs and
+//! 0.03M–68.4M parameters; MLPerf spans 0.213–24,500 M-FLOPs and
+//! 5.2M–49.53M parameters.
+
+use crate::spec::{Layer, LayerKind, ModelSpec, RnnKind};
+
+/// Tracks spatial extent while emitting a convolutional trunk.
+struct ConvBuilder {
+    layers: Vec<Layer>,
+    c: usize,
+    h: usize,
+    w: usize,
+}
+
+impl ConvBuilder {
+    fn new(c: usize, h: usize, w: usize) -> Self {
+        ConvBuilder { layers: Vec::new(), c, h, w }
+    }
+
+    fn conv(&mut self, c_out: usize, k: usize, stride: usize, bn: bool, relu: bool) -> &mut Self {
+        self.h = (self.h + stride - 1) / stride;
+        self.w = (self.w + stride - 1) / stride;
+        self.layers.push(Layer::once(LayerKind::Conv2d { c_in: self.c, c_out, k, h_out: self.h, w_out: self.w }));
+        self.c = c_out;
+        if bn {
+            self.layers.push(Layer::once(LayerKind::BatchNorm2d { c: self.c, h: self.h, w: self.w }));
+        }
+        if relu {
+            self.layers.push(Layer::once(LayerKind::Relu { n: self.c * self.h * self.w }));
+        }
+        self
+    }
+
+    fn deconv(&mut self, c_out: usize, k: usize, upscale: usize, relu: bool) -> &mut Self {
+        self.h *= upscale;
+        self.w *= upscale;
+        self.layers.push(Layer::once(LayerKind::ConvTranspose2d {
+            c_in: self.c,
+            c_out,
+            k,
+            h_out: self.h,
+            w_out: self.w,
+        }));
+        self.c = c_out;
+        if relu {
+            self.layers.push(Layer::once(LayerKind::Relu { n: self.c * self.h * self.w }));
+        }
+        self
+    }
+
+    fn pool(&mut self, k: usize, stride: usize) -> &mut Self {
+        self.h /= stride;
+        self.w /= stride;
+        self.layers.push(Layer::once(LayerKind::Pool { c: self.c, h_out: self.h, w_out: self.w, k }));
+        self
+    }
+
+    /// One ResNet bottleneck block (1x1 → 3x3 → 1x1 + residual add).
+    fn bottleneck(&mut self, mid: usize, out: usize, stride: usize) -> &mut Self {
+        self.conv(mid, 1, 1, true, true);
+        self.conv(mid, 3, stride, true, true);
+        self.conv(out, 1, 1, true, false);
+        self.layers.push(Layer::once(LayerKind::Elementwise { n: self.c * self.h * self.w, ops: 1 }));
+        self.layers.push(Layer::once(LayerKind::Relu { n: self.c * self.h * self.w }));
+        self
+    }
+
+    fn finish(self) -> (Vec<Layer>, usize, usize, usize) {
+        (self.layers, self.c, self.h, self.w)
+    }
+}
+
+/// ResNet-50 trunk at a given input resolution; returns layers plus the
+/// final `(c, h, w)`.
+fn resnet50_trunk(h: usize, w: usize) -> (Vec<Layer>, usize, usize, usize) {
+    let mut b = ConvBuilder::new(3, h, w);
+    b.conv(64, 7, 2, true, true).pool(3, 2);
+    // Stage 1: 3 blocks, width 64→256.
+    for i in 0..3 {
+        b.bottleneck(64, 256, if i == 0 { 1 } else { 1 });
+        b.c = 256;
+    }
+    // Stage 2: 4 blocks, width 128→512, downsample on entry.
+    for i in 0..4 {
+        b.bottleneck(128, 512, if i == 0 { 2 } else { 1 });
+        b.c = 512;
+    }
+    // Stage 3: 6 blocks, width 256→1024.
+    for i in 0..6 {
+        b.bottleneck(256, 1024, if i == 0 { 2 } else { 1 });
+        b.c = 1024;
+    }
+    // Stage 4: 3 blocks, width 512→2048.
+    for i in 0..3 {
+        b.bottleneck(512, 2048, if i == 0 { 2 } else { 1 });
+        b.c = 2048;
+    }
+    b.finish()
+}
+
+/// DC-AI-C1 / MLPerf: ResNet-50 on ImageNet (224², 1000 classes).
+pub fn image_classification() -> ModelSpec {
+    let (mut layers, c, h, _w) = resnet50_trunk(224, 224);
+    layers.push(Layer::once(LayerKind::Pool { c, h_out: 1, w_out: 1, k: h }));
+    layers.push(Layer::once(LayerKind::Linear { d_in: c, d_out: 1000 }));
+    layers.push(Layer::once(LayerKind::Softmax { rows: 1, classes: 1000 }));
+    ModelSpec::new("ResNet-50", layers, 3 * 224 * 224, 256, 1_281_167)
+}
+
+/// DC-AI-C2: WGAN with 4-layer 512-unit ReLU MLP generator and critic on
+/// LSUN bedrooms (64² RGB).
+pub fn image_generation() -> ModelSpec {
+    let img = 64 * 64 * 3;
+    let mut layers = Vec::new();
+    // Generator: z(128) -> 512 -> 512 -> 512 -> image.
+    layers.push(Layer::once(LayerKind::Linear { d_in: 128, d_out: 512 }));
+    layers.push(Layer::once(LayerKind::Relu { n: 512 }));
+    layers.push(Layer::repeated(LayerKind::Linear { d_in: 512, d_out: 512 }, 2));
+    layers.push(Layer::repeated(LayerKind::Relu { n: 512 }, 2));
+    layers.push(Layer::once(LayerKind::Linear { d_in: 512, d_out: img }));
+    layers.push(Layer::once(LayerKind::Activation { n: img }));
+    // Critic: image -> 512 -> 512 -> 512 -> 1.
+    layers.push(Layer::once(LayerKind::Linear { d_in: img, d_out: 512 }));
+    layers.push(Layer::repeated(LayerKind::Linear { d_in: 512, d_out: 512 }, 2));
+    layers.push(Layer::repeated(LayerKind::Relu { n: 512 }, 3));
+    layers.push(Layer::once(LayerKind::Linear { d_in: 512, d_out: 1 }));
+    ModelSpec::new("WassersteinGAN", layers, img, 64, 3_033_042)
+}
+
+/// Transformer encoder-decoder at a given width/depth/vocab.
+fn transformer(
+    name: &str,
+    d: usize,
+    layers_each: usize,
+    d_ff: usize,
+    vocab: usize,
+    seq: usize,
+    batch: usize,
+    dataset: usize,
+) -> ModelSpec {
+    let mut layers = Vec::new();
+    layers.push(Layer::once(LayerKind::Embedding { vocab, dim: d, lookups: 2 * seq }));
+    for _ in 0..layers_each {
+        // Encoder block.
+        layers.push(Layer::once(LayerKind::Attention { d_model: d, heads: 8, seq_q: seq, seq_k: seq }));
+        layers.push(Layer::once(LayerKind::LayerNorm { rows: seq, d }));
+        layers.push(Layer::once(LayerKind::Linear { d_in: d, d_out: d_ff }));
+        layers.push(Layer::once(LayerKind::Relu { n: seq * d_ff }));
+        layers.push(Layer::once(LayerKind::Linear { d_in: d_ff, d_out: d }));
+        layers.push(Layer::once(LayerKind::LayerNorm { rows: seq, d }));
+        layers.push(Layer::once(LayerKind::Elementwise { n: 2 * seq * d, ops: 1 }));
+    }
+    for _ in 0..layers_each {
+        // Decoder block: self + cross attention + FFN.
+        layers.push(Layer::repeated(LayerKind::Attention { d_model: d, heads: 8, seq_q: seq, seq_k: seq }, 2));
+        layers.push(Layer::repeated(LayerKind::LayerNorm { rows: seq, d }, 3));
+        layers.push(Layer::once(LayerKind::Linear { d_in: d, d_out: d_ff }));
+        layers.push(Layer::once(LayerKind::Relu { n: seq * d_ff }));
+        layers.push(Layer::once(LayerKind::Linear { d_in: d_ff, d_out: d }));
+        layers.push(Layer::once(LayerKind::Elementwise { n: 3 * seq * d, ops: 1 }));
+    }
+    layers.push(Layer::once(LayerKind::Linear { d_in: d, d_out: vocab }));
+    layers.push(Layer::once(LayerKind::Softmax { rows: seq, classes: vocab }));
+    ModelSpec::new(name, layers, 2 * seq, batch, dataset)
+}
+
+/// DC-AI-C3: Transformer on WMT English-German.
+pub fn text_to_text() -> ModelSpec {
+    transformer("Transformer", 512, 6, 2048, 20_000, 40, 128, 4_500_000)
+}
+
+/// DC-AI-C4: Neural Image Caption (Inception-style CNN + LSTM) on MSCOCO.
+pub fn image_to_text() -> ModelSpec {
+    // Inception-like trunk at 224².
+    let mut b = ConvBuilder::new(3, 224, 224);
+    b.conv(64, 7, 2, true, true).pool(3, 2);
+    b.conv(192, 3, 1, true, true).pool(3, 2);
+    b.conv(256, 3, 1, true, true);
+    b.conv(480, 3, 2, true, true);
+    b.conv(512, 3, 1, true, true);
+    b.conv(832, 3, 2, true, true);
+    b.conv(1024, 3, 1, true, true);
+    let (mut layers, c, h, _) = b.finish();
+    layers.push(Layer::once(LayerKind::Pool { c, h_out: 1, w_out: 1, k: h }));
+    layers.push(Layer::once(LayerKind::Linear { d_in: c, d_out: 512 }));
+    // Caption decoder: vocab 40k embeddings dominate the parameter count.
+    let vocab = 48_000;
+    let seq = 20;
+    layers.push(Layer::once(LayerKind::Embedding { vocab, dim: 512, lookups: seq }));
+    layers.push(Layer::once(LayerKind::Rnn { kind: RnnKind::Lstm, d_in: 512, d_h: 512, steps: seq }));
+    layers.push(Layer::once(LayerKind::Linear { d_in: 512, d_out: vocab }));
+    layers.push(Layer::once(LayerKind::Softmax { rows: seq, classes: vocab }));
+    ModelSpec::new("NeuralImageCaption", layers, 3 * 224 * 224, 64, 82_783)
+}
+
+/// DC-AI-C5: CycleGAN (two ResNet generators + two PatchGAN critics) on
+/// Cityscapes at 256².
+pub fn image_to_image() -> ModelSpec {
+    let mut layers = Vec::new();
+    for _ in 0..2 {
+        // Generator: c7s1-64, d128, d256, 9 residual 256 blocks, u128, u64, c7s1-3.
+        let mut g = ConvBuilder::new(3, 128, 128);
+        g.conv(64, 7, 1, true, true);
+        g.conv(128, 3, 2, true, true);
+        g.conv(256, 3, 2, true, true);
+        for _ in 0..9 {
+            g.conv(256, 3, 1, true, true);
+            g.conv(256, 3, 1, true, false);
+            g.layers.push(Layer::once(LayerKind::Elementwise { n: 256 * 32 * 32, ops: 1 }));
+        }
+        g.deconv(128, 3, 2, true);
+        g.deconv(64, 3, 2, true);
+        g.conv(3, 7, 1, false, false);
+        let (gl, _, _, _) = g.finish();
+        layers.extend(gl);
+        // 70x70 PatchGAN critic.
+        let mut d = ConvBuilder::new(3, 128, 128);
+        d.conv(64, 4, 2, false, true);
+        d.conv(128, 4, 2, true, true);
+        d.conv(256, 4, 2, true, true);
+        d.conv(512, 4, 1, true, true);
+        d.conv(1, 4, 1, false, false);
+        let (dl, _, _, _) = d.finish();
+        layers.extend(dl);
+    }
+    ModelSpec::new("CycleGAN", layers, 3 * 128 * 128, 1, 2_975)
+}
+
+/// DC-AI-C6: DeepSpeech2 (2 conv + 5 bidirectional GRU × 800) on
+/// LibriSpeech.
+pub fn speech_recognition() -> ModelSpec {
+    let (bands, frames) = (161, 300);
+    let mut b = ConvBuilder::new(1, bands, frames);
+    b.conv(32, 11, 2, true, true);
+    b.conv(32, 11, 1, true, true);
+    let (mut layers, c, h, w) = b.finish();
+    let d_in = c * h;
+    let steps = w;
+    layers.push(Layer::once(LayerKind::Rnn { kind: RnnKind::Gru, d_in, d_h: 800, steps }));
+    layers.push(Layer::repeated(LayerKind::Rnn { kind: RnnKind::Gru, d_in: 1600, d_h: 800, steps }, 4));
+    layers.push(Layer::once(LayerKind::Linear { d_in: 1600, d_out: 29 }));
+    layers.push(Layer::once(LayerKind::Softmax { rows: steps, classes: 29 }));
+    ModelSpec::new("DeepSpeech2", layers, bands * frames, 32, 281_241)
+}
+
+/// DC-AI-C7: FaceNet (Inception trunk to a 128-D embedding, ~24M params)
+/// on VGGFace2, trained with the triplet loss.
+pub fn face_embedding() -> ModelSpec {
+    let mut b = ConvBuilder::new(3, 160, 160);
+    b.conv(64, 7, 2, true, true).pool(3, 2);
+    b.conv(64, 1, 1, true, true);
+    b.conv(192, 3, 1, true, true).pool(3, 2);
+    b.conv(256, 3, 1, true, true);
+    b.conv(320, 3, 2, true, true);
+    b.conv(640, 3, 1, true, true);
+    b.conv(640, 3, 2, true, true);
+    b.conv(1024, 3, 1, true, true);
+    b.conv(1024, 3, 1, true, true);
+    let (mut layers, c, h, _) = b.finish();
+    layers.push(Layer::once(LayerKind::Pool { c, h_out: 1, w_out: 1, k: h }));
+    layers.push(Layer::once(LayerKind::Linear { d_in: c, d_out: 4096 }));
+    layers.push(Layer::once(LayerKind::Linear { d_in: 4096, d_out: 128 }));
+    ModelSpec::new("FaceNet", layers, 3 * 160 * 160, 90, 3_310_000)
+}
+
+/// DC-AI-C8: RGB-D ResNet-50 for 3D face recognition on the Intellifusion
+/// set (77,715 samples, 253 identities).
+pub fn face_recognition_3d() -> ModelSpec {
+    let (mut layers, c, h, w) = resnet50_trunk(224, 224);
+    // First conv is widened to 4 input channels; approximate by one extra
+    // depth-channel conv at the stem resolution.
+    layers.insert(
+        0,
+        Layer::once(LayerKind::Conv2d { c_in: 1, c_out: 64, k: 7, h_out: 112, w_out: 112 }),
+    );
+    let _ = w;
+    layers.push(Layer::once(LayerKind::Pool { c, h_out: 1, w_out: 1, k: h }));
+    layers.push(Layer::once(LayerKind::Linear { d_in: c, d_out: 253 }));
+    layers.push(Layer::once(LayerKind::Softmax { rows: 1, classes: 253 }));
+    ModelSpec::new("RGB-D ResNet-50", layers, 4 * 224 * 224, 64, 77_715)
+}
+
+/// DC-AI-C9: Faster R-CNN with a ResNet-50 backbone on VOC2007 (600×850
+/// inputs, 300 region proposals).
+pub fn object_detection() -> ModelSpec {
+    let (mut layers, c, _h, _w) = resnet50_trunk(800, 1100);
+    // RPN head over the stride-16 map (wider 512-channel conv).
+    layers.push(Layer::once(LayerKind::Conv2d { c_in: c, c_out: 512, k: 3, h_out: 50, w_out: 69 }));
+    layers.push(Layer::once(LayerKind::Conv2d { c_in: 512, c_out: 24, k: 1, h_out: 50, w_out: 69 }));
+    // RoI Align: bilinear grid sampling of 300 proposal crops (7x7x1024),
+    // plus per-proposal layout shuffling — the data-arrangement-heavy part
+    // of two-stage detection.
+    layers.push(Layer::shared(LayerKind::GridSample { c: 1024, h: 7, w: 7 }, 300));
+    // 300 RoI heads with shared weights over pooled 1024-d crop features.
+    layers.push(Layer::shared(LayerKind::Pool { c: 1024, h_out: 1, w_out: 1, k: 7 }, 300));
+    layers.push(Layer::shared(LayerKind::Linear { d_in: 1024, d_out: 1024 }, 300));
+    layers.push(Layer::shared(LayerKind::Linear { d_in: 1024, d_out: 1024 }, 300));
+    layers.push(Layer::shared(LayerKind::Linear { d_in: 1024, d_out: 84 }, 300));
+    layers.push(Layer::once(LayerKind::Softmax { rows: 300, classes: 21 }));
+    ModelSpec::new("Faster R-CNN", layers, 3 * 600 * 850, 1, 5_011)
+}
+
+/// DC-AI-C10 / MLPerf: Neural Collaborative Filtering on MovieLens.
+pub fn recommendation() -> ModelSpec {
+    let (users, items, dim) = (138_493, 26_744, 32);
+    let mut layers = Vec::new();
+    layers.push(Layer::once(LayerKind::Embedding { vocab: users, dim, lookups: 1 }));
+    layers.push(Layer::once(LayerKind::Embedding { vocab: items, dim, lookups: 1 }));
+    layers.push(Layer::once(LayerKind::Linear { d_in: 2 * dim, d_out: 256 }));
+    layers.push(Layer::once(LayerKind::Relu { n: 256 }));
+    layers.push(Layer::once(LayerKind::Linear { d_in: 256, d_out: 128 }));
+    layers.push(Layer::once(LayerKind::Relu { n: 128 }));
+    layers.push(Layer::once(LayerKind::Linear { d_in: 128, d_out: 64 }));
+    layers.push(Layer::once(LayerKind::Linear { d_in: 64, d_out: 1 }));
+    layers.push(Layer::once(LayerKind::Activation { n: 1 }));
+    ModelSpec::new("NeuralCF", layers, 2, 1024, 5_000_000)
+}
+
+/// DC-AI-C11: motion-focused predictive model (CDNA-style conv-LSTM) on
+/// the robot-pushing set.
+pub fn video_prediction() -> ModelSpec {
+    let mut b = ConvBuilder::new(3, 64, 64);
+    b.conv(32, 5, 2, true, true);
+    b.conv(64, 5, 2, true, true);
+    b.conv(128, 5, 2, true, true);
+    let (mut layers, _, _, _) = b.finish();
+    layers.push(Layer::once(LayerKind::Rnn { kind: RnnKind::Lstm, d_in: 128 * 8 * 8, d_h: 512, steps: 10 }));
+    let mut d = ConvBuilder::new(128, 8, 8);
+    d.deconv(64, 5, 2, true);
+    d.deconv(32, 5, 2, true);
+    d.deconv(3, 5, 2, false);
+    let (dl, _, _, _) = d.finish();
+    layers.extend(dl);
+    ModelSpec::new("MotionFocusedPredictive", layers, 3 * 64 * 64 * 10, 32, 59_000)
+}
+
+/// DC-AI-C12: full-resolution recurrent image compression on ImageNet
+/// patches (GRU encoder/decoder, 16 refinement iterations).
+pub fn image_compression() -> ModelSpec {
+    let mut b = ConvBuilder::new(3, 64, 64);
+    b.conv(64, 3, 2, false, true);
+    b.conv(256, 3, 2, false, true);
+    b.conv(512, 3, 2, false, true);
+    let (mut layers, _, _, _) = b.finish();
+    // Recurrent refinement core over 16 iterations.
+    layers.push(Layer::once(LayerKind::Rnn { kind: RnnKind::Gru, d_in: 512, d_h: 512, steps: 16 }));
+    layers.push(Layer::once(LayerKind::Activation { n: 8 * 8 * 32 * 16 })); // binarizer
+    let mut d = ConvBuilder::new(512, 8, 8);
+    d.deconv(256, 3, 2, true);
+    d.deconv(64, 3, 2, true);
+    d.deconv(3, 3, 2, false);
+    let (dl, _, _, _) = d.finish();
+    layers.extend(dl);
+    ModelSpec::new("RecurrentCompression", layers, 3 * 64 * 64, 64, 1_281_167)
+}
+
+/// DC-AI-C13: perspective-transformer 3-D reconstruction on ShapeNet
+/// (encoder to latent, volume decoder to 32³, grid-sample projection).
+pub fn object_reconstruction_3d() -> ModelSpec {
+    let mut b = ConvBuilder::new(3, 224, 224);
+    b.conv(96, 7, 2, true, true);
+    b.conv(192, 5, 2, true, true);
+    b.conv(384, 5, 2, true, true);
+    b.conv(512, 3, 1, true, true);
+    b.conv(512, 3, 1, true, true);
+    b.conv(512, 3, 1, true, true);
+    let (mut layers, c, h, w) = b.finish();
+    let _ = (h, w);
+    layers.push(Layer::once(LayerKind::Pool { c, h_out: 7, w_out: 7, k: 4 }));
+    layers.push(Layer::once(LayerKind::Linear { d_in: c * 7 * 7, d_out: 1024 }));
+    // Volume decoder: treat 3-D deconvs as stacked 2-D deconv slices.
+    layers.push(Layer::once(LayerKind::Linear { d_in: 1024, d_out: 4 * 4 * 4 * 256 }));
+    let mut d = ConvBuilder::new(256, 8, 8);
+    d.deconv(256, 3, 2, true);
+    d.deconv(128, 3, 2, true);
+    d.deconv(64, 3, 2, true);
+    d.deconv(32, 3, 2, true);
+    let (dl, dc, dh, dw) = d.finish();
+    // Replicate the decoder across the 32 depth slices of the volume with
+    // one shared set of weights; the ×3 models the k_z extent of the 3-D
+    // kernels that the 2-D slices approximate.
+    for l in dl {
+        layers.push(Layer::shared(l.kind, l.repeat * 32 * 3));
+    }
+    layers.push(Layer::once(LayerKind::GridSample { c: dc, h: dh, w: dw }));
+    ModelSpec::new("PerspectiveTransformerNet", layers, 3 * 224 * 224, 8, 43_783)
+}
+
+/// DC-AI-C14: attentional sequence-to-sequence summarization on Gigaword.
+pub fn text_summarization() -> ModelSpec {
+    let (vocab, d, seq_in, seq_out) = (50_000, 400, 50, 15);
+    let mut layers = Vec::new();
+    layers.push(Layer::once(LayerKind::Embedding { vocab, dim: d, lookups: seq_in + seq_out }));
+    layers.push(Layer::once(LayerKind::Rnn { kind: RnnKind::Lstm, d_in: d, d_h: d, steps: seq_in }));
+    layers.push(Layer::once(LayerKind::Rnn { kind: RnnKind::Lstm, d_in: d, d_h: d, steps: seq_out }));
+    layers.push(Layer::once(LayerKind::Attention { d_model: d, heads: 1, seq_q: seq_out, seq_k: seq_in }));
+    layers.push(Layer::once(LayerKind::Linear { d_in: d, d_out: vocab }));
+    layers.push(Layer::once(LayerKind::Softmax { rows: seq_out, classes: vocab }));
+    ModelSpec::new("Seq2SeqAttention", layers, seq_in, 64, 3_800_000)
+}
+
+/// DC-AI-C15: spatial transformer network on MNIST (the suite's smallest
+/// model, ~0.03M parameters).
+pub fn spatial_transformer() -> ModelSpec {
+    let mut layers = Vec::new();
+    // Localization network.
+    let mut b = ConvBuilder::new(1, 28, 28);
+    b.conv(8, 7, 1, false, true).pool(2, 2);
+    b.conv(10, 5, 1, false, true).pool(2, 2);
+    let (ll, lc, lh, lw) = b.finish();
+    layers.extend(ll);
+    layers.push(Layer::once(LayerKind::Linear { d_in: lc * lh * lw, d_out: 32 }));
+    layers.push(Layer::once(LayerKind::Linear { d_in: 32, d_out: 6 }));
+    layers.push(Layer::once(LayerKind::GridSample { c: 1, h: 28, w: 28 }));
+    // Classifier.
+    let mut cb = ConvBuilder::new(1, 28, 28);
+    cb.conv(10, 5, 1, false, true).pool(2, 2);
+    cb.conv(20, 5, 1, false, true).pool(2, 2);
+    let (cl, cc, ch, cw) = cb.finish();
+    layers.extend(cl);
+    layers.push(Layer::once(LayerKind::Linear { d_in: cc * ch * cw, d_out: 10 }));
+    layers.push(Layer::once(LayerKind::Softmax { rows: 1, classes: 10 }));
+    ModelSpec::new("SpatialTransformerNet", layers, 28 * 28, 256, 60_000)
+}
+
+/// DC-AI-C16: Ranking Distillation student on Gowalla — embedding lookups
+/// dominate the parameters while per-query compute is tiny (the suite's
+/// smallest FLOPs, ~0.09 M-FLOPs).
+pub fn learning_to_rank() -> ModelSpec {
+    let (items, dim) = (196_591, 10);
+    let mut layers = Vec::new();
+    layers.push(Layer::once(LayerKind::Embedding { vocab: items, dim, lookups: 3 }));
+    layers.push(Layer::once(LayerKind::Linear { d_in: 3 * dim, d_out: 100 }));
+    layers.push(Layer::once(LayerKind::Relu { n: 100 }));
+    layers.push(Layer::once(LayerKind::Linear { d_in: 100, d_out: 100 }));
+    layers.push(Layer::once(LayerKind::Relu { n: 100 }));
+    layers.push(Layer::once(LayerKind::Linear { d_in: 100, d_out: 100 }));
+    layers.push(Layer::once(LayerKind::Linear { d_in: 100, d_out: 50 }));
+    layers.push(Layer::once(LayerKind::Activation { n: 50 }));
+    ModelSpec::new("RankingDistillation", layers, 3, 512, 6_442_890)
+}
+
+/// DC-AI-C17: ENAS controller + child network on PTB. The paper excludes
+/// this from the model-characteristics comparison (FLOPs vary per epoch);
+/// the spec models one representative child step.
+pub fn neural_architecture_search() -> ModelSpec {
+    let (vocab, d) = (10_000, 400);
+    let mut layers = Vec::new();
+    // Controller LSTM sampling 24 architecture decisions.
+    layers.push(Layer::once(LayerKind::Rnn { kind: RnnKind::Lstm, d_in: 64, d_h: 100, steps: 24 }));
+    // Shared-weight child: embedding + recurrent cell + output projection.
+    layers.push(Layer::once(LayerKind::Embedding { vocab, dim: d, lookups: 35 }));
+    layers.push(Layer::once(LayerKind::Rnn { kind: RnnKind::Lstm, d_in: d, d_h: d, steps: 35 }));
+    layers.push(Layer::once(LayerKind::Linear { d_in: d, d_out: vocab }));
+    layers.push(Layer::once(LayerKind::Softmax { rows: 35, classes: vocab }));
+    ModelSpec::new("ENAS", layers, 35, 128, 929_589)
+}
+
+// ---------------------------------------------------------------------
+// MLPerf baselines (the two shared benchmarks reuse the same specs).
+// ---------------------------------------------------------------------
+
+/// MLPerf Object Detection (heavy): Mask R-CNN with a ResNet-50 backbone
+/// at 800² (per the paper's coverage numbers, the MLPerf FLOPs maximum).
+pub fn mlperf_object_detection_heavy() -> ModelSpec {
+    let (mut layers, c, _h, _w) = resnet50_trunk(800, 800);
+    layers.push(Layer::once(LayerKind::Conv2d { c_in: c, c_out: 256, k: 3, h_out: 50, w_out: 50 }));
+    layers.push(Layer::shared(LayerKind::GridSample { c: 256, h: 14, w: 14 }, 100));
+    layers.push(Layer::shared(LayerKind::Linear { d_in: 7 * 7 * 256, d_out: 1024 }, 100));
+    layers.push(Layer::shared(LayerKind::Linear { d_in: 1024, d_out: 1024 }, 100));
+    layers.push(Layer::shared(LayerKind::Linear { d_in: 1024, d_out: 324 }, 100));
+    // Mask head convs on 14² crops (shared weights across proposals).
+    layers.push(Layer::shared(LayerKind::Conv2d { c_in: 256, c_out: 256, k: 3, h_out: 14, w_out: 14 }, 100));
+    layers.push(Layer::once(LayerKind::Softmax { rows: 100, classes: 81 }));
+    ModelSpec::new("Mask R-CNN", layers, 3 * 800 * 800, 2, 118_287)
+}
+
+/// MLPerf Object Detection (light): SSD with a ResNet-34-style backbone at
+/// 300².
+pub fn mlperf_object_detection_light() -> ModelSpec {
+    let mut b = ConvBuilder::new(3, 300, 300);
+    b.conv(64, 7, 2, true, true).pool(3, 2);
+    for _ in 0..3 {
+        b.conv(64, 3, 1, true, true);
+        b.conv(64, 3, 1, true, true);
+    }
+    b.conv(128, 3, 2, true, true);
+    for _ in 0..3 {
+        b.conv(128, 3, 1, true, true);
+        b.conv(128, 3, 1, true, true);
+    }
+    b.conv(256, 3, 2, true, true);
+    for _ in 0..5 {
+        b.conv(256, 3, 1, true, true);
+        b.conv(256, 3, 1, true, true);
+    }
+    // SSD extra feature layers + per-scale heads.
+    b.conv(512, 3, 2, true, true);
+    b.conv(512, 3, 1, true, true);
+    b.conv(256, 3, 2, true, true);
+    let (mut layers, _, _, _) = b.finish();
+    layers.push(Layer::once(LayerKind::Conv2d { c_in: 256, c_out: 486, k: 3, h_out: 10, w_out: 10 }));
+    layers.push(Layer::once(LayerKind::Softmax { rows: 8_732, classes: 81 }));
+    ModelSpec::new("SSD-ResNet34", layers, 3 * 300 * 300, 32, 118_287)
+}
+
+/// MLPerf Translation (recurrent): GNMT-style 4-layer LSTM
+/// encoder-decoder with attention.
+pub fn mlperf_translation_recurrent() -> ModelSpec {
+    let (vocab, d, seq) = (32_000, 512, 50);
+    let mut layers = Vec::new();
+    layers.push(Layer::once(LayerKind::Embedding { vocab, dim: d, lookups: 2 * seq }));
+    layers.push(Layer::repeated(LayerKind::Rnn { kind: RnnKind::Lstm, d_in: d, d_h: d, steps: seq }, 4));
+    layers.push(Layer::repeated(LayerKind::Rnn { kind: RnnKind::Lstm, d_in: d, d_h: d, steps: seq }, 4));
+    layers.push(Layer::once(LayerKind::Attention { d_model: d, heads: 1, seq_q: seq, seq_k: seq }));
+    layers.push(Layer::once(LayerKind::Linear { d_in: d, d_out: vocab }));
+    layers.push(Layer::once(LayerKind::Softmax { rows: seq, classes: vocab }));
+    ModelSpec::new("GNMT", layers, 2 * seq, 128, 4_500_000)
+}
+
+/// MLPerf Translation (non-recurrent): Transformer with a reduced
+/// shared-embedding vocabulary (keeping MLPerf's parameter ceiling at
+/// ~49.5M, as the paper's coverage figures report).
+pub fn mlperf_translation_nonrecurrent() -> ModelSpec {
+    transformer("Transformer (MLPerf)", 512, 6, 2048, 16_000, 33, 128, 4_500_000)
+}
+
+/// MLPerf Reinforcement Learning: minigo-style policy/value network
+/// (9-block residual tower on a 19×19 board). Excluded from the
+/// model-characteristics figure, like AIBench's NAS.
+pub fn mlperf_reinforcement_learning() -> ModelSpec {
+    let mut b = ConvBuilder::new(17, 19, 19);
+    b.conv(256, 3, 1, true, true);
+    for _ in 0..9 {
+        b.conv(256, 3, 1, true, true);
+        b.conv(256, 3, 1, true, false);
+        b.layers.push(Layer::once(LayerKind::Elementwise { n: 256 * 19 * 19, ops: 1 }));
+    }
+    b.conv(2, 1, 1, true, true);
+    let (mut layers, _, _, _) = b.finish();
+    layers.push(Layer::once(LayerKind::Linear { d_in: 2 * 19 * 19, d_out: 362 }));
+    layers.push(Layer::once(LayerKind::Softmax { rows: 1, classes: 362 }));
+    ModelSpec::new("Minigo", layers, 17 * 19 * 19, 64, 2_000_000)
+}
+
+/// The seventeen AIBench component-benchmark specs, in DC-AI-C order.
+pub fn aibench_specs() -> Vec<ModelSpec> {
+    vec![
+        image_classification(),
+        image_generation(),
+        text_to_text(),
+        image_to_text(),
+        image_to_image(),
+        speech_recognition(),
+        face_embedding(),
+        face_recognition_3d(),
+        object_detection(),
+        recommendation(),
+        video_prediction(),
+        image_compression(),
+        object_reconstruction_3d(),
+        text_summarization(),
+        spatial_transformer(),
+        learning_to_rank(),
+        neural_architecture_search(),
+    ]
+}
+
+/// The seven MLPerf training benchmark specs.
+pub fn mlperf_specs() -> Vec<ModelSpec> {
+    vec![
+        image_classification(),
+        mlperf_object_detection_heavy(),
+        mlperf_object_detection_light(),
+        mlperf_translation_recurrent(),
+        mlperf_translation_nonrecurrent(),
+        recommendation(),
+        mlperf_reinforcement_learning(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogs_have_paper_counts() {
+        assert_eq!(aibench_specs().len(), 17);
+        assert_eq!(mlperf_specs().len(), 7);
+    }
+
+    #[test]
+    fn shared_benchmarks_are_identical() {
+        // The paper: AIBench and MLPerf share Image Classification and
+        // Recommendation models/datasets.
+        let a = aibench_specs();
+        let m = mlperf_specs();
+        assert_eq!(a[0], m[0]);
+        assert_eq!(a[9], m[5]);
+    }
+
+    #[test]
+    fn resnet_trunk_reaches_2048_channels() {
+        let (_, c, h, w) = resnet50_trunk(224, 224);
+        assert_eq!(c, 2048);
+        assert_eq!((h, w), (7, 7));
+    }
+
+    #[test]
+    fn all_specs_have_layers_and_inputs() {
+        for spec in aibench_specs().into_iter().chain(mlperf_specs()) {
+            assert!(spec.layer_count() > 3, "{} too shallow", spec.name);
+            assert!(spec.input_elems > 0, "{} has no input", spec.name);
+            assert!(spec.dataset_size > 0 && spec.batch_size > 0);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Model definitions for the AIBench and MLPerf training benchmarks.
+//!
+//! Two levels of modeling live here:
+//!
+//! * [`spec`] — *full-scale* architectural descriptions ([`ModelSpec`]) of
+//!   every benchmark model at the paper's scale (ResNet-50 on ImageNet,
+//!   Faster R-CNN on VOC, Transformer on WMT, …). These are plain data and
+//!   drive the FLOPs/parameter counter (`aibench-opcount`) and the GPU
+//!   simulator (`aibench-gpusim`).
+//! * [`scaled`] — *scaled-down trainable* versions of the same
+//!   architectures, built on the `aibench-nn` stack and the synthetic
+//!   datasets, small enough that an entire training session converges on a
+//!   CPU in seconds while preserving each task's structure (the same layer
+//!   types, losses, and quality metrics).
+//!
+//! The [`Trainer`] trait is the common interface every scaled benchmark
+//! implements: one call per epoch plus a quality evaluation.
+
+#![deny(missing_docs)]
+
+pub mod catalog;
+pub mod scaled;
+pub mod spec;
+
+pub use spec::{Layer, LayerKind, ModelSpec, RnnKind};
+
+/// A scaled, trainable benchmark instance.
+///
+/// One `Trainer` owns its model, dataset, and optimizer;
+/// [`Trainer::train_epoch`] performs a full pass over the synthetic training
+/// set and [`Trainer::evaluate`] measures the benchmark's quality metric on
+/// held-out data (in the metric's native units and direction — e.g.
+/// accuracy in `[0, 1]` where higher is better, WER where lower is better).
+pub trait Trainer {
+    /// Runs one training epoch, returning the mean training loss.
+    fn train_epoch(&mut self) -> f32;
+
+    /// Evaluates the benchmark's quality metric on held-out data.
+    fn evaluate(&mut self) -> f64;
+
+    /// Number of learnable parameters of the scaled model.
+    fn param_count(&self) -> usize;
+}

@@ -1,0 +1,143 @@
+//! DC-AI-C4 Image-to-Text: a CNN encoder feeding a GRU caption decoder
+//! (the Neural Image Caption structure). Quality: perplexity of held-out
+//! captions (lower is better; the paper's target is 4.2).
+
+use aibench_autograd::Graph;
+use aibench_data::batch::batches;
+use aibench_data::metrics::perplexity;
+use aibench_data::synth::CaptionDataset;
+use aibench_nn::{Adam, Conv2d, Embedding, GruCell, Linear, Module, Optimizer};
+use aibench_tensor::Rng;
+
+use crate::Trainer;
+
+/// The Image-to-Text benchmark trainer.
+#[derive(Debug)]
+pub struct ImageToText {
+    ds: CaptionDataset,
+    conv1: Conv2d,
+    conv2: Conv2d,
+    to_state: Linear,
+    embed: Embedding,
+    dec: GruCell,
+    proj: Linear,
+    opt: Adam,
+    rng: Rng,
+    batch: usize,
+    eval_n: usize,
+}
+
+impl ImageToText {
+    /// Builds the benchmark with the given training seed.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = Rng::seed_from(seed);
+        let ds = CaptionDataset::new(4, 15, 128, 0xC4);
+        let d = 24;
+        let conv1 = Conv2d::new(1, 8, 3, 2, 1, &mut rng);
+        let conv2 = Conv2d::new(8, 16, 3, 2, 1, &mut rng);
+        let feat = 16 * 4 * 4;
+        let to_state = Linear::new(feat, d, &mut rng);
+        let embed = Embedding::new(ds.vocab_size(), d, &mut rng);
+        let dec = GruCell::new(d, d, &mut rng);
+        let proj = Linear::new(d, ds.vocab_size(), &mut rng);
+        let mut params = conv1.params();
+        params.extend(conv2.params());
+        params.extend(to_state.params());
+        params.extend(embed.params());
+        params.extend(dec.params());
+        params.extend(proj.params());
+        let opt = Adam::new(params, 0.01);
+        ImageToText { ds, conv1, conv2, to_state, embed, dec, proj, opt, rng, batch: 16, eval_n: 48 }
+    }
+
+    /// Mean per-token cross-entropy on a batch (teacher forcing); trains
+    /// when `test` is false.
+    fn step_batch(&mut self, idx: &[usize], test: bool) -> f32 {
+        let (x, caps) = self.ds.batch(idx, test);
+        let b = idx.len();
+        let w = self.ds.caption_width();
+        let mut g = Graph::new();
+        let xv = g.input(x);
+        let f = self.conv1.forward(&mut g, xv);
+        let f = g.relu(f);
+        let f = self.conv2.forward(&mut g, f);
+        let f = g.relu(f);
+        let shape = g.value(f).shape().to_vec();
+        let flat = g.reshape(f, &[b, shape[1] * shape[2] * shape[3]]);
+        let mut h = self.to_state.forward(&mut g, flat);
+        h = g.tanh(h);
+        // Teacher-forced decoding of caption tokens 1..w from 0..w-1.
+        let mut outs = Vec::new();
+        for t in 0..w - 1 {
+            let ids: Vec<usize> = caps.iter().map(|c| c[t]).collect();
+            let e = self.embed.forward(&mut g, &ids);
+            h = self.dec.step(&mut g, e, h);
+            outs.push(h);
+        }
+        let seq = g.concat(&outs, 0); // [(w-1)*b, d], step-major
+        let logits = self.proj.forward(&mut g, seq);
+        let mut labels = Vec::with_capacity(b * (w - 1));
+        for t in 1..w {
+            for c in &caps {
+                labels.push(c[t]);
+            }
+        }
+        let loss = g.softmax_cross_entropy(logits, &labels, Some(0));
+        let v = g.value(loss).item();
+        if !test {
+            g.backward(loss);
+            self.opt.step();
+            self.opt.zero_grad();
+        }
+        v
+    }
+}
+
+impl Trainer for ImageToText {
+    fn train_epoch(&mut self) -> f32 {
+        let mut total = 0.0;
+        let mut count = 0;
+        for idx in batches(self.ds.len(), self.batch, &mut self.rng) {
+            total += self.step_batch(&idx, false);
+            count += 1;
+        }
+        total / count.max(1) as f32
+    }
+
+    fn evaluate(&mut self) -> f64 {
+        let idx: Vec<usize> = (0..self.eval_n).collect();
+        let mut nll = 0.0;
+        let mut count = 0;
+        for chunk in idx.chunks(16) {
+            nll += self.step_batch(chunk, true) as f64;
+            count += 1;
+        }
+        perplexity(nll / count.max(1) as f64)
+    }
+
+    fn param_count(&self) -> usize {
+        self.conv1.param_count()
+            + self.conv2.param_count()
+            + self.to_state.param_count()
+            + self.embed.param_count()
+            + self.dec.param_count()
+            + self.proj.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perplexity_falls_with_training() {
+        let mut t = ImageToText::new(4);
+        let before = t.evaluate();
+        for _ in 0..6 {
+            t.train_epoch();
+        }
+        let after = t.evaluate();
+        assert!(after < before, "ppl before {before:.2}, after {after:.2}");
+        assert!(after < 6.0, "ppl should at least learn the caption grammar: {after:.2}");
+    }
+}

@@ -1,0 +1,132 @@
+//! A miniature ResNet shared by the image-classification-style benchmarks.
+
+use aibench_autograd::{Graph, Param, Var};
+use aibench_nn::{BatchNorm2d, Conv2d, Linear, Mode, Module};
+use aibench_tensor::Rng;
+
+/// A small residual CNN in the structure of ResNet-50: stem convolution,
+/// residual blocks with batch norm, global average pooling, and a linear
+/// classifier head.
+#[derive(Debug)]
+pub struct MiniResNet {
+    stem: Conv2d,
+    stem_bn: BatchNorm2d,
+    block1_a: Conv2d,
+    block1_bn_a: BatchNorm2d,
+    block1_b: Conv2d,
+    block1_bn_b: BatchNorm2d,
+    down: Conv2d,
+    down_bn: BatchNorm2d,
+    block2_a: Conv2d,
+    block2_bn_a: BatchNorm2d,
+    block2_b: Conv2d,
+    block2_bn_b: BatchNorm2d,
+    head: Linear,
+}
+
+impl MiniResNet {
+    /// Builds the network for `c_in`-channel inputs, `width` base channels,
+    /// and `classes` outputs.
+    pub fn new(c_in: usize, width: usize, classes: usize, rng: &mut Rng) -> Self {
+        MiniResNet {
+            stem: Conv2d::new_no_bias(c_in, width, 3, 1, 1, rng),
+            stem_bn: BatchNorm2d::new(width),
+            block1_a: Conv2d::new_no_bias(width, width, 3, 1, 1, rng),
+            block1_bn_a: BatchNorm2d::new(width),
+            block1_b: Conv2d::new_no_bias(width, width, 3, 1, 1, rng),
+            block1_bn_b: BatchNorm2d::new(width),
+            down: Conv2d::new_no_bias(width, 2 * width, 3, 2, 1, rng),
+            down_bn: BatchNorm2d::new(2 * width),
+            block2_a: Conv2d::new_no_bias(2 * width, 2 * width, 3, 1, 1, rng),
+            block2_bn_a: BatchNorm2d::new(2 * width),
+            block2_b: Conv2d::new_no_bias(2 * width, 2 * width, 3, 1, 1, rng),
+            block2_bn_b: BatchNorm2d::new(2 * width),
+            head: Linear::new(2 * width, classes, rng),
+        }
+    }
+
+    /// Embeds an NCHW batch into pooled features `[n, 2*width]`.
+    pub fn features(&self, g: &mut Graph, x: Var, mode: Mode) -> Var {
+        let x = self.stem.forward(g, x);
+        let x = self.stem_bn.forward(g, x, mode);
+        let x = g.relu(x);
+        // Residual block at full resolution.
+        let r = self.block1_a.forward(g, x);
+        let r = self.block1_bn_a.forward(g, r, mode);
+        let r = g.relu(r);
+        let r = self.block1_b.forward(g, r);
+        let r = self.block1_bn_b.forward(g, r, mode);
+        let x = g.add(x, r);
+        let x = g.relu(x);
+        // Downsample.
+        let x = self.down.forward(g, x);
+        let x = self.down_bn.forward(g, x, mode);
+        let x = g.relu(x);
+        // Residual block at half resolution.
+        let r = self.block2_a.forward(g, x);
+        let r = self.block2_bn_a.forward(g, r, mode);
+        let r = g.relu(r);
+        let r = self.block2_b.forward(g, r);
+        let r = self.block2_bn_b.forward(g, r, mode);
+        let x = g.add(x, r);
+        let x = g.relu(x);
+        g.global_avg_pool(x)
+    }
+
+    /// Classification logits `[n, classes]`.
+    pub fn forward(&self, g: &mut Graph, x: Var, mode: Mode) -> Var {
+        let f = self.features(g, x, mode);
+        self.head.forward(g, f)
+    }
+}
+
+impl Module for MiniResNet {
+    fn params(&self) -> Vec<Param> {
+        let mut ps = Vec::new();
+        for m in [&self.stem, &self.block1_a, &self.block1_b, &self.down, &self.block2_a, &self.block2_b] {
+            ps.extend(m.params());
+        }
+        for bn in [
+            &self.stem_bn,
+            &self.block1_bn_a,
+            &self.block1_bn_b,
+            &self.down_bn,
+            &self.block2_bn_a,
+            &self.block2_bn_b,
+        ] {
+            ps.extend(bn.params());
+        }
+        ps.extend(self.head.params());
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aibench_tensor::Tensor;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = Rng::seed_from(1);
+        let net = MiniResNet::new(1, 8, 5, &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::randn(&[2, 1, 12, 12], &mut rng));
+        let y = net.forward(&mut g, x, Mode::Train);
+        assert_eq!(g.value(y).shape(), &[2, 5]);
+    }
+
+    #[test]
+    fn all_params_receive_gradient() {
+        let mut rng = Rng::seed_from(2);
+        let net = MiniResNet::new(1, 4, 3, &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::randn(&[2, 1, 8, 8], &mut rng));
+        let y = net.forward(&mut g, x, Mode::Train);
+        let loss = g.softmax_cross_entropy(y, &[0, 2], None);
+        g.backward(loss);
+        for p in net.params() {
+            assert!(p.grad().sq_norm() > 0.0, "param {} got no gradient", p.name());
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! DC-AI-C12 Image Compression: a convolutional autoencoder with a tanh
+//! bottleneck (the differentiable surrogate of the paper's binarizer),
+//! reconstructing ImageNet-like patches. Quality: MS-SSIM (target 0.99).
+
+use aibench_autograd::Graph;
+use aibench_data::batch::batches;
+use aibench_data::metrics::ms_ssim;
+use aibench_data::synth::ImageClassDataset;
+use aibench_nn::{Adam, Conv2d, Module, Optimizer};
+use aibench_tensor::ops::Conv2dArgs;
+use aibench_tensor::{Rng, Tensor};
+
+use crate::Trainer;
+
+/// The Image Compression benchmark trainer.
+#[derive(Debug)]
+pub struct ImageCompression {
+    ds: ImageClassDataset,
+    enc1: Conv2d,
+    enc2: Conv2d,
+    dec_w1: aibench_autograd::Param,
+    dec_w2: aibench_autograd::Param,
+    opt: Adam,
+    rng: Rng,
+    size: usize,
+    batch: usize,
+    eval_n: usize,
+}
+
+impl ImageCompression {
+    /// Builds the benchmark with the given training seed.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = Rng::seed_from(seed);
+        // Same image distribution as Image Classification (the paper uses
+        // ImageNet for both), normalized into [0, 1] at batch time.
+        let ds = ImageClassDataset::with_noise(6, 1, 16, 96, 0xC12, 0.3);
+        let enc1 = Conv2d::new(1, 12, 3, 2, 1, &mut rng);
+        let enc2 = Conv2d::new(12, 6, 3, 2, 1, &mut rng);
+        // Transposed-conv decoder weights ([c_in, c_out, k, k]).
+        let dec_w1 = aibench_autograd::Param::new(
+            "comp.dec1",
+            aibench_nn::kaiming_normal(&[6, 12, 2, 2], 24, &mut rng),
+        );
+        let dec_w2 = aibench_autograd::Param::new(
+            "comp.dec2",
+            aibench_nn::kaiming_normal(&[12, 1, 2, 2], 48, &mut rng),
+        );
+        let mut params = enc1.params();
+        params.extend(enc2.params());
+        params.push(dec_w1.clone());
+        params.push(dec_w2.clone());
+        let opt = Adam::new(params, 0.01);
+        ImageCompression { ds, enc1, enc2, dec_w1, dec_w2, opt, rng, size: 16, batch: 16, eval_n: 24 }
+    }
+
+    fn normalize(x: &Tensor) -> Tensor {
+        // Squash the smooth-image distribution into [0, 1].
+        x.map(|v| 1.0 / (1.0 + (-1.5 * v).exp()))
+    }
+
+    fn reconstruct(&self, g: &mut Graph, x: Tensor) -> aibench_autograd::Var {
+        let s = self.size;
+        let xv = g.input(x);
+        let h = self.enc1.forward(g, xv);
+        let h = g.relu(h);
+        let h = self.enc2.forward(g, h);
+        // Bottleneck "binarizer": tanh squashing toward ±1.
+        let code = g.tanh(h);
+        let w1 = g.param(&self.dec_w1);
+        let h = g.conv_transpose2d(code, w1, Conv2dArgs::new(2, 0), (s / 2, s / 2));
+        let h = g.relu(h);
+        let w2 = g.param(&self.dec_w2);
+        let y = g.conv_transpose2d(h, w2, Conv2dArgs::new(2, 0), (s, s));
+        g.sigmoid(y)
+    }
+}
+
+impl Trainer for ImageCompression {
+    fn train_epoch(&mut self) -> f32 {
+        let mut total = 0.0;
+        let mut count = 0;
+        for idx in batches(self.ds.len(), self.batch, &mut self.rng) {
+            let (x, _) = self.ds.train_batch(&idx);
+            let x = Self::normalize(&x);
+            let mut g = Graph::new();
+            let recon = self.reconstruct(&mut g, x.clone());
+            let loss = g.mse_loss(recon, &x);
+            total += g.value(loss).item();
+            count += 1;
+            g.backward(loss);
+            self.opt.step();
+            self.opt.zero_grad();
+        }
+        total / count.max(1) as f32
+    }
+
+    fn evaluate(&mut self) -> f64 {
+        let idx: Vec<usize> = (0..self.eval_n).collect();
+        let (x, _) = self.ds.test_batch(&idx);
+        let x = Self::normalize(&x);
+        let mut g = Graph::new();
+        let recon = self.reconstruct(&mut g, x.clone());
+        let rv = g.value(recon);
+        let s = self.size;
+        let per = s * s;
+        let mut total = 0.0;
+        for i in 0..idx.len() {
+            let orig = Tensor::from_vec(x.data()[i * per..(i + 1) * per].to_vec(), &[s, s]);
+            let rec = Tensor::from_vec(rv.data()[i * per..(i + 1) * per].to_vec(), &[s, s]);
+            total += ms_ssim(&orig, &rec, 2);
+        }
+        total / idx.len() as f64
+    }
+
+    fn param_count(&self) -> usize {
+        self.enc1.param_count() + self.enc2.param_count() + self.dec_w1.len() + self.dec_w2.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ms_ssim_rises_with_training() {
+        let mut t = ImageCompression::new(4);
+        let before = t.evaluate();
+        for _ in 0..6 {
+            t.train_epoch();
+        }
+        let after = t.evaluate();
+        assert!(after > before, "MS-SSIM before {before:.3}, after {after:.3}");
+        assert!(after > 0.5, "MS-SSIM should exceed 0.5, got {after:.3}");
+    }
+}

@@ -1,0 +1,302 @@
+//! DC-AI-C9 Object Detection (and the MLPerf heavy/light variants): a
+//! single-stage grid detector in the Faster R-CNN spirit — convolutional
+//! backbone, objectness + classification + box-regression heads, trained
+//! jointly and evaluated with PASCAL-style mAP@0.5.
+
+use aibench_autograd::{Graph, Var};
+use aibench_data::batch::batches;
+use aibench_data::metrics::{mean_average_precision, BoundingBox, Detection};
+use aibench_data::synth::DetectionDataset;
+use aibench_nn::{Conv2d, Module, Optimizer, Sgd};
+use aibench_tensor::{Rng, Tensor};
+
+use crate::Trainer;
+
+/// Log-scale prior on box extent (typical objects span ~2 grid cells), so
+/// freshly initialized heads already decode plausible boxes.
+const BOX_PRIOR: f32 = 0.7;
+
+/// Variant geometry for the detection benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectionConfig {
+    /// Backbone width (channels).
+    pub width: usize,
+    /// Dataset seed (distinct per benchmark identity).
+    pub data_seed: u64,
+}
+
+impl DetectionConfig {
+    /// AIBench DC-AI-C9 (Faster R-CNN scale-down).
+    pub fn aibench() -> Self {
+        DetectionConfig { width: 16, data_seed: 0xC9 }
+    }
+
+    /// MLPerf heavy detector (wider backbone).
+    pub fn mlperf_heavy() -> Self {
+        DetectionConfig { width: 24, data_seed: 0x0D1 }
+    }
+
+    /// MLPerf light detector (narrow backbone).
+    pub fn mlperf_light() -> Self {
+        DetectionConfig { width: 8, data_seed: 0x0D2 }
+    }
+}
+
+/// The Object Detection benchmark trainer.
+#[derive(Debug)]
+pub struct ObjectDetection {
+    backbone1: Conv2d,
+    backbone2: Conv2d,
+    backbone3: Conv2d,
+    head: Conv2d,
+    ds: DetectionDataset,
+    opt: Sgd,
+    rng: Rng,
+    classes: usize,
+    grid: usize,
+    cell: usize,
+    batch: usize,
+    eval_n: usize,
+}
+
+impl ObjectDetection {
+    /// Builds the detector with the given seed and variant config.
+    pub fn new(seed: u64, cfg: DetectionConfig) -> Self {
+        let mut rng = Rng::seed_from(seed);
+        let classes = 3;
+        let size = 16;
+        let grid = 4;
+        let ds = DetectionDataset::new(classes, size, 128, cfg.data_seed);
+        let w = cfg.width;
+        // Stride-4 backbone: 16² -> 8² -> 4² feature map.
+        let backbone1 = Conv2d::new(1, w, 3, 2, 1, &mut rng);
+        let backbone2 = Conv2d::new(w, 2 * w, 3, 2, 1, &mut rng);
+        // A grid-level conv widens the receptive field past the cell.
+        let backbone3 = Conv2d::new(2 * w, 2 * w, 3, 1, 1, &mut rng);
+        // Per-cell predictions: [objectness, 4 box offsets, class logits].
+        let head = Conv2d::new(2 * w, 5 + classes, 1, 1, 0, &mut rng);
+        let params = {
+            let mut p = backbone1.params();
+            p.extend(backbone2.params());
+            p.extend(backbone3.params());
+            p.extend(head.params());
+            p
+        };
+        let opt = Sgd::with_momentum(params, 0.06, 0.9, 1e-4);
+        ObjectDetection { backbone1, backbone2, backbone3, head, ds, opt, rng, classes, grid, cell: size / grid, batch: 16, eval_n: 96 }
+    }
+
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let x = self.backbone1.forward(g, x);
+        let x = g.relu(x);
+        let x = self.backbone2.forward(g, x);
+        let x = g.relu(x);
+        let x = self.backbone3.forward(g, x);
+        let x = g.relu(x);
+        self.head.forward(g, x)
+    }
+
+    /// Builds the per-cell training targets for one batch.
+    fn targets(
+        &self,
+        objs: &[Vec<(usize, BoundingBox)>],
+    ) -> (Tensor, Vec<usize>, Tensor, Tensor) {
+        let n = objs.len();
+        let gcells = self.grid * self.grid;
+        let mut obj_t = Tensor::zeros(&[n, 1, self.grid, self.grid]);
+        let mut cls_t = vec![self.classes; n * gcells]; // `classes` = ignore
+        let mut box_t = Tensor::zeros(&[n, 4, self.grid, self.grid]);
+        let mut box_mask = Tensor::zeros(&[n, 4, self.grid, self.grid]);
+        for (bi, boxes) in objs.iter().enumerate() {
+            for (class, bb) in boxes {
+                let cx = (bb.x1 + bb.x2) * 0.5;
+                let cy = (bb.y1 + bb.y2) * 0.5;
+                let gx = ((cx as usize) / self.cell).min(self.grid - 1);
+                let gy = ((cy as usize) / self.cell).min(self.grid - 1);
+                obj_t.set(&[bi, 0, gy, gx], 1.0);
+                cls_t[(bi * self.grid + gy) * self.grid + gx] = *class;
+                // Offsets: center within the cell, log-scaled extent.
+                let ox = cx / self.cell as f32 - gx as f32;
+                let oy = cy / self.cell as f32 - gy as f32;
+                let tw = ((bb.x2 - bb.x1) / self.cell as f32).ln() - BOX_PRIOR;
+                let th = ((bb.y2 - bb.y1) / self.cell as f32).ln() - BOX_PRIOR;
+                for (d, v) in [ox, oy, tw, th].into_iter().enumerate() {
+                    box_t.set(&[bi, d, gy, gx], v);
+                    box_mask.set(&[bi, d, gy, gx], 1.0);
+                }
+            }
+        }
+        (obj_t, cls_t, box_t, box_mask)
+    }
+
+
+    /// Prints internal quality diagnostics (used by the tuning probe).
+    pub fn diagnostics(&mut self) {
+        let idx: Vec<usize> = (0..32).collect();
+        let (x, gt) = self.ds.test_batch(&idx);
+        let mut g = Graph::new();
+        let xv = g.input(x);
+        let pred = self.forward(&mut g, xv);
+        let pv = g.value(pred);
+        let mut pos_obj = Vec::new();
+        let mut neg_obj = Vec::new();
+        let mut cls_hits = 0usize;
+        let mut cls_total = 0usize;
+        let mut ious = Vec::new();
+        for (bi, boxes) in gt.iter().enumerate() {
+            let mut pos_cells = vec![false; self.grid * self.grid];
+            for (class, bb) in boxes {
+                let cx = (bb.x1 + bb.x2) * 0.5;
+                let cy = (bb.y1 + bb.y2) * 0.5;
+                let gx = ((cx as usize) / self.cell).min(self.grid - 1);
+                let gy = ((cy as usize) / self.cell).min(self.grid - 1);
+                pos_cells[gy * self.grid + gx] = true;
+                pos_obj.push(pv.at(&[bi, 0, gy, gx]));
+                let mut best = 0;
+                for c in 1..self.classes {
+                    if pv.at(&[bi, 5 + c, gy, gx]) > pv.at(&[bi, 5 + best, gy, gx]) { best = c; }
+                }
+                cls_total += 1;
+                if best == *class { cls_hits += 1; }
+                let ox = pv.at(&[bi, 1, gy, gx]);
+                let oy = pv.at(&[bi, 2, gy, gx]);
+                let tw = (pv.at(&[bi, 3, gy, gx]) + BOX_PRIOR).clamp(-3.0, 3.0);
+                let th = (pv.at(&[bi, 4, gy, gx]) + BOX_PRIOR).clamp(-3.0, 3.0);
+                let pcx = (gx as f32 + ox) * self.cell as f32;
+                let pcy = (gy as f32 + oy) * self.cell as f32;
+                let w = tw.exp() * self.cell as f32;
+                let h = th.exp() * self.cell as f32;
+                let pb = BoundingBox::new(pcx - w / 2.0, pcy - h / 2.0, pcx + w / 2.0, pcy + h / 2.0);
+                ious.push(aibench_data::metrics::box_iou(&pb, bb));
+            }
+            for gy in 0..self.grid { for gx in 0..self.grid {
+                if !pos_cells[gy * self.grid + gx] { neg_obj.push(pv.at(&[bi, 0, gy, gx])); }
+            }}
+        }
+        let mean = |v: &Vec<f32>| v.iter().sum::<f32>() / v.len().max(1) as f32;
+        println!("  pos obj logit {:.2}  neg obj logit {:.2}", mean(&pos_obj), mean(&neg_obj));
+        println!("  class acc at gt cells {:.3}", cls_hits as f32 / cls_total.max(1) as f32);
+        println!("  mean IoU at gt cells {:.3}  (>{:.0}% over 0.5)", mean(&ious),
+                 100.0 * ious.iter().filter(|&&i| i >= 0.5).count() as f32 / ious.len().max(1) as f32);
+    }
+
+    /// Decodes predictions into scored detections for mAP.
+    fn decode(&self, pred: &Tensor, image_offset: usize) -> Vec<Detection> {
+        let n = pred.shape()[0];
+        let mut out = Vec::new();
+        for bi in 0..n {
+            for gy in 0..self.grid {
+                for gx in 0..self.grid {
+                    let obj = pred.at(&[bi, 0, gy, gx]);
+                    let score = 1.0 / (1.0 + (-obj).exp());
+                    if score < 0.05 {
+                        continue;
+                    }
+                    let ox = pred.at(&[bi, 1, gy, gx]);
+                    let oy = pred.at(&[bi, 2, gy, gx]);
+                    let tw = (pred.at(&[bi, 3, gy, gx]) + BOX_PRIOR).clamp(-3.0, 3.0);
+                    let th = (pred.at(&[bi, 4, gy, gx]) + BOX_PRIOR).clamp(-3.0, 3.0);
+                    let cx = (gx as f32 + ox) * self.cell as f32;
+                    let cy = (gy as f32 + oy) * self.cell as f32;
+                    let w = tw.exp() * self.cell as f32;
+                    let h = th.exp() * self.cell as f32;
+                    let mut best_class = 0;
+                    let mut best_v = f32::NEG_INFINITY;
+                    for c in 0..self.classes {
+                        let v = pred.at(&[bi, 5 + c, gy, gx]);
+                        if v > best_v {
+                            best_v = v;
+                            best_class = c;
+                        }
+                    }
+                    out.push(Detection {
+                        image: image_offset + bi,
+                        class: best_class,
+                        score,
+                        bbox: BoundingBox::new(cx - w / 2.0, cy - h / 2.0, cx + w / 2.0, cy + h / 2.0),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Trainer for ObjectDetection {
+    fn train_epoch(&mut self) -> f32 {
+        let mut total = 0.0;
+        let mut count = 0;
+        for idx in batches(self.ds.len(), self.batch, &mut self.rng) {
+            let (x, objs) = self.ds.train_batch(&idx);
+            let (obj_t, cls_t, box_t, box_mask) = self.targets(&objs);
+            let n = idx.len();
+            let gcells = self.grid * self.grid;
+            let mut g = Graph::new();
+            let xv = g.input(x);
+            let pred = self.forward(&mut g, xv);
+            // Objectness BCE over every cell.
+            let obj_logits = g.slice(pred, 1, 0, 1);
+            let obj_loss = g.bce_with_logits(obj_logits, &obj_t);
+            // Box smooth-L1 on positive cells only.
+            let box_pred = g.slice(pred, 1, 1, 4);
+            let mask = g.input(box_mask.clone());
+            let masked = g.mul(box_pred, mask);
+            let box_loss = g.smooth_l1_loss(masked, &box_t.mul(&box_mask));
+            // Classification CE with non-positive cells ignored.
+            let cls_pred = g.slice(pred, 1, 5, self.classes);
+            let cls_nhwc = g.permute(cls_pred, &[0, 2, 3, 1]);
+            let cls_rows = g.reshape(cls_nhwc, &[n * gcells, self.classes]);
+            let cls_loss = g.softmax_cross_entropy(cls_rows, &cls_t, Some(self.classes));
+            let ol = g.scale(obj_loss, 3.0);
+            let bl = g.scale(box_loss, 5.0);
+            let partial = g.add(ol, bl);
+            let loss = g.add(partial, cls_loss);
+            total += g.value(loss).item();
+            count += 1;
+            g.backward(loss);
+            self.opt.step();
+            self.opt.zero_grad();
+        }
+        total / count.max(1) as f32
+    }
+
+    fn evaluate(&mut self) -> f64 {
+        let idx: Vec<usize> = (0..self.eval_n).collect();
+        let (x, gt) = self.ds.test_batch(&idx);
+        let mut g = Graph::new();
+        let xv = g.input(x);
+        let pred = self.forward(&mut g, xv);
+        let detections = self.decode(g.value(pred), 0);
+        mean_average_precision(&detections, &gt, 0.5, self.classes)
+    }
+
+    fn param_count(&self) -> usize {
+        self.backbone1.param_count()
+            + self.backbone2.param_count()
+            + self.backbone3.param_count()
+            + self.head.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_improves_with_training() {
+        let mut t = ObjectDetection::new(3, DetectionConfig::aibench());
+        let before = t.evaluate();
+        for _ in 0..14 {
+            t.train_epoch();
+        }
+        let after = t.evaluate();
+        assert!(after > before.max(0.3), "mAP before {before:.3}, after {after:.3}");
+    }
+
+    #[test]
+    fn variants_have_different_sizes() {
+        let heavy = ObjectDetection::new(1, DetectionConfig::mlperf_heavy());
+        let light = ObjectDetection::new(1, DetectionConfig::mlperf_light());
+        assert!(heavy.param_count() > 2 * light.param_count());
+    }
+}

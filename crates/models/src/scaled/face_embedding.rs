@@ -1,0 +1,124 @@
+//! DC-AI-C7 Face Embedding: FaceNet-style CNN mapping faces to an
+//! embedding space, trained with the triplet loss. Quality: verification
+//! accuracy on same/different pairs at the best distance threshold.
+
+use aibench_autograd::{Graph, Var};
+use aibench_data::synth::FaceDataset;
+use aibench_nn::{Adam, Linear, Mode, Module, Optimizer};
+use aibench_tensor::{Rng, Tensor};
+
+use super::classify::MiniResNet;
+use crate::Trainer;
+
+const MARGIN: f32 = 0.5;
+
+/// The Face Embedding benchmark trainer.
+#[derive(Debug)]
+pub struct FaceEmbedding {
+    ds: FaceDataset,
+    net: MiniResNet,
+    embed: Linear,
+    opt: Adam,
+    step: u64,
+    batches_per_epoch: usize,
+    batch: usize,
+}
+
+impl FaceEmbedding {
+    /// Builds the benchmark with the given training seed.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = Rng::seed_from(seed);
+        let ds = FaceDataset::new(8, 10, 128, 0xC7);
+        let net = MiniResNet::new(1, 6, 8, &mut rng);
+        let embed = Linear::new(12, 8, &mut rng);
+        let mut params = net.params();
+        params.extend(embed.params());
+        let opt = Adam::new(params, 0.01);
+        // Offset triplet sampling by the seed so runs differ.
+        FaceEmbedding { ds, net, embed, opt, step: seed.wrapping_mul(1000), batches_per_epoch: 8, batch: 12 }
+    }
+
+    fn embed_batch(&self, g: &mut Graph, x: Tensor, mode: Mode) -> Var {
+        let xv = g.input(x);
+        let f = self.net.features(g, xv, mode);
+        self.embed.forward(g, f)
+    }
+
+    fn pair_distances(&mut self) -> (Vec<f32>, Vec<bool>) {
+        let (a, b, same) = self.ds.verification_pairs(40);
+        let mut g = Graph::new();
+        let ea = self.embed_batch(&mut g, a, Mode::Eval);
+        let eb = self.embed_batch(&mut g, b, Mode::Eval);
+        let diff = g.sub(ea, eb);
+        let sq = g.square(diff);
+        let d2 = g.sum_axis(sq, 1);
+        (g.value(d2).data().to_vec(), same)
+    }
+}
+
+impl Trainer for FaceEmbedding {
+    fn train_epoch(&mut self) -> f32 {
+        let mut total = 0.0;
+        for _ in 0..self.batches_per_epoch {
+            self.step += 1;
+            let (a, p, n) = self.ds.triplet_batch(self.batch, self.step);
+            let mut g = Graph::new();
+            let ea = self.embed_batch(&mut g, a, Mode::Train);
+            let ep = self.embed_batch(&mut g, p, Mode::Train);
+            let en = self.embed_batch(&mut g, n, Mode::Train);
+            let dpos_diff = g.sub(ea, ep);
+            let dpos_sq = g.square(dpos_diff);
+            let dpos = g.sum_axis(dpos_sq, 1);
+            let dneg_diff = g.sub(ea, en);
+            let dneg_sq = g.square(dneg_diff);
+            let dneg = g.sum_axis(dneg_sq, 1);
+            let gap = g.sub(dpos, dneg);
+            let shifted = g.add_scalar(gap, MARGIN);
+            let hinge = g.relu(shifted);
+            let loss = g.mean(hinge);
+            total += g.value(loss).item();
+            g.backward(loss);
+            self.opt.step();
+            self.opt.zero_grad();
+        }
+        total / self.batches_per_epoch as f32
+    }
+
+    fn evaluate(&mut self) -> f64 {
+        // LFW-style: pick the distance threshold maximizing pair accuracy.
+        let (d2, same) = self.pair_distances();
+        let mut best = 0.0f64;
+        let mut thresholds: Vec<f32> = d2.clone();
+        thresholds.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        for &t in &thresholds {
+            let acc = d2
+                .iter()
+                .zip(&same)
+                .filter(|(&d, &s)| (d <= t) == s)
+                .count() as f64
+                / d2.len() as f64;
+            best = best.max(acc);
+        }
+        best
+    }
+
+    fn param_count(&self) -> usize {
+        Module::param_count(&self.net) + self.embed.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verification_accuracy_rises() {
+        let mut t = FaceEmbedding::new(6);
+        let before = t.evaluate();
+        for _ in 0..8 {
+            t.train_epoch();
+        }
+        let after = t.evaluate();
+        assert!(after >= before.max(0.6), "verification before {before:.3}, after {after:.3}");
+    }
+}

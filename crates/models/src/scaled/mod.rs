@@ -1,0 +1,48 @@
+//! Scaled-down trainable versions of every benchmark model.
+//!
+//! Each type implements [`Trainer`](crate::Trainer): a full synthetic
+//! training epoch per call plus a held-out quality evaluation in the
+//! paper's metric for that benchmark. Architectures keep the full-scale
+//! models' structure (residual CNN, GAN pair, transformer encoder-decoder,
+//! conv+GRU acoustic model, STN, NCF, ENAS controller+child, …) at sizes
+//! that converge on a CPU in seconds.
+
+mod caption;
+mod classify;
+mod compression;
+mod detection;
+mod face3d;
+mod face_embedding;
+mod gan;
+mod image2image;
+mod image_classification;
+mod nas;
+mod ranking;
+mod reconstruction;
+mod recommendation;
+mod rl;
+mod speech;
+mod stn;
+mod summarization;
+mod translation;
+mod video;
+
+pub use caption::ImageToText;
+pub use classify::MiniResNet;
+pub use compression::ImageCompression;
+pub use detection::{DetectionConfig, ObjectDetection};
+pub use face3d::Face3dRecognition;
+pub use face_embedding::FaceEmbedding;
+pub use gan::ImageGeneration;
+pub use image2image::ImageToImage;
+pub use image_classification::ImageClassification;
+pub use nas::NeuralArchitectureSearch;
+pub use ranking::LearningToRank;
+pub use reconstruction::ObjectReconstruction3d;
+pub use recommendation::Recommendation;
+pub use rl::ReinforcementLearning;
+pub use speech::SpeechRecognition;
+pub use stn::SpatialTransformer;
+pub use summarization::TextSummarization;
+pub use translation::{Translation, TranslationArch};
+pub use video::VideoPrediction;

@@ -1,0 +1,176 @@
+//! MLPerf Reinforcement Learning: a policy-gradient agent on a gridworld
+//! (the minigo substitute — self-contained, no external game engine).
+//! Quality: success rate of reaching the goal within a tight step budget.
+//! The budget barely covers the worst-case shortest path, so action slip
+//! makes a perfect score unattainable — mirroring the paper's minigo runs,
+//! which trained for 96+ hours without reaching their 40% pro-move target.
+
+use aibench_autograd::Graph;
+use aibench_nn::{Adam, Linear, Module, Optimizer};
+use aibench_tensor::{Rng, Tensor};
+
+use crate::Trainer;
+
+const GRID: usize = 6;
+const MAX_STEPS: usize = 11;
+/// Probability an action slips to a random direction (environment noise).
+const SLIP: f32 = 0.12;
+const ACTIONS: usize = 4; // up, down, left, right
+
+/// The Reinforcement Learning benchmark trainer.
+#[derive(Debug)]
+pub struct ReinforcementLearning {
+    policy1: Linear,
+    policy2: Linear,
+    opt: Adam,
+    rng: Rng,
+    episodes_per_epoch: usize,
+    baseline: f32,
+}
+
+impl ReinforcementLearning {
+    /// Builds the benchmark with the given training seed.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = Rng::seed_from(seed);
+        let policy1 = Linear::new(GRID * GRID, 32, &mut rng);
+        let policy2 = Linear::new(32, ACTIONS, &mut rng);
+        let mut params = policy1.params();
+        params.extend(policy2.params());
+        let opt = Adam::new(params, 0.01);
+        ReinforcementLearning { policy1, policy2, opt, rng, episodes_per_epoch: 32, baseline: 0.0 }
+    }
+
+    fn state_tensor(pos: (usize, usize)) -> Tensor {
+        let mut t = Tensor::zeros(&[1, GRID * GRID]);
+        t.data_mut()[pos.0 * GRID + pos.1] = 1.0;
+        t
+    }
+
+    fn step(pos: (usize, usize), action: usize) -> (usize, usize) {
+        let (r, c) = pos;
+        match action {
+            0 => (r.saturating_sub(1), c),
+            1 => ((r + 1).min(GRID - 1), c),
+            2 => (r, c.saturating_sub(1)),
+            _ => (r, (c + 1).min(GRID - 1)),
+        }
+    }
+
+    /// Plays one episode; returns `(states, actions, reward)`.
+    fn rollout(&mut self, greedy: bool) -> (Vec<(usize, usize)>, Vec<usize>, f32) {
+        let goal = (GRID - 1, GRID - 1);
+        let mut pos = (self.rng.below(GRID), self.rng.below(GRID / 2));
+        let mut states = Vec::new();
+        let mut actions = Vec::new();
+        for t in 0..MAX_STEPS {
+            if pos == goal {
+                // Earlier arrivals earn more.
+                return (states, actions, 1.0 + 0.5 * (MAX_STEPS - t) as f32 / MAX_STEPS as f32);
+            }
+            states.push(pos);
+            let mut g = Graph::new();
+            let s = g.input(Self::state_tensor(pos));
+            let h = self.policy1.forward(&mut g, s);
+            let h = g.relu(h);
+            let logits = self.policy2.forward(&mut g, h);
+            let sm = g.softmax(logits);
+            let probs = g.value(sm).data().to_vec();
+            let action = if greedy {
+                probs
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            } else {
+                let r = self.rng.uniform();
+                let mut acc = 0.0;
+                let mut choice = ACTIONS - 1;
+                for (i, &p) in probs.iter().enumerate() {
+                    acc += p;
+                    if r < acc {
+                        choice = i;
+                        break;
+                    }
+                }
+                choice
+            };
+            actions.push(action);
+            let effective = if self.rng.bernoulli(SLIP) { self.rng.below(ACTIONS) } else { action };
+            pos = Self::step(pos, effective);
+        }
+        let reached = f32::from(u8::from(pos == goal));
+        (states, actions, reached)
+    }
+}
+
+impl Trainer for ReinforcementLearning {
+    fn train_epoch(&mut self) -> f32 {
+        let mut total_reward = 0.0;
+        for _ in 0..self.episodes_per_epoch {
+            let (states, actions, reward) = self.rollout(false);
+            total_reward += reward;
+            if states.is_empty() {
+                continue;
+            }
+            let adv = reward - self.baseline;
+            self.baseline = 0.95 * self.baseline + 0.05 * reward;
+            // REINFORCE: maximize adv * log pi(a|s) over the episode.
+            let mut g = Graph::new();
+            let mut rows = Tensor::zeros(&[states.len(), GRID * GRID]);
+            for (i, &(r, c)) in states.iter().enumerate() {
+                rows.data_mut()[i * GRID * GRID + r * GRID + c] = 1.0;
+            }
+            let s = g.input(rows);
+            let h = self.policy1.forward(&mut g, s);
+            let h = g.relu(h);
+            let logits = self.policy2.forward(&mut g, h);
+            let logp = g.log_softmax(logits);
+            let mut mask = Tensor::zeros(&[states.len(), ACTIONS]);
+            for (i, &a) in actions.iter().enumerate() {
+                mask.data_mut()[i * ACTIONS + a] = -adv / states.len() as f32;
+            }
+            let mv = g.input(mask);
+            let weighted = g.mul(logp, mv);
+            let loss = g.sum(weighted);
+            g.backward(loss);
+            self.opt.step();
+            self.opt.zero_grad();
+        }
+        // Report negative mean reward as a "loss" so lower is better.
+        -(total_reward / self.episodes_per_epoch as f32)
+    }
+
+    fn evaluate(&mut self) -> f64 {
+        let episodes = 64;
+        let mut successes = 0;
+        for _ in 0..episodes {
+            let (_, _, reward) = self.rollout(true);
+            if reward > 0.5 {
+                successes += 1;
+            }
+        }
+        successes as f64 / episodes as f64
+    }
+
+    fn param_count(&self) -> usize {
+        self.policy1.param_count() + self.policy2.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_rate_improves() {
+        let mut t = ReinforcementLearning::new(13);
+        let before = t.evaluate();
+        for _ in 0..20 {
+            t.train_epoch();
+        }
+        let after = t.evaluate();
+        assert!(after >= before, "success before {before:.2}, after {after:.2}");
+        assert!(after > 0.3, "agent never learned to reach the goal: {after:.2}");
+    }
+}

@@ -1,0 +1,146 @@
+//! DC-AI-C6 Speech Recognition: a DeepSpeech2-style acoustic model —
+//! convolutional front-end over the spectrogram followed by a GRU over
+//! frames and a framewise classifier. Quality: word (phoneme) error rate
+//! after greedy decode + repeat collapsing (lower is better).
+
+use aibench_autograd::Graph;
+use aibench_data::batch::batches;
+use aibench_data::metrics::word_error_rate;
+use aibench_data::synth::SpeechDataset;
+use aibench_nn::{Adam, Conv2d, GruCell, Linear, Module, Optimizer};
+use aibench_tensor::Rng;
+
+use crate::Trainer;
+
+/// The Speech Recognition benchmark trainer.
+#[derive(Debug)]
+pub struct SpeechRecognition {
+    ds: SpeechDataset,
+    conv: Conv2d,
+    gru: GruCell,
+    proj: Linear,
+    opt: Adam,
+    rng: Rng,
+    batch: usize,
+    eval_n: usize,
+}
+
+impl SpeechRecognition {
+    /// Builds the benchmark with the given training seed.
+    ///
+    /// The paper notes this benchmark fixes its initial seed and *still*
+    /// shows 12% run-to-run variation; we keep the model init fixed and let
+    /// only data order vary with `seed`.
+    pub fn new(seed: u64) -> Self {
+        let mut init_rng = Rng::seed_from(0x5eec); // fixed init seed, as in the paper
+        let rng = Rng::seed_from(seed);
+        let ds = SpeechDataset::new(5, 8, 16, 96, 0xC6);
+        let c = 6;
+        let conv = Conv2d::new(1, c, 3, 1, 1, &mut init_rng);
+        let d_in = c * ds.bands();
+        let d_h = 24;
+        let gru = GruCell::new(d_in, d_h, &mut init_rng);
+        let proj = Linear::new(d_h, ds.phonemes(), &mut init_rng);
+        let mut params = conv.params();
+        params.extend(gru.params());
+        params.extend(proj.params());
+        let opt = Adam::new(params, 0.008);
+        SpeechRecognition { ds, conv, gru, proj, opt, rng, batch: 16, eval_n: 32 }
+    }
+
+    /// Framewise logits `[(frames)*b, phonemes]` (step-major) for a batch.
+    fn logits(&self, g: &mut Graph, x: aibench_tensor::Tensor) -> aibench_autograd::Var {
+        let b = x.shape()[0];
+        let frames = self.ds.frames();
+        let bands = self.ds.bands();
+        let xv = g.input(x);
+        let f = self.conv.forward(g, xv);
+        let f = g.relu(f);
+        let c = g.value(f).shape()[1];
+        // [b, c, bands, frames] -> frame-major sequence of [b, c*bands].
+        let perm = g.permute(f, &[3, 0, 1, 2]);
+        let seq = g.reshape(perm, &[frames, b, c * bands]);
+        let mut h = self.gru.zero_state(g, b);
+        let mut outs = Vec::with_capacity(frames);
+        for t in 0..frames {
+            let xt3 = g.slice(seq, 0, t, 1);
+            let xt = g.reshape(xt3, &[b, c * bands]);
+            h = self.gru.step(g, xt, h);
+            outs.push(h);
+        }
+        let stacked = g.concat(&outs, 0); // [frames*b, d_h] step-major
+        self.proj.forward(g, stacked)
+    }
+
+    fn frame_labels_step_major(labels: &[Vec<usize>]) -> Vec<usize> {
+        let frames = labels[0].len();
+        let mut out = Vec::with_capacity(frames * labels.len());
+        for t in 0..frames {
+            for l in labels {
+                out.push(l[t]);
+            }
+        }
+        out
+    }
+}
+
+impl Trainer for SpeechRecognition {
+    fn train_epoch(&mut self) -> f32 {
+        let mut total = 0.0;
+        let mut count = 0;
+        for idx in batches(self.ds.len(), self.batch, &mut self.rng) {
+            let (x, frame_labels, _) = self.ds.batch(&idx, false);
+            let labels = Self::frame_labels_step_major(&frame_labels);
+            let mut g = Graph::new();
+            let logits = self.logits(&mut g, x);
+            let loss = g.softmax_cross_entropy(logits, &labels, None);
+            total += g.value(loss).item();
+            count += 1;
+            g.backward(loss);
+            self.opt.step();
+            self.opt.zero_grad();
+        }
+        total / count.max(1) as f32
+    }
+
+    fn evaluate(&mut self) -> f64 {
+        let idx: Vec<usize> = (0..self.eval_n).collect();
+        let mut refs = Vec::new();
+        let mut hyps = Vec::new();
+        for chunk in idx.chunks(16) {
+            let (x, _, seqs) = self.ds.batch(chunk, true);
+            let b = chunk.len();
+            let frames = self.ds.frames();
+            let mut g = Graph::new();
+            let logits = self.logits(&mut g, x);
+            let pred = g.value(logits).argmax_last(); // [frames*b] step-major
+            for (bi, seq) in seqs.into_iter().enumerate() {
+                let decoded: Vec<usize> = (0..frames).map(|t| pred[t * b + bi]).collect();
+                hyps.push(SpeechDataset::collapse(&decoded));
+                refs.push(seq);
+            }
+        }
+        word_error_rate(&refs, &hyps)
+    }
+
+    fn param_count(&self) -> usize {
+        self.conv.param_count() + self.gru.param_count() + self.proj.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wer_falls_with_training() {
+        let mut t = SpeechRecognition::new(3);
+        let before = t.evaluate();
+        for _ in 0..8 {
+            t.train_epoch();
+        }
+        let after = t.evaluate();
+        assert!(after < before, "WER before {before:.3}, after {after:.3}");
+        assert!(after < 0.7, "WER should fall below 0.7, got {after:.3}");
+    }
+}

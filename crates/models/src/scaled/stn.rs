@@ -1,0 +1,140 @@
+//! DC-AI-C15 Spatial Transformer: a localization network regressing affine
+//! parameters, a differentiable grid sampler undoing the distortion, and a
+//! small classifier (Jaderberg et al.). Quality: held-out accuracy
+//! (paper target 99%).
+
+use aibench_autograd::{Graph, Param, Var};
+use aibench_data::batch::batches;
+use aibench_data::metrics::accuracy;
+use aibench_data::synth::StnDataset;
+use aibench_nn::{Adam, Conv2d, Linear, Module, Optimizer};
+use aibench_tensor::{Rng, Tensor};
+
+use crate::Trainer;
+
+/// The Spatial Transformer benchmark trainer.
+#[derive(Debug)]
+pub struct SpatialTransformer {
+    ds: StnDataset,
+    loc_conv: Conv2d,
+    loc_fc: Linear,
+    theta_w: Param,
+    theta_b: Param,
+    cls_conv: Conv2d,
+    cls_fc: Linear,
+    opt: Adam,
+    rng: Rng,
+    batch: usize,
+    eval_n: usize,
+}
+
+impl SpatialTransformer {
+    /// Builds the benchmark with the given training seed.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = Rng::seed_from(seed);
+        let ds = StnDataset::new(6, 12, 144, 0xC15);
+        let loc_conv = Conv2d::new(1, 6, 3, 2, 1, &mut rng);
+        let loc_fc = Linear::new(6 * 6 * 6, 24, &mut rng);
+        // The theta head starts at the identity transform: zero weights and
+        // an identity-affine bias, the standard STN initialization.
+        let theta_w = Param::new("stn.theta_w", Tensor::zeros(&[24, 6]));
+        let theta_b = Param::new("stn.theta_b", Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0], &[6]));
+        let cls_conv = Conv2d::new(1, 12, 3, 2, 1, &mut rng);
+        let cls_fc = Linear::new(12 * 6 * 6, ds.classes(), &mut rng);
+        let mut params = loc_conv.params();
+        params.extend(loc_fc.params());
+        params.push(theta_w.clone());
+        params.push(theta_b.clone());
+        params.extend(cls_conv.params());
+        params.extend(cls_fc.params());
+        let opt = Adam::new(params, 0.01);
+        SpatialTransformer { ds, loc_conv, loc_fc, theta_w, theta_b, cls_conv, cls_fc, opt, rng, batch: 24, eval_n: 72 }
+    }
+
+    fn forward(&self, g: &mut Graph, x: Var, n: usize) -> Var {
+        let size = self.ds.size();
+        // Localization: predict theta.
+        let l = self.loc_conv.forward(g, x);
+        let l = g.relu(l);
+        let shape = g.value(l).shape().to_vec();
+        let flat = g.reshape(l, &[n, shape[1] * shape[2] * shape[3]]);
+        let l = self.loc_fc.forward(g, flat);
+        let l = g.tanh(l);
+        let tw = g.param(&self.theta_w);
+        let tb = g.param(&self.theta_b);
+        let theta_flat = g.linear(l, tw, tb);
+        let theta = g.reshape(theta_flat, &[n, 2, 3]);
+        // Resample the input through the predicted transform.
+        let grid = g.affine_grid(theta, (size, size));
+        let warped = g.grid_sample(x, grid);
+        // Classify the rectified image.
+        let c = self.cls_conv.forward(g, warped);
+        let c = g.relu(c);
+        let cs = g.value(c).shape().to_vec();
+        let cflat = g.reshape(c, &[n, cs[1] * cs[2] * cs[3]]);
+        self.cls_fc.forward(g, cflat)
+    }
+}
+
+impl Trainer for SpatialTransformer {
+    fn train_epoch(&mut self) -> f32 {
+        let mut total = 0.0;
+        let mut count = 0;
+        for idx in batches(self.ds.len(), self.batch, &mut self.rng) {
+            let (x, y) = self.ds.train_batch(&idx);
+            let n = idx.len();
+            let mut g = Graph::new();
+            let xv = g.input(x);
+            let logits = self.forward(&mut g, xv, n);
+            let loss = g.softmax_cross_entropy(logits, &y, None);
+            total += g.value(loss).item();
+            count += 1;
+            g.backward(loss);
+            self.opt.step();
+            self.opt.zero_grad();
+        }
+        total / count.max(1) as f32
+    }
+
+    fn evaluate(&mut self) -> f64 {
+        let idx: Vec<usize> = (0..self.eval_n).collect();
+        let (x, y) = self.ds.test_batch(&idx);
+        let n = idx.len();
+        let mut g = Graph::new();
+        let xv = g.input(x);
+        let logits = self.forward(&mut g, xv, n);
+        accuracy(&g.value(logits).argmax_last(), &y)
+    }
+
+    fn param_count(&self) -> usize {
+        self.loc_conv.param_count()
+            + self.loc_fc.param_count()
+            + self.theta_w.len()
+            + self.theta_b.len()
+            + self.cls_conv.param_count()
+            + self.cls_fc.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theta_starts_at_identity() {
+        let t = SpatialTransformer::new(1);
+        assert_eq!(t.theta_b.value().data(), &[1.0, 0.0, 0.0, 0.0, 1.0, 0.0]);
+        assert_eq!(t.theta_w.value().sq_norm(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_rises_on_distorted_digits() {
+        let mut t = SpatialTransformer::new(2);
+        let before = t.evaluate();
+        for _ in 0..6 {
+            t.train_epoch();
+        }
+        let after = t.evaluate();
+        assert!(after > before.max(0.3), "accuracy before {before:.3}, after {after:.3}");
+    }
+}

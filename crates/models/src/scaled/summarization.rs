@@ -1,0 +1,183 @@
+//! DC-AI-C14 Text Summarization: an attentional GRU sequence-to-sequence
+//! model (Nallapati et al. structure) extracting keyword summaries.
+//! Quality: Rouge-L of greedy decodes (paper target 41).
+
+use aibench_autograd::{Graph, Var};
+use aibench_data::batch::batches;
+use aibench_data::metrics::rouge_l;
+use aibench_data::synth::{SummarizationDataset, EOS, PAD};
+use aibench_nn::{Adam, Embedding, GruCell, Linear, Module, Optimizer};
+use aibench_tensor::Rng;
+
+use crate::Trainer;
+
+/// The Text Summarization benchmark trainer.
+#[derive(Debug)]
+pub struct TextSummarization {
+    ds: SummarizationDataset,
+    embed: Embedding,
+    enc: GruCell,
+    dec: GruCell,
+    att_proj: Linear,
+    proj: Linear,
+    opt: Adam,
+    rng: Rng,
+    d: usize,
+    batch: usize,
+    eval_n: usize,
+}
+
+impl TextSummarization {
+    /// Builds the benchmark with the given training seed.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = Rng::seed_from(seed);
+        let ds = SummarizationDataset::new(6, 12, 12, 3, 128, 0xC14);
+        let d = 20;
+        let embed = Embedding::new(ds.vocab_size(), d, &mut rng);
+        let enc = GruCell::new(d, d, &mut rng);
+        let dec = GruCell::new(d, d, &mut rng);
+        let att_proj = Linear::new(2 * d, d, &mut rng);
+        let proj = Linear::new(d, ds.vocab_size(), &mut rng);
+        let mut params = embed.params();
+        params.extend(enc.params());
+        params.extend(dec.params());
+        params.extend(att_proj.params());
+        params.extend(proj.params());
+        let opt = Adam::new(params, 0.01);
+        TextSummarization { ds, embed, enc, dec, att_proj, proj, opt, rng, d, batch: 16, eval_n: 32 }
+    }
+
+    /// Encodes documents; returns hidden states `[b, L, d]` and the final
+    /// state `[b, d]`.
+    fn encode(&self, g: &mut Graph, docs: &[Vec<usize>]) -> (Var, Var) {
+        let b = docs.len();
+        let l = docs[0].len();
+        let mut h = self.enc.zero_state(g, b);
+        let mut states = Vec::with_capacity(l);
+        for t in 0..l {
+            let ids: Vec<usize> = docs.iter().map(|d| d[t]).collect();
+            let x = self.embed.forward(g, &ids);
+            h = self.enc.step(g, x, h);
+            let h3 = g.reshape(h, &[b, 1, self.d]);
+            states.push(h3);
+        }
+        let enc_states = g.concat(&states, 1);
+        (enc_states, h)
+    }
+
+    /// One decoder step with Luong-style dot attention over the encoder
+    /// states; returns vocabulary logits `[b, vocab]` and the new state.
+    fn decode_step(&self, g: &mut Graph, enc_states: Var, h: Var, input_ids: &[usize], b: usize, l: usize) -> (Var, Var) {
+        let x = self.embed.forward(g, input_ids);
+        let h_new = self.dec.step(g, x, h);
+        // Attention scores: enc_states [b, L, d] × h [b, d, 1] -> [b, L, 1].
+        let h3 = g.reshape(h_new, &[b, self.d, 1]);
+        let scores3 = g.batch_matmul(enc_states, h3);
+        let scores = g.reshape(scores3, &[b, l]);
+        let attn = g.softmax(scores);
+        let attn3 = g.reshape(attn, &[b, 1, l]);
+        let ctx3 = g.batch_matmul(attn3, enc_states);
+        let ctx = g.reshape(ctx3, &[b, self.d]);
+        let joined = g.concat(&[ctx, h_new], 1);
+        let mixed = self.att_proj.forward(g, joined);
+        let mixed = g.tanh(mixed);
+        let logits = self.proj.forward(g, mixed);
+        (logits, h_new)
+    }
+}
+
+impl Trainer for TextSummarization {
+    fn train_epoch(&mut self) -> f32 {
+        let mut total = 0.0;
+        let mut count = 0;
+        for idx in batches(self.ds.len(), self.batch, &mut self.rng) {
+            let pairs: Vec<(Vec<usize>, Vec<usize>)> = idx.iter().map(|&i| self.ds.pair(i, false)).collect();
+            let docs: Vec<Vec<usize>> = pairs.iter().map(|p| p.0.clone()).collect();
+            let sums: Vec<Vec<usize>> = pairs.iter().map(|p| p.1.clone()).collect();
+            let b = docs.len();
+            let l = docs[0].len();
+            let w = sums[0].len();
+            let mut g = Graph::new();
+            let (enc_states, mut h) = self.encode(&mut g, &docs);
+            let mut step_logits = Vec::new();
+            let mut labels = Vec::new();
+            for t in 0..w - 1 {
+                let ids: Vec<usize> = sums.iter().map(|s| s[t]).collect();
+                let (logits, h2) = self.decode_step(&mut g, enc_states, h, &ids, b, l);
+                h = h2;
+                step_logits.push(logits);
+                labels.extend(sums.iter().map(|s| s[t + 1]));
+            }
+            let all = g.concat(&step_logits, 0); // step-major
+            let loss = g.softmax_cross_entropy(all, &labels, Some(PAD));
+            total += g.value(loss).item();
+            count += 1;
+            g.backward(loss);
+            self.opt.step();
+            self.opt.zero_grad();
+        }
+        total / count.max(1) as f32
+    }
+
+    fn evaluate(&mut self) -> f64 {
+        // Greedy free-running decode, scored with Rouge-L against the
+        // reference keywords.
+        let mut refs = Vec::new();
+        let mut hyps = Vec::new();
+        for chunk in (0..self.eval_n).collect::<Vec<usize>>().chunks(16) {
+            let pairs: Vec<(Vec<usize>, Vec<usize>)> = chunk.iter().map(|&i| self.ds.pair(i, true)).collect();
+            let docs: Vec<Vec<usize>> = pairs.iter().map(|p| p.0.clone()).collect();
+            let b = docs.len();
+            let l = docs[0].len();
+            let w = self.ds.summary_width();
+            let mut g = Graph::new();
+            let (enc_states, mut h) = self.encode(&mut g, &docs);
+            let mut inputs = vec![aibench_data::synth::BOS; b];
+            let mut decoded: Vec<Vec<usize>> = vec![Vec::new(); b];
+            for _ in 0..w - 1 {
+                let (logits, h2) = self.decode_step(&mut g, enc_states, h, &inputs, b, l);
+                h = h2;
+                let preds = g.value(logits).argmax_last();
+                for (bi, &p) in preds.iter().enumerate() {
+                    decoded[bi].push(p);
+                }
+                inputs = preds;
+            }
+            for (bi, pair) in pairs.iter().enumerate() {
+                // Reference: tokens between BOS and EOS.
+                let reference: Vec<usize> =
+                    pair.1[1..].iter().take_while(|&&t| t != EOS && t != PAD).copied().collect();
+                let hypothesis: Vec<usize> =
+                    decoded[bi].iter().take_while(|&&t| t != EOS && t != PAD).copied().collect();
+                refs.push(reference);
+                hyps.push(hypothesis);
+            }
+        }
+        rouge_l(&refs, &hyps)
+    }
+
+    fn param_count(&self) -> usize {
+        self.embed.param_count()
+            + self.enc.param_count()
+            + self.dec.param_count()
+            + self.att_proj.param_count()
+            + self.proj.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rouge_improves_with_training() {
+        let mut t = TextSummarization::new(7);
+        let before = t.evaluate();
+        for _ in 0..8 {
+            t.train_epoch();
+        }
+        let after = t.evaluate();
+        assert!(after > before, "Rouge-L before {before:.1}, after {after:.1}");
+        assert!(after > 20.0, "Rouge-L should exceed 20, got {after:.1}");
+    }
+}

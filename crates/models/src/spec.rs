@@ -1,0 +1,251 @@
+//! Full-scale model specifications: plain-data layer graphs at the paper's
+//! scale, consumed by the FLOPs counter and the GPU simulator.
+
+/// Recurrent cell family (determines the gate count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RnnKind {
+    /// Vanilla tanh recurrence (1 gate).
+    Tanh,
+    /// Gated recurrent unit (3 gates).
+    Gru,
+    /// Long short-term memory (4 gates).
+    Lstm,
+}
+
+impl RnnKind {
+    /// Number of gate blocks (each `d_in×d_h + d_h×d_h + d_h` parameters).
+    pub fn gates(self) -> usize {
+        match self {
+            RnnKind::Tanh => 1,
+            RnnKind::Gru => 3,
+            RnnKind::Lstm => 4,
+        }
+    }
+}
+
+/// One layer of a full-scale model, with enough geometry to count
+/// parameters and forward FLOPs and to lower onto simulated GPU kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerKind {
+    /// 2-D convolution producing `h_out`×`w_out` maps.
+    Conv2d {
+        /// Input channels.
+        c_in: usize,
+        /// Output channels.
+        c_out: usize,
+        /// Square kernel edge.
+        k: usize,
+        /// Output height.
+        h_out: usize,
+        /// Output width.
+        w_out: usize,
+    },
+    /// Transposed convolution (counted with the same arithmetic as the
+    /// convolution it transposes, per OpCounter convention).
+    ConvTranspose2d {
+        /// Input channels.
+        c_in: usize,
+        /// Output channels.
+        c_out: usize,
+        /// Square kernel edge.
+        k: usize,
+        /// Output height.
+        h_out: usize,
+        /// Output width.
+        w_out: usize,
+    },
+    /// Fully-connected layer.
+    Linear {
+        /// Input features.
+        d_in: usize,
+        /// Output features.
+        d_out: usize,
+    },
+    /// 2-D batch normalization over `c` maps of `h`×`w`.
+    BatchNorm2d {
+        /// Channels.
+        c: usize,
+        /// Map height.
+        h: usize,
+        /// Map width.
+        w: usize,
+    },
+    /// Layer normalization over `rows` rows of width `d`.
+    LayerNorm {
+        /// Row count.
+        rows: usize,
+        /// Normalized width.
+        d: usize,
+    },
+    /// ReLU over `n` activations.
+    Relu {
+        /// Activation count.
+        n: usize,
+    },
+    /// Other pointwise nonlinearity (sigmoid/tanh) over `n` activations.
+    Activation {
+        /// Activation count.
+        n: usize,
+    },
+    /// Pooling producing `c`×`h_out`×`w_out` from a `k`×`k` window.
+    Pool {
+        /// Channels.
+        c: usize,
+        /// Output height.
+        h_out: usize,
+        /// Output width.
+        w_out: usize,
+        /// Window edge.
+        k: usize,
+    },
+    /// Embedding table lookup.
+    Embedding {
+        /// Vocabulary rows.
+        vocab: usize,
+        /// Embedding width.
+        dim: usize,
+        /// Lookups per forward pass.
+        lookups: usize,
+    },
+    /// A recurrent stack unrolled over `steps` timesteps.
+    Rnn {
+        /// Cell family.
+        kind: RnnKind,
+        /// Input width.
+        d_in: usize,
+        /// Hidden width.
+        d_h: usize,
+        /// Unrolled timesteps.
+        steps: usize,
+    },
+    /// Multi-head attention of `seq_q` queries over `seq_k` keys.
+    Attention {
+        /// Model width.
+        d_model: usize,
+        /// Head count.
+        heads: usize,
+        /// Query positions.
+        seq_q: usize,
+        /// Key positions.
+        seq_k: usize,
+    },
+    /// Row-wise softmax.
+    Softmax {
+        /// Row count.
+        rows: usize,
+        /// Classes per row.
+        classes: usize,
+    },
+    /// Pointwise tensor arithmetic (residual adds, gate products, …).
+    Elementwise {
+        /// Element count.
+        n: usize,
+        /// Arithmetic ops per element.
+        ops: usize,
+    },
+    /// Bilinear grid sampling over a `c`×`h`×`w` volume.
+    GridSample {
+        /// Channels.
+        c: usize,
+        /// Height.
+        h: usize,
+        /// Width.
+        w: usize,
+    },
+}
+
+/// A layer with a repeat count (e.g. 16 identical residual blocks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    /// The layer geometry.
+    pub kind: LayerKind,
+    /// How many copies of this layer the model executes per forward pass.
+    pub repeat: usize,
+    /// Whether the repeats share one set of weights (e.g. the RoI head of
+    /// Faster R-CNN runs once per proposal with shared parameters).
+    pub share_params: bool,
+}
+
+impl Layer {
+    /// A single (non-repeated) layer.
+    pub fn once(kind: LayerKind) -> Self {
+        Layer { kind, repeat: 1, share_params: false }
+    }
+
+    /// A layer repeated `repeat` times with independent weights.
+    pub fn repeated(kind: LayerKind, repeat: usize) -> Self {
+        Layer { kind, repeat, share_params: false }
+    }
+
+    /// A layer executed `repeat` times with one shared set of weights.
+    pub fn shared(kind: LayerKind, repeat: usize) -> Self {
+        Layer { kind, repeat, share_params: true }
+    }
+}
+
+/// A full-scale model description: the layers of one forward pass for one
+/// sample, plus bookkeeping the simulator needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSpec {
+    /// Model name (matches the paper's algorithm column).
+    pub name: String,
+    /// Layers of a single forward pass (per sample).
+    pub layers: Vec<Layer>,
+    /// Input elements per sample (drives host-to-device copy volume).
+    pub input_elems: usize,
+    /// Training batch size used by the reference implementation.
+    pub batch_size: usize,
+    /// Samples per training epoch at paper scale.
+    pub dataset_size: usize,
+}
+
+impl ModelSpec {
+    /// Creates a spec.
+    pub fn new(
+        name: impl Into<String>,
+        layers: Vec<Layer>,
+        input_elems: usize,
+        batch_size: usize,
+        dataset_size: usize,
+    ) -> Self {
+        ModelSpec { name: name.into(), layers, input_elems, batch_size, dataset_size }
+    }
+
+    /// Iterates layers expanded by their repeat counts.
+    pub fn expanded_layers(&self) -> impl Iterator<Item = &LayerKind> {
+        self.layers.iter().flat_map(|l| std::iter::repeat(&l.kind).take(l.repeat))
+    }
+
+    /// Total layer count after expanding repeats.
+    pub fn layer_count(&self) -> usize {
+        self.layers.iter().map(|l| l.repeat).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeat_expansion() {
+        let spec = ModelSpec::new(
+            "toy",
+            vec![
+                Layer::once(LayerKind::Linear { d_in: 4, d_out: 8 }),
+                Layer::repeated(LayerKind::Relu { n: 8 }, 3),
+            ],
+            4,
+            32,
+            1000,
+        );
+        assert_eq!(spec.layer_count(), 4);
+        assert_eq!(spec.expanded_layers().count(), 4);
+    }
+
+    #[test]
+    fn rnn_gate_counts() {
+        assert_eq!(RnnKind::Tanh.gates(), 1);
+        assert_eq!(RnnKind::Gru.gates(), 3);
+        assert_eq!(RnnKind::Lstm.gates(), 4);
+    }
+}

@@ -1,0 +1,310 @@
+//! Multi-head attention and the transformer block (Vaswani et al.), the
+//! backbone of the Text-to-Text translation benchmark.
+
+use aibench_autograd::{Graph, Param, Var};
+use aibench_tensor::{Rng, Tensor};
+
+use crate::init::xavier_uniform;
+use crate::linear::Linear;
+use crate::module::Module;
+
+/// Layer normalization with learnable gain and bias over the last axis.
+#[derive(Debug)]
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+}
+
+impl LayerNorm {
+    /// Creates a layer norm over a last axis of width `d`.
+    pub fn new(d: usize) -> Self {
+        LayerNorm {
+            gamma: Param::new("ln.gamma", Tensor::ones(&[d])),
+            beta: Param::new("ln.beta", Tensor::zeros(&[d])),
+        }
+    }
+
+    /// Normalizes the last axis of `x`.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let gamma = g.param(&self.gamma);
+        let beta = g.param(&self.beta);
+        g.layer_norm(x, gamma, beta, 1e-5)
+    }
+}
+
+impl Module for LayerNorm {
+    fn params(&self) -> Vec<Param> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+}
+
+/// Scaled dot-product multi-head attention.
+///
+/// Inputs and outputs are `[batch, seq, d_model]`. Supports causal
+/// (autoregressive) masking and cross-attention (separate key/value source).
+#[derive(Debug)]
+pub struct MultiHeadAttention {
+    wq: Param,
+    wk: Param,
+    wv: Param,
+    wo: Param,
+    heads: usize,
+    d_model: usize,
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention module with `heads` heads over `d_model`
+    /// features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_model` is not divisible by `heads`.
+    pub fn new(d_model: usize, heads: usize, rng: &mut Rng) -> Self {
+        assert_eq!(d_model % heads, 0, "d_model {d_model} not divisible by heads {heads}");
+        let mk = |name: &str, rng: &mut Rng| Param::new(name, xavier_uniform(&[d_model, d_model], d_model, d_model, rng));
+        MultiHeadAttention {
+            wq: mk("mha.wq", rng),
+            wk: mk("mha.wk", rng),
+            wv: mk("mha.wv", rng),
+            wo: mk("mha.wo", rng),
+            heads,
+            d_model,
+        }
+    }
+
+    fn project(&self, g: &mut Graph, x: Var, w: &Param, b: usize, s: usize) -> Var {
+        let dh = self.d_model / self.heads;
+        let flat = g.reshape(x, &[b * s, self.d_model]);
+        let wv = g.param(w);
+        let proj = g.matmul(flat, wv);
+        let shaped = g.reshape(proj, &[b, s, self.heads, dh]);
+        let heads_first = g.permute(shaped, &[0, 2, 1, 3]);
+        g.reshape(heads_first, &[b * self.heads, s, dh])
+    }
+
+    /// Attention of `query` over `kv` (use `query` for self-attention).
+    /// Both are `[batch, seq, d_model]`; when `causal` is set, position `i`
+    /// of the query may only attend to key positions `<= i` (requires equal
+    /// sequence lengths).
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatches or `causal` with unequal lengths.
+    pub fn forward(&self, g: &mut Graph, query: Var, kv: Var, causal: bool) -> Var {
+        let qs = g.value(query).shape().to_vec();
+        let ks = g.value(kv).shape().to_vec();
+        assert_eq!(qs.len(), 3, "attention expects [b, s, d] query, got {qs:?}");
+        assert_eq!(ks.len(), 3, "attention expects [b, s, d] kv, got {ks:?}");
+        assert_eq!(qs[2], self.d_model, "query feature dim {} != d_model {}", qs[2], self.d_model);
+        let (b, sq, sk) = (qs[0], qs[1], ks[1]);
+        assert_eq!(ks[0], b, "attention batch mismatch");
+        if causal {
+            assert_eq!(sq, sk, "causal attention requires equal sequence lengths");
+        }
+        let dh = self.d_model / self.heads;
+
+        let q = self.project(g, query, &self.wq, b, sq);
+        let k = self.project(g, kv, &self.wk, b, sk);
+        let v = self.project(g, kv, &self.wv, b, sk);
+
+        let kt = g.permute(k, &[0, 2, 1]);
+        let scores = g.batch_matmul(q, kt);
+        let scaled = g.scale(scores, 1.0 / (dh as f32).sqrt());
+        let masked = if causal {
+            let mask = Tensor::from_fn(&[1, sq, sk], |i| {
+                let r = (i / sk) % sq;
+                let c = i % sk;
+                if c > r {
+                    -1e9
+                } else {
+                    0.0
+                }
+            });
+            let m = g.input(mask);
+            g.add(scaled, m)
+        } else {
+            scaled
+        };
+        let attn = g.softmax(masked);
+        let ctx = g.batch_matmul(attn, v);
+        let shaped = g.reshape(ctx, &[b, self.heads, sq, dh]);
+        let seq_first = g.permute(shaped, &[0, 2, 1, 3]);
+        let flat = g.reshape(seq_first, &[b * sq, self.d_model]);
+        let wo = g.param(&self.wo);
+        let out = g.matmul(flat, wo);
+        g.reshape(out, &[b, sq, self.d_model])
+    }
+}
+
+impl Module for MultiHeadAttention {
+    fn params(&self) -> Vec<Param> {
+        vec![self.wq.clone(), self.wk.clone(), self.wv.clone(), self.wo.clone()]
+    }
+}
+
+/// A pre-norm transformer block: self-attention, optional cross-attention,
+/// and a two-layer feed-forward network, each with a residual connection.
+#[derive(Debug)]
+pub struct TransformerBlock {
+    self_attn: MultiHeadAttention,
+    cross_attn: Option<MultiHeadAttention>,
+    norm1: LayerNorm,
+    norm2: LayerNorm,
+    norm3: LayerNorm,
+    ff1: Linear,
+    ff2: Linear,
+    causal: bool,
+    d_model: usize,
+}
+
+impl TransformerBlock {
+    /// Creates an encoder-style block (bidirectional self-attention).
+    pub fn encoder(d_model: usize, heads: usize, d_ff: usize, rng: &mut Rng) -> Self {
+        Self::build(d_model, heads, d_ff, false, false, rng)
+    }
+
+    /// Creates a decoder-style block (causal self-attention plus
+    /// cross-attention over encoder memory).
+    pub fn decoder(d_model: usize, heads: usize, d_ff: usize, rng: &mut Rng) -> Self {
+        Self::build(d_model, heads, d_ff, true, true, rng)
+    }
+
+    fn build(d_model: usize, heads: usize, d_ff: usize, causal: bool, cross: bool, rng: &mut Rng) -> Self {
+        TransformerBlock {
+            self_attn: MultiHeadAttention::new(d_model, heads, rng),
+            cross_attn: if cross { Some(MultiHeadAttention::new(d_model, heads, rng)) } else { None },
+            norm1: LayerNorm::new(d_model),
+            norm2: LayerNorm::new(d_model),
+            norm3: LayerNorm::new(d_model),
+            ff1: Linear::new(d_model, d_ff, rng),
+            ff2: Linear::new(d_ff, d_model, rng),
+            causal,
+            d_model,
+        }
+    }
+
+    /// Applies the block to `[b, s, d_model]`. `memory` is the encoder
+    /// output for decoder blocks (ignored by encoder blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a decoder block is called without `memory`.
+    pub fn forward(&self, g: &mut Graph, x: Var, memory: Option<Var>) -> Var {
+        let shape = g.value(x).shape().to_vec();
+        let (b, s) = (shape[0], shape[1]);
+        // Self-attention sub-layer.
+        let n1 = self.norm1.forward(g, x);
+        let sa = self.self_attn.forward(g, n1, n1, self.causal);
+        let x = g.add(x, sa);
+        // Cross-attention sub-layer.
+        let x = if let Some(ca) = &self.cross_attn {
+            let mem = memory.expect("decoder block requires encoder memory");
+            let n2 = self.norm2.forward(g, x);
+            let cv = ca.forward(g, n2, mem, false);
+            g.add(x, cv)
+        } else {
+            x
+        };
+        // Feed-forward sub-layer.
+        let n3 = self.norm3.forward(g, x);
+        let flat = g.reshape(n3, &[b * s, self.d_model]);
+        let h = self.ff1.forward(g, flat);
+        let h = g.relu(h);
+        let h = self.ff2.forward(g, h);
+        let ff = g.reshape(h, &[b, s, self.d_model]);
+        g.add(x, ff)
+    }
+}
+
+impl Module for TransformerBlock {
+    fn params(&self) -> Vec<Param> {
+        let mut ps = self.self_attn.params();
+        if let Some(ca) = &self.cross_attn {
+            ps.extend(ca.params());
+        }
+        ps.extend(self.norm1.params());
+        ps.extend(self.norm2.params());
+        ps.extend(self.norm3.params());
+        ps.extend(self.ff1.params());
+        ps.extend(self.ff2.params());
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aibench_tensor::Rng;
+
+    #[test]
+    fn attention_shape_roundtrip() {
+        let mut rng = Rng::seed_from(12);
+        let mha = MultiHeadAttention::new(8, 2, &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::randn(&[2, 5, 8], &mut rng));
+        let y = mha.forward(&mut g, x, x, false);
+        assert_eq!(g.value(y).shape(), &[2, 5, 8]);
+    }
+
+    #[test]
+    fn causal_mask_blocks_future() {
+        // With a causal mask, changing a later token must not affect the
+        // output at an earlier position.
+        let mut rng = Rng::seed_from(13);
+        let mha = MultiHeadAttention::new(4, 1, &mut rng);
+        let base = Tensor::randn(&[1, 4, 4], &mut rng);
+        let mut changed = base.clone();
+        for i in 12..16 {
+            changed.data_mut()[i] += 5.0; // perturb last token
+        }
+        let mut g1 = Graph::new();
+        let x1 = g1.input(base);
+        let y1 = mha.forward(&mut g1, x1, x1, true);
+        let mut g2 = Graph::new();
+        let x2 = g2.input(changed);
+        let y2 = mha.forward(&mut g2, x2, x2, true);
+        // Positions 0..3 (first three tokens) must agree exactly.
+        let a = g1.value(y1).data();
+        let b = g2.value(y2).data();
+        for i in 0..12 {
+            assert!((a[i] - b[i]).abs() < 1e-5, "future leaked at {i}");
+        }
+        assert!((a[12] - b[12]).abs() > 1e-5, "last position should differ");
+    }
+
+    #[test]
+    fn cross_attention_uses_memory() {
+        let mut rng = Rng::seed_from(14);
+        let block = TransformerBlock::decoder(8, 2, 16, &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::randn(&[1, 3, 8], &mut rng));
+        let mem = g.input(Tensor::randn(&[1, 6, 8], &mut rng));
+        let y = block.forward(&mut g, x, Some(mem));
+        assert_eq!(g.value(y).shape(), &[1, 3, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires encoder memory")]
+    fn decoder_without_memory_panics() {
+        let mut rng = Rng::seed_from(15);
+        let block = TransformerBlock::decoder(8, 2, 16, &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::randn(&[1, 3, 8], &mut rng));
+        let _ = block.forward(&mut g, x, None);
+    }
+
+    #[test]
+    fn encoder_block_gradients_flow() {
+        let mut rng = Rng::seed_from(16);
+        let block = TransformerBlock::encoder(8, 2, 16, &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::randn(&[1, 4, 8], &mut rng));
+        let y = block.forward(&mut g, x, None);
+        let sq = g.square(y);
+        let loss = g.sum(sq);
+        g.backward(loss);
+        let nonzero = block.params().iter().filter(|p| p.grad().sq_norm() > 0.0).count();
+        // All but norm2 (unused in encoder blocks) should receive gradient.
+        assert!(nonzero >= block.params().len() - 2, "only {nonzero} params got gradient");
+    }
+}

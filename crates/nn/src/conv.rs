@@ -1,0 +1,197 @@
+//! Convolution and batch-normalization layers.
+
+use std::cell::RefCell;
+
+use aibench_autograd::{Graph, Param, Var};
+use aibench_tensor::ops::Conv2dArgs;
+use aibench_tensor::{Rng, Tensor};
+
+use crate::init::kaiming_normal;
+use crate::module::{Mode, Module};
+
+/// 2-D convolution layer with optional bias.
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Option<Param>,
+    args: Conv2dArgs,
+}
+
+impl Conv2d {
+    /// Creates a `k`×`k` convolution mapping `c_in` to `c_out` channels.
+    pub fn new(c_in: usize, c_out: usize, k: usize, stride: usize, pad: usize, rng: &mut Rng) -> Self {
+        let fan_in = c_in * k * k;
+        Conv2d {
+            weight: Param::new("conv.weight", kaiming_normal(&[c_out, c_in, k, k], fan_in, rng)),
+            bias: Some(Param::new("conv.bias", Tensor::zeros(&[c_out]))),
+            args: Conv2dArgs::new(stride, pad),
+        }
+    }
+
+    /// Creates a convolution without a bias term (the usual choice when a
+    /// batch norm immediately follows).
+    pub fn new_no_bias(c_in: usize, c_out: usize, k: usize, stride: usize, pad: usize, rng: &mut Rng) -> Self {
+        let mut conv = Conv2d::new(c_in, c_out, k, stride, pad, rng);
+        conv.bias = None;
+        conv
+    }
+
+    /// The convolution geometry.
+    pub fn args(&self) -> Conv2dArgs {
+        self.args
+    }
+
+    /// Output channel count.
+    pub fn c_out(&self) -> usize {
+        self.weight.shape()[0]
+    }
+
+    /// Applies the convolution to an NCHW input.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/channel mismatches.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let w = g.param(&self.weight);
+        let y = g.conv2d(x, w, self.args);
+        match &self.bias {
+            Some(b) => {
+                let c = self.c_out();
+                let bv = g.param(b);
+                let b4 = g.reshape(bv, &[1, c, 1, 1]);
+                g.add(y, b4)
+            }
+            None => y,
+        }
+    }
+}
+
+impl Module for Conv2d {
+    fn params(&self) -> Vec<Param> {
+        let mut ps = vec![self.weight.clone()];
+        if let Some(b) = &self.bias {
+            ps.push(b.clone());
+        }
+        ps
+    }
+}
+
+/// 2-D batch normalization with running statistics.
+///
+/// In [`Mode::Train`] the layer normalizes with batch statistics and updates
+/// exponential running averages; in [`Mode::Eval`] it applies the stored
+/// running statistics.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: RefCell<Tensor>,
+    running_var: RefCell<Tensor>,
+    momentum: f32,
+    eps: f32,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch norm over `c` channels with momentum 0.1.
+    pub fn new(c: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new("bn.gamma", Tensor::ones(&[c])),
+            beta: Param::new("bn.beta", Tensor::zeros(&[c])),
+            running_mean: RefCell::new(Tensor::zeros(&[c])),
+            running_var: RefCell::new(Tensor::ones(&[c])),
+            momentum: 0.1,
+            eps: 1e-5,
+        }
+    }
+
+    /// Current running mean (for tests and checkpoint inspection).
+    pub fn running_mean(&self) -> Tensor {
+        self.running_mean.borrow().clone()
+    }
+
+    /// Current running variance.
+    pub fn running_var(&self) -> Tensor {
+        self.running_var.borrow().clone()
+    }
+
+    /// Applies batch normalization to an NCHW input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not 4-D or its channel count differs from the
+    /// layer's.
+    pub fn forward(&self, g: &mut Graph, x: Var, mode: Mode) -> Var {
+        let gamma = g.param(&self.gamma);
+        let beta = g.param(&self.beta);
+        match mode {
+            Mode::Train => {
+                let (y, mean, var) = g.batch_norm2d(x, gamma, beta, self.eps);
+                let mut rm = self.running_mean.borrow_mut();
+                let mut rv = self.running_var.borrow_mut();
+                *rm = rm.scale(1.0 - self.momentum).add(&mean.scale(self.momentum));
+                *rv = rv.scale(1.0 - self.momentum).add(&var.scale(self.momentum));
+                y
+            }
+            Mode::Eval => {
+                let rm = self.running_mean.borrow().clone();
+                let rv = self.running_var.borrow().clone();
+                g.batch_norm2d_inference(x, gamma, beta, &rm, &rv, self.eps)
+            }
+        }
+    }
+}
+
+impl Module for BatchNorm2d {
+    fn params(&self) -> Vec<Param> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_shape() {
+        let mut rng = Rng::seed_from(4);
+        let conv = Conv2d::new(3, 8, 3, 2, 1, &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[2, 3, 8, 8]));
+        let y = conv.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[2, 8, 4, 4]);
+        assert_eq!(conv.param_count(), 8 * 3 * 9 + 8);
+    }
+
+    #[test]
+    fn no_bias_variant_has_fewer_params() {
+        let mut rng = Rng::seed_from(5);
+        let conv = Conv2d::new_no_bias(3, 8, 3, 1, 1, &mut rng);
+        assert_eq!(conv.param_count(), 8 * 3 * 9);
+    }
+
+    #[test]
+    fn bn_running_stats_track_batches() {
+        let mut rng = Rng::seed_from(6);
+        let bn = BatchNorm2d::new(2);
+        // Feed batches with mean ~5 repeatedly; running mean must drift up.
+        for _ in 0..40 {
+            let x = Tensor::randn(&[4, 2, 3, 3], &mut rng).add_scalar(5.0);
+            let mut g = Graph::new();
+            let xv = g.input(x);
+            let _ = bn.forward(&mut g, xv, Mode::Train);
+        }
+        let rm = bn.running_mean();
+        assert!(rm.data().iter().all(|&m| (m - 5.0).abs() < 0.5), "running mean {rm:?}");
+    }
+
+    #[test]
+    fn bn_eval_uses_running_stats() {
+        let bn = BatchNorm2d::new(1);
+        // With default running stats (mean 0, var 1), eval is identity.
+        let x = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0], &[1, 1, 2, 2]);
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        let y = bn.forward(&mut g, xv, Mode::Eval);
+        assert!(g.value(y).max_abs_diff(&x) < 1e-2);
+    }
+}

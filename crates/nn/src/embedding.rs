@@ -1,0 +1,73 @@
+//! Token/row embedding table.
+
+use aibench_autograd::{Graph, Param, Var};
+use aibench_tensor::{Rng, Tensor};
+
+use crate::module::Module;
+
+/// A learnable embedding table `[vocab, dim]` with gather forward and
+/// scatter-add backward.
+#[derive(Debug)]
+pub struct Embedding {
+    table: Param,
+}
+
+impl Embedding {
+    /// Creates a table initialized from `N(0, 0.1)`.
+    pub fn new(vocab: usize, dim: usize, rng: &mut Rng) -> Self {
+        Embedding {
+            table: Param::new("embedding.table", Tensor::from_fn(&[vocab, dim], |_| rng.normal_with(0.0, 0.1))),
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.table.shape()[0]
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.table.shape()[1]
+    }
+
+    /// Looks up `ids`, producing `[ids.len(), dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id exceeds the vocabulary.
+    pub fn forward(&self, g: &mut Graph, ids: &[usize]) -> Var {
+        let t = g.param(&self.table);
+        g.index_select0(t, ids)
+    }
+}
+
+impl Module for Embedding {
+    fn params(&self) -> Vec<Param> {
+        vec![self.table.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_shape() {
+        let mut rng = Rng::seed_from(7);
+        let e = Embedding::new(10, 4, &mut rng);
+        let mut g = Graph::new();
+        let v = e.forward(&mut g, &[1, 2, 1]);
+        assert_eq!(g.value(v).shape(), &[3, 4]);
+        assert_eq!(e.param_count(), 40);
+    }
+
+    #[test]
+    fn repeated_ids_share_rows() {
+        let mut rng = Rng::seed_from(8);
+        let e = Embedding::new(10, 4, &mut rng);
+        let mut g = Graph::new();
+        let v = e.forward(&mut g, &[3, 3]);
+        let d = g.value(v);
+        assert_eq!(&d.data()[..4], &d.data()[4..]);
+    }
+}

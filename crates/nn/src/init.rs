@@ -1,0 +1,54 @@
+//! Weight initializers.
+
+use aibench_tensor::{Rng, Tensor};
+
+/// Kaiming (He) normal initialization: `N(0, sqrt(2 / fan_in))`.
+///
+/// The default for layers followed by ReLU.
+pub fn kaiming_normal(shape: &[usize], fan_in: usize, rng: &mut Rng) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    Tensor::from_fn(shape, |_| rng.normal_with(0.0, std))
+}
+
+/// Kaiming (He) uniform initialization: `U(-b, b)` with
+/// `b = sqrt(6 / fan_in)`.
+pub fn kaiming_uniform(shape: &[usize], fan_in: usize, rng: &mut Rng) -> Tensor {
+    let b = (6.0 / fan_in.max(1) as f32).sqrt();
+    Tensor::from_fn(shape, |_| rng.uniform_in(-b, b))
+}
+
+/// Xavier (Glorot) uniform initialization: `U(-b, b)` with
+/// `b = sqrt(6 / (fan_in + fan_out))`. The default for tanh/sigmoid layers.
+pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut Rng) -> Tensor {
+    let b = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    Tensor::from_fn(shape, |_| rng.uniform_in(-b, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaiming_normal_variance() {
+        let mut rng = Rng::seed_from(1);
+        let t = kaiming_normal(&[100, 100], 100, &mut rng);
+        let var = t.sq_norm() / t.len() as f32;
+        assert!((var - 0.02).abs() < 0.005, "var {var}");
+    }
+
+    #[test]
+    fn uniform_bounds_respected() {
+        let mut rng = Rng::seed_from(2);
+        let b = (6.0f32 / 64.0).sqrt();
+        let t = kaiming_uniform(&[64, 64], 64, &mut rng);
+        assert!(t.max_val() <= b && t.min_val() >= -b);
+    }
+
+    #[test]
+    fn xavier_shrinks_with_fan_out() {
+        let mut rng = Rng::seed_from(3);
+        let small = xavier_uniform(&[10, 10], 10, 1000, &mut rng);
+        let large = xavier_uniform(&[10, 10], 10, 10, &mut rng);
+        assert!(small.sq_norm() < large.sq_norm());
+    }
+}

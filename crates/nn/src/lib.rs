@@ -1,0 +1,47 @@
+//! Neural-network building blocks for the AIBench training benchmarks:
+//! layers, initializers, optimizers, and learning-rate schedules.
+//!
+//! Layers own [`aibench_autograd::Param`] handles and build their forward
+//! pass onto an [`aibench_autograd::Graph`] each step. Optimizers consume
+//! the parameter list exposed through the [`Module`] trait.
+//!
+//! # Example
+//!
+//! ```
+//! use aibench_autograd::Graph;
+//! use aibench_nn::{Linear, Module, Optimizer, Sgd};
+//! use aibench_tensor::{Rng, Tensor};
+//!
+//! let mut rng = Rng::seed_from(0);
+//! let layer = Linear::new(4, 2, &mut rng);
+//! let mut opt = Sgd::new(layer.params(), 0.1);
+//! let mut g = Graph::new();
+//! let x = g.input(Tensor::randn(&[8, 4], &mut rng));
+//! let y = layer.forward(&mut g, x);
+//! let loss = g.mse_loss(y, &Tensor::zeros(&[8, 2]));
+//! g.backward(loss);
+//! opt.step();
+//! opt.zero_grad();
+//! ```
+
+#![deny(missing_docs)]
+
+mod attention;
+mod conv;
+mod embedding;
+mod init;
+mod linear;
+mod module;
+mod optim;
+mod rnn;
+mod schedule;
+
+pub use attention::{LayerNorm, MultiHeadAttention, TransformerBlock};
+pub use conv::{BatchNorm2d, Conv2d};
+pub use embedding::Embedding;
+pub use init::{kaiming_normal, kaiming_uniform, xavier_uniform};
+pub use linear::Linear;
+pub use module::{Mode, Module};
+pub use optim::{clip_grad_norm, Adam, Optimizer, RmsProp, Sgd};
+pub use rnn::{GruCell, LstmCell, RnnCell};
+pub use schedule::LrSchedule;

@@ -1,0 +1,92 @@
+//! Fully-connected layer.
+
+use aibench_autograd::{Graph, Param, Var};
+use aibench_tensor::Rng;
+
+use crate::init::kaiming_normal;
+use crate::module::Module;
+
+/// A fully-connected (affine) layer: `y = x W + b`.
+///
+/// Weight shape is `[d_in, d_out]`; inputs are `[n, d_in]`.
+#[derive(Debug)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+}
+
+impl Linear {
+    /// Creates a layer with Kaiming-normal weights and zero bias.
+    pub fn new(d_in: usize, d_out: usize, rng: &mut Rng) -> Self {
+        Linear {
+            weight: Param::new("linear.weight", kaiming_normal(&[d_in, d_out], d_in, rng)),
+            bias: Param::new("linear.bias", aibench_tensor::Tensor::zeros(&[d_out])),
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn d_in(&self) -> usize {
+        self.weight.shape()[0]
+    }
+
+    /// Output feature dimension.
+    pub fn d_out(&self) -> usize {
+        self.weight.shape()[1]
+    }
+
+    /// Applies the layer to `[n, d_in]`, returning `[n, d_out]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trailing dimension of `x` is not `d_in`.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let w = g.param(&self.weight);
+        let b = g.param(&self.bias);
+        g.linear(x, w, b)
+    }
+}
+
+impl Module for Linear {
+    fn params(&self) -> Vec<Param> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Optimizer, Sgd};
+    use aibench_tensor::Tensor;
+
+    #[test]
+    fn shapes_and_param_count() {
+        let mut rng = Rng::seed_from(1);
+        let l = Linear::new(3, 5, &mut rng);
+        assert_eq!(l.param_count(), 3 * 5 + 5);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[4, 3]));
+        let y = l.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[4, 5]);
+    }
+
+    #[test]
+    fn learns_identity_map() {
+        // Regression: fit y = x on scalar data; loss must fall sharply.
+        let mut rng = Rng::seed_from(2);
+        let l = Linear::new(1, 1, &mut rng);
+        let mut opt = Sgd::new(l.params(), 0.1);
+        let xs = Tensor::from_vec((0..16).map(|i| i as f32 / 8.0 - 1.0).collect(), &[16, 1]);
+        let mut last = f32::INFINITY;
+        for _ in 0..200 {
+            let mut g = Graph::new();
+            let x = g.input(xs.clone());
+            let y = l.forward(&mut g, x);
+            let loss = g.mse_loss(y, &xs);
+            last = g.value(loss).item();
+            g.backward(loss);
+            opt.step();
+            opt.zero_grad();
+        }
+        assert!(last < 1e-4, "final loss {last}");
+    }
+}

@@ -1,0 +1,70 @@
+//! The parameter-collection trait and the train/eval mode flag.
+
+use aibench_autograd::Param;
+
+/// Whether a forward pass is part of training or evaluation.
+///
+/// Controls batch-norm statistics (batch vs running) and dropout
+/// (active vs identity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Training: batch statistics, dropout active.
+    #[default]
+    Train,
+    /// Evaluation: running statistics, dropout disabled.
+    Eval,
+}
+
+impl Mode {
+    /// True in training mode.
+    pub fn is_train(self) -> bool {
+        matches!(self, Mode::Train)
+    }
+}
+
+/// Anything that owns trainable parameters.
+///
+/// Layers and whole models implement this so optimizers can collect every
+/// [`Param`] handle. Forward passes are inherent methods on each layer (they
+/// have heterogeneous signatures), so the trait stays object-safe and
+/// minimal.
+pub trait Module {
+    /// Handles to every trainable parameter, in a stable order.
+    fn params(&self) -> Vec<Param>;
+
+    /// Total number of learnable scalars.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Zeroes every parameter gradient.
+    fn zero_grad(&self) {
+        for p in self.params() {
+            p.zero_grad();
+        }
+    }
+}
+
+impl Module for Vec<Param> {
+    fn params(&self) -> Vec<Param> {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aibench_tensor::Tensor;
+
+    #[test]
+    fn param_count_sums_elements() {
+        let ps = vec![Param::new("a", Tensor::zeros(&[2, 3])), Param::new("b", Tensor::zeros(&[5]))];
+        assert_eq!(ps.param_count(), 11);
+    }
+
+    #[test]
+    fn mode_default_is_train() {
+        assert!(Mode::default().is_train());
+        assert!(!Mode::Eval.is_train());
+    }
+}

@@ -1,0 +1,90 @@
+//! Learning-rate schedules.
+
+/// A learning-rate schedule mapping an epoch index to a multiplier of the
+/// base rate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply by `gamma` every `every` epochs.
+    StepDecay {
+        /// Epoch interval between decays.
+        every: usize,
+        /// Multiplicative factor applied at each decay.
+        gamma: f32,
+    },
+    /// Cosine annealing from 1 down to `floor` over `total` epochs.
+    Cosine {
+        /// Epoch count of the annealing period.
+        total: usize,
+        /// Final multiplier at the end of the period.
+        floor: f32,
+    },
+    /// Linear warmup over `warmup` epochs, then constant.
+    Warmup {
+        /// Number of warmup epochs.
+        warmup: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The learning-rate multiplier for `epoch` (0-based).
+    pub fn factor(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::StepDecay { every, gamma } => gamma.powi((epoch / every.max(1)) as i32),
+            LrSchedule::Cosine { total, floor } => {
+                let t = (epoch as f32 / total.max(1) as f32).min(1.0);
+                floor + (1.0 - floor) * 0.5 * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+            LrSchedule::Warmup { warmup } => {
+                if epoch >= warmup {
+                    1.0
+                } else {
+                    (epoch + 1) as f32 / warmup as f32
+                }
+            }
+        }
+    }
+
+    /// The absolute learning rate given a base rate.
+    pub fn lr_at(&self, base: f32, epoch: usize) -> f32 {
+        base * self.factor(epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one() {
+        assert_eq!(LrSchedule::Constant.factor(0), 1.0);
+        assert_eq!(LrSchedule::Constant.factor(100), 1.0);
+    }
+
+    #[test]
+    fn step_decay_halves() {
+        let s = LrSchedule::StepDecay { every: 10, gamma: 0.5 };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(9), 1.0);
+        assert_eq!(s.factor(10), 0.5);
+        assert_eq!(s.factor(25), 0.25);
+    }
+
+    #[test]
+    fn cosine_endpoints() {
+        let s = LrSchedule::Cosine { total: 100, floor: 0.1 };
+        assert!((s.factor(0) - 1.0).abs() < 1e-6);
+        assert!((s.factor(100) - 0.1).abs() < 1e-6);
+        assert!(s.factor(50) > 0.1 && s.factor(50) < 1.0);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::Warmup { warmup: 4 };
+        assert_eq!(s.factor(0), 0.25);
+        assert_eq!(s.factor(3), 1.0);
+        assert_eq!(s.factor(10), 1.0);
+    }
+}

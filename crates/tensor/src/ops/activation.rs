@@ -1,0 +1,103 @@
+//! Numerically stable softmax family over the last axis.
+
+use crate::Tensor;
+
+/// Softmax over the last axis, numerically stabilized by row-max
+/// subtraction.
+///
+/// # Panics
+///
+/// Panics if the tensor is 0-dimensional.
+///
+/// # Example
+///
+/// ```
+/// use aibench_tensor::{ops::softmax_last, Tensor};
+/// let p = softmax_last(&Tensor::from_vec(vec![1.0, 1.0], &[2]));
+/// assert!((p.data()[0] - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax_last(x: &Tensor) -> Tensor {
+    assert!(x.ndim() >= 1, "softmax_last on scalar");
+    let inner = *x.shape().last().unwrap();
+    let outer = x.len() / inner.max(1);
+    let mut out = Tensor::zeros(x.shape());
+    for o in 0..outer {
+        let row = &x.data()[o * inner..(o + 1) * inner];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let dst = &mut out.data_mut()[o * inner..(o + 1) * inner];
+        let mut z = 0.0;
+        for (d, &v) in dst.iter_mut().zip(row) {
+            let e = (v - m).exp();
+            *d = e;
+            z += e;
+        }
+        let inv = 1.0 / z;
+        for d in dst.iter_mut() {
+            *d *= inv;
+        }
+    }
+    out
+}
+
+/// Log-softmax over the last axis.
+///
+/// # Panics
+///
+/// Panics if the tensor is 0-dimensional.
+pub fn log_softmax_last(x: &Tensor) -> Tensor {
+    assert!(x.ndim() >= 1, "log_softmax_last on scalar");
+    let inner = *x.shape().last().unwrap();
+    let outer = x.len() / inner.max(1);
+    let mut out = Tensor::zeros(x.shape());
+    for o in 0..outer {
+        let row = &x.data()[o * inner..(o + 1) * inner];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let z: f32 = row.iter().map(|&v| (v - m).exp()).sum();
+        let log_z = z.ln() + m;
+        let dst = &mut out.data_mut()[o * inner..(o + 1) * inner];
+        for (d, &v) in dst.iter_mut().zip(row) {
+            *d = v - log_z;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_sum_to_one() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let p = softmax_last(&x);
+        for o in 0..2 {
+            let s: f32 = p.data()[o * 3..(o + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn stable_for_large_logits() {
+        let x = Tensor::from_vec(vec![1000.0, 1001.0], &[2]);
+        let p = softmax_last(&x);
+        assert!(p.all_finite());
+        assert!((p.data()[0] + p.data()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let x = Tensor::from_vec(vec![0.3, -1.2, 2.0, 0.0], &[2, 2]);
+        let p = softmax_last(&x);
+        let lp = log_softmax_last(&x);
+        for (a, b) in p.data().iter().zip(lp.data()) {
+            assert!((a.ln() - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn uniform_logits_give_uniform_probs() {
+        let x = Tensor::zeros(&[1, 5]);
+        let p = softmax_last(&x);
+        assert!(p.data().iter().all(|&v| (v - 0.2).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,297 @@
+//! 2-D convolution via im2col + GEMM, with explicit backward kernels.
+//!
+//! Layout is NCHW for activations and `[c_out, c_in, kh, kw]` for weights.
+//! The backward-input kernel doubles as the forward pass of transposed
+//! convolution (used by the GAN generators and decoder networks), exactly as
+//! cuDNN reuses its `wgrad`/`dgrad` engines.
+
+use super::matmul::gemm_into;
+use crate::Tensor;
+
+/// Geometry of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dArgs {
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding in both spatial dimensions.
+    pub pad: usize,
+}
+
+impl Conv2dArgs {
+    /// Convolution with the given stride and padding.
+    pub fn new(stride: usize, pad: usize) -> Self {
+        assert!(stride > 0, "conv stride must be positive");
+        Conv2dArgs { stride, pad }
+    }
+
+    /// Output spatial extent for an input extent and kernel extent.
+    pub fn out_extent(&self, input: usize, kernel: usize) -> usize {
+        (input + 2 * self.pad).saturating_sub(kernel) / self.stride + 1
+    }
+}
+
+impl Default for Conv2dArgs {
+    fn default() -> Self {
+        Conv2dArgs { stride: 1, pad: 0 }
+    }
+}
+
+/// Unfolds one NCHW sample into an im2col matrix `[c*kh*kw, ho*wo]`.
+fn im2col(x: &[f32], c: usize, h: usize, w: usize, kh: usize, kw: usize, args: Conv2dArgs, ho: usize, wo: usize) -> Vec<f32> {
+    let mut col = vec![0.0f32; c * kh * kw * ho * wo];
+    let cols = ho * wo;
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                let dst = &mut col[row * cols..(row + 1) * cols];
+                for oy in 0..ho {
+                    let iy = (oy * args.stride + ki) as isize - args.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let src_row = &x[(ci * h + iy as usize) * w..(ci * h + iy as usize + 1) * w];
+                    for ox in 0..wo {
+                        let ix = (ox * args.stride + kj) as isize - args.pad as isize;
+                        if ix >= 0 && ix < w as isize {
+                            dst[oy * wo + ox] = src_row[ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    col
+}
+
+/// Folds an im2col matrix back onto an NCHW sample, accumulating overlaps.
+fn col2im(col: &[f32], c: usize, h: usize, w: usize, kh: usize, kw: usize, args: Conv2dArgs, ho: usize, wo: usize, out: &mut [f32]) {
+    let cols = ho * wo;
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                let src = &col[row * cols..(row + 1) * cols];
+                for oy in 0..ho {
+                    let iy = (oy * args.stride + ki) as isize - args.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let dst_row = &mut out[(ci * h + iy as usize) * w..(ci * h + iy as usize + 1) * w];
+                    for ox in 0..wo {
+                        let ix = (ox * args.stride + kj) as isize - args.pad as isize;
+                        if ix >= 0 && ix < w as isize {
+                            dst_row[ix as usize] += src[oy * wo + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// 2-D convolution: input `[n, c_in, h, w]`, weight `[c_out, c_in, kh, kw]`
+/// → `[n, c_out, ho, wo]`.
+///
+/// # Panics
+///
+/// Panics if ranks or channel counts disagree, or the kernel does not fit
+/// the padded input.
+pub fn conv2d(input: &Tensor, weight: &Tensor, args: Conv2dArgs) -> Tensor {
+    assert_eq!(input.ndim(), 4, "conv2d: input must be NCHW, got {:?}", input.shape());
+    assert_eq!(weight.ndim(), 4, "conv2d: weight must be [co,ci,kh,kw], got {:?}", weight.shape());
+    let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    let (co, ci, kh, kw) = (weight.shape()[0], weight.shape()[1], weight.shape()[2], weight.shape()[3]);
+    assert_eq!(c, ci, "conv2d: input channels {c} vs weight channels {ci}");
+    assert!(h + 2 * args.pad >= kh && w + 2 * args.pad >= kw, "conv2d: kernel larger than padded input");
+    let ho = args.out_extent(h, kh);
+    let wo = args.out_extent(w, kw);
+    let kdim = ci * kh * kw;
+    let cols = ho * wo;
+    let mut out = vec![0.0f32; n * co * cols];
+    for s in 0..n {
+        let x = &input.data()[s * c * h * w..(s + 1) * c * h * w];
+        let col = im2col(x, c, h, w, kh, kw, args, ho, wo);
+        gemm_into(weight.data(), &col, &mut out[s * co * cols..(s + 1) * co * cols], co, kdim, cols);
+    }
+    Tensor::from_vec(out, &[n, co, ho, wo])
+}
+
+/// Gradient of [`conv2d`] with respect to its input.
+///
+/// Also the forward pass of transposed convolution: given `grad_output`
+/// shaped `[n, c_out, ho, wo]` it produces `[n, c_in, h, w]` where `(h, w)`
+/// are the provided original input extents.
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches.
+pub fn conv2d_backward_input(grad_output: &Tensor, weight: &Tensor, input_hw: (usize, usize), args: Conv2dArgs) -> Tensor {
+    assert_eq!(grad_output.ndim(), 4, "conv2d_backward_input: grad must be NCHW");
+    assert_eq!(weight.ndim(), 4, "conv2d_backward_input: weight must be 4-D");
+    let (n, co, ho, wo) = (
+        grad_output.shape()[0],
+        grad_output.shape()[1],
+        grad_output.shape()[2],
+        grad_output.shape()[3],
+    );
+    let (cow, ci, kh, kw) = (weight.shape()[0], weight.shape()[1], weight.shape()[2], weight.shape()[3]);
+    assert_eq!(co, cow, "conv2d_backward_input: channel mismatch {co} vs {cow}");
+    let (h, w) = input_hw;
+    let kdim = ci * kh * kw;
+    let cols = ho * wo;
+    // weight^T: [kdim, co]
+    let wt = weight.reshape(&[co, kdim]).t();
+    let mut out = vec![0.0f32; n * ci * h * w];
+    let mut col = vec![0.0f32; kdim * cols];
+    for s in 0..n {
+        col.iter_mut().for_each(|v| *v = 0.0);
+        let g = &grad_output.data()[s * co * cols..(s + 1) * co * cols];
+        gemm_into(wt.data(), g, &mut col, kdim, co, cols);
+        col2im(&col, ci, h, w, kh, kw, args, ho, wo, &mut out[s * ci * h * w..(s + 1) * ci * h * w]);
+    }
+    Tensor::from_vec(out, &[n, ci, h, w])
+}
+
+/// Gradient of [`conv2d`] with respect to its weight.
+///
+/// # Panics
+///
+/// Panics on rank or batch mismatches.
+pub fn conv2d_backward_weight(input: &Tensor, grad_output: &Tensor, kernel_hw: (usize, usize), args: Conv2dArgs) -> Tensor {
+    assert_eq!(input.ndim(), 4, "conv2d_backward_weight: input must be NCHW");
+    assert_eq!(grad_output.ndim(), 4, "conv2d_backward_weight: grad must be NCHW");
+    let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    let (n2, co, ho, wo) = (
+        grad_output.shape()[0],
+        grad_output.shape()[1],
+        grad_output.shape()[2],
+        grad_output.shape()[3],
+    );
+    assert_eq!(n, n2, "conv2d_backward_weight: batch mismatch");
+    let (kh, kw) = kernel_hw;
+    let kdim = c * kh * kw;
+    let cols = ho * wo;
+    let mut gw = vec![0.0f32; co * kdim];
+    for s in 0..n {
+        let x = &input.data()[s * c * h * w..(s + 1) * c * h * w];
+        let col = im2col(x, c, h, w, kh, kw, args, ho, wo);
+        // grad_w += g [co, cols] * col^T [cols, kdim]
+        let colt = Tensor::from_vec(col, &[kdim, cols]).t();
+        let g = &grad_output.data()[s * co * cols..(s + 1) * co * cols];
+        gemm_into(g, colt.data(), &mut gw, co, cols, kdim);
+    }
+    Tensor::from_vec(gw, &[co, c, kh, kw])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    /// Direct (non-im2col) reference convolution.
+    fn conv2d_direct(input: &Tensor, weight: &Tensor, args: Conv2dArgs) -> Tensor {
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let (co, _, kh, kw) = (weight.shape()[0], weight.shape()[1], weight.shape()[2], weight.shape()[3]);
+        let ho = args.out_extent(h, kh);
+        let wo = args.out_extent(w, kw);
+        let mut out = Tensor::zeros(&[n, co, ho, wo]);
+        for s in 0..n {
+            for o in 0..co {
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let mut acc = 0.0;
+                        for ci in 0..c {
+                            for ki in 0..kh {
+                                for kj in 0..kw {
+                                    let iy = (oy * args.stride + ki) as isize - args.pad as isize;
+                                    let ix = (ox * args.stride + kj) as isize - args.pad as isize;
+                                    if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                        acc += input.at(&[s, ci, iy as usize, ix as usize])
+                                            * weight.at(&[o, ci, ki, kj]);
+                                    }
+                                }
+                            }
+                        }
+                        out.set(&[s, o, oy, ox], acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_direct_various_geometries() {
+        let mut rng = Rng::seed_from(2);
+        for &(c, h, w, co, k, stride, pad) in
+            &[(1, 5, 5, 1, 3, 1, 0), (3, 8, 8, 4, 3, 1, 1), (2, 7, 9, 3, 3, 2, 1), (1, 4, 4, 2, 1, 1, 0)]
+        {
+            let x = Tensor::randn(&[2, c, h, w], &mut rng);
+            let wt = Tensor::randn(&[co, c, k, k], &mut rng);
+            let args = Conv2dArgs::new(stride, pad);
+            let fast = conv2d(&x, &wt, args);
+            let slow = conv2d_direct(&x, &wt, args);
+            assert!(fast.max_abs_diff(&slow) < 1e-4, "geometry ({c},{h},{w},{co},{k},{stride},{pad})");
+        }
+    }
+
+    #[test]
+    fn backward_input_matches_finite_difference() {
+        let mut rng = Rng::seed_from(5);
+        let x = Tensor::randn(&[1, 2, 5, 5], &mut rng);
+        let w = Tensor::randn(&[3, 2, 3, 3], &mut rng);
+        let args = Conv2dArgs::new(1, 1);
+        let y = conv2d(&x, &w, args);
+        // Loss = sum(y); grad_output = ones.
+        let go = Tensor::ones(y.shape());
+        let gx = conv2d_backward_input(&go, &w, (5, 5), args);
+        let eps = 1e-2;
+        for i in [0usize, 7, 24, 49] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (conv2d(&xp, &w, args).sum() - conv2d(&xm, &w, args).sum()) / (2.0 * eps);
+            assert!((num - gx.data()[i]).abs() < 1e-2, "dx[{i}]: numeric {num} vs analytic {}", gx.data()[i]);
+        }
+    }
+
+    #[test]
+    fn backward_weight_matches_finite_difference() {
+        let mut rng = Rng::seed_from(6);
+        let x = Tensor::randn(&[2, 2, 5, 5], &mut rng);
+        let w = Tensor::randn(&[3, 2, 3, 3], &mut rng);
+        let args = Conv2dArgs::new(2, 1);
+        let y = conv2d(&x, &w, args);
+        let go = Tensor::ones(y.shape());
+        let gw = conv2d_backward_weight(&x, &go, (3, 3), args);
+        let eps = 1e-2;
+        for i in [0usize, 5, 17, 53] {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let num = (conv2d(&x, &wp, args).sum() - conv2d(&x, &wm, args).sum()) / (2.0 * eps);
+            assert!((num - gw.data()[i]).abs() < 2e-2, "dw[{i}]: numeric {num} vs analytic {}", gw.data()[i]);
+        }
+    }
+
+    #[test]
+    fn transposed_conv_upsamples() {
+        // backward_input used as deconv: [1,co,2,2] -> [1,ci,4,4] with k=2 stride=2.
+        let mut rng = Rng::seed_from(7);
+        let g = Tensor::randn(&[1, 3, 2, 2], &mut rng);
+        let w = Tensor::randn(&[3, 2, 2, 2], &mut rng);
+        let up = conv2d_backward_input(&g, &w, (4, 4), Conv2dArgs::new(2, 0));
+        assert_eq!(up.shape(), &[1, 2, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "channels")]
+    fn channel_mismatch_panics() {
+        let x = Tensor::ones(&[1, 2, 4, 4]);
+        let w = Tensor::ones(&[1, 3, 3, 3]);
+        let _ = conv2d(&x, &w, Conv2dArgs::default());
+    }
+}

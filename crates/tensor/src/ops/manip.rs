@@ -1,0 +1,171 @@
+//! Structural operations: concatenation, slicing, spatial padding.
+
+use crate::shape::row_major_strides;
+use crate::Tensor;
+
+/// Concatenates tensors along `axis`.
+///
+/// # Panics
+///
+/// Panics if `parts` is empty, ranks differ, or non-`axis` extents differ.
+pub fn concat(parts: &[&Tensor], axis: usize) -> Tensor {
+    assert!(!parts.is_empty(), "concat of zero tensors");
+    let rank = parts[0].ndim();
+    assert!(axis < rank, "concat axis {axis} out of range for rank {rank}");
+    let mut out_shape = parts[0].shape().to_vec();
+    out_shape[axis] = 0;
+    for p in parts {
+        assert_eq!(p.ndim(), rank, "concat rank mismatch");
+        for d in 0..rank {
+            if d != axis {
+                assert_eq!(p.shape()[d], out_shape[d].max(parts[0].shape()[d]), "concat extent mismatch on dim {d}");
+            }
+        }
+        out_shape[axis] += p.shape()[axis];
+    }
+    let outer: usize = out_shape[..axis].iter().product();
+    let inner: usize = out_shape[axis + 1..].iter().product();
+    let mut data = Vec::with_capacity(out_shape.iter().product());
+    for o in 0..outer {
+        for p in parts {
+            let ext = p.shape()[axis];
+            let chunk = ext * inner;
+            data.extend_from_slice(&p.data()[o * chunk..(o + 1) * chunk]);
+        }
+    }
+    Tensor::from_vec(data, &out_shape)
+}
+
+/// Extracts `[start, start+len)` along `axis`.
+///
+/// # Panics
+///
+/// Panics if the range exceeds the axis extent.
+pub fn slice_axis(x: &Tensor, axis: usize, start: usize, len: usize) -> Tensor {
+    assert!(axis < x.ndim(), "slice axis {axis} out of range");
+    assert!(start + len <= x.shape()[axis], "slice [{start}, {}) exceeds extent {}", start + len, x.shape()[axis]);
+    let mut out_shape = x.shape().to_vec();
+    out_shape[axis] = len;
+    let strides = row_major_strides(x.shape());
+    let outer: usize = x.shape()[..axis].iter().product();
+    let inner = strides[axis];
+    let src_chunk = x.shape()[axis] * inner;
+    let mut data = Vec::with_capacity(out_shape.iter().product());
+    for o in 0..outer {
+        let base = o * src_chunk + start * inner;
+        data.extend_from_slice(&x.data()[base..base + len * inner]);
+    }
+    Tensor::from_vec(data, &out_shape)
+}
+
+/// Zero-pads the two spatial dimensions of an NCHW tensor by `pad` on every
+/// side.
+///
+/// # Panics
+///
+/// Panics if the tensor is not 4-D.
+pub fn pad2d(x: &Tensor, pad: usize) -> Tensor {
+    assert_eq!(x.ndim(), 4, "pad2d: input must be NCHW");
+    if pad == 0 {
+        return x.clone();
+    }
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (hp, wp) = (h + 2 * pad, w + 2 * pad);
+    let mut out = Tensor::zeros(&[n, c, hp, wp]);
+    for s in 0..n {
+        for ci in 0..c {
+            for y in 0..h {
+                let src = (s * c + ci) * h * w + y * w;
+                let dst = (s * c + ci) * hp * wp + (y + pad) * wp + pad;
+                out.data_mut()[dst..dst + w].copy_from_slice(&x.data()[src..src + w]);
+            }
+        }
+    }
+    out
+}
+
+/// Removes `pad` from every side of the spatial dimensions (inverse of
+/// [`pad2d`]).
+///
+/// # Panics
+///
+/// Panics if the tensor is not 4-D or too small to unpad.
+pub fn unpad2d(x: &Tensor, pad: usize) -> Tensor {
+    assert_eq!(x.ndim(), 4, "unpad2d: input must be NCHW");
+    if pad == 0 {
+        return x.clone();
+    }
+    let (n, c, hp, wp) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    assert!(hp > 2 * pad && wp > 2 * pad, "unpad2d: nothing left after removing pad {pad}");
+    let (h, w) = (hp - 2 * pad, wp - 2 * pad);
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    for s in 0..n {
+        for ci in 0..c {
+            for y in 0..h {
+                let src = (s * c + ci) * hp * wp + (y + pad) * wp + pad;
+                let dst = (s * c + ci) * h * w + y * w;
+                out.data_mut()[dst..dst + w].copy_from_slice(&x.data()[src..src + w]);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn concat_axis0() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], &[2, 2]);
+        let c = concat(&[&a, &b], 0);
+        assert_eq!(c.shape(), &[3, 2]);
+        assert_eq!(c.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn concat_axis1() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![9.0, 8.0], &[2, 1]);
+        let c = concat(&[&a, &b], 1);
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(c.data(), &[1.0, 2.0, 9.0, 3.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn slice_then_concat_roundtrip() {
+        let mut rng = Rng::seed_from(8);
+        let x = Tensor::randn(&[3, 4, 5], &mut rng);
+        let a = slice_axis(&x, 1, 0, 2);
+        let b = slice_axis(&x, 1, 2, 2);
+        let back = concat(&[&a, &b], 1);
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn pad_unpad_roundtrip() {
+        let mut rng = Rng::seed_from(9);
+        let x = Tensor::randn(&[2, 3, 4, 5], &mut rng);
+        let padded = pad2d(&x, 2);
+        assert_eq!(padded.shape(), &[2, 3, 8, 9]);
+        assert_eq!(unpad2d(&padded, 2), x);
+    }
+
+    #[test]
+    fn pad_border_is_zero() {
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let p = pad2d(&x, 1);
+        assert_eq!(p.at(&[0, 0, 0, 0]), 0.0);
+        assert_eq!(p.at(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(p.sum(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds extent")]
+    fn slice_out_of_range_panics() {
+        let x = Tensor::ones(&[2, 3]);
+        let _ = slice_axis(&x, 1, 2, 2);
+    }
+}

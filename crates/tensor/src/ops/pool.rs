@@ -1,0 +1,166 @@
+//! Max and average pooling over NCHW activations.
+
+use crate::Tensor;
+
+/// Max-pools `[n, c, h, w]` with a `k`×`k` window and stride `stride`.
+///
+/// Returns the pooled tensor plus, for each output element, the flat input
+/// index that won the max — required by [`max_pool2d_backward`].
+///
+/// # Panics
+///
+/// Panics if the input is not 4-D or the window does not fit.
+pub fn max_pool2d(input: &Tensor, k: usize, stride: usize) -> (Tensor, Vec<usize>) {
+    assert_eq!(input.ndim(), 4, "max_pool2d: input must be NCHW, got {:?}", input.shape());
+    let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    assert!(h >= k && w >= k, "max_pool2d: window {k} larger than input {h}x{w}");
+    let ho = (h - k) / stride + 1;
+    let wo = (w - k) / stride + 1;
+    let mut out = Tensor::zeros(&[n, c, ho, wo]);
+    let mut winners = vec![0usize; n * c * ho * wo];
+    let mut oi = 0;
+    for s in 0..n {
+        for ci in 0..c {
+            let base = (s * c + ci) * h * w;
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let idx = base + (oy * stride + ky) * w + ox * stride + kx;
+                            let v = input.data()[idx];
+                            if v > best {
+                                best = v;
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    out.data_mut()[oi] = best;
+                    winners[oi] = best_idx;
+                    oi += 1;
+                }
+            }
+        }
+    }
+    (out, winners)
+}
+
+/// Routes output gradients back to the winning input positions of a prior
+/// [`max_pool2d`] call.
+pub fn max_pool2d_backward(grad_output: &Tensor, winners: &[usize], input_shape: &[usize]) -> Tensor {
+    let mut gx = Tensor::zeros(input_shape);
+    for (g, &idx) in grad_output.data().iter().zip(winners) {
+        gx.data_mut()[idx] += g;
+    }
+    gx
+}
+
+/// Average-pools `[n, c, h, w]` with a `k`×`k` window and stride `stride`.
+///
+/// # Panics
+///
+/// Panics if the input is not 4-D or the window does not fit.
+pub fn avg_pool2d(input: &Tensor, k: usize, stride: usize) -> Tensor {
+    assert_eq!(input.ndim(), 4, "avg_pool2d: input must be NCHW, got {:?}", input.shape());
+    let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    assert!(h >= k && w >= k, "avg_pool2d: window {k} larger than input {h}x{w}");
+    let ho = (h - k) / stride + 1;
+    let wo = (w - k) / stride + 1;
+    let inv = 1.0 / (k * k) as f32;
+    let mut out = Tensor::zeros(&[n, c, ho, wo]);
+    let mut oi = 0;
+    for s in 0..n {
+        for ci in 0..c {
+            let base = (s * c + ci) * h * w;
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut acc = 0.0;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            acc += input.data()[base + (oy * stride + ky) * w + ox * stride + kx];
+                        }
+                    }
+                    out.data_mut()[oi] = acc * inv;
+                    oi += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Gradient of [`avg_pool2d`]: spreads each output gradient uniformly over
+/// its window.
+pub fn avg_pool2d_backward(grad_output: &Tensor, input_shape: &[usize], k: usize, stride: usize) -> Tensor {
+    let (n, c, h, w) = (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
+    let ho = grad_output.shape()[2];
+    let wo = grad_output.shape()[3];
+    let inv = 1.0 / (k * k) as f32;
+    let mut gx = Tensor::zeros(input_shape);
+    let mut oi = 0;
+    for s in 0..n {
+        for ci in 0..c {
+            let base = (s * c + ci) * h * w;
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let g = grad_output.data()[oi] * inv;
+                    oi += 1;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            gx.data_mut()[base + (oy * stride + ky) * w + ox * stride + kx] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    gx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_known_values() {
+        let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 1, 4, 4]);
+        let (y, _) = max_pool2d(&x, 2, 2);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_winner() {
+        let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 1, 4, 4]);
+        let (y, winners) = max_pool2d(&x, 2, 2);
+        let go = Tensor::ones(y.shape());
+        let gx = max_pool2d_backward(&go, &winners, x.shape());
+        assert_eq!(gx.sum(), 4.0);
+        assert_eq!(gx.at(&[0, 0, 1, 1]), 1.0); // element 5 won the top-left window
+        assert_eq!(gx.at(&[0, 0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn avg_pool_known_values() {
+        let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 1, 4, 4]);
+        let y = avg_pool2d(&x, 2, 2);
+        assert_eq!(y.data(), &[2.5, 4.5, 10.5, 12.5]);
+    }
+
+    #[test]
+    fn avg_pool_backward_spreads_uniformly() {
+        let x = Tensor::zeros(&[1, 1, 4, 4]);
+        let go = Tensor::ones(&[1, 1, 2, 2]);
+        let gx = avg_pool2d_backward(&go, x.shape(), 2, 2);
+        assert!(gx.data().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn overlapping_stride() {
+        let x = Tensor::from_vec((0..9).map(|i| i as f32).collect(), &[1, 1, 3, 3]);
+        let (y, _) = max_pool2d(&x, 2, 1);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4.0, 5.0, 7.0, 8.0]);
+    }
+}

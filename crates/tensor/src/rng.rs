@@ -1,0 +1,178 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The whole reproduction must be bit-reproducible given a seed, so every
+//! stochastic component (weight init, data synthesis, dropout, sampling)
+//! draws from this xorshift64*-based generator rather than from OS entropy.
+
+/// A deterministic xorshift64* pseudo-random number generator.
+///
+/// Fast, tiny-state, and good enough statistically for weight initialization
+/// and synthetic data generation. Not cryptographically secure.
+///
+/// # Example
+///
+/// ```
+/// use aibench_tensor::Rng;
+/// let mut rng = Rng::seed_from(7);
+/// let x = rng.uniform();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rng {
+    state: u64,
+    /// Cached second output of the Box-Muller transform.
+    gauss_spare: Option<f32>,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Any seed (including 0) is valid.
+    pub fn seed_from(seed: u64) -> Self {
+        // Avoid the all-zero state, which is a fixed point of xorshift.
+        let state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x2545_F491_4F6C_DD1D) | 1;
+        Rng { state, gauss_spare: None }
+    }
+
+    /// Returns the next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Returns a uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f32 {
+        // Use the top 24 bits for a clean f32 mantissa.
+        ((self.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Returns a uniform sample in `[lo, hi)`.
+    pub fn uniform_in(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Returns a standard normal sample (Box-Muller).
+    pub fn normal(&mut self) -> f32 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        // Rejection-free polar-less Box-Muller.
+        let mut u1 = self.uniform();
+        if u1 < 1e-12 {
+            u1 = 1e-12;
+        }
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Returns a normal sample with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.normal()
+    }
+
+    /// Returns a uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "Rng::below requires n > 0");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Returns `true` with probability `p`.
+    pub fn bernoulli(&mut self, p: f32) -> bool {
+        self.uniform() < p
+    }
+
+    /// Shuffles a slice in place (Fisher-Yates).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Returns a random permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut p);
+        p
+    }
+
+    /// Splits off an independent generator, advancing this one.
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed_from(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Rng::seed_from(123);
+        let mut b = Rng::seed_from(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from(1);
+        let mut b = Rng::seed_from(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = Rng::seed_from(9);
+        for _ in 0..10_000 {
+            let x = rng.uniform();
+            assert!((0.0..1.0).contains(&x), "uniform out of range: {x}");
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = Rng::seed_from(5);
+        let n = 50_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = Rng::seed_from(11);
+        let mut p = rng.permutation(100);
+        p.sort_unstable();
+        assert_eq!(p, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = Rng::seed_from(3);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_valid() {
+        let mut rng = Rng::seed_from(0);
+        // Must not get stuck at zero.
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, b);
+    }
+}

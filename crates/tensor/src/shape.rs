@@ -1,0 +1,178 @@
+//! Shape algebra: dimension bookkeeping and NumPy-style broadcasting rules.
+
+use std::fmt;
+
+/// A tensor shape: the extent of each dimension, outermost first.
+///
+/// `Shape` is a thin newtype over `Vec<usize>` used where shape-level
+/// reasoning (broadcasting, stride computation) is needed; the [`Tensor`]
+/// type stores its dimensions directly.
+///
+/// [`Tensor`]: crate::Tensor
+///
+/// # Example
+///
+/// ```
+/// use aibench_tensor::Shape;
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from explicit dimensions.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+
+    /// The dimensions, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of dimensions; 1 for scalars).
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Whether the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        row_major_strides(&self.0)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Row-major (C-order) strides for the given dimensions.
+pub(crate) fn row_major_strides(dims: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1; dims.len()];
+    for i in (0..dims.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * dims[i + 1];
+    }
+    strides
+}
+
+/// Computes the broadcast result shape of two shapes under NumPy rules, or
+/// `None` if they are incompatible.
+///
+/// Dimensions are aligned from the right; a dimension broadcasts when it is
+/// `1` or equal to its counterpart.
+///
+/// # Example
+///
+/// ```
+/// use aibench_tensor::broadcast_shapes;
+/// assert_eq!(broadcast_shapes(&[4, 1, 3], &[2, 3]), Some(vec![4, 2, 3]));
+/// assert_eq!(broadcast_shapes(&[2, 3], &[4, 3]), None);
+/// ```
+pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
+    let ndim = a.len().max(b.len());
+    let mut out = vec![0; ndim];
+    for i in 0..ndim {
+        let da = if i < ndim - a.len() { 1 } else { a[i - (ndim - a.len())] };
+        let db = if i < ndim - b.len() { 1 } else { b[i - (ndim - b.len())] };
+        out[i] = if da == db {
+            da
+        } else if da == 1 {
+            db
+        } else if db == 1 {
+            da
+        } else {
+            return None;
+        };
+    }
+    Some(out)
+}
+
+/// Strides for iterating a tensor of shape `dims` as if broadcast to
+/// `target` (stride 0 on broadcast dimensions).
+pub(crate) fn broadcast_strides(dims: &[usize], target: &[usize]) -> Vec<usize> {
+    let strides = row_major_strides(dims);
+    let offset = target.len() - dims.len();
+    let mut out = vec![0; target.len()];
+    for i in 0..dims.len() {
+        out[offset + i] = if dims[i] == 1 && target[offset + i] != 1 { 0 } else { strides[i] };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(row_major_strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(row_major_strides(&[5]), vec![1]);
+        assert_eq!(row_major_strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn broadcast_equal_shapes() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]), Some(vec![2, 3]));
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[], &[2, 3]), Some(vec![2, 3]));
+    }
+
+    #[test]
+    fn broadcast_ones_expand() {
+        assert_eq!(broadcast_shapes(&[1, 3], &[2, 1]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[4, 1, 3], &[2, 3]), Some(vec![4, 2, 3]));
+    }
+
+    #[test]
+    fn broadcast_incompatible() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[4, 3]), None);
+        assert_eq!(broadcast_shapes(&[2], &[3]), None);
+    }
+
+    #[test]
+    fn broadcast_strides_zero_on_expanded() {
+        assert_eq!(broadcast_strides(&[1, 3], &[2, 3]), vec![0, 1]);
+        assert_eq!(broadcast_strides(&[3], &[2, 3]), vec![0, 1]);
+    }
+
+    #[test]
+    fn shape_display() {
+        assert_eq!(Shape::new(vec![2, 3]).to_string(), "[2, 3]");
+    }
+}

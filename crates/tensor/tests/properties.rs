@@ -1,0 +1,106 @@
+//! Property-based tests of the tensor algebra's invariants.
+
+use aibench_tensor::ops::{conv2d, matmul, matmul_naive, slice_axis, Conv2dArgs};
+use aibench_tensor::{broadcast_shapes, ops::concat, Rng, Tensor};
+use proptest::prelude::*;
+
+fn small_dim() -> impl Strategy<Value = usize> {
+    1usize..6
+}
+
+fn tensor_2d(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut rng = Rng::seed_from(seed);
+    Tensor::randn(&[rows, cols], &mut rng)
+}
+
+proptest! {
+    #[test]
+    fn broadcast_is_commutative_in_shape(a in prop::collection::vec(1usize..5, 1..4),
+                                         b in prop::collection::vec(1usize..5, 1..4)) {
+        prop_assert_eq!(broadcast_shapes(&a, &b), broadcast_shapes(&b, &a));
+    }
+
+    #[test]
+    fn broadcast_with_self_is_identity(a in prop::collection::vec(1usize..6, 1..5)) {
+        prop_assert_eq!(broadcast_shapes(&a, &a), Some(a));
+    }
+
+    #[test]
+    fn add_commutes(r in small_dim(), c in small_dim(), s1 in 0u64..100, s2 in 0u64..100) {
+        let a = tensor_2d(r, c, s1);
+        let b = tensor_2d(r, c, s2);
+        prop_assert!(a.add(&b).max_abs_diff(&b.add(&a)) < 1e-6);
+    }
+
+    #[test]
+    fn matmul_matches_naive(m in small_dim(), k in small_dim(), n in small_dim(), s in 0u64..100) {
+        let a = tensor_2d(m, k, s);
+        let b = tensor_2d(k, n, s ^ 0xff);
+        prop_assert!(matmul(&a, &b).max_abs_diff(&matmul_naive(&a, &b)) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(m in small_dim(), k in small_dim(), n in small_dim(), s in 0u64..100) {
+        let a = tensor_2d(m, k, s);
+        let b = tensor_2d(k, n, s ^ 1);
+        let c = tensor_2d(k, n, s ^ 2);
+        let lhs = matmul(&a, &b.add(&c));
+        let rhs = matmul(&a, &b).add(&matmul(&a, &c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+    }
+
+    #[test]
+    fn transpose_is_involutive(r in small_dim(), c in small_dim(), s in 0u64..100) {
+        let a = tensor_2d(r, c, s);
+        prop_assert_eq!(a.t().t(), a);
+    }
+
+    #[test]
+    fn sum_to_preserves_total(r in small_dim(), c in small_dim(), s in 0u64..100) {
+        let a = tensor_2d(r, c, s);
+        let folded = a.sum_to(&[c]);
+        prop_assert!((folded.sum() - a.sum()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn concat_then_slice_roundtrips(r in small_dim(), c1 in small_dim(), c2 in small_dim(), s in 0u64..100) {
+        let a = tensor_2d(r, c1, s);
+        let b = tensor_2d(r, c2, s ^ 7);
+        let joined = concat(&[&a, &b], 1);
+        prop_assert_eq!(slice_axis(&joined, 1, 0, c1), a);
+        prop_assert_eq!(slice_axis(&joined, 1, c1, c2), b);
+    }
+
+    #[test]
+    fn conv_output_shape_is_consistent(c_in in 1usize..4, c_out in 1usize..4,
+                                       h in 4usize..8, w in 4usize..8, s in 0u64..50) {
+        let mut rng = Rng::seed_from(s);
+        let x = Tensor::randn(&[1, c_in, h, w], &mut rng);
+        let wt = Tensor::randn(&[c_out, c_in, 3, 3], &mut rng);
+        let args = Conv2dArgs::new(1, 1);
+        let y = conv2d(&x, &wt, args);
+        prop_assert_eq!(y.shape(), &[1, c_out, h, w]);
+        prop_assert!(y.all_finite());
+    }
+
+    #[test]
+    fn conv_is_linear_in_the_input(s in 0u64..50) {
+        let mut rng = Rng::seed_from(s);
+        let x1 = Tensor::randn(&[1, 2, 5, 5], &mut rng);
+        let x2 = Tensor::randn(&[1, 2, 5, 5], &mut rng);
+        let wt = Tensor::randn(&[3, 2, 3, 3], &mut rng);
+        let args = Conv2dArgs::new(1, 0);
+        let lhs = conv2d(&x1.add(&x2), &wt, args);
+        let rhs = conv2d(&x1, &wt, args).add(&conv2d(&x2, &wt, args));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+    }
+
+    #[test]
+    fn rng_uniform_stays_in_unit_interval(seed in 0u64..1000) {
+        let mut rng = Rng::seed_from(seed);
+        for _ in 0..100 {
+            let x = rng.uniform();
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Workload characterization: the model characteristics (parameters,
+//! FLOPs) and simulated micro-architectural profile of every benchmark,
+//! plus each benchmark's runtime breakdown — the Section 5.2/5.5 pipeline
+//! in one binary.
+//!
+//! ```sh
+//! cargo run --release --example characterize
+//! ```
+
+use aibench::characterize::{microarch_vectors, model_characteristics};
+use aibench::registry::Registry;
+use aibench_analysis::TextTable;
+use aibench_gpusim::{DeviceConfig, Simulator};
+
+fn main() {
+    let registry = Registry::aibench();
+
+    println!("== model characteristics (full-scale specs) ==");
+    let mut t = TextTable::new(vec!["benchmark".into(), "algorithm".into(), "params (M)".into(), "M-FLOPs".into()]);
+    for c in model_characteristics(&registry) {
+        t.row(vec![c.code, c.algorithm, format!("{:.3}", c.params_m), format!("{:.2}", c.mflops)]);
+    }
+    print!("{}", t.render());
+
+    println!();
+    println!("== simulated micro-architectural metrics (TITAN Xp model) ==");
+    let mut t = TextTable::new(vec![
+        "benchmark".into(),
+        "occupancy".into(),
+        "ipc_eff".into(),
+        "dram_util".into(),
+        "top category".into(),
+    ]);
+    let sim = Simulator::new(DeviceConfig::titan_xp());
+    for ((code, m), b) in microarch_vectors(&registry, DeviceConfig::titan_xp())
+        .into_iter()
+        .zip(registry.benchmarks())
+    {
+        let profile = sim.profile(&b.spec());
+        t.row(vec![
+            code,
+            format!("{:.3}", m.achieved_occupancy),
+            format!("{:.3}", m.ipc_efficiency),
+            format!("{:.3}", m.dram_utilization),
+            format!("{} ({:.0}%)", profile.categories[0].category, 100.0 * profile.categories[0].share),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,30 @@
+//! Quickstart: run one AIBench component benchmark — the Spatial
+//! Transformer (DC-AI-C15), the suite's fastest — through an entire
+//! training session to its quality target.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use aibench::registry::Registry;
+use aibench::runner::{run_to_quality, RunConfig};
+
+fn main() {
+    let registry = Registry::aibench();
+    let benchmark = registry.get("DC-AI-C15").expect("registered benchmark");
+    println!("benchmark: {} ({})", benchmark.task, benchmark.id);
+    println!("algorithm: {}", benchmark.algorithm);
+    println!("dataset:   {}", benchmark.dataset);
+    println!("target:    {} {}", benchmark.metric, benchmark.target);
+    println!();
+
+    let result = run_to_quality(benchmark, 1, &RunConfig::default());
+    for (epoch, quality) in &result.quality_trace {
+        println!("epoch {epoch:>2}: {} = {quality:.3}", benchmark.metric);
+    }
+    println!();
+    match result.epochs_to_target {
+        Some(e) => println!("converged in {e} epochs ({:.1}s wall time)", result.wall_seconds),
+        None => println!("did not converge within the cap (final {:.3})", result.final_quality),
+    }
+}

@@ -1,0 +1,65 @@
+//! Subset selection (Section 5.4): measure run-to-run variation, cluster
+//! the workload-characterization space, and pick the minimum subset.
+//!
+//! With `--paper-variation`, the selector uses the paper's Table-5
+//! variation numbers (the default measures our scaled benchmarks, which
+//! takes a few minutes).
+//!
+//! ```sh
+//! cargo run --release --example subset_selection -- --paper-variation
+//! ```
+
+use aibench::characterize::combined_features;
+use aibench::registry::Registry;
+use aibench::repeatability::measure_variation;
+use aibench::runner::RunConfig;
+use aibench::subset::{select_subset, SubsetCandidate};
+use aibench_gpusim::DeviceConfig;
+
+/// One training session per benchmark: epochs to target (cap = 45).
+fn measured_epochs(registry: &Registry) -> std::collections::BTreeMap<String, f64> {
+    let cfg = RunConfig { max_epochs: 45, eval_every: 1 };
+    registry
+        .benchmarks()
+        .iter()
+        .map(|b| {
+            let res = aibench::runner::run_to_quality(b, 1, &cfg);
+            (b.id.code().to_string(), res.epochs_to_target.unwrap_or(cfg.max_epochs) as f64)
+        })
+        .collect()
+}
+
+fn main() {
+    let use_paper = std::env::args().any(|a| a == "--paper-variation");
+    let registry = Registry::aibench();
+    let epochs = measured_epochs(&registry);
+    let features = combined_features(&registry, DeviceConfig::titan_xp(), &epochs);
+
+    let candidates: Vec<SubsetCandidate> = registry
+        .benchmarks()
+        .iter()
+        .zip(&features)
+        .map(|(b, (_, f))| {
+            let variation_pct = if use_paper {
+                b.paper.variation_pct
+            } else {
+                let cfg = RunConfig { max_epochs: 45, eval_every: 1 };
+                let rep = measure_variation(b, 4, &cfg);
+                println!("{}: measured variation {:?}", b.id.code(), rep.variation_pct);
+                rep.variation_pct
+            };
+            SubsetCandidate {
+                code: b.id.code().to_string(),
+                has_accepted_metric: b.has_accepted_metric,
+                variation_pct,
+                features: f.clone(),
+            }
+        })
+        .collect();
+
+    let selection = select_subset(&candidates, 3, 42);
+    println!();
+    println!("selected subset: {:?}", selection.chosen);
+    println!("(paper's subset: DC-AI-C1 Image Classification, DC-AI-C9 Object");
+    println!(" Detection, DC-AI-C16 Learning-to-Rank)");
+}

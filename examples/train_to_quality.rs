@@ -1,0 +1,37 @@
+//! Train any registered benchmark to its quality target:
+//!
+//! ```sh
+//! cargo run --release --example train_to_quality -- DC-AI-C9 [seed]
+//! ```
+//!
+//! Codes: DC-AI-C1 .. DC-AI-C17, MLPerf-IC, MLPerf-OD-Heavy,
+//! MLPerf-OD-Light, MLPerf-Trans-Rec, MLPerf-Trans-NonRec, MLPerf-Rec,
+//! MLPerf-RL.
+
+use aibench::registry::Registry;
+use aibench::runner::{run_to_quality, RunConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let code = args.next().unwrap_or_else(|| "DC-AI-C1".to_string());
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    let registry = Registry::all();
+    let Some(benchmark) = registry.get(&code) else {
+        eprintln!("unknown benchmark code {code:?}; available:");
+        for b in registry.benchmarks() {
+            eprintln!("  {} — {}", b.id.code(), b.task);
+        }
+        std::process::exit(2);
+    };
+
+    println!("training {} ({}) with seed {seed}", benchmark.task, code);
+    let result = run_to_quality(benchmark, seed, &RunConfig::default());
+    for ((epoch, quality), loss) in result.quality_trace.iter().zip(&result.loss_trace) {
+        println!("epoch {epoch:>2}: loss {loss:>8.4}  {} = {quality:.4}", benchmark.metric);
+    }
+    match result.epochs_to_target {
+        Some(e) => println!("reached {} {} in {e} epochs", benchmark.metric, benchmark.target),
+        None => println!("cap reached; final {} = {:.4}", benchmark.metric, result.final_quality),
+    }
+}

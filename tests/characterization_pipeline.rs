@@ -1,0 +1,134 @@
+//! Characterization-pipeline integration: FLOPs counting, GPU simulation,
+//! clustering, and cost accounting reproduce the paper's headline shapes.
+
+use aibench::characterize::{combined_features, microarch_vectors, model_characteristics};
+use aibench::cost::{subset_saving_pct, training_costs};
+use aibench::registry::Registry;
+use aibench_analysis::{kmeans, range_of, tsne, TsneParams};
+use aibench_gpusim::DeviceConfig;
+
+/// Representative seed-1 epochs-to-quality, so the pipeline tests need no
+/// training.
+fn fixed_epochs(registry: &Registry, _v: f64) -> std::collections::BTreeMap<String, f64> {
+    let measured: [(&str, f64); 17] = [
+        ("DC-AI-C1", 6.0), ("DC-AI-C2", 10.0), ("DC-AI-C3", 18.0), ("DC-AI-C4", 9.0),
+        ("DC-AI-C5", 4.0), ("DC-AI-C6", 3.0), ("DC-AI-C7", 4.0), ("DC-AI-C8", 16.0),
+        ("DC-AI-C9", 10.0), ("DC-AI-C10", 4.0), ("DC-AI-C11", 3.0), ("DC-AI-C12", 12.0),
+        ("DC-AI-C13", 9.0), ("DC-AI-C14", 9.0), ("DC-AI-C15", 3.0), ("DC-AI-C16", 6.0),
+        ("DC-AI-C17", 25.0),
+    ];
+    registry
+        .benchmarks()
+        .iter()
+        .map(|b| {
+            let e = measured.iter().find(|(c, _)| *c == b.id.code()).map_or(10.0, |(_, e)| *e);
+            (b.id.code().to_string(), e)
+        })
+        .collect()
+}
+
+#[test]
+fn aibench_model_ranges_strictly_contain_mlperf() {
+    // Figure 1(a)/Section 5.2.1: AIBench spans a wider range of both
+    // parameters and FLOPs than MLPerf.
+    let a = model_characteristics(&Registry::aibench());
+    let m = model_characteristics(&Registry::mlperf());
+    let ap = range_of(&a.iter().map(|c| c.params_m).collect::<Vec<_>>());
+    let mp = range_of(&m.iter().map(|c| c.params_m).collect::<Vec<_>>());
+    let af = range_of(&a.iter().map(|c| c.mflops).collect::<Vec<_>>());
+    let mf = range_of(&m.iter().map(|c| c.mflops).collect::<Vec<_>>());
+    assert!(ap.contains(&mp), "params: AIBench {ap:?} vs MLPerf {mp:?}");
+    assert!(af.contains(&mf), "flops: AIBench {af:?} vs MLPerf {mf:?}");
+    // The spread itself is large (paper: 0.03M..68.4M params).
+    assert!(ap.span() > 100.0);
+    assert!(af.span() > 10_000.0);
+}
+
+#[test]
+fn figure2_extremes_match_paper() {
+    let a = model_characteristics(&Registry::aibench());
+    let by = |code: &str| a.iter().find(|c| c.code == code).unwrap();
+    let max_params = a.iter().map(|c| c.params_m).fold(0.0, f64::max);
+    let min_params = a.iter().map(|c| c.params_m).fold(f64::INFINITY, f64::min);
+    let min_flops = a.iter().map(|c| c.mflops).fold(f64::INFINITY, f64::min);
+    // Image-to-Text has the most complex model; Spatial Transformer the
+    // least; Learning-to-Rank the smallest FLOPs.
+    assert_eq!(by("DC-AI-C4").params_m, max_params);
+    assert_eq!(by("DC-AI-C15").params_m, min_params);
+    assert_eq!(by("DC-AI-C16").mflops, min_flops);
+    // Object Detection and 3D Object Reconstruction have the largest and
+    // approximately equal FLOPs.
+    let od = by("DC-AI-C9").mflops;
+    let recon = by("DC-AI-C13").mflops;
+    for c in &a {
+        assert!(c.mflops <= od.max(recon) + 1e-9, "{} exceeds OD/recon", c.code);
+    }
+    assert!((od / recon).max(recon / od) < 2.0, "OD {od} vs recon {recon}");
+}
+
+#[test]
+fn learning_to_rank_has_lowest_ipc_and_t2t_highest() {
+    let v = microarch_vectors(&Registry::aibench(), DeviceConfig::titan_xp());
+    let ipc = |code: &str| v.iter().find(|(c, _)| c == code).unwrap().1.ipc_efficiency;
+    let l2r = ipc("DC-AI-C16");
+    let t2t = ipc("DC-AI-C3");
+    for (code, m) in &v {
+        assert!(l2r <= m.ipc_efficiency + 1e-9, "{code} has lower IPC than L2R");
+        assert!(t2t >= m.ipc_efficiency - 1e-9, "{code} has higher IPC than T2T");
+    }
+}
+
+#[test]
+fn subset_members_land_in_three_distinct_clusters() {
+    // Figure 4: Image Classification, Object Detection, Learning-to-Rank
+    // occupy three different clusters.
+    let registry = Registry::aibench();
+    let features = combined_features(&registry, DeviceConfig::titan_xp(), &fixed_epochs(&registry, 10.0));
+    let points: Vec<Vec<f64>> = features.iter().map(|(_, f)| f.clone()).collect();
+    let clusters = kmeans(&points, 3, 42);
+    let cluster_of = |code: &str| {
+        clusters[features.iter().position(|(c, _)| c == code).unwrap()]
+    };
+    let subset = [cluster_of("DC-AI-C1"), cluster_of("DC-AI-C9"), cluster_of("DC-AI-C16")];
+    let mut distinct = subset.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+    assert_eq!(distinct.len(), 3, "subset clusters {subset:?}");
+}
+
+#[test]
+fn tsne_embedding_is_deterministic_and_finite() {
+    let registry = Registry::aibench();
+    let features = combined_features(&registry, DeviceConfig::titan_xp(), &fixed_epochs(&registry, 10.0));
+    let points: Vec<Vec<f64>> = features.iter().map(|(_, f)| f.clone()).collect();
+    let a = tsne(&points, TsneParams::default(), 42);
+    let b = tsne(&points, TsneParams::default(), 42);
+    assert_eq!(a, b);
+    assert!(a.iter().all(|p| p[0].is_finite() && p[1].is_finite()));
+}
+
+#[test]
+fn subset_saves_roughly_the_papers_fraction() {
+    // Section 5.4.2: the subset shortens AIBench's benchmarking cost by
+    // 41%. With simulated epoch times and uniform epochs, the saving must
+    // land in the same regime (well above zero, well below dropping
+    // everything).
+    let registry = Registry::aibench();
+    let costs = training_costs(&registry, DeviceConfig::titan_rtx(), |_| 10.0);
+    let saving = subset_saving_pct(&costs, &["DC-AI-C1", "DC-AI-C9", "DC-AI-C16"]);
+    assert!((20.0..85.0).contains(&saving), "saving {saving:.1}%");
+}
+
+#[test]
+fn epoch_cost_extremes_match_table6_shape() {
+    let registry = Registry::aibench();
+    let costs = training_costs(&registry, DeviceConfig::titan_xp(), |_| 1.0);
+    let by = |code: &str| costs.iter().find(|c| c.code == code).unwrap().sim_seconds_per_epoch;
+    // Image Classification's epoch dwarfs Spatial Transformer's; both
+    // extremes match the paper's Table 6 ordering.
+    let all: Vec<f64> = costs.iter().map(|c| c.sim_seconds_per_epoch).collect();
+    let max = all.iter().copied().fold(0.0, f64::max);
+    let min = all.iter().copied().fold(f64::INFINITY, f64::min);
+    assert!(by("DC-AI-C1") > 0.3 * max, "IC should be near the top");
+    assert!(by("DC-AI-C15") < 10.0 * min, "STN should be near the bottom");
+}

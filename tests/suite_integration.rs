@@ -1,0 +1,111 @@
+//! Cross-crate integration: the registry, subset selection, and the
+//! paper's headline structural claims.
+
+use aibench::characterize::combined_features;
+use aibench::registry::Registry;
+use aibench::subset::{select_subset, SubsetCandidate};
+use aibench::BenchmarkId;
+use aibench_gpusim::DeviceConfig;
+
+#[test]
+fn registry_covers_both_suites() {
+    let all = Registry::all();
+    assert_eq!(all.benchmarks().len(), 24);
+    // Every AIBench id present exactly once, in DC-AI-C order.
+    for (i, id) in BenchmarkId::AIBENCH.iter().enumerate() {
+        assert_eq!(all.benchmarks()[i].id, *id);
+    }
+}
+
+#[test]
+fn shared_benchmarks_use_identical_specs() {
+    // Paper: AIBench and MLPerf share Image Classification and
+    // Recommendation; "their numbers are consistent in the rest of this
+    // paper".
+    let all = Registry::all();
+    let a_ic = all.by_id(BenchmarkId::ImageClassification).unwrap();
+    let m_ic = all.by_id(BenchmarkId::MlperfImageClassification).unwrap();
+    assert_eq!(a_ic.spec(), m_ic.spec());
+    let a_rec = all.by_id(BenchmarkId::Recommendation).unwrap();
+    let m_rec = all.by_id(BenchmarkId::MlperfRecommendation).unwrap();
+    assert_eq!(a_rec.spec(), m_rec.spec());
+}
+
+#[test]
+fn subset_selection_with_paper_variation_recovers_paper_subset() {
+    // Applying the Section 5.4 criteria (accepted metric, lowest
+    // variation, cluster diversity) with the paper's own Table 5
+    // variation numbers must recover {C1, C9, C16}.
+    let registry = Registry::aibench();
+    // Representative epochs-to-quality (the seed-1 measurements) for the
+    // convergence-rate feature, so this test needs no training.
+    let measured: [(&str, f64); 17] = [
+        ("DC-AI-C1", 6.0), ("DC-AI-C2", 10.0), ("DC-AI-C3", 18.0), ("DC-AI-C4", 9.0),
+        ("DC-AI-C5", 4.0), ("DC-AI-C6", 3.0), ("DC-AI-C7", 4.0), ("DC-AI-C8", 16.0),
+        ("DC-AI-C9", 10.0), ("DC-AI-C10", 4.0), ("DC-AI-C11", 3.0), ("DC-AI-C12", 12.0),
+        ("DC-AI-C13", 9.0), ("DC-AI-C14", 9.0), ("DC-AI-C15", 3.0), ("DC-AI-C16", 6.0),
+        ("DC-AI-C17", 25.0),
+    ];
+    let epochs: std::collections::BTreeMap<String, f64> =
+        measured.iter().map(|(c, e)| (c.to_string(), *e)).collect();
+    let features = combined_features(&registry, DeviceConfig::titan_xp(), &epochs);
+    let candidates: Vec<SubsetCandidate> = registry
+        .benchmarks()
+        .iter()
+        .zip(&features)
+        .map(|(b, (_, f))| SubsetCandidate {
+            code: b.id.code().to_string(),
+            has_accepted_metric: b.has_accepted_metric,
+            variation_pct: b.paper.variation_pct,
+            features: f.clone(),
+        })
+        .collect();
+    let selection = select_subset(&candidates, 3, 42);
+    let mut chosen = selection.chosen.clone();
+    chosen.sort();
+    assert_eq!(chosen, vec!["DC-AI-C1", "DC-AI-C16", "DC-AI-C9"], "selected {chosen:?}");
+}
+
+#[test]
+fn gan_tasks_are_excluded_from_subset_consideration() {
+    let registry = Registry::aibench();
+    let excluded: Vec<&str> = registry
+        .benchmarks()
+        .iter()
+        .filter(|b| !b.has_accepted_metric)
+        .map(|b| b.id.code())
+        .collect();
+    assert_eq!(excluded, vec!["DC-AI-C2", "DC-AI-C5"]);
+}
+
+#[test]
+fn every_benchmark_has_paper_target_quality() {
+    for b in Registry::all().benchmarks() {
+        assert!(!b.paper.target_quality.is_empty(), "{}", b.id);
+        assert!(!b.dataset.is_empty());
+        assert!(!b.metric.is_empty());
+    }
+}
+
+#[test]
+fn table5_facts_round_trip() {
+    // Spot-check the embedded Table 5 facts against the paper.
+    let r = Registry::aibench();
+    let f = |code: &str| r.get(code).unwrap().paper;
+    assert_eq!(f("DC-AI-C1").variation_pct, Some(1.12));
+    assert_eq!(f("DC-AI-C9").variation_pct, Some(0.0));
+    assert_eq!(f("DC-AI-C9").repeats, Some(10));
+    assert_eq!(f("DC-AI-C16").variation_pct, Some(1.90));
+    assert_eq!(f("DC-AI-C8").variation_pct, Some(38.46));
+    assert_eq!(f("DC-AI-C2").variation_pct, None);
+}
+
+#[test]
+fn table6_facts_round_trip() {
+    let r = Registry::aibench();
+    let f = |code: &str| r.get(code).unwrap().paper;
+    assert_eq!(f("DC-AI-C1").time_per_epoch_s, Some(10516.91));
+    assert_eq!(f("DC-AI-C6").time_per_epoch_s, Some(14326.86));
+    assert_eq!(f("DC-AI-C15").time_per_epoch_s, Some(6.38));
+    assert_eq!(f("DC-AI-C15").total_hours, Some(0.06));
+}
