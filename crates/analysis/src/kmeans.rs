@@ -18,7 +18,11 @@ fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
 pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> Vec<usize> {
     let mut best: Option<(f64, Vec<usize>)> = None;
     for restart in 0..8u64 {
-        let assign = kmeans_once(points, k, seed.wrapping_add(restart.wrapping_mul(0x9E37_79B9)));
+        let assign = kmeans_once(
+            points,
+            k,
+            seed.wrapping_add(restart.wrapping_mul(0x9E37_79B9)),
+        );
         let inertia = within_cluster_sse(points, k, &assign);
         if best.as_ref().is_none_or(|(b, _)| inertia < *b) {
             best = Some((inertia, assign));
@@ -42,11 +46,19 @@ fn within_cluster_sse(points: &[Vec<f64>], k: usize, assign: &[usize]) -> f64 {
             c.iter_mut().for_each(|v| *v /= n as f64);
         }
     }
-    points.iter().zip(assign).map(|(p, &a)| sq_dist(p, &centers[a])).sum()
+    points
+        .iter()
+        .zip(assign)
+        .map(|(p, &a)| sq_dist(p, &centers[a]))
+        .sum()
 }
 
 fn kmeans_once(points: &[Vec<f64>], k: usize, seed: u64) -> Vec<usize> {
-    assert!(k > 0 && k <= points.len(), "kmeans: k={k} for {} points", points.len());
+    assert!(
+        k > 0 && k <= points.len(),
+        "kmeans: k={k} for {} points",
+        points.len()
+    );
     let dims = points[0].len();
     for p in points {
         assert_eq!(p.len(), dims, "kmeans: ragged rows");
@@ -58,7 +70,12 @@ fn kmeans_once(points: &[Vec<f64>], k: usize, seed: u64) -> Vec<usize> {
     while centers.len() < k {
         let d2: Vec<f64> = points
             .iter()
-            .map(|p| centers.iter().map(|c| sq_dist(p, c)).fold(f64::INFINITY, f64::min))
+            .map(|p| {
+                centers
+                    .iter()
+                    .map(|c| sq_dist(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
             .collect();
         let total: f64 = d2.iter().sum();
         let pick = if total <= 0.0 {
@@ -97,8 +114,12 @@ fn kmeans_once(points: &[Vec<f64>], k: usize, seed: u64) -> Vec<usize> {
         }
         // Recompute centers.
         for (ci, center) in centers.iter_mut().enumerate() {
-            let members: Vec<&Vec<f64>> =
-                points.iter().zip(&assign).filter(|(_, &a)| a == ci).map(|(p, _)| p).collect();
+            let members: Vec<&Vec<f64>> = points
+                .iter()
+                .zip(&assign)
+                .filter(|(_, &a)| a == ci)
+                .map(|(p, _)| p)
+                .collect();
             if members.is_empty() {
                 continue;
             }

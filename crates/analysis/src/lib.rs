@@ -38,7 +38,13 @@ pub fn min_max_normalize(rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
         .map(|r| {
             r.iter()
                 .enumerate()
-                .map(|(d, &v)| if hi[d] > lo[d] { (v - lo[d]) / (hi[d] - lo[d]) } else { 0.5 })
+                .map(|(d, &v)| {
+                    if hi[d] > lo[d] {
+                        (v - lo[d]) / (hi[d] - lo[d])
+                    } else {
+                        0.5
+                    }
+                })
                 .collect()
         })
         .collect()

@@ -28,7 +28,10 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 /// Panics on an empty slice or zero mean.
 pub fn coefficient_of_variation(xs: &[f64]) -> f64 {
     let m = mean(xs);
-    assert!(m.abs() > 1e-12, "coefficient of variation undefined at zero mean");
+    assert!(
+        m.abs() > 1e-12,
+        "coefficient of variation undefined at zero mean"
+    );
     100.0 * std_dev(xs) / m.abs()
 }
 

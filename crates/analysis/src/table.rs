@@ -23,7 +23,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new(header: Vec<String>) -> Self {
-        TextTable { header, rows: Vec::new() }
+        TextTable {
+            header,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -32,7 +35,13 @@ impl TextTable {
     ///
     /// Panics if the cell count differs from the header.
     pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
-        assert_eq!(cells.len(), self.header.len(), "row width {} vs header {}", cells.len(), self.header.len());
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} vs header {}",
+            cells.len(),
+            self.header.len()
+        );
         self.rows.push(cells);
         self
     }

@@ -18,7 +18,12 @@ pub struct TsneParams {
 
 impl Default for TsneParams {
     fn default() -> Self {
-        TsneParams { perplexity: 5.0, iterations: 800, learning_rate: 10.0, early_exaggeration: 4.0 }
+        TsneParams {
+            perplexity: 5.0,
+            iterations: 800,
+            learning_rate: 10.0,
+            early_exaggeration: 4.0,
+        }
     }
 }
 
@@ -33,7 +38,15 @@ fn input_affinities(points: &[Vec<f64>], perplexity: f64) -> Vec<Vec<f64>> {
     let target_entropy = perplexity.ln();
     let mut p = vec![vec![0.0; n]; n];
     for i in 0..n {
-        let d2: Vec<f64> = (0..n).map(|j| if i == j { 0.0 } else { sq_dist(&points[i], &points[j]) }).collect();
+        let d2: Vec<f64> = (0..n)
+            .map(|j| {
+                if i == j {
+                    0.0
+                } else {
+                    sq_dist(&points[i], &points[j])
+                }
+            })
+            .collect();
         let (mut lo, mut hi) = (1e-12f64, 1e12f64);
         let mut beta = 1.0;
         for _ in 0..64 {
@@ -50,9 +63,9 @@ fn input_affinities(points: &[Vec<f64>], perplexity: f64) -> Vec<Vec<f64>> {
             }
             // Shannon entropy of the normalized row.
             let mut entropy = 0.0;
-            for j in 0..n {
-                if j != i && row[j] > 0.0 {
-                    let pj = row[j] / sum;
+            for (j, &rj) in row.iter().enumerate() {
+                if j != i && rj > 0.0 {
+                    let pj = rj / sum;
                     entropy -= pj * pj.ln();
                 }
             }
@@ -62,7 +75,11 @@ fn input_affinities(points: &[Vec<f64>], perplexity: f64) -> Vec<Vec<f64>> {
             }
             if entropy > target_entropy {
                 lo = beta;
-                beta = if hi >= 1e12 { beta * 2.0 } else { (beta + hi) / 2.0 };
+                beta = if hi >= 1e12 {
+                    beta * 2.0
+                } else {
+                    (beta + hi) / 2.0
+                };
             } else {
                 hi = beta;
                 beta = (beta + lo) / 2.0;
@@ -93,12 +110,18 @@ pub fn tsne(points: &[Vec<f64>], params: TsneParams, seed: u64) -> Vec<[f64; 2]>
     let p = input_affinities(points, perplexity);
 
     let mut rng = Rng::seed_from(seed);
-    let mut y: Vec<[f64; 2]> = (0..n).map(|_| [rng.normal() as f64 * 1e-2, rng.normal() as f64 * 1e-2]).collect();
+    let mut y: Vec<[f64; 2]> = (0..n)
+        .map(|_| [rng.normal() as f64 * 1e-2, rng.normal() as f64 * 1e-2])
+        .collect();
     let mut vel = vec![[0.0f64; 2]; n];
     let exaggeration_until = params.iterations / 4;
 
     for it in 0..params.iterations {
-        let exag = if it < exaggeration_until { params.early_exaggeration } else { 1.0 };
+        let exag = if it < exaggeration_until {
+            params.early_exaggeration
+        } else {
+            1.0
+        };
         // Student-t affinities in the embedding.
         let mut q_num = vec![vec![0.0; n]; n];
         let mut q_sum = 0.0;
@@ -126,7 +149,8 @@ pub fn tsne(points: &[Vec<f64>], params: TsneParams, seed: u64) -> Vec<[f64; 2]>
             }
             for d in 0..2 {
                 // Clamp the step to keep the tiny-n regime stable.
-                vel[i][d] = (momentum * vel[i][d] - params.learning_rate * grad[d]).clamp(-2.0, 2.0);
+                vel[i][d] =
+                    (momentum * vel[i][d] - params.learning_rate * grad[d]).clamp(-2.0, 2.0);
                 y[i][d] += vel[i][d];
             }
         }

@@ -81,10 +81,15 @@ mod tests {
 
     #[test]
     fn passes_for_correct_gradient() {
-        check_gradients(&[Tensor::from_vec(vec![0.5, -1.5, 2.0], &[3])], 1e-2, 1e-2, |g, vars| {
-            let y = g.square(vars[0]);
-            g.sum(y)
-        });
+        check_gradients(
+            &[Tensor::from_vec(vec![0.5, -1.5, 2.0], &[3])],
+            1e-2,
+            1e-2,
+            |g, vars| {
+                let y = g.square(vars[0]);
+                g.sum(y)
+            },
+        );
     }
 
     #[test]
@@ -95,11 +100,16 @@ mod tests {
         // analytic gradient is 0 while the numeric one is not... but the
         // check only perturbs params. Instead, compare against a
         // discontinuous function where finite differences disagree.
-        check_gradients(&[Tensor::from_vec(vec![0.0005], &[1])], 1e-2, 1e-4, |g, vars| {
-            // relu is kinked at 0; with the sample at 0.0005 and eps 1e-2 the
-            // numeric slope is ~0.55 while the analytic slope is 1.
-            let y = g.relu(vars[0]);
-            g.sum(y)
-        });
+        check_gradients(
+            &[Tensor::from_vec(vec![0.0005], &[1])],
+            1e-2,
+            1e-4,
+            |g, vars| {
+                // relu is kinked at 0; with the sample at 0.0005 and eps 1e-2 the
+                // numeric slope is ~0.55 while the analytic slope is 1.
+                let y = g.relu(vars[0]);
+                g.sum(y)
+            },
+        );
     }
 }

@@ -107,7 +107,12 @@ impl Graph {
         param: Option<Param>,
         needs_grad: bool,
     ) -> Var {
-        self.nodes.push(Node { value, backward, param, needs_grad });
+        self.nodes.push(Node {
+            value,
+            backward,
+            param,
+            needs_grad,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -120,7 +125,11 @@ impl Graph {
         backward: impl FnOnce(&Tensor, &mut GradMap) + 'static,
     ) -> Var {
         let needs_grad = parents.iter().any(|p| self.nodes[p.0].needs_grad);
-        let bw: Option<BackwardFn> = if needs_grad { Some(Box::new(backward)) } else { None };
+        let bw: Option<BackwardFn> = if needs_grad {
+            Some(Box::new(backward))
+        } else {
+            None
+        };
         self.push_node(Rc::new(value), bw, None, needs_grad)
     }
 
@@ -135,14 +144,23 @@ impl Graph {
     ///
     /// Panics if `loss` has more than one element.
     pub fn backward(&mut self, loss: Var) {
-        assert_eq!(self.nodes[loss.0].value.len(), 1, "backward: loss must be scalar, got shape {:?}", self.nodes[loss.0].value.shape());
-        let mut gm = GradMap { grads: (0..self.nodes.len()).map(|_| None).collect() };
+        assert_eq!(
+            self.nodes[loss.0].value.len(),
+            1,
+            "backward: loss must be scalar, got shape {:?}",
+            self.nodes[loss.0].value.shape()
+        );
+        let mut gm = GradMap {
+            grads: (0..self.nodes.len()).map(|_| None).collect(),
+        };
         gm.grads[loss.0] = Some(Tensor::ones(self.nodes[loss.0].value.shape()));
         for i in (0..=loss.0).rev() {
             if !self.nodes[i].needs_grad {
                 continue;
             }
-            let Some(grad) = gm.grads[i].take() else { continue };
+            let Some(grad) = gm.grads[i].take() else {
+                continue;
+            };
             if let Some(bw) = self.nodes[i].backward.take() {
                 bw(&grad, &mut gm);
             }
@@ -159,15 +177,25 @@ impl Graph {
     ///
     /// Panics if `loss` has more than one element.
     pub fn backward_watching(&mut self, loss: Var, watch: &[Var]) -> Vec<Tensor> {
-        assert_eq!(self.nodes[loss.0].value.len(), 1, "backward: loss must be scalar");
-        let mut gm = GradMap { grads: (0..self.nodes.len()).map(|_| None).collect() };
+        assert_eq!(
+            self.nodes[loss.0].value.len(),
+            1,
+            "backward: loss must be scalar"
+        );
+        let mut gm = GradMap {
+            grads: (0..self.nodes.len()).map(|_| None).collect(),
+        };
         gm.grads[loss.0] = Some(Tensor::ones(self.nodes[loss.0].value.shape()));
         for i in (0..=loss.0).rev() {
             if !self.nodes[i].needs_grad {
                 continue;
             }
             let is_watched = watch.iter().any(|w| w.0 == i);
-            let Some(grad) = (if is_watched { gm.grads[i].clone() } else { gm.grads[i].take() }) else {
+            let Some(grad) = (if is_watched {
+                gm.grads[i].clone()
+            } else {
+                gm.grads[i].take()
+            }) else {
                 continue;
             };
             if let Some(bw) = self.nodes[i].backward.take() {
@@ -179,7 +207,11 @@ impl Graph {
         }
         watch
             .iter()
-            .map(|w| gm.grads[w.0].clone().unwrap_or_else(|| Tensor::zeros(self.nodes[w.0].value.shape())))
+            .map(|w| {
+                gm.grads[w.0]
+                    .clone()
+                    .unwrap_or_else(|| Tensor::zeros(self.nodes[w.0].value.shape()))
+            })
             .collect()
     }
 }

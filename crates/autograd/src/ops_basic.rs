@@ -18,7 +18,10 @@ impl Graph {
     ///
     /// Panics if the shapes do not broadcast.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let (va, vb) = (Rc::clone(&self.nodes[a.0].value), Rc::clone(&self.nodes[b.0].value));
+        let (va, vb) = (
+            Rc::clone(&self.nodes[a.0].value),
+            Rc::clone(&self.nodes[b.0].value),
+        );
         let out = va.add(&vb);
         let (sa, sb) = (va.shape().to_vec(), vb.shape().to_vec());
         self.op(out, &[a, b], move |g, gm| {
@@ -33,7 +36,10 @@ impl Graph {
     ///
     /// Panics if the shapes do not broadcast.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let (va, vb) = (Rc::clone(&self.nodes[a.0].value), Rc::clone(&self.nodes[b.0].value));
+        let (va, vb) = (
+            Rc::clone(&self.nodes[a.0].value),
+            Rc::clone(&self.nodes[b.0].value),
+        );
         let out = va.sub(&vb);
         let (sa, sb) = (va.shape().to_vec(), vb.shape().to_vec());
         self.op(out, &[a, b], move |g, gm| {
@@ -48,7 +54,10 @@ impl Graph {
     ///
     /// Panics if the shapes do not broadcast.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let (va, vb) = (Rc::clone(&self.nodes[a.0].value), Rc::clone(&self.nodes[b.0].value));
+        let (va, vb) = (
+            Rc::clone(&self.nodes[a.0].value),
+            Rc::clone(&self.nodes[b.0].value),
+        );
         let out = va.mul(&vb);
         let (sa, sb) = (va.shape().to_vec(), vb.shape().to_vec());
         self.op(out, &[a, b], move |g, gm| {
@@ -63,7 +72,10 @@ impl Graph {
     ///
     /// Panics if the shapes do not broadcast.
     pub fn div(&mut self, a: Var, b: Var) -> Var {
-        let (va, vb) = (Rc::clone(&self.nodes[a.0].value), Rc::clone(&self.nodes[b.0].value));
+        let (va, vb) = (
+            Rc::clone(&self.nodes[a.0].value),
+            Rc::clone(&self.nodes[b.0].value),
+        );
         let out = va.div(&vb);
         let (sa, sb) = (va.shape().to_vec(), vb.shape().to_vec());
         self.op(out, &[a, b], move |g, gm| {
@@ -82,7 +94,9 @@ impl Graph {
     /// Adds a constant scalar.
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
         let va = Rc::clone(&self.nodes[a.0].value);
-        self.op(va.add_scalar(c), &[a], move |g, gm| gm.accumulate(a, g.clone()))
+        self.op(va.add_scalar(c), &[a], move |g, gm| {
+            gm.accumulate(a, g.clone())
+        })
     }
 
     /// Elementwise negation.
@@ -108,7 +122,10 @@ impl Graph {
         let va = Rc::clone(&self.nodes[a.0].value);
         let out = va.map(|x| if x > 0.0 { x } else { slope * x });
         self.op(out, &[a], move |g, gm| {
-            gm.accumulate(a, g.zip(&va, |gi, xi| if xi > 0.0 { gi } else { slope * gi }));
+            gm.accumulate(
+                a,
+                g.zip(&va, |gi, xi| if xi > 0.0 { gi } else { slope * gi }),
+            );
         })
     }
 
@@ -174,7 +191,12 @@ impl Graph {
         let va = Rc::clone(&self.nodes[a.0].value);
         let y = va.map(f32::abs);
         self.op(y, &[a], move |g, gm| {
-            gm.accumulate(a, g.zip(&va, |gi, xi| gi * xi.signum() * if xi == 0.0 { 0.0 } else { 1.0 }));
+            gm.accumulate(
+                a,
+                g.zip(&va, |gi, xi| {
+                    gi * xi.signum() * if xi == 0.0 { 0.0 } else { 1.0 }
+                }),
+            );
         })
     }
 
@@ -300,7 +322,9 @@ impl Graph {
         let va = Rc::clone(&self.nodes[a.0].value);
         let out = va.reshape(shape);
         let in_shape = va.shape().to_vec();
-        self.op(out, &[a], move |g, gm| gm.accumulate(a, g.reshape(&in_shape)))
+        self.op(out, &[a], move |g, gm| {
+            gm.accumulate(a, g.reshape(&in_shape))
+        })
     }
 
     /// Transposes a 2-D node.
@@ -420,6 +444,31 @@ mod tests {
         check_gradients(&[a], 1e-2, 1e-2, |g, vars| {
             let p = g.permute(vars[0], &[2, 0, 1]);
             let sq = g.square(p);
+            g.sum(sq)
+        });
+    }
+
+    #[test]
+    fn sub_neg_leaky_relu_gradcheck() {
+        let mut rng = Rng::seed_from(8);
+        let a = Tensor::randn(&[2, 3], &mut rng);
+        let b = Tensor::randn(&[2, 3], &mut rng);
+        check_gradients(&[a, b], 2e-2, 1e-2, |g, vars| {
+            let d = g.sub(vars[0], vars[1]);
+            let n = g.neg(d);
+            let l = g.leaky_relu(n, 0.1);
+            let sq = g.square(l);
+            g.sum(sq)
+        });
+    }
+
+    #[test]
+    fn mean_axis_gradcheck() {
+        let mut rng = Rng::seed_from(9);
+        let a = Tensor::randn(&[2, 3, 4], &mut rng);
+        check_gradients(&[a], 1e-2, 1e-2, |g, vars| {
+            let m = g.mean_axis(vars[0], 2);
+            let sq = g.square(m);
             g.sum(sq)
         });
     }

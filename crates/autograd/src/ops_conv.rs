@@ -2,11 +2,11 @@
 
 use std::rc::Rc;
 
+use crate::graph::{Graph, Var};
 use aibench_tensor::ops::{
     avg_pool2d, avg_pool2d_backward, conv2d, conv2d_backward_input, conv2d_backward_weight,
     max_pool2d, max_pool2d_backward, Conv2dArgs,
 };
-use crate::graph::{Graph, Var};
 
 impl Graph {
     /// 2-D convolution: `x` is `[n, c_in, h, w]`, `w` is
@@ -17,7 +17,10 @@ impl Graph {
     /// Panics on rank/channel mismatches or a kernel larger than the padded
     /// input.
     pub fn conv2d(&mut self, x: Var, w: Var, args: Conv2dArgs) -> Var {
-        let (vx, vw) = (Rc::clone(&self.nodes[x.0].value), Rc::clone(&self.nodes[w.0].value));
+        let (vx, vw) = (
+            Rc::clone(&self.nodes[x.0].value),
+            Rc::clone(&self.nodes[w.0].value),
+        );
         let out = conv2d(&vx, &vw, args);
         let (h, wd) = (vx.shape()[2], vx.shape()[3]);
         let (kh, kw) = (vw.shape()[2], vw.shape()[3]);
@@ -38,8 +41,17 @@ impl Graph {
     ///
     /// Panics if `out_hw` is inconsistent with the geometry, i.e. a forward
     /// convolution of that extent would not produce `(h, w)`.
-    pub fn conv_transpose2d(&mut self, x: Var, w: Var, args: Conv2dArgs, out_hw: (usize, usize)) -> Var {
-        let (vx, vw) = (Rc::clone(&self.nodes[x.0].value), Rc::clone(&self.nodes[w.0].value));
+    pub fn conv_transpose2d(
+        &mut self,
+        x: Var,
+        w: Var,
+        args: Conv2dArgs,
+        out_hw: (usize, usize),
+    ) -> Var {
+        let (vx, vw) = (
+            Rc::clone(&self.nodes[x.0].value),
+            Rc::clone(&self.nodes[w.0].value),
+        );
         let (kh, kw) = (vw.shape()[2], vw.shape()[3]);
         assert_eq!(
             (args.out_extent(out_hw.0, kh), args.out_extent(out_hw.1, kw)),

@@ -17,11 +17,19 @@ impl Graph {
     /// Panics if the table is not 2-D or any id is out of range.
     pub fn index_select0(&mut self, table: Var, ids: &[usize]) -> Var {
         let vt = Rc::clone(&self.nodes[table.0].value);
-        assert_eq!(vt.ndim(), 2, "index_select0: table must be 2-D, got {:?}", vt.shape());
+        assert_eq!(
+            vt.ndim(),
+            2,
+            "index_select0: table must be 2-D, got {:?}",
+            vt.shape()
+        );
         let (rows, d) = (vt.shape()[0], vt.shape()[1]);
         let mut out = Tensor::zeros(&[ids.len(), d]);
         for (i, &id) in ids.iter().enumerate() {
-            assert!(id < rows, "index_select0: id {id} out of range for {rows} rows");
+            assert!(
+                id < rows,
+                "index_select0: id {id} out of range for {rows} rows"
+            );
             out.data_mut()[i * d..(i + 1) * d].copy_from_slice(&vt.data()[id * d..(id + 1) * d]);
         }
         let ids = ids.to_vec();
@@ -45,7 +53,10 @@ impl Graph {
     /// Panics if `parts` is empty or extents disagree off-axis.
     pub fn concat(&mut self, parts: &[Var], axis: usize) -> Var {
         assert!(!parts.is_empty(), "concat of zero vars");
-        let values: Vec<Rc<Tensor>> = parts.iter().map(|p| Rc::clone(&self.nodes[p.0].value)).collect();
+        let values: Vec<Rc<Tensor>> = parts
+            .iter()
+            .map(|p| Rc::clone(&self.nodes[p.0].value))
+            .collect();
         let refs: Vec<&Tensor> = values.iter().map(|v| v.as_ref()).collect();
         let out = concat(&refs, axis);
         let extents: Vec<usize> = values.iter().map(|v| v.shape()[axis]).collect();
@@ -77,7 +88,8 @@ impl Graph {
             let dst_chunk = in_shape[axis] * inner;
             for o in 0..outer {
                 let dst = o * dst_chunk + start * inner;
-                gx.data_mut()[dst..dst + src_chunk].copy_from_slice(&g.data()[o * src_chunk..(o + 1) * src_chunk]);
+                gx.data_mut()[dst..dst + src_chunk]
+                    .copy_from_slice(&g.data()[o * src_chunk..(o + 1) * src_chunk]);
             }
             gm.accumulate(x, gx);
         })
@@ -91,7 +103,10 @@ mod tests {
 
     #[test]
     fn index_select_forward_and_scatter_backward() {
-        let table = Param::new("emb", Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]));
+        let table = Param::new(
+            "emb",
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]),
+        );
         let mut g = Graph::new();
         let t = g.param(&table);
         let rows = g.index_select0(t, &[2, 0, 2]);

@@ -18,11 +18,22 @@ impl Graph {
     ///
     /// Panics if the number of labels does not match the number of rows, or
     /// a label is out of range.
-    pub fn softmax_cross_entropy(&mut self, logits: Var, labels: &[usize], ignore_index: Option<usize>) -> Var {
+    pub fn softmax_cross_entropy(
+        &mut self,
+        logits: Var,
+        labels: &[usize],
+        ignore_index: Option<usize>,
+    ) -> Var {
         let vl = Rc::clone(&self.nodes[logits.0].value);
         let classes = *vl.shape().last().expect("softmax_cross_entropy on scalar");
         let rows = vl.len() / classes;
-        assert_eq!(labels.len(), rows, "softmax_cross_entropy: {} labels for {} rows", labels.len(), rows);
+        assert_eq!(
+            labels.len(),
+            rows,
+            "softmax_cross_entropy: {} labels for {} rows",
+            labels.len(),
+            rows
+        );
         let probs = softmax_last(&vl);
         let mut active = 0usize;
         let mut loss = 0.0f64;
@@ -30,7 +41,10 @@ impl Graph {
             if Some(lab) == ignore_index {
                 continue;
             }
-            assert!(lab < classes, "label {lab} out of range for {classes} classes");
+            assert!(
+                lab < classes,
+                "label {lab} out of range for {classes} classes"
+            );
             active += 1;
             loss -= (probs.data()[r * classes + lab].max(1e-12) as f64).ln();
         }
@@ -77,7 +91,11 @@ impl Graph {
     /// Panics if shapes differ.
     pub fn bce_with_logits(&mut self, logits: Var, targets: &Tensor) -> Var {
         let vx = Rc::clone(&self.nodes[logits.0].value);
-        assert_eq!(vx.shape(), targets.shape(), "bce_with_logits shape mismatch");
+        assert_eq!(
+            vx.shape(),
+            targets.shape(),
+            "bce_with_logits shape mismatch"
+        );
         let n = vx.len() as f32;
         let mut loss = 0.0f64;
         for (&x, &t) in vx.data().iter().zip(targets.data()) {
@@ -123,12 +141,21 @@ impl Graph {
         let loss: f32 = diff
             .data()
             .iter()
-            .map(|&d| if d.abs() < 1.0 { 0.5 * d * d } else { d.abs() - 0.5 })
+            .map(|&d| {
+                if d.abs() < 1.0 {
+                    0.5 * d * d
+                } else {
+                    d.abs() - 0.5
+                }
+            })
             .sum::<f32>()
             / n;
         self.op(Tensor::scalar(loss), &[pred], move |g, gm| {
             let scale = g.item() / n;
-            gm.accumulate(pred, diff.map(|d| if d.abs() < 1.0 { d } else { d.signum() } * scale));
+            gm.accumulate(
+                pred,
+                diff.map(|d| if d.abs() < 1.0 { d } else { d.signum() } * scale),
+            );
         })
     }
 }
@@ -177,7 +204,9 @@ mod tests {
         let mut rng = Rng::seed_from(42);
         let pred = Tensor::randn(&[3, 3], &mut rng);
         let target = Tensor::randn(&[3, 3], &mut rng);
-        check_gradients(&[pred], 1e-2, 1e-2, move |g, vars| g.mse_loss(vars[0], &target));
+        check_gradients(&[pred], 1e-2, 1e-2, move |g, vars| {
+            g.mse_loss(vars[0], &target)
+        });
     }
 
     #[test]
@@ -185,20 +214,26 @@ mod tests {
         let mut rng = Rng::seed_from(43);
         let logits = Tensor::randn(&[6], &mut rng);
         let targets = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0, 0.5, 1.0], &[6]);
-        check_gradients(&[logits], 1e-2, 1e-2, move |g, vars| g.bce_with_logits(vars[0], &targets));
+        check_gradients(&[logits], 1e-2, 1e-2, move |g, vars| {
+            g.bce_with_logits(vars[0], &targets)
+        });
     }
 
     #[test]
     fn smooth_l1_gradcheck_away_from_kink() {
         let pred = Tensor::from_vec(vec![0.3, -0.4, 2.5, -3.0], &[4]);
         let target = Tensor::zeros(&[4]);
-        check_gradients(&[pred], 1e-3, 1e-2, move |g, vars| g.smooth_l1_loss(vars[0], &target));
+        check_gradients(&[pred], 1e-3, 1e-2, move |g, vars| {
+            g.smooth_l1_loss(vars[0], &target)
+        });
     }
 
     #[test]
     fn l1_gradcheck_away_from_zero() {
         let pred = Tensor::from_vec(vec![0.5, -0.7, 1.2], &[3]);
         let target = Tensor::zeros(&[3]);
-        check_gradients(&[pred], 1e-3, 1e-2, move |g, vars| g.l1_loss(vars[0], &target));
+        check_gradients(&[pred], 1e-3, 1e-2, move |g, vars| {
+            g.l1_loss(vars[0], &target)
+        });
     }
 }

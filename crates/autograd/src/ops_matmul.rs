@@ -2,8 +2,8 @@
 
 use std::rc::Rc;
 
-use aibench_tensor::ops::{batch_matmul, matmul};
 use crate::graph::{Graph, Var};
+use aibench_tensor::ops::{batch_matmul, matmul};
 
 impl Graph {
     /// Matrix product `[m, k] x [k, n] -> [m, n]`.
@@ -12,7 +12,10 @@ impl Graph {
     ///
     /// Panics if either operand is not 2-D or the inner dimensions disagree.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let (va, vb) = (Rc::clone(&self.nodes[a.0].value), Rc::clone(&self.nodes[b.0].value));
+        let (va, vb) = (
+            Rc::clone(&self.nodes[a.0].value),
+            Rc::clone(&self.nodes[b.0].value),
+        );
         let out = matmul(&va, &vb);
         self.op(out, &[a, b], move |g, gm| {
             gm.accumulate(a, matmul(g, &vb.t()));
@@ -26,7 +29,10 @@ impl Graph {
     ///
     /// Panics if either operand is not 3-D or batch/inner dims disagree.
     pub fn batch_matmul(&mut self, a: Var, b: Var) -> Var {
-        let (va, vb) = (Rc::clone(&self.nodes[a.0].value), Rc::clone(&self.nodes[b.0].value));
+        let (va, vb) = (
+            Rc::clone(&self.nodes[a.0].value),
+            Rc::clone(&self.nodes[b.0].value),
+        );
         let out = batch_matmul(&va, &vb);
         self.op(out, &[a, b], move |g, gm| {
             gm.accumulate(a, batch_matmul(g, &vb.permute(&[0, 2, 1])));

@@ -16,11 +16,22 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `x` is not 4-D or `gamma`/`beta` are not `[c]`.
-    pub fn batch_norm2d(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> (Var, Tensor, Tensor) {
+    pub fn batch_norm2d(
+        &mut self,
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        eps: f32,
+    ) -> (Var, Tensor, Tensor) {
         let vx = Rc::clone(&self.nodes[x.0].value);
         let vg = Rc::clone(&self.nodes[gamma.0].value);
         let vb = Rc::clone(&self.nodes[beta.0].value);
-        assert_eq!(vx.ndim(), 4, "batch_norm2d: input must be NCHW, got {:?}", vx.shape());
+        assert_eq!(
+            vx.ndim(),
+            4,
+            "batch_norm2d: input must be NCHW, got {:?}",
+            vx.shape()
+        );
         let (n, c, h, w) = (vx.shape()[0], vx.shape()[1], vx.shape()[2], vx.shape()[3]);
         assert_eq!(vg.shape(), &[c], "batch_norm2d: gamma must be [{c}]");
         assert_eq!(vb.shape(), &[c], "batch_norm2d: beta must be [{c}]");
@@ -29,10 +40,10 @@ impl Graph {
         let mut mean = vec![0.0f32; c];
         let mut var = vec![0.0f32; c];
         for s in 0..n {
-            for ci in 0..c {
+            for (ci, mv) in mean.iter_mut().enumerate() {
                 let base = (s * c + ci) * h * w;
                 for i in 0..h * w {
-                    mean[ci] += vx.data()[base + i];
+                    *mv += vx.data()[base + i];
                 }
             }
         }
@@ -128,7 +139,9 @@ impl Graph {
         // Reshape per-channel vectors to [1, c, 1, 1] so tensor broadcasting
         // aligns with the channel axis.
         let mean = self.input(running_mean.reshape(&[1, c, 1, 1]));
-        let scale_t = running_var.map(|v| 1.0 / (v + eps).sqrt()).reshape(&[1, c, 1, 1]);
+        let scale_t = running_var
+            .map(|v| 1.0 / (v + eps).sqrt())
+            .reshape(&[1, c, 1, 1]);
         let inv_std = self.input(scale_t);
         let g4 = self.reshape(gamma, &[1, c, 1, 1]);
         let b4 = self.reshape(beta, &[1, c, 1, 1]);
@@ -155,14 +168,14 @@ impl Graph {
         let mut xhat = Tensor::zeros(vx.shape());
         let mut y = Tensor::zeros(vx.shape());
         let mut inv_stds = vec![0.0f32; rows];
-        for r in 0..rows {
+        for (r, slot) in inv_stds.iter_mut().enumerate() {
             let row = &vx.data()[r * d..(r + 1) * d];
             let mean: f32 = row.iter().sum::<f32>() / d as f32;
             let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
             let inv_std = 1.0 / (var + eps).sqrt();
-            inv_stds[r] = inv_std;
-            for i in 0..d {
-                let xh = (row[i] - mean) * inv_std;
+            *slot = inv_std;
+            for (i, &xi) in row.iter().enumerate() {
+                let xh = (xi - mean) * inv_std;
                 xhat.data_mut()[r * d + i] = xh;
                 y.data_mut()[r * d + i] = vg.data()[i] * xh + vb.data()[i];
             }
@@ -172,7 +185,7 @@ impl Graph {
             let mut dgamma = vec![0.0f32; d];
             let mut dbeta = vec![0.0f32; d];
             let mut gx = Tensor::zeros(xhat_bw.shape());
-            for r in 0..rows {
+            for (r, &inv_std) in inv_stds.iter().enumerate() {
                 let grow = &g.data()[r * d..(r + 1) * d];
                 let xrow = &xhat_bw.data()[r * d..(r + 1) * d];
                 let mut sum_dxh = 0.0;
@@ -187,7 +200,7 @@ impl Graph {
                 let dst = &mut gx.data_mut()[r * d..(r + 1) * d];
                 for i in 0..d {
                     let dxh = grow[i] * vg.data()[i];
-                    dst[i] = inv_stds[r] * (dxh - sum_dxh / d as f32 - xrow[i] * sum_dxh_xh / d as f32);
+                    dst[i] = inv_std * (dxh - sum_dxh / d as f32 - xrow[i] * sum_dxh_xh / d as f32);
                 }
             }
             gm.accumulate(x, gx);
@@ -203,13 +216,22 @@ impl Graph {
     ///
     /// Panics if `p` is not in `[0, 1)`.
     pub fn dropout(&mut self, x: Var, p: f32, rng: &mut Rng) -> Var {
-        assert!((0.0..1.0).contains(&p), "dropout probability {p} outside [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability {p} outside [0, 1)"
+        );
         if p == 0.0 {
             return x;
         }
         let vx = Rc::clone(&self.nodes[x.0].value);
         let keep = 1.0 - p;
-        let mask = Tensor::from_fn(vx.shape(), |_| if rng.uniform() < keep { 1.0 / keep } else { 0.0 });
+        let mask = Tensor::from_fn(vx.shape(), |_| {
+            if rng.uniform() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        });
         let out = vx.mul(&mask);
         self.op(out, &[x], move |g, gm| gm.accumulate(x, g.mul(&mask)))
     }
@@ -223,7 +245,9 @@ mod tests {
     #[test]
     fn batch_norm_output_is_normalized() {
         let mut rng = Rng::seed_from(50);
-        let x = Tensor::randn(&[4, 3, 5, 5], &mut rng).scale(3.0).add_scalar(7.0);
+        let x = Tensor::randn(&[4, 3, 5, 5], &mut rng)
+            .scale(3.0)
+            .add_scalar(7.0);
         let gamma = Param::new("g", Tensor::ones(&[3]));
         let beta = Param::new("b", Tensor::zeros(&[3]));
         let mut g = Graph::new();
@@ -237,7 +261,12 @@ mod tests {
         // Output should be ~zero-mean unit-variance per channel.
         let yv = g.value(y);
         let out_mean = yv.data().iter().sum::<f32>() / yv.len() as f32;
-        let out_var = yv.data().iter().map(|&v| (v - out_mean).powi(2)).sum::<f32>() / yv.len() as f32;
+        let out_var = yv
+            .data()
+            .iter()
+            .map(|&v| (v - out_mean).powi(2))
+            .sum::<f32>()
+            / yv.len() as f32;
         assert!(out_mean.abs() < 1e-4, "normalized mean {out_mean}");
         assert!((out_var - 1.0).abs() < 1e-2, "normalized var {out_var}");
     }

@@ -20,7 +20,12 @@ impl Graph {
     pub fn affine_grid(&mut self, theta: Var, out_hw: (usize, usize)) -> Var {
         let vt = Rc::clone(&self.nodes[theta.0].value);
         assert_eq!(vt.ndim(), 3, "affine_grid: theta must be [n, 2, 3]");
-        assert_eq!(&vt.shape()[1..], &[2, 3], "affine_grid: theta must be [n, 2, 3], got {:?}", vt.shape());
+        assert_eq!(
+            &vt.shape()[1..],
+            &[2, 3],
+            "affine_grid: theta must be [n, 2, 3], got {:?}",
+            vt.shape()
+        );
         let n = vt.shape()[0];
         let (ho, wo) = out_hw;
         let norm = |i: usize, extent: usize| -> f32 {
@@ -109,7 +114,8 @@ impl Graph {
                             let yy = y0 + dy;
                             let xx = x0 + dx;
                             if yy >= 0 && yy < h as isize && xx >= 0 && xx < w as isize {
-                                acc += wgt * vx.data()[((s * c + ci) * h + yy as usize) * w + xx as usize];
+                                acc += wgt
+                                    * vx.data()[((s * c + ci) * h + yy as usize) * w + xx as usize];
                             }
                         }
                         out.data_mut()[((s * c + ci) * ho + oy) * wo + ox] = acc;
@@ -136,7 +142,8 @@ impl Graph {
                             let go = g.data()[((s * c + ci) * ho + oy) * wo + ox];
                             // Corner values (zero outside) for grid grads.
                             let mut corner = [0.0f32; 4];
-                            for (k, (dy, dx)) in [(0, 0), (0, 1), (1, 0), (1, 1)].iter().enumerate() {
+                            for (k, (dy, dx)) in [(0, 0), (0, 1), (1, 0), (1, 1)].iter().enumerate()
+                            {
                                 let yy = y0 + dy;
                                 let xx = x0 + dx;
                                 if yy >= 0 && yy < h as isize && xx >= 0 && xx < w as isize {
@@ -151,8 +158,12 @@ impl Graph {
                                     gx.data_mut()[idx] += go * wgt;
                                 }
                             }
-                            dpx += go * ((corner[1] - corner[0]) * (1.0 - fy) + (corner[3] - corner[2]) * fy);
-                            dpy += go * ((corner[2] - corner[0]) * (1.0 - fx) + (corner[3] - corner[1]) * fx);
+                            dpx += go
+                                * ((corner[1] - corner[0]) * (1.0 - fy)
+                                    + (corner[3] - corner[2]) * fy);
+                            dpy += go
+                                * ((corner[2] - corner[0]) * (1.0 - fx)
+                                    + (corner[3] - corner[1]) * fx);
                         }
                         gg.data_mut()[gbase] = dpx * 0.5 * (w - 1) as f32;
                         gg.data_mut()[gbase + 1] = dpy * 0.5 * (h - 1) as f32;

@@ -39,7 +39,13 @@ impl Param {
     /// The gradient starts at zero.
     pub fn new(name: impl Into<String>, value: Tensor) -> Self {
         let grad = Tensor::zeros(value.shape());
-        Param { inner: Rc::new(RefCell::new(ParamInner { name: name.into(), value, grad })) }
+        Param {
+            inner: Rc::new(RefCell::new(ParamInner {
+                name: name.into(),
+                value,
+                grad,
+            })),
+        }
     }
 
     /// The debug name.
@@ -120,7 +126,11 @@ impl Param {
     /// Panics if the new value has a different shape.
     pub fn set_value(&self, value: Tensor) {
         let mut p = self.inner.borrow_mut();
-        assert_eq!(p.value.shape(), value.shape(), "set_value: shape change not allowed");
+        assert_eq!(
+            p.value.shape(),
+            value.shape(),
+            "set_value: shape change not allowed"
+        );
         p.value = value;
     }
 

@@ -22,8 +22,18 @@ fn time(label: &str, mut f: impl FnMut()) -> f64 {
 
 /// Direct convolution reference (no im2col).
 fn conv2d_direct(input: &Tensor, weight: &Tensor) -> Tensor {
-    let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
-    let (co, _, kh, kw) = (weight.shape()[0], weight.shape()[1], weight.shape()[2], weight.shape()[3]);
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (co, _, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
     let (ho, wo) = (h - kh + 1, w - kw + 1);
     let mut out = Tensor::zeros(&[n, co, ho, wo]);
     for s in 0..n {
@@ -34,7 +44,8 @@ fn conv2d_direct(input: &Tensor, weight: &Tensor) -> Tensor {
                     for ci in 0..c {
                         for ky in 0..kh {
                             for kx in 0..kw {
-                                acc += input.at(&[s, ci, oy + ky, ox + kx]) * weight.at(&[o, ci, ky, kx]);
+                                acc += input.at(&[s, ci, oy + ky, ox + kx])
+                                    * weight.at(&[o, ci, ky, kx]);
                             }
                         }
                     }
@@ -47,7 +58,10 @@ fn conv2d_direct(input: &Tensor, weight: &Tensor) -> Tensor {
 }
 
 fn main() {
-    banner("Ablation", "framework kernel choices (blocked GEMM, im2col conv)");
+    banner(
+        "Ablation",
+        "framework kernel choices (blocked GEMM, im2col conv)",
+    );
     let mut rng = Rng::seed_from(1);
     let a = Tensor::randn(&[128, 128], &mut rng);
     let b = Tensor::randn(&[128, 128], &mut rng);

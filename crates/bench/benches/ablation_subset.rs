@@ -10,7 +10,10 @@ use aibench_bench::{banner, measured_epochs};
 use aibench_gpusim::DeviceConfig;
 
 fn main() {
-    banner("Ablation", "subset size k: diversity coverage vs cost saving");
+    banner(
+        "Ablation",
+        "subset size k: diversity coverage vs cost saving",
+    );
     let registry = Registry::aibench();
     let epochs = measured_epochs(&registry);
     // Features arrive normalized and group-weighted from combined_features.

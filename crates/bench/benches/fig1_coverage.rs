@@ -2,14 +2,19 @@
 //! computational cost (FLOPs), convergent rate (epochs), and the five
 //! micro-architectural metrics.
 
-use aibench::characterize::{excluded_from_model_characteristics, microarch_vectors, model_characteristics};
+use aibench::characterize::{
+    excluded_from_model_characteristics, microarch_vectors, model_characteristics,
+};
 use aibench::registry::Registry;
 use aibench_analysis::{range_of, TextTable};
 use aibench_bench::{banner, measured_epochs};
 use aibench_gpusim::DeviceConfig;
 
 fn main() {
-    banner("Figure 1", "AIBench vs MLPerf coverage of model and micro-architectural characteristics");
+    banner(
+        "Figure 1",
+        "AIBench vs MLPerf coverage of model and micro-architectural characteristics",
+    );
 
     let aibench = Registry::aibench();
     let mlperf = Registry::mlperf();
@@ -19,14 +24,15 @@ fn main() {
     let m_chars = model_characteristics(&mlperf);
     let a_epochs = measured_epochs(&aibench);
     let m_epochs = measured_epochs(&mlperf);
-    let epochs_of = |registry: &Registry, map: &std::collections::BTreeMap<String, f64>| -> Vec<f64> {
-        registry
-            .benchmarks()
-            .iter()
-            .filter(|b| !excluded_from_model_characteristics(b.id))
-            .map(|b| map[b.id.code()])
-            .collect()
-    };
+    let epochs_of =
+        |registry: &Registry, map: &std::collections::BTreeMap<String, f64>| -> Vec<f64> {
+            registry
+                .benchmarks()
+                .iter()
+                .filter(|b| !excluded_from_model_characteristics(b.id))
+                .map(|b| map[b.id.code()])
+                .collect()
+        };
 
     let mut t = TextTable::new(vec![
         "characteristic".into(),
@@ -46,7 +52,11 @@ fn main() {
             a_chars.iter().map(|c| c.mflops).collect(),
             m_chars.iter().map(|c| c.mflops).collect(),
         ),
-        ("epochs to quality", epochs_of(&aibench, &a_epochs), epochs_of(&mlperf, &m_epochs)),
+        (
+            "epochs to quality",
+            epochs_of(&aibench, &a_epochs),
+            epochs_of(&mlperf, &m_epochs),
+        ),
     ];
     for (name, a, m) in rows {
         let (ra, rm) = (range_of(&a), range_of(&m));
@@ -55,7 +65,11 @@ fn main() {
             format!("{:.2} .. {:.1}", ra.min, ra.max),
             format!("{:.2} .. {:.1}", rm.min, rm.max),
             format!("{:.2}x", ra.peak_ratio(&rm)),
-            if ra.contains(&rm) { "yes".into() } else { "overlapping".into() },
+            if ra.contains(&rm) {
+                "yes".into()
+            } else {
+                "overlapping".into()
+            },
         ]);
     }
     print!("{}", t.render());
@@ -64,8 +78,18 @@ fn main() {
     println!();
     let a_vec = microarch_vectors(&aibench, DeviceConfig::titan_xp());
     let m_vec = microarch_vectors(&mlperf, DeviceConfig::titan_xp());
-    let metric_names = ["achieved_occupancy", "ipc_efficiency", "gld_efficiency", "gst_efficiency", "dram_utilization"];
-    let mut t2 = TextTable::new(vec!["micro-arch metric".into(), "AIBench range".into(), "MLPerf range".into()]);
+    let metric_names = [
+        "achieved_occupancy",
+        "ipc_efficiency",
+        "gld_efficiency",
+        "gst_efficiency",
+        "dram_utilization",
+    ];
+    let mut t2 = TextTable::new(vec![
+        "micro-arch metric".into(),
+        "AIBench range".into(),
+        "MLPerf range".into(),
+    ]);
     for (i, name) in metric_names.iter().enumerate() {
         let a: Vec<f64> = a_vec.iter().map(|(_, m)| m.as_vector()[i]).collect();
         let m: Vec<f64> = m_vec.iter().map(|(_, mm)| mm.as_vector()[i]).collect();

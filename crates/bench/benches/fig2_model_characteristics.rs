@@ -21,7 +21,10 @@ fn print_suite(name: &str, registry: &Registry) {
         if excluded_from_model_characteristics(b.id) {
             continue;
         }
-        let c = chars.iter().find(|c| c.code == b.id.code()).expect("characterized");
+        let c = chars
+            .iter()
+            .find(|c| c.code == b.id.code())
+            .expect("characterized");
         t.row(vec![
             c.code.clone(),
             c.algorithm.clone(),
@@ -36,7 +39,10 @@ fn print_suite(name: &str, registry: &Registry) {
 }
 
 fn main() {
-    banner("Figure 2", "model complexity, computational cost, and convergent rate");
+    banner(
+        "Figure 2",
+        "model complexity, computational cost, and convergent rate",
+    );
     print_suite("AIBench (16 of 17; NAS excluded)", &Registry::aibench());
     print_suite("MLPerf (6 of 7; RL excluded)", &Registry::mlperf());
     println!("Paper shape: Object Detection and 3D Object Reconstruction have the");

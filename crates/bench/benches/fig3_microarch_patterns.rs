@@ -36,7 +36,10 @@ fn print_suite(name: &str, registry: &Registry) {
 }
 
 fn main() {
-    banner("Figure 3", "computation and memory access patterns of the 24 benchmarks");
+    banner(
+        "Figure 3",
+        "computation and memory access patterns of the 24 benchmarks",
+    );
     print_suite("AIBench (17)", &Registry::aibench());
     print_suite("MLPerf (7)", &Registry::mlperf());
     println!("Paper shape: IPC efficiency spans from Learning-to-Rank (lowest, data-");

@@ -11,7 +11,10 @@ use aibench_gpusim::DeviceConfig;
 const SUBSET: [&str; 3] = ["DC-AI-C1", "DC-AI-C9", "DC-AI-C16"];
 
 fn main() {
-    banner("Figure 4", "t-SNE clustering of the seventeen AIBench benchmarks");
+    banner(
+        "Figure 4",
+        "t-SNE clustering of the seventeen AIBench benchmarks",
+    );
     let registry = Registry::aibench();
     let epochs = measured_epochs(&registry);
     // Features arrive normalized and group-weighted from combined_features.
@@ -33,7 +36,11 @@ fn main() {
             format!("{:+.2}", embedding[i][0]),
             format!("{:+.2}", embedding[i][1]),
             format!("{}", clusters[i]),
-            if SUBSET.contains(&code.as_str()) { "*".into() } else { String::new() },
+            if SUBSET.contains(&code.as_str()) {
+                "*".into()
+            } else {
+                String::new()
+            },
         ]);
     }
     print!("{}", t.render());
@@ -48,7 +55,10 @@ fn main() {
     distinct.sort_unstable();
     distinct.dedup();
     println!();
-    println!("Subset clusters: {subset_clusters:?} (distinct: {})", distinct.len());
+    println!(
+        "Subset clusters: {subset_clusters:?} (distinct: {})",
+        distinct.len()
+    );
     println!("Paper claim: the subset members fall into three different clusters,");
     println!("so the subset is a minimum set with maximum representativeness.");
 }

@@ -7,7 +7,10 @@ use aibench_bench::banner;
 use aibench_gpusim::{DeviceConfig, KernelCategory, Simulator};
 
 fn main() {
-    banner("Figure 5", "runtime breakdown by kernel category (AIBench, 17)");
+    banner(
+        "Figure 5",
+        "runtime breakdown by kernel category (AIBench, 17)",
+    );
     let sim = Simulator::new(DeviceConfig::titan_xp());
     let mut header = vec!["benchmark".to_string()];
     header.extend(KernelCategory::ALL.iter().map(|c| c.label().to_string()));
@@ -16,7 +19,11 @@ fn main() {
         let p = sim.profile(&b.spec());
         let mut cells = vec![b.id.code().to_string()];
         for cat in KernelCategory::ALL {
-            let share = p.categories.iter().find(|c| c.category == cat).map_or(0.0, |c| c.share);
+            let share = p
+                .categories
+                .iter()
+                .find(|c| c.category == cat)
+                .map_or(0.0, |c| c.share);
             cells.push(format!("{:.1}%", 100.0 * share));
         }
         t.row(cells);

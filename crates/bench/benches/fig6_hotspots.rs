@@ -34,12 +34,23 @@ fn count_hotspots(registry: &Registry) -> [BTreeSet<String>; 4] {
 }
 
 fn main() {
-    banner("Figure 6 / Table 7", "hotspot functions by time-percentage bucket");
+    banner(
+        "Figure 6 / Table 7",
+        "hotspot functions by time-percentage bucket",
+    );
     let a = count_hotspots(&Registry::aibench());
     let m = count_hotspots(&Registry::mlperf());
-    let mut t = TextTable::new(vec!["time bucket".into(), "AIBench".into(), "MLPerf".into()]);
+    let mut t = TextTable::new(vec![
+        "time bucket".into(),
+        "AIBench".into(),
+        "MLPerf".into(),
+    ]);
     for (i, label) in ["0-5%", "5-10%", "10-15%", "15%+"].iter().enumerate() {
-        t.row(vec![(*label).into(), a[i].len().to_string(), m[i].len().to_string()]);
+        t.row(vec![
+            (*label).into(),
+            a[i].len().to_string(),
+            m[i].len().to_string(),
+        ]);
     }
     print!("{}", t.render());
     println!();
@@ -55,7 +66,10 @@ fn main() {
     for b in Registry::aibench().benchmarks() {
         let p = sim.profile(&b.spec());
         for kp in &p.kernels {
-            by_cat.entry(kp.kernel.category.label().to_string()).or_default().insert(kp.kernel.name.clone());
+            by_cat
+                .entry(kp.kernel.category.label().to_string())
+                .or_default()
+                .insert(kp.kernel.name.clone());
         }
     }
     for (cat, names) in by_cat {

@@ -7,7 +7,10 @@ use aibench_bench::banner;
 use aibench_gpusim::{DeviceConfig, KernelCategory, Simulator, StallKind};
 
 fn main() {
-    banner("Figure 7", "stall breakdown of the hotspot kernel categories");
+    banner(
+        "Figure 7",
+        "stall breakdown of the hotspot kernel categories",
+    );
     let sim = Simulator::new(DeviceConfig::titan_xp());
     // Aggregate time-weighted stalls per category over all benchmarks.
     let mut weights: std::collections::BTreeMap<KernelCategory, [f64; 8]> = Default::default();

@@ -35,7 +35,10 @@ fn print_suite(name: &str, registry: &Registry) {
 }
 
 fn main() {
-    banner("Section 4.2.1", "online-inference metrics (latency, tail latency, throughput, energy)");
+    banner(
+        "Section 4.2.1",
+        "online-inference metrics (latency, tail latency, throughput, energy)",
+    );
     print_suite("AIBench (17)", &Registry::aibench());
     print_suite("MLPerf (7)", &Registry::mlperf());
 }

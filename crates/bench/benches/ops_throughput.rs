@@ -1,43 +1,58 @@
-//! Criterion micro-benchmarks of the framework's hot numeric kernels.
+//! Micro-benchmarks of the framework's hot numeric kernels.
+//!
+//! Self-contained timing harness (median of repeated timed batches) so the
+//! workspace builds with no external registry access.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use aibench_autograd::{Graph, Param};
 use aibench_tensor::ops::{conv2d, matmul, Conv2dArgs};
 use aibench_tensor::{Rng, Tensor};
 
-fn bench_ops(c: &mut Criterion) {
+/// Times `f` over `samples` batches of `iters` calls and reports the median
+/// per-call latency in nanoseconds.
+fn bench<R>(name: &str, samples: usize, iters: usize, mut f: impl FnMut() -> R) {
+    // Warm-up.
+    for _ in 0..iters.min(10) {
+        black_box(f());
+    }
+    let mut per_call: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_call.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = per_call[per_call.len() / 2];
+    println!("{name:<28} {median:>12.0} ns/iter   ({samples} samples x {iters} iters)");
+}
+
+fn main() {
     let mut rng = Rng::seed_from(7);
     let a = Tensor::randn(&[64, 64], &mut rng);
     let b = Tensor::randn(&[64, 64], &mut rng);
-    c.bench_function("matmul_64", |bench| bench.iter(|| black_box(matmul(&a, &b))));
+    bench("matmul_64", 20, 50, || matmul(&a, &b));
 
     let x = Tensor::randn(&[2, 8, 16, 16], &mut rng);
     let w = Tensor::randn(&[16, 8, 3, 3], &mut rng);
-    c.bench_function("conv2d_8to16_16px", |bench| {
-        bench.iter(|| black_box(conv2d(&x, &w, Conv2dArgs::new(1, 1))))
+    bench("conv2d_8to16_16px", 20, 20, || {
+        conv2d(&x, &w, Conv2dArgs::new(1, 1))
     });
 
     let wp = Param::new("w", Tensor::randn(&[64, 64], &mut rng));
     let xb = Tensor::randn(&[32, 64], &mut rng);
-    c.bench_function("linear_fwd_bwd_32x64", |bench| {
-        bench.iter(|| {
-            let mut g = Graph::new();
-            let xv = g.input(xb.clone());
-            let wv = g.param(&wp);
-            let y = g.matmul(xv, wv);
-            let sq = g.square(y);
-            let loss = g.sum(sq);
-            g.backward(loss);
-            wp.zero_grad();
-        })
+    bench("linear_fwd_bwd_32x64", 20, 20, || {
+        let mut g = Graph::new();
+        let xv = g.input(xb.clone());
+        let wv = g.param(&wp);
+        let y = g.matmul(xv, wv);
+        let sq = g.square(y);
+        let loss = g.sum(sq);
+        g.backward(loss);
+        wp.zero_grad();
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
-    targets = bench_ops
-}
-criterion_main!(benches);

@@ -17,7 +17,11 @@ fn main() {
         t.row(vec![
             s.name.into(),
             s.train_count().to_string(),
-            if s.has_subset { "yes".into() } else { "no".into() },
+            if s.has_subset {
+                "yes".into()
+            } else {
+                "no".into()
+            },
             s.dataset_count().to_string(),
             s.software_stacks.to_string(),
         ]);

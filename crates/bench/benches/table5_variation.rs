@@ -8,7 +8,10 @@ use aibench_analysis::TextTable;
 use aibench_bench::{banner, session_config};
 
 fn main() {
-    banner("Table 5", "run-to-run variation (coefficient of variation of epochs)");
+    banner(
+        "Table 5",
+        "run-to-run variation (coefficient of variation of epochs)",
+    );
     let registry = Registry::aibench();
     let cfg = session_config();
     let mut t = TextTable::new(vec![
@@ -25,10 +28,16 @@ fn main() {
         t.row(vec![
             b.id.code().into(),
             b.task.into(),
-            rep.variation_pct.map_or("Not available".into(), |v| format!("{v:.2}%")),
+            rep.variation_pct
+                .map_or("Not available".into(), |v| format!("{v:.2}%")),
             rep.runs.to_string(),
-            b.paper.variation_pct.map_or("Not available".into(), |v| format!("{v:.2}%")),
-            format!("{:?}", rep.epochs.iter().map(|&e| e as usize).collect::<Vec<_>>()),
+            b.paper
+                .variation_pct
+                .map_or("Not available".into(), |v| format!("{v:.2}%")),
+            format!(
+                "{:?}",
+                rep.epochs.iter().map(|&e| e as usize).collect::<Vec<_>>()
+            ),
         ]);
     }
     print!("{}", t.render());

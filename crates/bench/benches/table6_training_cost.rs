@@ -3,11 +3,11 @@
 //! the Section 5.4.2 subset cost-reduction claims.
 
 use aibench::cost::{subset_saving_pct, training_costs};
-use aibench_gpusim::Simulator;
 use aibench::registry::Registry;
 use aibench_analysis::TextTable;
 use aibench_bench::{banner, measured_epochs};
 use aibench_gpusim::DeviceConfig;
+use aibench_gpusim::Simulator;
 
 const SUBSET: [&str; 3] = ["DC-AI-C1", "DC-AI-C9", "DC-AI-C16"];
 
@@ -35,10 +35,12 @@ fn main() {
             c.code.clone(),
             c.task.into(),
             format!("{:.1}", c.sim_seconds_per_epoch),
-            c.paper_seconds_per_epoch.map_or("-".into(), |v| format!("{v:.1}")),
+            c.paper_seconds_per_epoch
+                .map_or("-".into(), |v| format!("{v:.1}")),
             format!("{}", c.epochs as usize),
             format!("{:.2}", c.total_hours),
-            c.paper_total_hours.map_or("N/A".into(), |v| format!("{v:.2}")),
+            c.paper_total_hours
+                .map_or("N/A".into(), |v| format!("{v:.2}")),
             format!("{:.2}", c.total_kwh),
             format!("{:.0}", sps),
         ]);
@@ -54,10 +56,15 @@ fn main() {
     // MLPerf comparison (Section 5.3.2 / 5.4.2).
     let mlperf = Registry::mlperf();
     let m_epochs = measured_epochs(&mlperf);
-    let m_costs = training_costs(&mlperf, DeviceConfig::titan_rtx(), |b| m_epochs[b.id.code()]);
+    let m_costs = training_costs(&mlperf, DeviceConfig::titan_rtx(), |b| {
+        m_epochs[b.id.code()]
+    });
     let mlperf_total: f64 = m_costs.iter().map(|c| c.total_hours).sum();
-    let subset_total: f64 =
-        costs.iter().filter(|c| SUBSET.contains(&c.code.as_str())).map(|c| c.total_hours).sum();
+    let subset_total: f64 = costs
+        .iter()
+        .filter(|c| SUBSET.contains(&c.code.as_str()))
+        .map(|c| c.total_hours)
+        .sum();
     println!("MLPerf full suite: {mlperf_total:.1} simulated hours per pass");
     println!(
         "Subset saving vs MLPerf: {:.0}% (paper: 63%)",

@@ -1,0 +1,250 @@
+//! Independent re-derivation of per-layer parameters and forward FLOPs,
+//! cross-checked against `aibench-opcount` *exactly*.
+//!
+//! Every formula below is restated from the layer geometry in integer
+//! (`u128`) arithmetic — not read back from the opcount crate — so a
+//! regression in either implementation makes the two disagree. All paper
+//! counts fit far below 2^53, so the opcount crate's `f64` totals are
+//! integer-exact and equality (not tolerance) is the contract.
+
+use crate::Diagnostic;
+use aibench_models::{LayerKind, ModelSpec};
+use aibench_opcount::count;
+
+/// Exact per-layer parameter and forward-FLOP counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerCount {
+    /// Learnable parameters of one copy of the layer.
+    pub params: u128,
+    /// Forward FLOPs of one copy (MAC-counting convention: one
+    /// multiply-accumulate = one FLOP).
+    pub flops: u128,
+}
+
+/// Derives one layer's counts from its geometry alone.
+pub fn derive_layer(kind: &LayerKind) -> LayerCount {
+    let (params, flops) = match *kind {
+        // A k x k kernel per (input, output) channel pair; each output
+        // pixel accumulates k*k*c_in MACs per output channel. The
+        // transposed convolution is counted as the convolution it
+        // transposes.
+        LayerKind::Conv2d {
+            c_in,
+            c_out,
+            k,
+            h_out,
+            w_out,
+        }
+        | LayerKind::ConvTranspose2d {
+            c_in,
+            c_out,
+            k,
+            h_out,
+            w_out,
+        } => {
+            let (c_in, c_out, k, h, w) = (
+                c_in as u128,
+                c_out as u128,
+                k as u128,
+                h_out as u128,
+                w_out as u128,
+            );
+            (k * k * c_in * c_out, k * k * c_in * c_out * h * w)
+        }
+        // Weight matrix plus bias; one MAC per weight.
+        LayerKind::Linear { d_in, d_out } => {
+            let (d_in, d_out) = (d_in as u128, d_out as u128);
+            (d_in * d_out + d_out, d_in * d_out)
+        }
+        // Scale and shift per channel; normalize + affine = 4 ops/element.
+        LayerKind::BatchNorm2d { c, h, w } => {
+            let (c, h, w) = (c as u128, h as u128, w as u128);
+            (2 * c, 4 * c * h * w)
+        }
+        // Gain and bias per feature; mean, variance, normalize = 6
+        // ops/element over `rows` rows.
+        LayerKind::LayerNorm { rows, d } => {
+            let (rows, d) = (rows as u128, d as u128);
+            (2 * d, 6 * rows * d)
+        }
+        LayerKind::Relu { n } | LayerKind::Activation { n } => (0, n as u128),
+        // One k x k window reduction per output element.
+        LayerKind::Pool { c, h_out, w_out, k } => {
+            let (c, h, w, k) = (c as u128, h_out as u128, w_out as u128, k as u128);
+            (0, c * h * w * k * k)
+        }
+        // Table rows are parameters; a lookup copies `dim` values.
+        LayerKind::Embedding {
+            vocab,
+            dim,
+            lookups,
+        } => {
+            let (vocab, dim, lookups) = (vocab as u128, dim as u128, lookups as u128);
+            (vocab * dim, lookups * dim)
+        }
+        // Per gate: an input matrix, a recurrent matrix, and a bias;
+        // each step multiplies the concatenated (input, hidden) vector.
+        LayerKind::Rnn {
+            kind,
+            d_in,
+            d_h,
+            steps,
+        } => {
+            let g = kind.gates() as u128;
+            let (d_in, d_h, steps) = (d_in as u128, d_h as u128, steps as u128);
+            (
+                g * (d_in * d_h + d_h * d_h + d_h),
+                g * (d_in + d_h) * d_h * steps,
+            )
+        }
+        // Q, K, V, and output projections (4 d^2 each in params, one MAC
+        // per weight per query), plus the score and context matmuls.
+        LayerKind::Attention {
+            d_model,
+            heads: _,
+            seq_q,
+            seq_k,
+        } => {
+            let (d, q, k) = (d_model as u128, seq_q as u128, seq_k as u128);
+            (4 * d * d, 4 * q * d * d + 2 * q * k * d)
+        }
+        // Max, subtract, exp, sum, divide = 5 ops/element.
+        LayerKind::Softmax { rows, classes } => (0, 5 * rows as u128 * classes as u128),
+        LayerKind::Elementwise { n, ops } => (0, n as u128 * ops as u128),
+        // Bilinear sample: 4 taps x (2 muls + weight) ≈ 11 ops/output.
+        LayerKind::GridSample { c, h, w } => (0, 11 * c as u128 * h as u128 * w as u128),
+    };
+    LayerCount { params, flops }
+}
+
+/// Whole-spec totals under the repeat/sharing convention: FLOPs always
+/// scale with `repeat`, parameters only when the repeats have independent
+/// weights.
+pub fn derive_spec(spec: &ModelSpec) -> LayerCount {
+    let mut total = LayerCount {
+        params: 0,
+        flops: 0,
+    };
+    for layer in &spec.layers {
+        let one = derive_layer(&layer.kind);
+        let reps = layer.repeat as u128;
+        total.params += one.params * if layer.share_params { 1 } else { reps };
+        total.flops += one.flops * reps;
+    }
+    total
+}
+
+/// Converts an exact integer count to the `f64` domain `aibench-opcount`
+/// reports in. Counts at paper scale are far below 2^53, so this is exact.
+fn as_f64(x: u128) -> f64 {
+    x as f64
+}
+
+/// Cross-checks the independent derivation against `aibench-opcount` for
+/// one spec: per-layer and whole-spec, parameters and FLOPs, all exact.
+pub fn verify_spec(bench: &str, spec: &ModelSpec) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, layer) in spec.layers.iter().enumerate() {
+        let ours = derive_layer(&layer.kind);
+        let theirs = aibench_opcount::count_layer(&layer.kind);
+        if theirs.params as u128 != ours.params {
+            out.push(Diagnostic::at_layer(
+                bench,
+                i,
+                "param-crosscheck",
+                format!("{} params", ours.params),
+                format!("{} params", theirs.params),
+            ));
+        }
+        if theirs.flops != as_f64(ours.flops) {
+            out.push(Diagnostic::at_layer(
+                bench,
+                i,
+                "flop-crosscheck",
+                format!("{} flops", ours.flops),
+                format!("{} flops", theirs.flops),
+            ));
+        }
+    }
+    let claimed = count(spec);
+    out.extend(verify_claim(bench, spec, claimed.params, claimed.flops));
+    out
+}
+
+/// Checks an externally claimed (params, flops) total against the
+/// independent derivation. Exposed separately so corrupted claims can be
+/// linted (and seeded as fixtures) without going through opcount.
+pub fn verify_claim(
+    bench: &str,
+    spec: &ModelSpec,
+    claimed_params: u64,
+    claimed_flops: f64,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let totals = derive_spec(spec);
+    if claimed_params as u128 != totals.params {
+        out.push(Diagnostic::global(
+            bench,
+            "param-crosscheck",
+            format!("{} total params", totals.params),
+            format!("{claimed_params} total params"),
+        ));
+    }
+    if claimed_flops != as_f64(totals.flops) {
+        out.push(Diagnostic::global(
+            bench,
+            "flop-crosscheck",
+            format!("{} total flops", totals.flops),
+            format!("{claimed_flops} total flops"),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aibench_models::{Layer, RnnKind};
+
+    #[test]
+    fn lstm_gate_count_enters_both_params_and_flops() {
+        let c = derive_layer(&LayerKind::Rnn {
+            kind: RnnKind::Lstm,
+            d_in: 10,
+            d_h: 20,
+            steps: 3,
+        });
+        assert_eq!(c.params, 4 * (10 * 20 + 20 * 20 + 20));
+        assert_eq!(c.flops, 4 * (10 + 20) * 20 * 3);
+    }
+
+    #[test]
+    fn shared_repeats_count_params_once() {
+        let spec = ModelSpec::new(
+            "mini",
+            vec![Layer::shared(LayerKind::Linear { d_in: 4, d_out: 4 }, 10)],
+            1,
+            1,
+            1,
+        );
+        let t = derive_spec(&spec);
+        assert_eq!(t.params, 4 * 4 + 4);
+        assert_eq!(t.flops, 10 * 4 * 4);
+    }
+
+    #[test]
+    fn corrupted_claim_is_flagged() {
+        let spec = ModelSpec::new(
+            "mini",
+            vec![Layer::once(LayerKind::Linear { d_in: 4, d_out: 2 })],
+            1,
+            1,
+            1,
+        );
+        let good = verify_claim("mini", &spec, 10, 8.0);
+        assert!(good.is_empty());
+        let bad = verify_claim("mini", &spec, 10, 9.0);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, "flop-crosscheck");
+    }
+}

@@ -1,0 +1,186 @@
+//! Seeded-defect fixtures: known-broken inputs proving each rule family
+//! fires. The CLI exposes them via `--fixture <name>`, and the test suite
+//! asserts every fixture produces at least one diagnostic of its family's
+//! rule, so a silently weakened rule fails the build rather than shipping.
+
+use crate::{counts, shape, tape, trace, Diagnostic};
+use aibench_gpusim::{DeviceConfig, Kernel, KernelCategory, Simulator};
+use aibench_models::{Layer, LayerKind, ModelSpec, Trainer};
+
+/// Names of all seeded-defect fixtures, in canonical order.
+pub const FIXTURES: &[&str] = &[
+    "shape-mismatch",
+    "flop-disagreement",
+    "unmapped-kernel",
+    "time-conservation",
+    "dead-parameter",
+];
+
+/// Runs one fixture by name; `None` for an unknown name. Each returned
+/// list is non-empty by construction — a fixture that comes back clean
+/// means its rule regressed.
+pub fn run(name: &str) -> Option<Vec<Diagnostic>> {
+    match name {
+        "shape-mismatch" => Some(shape_mismatch()),
+        "flop-disagreement" => Some(flop_disagreement()),
+        "unmapped-kernel" => Some(unmapped_kernel()),
+        "time-conservation" => Some(time_conservation()),
+        "dead-parameter" => Some(dead_parameter()),
+        _ => None,
+    }
+}
+
+/// A conv stack whose second layer declares the wrong input channel count.
+fn shape_mismatch() -> Vec<Diagnostic> {
+    let spec = ModelSpec::new(
+        "fixture/shape-mismatch",
+        vec![
+            Layer::once(LayerKind::Conv2d {
+                c_in: 3,
+                c_out: 16,
+                k: 3,
+                h_out: 32,
+                w_out: 32,
+            }),
+            Layer::once(LayerKind::Conv2d {
+                c_in: 32,
+                c_out: 8,
+                k: 3,
+                h_out: 32,
+                w_out: 32,
+            }),
+        ],
+        3 * 32 * 32,
+        4,
+        64,
+    );
+    shape::check_spec("fixture/shape-mismatch", &spec)
+}
+
+/// A spec whose externally claimed FLOP total is off by one.
+fn flop_disagreement() -> Vec<Diagnostic> {
+    let spec = ModelSpec::new(
+        "fixture/flop-disagreement",
+        vec![Layer::once(LayerKind::Linear {
+            d_in: 64,
+            d_out: 10,
+        })],
+        64,
+        4,
+        64,
+    );
+    let truth = counts::derive_spec(&spec);
+    counts::verify_claim(
+        "fixture/flop-disagreement",
+        &spec,
+        truth.params as u64,
+        truth.flops as f64 + 1.0,
+    )
+}
+
+/// A trace containing a kernel name outside the Table-7 taxonomy and a
+/// kernel tagged with the wrong category.
+fn unmapped_kernel() -> Vec<Diagnostic> {
+    let trace = vec![
+        Kernel::new(
+            "my_secret_kernel_v2",
+            KernelCategory::Gemm,
+            1e6,
+            1e5,
+            256,
+            1,
+        ),
+        Kernel::new(
+            "softmax_warp_forward",
+            KernelCategory::Gemm,
+            1e4,
+            1e4,
+            256,
+            1,
+        ),
+    ];
+    trace::check_trace("fixture/unmapped-kernel", &trace)
+}
+
+/// A real simulated profile with one category share tampered after the
+/// fact, breaking time conservation.
+fn time_conservation() -> Vec<Diagnostic> {
+    let spec = aibench::Registry::all().benchmarks()[0].spec();
+    let mut profile = Simulator::new(DeviceConfig::titan_xp()).profile(&spec);
+    if let Some(c) = profile.categories.first_mut() {
+        c.share *= 0.5;
+    }
+    trace::check_profile("fixture/time-conservation", &profile)
+}
+
+/// A toy trainer with a parameter the loss never touches.
+fn dead_parameter() -> Vec<Diagnostic> {
+    use aibench_autograd::{Graph, Param};
+    use aibench_nn::{Optimizer, Sgd};
+    use aibench_tensor::Tensor;
+
+    struct Lopsided {
+        live: Param,
+        opt: Sgd,
+    }
+
+    impl Trainer for Lopsided {
+        fn train_epoch(&mut self) -> f32 {
+            let mut g = Graph::new();
+            let x = g.param(&self.live);
+            let sq = g.square(x);
+            let loss = g.sum(sq);
+            let out = g.value(loss).item();
+            g.backward(loss);
+            self.opt.step();
+            self.opt.zero_grad();
+            out
+        }
+
+        fn evaluate(&mut self) -> f64 {
+            0.0
+        }
+
+        fn param_count(&self) -> usize {
+            self.opt.params().iter().map(|p| p.len()).sum()
+        }
+
+        fn params(&self) -> Vec<Param> {
+            self.opt.params().to_vec()
+        }
+    }
+
+    let live = Param::new("w", Tensor::from_vec(vec![0.5, -0.5], &[2]));
+    let orphan = Param::new("orphan", Tensor::from_vec(vec![1.0, 1.0], &[2]));
+    let opt = Sgd::new(vec![live.clone(), orphan], 0.1);
+    let mut t = Lopsided { live, opt };
+    tape::probe_trainer("fixture/dead-parameter", &mut t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_fixture_fires_its_rule() {
+        let expected_rules: &[(&str, &str)] = &[
+            ("shape-mismatch", "channel-agreement"),
+            ("flop-disagreement", "flop-crosscheck"),
+            ("unmapped-kernel", "kernel-unmapped"),
+            ("time-conservation", "time-conservation"),
+            ("dead-parameter", "dead-parameter"),
+        ];
+        for &(fixture, rule) in expected_rules {
+            let diags = run(fixture).expect("known fixture");
+            assert!(
+                diags.iter().any(|d| d.rule == rule),
+                "fixture `{fixture}` did not fire `{rule}`: {diags:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_fixture_is_none() {
+        assert!(run("no-such-fixture").is_none());
+    }
+}

@@ -1,0 +1,1068 @@
+//! Forward shape inference over [`ModelSpec`] layer graphs.
+//!
+//! The checker walks a spec's layers propagating an abstract activation
+//! shape ([`Flow`]) and fires a structured [`Diagnostic`] whenever a
+//! layer's declared geometry cannot consume the running shape. The rules
+//! are deliberately independent of `aibench-opcount` and `aibench-gpusim`:
+//! they re-derive what each layer must see from its own fields.
+//!
+//! Dataflow annotations on [`Layer::role`] steer the walk: a `Head` layer
+//! restarts propagation (new input or reseeded decoder state), and `Side`
+//! layers form a parallel branch that is checked against itself without
+//! disturbing the main chain.
+//!
+//! Shared repeats (`share_params == true`) model *parallel instances* of
+//! one sub-network (RoI heads, per-slice decoders): the transition is
+//! applied once and the instance count is remembered, because later
+//! aggregate layers (a softmax over all proposals) are sized against it.
+//! Non-shared repeats compose sequentially, so the layer must be
+//! self-composable and the transition is applied `repeat` times.
+
+use crate::Diagnostic;
+use aibench_models::{Layer, LayerKind, LayerRole, ModelSpec};
+
+/// Abstract activation shape flowing between layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// A `c`×`h`×`w` feature volume.
+    Image {
+        /// Channels.
+        c: usize,
+        /// Height.
+        h: usize,
+        /// Width.
+        w: usize,
+    },
+    /// A sequence of `len` positions of width `d`.
+    Seq {
+        /// Positions.
+        len: usize,
+        /// Feature width.
+        d: usize,
+    },
+    /// A flat feature vector of width `d`.
+    Flat {
+        /// Feature width.
+        d: usize,
+    },
+    /// Unconstrained (segment entry; nothing to check against yet).
+    Unknown,
+}
+
+impl Flow {
+    /// Total element count, when the shape is known.
+    pub fn elems(&self) -> Option<usize> {
+        match *self {
+            Flow::Image { c, h, w } => Some(c * h * w),
+            Flow::Seq { len, d } => Some(len * d),
+            Flow::Flat { d } => Some(d),
+            Flow::Unknown => None,
+        }
+    }
+
+    fn describe(&self) -> String {
+        match *self {
+            Flow::Image { c, h, w } => format!("image {c}x{h}x{w}"),
+            Flow::Seq { len, d } => format!("seq {len}x{d}"),
+            Flow::Flat { d } => format!("flat {d}"),
+            Flow::Unknown => "unknown".to_string(),
+        }
+    }
+}
+
+/// A violated transition: which rule, what the layer needed, what arrived.
+struct Broken {
+    rule: &'static str,
+    expected: String,
+    found: String,
+}
+
+impl Broken {
+    fn new(rule: &'static str, expected: impl Into<String>, found: impl Into<String>) -> Self {
+        Broken {
+            rule,
+            expected: expected.into(),
+            found: found.into(),
+        }
+    }
+}
+
+/// The declared output shape of a layer, independent of its input. Used to
+/// seed segment heads and to resynchronize after a violation so a single
+/// bug does not cascade into every downstream layer.
+fn output_of(kind: &LayerKind, input: Flow) -> Flow {
+    match *kind {
+        LayerKind::Conv2d {
+            c_out,
+            h_out,
+            w_out,
+            ..
+        }
+        | LayerKind::ConvTranspose2d {
+            c_out,
+            h_out,
+            w_out,
+            ..
+        } => Flow::Image {
+            c: c_out,
+            h: h_out,
+            w: w_out,
+        },
+        LayerKind::Linear { d_out, .. } => match input {
+            Flow::Seq { len, d } if d != 0 => Flow::Seq { len, d: d_out },
+            _ => Flow::Flat { d: d_out },
+        },
+        LayerKind::BatchNorm2d { c, h, w } => Flow::Image { c, h, w },
+        LayerKind::LayerNorm { rows, d } => Flow::Seq { len: rows, d },
+        LayerKind::Pool {
+            c, h_out, w_out, ..
+        } => Flow::Image {
+            c,
+            h: h_out,
+            w: w_out,
+        },
+        LayerKind::Embedding { dim, lookups, .. } => Flow::Seq {
+            len: lookups,
+            d: dim,
+        },
+        LayerKind::Rnn { d_h, steps, .. } => Flow::Seq { len: steps, d: d_h },
+        LayerKind::Attention { d_model, seq_q, .. } => Flow::Seq {
+            len: seq_q,
+            d: d_model,
+        },
+        LayerKind::GridSample { c, h, w } => Flow::Image { c, h, w },
+        // Pointwise layers pass the shape through.
+        LayerKind::Relu { .. }
+        | LayerKind::Activation { .. }
+        | LayerKind::Softmax { .. }
+        | LayerKind::Elementwise { .. } => input,
+    }
+}
+
+/// Applies one layer to `input`, returning the output shape or the broken
+/// rule. `instances` is the parallel-instance count of the running shape
+/// (from an upstream shared repeat); `concat_embed` is `Some(len, d)` when
+/// the previous layer was an embedding whose output the walker may widen
+/// (side-by-side feature concatenation, as in NCF's dual embeddings).
+fn transition(
+    kind: &LayerKind,
+    input: Flow,
+    instances: usize,
+    concat_embed: Option<(usize, usize)>,
+) -> Result<Flow, Broken> {
+    let elems = input.elems();
+    match *kind {
+        LayerKind::Conv2d {
+            c_in,
+            k,
+            h_out,
+            w_out,
+            ..
+        } => {
+            match input {
+                Flow::Image { c, h, w } => {
+                    if c != c_in {
+                        return Err(Broken::new(
+                            "channel-agreement",
+                            format!("c_in = {c}"),
+                            format!("c_in = {c_in}"),
+                        ));
+                    }
+                    if h_out > h || w_out > w {
+                        return Err(Broken::new(
+                            "conv-geometry",
+                            format!("output no larger than {h}x{w}"),
+                            format!("{h_out}x{w_out}"),
+                        ));
+                    }
+                }
+                Flow::Flat { d } => {
+                    // Unflatten: a conv over a vector reshaped to c_in maps.
+                    if !d.is_multiple_of(c_in) {
+                        return Err(Broken::new(
+                            "unflatten",
+                            format!("width divisible by c_in = {c_in}"),
+                            format!("width {d}"),
+                        ));
+                    }
+                    let area = d / c_in;
+                    let side = (area as f64).sqrt().round() as usize;
+                    if side * side == area && h_out > side {
+                        return Err(Broken::new(
+                            "conv-geometry",
+                            format!("output no larger than {side}x{side}"),
+                            format!("{h_out}x{w_out}"),
+                        ));
+                    }
+                }
+                Flow::Seq { .. } => {
+                    return Err(Broken::new(
+                        "dataflow-kind",
+                        "image or flat input for Conv2d",
+                        input.describe(),
+                    ));
+                }
+                Flow::Unknown => {}
+            }
+            if k == 0 || h_out == 0 || w_out == 0 {
+                return Err(Broken::new(
+                    "degenerate-geometry",
+                    "nonzero kernel and output extent",
+                    format!("k={k}, out {h_out}x{w_out}"),
+                ));
+            }
+            Ok(output_of(kind, input))
+        }
+        LayerKind::ConvTranspose2d {
+            c_in, h_out, w_out, ..
+        } => {
+            match input {
+                Flow::Image { c, h, w } => {
+                    if c != c_in {
+                        return Err(Broken::new(
+                            "channel-agreement",
+                            format!("c_in = {c}"),
+                            format!("c_in = {c_in}"),
+                        ));
+                    }
+                    if h_out < h || w_out < w {
+                        return Err(Broken::new(
+                            "deconv-geometry",
+                            format!("output no smaller than {h}x{w}"),
+                            format!("{h_out}x{w_out}"),
+                        ));
+                    }
+                }
+                Flow::Flat { d } => {
+                    if !d.is_multiple_of(c_in) {
+                        return Err(Broken::new(
+                            "unflatten",
+                            format!("width divisible by c_in = {c_in}"),
+                            format!("width {d}"),
+                        ));
+                    }
+                    let area = d / c_in;
+                    let side = (area as f64).sqrt().round() as usize;
+                    if side * side == area && h_out < side {
+                        return Err(Broken::new(
+                            "deconv-geometry",
+                            format!("output no smaller than {side}x{side}"),
+                            format!("{h_out}x{w_out}"),
+                        ));
+                    }
+                }
+                Flow::Seq { .. } => {
+                    return Err(Broken::new(
+                        "dataflow-kind",
+                        "image or flat input for ConvTranspose2d",
+                        input.describe(),
+                    ));
+                }
+                Flow::Unknown => {}
+            }
+            Ok(output_of(kind, input))
+        }
+        LayerKind::Linear { d_in, d_out } => {
+            if d_out == 0 || d_in == 0 {
+                return Err(Broken::new(
+                    "degenerate-geometry",
+                    "nonzero feature widths",
+                    format!("{d_in} -> {d_out}"),
+                ));
+            }
+            match input {
+                Flow::Flat { d } => {
+                    if d != d_in {
+                        return Err(Broken::new(
+                            "feature-agreement",
+                            format!("d_in = {d}"),
+                            format!("d_in = {d_in}"),
+                        ));
+                    }
+                    Ok(Flow::Flat { d: d_out })
+                }
+                Flow::Image { c, h, w } => {
+                    if c * h * w != d_in {
+                        return Err(Broken::new(
+                            "flatten-agreement",
+                            format!("d_in = {c}*{h}*{w} = {}", c * h * w),
+                            format!("d_in = {d_in}"),
+                        ));
+                    }
+                    Ok(Flow::Flat { d: d_out })
+                }
+                Flow::Seq { len, d } => {
+                    if d == d_in || d_in == 2 * d {
+                        // Applied per position (a doubled width consumes a
+                        // bidirectional RNN's concatenated directions).
+                        Ok(Flow::Seq { len, d: d_out })
+                    } else if len * d == d_in {
+                        // Applied to the flattened sequence.
+                        Ok(Flow::Flat { d: d_out })
+                    } else {
+                        Err(Broken::new(
+                            "feature-agreement",
+                            format!(
+                                "d_in = {d} (per position), {} (bidirectional), or {} (flattened)",
+                                2 * d,
+                                len * d
+                            ),
+                            format!("d_in = {d_in}"),
+                        ))
+                    }
+                }
+                Flow::Unknown => Ok(Flow::Flat { d: d_out }),
+            }
+        }
+        LayerKind::BatchNorm2d { c, h, w } => {
+            if let Flow::Image {
+                c: ci,
+                h: hi,
+                w: wi,
+            } = input
+            {
+                if (ci, hi, wi) != (c, h, w) {
+                    return Err(Broken::new(
+                        "batchnorm-geometry",
+                        format!("{ci}x{hi}x{wi}"),
+                        format!("{c}x{h}x{w}"),
+                    ));
+                }
+            } else if input != Flow::Unknown {
+                return Err(Broken::new(
+                    "dataflow-kind",
+                    "image input for BatchNorm2d",
+                    input.describe(),
+                ));
+            }
+            Ok(Flow::Image { c, h, w })
+        }
+        LayerKind::LayerNorm { rows, d } => match input {
+            Flow::Seq { len, d: di } => {
+                if len != rows || di != d {
+                    Err(Broken::new(
+                        "layernorm-geometry",
+                        format!("{len} rows of width {di}"),
+                        format!("{rows} rows of width {d}"),
+                    ))
+                } else {
+                    Ok(input)
+                }
+            }
+            Flow::Flat { d: di } => {
+                if rows != 1 || di != d {
+                    Err(Broken::new(
+                        "layernorm-geometry",
+                        format!("1 row of width {di}"),
+                        format!("{rows} rows of width {d}"),
+                    ))
+                } else {
+                    Ok(input)
+                }
+            }
+            Flow::Image { .. } => {
+                if elems == Some(rows * d) {
+                    Ok(input)
+                } else {
+                    Err(Broken::new(
+                        "layernorm-geometry",
+                        format!("{} elements", elems.unwrap_or(0)),
+                        format!("{rows}x{d} = {}", rows * d),
+                    ))
+                }
+            }
+            Flow::Unknown => Ok(Flow::Seq { len: rows, d }),
+        },
+        LayerKind::Relu { n } => {
+            if let Some(e) = elems {
+                if n != e {
+                    return Err(Broken::new(
+                        "activation-size",
+                        format!("n = {e}"),
+                        format!("n = {n}"),
+                    ));
+                }
+            }
+            Ok(input)
+        }
+        // Sigmoid/tanh layers may run several times over the same stream
+        // (gates, iterative refinement), so any whole multiple is legal.
+        LayerKind::Activation { n } | LayerKind::Elementwise { n, .. } => {
+            if let Some(e) = elems {
+                if e == 0 || !n.is_multiple_of(e) {
+                    return Err(Broken::new(
+                        "activation-size",
+                        format!("n = multiple of {e}"),
+                        format!("n = {n}"),
+                    ));
+                }
+            }
+            Ok(input)
+        }
+        LayerKind::Pool { c, h_out, w_out, k } => {
+            if let Flow::Image { c: ci, h, w } = input {
+                if ci != c {
+                    return Err(Broken::new(
+                        "channel-agreement",
+                        format!("c = {ci}"),
+                        format!("c = {c}"),
+                    ));
+                }
+                if h_out > h || w_out > w {
+                    return Err(Broken::new(
+                        "pool-geometry",
+                        format!("output no larger than {h}x{w}"),
+                        format!("{h_out}x{w_out}"),
+                    ));
+                }
+                if k > h.max(w) {
+                    return Err(Broken::new(
+                        "pool-window",
+                        format!("window within {h}x{w} input"),
+                        format!("k = {k}"),
+                    ));
+                }
+            } else if input != Flow::Unknown {
+                return Err(Broken::new(
+                    "dataflow-kind",
+                    "image input for Pool",
+                    input.describe(),
+                ));
+            }
+            Ok(Flow::Image {
+                c,
+                h: h_out,
+                w: w_out,
+            })
+        }
+        LayerKind::Embedding {
+            vocab,
+            dim,
+            lookups,
+        } => {
+            if vocab == 0 || dim == 0 || lookups == 0 {
+                return Err(Broken::new(
+                    "degenerate-geometry",
+                    "nonzero vocab/dim/lookups",
+                    format!("{vocab}/{dim}/{lookups}"),
+                ));
+            }
+            // Embeddings read token ids, not the previous activation, so
+            // they always reseed the flow — except that two embeddings in a
+            // row with equal lookup counts concatenate their features.
+            if let Some((len, d)) = concat_embed {
+                if len == lookups {
+                    return Ok(Flow::Seq { len, d: d + dim });
+                }
+            }
+            Ok(Flow::Seq {
+                len: lookups,
+                d: dim,
+            })
+        }
+        LayerKind::Rnn {
+            d_in, d_h, steps, ..
+        } => {
+            if d_h == 0 || steps == 0 {
+                return Err(Broken::new(
+                    "degenerate-geometry",
+                    "nonzero hidden width and steps",
+                    format!("d_h = {d_h}, steps = {steps}"),
+                ));
+            }
+            match input {
+                // Sequence input: widths must agree per position; a doubled
+                // input width means the previous (bidirectional) stack's two
+                // directions are concatenated. Step counts are *not*
+                // checked: encoder-decoder stacks legally change length.
+                Flow::Seq { d, .. } => {
+                    if d_in != d && d_in != 2 * d {
+                        return Err(Broken::new(
+                            "rnn-input-width",
+                            format!("d_in = {d} or {} (bidirectional concat)", 2 * d),
+                            format!("d_in = {d_in}"),
+                        ));
+                    }
+                }
+                // Image input (spectrograms): the model may feed whole
+                // frames (c*h per step across w steps), flattened volumes,
+                // or per-channel features.
+                Flow::Image { c, h, w } => {
+                    let frame_ok = d_in == c * h && steps == w;
+                    if d_in != c * h * w && !frame_ok && d_in != c {
+                        return Err(Broken::new(
+                            "rnn-input-width",
+                            format!(
+                                "d_in from {c}x{h}x{w} (volume {}, frame {}, channels {c})",
+                                c * h * w,
+                                c * h
+                            ),
+                            format!("d_in = {d_in}"),
+                        ));
+                    }
+                }
+                Flow::Flat { d } => {
+                    if d_in != d {
+                        return Err(Broken::new(
+                            "rnn-input-width",
+                            format!("d_in = {d}"),
+                            format!("d_in = {d_in}"),
+                        ));
+                    }
+                }
+                Flow::Unknown => {}
+            }
+            Ok(Flow::Seq { len: steps, d: d_h })
+        }
+        LayerKind::Attention {
+            d_model,
+            heads,
+            seq_q,
+            seq_k,
+        } => {
+            // The head-divisibility rule binds even at a segment entry.
+            if heads == 0 || !d_model.is_multiple_of(heads) {
+                return Err(Broken::new(
+                    "attention-heads",
+                    format!("d_model divisible by {heads} heads"),
+                    format!("d_model = {d_model}"),
+                ));
+            }
+            if seq_q == 0 || seq_k == 0 {
+                return Err(Broken::new(
+                    "degenerate-geometry",
+                    "nonzero query/key lengths",
+                    format!("seq_q = {seq_q}, seq_k = {seq_k}"),
+                ));
+            }
+            match input {
+                Flow::Seq { len, d } => {
+                    if d != d_model {
+                        return Err(Broken::new(
+                            "feature-agreement",
+                            format!("d_model = {d}"),
+                            format!("d_model = {d_model}"),
+                        ));
+                    }
+                    // Queries come from the running sequence (possibly a
+                    // prefix during decoding); keys may come from a
+                    // cross-attended encoder, so seq_k is unconstrained.
+                    if seq_q > len {
+                        return Err(Broken::new(
+                            "attention-length",
+                            format!("seq_q <= {len}"),
+                            format!("seq_q = {seq_q}"),
+                        ));
+                    }
+                }
+                Flow::Flat { .. } | Flow::Image { .. } => {
+                    return Err(Broken::new(
+                        "dataflow-kind",
+                        "sequence input for Attention",
+                        input.describe(),
+                    ));
+                }
+                Flow::Unknown => {}
+            }
+            Ok(Flow::Seq {
+                len: seq_q,
+                d: d_model,
+            })
+        }
+        LayerKind::Softmax { rows, classes } => {
+            if classes == 0 || rows == 0 {
+                return Err(Broken::new(
+                    "degenerate-geometry",
+                    "nonzero rows and classes",
+                    format!("{rows}x{classes}"),
+                ));
+            }
+            // A softmax may normalize the running activation exactly, per
+            // parallel instance (one row per RoI head), or over per-anchor
+            // class columns carved out of a larger prediction map — every
+            // case requires the class width to tile the element count.
+            let ok = match input {
+                Flow::Seq { len, d } => {
+                    (rows == len && classes == d) || (len * d).is_multiple_of(classes)
+                }
+                Flow::Flat { d } => {
+                    (rows * classes == d)
+                        || (rows == instances && d.is_multiple_of(classes))
+                        || d.is_multiple_of(classes)
+                }
+                Flow::Image { .. } => elems.is_some_and(|e| e.is_multiple_of(classes)),
+                Flow::Unknown => true,
+            };
+            if !ok {
+                return Err(Broken::new(
+                    "softmax-geometry",
+                    format!("{} elements tiled by class width", elems.unwrap_or(0)),
+                    format!("{rows} rows x {classes} classes"),
+                ));
+            }
+            Ok(input)
+        }
+        LayerKind::GridSample { c, h, w } => {
+            if let Flow::Image { c: ci, .. } = input {
+                // Sampling resamples the spatial grid but preserves depth.
+                if ci != c {
+                    return Err(Broken::new(
+                        "channel-agreement",
+                        format!("c = {ci}"),
+                        format!("c = {c}"),
+                    ));
+                }
+            } else if !matches!(input, Flow::Unknown) {
+                return Err(Broken::new(
+                    "dataflow-kind",
+                    "image input for GridSample",
+                    input.describe(),
+                ));
+            }
+            Ok(Flow::Image { c, h, w })
+        }
+    }
+}
+
+/// Shape-propagation state for one chain (main or side branch).
+#[derive(Clone, Copy)]
+struct Chain {
+    flow: Flow,
+    /// Parallel instances of `flow` produced by an upstream shared repeat.
+    instances: usize,
+    /// Set when the last layer was an embedding: (lookups, total width).
+    embed: Option<(usize, usize)>,
+}
+
+impl Chain {
+    fn start() -> Self {
+        Chain {
+            flow: Flow::Unknown,
+            instances: 1,
+            embed: None,
+        }
+    }
+
+    /// Runs one layer through this chain, appending any violation.
+    fn step(&mut self, bench: &str, index: usize, layer: &Layer, out: &mut Vec<Diagnostic>) {
+        let input = if layer.role == LayerRole::Head {
+            Flow::Unknown
+        } else {
+            self.flow
+        };
+        let reps = layer.repeat.max(1);
+        let (next, next_instances) = if layer.share_params && reps > 1 {
+            // Parallel instances of one shared sub-layer: one transition.
+            let r = transition(&layer.kind, input, self.instances, self.embed);
+            (r, reps)
+        } else {
+            // Sequential composition: fold the transition `repeat` times,
+            // reporting at most one violation per layer entry.
+            let mut cur = input;
+            let mut result = Ok(cur);
+            for step in 0..reps {
+                match transition(
+                    &layer.kind,
+                    cur,
+                    self.instances,
+                    if step == 0 { self.embed } else { None },
+                ) {
+                    Ok(f) => {
+                        cur = f;
+                        result = Ok(f);
+                    }
+                    Err(b) => {
+                        result = Err(b);
+                        break;
+                    }
+                }
+            }
+            (result, 1)
+        };
+        match next {
+            Ok(f) => {
+                self.flow = f;
+                self.instances = next_instances;
+            }
+            Err(b) => {
+                out.push(Diagnostic::at_layer(
+                    bench, index, b.rule, b.expected, b.found,
+                ));
+                // Resynchronize on the layer's own declared output so one
+                // defect does not cascade down the rest of the chain.
+                self.flow = output_of(&layer.kind, Flow::Unknown);
+                self.instances = next_instances;
+            }
+        }
+        self.embed = match (&layer.kind, self.flow) {
+            (LayerKind::Embedding { .. }, Flow::Seq { len, d }) => Some((len, d)),
+            _ => None,
+        };
+    }
+}
+
+/// Validates every shape/dataflow rule over one spec. Returns all
+/// violations (empty when the spec is consistent).
+pub fn check_spec(bench: &str, spec: &ModelSpec) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut main = Chain::start();
+    let mut side: Option<Chain> = None;
+    for (i, layer) in spec.layers.iter().enumerate() {
+        if layer.role == LayerRole::Side {
+            // A side branch taps the current main activation; consecutive
+            // side layers chain among themselves.
+            let mut branch = side.take().unwrap_or(Chain {
+                flow: main.flow,
+                ..main
+            });
+            branch.step(bench, i, layer, &mut out);
+            side = Some(branch);
+        } else {
+            side = None;
+            main.step(bench, i, layer, &mut out);
+        }
+    }
+    if spec.layers.is_empty() {
+        out.push(Diagnostic::global(
+            bench,
+            "empty-spec",
+            "at least one layer",
+            "0 layers",
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aibench_models::RnnKind;
+
+    fn spec(layers: Vec<Layer>) -> ModelSpec {
+        ModelSpec::new("mini", layers, 1, 1, 1)
+    }
+
+    fn rules(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn clean_conv_chain_passes() {
+        let s = spec(vec![
+            Layer::once(LayerKind::Conv2d {
+                c_in: 3,
+                c_out: 16,
+                k: 3,
+                h_out: 32,
+                w_out: 32,
+            }),
+            Layer::once(LayerKind::BatchNorm2d {
+                c: 16,
+                h: 32,
+                w: 32,
+            }),
+            Layer::once(LayerKind::Relu { n: 16 * 32 * 32 }),
+            Layer::once(LayerKind::Pool {
+                c: 16,
+                h_out: 16,
+                w_out: 16,
+                k: 2,
+            }),
+            Layer::once(LayerKind::Linear {
+                d_in: 16 * 16 * 16,
+                d_out: 10,
+            }),
+            Layer::once(LayerKind::Softmax {
+                rows: 1,
+                classes: 10,
+            }),
+        ]);
+        assert!(check_spec("mini", &s).is_empty());
+    }
+
+    #[test]
+    fn channel_mismatch_fires() {
+        let s = spec(vec![
+            Layer::once(LayerKind::Conv2d {
+                c_in: 3,
+                c_out: 16,
+                k: 3,
+                h_out: 32,
+                w_out: 32,
+            }),
+            Layer::once(LayerKind::Conv2d {
+                c_in: 32,
+                c_out: 8,
+                k: 3,
+                h_out: 32,
+                w_out: 32,
+            }),
+        ]);
+        assert_eq!(rules(&check_spec("mini", &s)), vec!["channel-agreement"]);
+    }
+
+    #[test]
+    fn conv_cannot_upsample() {
+        let s = spec(vec![
+            Layer::once(LayerKind::Conv2d {
+                c_in: 3,
+                c_out: 16,
+                k: 3,
+                h_out: 8,
+                w_out: 8,
+            }),
+            Layer::once(LayerKind::Conv2d {
+                c_in: 16,
+                c_out: 16,
+                k: 3,
+                h_out: 16,
+                w_out: 16,
+            }),
+        ]);
+        assert_eq!(rules(&check_spec("mini", &s)), vec!["conv-geometry"]);
+    }
+
+    #[test]
+    fn deconv_cannot_downsample() {
+        let s = spec(vec![
+            Layer::once(LayerKind::Conv2d {
+                c_in: 3,
+                c_out: 16,
+                k: 3,
+                h_out: 8,
+                w_out: 8,
+            }),
+            Layer::once(LayerKind::ConvTranspose2d {
+                c_in: 16,
+                c_out: 8,
+                k: 4,
+                h_out: 4,
+                w_out: 4,
+            }),
+        ]);
+        assert_eq!(rules(&check_spec("mini", &s)), vec!["deconv-geometry"]);
+    }
+
+    #[test]
+    fn linear_width_mismatch_fires() {
+        let s = spec(vec![
+            Layer::once(LayerKind::Linear {
+                d_in: 64,
+                d_out: 32,
+            }),
+            Layer::once(LayerKind::Linear { d_in: 33, d_out: 8 }),
+        ]);
+        assert_eq!(rules(&check_spec("mini", &s)), vec!["feature-agreement"]);
+    }
+
+    #[test]
+    fn relu_size_must_match_exactly() {
+        let s = spec(vec![
+            Layer::once(LayerKind::Linear {
+                d_in: 64,
+                d_out: 32,
+            }),
+            Layer::once(LayerKind::Relu { n: 31 }),
+        ]);
+        assert_eq!(rules(&check_spec("mini", &s)), vec!["activation-size"]);
+    }
+
+    #[test]
+    fn attention_head_divisibility_fires() {
+        let s = spec(vec![Layer::once(LayerKind::Attention {
+            d_model: 512,
+            heads: 7,
+            seq_q: 10,
+            seq_k: 10,
+        })]);
+        assert_eq!(rules(&check_spec("mini", &s)), vec!["attention-heads"]);
+    }
+
+    #[test]
+    fn rnn_width_mismatch_fires_and_bidirectional_passes() {
+        let bad = spec(vec![
+            Layer::once(LayerKind::Rnn {
+                kind: RnnKind::Lstm,
+                d_in: 10,
+                d_h: 20,
+                steps: 5,
+            }),
+            Layer::once(LayerKind::Rnn {
+                kind: RnnKind::Lstm,
+                d_in: 30,
+                d_h: 20,
+                steps: 5,
+            }),
+        ]);
+        assert_eq!(rules(&check_spec("mini", &bad)), vec!["rnn-input-width"]);
+        let bidir = spec(vec![
+            Layer::once(LayerKind::Rnn {
+                kind: RnnKind::Gru,
+                d_in: 10,
+                d_h: 20,
+                steps: 5,
+            }),
+            Layer::once(LayerKind::Rnn {
+                kind: RnnKind::Gru,
+                d_in: 40,
+                d_h: 20,
+                steps: 5,
+            }),
+        ]);
+        assert!(check_spec("mini", &bidir).is_empty());
+    }
+
+    #[test]
+    fn head_restarts_propagation() {
+        // Without the Head annotation the 1x28x28 grid sample cannot
+        // consume the 10-wide softmax output; with it, propagation
+        // restarts and the spec is clean.
+        let layers = |role| {
+            vec![
+                Layer::once(LayerKind::Linear {
+                    d_in: 784,
+                    d_out: 10,
+                }),
+                Layer::once(LayerKind::GridSample { c: 1, h: 28, w: 28 }).with_role(role),
+            ]
+        };
+        assert_eq!(
+            rules(&check_spec("mini", &spec(layers(LayerRole::Chain)))),
+            vec!["dataflow-kind"]
+        );
+        assert!(check_spec("mini", &spec(layers(LayerRole::Head))).is_empty());
+    }
+
+    #[test]
+    fn side_branch_preserves_main_chain() {
+        let s = spec(vec![
+            Layer::once(LayerKind::Conv2d {
+                c_in: 3,
+                c_out: 64,
+                k: 3,
+                h_out: 28,
+                w_out: 28,
+            }),
+            // Side head taps the 64-channel map...
+            Layer::side(LayerKind::Conv2d {
+                c_in: 64,
+                c_out: 8,
+                k: 1,
+                h_out: 28,
+                w_out: 28,
+            }),
+            // ...and the main chain still sees 64 channels here.
+            Layer::once(LayerKind::Conv2d {
+                c_in: 64,
+                c_out: 128,
+                k: 3,
+                h_out: 14,
+                w_out: 14,
+            }),
+        ]);
+        assert!(check_spec("mini", &s).is_empty());
+    }
+
+    #[test]
+    fn side_branch_mismatch_fires() {
+        let s = spec(vec![
+            Layer::once(LayerKind::Conv2d {
+                c_in: 3,
+                c_out: 64,
+                k: 3,
+                h_out: 28,
+                w_out: 28,
+            }),
+            Layer::side(LayerKind::Conv2d {
+                c_in: 32,
+                c_out: 8,
+                k: 1,
+                h_out: 28,
+                w_out: 28,
+            }),
+        ]);
+        assert_eq!(rules(&check_spec("mini", &s)), vec!["channel-agreement"]);
+    }
+
+    #[test]
+    fn shared_repeat_sets_instances_for_softmax() {
+        // 300 shared RoI heads of width 84 feeding a 300x21 softmax: legal
+        // because each row of the softmax covers one instance and 21 | 84.
+        let s = spec(vec![
+            Layer::once(LayerKind::Linear {
+                d_in: 64,
+                d_out: 84,
+            }),
+            Layer::shared(
+                LayerKind::Linear {
+                    d_in: 84,
+                    d_out: 84,
+                },
+                300,
+            ),
+            Layer::once(LayerKind::Softmax {
+                rows: 300,
+                classes: 21,
+            }),
+        ]);
+        assert!(check_spec("mini", &s).is_empty());
+    }
+
+    #[test]
+    fn sequential_repeat_must_self_compose() {
+        let s = spec(vec![Layer::repeated(
+            LayerKind::Linear {
+                d_in: 32,
+                d_out: 16,
+            },
+            2,
+        )]);
+        // 32 -> 16, then 16 into a d_in=32 layer: fires once.
+        assert_eq!(rules(&check_spec("mini", &s)), vec!["feature-agreement"]);
+    }
+
+    #[test]
+    fn one_defect_reports_once_not_cascading() {
+        let s = spec(vec![
+            Layer::once(LayerKind::Conv2d {
+                c_in: 3,
+                c_out: 16,
+                k: 3,
+                h_out: 32,
+                w_out: 32,
+            }),
+            Layer::once(LayerKind::Conv2d {
+                c_in: 99,
+                c_out: 16,
+                k: 3,
+                h_out: 32,
+                w_out: 32,
+            }),
+            // Consistent with layer 1's declared output: must not re-fire.
+            Layer::once(LayerKind::BatchNorm2d {
+                c: 16,
+                h: 32,
+                w: 32,
+            }),
+        ]);
+        assert_eq!(check_spec("mini", &s).len(), 1);
+    }
+
+    #[test]
+    fn embedding_concat_widens_features() {
+        let s = spec(vec![
+            Layer::once(LayerKind::Embedding {
+                vocab: 100,
+                dim: 8,
+                lookups: 4,
+            }),
+            Layer::once(LayerKind::Embedding {
+                vocab: 50,
+                dim: 8,
+                lookups: 4,
+            }),
+            Layer::once(LayerKind::Linear { d_in: 64, d_out: 1 }),
+        ]);
+        assert!(check_spec("mini", &s).is_empty());
+    }
+}

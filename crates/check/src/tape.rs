@@ -1,0 +1,276 @@
+//! Dynamic sanitizer for the autograd tape.
+//!
+//! [`probe_trainer`] runs one training epoch on a scaled model and flags
+//! parameters the tape never moved (dead: disconnected from the loss or
+//! shadowed by a bug in gradient routing) and parameters or gradients
+//! that went non-finite. [`check_gradcheck_coverage`] is a static
+//! companion lint: every differentiable op the `Graph` exposes must be
+//! exercised by a `check_gradients` test somewhere in the autograd crate.
+
+use crate::Diagnostic;
+use aibench::Benchmark;
+use aibench_models::Trainer;
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Epoch budget for the dead-parameter probe: sparse-reward trainers
+/// (policy gradients with a cold-start plateau) can legitimately leave
+/// every weight untouched for an epoch or two, so a parameter is only
+/// dead if nothing moves it within this many epochs.
+const PROBE_EPOCHS: usize = 5;
+
+/// Probes one trainer: snapshots every registered parameter, trains up to
+/// [`PROBE_EPOCHS`] epochs, and reports parameters the tape never moved
+/// plus non-finite values or gradients.
+pub fn probe_trainer(bench: &str, trainer: &mut dyn Trainer) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let params = trainer.params();
+    if params.is_empty() {
+        out.push(Diagnostic::global(
+            bench,
+            "empty-tape",
+            "at least one registered parameter",
+            "0 parameters",
+        ));
+        return out;
+    }
+    let before: Vec<Vec<f32>> = params.iter().map(|p| p.value().data().to_vec()).collect();
+    for epoch in 0..PROBE_EPOCHS {
+        let loss = trainer.train_epoch();
+        if !loss.is_finite() {
+            out.push(Diagnostic::global(
+                bench,
+                "nonfinite-loss",
+                "a finite training loss",
+                format!("{loss}"),
+            ));
+        }
+        let _ = epoch;
+        let all_moved = params
+            .iter()
+            .zip(&before)
+            .all(|(p, old)| p.value().data() != old.as_slice());
+        if all_moved {
+            break;
+        }
+    }
+    // Parameters registered under several optimizers (or aliased) appear
+    // once per registration; report each name once.
+    let mut seen = BTreeSet::new();
+    for (p, old) in params.iter().zip(&before) {
+        if !seen.insert(p.name()) {
+            continue;
+        }
+        let val = p.value();
+        let new = val.data();
+        if new.iter().any(|x| !x.is_finite()) {
+            out.push(Diagnostic::global(
+                bench,
+                "nonfinite-parameter",
+                format!("finite values in `{}`", p.name()),
+                "NaN/Inf entries".to_string(),
+            ));
+        }
+        if p.grad().data().iter().any(|x| !x.is_finite()) {
+            out.push(Diagnostic::global(
+                bench,
+                "nonfinite-gradient",
+                format!("finite gradient for `{}`", p.name()),
+                "NaN/Inf entries".to_string(),
+            ));
+        }
+        if new == old.as_slice() {
+            out.push(Diagnostic::global(
+                bench,
+                "dead-parameter",
+                format!(
+                    "`{}` to change within {PROBE_EPOCHS} training epochs",
+                    p.name()
+                ),
+                "bitwise-identical values".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Builds and probes one registered benchmark at a fixed seed.
+pub fn probe_benchmark(b: &Benchmark) -> Vec<Diagnostic> {
+    let mut trainer = b.build(1);
+    probe_trainer(b.id.code(), trainer.as_mut())
+}
+
+/// Probes every benchmark in a registry. This trains each scaled model
+/// for one epoch, so it is the slow part of the suite.
+pub fn probe_registry(registry: &aibench::Registry) -> crate::CheckReport {
+    let mut report = crate::CheckReport::new();
+    for b in registry.benchmarks() {
+        report.absorb(probe_benchmark(b));
+    }
+    report
+}
+
+/// Ops that exist for inference or bookkeeping rather than training, so a
+/// missing gradcheck is not a defect.
+const GRADCHECK_ALLOWLIST: &[&str] = &["batch_norm2d_inference", "dropout"];
+
+/// Locates the autograd crate's source tree relative to this crate.
+fn autograd_src_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../autograd")
+}
+
+/// Statically lints gradcheck coverage: every `pub fn` op defined in the
+/// autograd crate's `ops_*.rs` files must be invoked somewhere in that
+/// crate's test code (inline `#[cfg(test)]` modules or `tests/`), unless
+/// allowlisted as non-differentiable. Returns nothing when the autograd
+/// sources are not present (e.g. an installed binary far from the repo).
+pub fn check_gradcheck_coverage() -> Vec<Diagnostic> {
+    check_gradcheck_coverage_in(&autograd_src_dir())
+}
+
+/// [`check_gradcheck_coverage`] against an explicit autograd crate root.
+pub fn check_gradcheck_coverage_in(autograd_root: &Path) -> Vec<Diagnostic> {
+    let src = autograd_root.join("src");
+    if !src.is_dir() {
+        return Vec::new();
+    }
+    let mut ops: Vec<String> = Vec::new();
+    let mut test_text = String::new();
+    let mut files: Vec<PathBuf> = Vec::new();
+    if let Ok(entries) = fs::read_dir(&src) {
+        files.extend(entries.flatten().map(|e| e.path()));
+    }
+    if let Ok(entries) = fs::read_dir(autograd_root.join("tests")) {
+        files.extend(entries.flatten().map(|e| e.path()));
+    }
+    files.sort();
+    for path in files {
+        if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+            continue;
+        }
+        let Ok(text) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("ops_") {
+            // `pub fn foo(` at method indentation: the Graph op surface.
+            for line in text.lines() {
+                if let Some(rest) = line.strip_prefix("    pub fn ") {
+                    if let Some(fn_name) = rest
+                        .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+                        .next()
+                    {
+                        if !fn_name.is_empty() {
+                            ops.push(fn_name.to_string());
+                        }
+                    }
+                }
+            }
+        }
+        // Inline test modules count, as does anything under tests/.
+        if path
+            .parent()
+            .and_then(|p| p.file_name())
+            .and_then(|n| n.to_str())
+            == Some("tests")
+        {
+            test_text.push_str(&text);
+        } else if let Some(idx) = text.find("#[cfg(test)]") {
+            test_text.push_str(&text[idx..]);
+        }
+    }
+    let mut out = Vec::new();
+    for op in ops {
+        if GRADCHECK_ALLOWLIST.contains(&op.as_str()) {
+            continue;
+        }
+        let invoked = test_text
+            .match_indices(&format!("{op}("))
+            .any(|(i, _)| matches!(test_text[..i].chars().next_back(), Some('.') | Some(' ')));
+        if !invoked {
+            out.push(Diagnostic::global(
+                "autograd",
+                "gradcheck-coverage",
+                format!("a test invoking `{op}`"),
+                "no test-module call site".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aibench_autograd::{Graph, Param};
+    use aibench_nn::{Optimizer, Sgd};
+    use aibench_tensor::Tensor;
+
+    /// A toy trainer with one live and one deliberately dead parameter.
+    struct HalfDead {
+        live: Param,
+        dead: Param,
+        opt: Sgd,
+    }
+
+    impl HalfDead {
+        fn new() -> Self {
+            let live = Param::new("live", Tensor::from_vec(vec![1.0, 2.0], &[2]));
+            let dead = Param::new("dead", Tensor::from_vec(vec![3.0, 4.0], &[2]));
+            let opt = Sgd::new(vec![live.clone(), dead.clone()], 0.1);
+            HalfDead { live, dead, opt }
+        }
+    }
+
+    impl Trainer for HalfDead {
+        fn train_epoch(&mut self) -> f32 {
+            let mut g = Graph::new();
+            let x = g.param(&self.live);
+            // `dead` never enters the graph.
+            let sq = g.square(x);
+            let loss = g.sum(sq);
+            let out = g.value(loss).item();
+            g.backward(loss);
+            self.opt.step();
+            self.opt.zero_grad();
+            out
+        }
+
+        fn evaluate(&mut self) -> f64 {
+            0.0
+        }
+
+        fn param_count(&self) -> usize {
+            self.live.len() + self.dead.len()
+        }
+
+        fn params(&self) -> Vec<Param> {
+            self.opt.params().to_vec()
+        }
+    }
+
+    #[test]
+    fn dead_parameter_is_flagged_and_live_is_not() {
+        let mut t = HalfDead::new();
+        let diags = probe_trainer("toy", &mut t);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "dead-parameter");
+        assert!(diags[0].expected.contains("dead"));
+    }
+
+    #[test]
+    fn gradcheck_coverage_is_complete_in_this_repo() {
+        let diags = check_gradcheck_coverage();
+        assert!(
+            diags.is_empty(),
+            "uncovered ops: {:?}",
+            diags.iter().map(|d| &d.expected).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn missing_source_tree_skips_gracefully() {
+        assert!(check_gradcheck_coverage_in(Path::new("/nonexistent")).is_empty());
+    }
+}

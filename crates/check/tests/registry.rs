@@ -1,0 +1,56 @@
+//! Whole-registry acceptance tests: every registered benchmark must pass
+//! every static rule, and the independent count derivation must agree
+//! with `aibench-opcount` exactly.
+
+use aibench::Registry;
+use aibench_check::{counts, shape, trace};
+use proptest::prelude::*;
+
+#[test]
+fn every_registered_spec_is_shape_consistent() {
+    for b in Registry::all().benchmarks() {
+        let diags = shape::check_spec(b.id.code(), &b.spec());
+        assert!(diags.is_empty(), "{}: {:?}", b.id.code(), diags);
+    }
+}
+
+#[test]
+fn derived_counts_match_opcount_exactly_for_every_benchmark() {
+    for b in Registry::all().benchmarks() {
+        let spec = b.spec();
+        let diags = counts::verify_spec(b.id.code(), &spec);
+        assert!(diags.is_empty(), "{}: {:?}", b.id.code(), diags);
+        // Totals are integer-exact, not approximately equal.
+        let ours = counts::derive_spec(&spec);
+        let theirs = aibench_opcount::count(&spec);
+        assert_eq!(ours.params, theirs.params as u128, "{} params", b.id.code());
+        assert_eq!(ours.flops as f64, theirs.flops, "{} flops", b.id.code());
+    }
+}
+
+#[test]
+fn every_registered_benchmark_passes_trace_lints() {
+    for b in Registry::all().benchmarks() {
+        let diags = trace::check_benchmark(b.id.code(), &b.spec());
+        assert!(diags.is_empty(), "{}: {:?}", b.id.code(), diags);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Sampled form of the exact-agreement contract: whichever benchmark
+    // and layer the sampler lands on, the independent per-layer
+    // derivation equals opcount's to the bit.
+    #[test]
+    fn sampled_layer_counts_agree_with_opcount(bench_idx in 0usize..24, salt in 0usize..1000) {
+        let registry = Registry::all();
+        let b = &registry.benchmarks()[bench_idx % registry.benchmarks().len()];
+        let spec = b.spec();
+        let layer = &spec.layers[salt % spec.layers.len()];
+        let ours = counts::derive_layer(&layer.kind);
+        let theirs = aibench_opcount::count_layer(&layer.kind);
+        prop_assert_eq!(ours.params, theirs.params as u128);
+        prop_assert_eq!(ours.flops as f64, theirs.flops);
+    }
+}

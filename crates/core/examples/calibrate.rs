@@ -10,16 +10,33 @@ use aibench::runner::{run_to_quality, RunConfig};
 
 fn main() {
     let r = Registry::all();
-    let cfg = RunConfig { max_epochs: 45, eval_every: 1 };
+    let cfg = RunConfig {
+        max_epochs: 45,
+        eval_every: 1,
+    };
     for b in r.benchmarks() {
-        if !b.id.is_aibench() && !matches!(b.id.code(), "MLPerf-OD-Heavy" | "MLPerf-OD-Light" | "MLPerf-Trans-Rec" | "MLPerf-RL") {
+        if !b.id.is_aibench()
+            && !matches!(
+                b.id.code(),
+                "MLPerf-OD-Heavy" | "MLPerf-OD-Light" | "MLPerf-Trans-Rec" | "MLPerf-RL"
+            )
+        {
             continue; // shared instances already measured on the AIBench side
         }
         let res = run_to_quality(b, 1, &cfg);
-        let qs: Vec<String> = res.quality_trace.iter()
+        let qs: Vec<String> = res
+            .quality_trace
+            .iter()
             .filter(|(e, _)| e % 5 == 0 || *e == 1)
-            .map(|(e, q)| format!("e{e}:{q:.3}")).collect();
-        println!("{:<22} target {:<9} conv@{:?} final {:.3} | {}",
-                 b.id.code(), b.target.to_string(), res.epochs_to_target, res.final_quality, qs.join(" "));
+            .map(|(e, q)| format!("e{e}:{q:.3}"))
+            .collect();
+        println!(
+            "{:<22} target {:<9} conv@{:?} final {:.3} | {}",
+            b.id.code(),
+            b.target.to_string(),
+            res.epochs_to_target,
+            res.final_quality,
+            qs.join(" ")
+        );
     }
 }

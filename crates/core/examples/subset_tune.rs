@@ -8,16 +8,26 @@
 use aibench_models::scaled::*;
 use aibench_models::Trainer;
 
-fn epochs_to(f: impl Fn(u64) -> Box<dyn Trainer>, target: f64, higher: bool, seeds: u64, cap: usize) -> Vec<usize> {
-    (1..=seeds).map(|s| {
-        let mut t = f(s);
-        for e in 1..=cap {
-            t.train_epoch();
-            let q = t.evaluate();
-            if (higher && q >= target) || (!higher && q <= target) { return e; }
-        }
-        cap
-    }).collect()
+fn epochs_to(
+    f: impl Fn(u64) -> Box<dyn Trainer>,
+    target: f64,
+    higher: bool,
+    seeds: u64,
+    cap: usize,
+) -> Vec<usize> {
+    (1..=seeds)
+        .map(|s| {
+            let mut t = f(s);
+            for e in 1..=cap {
+                t.train_epoch();
+                let q = t.evaluate();
+                if (higher && q >= target) || (!higher && q <= target) {
+                    return e;
+                }
+            }
+            cap
+        })
+        .collect()
 }
 
 fn cov(e: &[usize]) -> f64 {
@@ -28,11 +38,23 @@ fn cov(e: &[usize]) -> f64 {
 
 fn main() {
     for target in [0.88, 0.90, 0.93] {
-        let e = epochs_to(|s| Box::new(ImageClassification::new(s)), target, true, 5, 45);
+        let e = epochs_to(
+            |s| Box::new(ImageClassification::new(s)),
+            target,
+            true,
+            5,
+            45,
+        );
         println!("C1 target {target}: {e:?} cov {:.1}%", cov(&e));
     }
     for target in [0.30, 0.40, 0.50] {
-        let e = epochs_to(|s| Box::new(ObjectDetection::new(s, DetectionConfig::aibench())), target, true, 5, 45);
+        let e = epochs_to(
+            |s| Box::new(ObjectDetection::new(s, DetectionConfig::aibench())),
+            target,
+            true,
+            5,
+            45,
+        );
         println!("C9 target {target}: {e:?} cov {:.1}%", cov(&e));
     }
     for target in [0.25, 0.30, 0.35] {

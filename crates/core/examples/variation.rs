@@ -11,13 +11,19 @@ use aibench::runner::RunConfig;
 
 fn main() {
     let r = Registry::aibench();
-    let cfg = RunConfig { max_epochs: 45, eval_every: 1 };
+    let cfg = RunConfig {
+        max_epochs: 45,
+        eval_every: 1,
+    };
     for b in r.benchmarks() {
         let repeats = b.paper.repeats.unwrap_or(4) as usize;
         let rep = measure_variation(b, repeats, &cfg);
         println!(
             "{:<12} runs {} epochs {:?} cov {:?} paper {:?}",
-            b.id.code(), rep.runs, rep.epochs, rep.variation_pct.map(|v| format!("{v:.2}%")),
+            b.id.code(),
+            rep.runs,
+            rep.epochs,
+            rep.variation_pct.map(|v| format!("{v:.2}%")),
             b.paper.variation_pct
         );
     }

@@ -24,7 +24,10 @@ pub struct ModelCharacteristics {
 /// their FLOPs vary per epoch (the paper excludes the reinforcement-
 /// learning models: AIBench's NAS and MLPerf's Game).
 pub fn excluded_from_model_characteristics(id: BenchmarkId) -> bool {
-    matches!(id, BenchmarkId::NeuralArchitectureSearch | BenchmarkId::MlperfReinforcementLearning)
+    matches!(
+        id,
+        BenchmarkId::NeuralArchitectureSearch | BenchmarkId::MlperfReinforcementLearning
+    )
 }
 
 /// Computes params/FLOPs for every (non-excluded) benchmark of a registry.
@@ -48,7 +51,10 @@ pub fn model_characteristics(registry: &Registry) -> Vec<ModelCharacteristics> {
 
 /// Simulated micro-architectural metric vectors for every benchmark
 /// (Figure 3's radar data and Figure 4's clustering features).
-pub fn microarch_vectors(registry: &Registry, device: DeviceConfig) -> Vec<(String, MicroarchMetrics)> {
+pub fn microarch_vectors(
+    registry: &Registry,
+    device: DeviceConfig,
+) -> Vec<(String, MicroarchMetrics)> {
     let sim = Simulator::new(device);
     registry
         .benchmarks()
@@ -89,15 +95,20 @@ pub fn combined_features(
             (b.id.code().to_string(), f)
         })
         .collect();
-    let mut normalized =
-        aibench_analysis::min_max_normalize(&raw.iter().map(|(_, f)| f.clone()).collect::<Vec<_>>());
+    let mut normalized = aibench_analysis::min_max_normalize(
+        &raw.iter().map(|(_, f)| f.clone()).collect::<Vec<_>>(),
+    );
     // The FLOPs distribution is heavy-tailed (0.03 M to 110 G), so its
     // min-max image bunches most models near the top and a couple of tiny
     // ones at the bottom; a rank transform spreads the axis evenly, which
     // is what "small / medium / large computational cost" means in
     // Section 5.4.2.
     let mut order: Vec<usize> = (0..raw.len()).collect();
-    order.sort_by(|&a, &b| raw[a].1[6].partial_cmp(&raw[b].1[6]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        raw[a].1[6]
+            .partial_cmp(&raw[b].1[6])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     for (rank, &idx) in order.iter().enumerate() {
         normalized[idx][6] = rank as f64 / (raw.len().max(2) - 1) as f64;
     }
@@ -130,9 +141,15 @@ mod tests {
 
     #[test]
     fn exclusions_match_paper() {
-        assert!(excluded_from_model_characteristics(BenchmarkId::NeuralArchitectureSearch));
-        assert!(excluded_from_model_characteristics(BenchmarkId::MlperfReinforcementLearning));
-        assert!(!excluded_from_model_characteristics(BenchmarkId::ImageClassification));
+        assert!(excluded_from_model_characteristics(
+            BenchmarkId::NeuralArchitectureSearch
+        ));
+        assert!(excluded_from_model_characteristics(
+            BenchmarkId::MlperfReinforcementLearning
+        ));
+        assert!(!excluded_from_model_characteristics(
+            BenchmarkId::ImageClassification
+        ));
     }
 
     #[test]

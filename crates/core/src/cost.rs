@@ -61,8 +61,11 @@ pub fn training_costs(
 /// of `costs` (the paper: the subset shortens AIBench's cost by 41%).
 pub fn subset_saving_pct(costs: &[CostEntry], subset_codes: &[&str]) -> f64 {
     let total: f64 = costs.iter().map(|c| c.total_hours).sum();
-    let subset: f64 =
-        costs.iter().filter(|c| subset_codes.contains(&c.code.as_str())).map(|c| c.total_hours).sum();
+    let subset: f64 = costs
+        .iter()
+        .filter(|c| subset_codes.contains(&c.code.as_str()))
+        .map(|c| c.total_hours)
+        .sum();
     if total <= 0.0 {
         0.0
     } else {
@@ -93,7 +96,13 @@ mod tests {
     fn image_classification_is_most_expensive_per_epoch_among_cnn_tasks() {
         let r = Registry::aibench();
         let costs = training_costs(&r, DeviceConfig::titan_xp(), |_| 1.0);
-        let get = |code: &str| costs.iter().find(|c| c.code == code).unwrap().sim_seconds_per_epoch;
+        let get = |code: &str| {
+            costs
+                .iter()
+                .find(|c| c.code == code)
+                .unwrap()
+                .sim_seconds_per_epoch
+        };
         // Table 6 shape: IC epoch cost dwarfs STN's.
         assert!(get("DC-AI-C1") > 100.0 * get("DC-AI-C15"));
     }

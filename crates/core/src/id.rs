@@ -145,8 +145,11 @@ mod tests {
 
     #[test]
     fn codes_are_unique() {
-        let mut codes: Vec<&str> =
-            BenchmarkId::AIBENCH.iter().chain(&BenchmarkId::MLPERF).map(|i| i.code()).collect();
+        let mut codes: Vec<&str> = BenchmarkId::AIBENCH
+            .iter()
+            .chain(&BenchmarkId::MLPERF)
+            .map(|i| i.code())
+            .collect();
         codes.sort_unstable();
         codes.dedup();
         assert_eq!(codes.len(), 24);

@@ -45,7 +45,7 @@ pub fn inference_metrics(benchmark: &Benchmark, device: &DeviceConfig) -> Infere
     let launches: usize = single.iter().map(|k| k.count).sum();
     let p50_s: f64 = single.iter().map(|k| execute(k, device).time_s).sum();
     // Server-side batching amortizes launch overhead.
-    let serving_batch = spec.batch_size.min(64).max(1);
+    let serving_batch = spec.batch_size.clamp(1, 64);
     let batched = lower_inference_iteration(&spec, serving_batch);
     let profiles: Vec<_> = batched.iter().map(|k| execute(k, device)).collect();
     let batch_s: f64 = profiles.iter().map(|p| p.time_s).sum();
@@ -62,7 +62,11 @@ pub fn inference_metrics(benchmark: &Benchmark, device: &DeviceConfig) -> Infere
 
 /// Inference reports for a whole registry.
 pub fn inference_table(registry: &Registry, device: &DeviceConfig) -> Vec<InferenceReport> {
-    registry.benchmarks().iter().map(|b| inference_metrics(b, device)).collect()
+    registry
+        .benchmarks()
+        .iter()
+        .map(|b| inference_metrics(b, device))
+        .collect()
 }
 
 #[cfg(test)]
@@ -88,7 +92,12 @@ mod tests {
         // the 1/p50 single-stream rate.
         let r = inference_metrics(registry.get("DC-AI-C1").unwrap(), &device);
         let single_stream_qps = 1e3 / r.latency_p50_ms;
-        assert!(r.throughput_qps > single_stream_qps, "{} vs {}", r.throughput_qps, single_stream_qps);
+        assert!(
+            r.throughput_qps > single_stream_qps,
+            "{} vs {}",
+            r.throughput_qps,
+            single_stream_qps
+        );
     }
 
     #[test]

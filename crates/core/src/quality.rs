@@ -24,12 +24,18 @@ pub struct QualityTarget {
 impl QualityTarget {
     /// A target where larger values are better (accuracy, mAP, HR@K, …).
     pub fn at_least(value: f64) -> Self {
-        QualityTarget { value, direction: Direction::HigherBetter }
+        QualityTarget {
+            value,
+            direction: Direction::HigherBetter,
+        }
     }
 
     /// A target where smaller values are better (WER, MSE, perplexity, …).
     pub fn at_most(value: f64) -> Self {
-        QualityTarget { value, direction: Direction::LowerBetter }
+        QualityTarget {
+            value,
+            direction: Direction::LowerBetter,
+        }
     }
 
     /// Whether `quality` satisfies the target.

@@ -94,12 +94,16 @@ pub struct Registry {
 impl Registry {
     /// The seventeen AIBench component benchmarks, in DC-AI-C order.
     pub fn aibench() -> Self {
-        Registry { benchmarks: aibench_benchmarks() }
+        Registry {
+            benchmarks: aibench_benchmarks(),
+        }
     }
 
     /// The seven MLPerf training baselines.
     pub fn mlperf() -> Self {
-        Registry { benchmarks: mlperf_benchmarks() }
+        Registry {
+            benchmarks: mlperf_benchmarks(),
+        }
     }
 
     /// All twenty-four benchmarks (AIBench then MLPerf).
@@ -135,7 +139,13 @@ fn aibench_benchmarks() -> Vec<Benchmark> {
             metric: "accuracy",
             target: QualityTarget::at_least(0.88),
             has_accepted_metric: true,
-            paper: facts!("74.9% (accuracy)", Some(1.12), Some(5), Some(10516.91), Some(130.0)),
+            paper: facts!(
+                "74.9% (accuracy)",
+                Some(1.12),
+                Some(5),
+                Some(10516.91),
+                Some(130.0)
+            ),
             factory: |seed| Box::new(ImageClassification::new(seed)),
             spec: catalog::image_classification,
         },
@@ -159,7 +169,13 @@ fn aibench_benchmarks() -> Vec<Benchmark> {
             metric: "token accuracy",
             target: QualityTarget::at_least(0.75),
             has_accepted_metric: true,
-            paper: facts!("55% (accuracy)", Some(9.38), Some(6), Some(64.83), Some(1.72)),
+            paper: facts!(
+                "55% (accuracy)",
+                Some(9.38),
+                Some(6),
+                Some(64.83),
+                Some(1.72)
+            ),
             factory: |seed| Box::new(Translation::new(seed, TranslationArch::Transformer)),
             spec: catalog::text_to_text,
         },
@@ -171,7 +187,13 @@ fn aibench_benchmarks() -> Vec<Benchmark> {
             metric: "perplexity",
             target: QualityTarget::at_most(2.4),
             has_accepted_metric: true,
-            paper: facts!("4.2 (perplexity)", Some(23.53), Some(5), Some(845.02), Some(10.21)),
+            paper: facts!(
+                "4.2 (perplexity)",
+                Some(23.53),
+                Some(5),
+                Some(845.02),
+                Some(10.21)
+            ),
             factory: |seed| Box::new(ImageToText::new(seed)),
             spec: catalog::image_to_text,
         },
@@ -195,7 +217,13 @@ fn aibench_benchmarks() -> Vec<Benchmark> {
             metric: "WER",
             target: QualityTarget::at_most(0.03),
             has_accepted_metric: true,
-            paper: facts!("5.33% (WER)", Some(12.08), Some(4), Some(14326.86), Some(42.78)),
+            paper: facts!(
+                "5.33% (WER)",
+                Some(12.08),
+                Some(4),
+                Some(14326.86),
+                Some(42.78)
+            ),
             factory: |seed| Box::new(SpeechRecognition::new(seed)),
             spec: catalog::speech_recognition,
         },
@@ -207,7 +235,13 @@ fn aibench_benchmarks() -> Vec<Benchmark> {
             metric: "verification accuracy",
             target: QualityTarget::at_least(0.85),
             has_accepted_metric: true,
-            paper: facts!("98.97% (accuracy)", Some(5.73), Some(8), Some(214.73), Some(3.43)),
+            paper: facts!(
+                "98.97% (accuracy)",
+                Some(5.73),
+                Some(8),
+                Some(214.73),
+                Some(3.43)
+            ),
             factory: |seed| Box::new(FaceEmbedding::new(seed)),
             spec: catalog::face_embedding,
         },
@@ -219,7 +253,13 @@ fn aibench_benchmarks() -> Vec<Benchmark> {
             metric: "accuracy",
             target: QualityTarget::at_least(0.45),
             has_accepted_metric: true,
-            paper: facts!("94.64% (accuracy)", Some(38.46), Some(4), Some(36.99), Some(12.02)),
+            paper: facts!(
+                "94.64% (accuracy)",
+                Some(38.46),
+                Some(4),
+                Some(36.99),
+                Some(12.02)
+            ),
             factory: |seed| Box::new(Face3dRecognition::new(seed)),
             spec: catalog::face_recognition_3d,
         },
@@ -243,7 +283,13 @@ fn aibench_benchmarks() -> Vec<Benchmark> {
             metric: "HR@10",
             target: QualityTarget::at_least(0.68),
             has_accepted_metric: true,
-            paper: facts!("63.5% (HR@10)", Some(9.95), Some(5), Some(36.72), Some(0.16)),
+            paper: facts!(
+                "63.5% (HR@10)",
+                Some(9.95),
+                Some(5),
+                Some(36.72),
+                Some(0.16)
+            ),
             factory: |seed| Box::new(Recommendation::new(seed)),
             spec: catalog::recommendation,
         },
@@ -267,7 +313,13 @@ fn aibench_benchmarks() -> Vec<Benchmark> {
             metric: "MS-SSIM",
             target: QualityTarget::at_least(0.90),
             has_accepted_metric: true,
-            paper: facts!("0.99 (MS-SSIM)", Some(22.49), Some(4), Some(763.44), Some(5.67)),
+            paper: facts!(
+                "0.99 (MS-SSIM)",
+                Some(22.49),
+                Some(4),
+                Some(763.44),
+                Some(5.67)
+            ),
             factory: |seed| Box::new(ImageCompression::new(seed)),
             spec: catalog::image_compression,
         },
@@ -291,7 +343,13 @@ fn aibench_benchmarks() -> Vec<Benchmark> {
             metric: "Rouge-L",
             target: QualityTarget::at_least(60.0),
             has_accepted_metric: true,
-            paper: facts!("41 (Rouge-L)", Some(24.72), Some(5), Some(1923.33), Some(6.41)),
+            paper: facts!(
+                "41 (Rouge-L)",
+                Some(24.72),
+                Some(5),
+                Some(1923.33),
+                Some(6.41)
+            ),
             factory: |seed| Box::new(TextSummarization::new(seed)),
             spec: catalog::text_summarization,
         },
@@ -303,7 +361,13 @@ fn aibench_benchmarks() -> Vec<Benchmark> {
             metric: "accuracy",
             target: QualityTarget::at_least(0.90),
             has_accepted_metric: true,
-            paper: facts!("99% (accuracy)", Some(7.29), Some(4), Some(6.38), Some(0.06)),
+            paper: facts!(
+                "99% (accuracy)",
+                Some(7.29),
+                Some(4),
+                Some(6.38),
+                Some(0.06)
+            ),
             factory: |seed| Box::new(SpatialTransformer::new(seed)),
             spec: catalog::spatial_transformer,
         },
@@ -315,7 +379,13 @@ fn aibench_benchmarks() -> Vec<Benchmark> {
             metric: "precision@5",
             target: QualityTarget::at_least(0.25),
             has_accepted_metric: true,
-            paper: facts!("14.58% (accuracy)", Some(1.90), Some(4), Some(74.16), Some(0.47)),
+            paper: facts!(
+                "14.58% (accuracy)",
+                Some(1.90),
+                Some(4),
+                Some(74.16),
+                Some(0.47)
+            ),
             factory: |seed| Box::new(LearningToRank::new(seed)),
             spec: catalog::learning_to_rank,
         },
@@ -327,7 +397,13 @@ fn aibench_benchmarks() -> Vec<Benchmark> {
             metric: "perplexity",
             target: QualityTarget::at_most(7.0),
             has_accepted_metric: true,
-            paper: facts!("100 (perplexity)", Some(6.15), Some(6), Some(932.79), Some(7.47)),
+            paper: facts!(
+                "100 (perplexity)",
+                Some(6.15),
+                Some(6),
+                Some(932.79),
+                Some(7.47)
+            ),
             factory: |seed| Box::new(NeuralArchitectureSearch::new(seed)),
             spec: catalog::neural_architecture_search,
         },
@@ -446,9 +522,21 @@ mod tests {
     #[test]
     fn gan_benchmarks_lack_accepted_metrics() {
         let r = Registry::aibench();
-        assert!(!r.by_id(BenchmarkId::ImageGeneration).unwrap().has_accepted_metric);
-        assert!(!r.by_id(BenchmarkId::ImageToImage).unwrap().has_accepted_metric);
-        let accepted = r.benchmarks().iter().filter(|b| b.has_accepted_metric).count();
+        assert!(
+            !r.by_id(BenchmarkId::ImageGeneration)
+                .unwrap()
+                .has_accepted_metric
+        );
+        assert!(
+            !r.by_id(BenchmarkId::ImageToImage)
+                .unwrap()
+                .has_accepted_metric
+        );
+        let accepted = r
+            .benchmarks()
+            .iter()
+            .filter(|b| b.has_accepted_metric)
+            .count();
         assert_eq!(accepted, 15);
     }
 
@@ -471,8 +559,26 @@ mod tests {
     #[test]
     fn paper_variation_matches_table5() {
         let r = Registry::aibench();
-        assert_eq!(r.by_id(BenchmarkId::FaceRecognition3d).unwrap().paper.variation_pct, Some(38.46));
-        assert_eq!(r.by_id(BenchmarkId::ObjectDetection).unwrap().paper.variation_pct, Some(0.0));
-        assert_eq!(r.by_id(BenchmarkId::ImageGeneration).unwrap().paper.variation_pct, None);
+        assert_eq!(
+            r.by_id(BenchmarkId::FaceRecognition3d)
+                .unwrap()
+                .paper
+                .variation_pct,
+            Some(38.46)
+        );
+        assert_eq!(
+            r.by_id(BenchmarkId::ObjectDetection)
+                .unwrap()
+                .paper
+                .variation_pct,
+            Some(0.0)
+        );
+        assert_eq!(
+            r.by_id(BenchmarkId::ImageGeneration)
+                .unwrap()
+                .paper
+                .variation_pct,
+            None
+        );
     }
 }

@@ -2,7 +2,7 @@
 //! epochs needed to reach a convergent quality across repeated runs.
 
 use aibench_analysis::{coefficient_of_variation, mean};
-use crossbeam::thread;
+use std::thread;
 
 use crate::registry::Benchmark;
 use crate::runner::{run_to_quality, RunConfig, RunResult};
@@ -30,23 +30,40 @@ pub struct VariationReport {
 /// Benchmarks without a widely accepted metric (the GAN tasks) return
 /// `variation_pct: None`, mirroring the paper's "Not available" entries.
 /// Runs execute in parallel worker threads.
-pub fn measure_variation(benchmark: &Benchmark, repeats: usize, config: &RunConfig) -> VariationReport {
+pub fn measure_variation(
+    benchmark: &Benchmark,
+    repeats: usize,
+    config: &RunConfig,
+) -> VariationReport {
     let results: Vec<RunResult> = thread::scope(|s| {
         let handles: Vec<_> = (1..=repeats as u64)
-            .map(|seed| s.spawn(move |_| run_to_quality(benchmark, seed, config)))
+            .map(|seed| s.spawn(move || run_to_quality(benchmark, seed, config)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("runner thread panicked")).collect()
-    })
-    .expect("thread scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("runner thread panicked"))
+            .collect()
+    });
 
-    let epochs: Vec<f64> =
-        results.iter().filter_map(|r| r.epochs_to_target).map(|e| e as f64).collect();
+    let epochs: Vec<f64> = results
+        .iter()
+        .filter_map(|r| r.epochs_to_target)
+        .map(|e| e as f64)
+        .collect();
     let usable = benchmark.has_accepted_metric && epochs.len() >= 2;
     VariationReport {
         code: benchmark.id.code().to_string(),
         runs: repeats,
-        variation_pct: if usable { Some(coefficient_of_variation(&epochs)) } else { None },
-        mean_epochs: if epochs.is_empty() { None } else { Some(mean(&epochs)) },
+        variation_pct: if usable {
+            Some(coefficient_of_variation(&epochs))
+        } else {
+            None
+        },
+        mean_epochs: if epochs.is_empty() {
+            None
+        } else {
+            Some(mean(&epochs))
+        },
         epochs,
     }
 }
@@ -60,7 +77,14 @@ mod tests {
     fn gan_benchmark_reports_not_available() {
         let r = Registry::aibench();
         let b = r.get("DC-AI-C2").unwrap();
-        let report = measure_variation(b, 2, &RunConfig { max_epochs: 1, eval_every: 1 });
+        let report = measure_variation(
+            b,
+            2,
+            &RunConfig {
+                max_epochs: 1,
+                eval_every: 1,
+            },
+        );
         assert_eq!(report.variation_pct, None);
     }
 
@@ -68,9 +92,20 @@ mod tests {
     fn variation_computed_for_converging_benchmark() {
         let r = Registry::aibench();
         let b = r.get("DC-AI-C15").unwrap();
-        let report = measure_variation(b, 3, &RunConfig { max_epochs: 40, eval_every: 1 });
+        let report = measure_variation(
+            b,
+            3,
+            &RunConfig {
+                max_epochs: 40,
+                eval_every: 1,
+            },
+        );
         assert_eq!(report.runs, 3);
-        assert!(report.variation_pct.is_some(), "no converged runs: {:?}", report.epochs);
+        assert!(
+            report.variation_pct.is_some(),
+            "no converged runs: {:?}",
+            report.epochs
+        );
         assert!(report.variation_pct.unwrap() >= 0.0);
     }
 }

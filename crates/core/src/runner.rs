@@ -17,7 +17,10 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { max_epochs: 60, eval_every: 1 }
+        RunConfig {
+            max_epochs: 60,
+            eval_every: 1,
+        }
     }
 }
 
@@ -94,7 +97,14 @@ mod tests {
     fn session_stops_at_cap() {
         let r = Registry::aibench();
         let b = r.get("DC-AI-C15").unwrap();
-        let res = run_to_quality(b, 1, &RunConfig { max_epochs: 2, eval_every: 1 });
+        let res = run_to_quality(
+            b,
+            1,
+            &RunConfig {
+                max_epochs: 2,
+                eval_every: 1,
+            },
+        );
         assert_eq!(res.epochs_run, 2);
         assert_eq!(res.quality_trace.len(), 2);
         assert_eq!(res.loss_trace.len(), 2);
@@ -105,8 +115,19 @@ mod tests {
         // Spatial transformer converges quickly; give it room.
         let r = Registry::aibench();
         let b = r.get("DC-AI-C15").unwrap();
-        let res = run_to_quality(b, 2, &RunConfig { max_epochs: 40, eval_every: 1 });
-        assert!(res.converged(), "did not converge: final {:.3}", res.final_quality);
+        let res = run_to_quality(
+            b,
+            2,
+            &RunConfig {
+                max_epochs: 40,
+                eval_every: 1,
+            },
+        );
+        assert!(
+            res.converged(),
+            "did not converge: final {:.3}",
+            res.final_quality
+        );
         assert_eq!(res.epochs_to_target, Some(res.epochs_run));
         assert!(b.target.met_by(res.final_quality));
     }
@@ -115,7 +136,14 @@ mod tests {
     fn eval_every_thins_the_trace() {
         let r = Registry::aibench();
         let b = r.get("DC-AI-C15").unwrap();
-        let res = run_to_quality(b, 1, &RunConfig { max_epochs: 4, eval_every: 2 });
+        let res = run_to_quality(
+            b,
+            1,
+            &RunConfig {
+                max_epochs: 4,
+                eval_every: 2,
+            },
+        );
         assert!(res.quality_trace.len() <= 2);
     }
 }

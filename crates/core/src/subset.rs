@@ -66,7 +66,11 @@ pub fn select_subset(candidates: &[SubsetCandidate], k: usize, seed: u64) -> Sub
         })
         .collect();
     eligible.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-    assert!(eligible.len() >= k, "only {} eligible candidates for a subset of {k}", eligible.len());
+    assert!(
+        eligible.len() >= k,
+        "only {} eligible candidates for a subset of {k}",
+        eligible.len()
+    );
 
     // Greedy: walk candidates from most repeatable, taking one per
     // cluster, so the subset maximizes diversity at minimum variation.

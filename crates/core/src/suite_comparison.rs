@@ -136,7 +136,11 @@ mod tests {
         assert_eq!(aibench.train_count(), 17);
         assert!(aibench.has_subset);
         for other in &all[1..] {
-            assert!(other.train_count() < aibench.train_count(), "{}", other.name);
+            assert!(
+                other.train_count() < aibench.train_count(),
+                "{}",
+                other.name
+            );
             assert!(!other.has_subset, "{}", other.name);
         }
     }

@@ -25,7 +25,11 @@ pub fn batches(len: usize, batch_size: usize, rng: &mut Rng) -> Vec<Vec<usize>> 
 /// Yields sequential (unshuffled) index mini-batches over `0..len`.
 pub fn sequential_batches(len: usize, batch_size: usize) -> Vec<Vec<usize>> {
     assert!(batch_size > 0, "batch_size must be positive");
-    (0..len).collect::<Vec<_>>().chunks(batch_size).map(|c| c.to_vec()).collect()
+    (0..len)
+        .collect::<Vec<_>>()
+        .chunks(batch_size)
+        .map(|c| c.to_vec())
+        .collect()
 }
 
 #[cfg(test)]

@@ -18,7 +18,12 @@ pub struct BoundingBox {
 impl BoundingBox {
     /// Creates a box; coordinates are normalized so `x1 <= x2`, `y1 <= y2`.
     pub fn new(x1: f32, y1: f32, x2: f32, y2: f32) -> Self {
-        BoundingBox { x1: x1.min(x2), y1: y1.min(y2), x2: x1.max(x2), y2: y1.max(y2) }
+        BoundingBox {
+            x1: x1.min(x2),
+            y1: y1.min(y2),
+            x2: x1.max(x2),
+            y2: y1.max(y2),
+        }
     }
 
     /// Box area.
@@ -66,12 +71,19 @@ pub fn mean_average_precision(
 ) -> f64 {
     let mut aps = Vec::new();
     for class in 0..num_classes {
-        let total_gt: usize = ground_truth.iter().map(|g| g.iter().filter(|(c, _)| *c == class).count()).sum();
+        let total_gt: usize = ground_truth
+            .iter()
+            .map(|g| g.iter().filter(|(c, _)| *c == class).count())
+            .sum();
         if total_gt == 0 {
             continue;
         }
         let mut dets: Vec<&Detection> = detections.iter().filter(|d| d.class == class).collect();
-        dets.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        dets.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         // Track which ground-truth boxes have been matched.
         let mut matched: Vec<Vec<bool>> =
             ground_truth.iter().map(|g| vec![false; g.len()]).collect();
@@ -147,7 +159,12 @@ mod tests {
     #[test]
     fn perfect_detections_score_one() {
         let gt = vec![vec![(0usize, BoundingBox::new(0.0, 0.0, 4.0, 4.0))]];
-        let dets = vec![Detection { image: 0, class: 0, score: 0.9, bbox: BoundingBox::new(0.0, 0.0, 4.0, 4.0) }];
+        let dets = vec![Detection {
+            image: 0,
+            class: 0,
+            score: 0.9,
+            bbox: BoundingBox::new(0.0, 0.0, 4.0, 4.0),
+        }];
         let map = mean_average_precision(&dets, &gt, 0.5, 1);
         assert!((map - 1.0).abs() < 1e-9);
     }
@@ -158,7 +175,12 @@ mod tests {
             (0usize, BoundingBox::new(0.0, 0.0, 4.0, 4.0)),
             (0usize, BoundingBox::new(10.0, 10.0, 14.0, 14.0)),
         ]];
-        let dets = vec![Detection { image: 0, class: 0, score: 0.9, bbox: BoundingBox::new(0.0, 0.0, 4.0, 4.0) }];
+        let dets = vec![Detection {
+            image: 0,
+            class: 0,
+            score: 0.9,
+            bbox: BoundingBox::new(0.0, 0.0, 4.0, 4.0),
+        }];
         let map = mean_average_precision(&dets, &gt, 0.5, 1);
         assert!((map - 0.5).abs() < 1e-9);
     }
@@ -167,8 +189,18 @@ mod tests {
     fn false_positive_before_true_positive_hurts() {
         let gt = vec![vec![(0usize, BoundingBox::new(0.0, 0.0, 4.0, 4.0))]];
         let dets = vec![
-            Detection { image: 0, class: 0, score: 0.95, bbox: BoundingBox::new(20.0, 20.0, 24.0, 24.0) },
-            Detection { image: 0, class: 0, score: 0.90, bbox: BoundingBox::new(0.0, 0.0, 4.0, 4.0) },
+            Detection {
+                image: 0,
+                class: 0,
+                score: 0.95,
+                bbox: BoundingBox::new(20.0, 20.0, 24.0, 24.0),
+            },
+            Detection {
+                image: 0,
+                class: 0,
+                score: 0.90,
+                bbox: BoundingBox::new(0.0, 0.0, 4.0, 4.0),
+            },
         ];
         let map = mean_average_precision(&dets, &gt, 0.5, 1);
         assert!((map - 0.5).abs() < 1e-9);
@@ -179,8 +211,18 @@ mod tests {
         let gt = vec![vec![(0usize, BoundingBox::new(0.0, 0.0, 4.0, 4.0))]];
         let b = BoundingBox::new(0.0, 0.0, 4.0, 4.0);
         let dets = vec![
-            Detection { image: 0, class: 0, score: 0.95, bbox: b },
-            Detection { image: 0, class: 0, score: 0.90, bbox: b },
+            Detection {
+                image: 0,
+                class: 0,
+                score: 0.95,
+                bbox: b,
+            },
+            Detection {
+                image: 0,
+                class: 0,
+                score: 0.90,
+                bbox: b,
+            },
         ];
         let map = mean_average_precision(&dets, &gt, 0.5, 1);
         assert!((map - 1.0).abs() < 1e-9);
@@ -189,7 +231,12 @@ mod tests {
     #[test]
     fn classes_without_gt_are_skipped() {
         let gt = vec![vec![(1usize, BoundingBox::new(0.0, 0.0, 4.0, 4.0))]];
-        let dets = vec![Detection { image: 0, class: 1, score: 0.9, bbox: BoundingBox::new(0.0, 0.0, 4.0, 4.0) }];
+        let dets = vec![Detection {
+            image: 0,
+            class: 1,
+            score: 0.9,
+            bbox: BoundingBox::new(0.0, 0.0, 4.0, 4.0),
+        }];
         let map = mean_average_precision(&dets, &gt, 0.5, 5);
         assert!((map - 1.0).abs() < 1e-9);
     }

@@ -46,7 +46,8 @@ pub fn ssim(a: &Tensor, b: &Tensor) -> f64 {
                 }
             }
             let (ma, mb, va, vb, cov) = window_stats(&wa, &wb);
-            let s = ((2.0 * ma * mb + C1) * (2.0 * cov + C2)) / ((ma * ma + mb * mb + C1) * (va + vb + C2));
+            let s = ((2.0 * ma * mb + C1) * (2.0 * cov + C2))
+                / ((ma * ma + mb * mb + C1) * (va + vb + C2));
             total += s;
             count += 1;
         }
@@ -83,9 +84,9 @@ pub fn ms_ssim(a: &Tensor, b: &Tensor, scales: usize) -> f64 {
     let mut cur_a = a.clone();
     let mut cur_b = b.clone();
     let mut result = 1.0f64;
-    for s in 0..usable {
+    for (s, &weight) in WEIGHTS.iter().enumerate().take(usable) {
         let sv = ssim(&cur_a, &cur_b).max(1e-6);
-        result *= sv.powf(WEIGHTS[s] / wsum);
+        result *= sv.powf(weight / wsum);
         if s + 1 < usable {
             if cur_a.shape()[0] < 16 || cur_a.shape()[1] < 16 {
                 break;
@@ -119,7 +120,11 @@ pub fn psnr(a: &Tensor, b: &Tensor) -> f64 {
 ///
 /// Panics if shapes differ.
 pub fn per_pixel_accuracy(pred: &Tensor, target: &Tensor) -> f64 {
-    assert_eq!(pred.shape(), target.shape(), "per_pixel_accuracy: shape mismatch");
+    assert_eq!(
+        pred.shape(),
+        target.shape(),
+        "per_pixel_accuracy: shape mismatch"
+    );
     let hits = pred
         .data()
         .iter()

@@ -60,7 +60,9 @@ pub fn ndcg_at_k(rankings: &[Vec<usize>], relevant: &[Vec<usize>], k: usize) -> 
             .filter(|(_, i)| rel.contains(i))
             .map(|(pos, _)| 1.0 / ((pos + 2) as f64).log2())
             .sum();
-        let ideal: f64 = (0..rel.len().min(k)).map(|pos| 1.0 / ((pos + 2) as f64).log2()).sum();
+        let ideal: f64 = (0..rel.len().min(k))
+            .map(|pos| 1.0 / ((pos + 2) as f64).log2())
+            .sum();
         total += dcg / ideal;
     }
     total / rankings.len() as f64

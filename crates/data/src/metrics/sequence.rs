@@ -27,10 +27,18 @@ pub fn edit_distance<T: PartialEq>(a: &[T], b: &[T]) -> usize {
 /// Panics if the corpora have different lengths or the references are all
 /// empty.
 pub fn word_error_rate<T: PartialEq>(references: &[Vec<T>], hypotheses: &[Vec<T>]) -> f64 {
-    assert_eq!(references.len(), hypotheses.len(), "WER: corpus length mismatch");
+    assert_eq!(
+        references.len(),
+        hypotheses.len(),
+        "WER: corpus length mismatch"
+    );
     let total_ref: usize = references.iter().map(Vec::len).sum();
     assert!(total_ref > 0, "WER: empty reference corpus");
-    let total_edits: usize = references.iter().zip(hypotheses).map(|(r, h)| edit_distance(r, h)).sum();
+    let total_edits: usize = references
+        .iter()
+        .zip(hypotheses)
+        .map(|(r, h)| edit_distance(r, h))
+        .sum();
     total_edits as f64 / total_ref as f64
 }
 
@@ -40,7 +48,11 @@ fn lcs_len<T: PartialEq>(a: &[T], b: &[T]) -> usize {
     let mut cur = vec![0usize; m + 1];
     for ai in a {
         for j in 1..=m {
-            cur[j] = if *ai == b[j - 1] { prev[j - 1] + 1 } else { prev[j].max(cur[j - 1]) };
+            cur[j] = if *ai == b[j - 1] {
+                prev[j - 1] + 1
+            } else {
+                prev[j].max(cur[j - 1])
+            };
         }
         std::mem::swap(&mut prev, &mut cur);
         cur.iter_mut().for_each(|v| *v = 0);
@@ -56,7 +68,11 @@ fn lcs_len<T: PartialEq>(a: &[T], b: &[T]) -> usize {
 ///
 /// Panics if corpus lengths differ.
 pub fn rouge_l<T: PartialEq>(references: &[Vec<T>], hypotheses: &[Vec<T>]) -> f64 {
-    assert_eq!(references.len(), hypotheses.len(), "Rouge-L: corpus length mismatch");
+    assert_eq!(
+        references.len(),
+        hypotheses.len(),
+        "Rouge-L: corpus length mismatch"
+    );
     let beta2 = 1.2f64 * 1.2;
     let mut total = 0.0;
     let mut count = 0usize;

@@ -22,7 +22,12 @@ impl CaptionDataset {
     /// Creates `len` scenes of `size`² with `shapes` distinct object kinds.
     pub fn new(shapes: usize, size: usize, len: usize, seed: u64) -> Self {
         assert!(size >= 12 && shapes >= 2, "degenerate caption task");
-        CaptionDataset { shapes, size, len, seed }
+        CaptionDataset {
+            shapes,
+            size,
+            len,
+            seed,
+        }
     }
 
     /// Number of scenes.
@@ -87,9 +92,9 @@ impl CaptionDataset {
                 let x = (cx + dx).saturating_sub(r).min(s - 1);
                 let (fy, fx) = (dy as i32 - r as i32, dx as i32 - r as i32);
                 let inside = match kind % 3 {
-                    0 => fy.abs() + fx.abs() <= r as i32,           // diamond
-                    1 => fy * fy + fx * fx <= (r * r) as i32,       // disc
-                    _ => fy.abs() <= (r / 2).max(1) as i32,         // bar
+                    0 => fy.abs() + fx.abs() <= r as i32,     // diamond
+                    1 => fy * fy + fx * fx <= (r * r) as i32, // disc
+                    _ => fy.abs() <= (r / 2).max(1) as i32,   // bar
                 };
                 if inside {
                     image.data_mut()[y * s + x] = intensity;

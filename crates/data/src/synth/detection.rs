@@ -33,9 +33,20 @@ impl DetectionDataset {
     pub fn new(classes: usize, size: usize, len: usize, seed: u64) -> Self {
         assert!(size >= 12, "detection scenes need size >= 12");
         let class_patterns = (0..classes)
-            .map(|c| (0.6 + 0.9 * (c as f32 / classes.max(1) as f32), 0.8 + 1.2 * c as f32))
+            .map(|c| {
+                (
+                    0.6 + 0.9 * (c as f32 / classes.max(1) as f32),
+                    0.8 + 1.2 * c as f32,
+                )
+            })
             .collect();
-        DetectionDataset { class_patterns, channels: 1, size, len, seed }
+        DetectionDataset {
+            class_patterns,
+            channels: 1,
+            size,
+            len,
+            seed,
+        }
     }
 
     /// Number of training scenes.
@@ -77,7 +88,10 @@ impl DetectionDataset {
                     image.data_mut()[y * s + x] = intensity + stripe + rng.normal_with(0.0, 0.05);
                 }
             }
-            objects.push((class, BoundingBox::new(x1 as f32, y1 as f32, (x1 + w) as f32, (y1 + h) as f32)));
+            objects.push((
+                class,
+                BoundingBox::new(x1 as f32, y1 as f32, (x1 + w) as f32, (y1 + h) as f32),
+            ));
         }
         DetectionSample { image, objects }
     }
@@ -140,7 +154,11 @@ mod tests {
         let s = ds.train_sample(0);
         let (_, b) = s.objects[0];
         let img = &s.image;
-        let inside = img.at(&[0, (b.y1 as usize + b.y2 as usize) / 2, (b.x1 as usize + b.x2 as usize) / 2]);
+        let inside = img.at(&[
+            0,
+            (b.y1 as usize + b.y2 as usize) / 2,
+            (b.x1 as usize + b.x2 as usize) / 2,
+        ]);
         assert!(inside > 0.3, "inside {inside}");
     }
 

@@ -22,8 +22,14 @@ impl GanDataset {
     pub fn new(dim: usize, latent: usize, seed: u64) -> Self {
         assert!(latent <= dim, "latent dim exceeds ambient dim");
         let mut rng = Rng::seed_from(seed);
-        let factors = Tensor::from_fn(&[latent, dim], |_| rng.normal_with(0.0, 1.0 / (latent as f32).sqrt()));
-        GanDataset { factors, dim, latent }
+        let factors = Tensor::from_fn(&[latent, dim], |_| {
+            rng.normal_with(0.0, 1.0 / (latent as f32).sqrt())
+        });
+        GanDataset {
+            factors,
+            dim,
+            latent,
+        }
     }
 
     /// Ambient sample dimension.

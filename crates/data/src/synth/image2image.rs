@@ -77,9 +77,10 @@ impl Image2ImageDataset {
             }
         }
         // Light sensor noise on the A domain.
-        let noisy = outline.zip(&Tensor::from_fn(outline.shape(), |_| rng.normal_with(0.0, 0.05)), |o, n| {
-            (o + n).clamp(0.0, 1.0)
-        });
+        let noisy = outline.zip(
+            &Tensor::from_fn(outline.shape(), |_| rng.normal_with(0.0, 0.05)),
+            |o, n| (o + n).clamp(0.0, 1.0),
+        );
         (noisy, fill)
     }
 

@@ -30,13 +30,27 @@ impl ImageClassDataset {
 
     /// Like [`ImageClassDataset::new`] with an explicit noise level —
     /// higher noise makes the task harder and convergence more variable.
-    pub fn with_noise(classes: usize, channels: usize, size: usize, len: usize, seed: u64, noise: f32) -> Self {
+    pub fn with_noise(
+        classes: usize,
+        channels: usize,
+        size: usize,
+        len: usize,
+        seed: u64,
+        noise: f32,
+    ) -> Self {
         assert!(classes > 0 && size > 0 && len > 0, "degenerate dataset");
         let mut rng = Rng::seed_from(seed);
         let prototypes = (0..classes)
             .map(|_| smooth_image(channels, size, &mut rng))
             .collect();
-        ImageClassDataset { prototypes, channels, size, len, noise, seed }
+        ImageClassDataset {
+            prototypes,
+            channels,
+            size,
+            len,
+            noise,
+            seed,
+        }
     }
 
     /// Number of training samples.
@@ -63,8 +77,11 @@ impl ImageClassDataset {
         let class = index % self.prototypes.len();
         let mut rng = Rng::seed_from(self.seed ^ salt ^ (index as u64).wrapping_mul(0x9E37_79B9));
         let proto = &self.prototypes[class];
-        let img = proto.map(|v| v) // clone via map keeps shape
-            .zip(&Tensor::from_fn(proto.shape(), |_| rng.normal()), |p, n| p + self.noise * n);
+        let img = proto
+            .map(|v| v) // clone via map keeps shape
+            .zip(&Tensor::from_fn(proto.shape(), |_| rng.normal()), |p, n| {
+                p + self.noise * n
+            });
         (img, class)
     }
 
@@ -205,7 +222,8 @@ impl StnDataset {
         let mut labels = Vec::with_capacity(indices.len());
         for (bi, &i) in indices.iter().enumerate() {
             let (img, class) = self.base.sample(i, salt);
-            let mut rng = Rng::seed_from(self.base.seed ^ salt ^ (i as u64).wrapping_mul(0xA5A5_1234));
+            let mut rng =
+                Rng::seed_from(self.base.seed ^ salt ^ (i as u64).wrapping_mul(0xA5A5_1234));
             let distorted = self.distort(&img, &mut rng);
             x.data_mut()[bi * per..(bi + 1) * per].copy_from_slice(distorted.data());
             labels.push(class);
@@ -236,7 +254,9 @@ pub struct FaceDataset {
 impl FaceDataset {
     /// Creates `identities` identities of `size`² grayscale faces.
     pub fn new(identities: usize, size: usize, len: usize, seed: u64) -> Self {
-        FaceDataset { base: ImageClassDataset::with_noise(identities, 1, size, len, seed, 0.35) }
+        FaceDataset {
+            base: ImageClassDataset::with_noise(identities, 1, size, len, seed, 0.35),
+        }
     }
 
     /// Number of identities.
@@ -318,7 +338,9 @@ pub struct FaceDepthDataset {
 impl FaceDepthDataset {
     /// Creates `identities` identities of 4-channel `size`² images.
     pub fn new(identities: usize, size: usize, len: usize, seed: u64) -> Self {
-        FaceDepthDataset { base: ImageClassDataset::with_noise(identities, 4, size, len, seed, 0.9) }
+        FaceDepthDataset {
+            base: ImageClassDataset::with_noise(identities, 4, size, len, seed, 0.9),
+        }
     }
 
     /// Number of training samples.
@@ -380,8 +402,12 @@ mod tests {
         let (x, y) = ds.train_batch(&[0, 4, 1]);
         assert_eq!(y, vec![0, 0, 1]);
         let per = 144;
-        let d01: f32 = (0..per).map(|i| (x.data()[i] - x.data()[per + i]).powi(2)).sum();
-        let d02: f32 = (0..per).map(|i| (x.data()[i] - x.data()[2 * per + i]).powi(2)).sum();
+        let d01: f32 = (0..per)
+            .map(|i| (x.data()[i] - x.data()[per + i]).powi(2))
+            .sum();
+        let d02: f32 = (0..per)
+            .map(|i| (x.data()[i] - x.data()[2 * per + i]).powi(2))
+            .sum();
         assert!(d01 < d02, "intra {d01} vs inter {d02}");
     }
 
@@ -393,7 +419,9 @@ mod tests {
         assert_eq!(y, vec![0, 0]);
         // Two distortions of the same class differ.
         let per = 144;
-        let diff: f32 = (0..per).map(|i| (x.data()[i] - x.data()[per + i]).abs()).sum();
+        let diff: f32 = (0..per)
+            .map(|i| (x.data()[i] - x.data()[per + i]).abs())
+            .sum();
         assert!(diff > 1.0);
     }
 

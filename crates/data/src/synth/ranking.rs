@@ -18,29 +18,50 @@ pub struct RankingDataset {
 impl RankingDataset {
     /// Creates `users`×`items` interactions with `per_user` training
     /// positives and `held_out` test positives per user.
-    pub fn new(users: usize, items: usize, dim: usize, per_user: usize, held_out: usize, seed: u64) -> Self {
-        assert!(per_user + held_out < items, "not enough items for the requested positives");
+    pub fn new(
+        users: usize,
+        items: usize,
+        dim: usize,
+        per_user: usize,
+        held_out: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            per_user + held_out < items,
+            "not enough items for the requested positives"
+        );
         let mut rng = Rng::seed_from(seed);
-        let user_factors: Vec<Vec<f32>> =
-            (0..users).map(|_| (0..dim).map(|_| rng.normal()).collect()).collect();
-        let item_factors: Vec<Vec<f32>> =
-            (0..items).map(|_| (0..dim).map(|_| rng.normal()).collect()).collect();
+        let user_factors: Vec<Vec<f32>> = (0..users)
+            .map(|_| (0..dim).map(|_| rng.normal()).collect())
+            .collect();
+        let item_factors: Vec<Vec<f32>> = (0..items)
+            .map(|_| (0..dim).map(|_| rng.normal()).collect())
+            .collect();
         let mut train_positives = Vec::with_capacity(users);
         let mut test_positives = Vec::with_capacity(users);
-        for u in 0..users {
+        for uf in user_factors.iter().take(users) {
             // Rank all items by noisy affinity; the top slots are positives.
             let mut scored: Vec<(usize, f32)> = (0..items)
                 .map(|i| {
-                    let dot: f32 = user_factors[u].iter().zip(&item_factors[i]).map(|(a, b)| a * b).sum();
+                    let dot: f32 = uf.iter().zip(&item_factors[i]).map(|(a, b)| a * b).sum();
                     (i, dot + rng.normal_with(0.0, 0.3))
                 })
                 .collect();
             scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-            let top: Vec<usize> = scored.iter().take(per_user + held_out).map(|(i, _)| *i).collect();
+            let top: Vec<usize> = scored
+                .iter()
+                .take(per_user + held_out)
+                .map(|(i, _)| *i)
+                .collect();
             test_positives.push(top[..held_out].to_vec());
             train_positives.push(top[held_out..].to_vec());
         }
-        RankingDataset { user_factors, item_factors, train_positives, test_positives }
+        RankingDataset {
+            user_factors,
+            item_factors,
+            train_positives,
+            test_positives,
+        }
     }
 
     /// Number of users.
@@ -112,7 +133,10 @@ impl RecommendationDataset {
                 c
             })
             .collect();
-        RecommendationDataset { inner, eval_candidates }
+        RecommendationDataset {
+            inner,
+            eval_candidates,
+        }
     }
 
     /// Number of users.
@@ -154,7 +178,11 @@ impl RankingDataset {
         let (u, i) = (self.users(), self.items());
         Tensor::from_fn(&[u, i], |idx| {
             let (uu, ii) = (idx / i, idx % i);
-            self.user_factors[uu].iter().zip(&self.item_factors[ii]).map(|(a, b)| a * b).sum()
+            self.user_factors[uu]
+                .iter()
+                .zip(&self.item_factors[ii])
+                .map(|(a, b)| a * b)
+                .sum()
         })
     }
 }
@@ -190,7 +218,10 @@ mod tests {
         }
         pos_mean /= 20.0 * 5.0;
         all_mean /= 20.0 * items as f32;
-        assert!(pos_mean > all_mean + 0.5, "positives {pos_mean} vs mean {all_mean}");
+        assert!(
+            pos_mean > all_mean + 0.5,
+            "positives {pos_mean} vs mean {all_mean}"
+        );
     }
 
     #[test]

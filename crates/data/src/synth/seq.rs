@@ -34,7 +34,13 @@ impl TranslationDataset {
         let mut rng = Rng::seed_from(seed);
         let perm = rng.permutation(vocab);
         let mapping = perm.iter().map(|&p| p + SPECIALS).collect();
-        TranslationDataset { mapping, vocab, max_len, len, seed }
+        TranslationDataset {
+            mapping,
+            vocab,
+            max_len,
+            len,
+            seed,
+        }
     }
 
     /// Number of sentence pairs.
@@ -79,7 +85,11 @@ impl TranslationDataset {
 
     /// Applies the ground-truth translation rule (for metric computation).
     pub fn translate(&self, src: &[usize]) -> Vec<usize> {
-        src.iter().rev().filter(|&&t| t >= SPECIALS).map(|&t| self.mapping[t - SPECIALS]).collect()
+        src.iter()
+            .rev()
+            .filter(|&&t| t >= SPECIALS)
+            .map(|&t| self.mapping[t - SPECIALS])
+            .collect()
     }
 }
 
@@ -99,9 +109,23 @@ pub struct SummarizationDataset {
 impl SummarizationDataset {
     /// Creates `len` documents of `doc_len` tokens with `summary_len`
     /// keywords each.
-    pub fn new(keyword_vocab: usize, filler_vocab: usize, doc_len: usize, summary_len: usize, len: usize, seed: u64) -> Self {
+    pub fn new(
+        keyword_vocab: usize,
+        filler_vocab: usize,
+        doc_len: usize,
+        summary_len: usize,
+        len: usize,
+        seed: u64,
+    ) -> Self {
         assert!(summary_len < doc_len, "summary longer than document");
-        SummarizationDataset { keyword_vocab, filler_vocab, doc_len, summary_len, len, seed }
+        SummarizationDataset {
+            keyword_vocab,
+            filler_vocab,
+            doc_len,
+            summary_len,
+            len,
+            seed,
+        }
     }
 
     /// Number of documents.
@@ -182,7 +206,13 @@ impl CharLmDataset {
         let table = (0..vocab * vocab)
             .map(|_| [rng.below(vocab), rng.below(vocab), rng.below(vocab)])
             .collect();
-        CharLmDataset { vocab, table, seq_len, len, seed }
+        CharLmDataset {
+            vocab,
+            table,
+            seq_len,
+            len,
+            seed,
+        }
     }
 
     /// Vocabulary size.

@@ -22,12 +22,21 @@ impl SpeechDataset {
     /// Creates `len` utterances of `frames` spectral frames over `bands`
     /// frequency bands with `phonemes` phoneme classes.
     pub fn new(phonemes: usize, bands: usize, frames: usize, len: usize, seed: u64) -> Self {
-        assert!(phonemes >= 2 && bands >= 4 && frames >= 8, "degenerate speech task");
+        assert!(
+            phonemes >= 2 && bands >= 4 && frames >= 8,
+            "degenerate speech task"
+        );
         let mut rng = Rng::seed_from(seed);
         let phoneme_profiles = (0..phonemes)
             .map(|_| (0..bands).map(|_| rng.uniform_in(-1.0, 1.0)).collect())
             .collect();
-        SpeechDataset { phoneme_profiles, bands, frames, len, seed }
+        SpeechDataset {
+            phoneme_profiles,
+            bands,
+            frames,
+            len,
+            seed,
+        }
     }
 
     /// Number of utterances.
@@ -67,7 +76,11 @@ impl SpeechDataset {
         while t < self.frames {
             let ph = rng.below(self.phonemes());
             // Avoid immediate repeats so collapsing is unambiguous.
-            let ph = if sequence.last() == Some(&ph) { (ph + 1) % self.phonemes() } else { ph };
+            let ph = if sequence.last() == Some(&ph) {
+                (ph + 1) % self.phonemes()
+            } else {
+                ph
+            };
             sequence.push(ph);
             let dur = (2 + rng.below(3)).min(self.frames - t);
             for _ in 0..dur {
@@ -95,7 +108,11 @@ impl SpeechDataset {
     }
 
     /// Stacks utterances: `([n, 1, bands, frames], frame labels, sequences)`.
-    pub fn batch(&self, indices: &[usize], test: bool) -> (Tensor, Vec<Vec<usize>>, Vec<Vec<usize>>) {
+    pub fn batch(
+        &self,
+        indices: &[usize],
+        test: bool,
+    ) -> (Tensor, Vec<Vec<usize>>, Vec<Vec<usize>>) {
         let per = self.bands * self.frames;
         let mut x = Tensor::zeros(&[indices.len(), 1, self.bands, self.frames]);
         let mut labels = Vec::with_capacity(indices.len());

@@ -19,8 +19,16 @@ pub struct VideoDataset {
 impl VideoDataset {
     /// Creates `len` sequences of `context`+1 frames of `size`².
     pub fn new(size: usize, context: usize, len: usize, seed: u64) -> Self {
-        assert!(context >= 2, "need at least two context frames to infer motion");
-        VideoDataset { size, context, len, seed }
+        assert!(
+            context >= 2,
+            "need at least two context frames to infer motion"
+        );
+        VideoDataset {
+            size,
+            context,
+            len,
+            seed,
+        }
     }
 
     /// Number of sequences.
@@ -89,7 +97,8 @@ impl VideoDataset {
         let mut y = Tensor::zeros(&[indices.len(), 1, self.size, self.size]);
         for (bi, &i) in indices.iter().enumerate() {
             let (ctx, tgt) = self.sequence(i, test);
-            x.data_mut()[bi * self.context * per..(bi + 1) * self.context * per].copy_from_slice(ctx.data());
+            x.data_mut()[bi * self.context * per..(bi + 1) * self.context * per]
+                .copy_from_slice(ctx.data());
             y.data_mut()[bi * per..(bi + 1) * per].copy_from_slice(tgt.data());
         }
         (x, y)
@@ -108,7 +117,9 @@ mod tests {
         assert_eq!(tgt.shape(), &[12, 12]);
         // Consecutive frames must differ (blob moved).
         let per = 144;
-        let d: f32 = (0..per).map(|i| (ctx.data()[i] - ctx.data()[per + i]).abs()).sum();
+        let d: f32 = (0..per)
+            .map(|i| (ctx.data()[i] - ctx.data()[per + i]).abs())
+            .sum();
         assert!(d > 0.1, "blob did not move: {d}");
     }
 
@@ -119,8 +130,12 @@ mod tests {
         let ds = VideoDataset::new(12, 3, 50, 2);
         let (ctx, tgt) = ds.sequence(1, false);
         let per = 144;
-        let d_last: f32 = (0..per).map(|i| (ctx.data()[2 * per + i] - tgt.data()[i]).powi(2)).sum();
-        let d_first: f32 = (0..per).map(|i| (ctx.data()[i] - tgt.data()[i]).powi(2)).sum();
+        let d_last: f32 = (0..per)
+            .map(|i| (ctx.data()[2 * per + i] - tgt.data()[i]).powi(2))
+            .sum();
+        let d_first: f32 = (0..per)
+            .map(|i| (ctx.data()[i] - tgt.data()[i]).powi(2))
+            .sum();
         assert!(d_last <= d_first + 1e-3, "last {d_last} vs first {d_first}");
     }
 

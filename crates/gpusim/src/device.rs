@@ -89,7 +89,11 @@ mod tests {
     #[test]
     fn power_envelope_is_sane() {
         for d in [DeviceConfig::titan_xp(), DeviceConfig::titan_rtx()] {
-            assert!(d.idle_watts > 0.0 && d.idle_watts < d.tdp_watts, "{}", d.name);
+            assert!(
+                d.idle_watts > 0.0 && d.idle_watts < d.tdp_watts,
+                "{}",
+                d.name
+            );
         }
     }
 

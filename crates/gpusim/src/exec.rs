@@ -72,20 +72,26 @@ impl StallBreakdown {
 
     /// Percentage for one stall kind.
     pub fn share(&self, kind: StallKind) -> f64 {
-        let idx = StallKind::ALL.iter().position(|k| *k == kind).expect("kind in ALL");
+        let idx = StallKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("kind in ALL");
         self.shares[idx]
     }
 
     /// All shares paired with their kinds.
     pub fn iter(&self) -> impl Iterator<Item = (StallKind, f64)> + '_ {
-        StallKind::ALL.iter().copied().zip(self.shares.iter().copied())
+        StallKind::ALL
+            .iter()
+            .copied()
+            .zip(self.shares.iter().copied())
     }
 
     /// Blends two breakdowns with weight `w` on `self`.
     pub fn blend(&self, other: &StallBreakdown, w: f64) -> StallBreakdown {
         let mut shares = [0.0; 8];
-        for i in 0..8 {
-            shares[i] = self.shares[i] * w + other.shares[i] * (1.0 - w);
+        for (i, s) in shares.iter_mut().enumerate() {
+            *s = self.shares[i] * w + other.shares[i] * (1.0 - w);
         }
         StallBreakdown::from_weights(shares)
     }
@@ -251,7 +257,8 @@ pub fn execute(kernel: &Kernel, device: &DeviceConfig) -> KernelProfile {
 
     // Occupancy saturates as the launch fills the device.
     let fill = (kernel.threads as f64 / (device.thread_capacity() as f64 * 0.5)).min(1.0);
-    let occupancy = clamp01(model.base_occ * (0.35 + 0.65 * fill) + name_jitter(&kernel.name) * 0.5);
+    let occupancy =
+        clamp01(model.base_occ * (0.35 + 0.65 * fill) + name_jitter(&kernel.name) * 0.5);
 
     // IPC efficiency: fraction of the roofline spent issuing compute,
     // scaled by the category's issue efficiency and the occupancy-driven
@@ -271,12 +278,16 @@ pub fn execute(kernel: &Kernel, device: &DeviceConfig) -> KernelProfile {
     let gld_efficiency = clamp01(model.gld + name_jitter(&kernel.name));
     let gst_efficiency = clamp01(model.gst + name_jitter(&format!("{}#st", kernel.name)));
 
-    let stalls = StallBreakdown::from_weights(model.stalls_compute)
-        .blend(&StallBreakdown::from_weights(model.stalls_memory), compute_frac);
+    let stalls = StallBreakdown::from_weights(model.stalls_compute).blend(
+        &StallBreakdown::from_weights(model.stalls_memory),
+        compute_frac,
+    );
 
     // Board power scales with whichever subsystem is busier (Section
     // 4.2.1 lists energy-to-train as a first-class metric).
-    let activity = (ipc_efficiency / 0.8).max(dram_utilization).clamp(0.05, 1.0);
+    let activity = (ipc_efficiency / 0.8)
+        .max(dram_utilization)
+        .clamp(0.05, 1.0);
     let power_w = device.idle_watts + (device.tdp_watts - device.idle_watts) * activity;
     let energy_j = power_w * time_s;
 
@@ -313,15 +324,33 @@ mod tests {
     fn elementwise_is_memory_dependency_bound() {
         // A bandwidth-bound element-wise kernel: the paper reports ~70%
         // memory-dependency stalls.
-        let k = Kernel::new("element_wise_add_kernel", KernelCategory::ElementWise, 1e6, 1.2e7, 1 << 20, 1);
+        let k = Kernel::new(
+            "element_wise_add_kernel",
+            KernelCategory::ElementWise,
+            1e6,
+            1.2e7,
+            1 << 20,
+            1,
+        );
         let p = execute(&k, &dev());
-        assert!(p.stalls.share(StallKind::MemDepend) > 55.0, "mem stalls {:.1}", p.stalls.share(StallKind::MemDepend));
+        assert!(
+            p.stalls.share(StallKind::MemDepend) > 55.0,
+            "mem stalls {:.1}",
+            p.stalls.share(StallKind::MemDepend)
+        );
         assert!(p.dram_utilization > 0.4);
     }
 
     #[test]
     fn big_gemm_is_compute_bound_with_high_ipc() {
-        let k = Kernel::new("maxwell_sgemm_128x64_nn", KernelCategory::Gemm, 1e11, 1e8, 1 << 22, 1);
+        let k = Kernel::new(
+            "maxwell_sgemm_128x64_nn",
+            KernelCategory::Gemm,
+            1e11,
+            1e8,
+            1 << 22,
+            1,
+        );
         let p = execute(&k, &dev());
         assert!(p.ipc_efficiency > 0.6, "ipc {:.2}", p.ipc_efficiency);
         assert!(p.stalls.share(StallKind::ExecDepend) > p.stalls.share(StallKind::MemThrottle));
@@ -346,7 +375,14 @@ mod tests {
 
     #[test]
     fn energy_scales_with_time_and_activity() {
-        let busy = Kernel::new("maxwell_sgemm_128x64_nn", KernelCategory::Gemm, 1e11, 1e8, 1 << 22, 1);
+        let busy = Kernel::new(
+            "maxwell_sgemm_128x64_nn",
+            KernelCategory::Gemm,
+            1e11,
+            1e8,
+            1 << 22,
+            1,
+        );
         let idleish = Kernel::new("CUDA memcpy HtoD", KernelCategory::Memcpy, 0.0, 1e6, 32, 1);
         let pb = execute(&busy, &dev());
         let pi = execute(&idleish, &dev());

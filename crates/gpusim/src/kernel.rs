@@ -87,7 +87,14 @@ impl Kernel {
         threads: usize,
         count: usize,
     ) -> Self {
-        Kernel { name: name.into(), category, flops, bytes, threads: threads.max(32), count: count.max(1) }
+        Kernel {
+            name: name.into(),
+            category,
+            flops,
+            bytes,
+            threads: threads.max(32),
+            count: count.max(1),
+        }
     }
 
     /// Arithmetic intensity in FLOPs per byte.

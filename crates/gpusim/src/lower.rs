@@ -50,7 +50,13 @@ fn lower_iteration(spec: &ModelSpec, batch_size: usize, training: bool) -> Vec<K
         // execute as one batched launch over all instances.
         if layer.share_params && layer.repeat >= 16 {
             if let LayerKind::Linear { .. } = layer.kind {
-                lower_layer(&layer.kind, 1, b * layer.repeat as f64, training, &mut trace);
+                lower_layer(
+                    &layer.kind,
+                    1,
+                    b * layer.repeat as f64,
+                    training,
+                    &mut trace,
+                );
                 continue;
             }
         }
@@ -69,7 +75,12 @@ fn lower_iteration(spec: &ModelSpec, batch_size: usize, training: bool) -> Vec<K
     let mut embed_params = 0.0;
     let mut embed_rows_touched = 0.0;
     for layer in &spec.layers {
-        if let LayerKind::Embedding { vocab, dim, lookups } = layer.kind {
+        if let LayerKind::Embedding {
+            vocab,
+            dim,
+            lookups,
+        } = layer.kind
+        {
             embed_params += (vocab * dim * layer.repeat) as f64;
             embed_rows_touched += b * (lookups * dim * layer.repeat) as f64;
         }
@@ -104,56 +115,87 @@ fn lower_iteration(spec: &ModelSpec, batch_size: usize, training: bool) -> Vec<K
     // Gradient-buffer device copies.
     push(
         &mut trace,
-        Kernel::new("CUDA memcpy DtoD", KernelCategory::Memcpy, 0.0, dense_params * F32, 1024, 1),
+        Kernel::new(
+            "CUDA memcpy DtoD",
+            KernelCategory::Memcpy,
+            0.0,
+            dense_params * F32,
+            1024,
+            1,
+        ),
     );
     trace
 }
 
 fn lower_layer(kind: &LayerKind, repeat: usize, b: f64, training: bool, trace: &mut Vec<Kernel>) {
     match *kind {
-        LayerKind::Conv2d { c_in, c_out, k, h_out, w_out }
-        | LayerKind::ConvTranspose2d { c_in, c_out, k, h_out, w_out } => {
+        LayerKind::Conv2d {
+            c_in,
+            c_out,
+            k,
+            h_out,
+            w_out,
+        }
+        | LayerKind::ConvTranspose2d {
+            c_in,
+            c_out,
+            k,
+            h_out,
+            w_out,
+        } => {
             let macs = (k * k * c_in * c_out * h_out * w_out) as f64;
             let out_elems = (c_out * h_out * w_out) as f64;
             let col_bytes = b * (c_in * k * k * h_out * w_out) as f64 * F32;
             let weight_bytes = (c_in * c_out * k * k) as f64 * F32;
             // im2col-style layout transform.
-            push(trace, Kernel::new(
-                "maxwell_scudnn_128x128_stridedB_interior_nn",
-                KernelCategory::DataArrangement,
-                b * out_elems,
-                2.0 * col_bytes,
-                (b * out_elems) as usize,
-                repeat,
-            ));
-            // Forward convolution arithmetic.
-            push(trace, Kernel::new(
-                "maxwell_scudnn_winograd_128x128_ldg1_ldg4_tile148n_nt",
-                KernelCategory::Convolution,
-                2.0 * b * macs,
-                col_bytes + weight_bytes + b * out_elems * F32,
-                (b * out_elems) as usize,
-                repeat,
-            ));
-            if training {
-                // Backward data gradient.
-                push(trace, Kernel::new(
-                    "maxwell_scudnn_128x32_stridedB_splitK_interior_nn",
+            push(
+                trace,
+                Kernel::new(
+                    "maxwell_scudnn_128x128_stridedB_interior_nn",
                     KernelCategory::DataArrangement,
-                    2.0 * b * macs * 0.15,
+                    b * out_elems,
                     2.0 * col_bytes,
                     (b * out_elems) as usize,
                     repeat,
-                ));
-                // Backward weight gradient.
-                push(trace, Kernel::new(
-                    "wgrad_alg0_engine",
+                ),
+            );
+            // Forward convolution arithmetic.
+            push(
+                trace,
+                Kernel::new(
+                    "maxwell_scudnn_winograd_128x128_ldg1_ldg4_tile148n_nt",
                     KernelCategory::Convolution,
                     2.0 * b * macs,
-                    col_bytes + weight_bytes,
+                    col_bytes + weight_bytes + b * out_elems * F32,
                     (b * out_elems) as usize,
                     repeat,
-                ));
+                ),
+            );
+            if training {
+                // Backward data gradient.
+                push(
+                    trace,
+                    Kernel::new(
+                        "maxwell_scudnn_128x32_stridedB_splitK_interior_nn",
+                        KernelCategory::DataArrangement,
+                        2.0 * b * macs * 0.15,
+                        2.0 * col_bytes,
+                        (b * out_elems) as usize,
+                        repeat,
+                    ),
+                );
+                // Backward weight gradient.
+                push(
+                    trace,
+                    Kernel::new(
+                        "wgrad_alg0_engine",
+                        KernelCategory::Convolution,
+                        2.0 * b * macs,
+                        col_bytes + weight_bytes,
+                        (b * out_elems) as usize,
+                        repeat,
+                    ),
+                );
             }
         }
         LayerKind::Linear { d_in, d_out } => {
@@ -166,249 +208,365 @@ fn lower_layer(kind: &LayerKind, repeat: usize, b: f64, training: bool, trace: &
             // MLP is tiny, is data-arrangement bound with the lowest IPC
             // (Section 5.5.1).
             if 2.0 * b * macs < 1.2e7 {
-                push(trace, Kernel::new(
-                    "maxwell_scudnn_128x32_stridedB_splitK_interior_nn",
-                    KernelCategory::DataArrangement,
-                    2.0 * b * macs,
-                    3.0 * (act_bytes + w_bytes),
-                    (b * d_out as f64) as usize,
-                    3 * repeat,
-                ));
+                // Three launches per layer in training (forward, input
+                // gradient, weight gradient); inference runs only the
+                // forward pass.
+                let launches = if training { 3 * repeat } else { repeat };
+                push(
+                    trace,
+                    Kernel::new(
+                        "maxwell_scudnn_128x32_stridedB_splitK_interior_nn",
+                        KernelCategory::DataArrangement,
+                        2.0 * b * macs,
+                        3.0 * (act_bytes + w_bytes),
+                        (b * d_out as f64) as usize,
+                        launches,
+                    ),
+                );
                 return;
             }
-            push(trace, Kernel::new(
-                "maxwell_sgemm_128x64_nn",
-                KernelCategory::Gemm,
-                2.0 * b * macs,
-                act_bytes + w_bytes,
-                (b * d_out as f64) as usize,
-                repeat,
-            ));
+            push(
+                trace,
+                Kernel::new(
+                    "maxwell_sgemm_128x64_nn",
+                    KernelCategory::Gemm,
+                    2.0 * b * macs,
+                    act_bytes + w_bytes,
+                    (b * d_out as f64) as usize,
+                    repeat,
+                ),
+            );
             if training {
-                push(trace, Kernel::new(
-                    "maxwell_sgemm_128x64_nt",
-                    KernelCategory::Gemm,
-                    2.0 * b * macs,
-                    act_bytes + w_bytes,
-                    (b * d_in as f64) as usize,
-                    repeat,
-                ));
-                push(trace, Kernel::new(
-                    "sgemm_32x32x32_NN_vec",
-                    KernelCategory::Gemm,
-                    2.0 * b * macs,
-                    act_bytes + w_bytes,
-                    macs.min(1e7) as usize,
-                    repeat,
-                ));
+                push(
+                    trace,
+                    Kernel::new(
+                        "maxwell_sgemm_128x64_nt",
+                        KernelCategory::Gemm,
+                        2.0 * b * macs,
+                        act_bytes + w_bytes,
+                        (b * d_in as f64) as usize,
+                        repeat,
+                    ),
+                );
+                push(
+                    trace,
+                    Kernel::new(
+                        "sgemm_32x32x32_NN_vec",
+                        KernelCategory::Gemm,
+                        2.0 * b * macs,
+                        act_bytes + w_bytes,
+                        macs.min(1e7) as usize,
+                        repeat,
+                    ),
+                );
             }
         }
         LayerKind::BatchNorm2d { c, h, w } => {
             let n = b * (c * h * w) as f64;
-            push(trace, Kernel::new(
-                "cudnn::detail::bn_fw_tr_1C11_kernel_NCHW",
-                KernelCategory::BatchNorm,
-                5.0 * n,
-                3.0 * n * F32,
-                n as usize,
-                repeat,
-            ));
-            if training {
-                push(trace, Kernel::new(
-                    "cudnn::detail::bn_bw_1C11_kernel_new",
+            push(
+                trace,
+                Kernel::new(
+                    "cudnn::detail::bn_fw_tr_1C11_kernel_NCHW",
                     KernelCategory::BatchNorm,
-                    8.0 * n,
-                    4.0 * n * F32,
+                    5.0 * n,
+                    3.0 * n * F32,
                     n as usize,
                     repeat,
-                ));
+                ),
+            );
+            if training {
+                push(
+                    trace,
+                    Kernel::new(
+                        "cudnn::detail::bn_bw_1C11_kernel_new",
+                        KernelCategory::BatchNorm,
+                        8.0 * n,
+                        4.0 * n * F32,
+                        n as usize,
+                        repeat,
+                    ),
+                );
             }
         }
         LayerKind::LayerNorm { rows, d } => {
             let n = b * (rows * d) as f64;
-            push(trace, Kernel::new(
-                "at::native::batch_norm_backward_kernel",
-                KernelCategory::BatchNorm,
-                10.0 * n,
-                6.0 * n * F32,
-                n as usize,
-                repeat,
-            ));
+            push(
+                trace,
+                Kernel::new(
+                    "at::native::vectorized_layer_norm_kernel",
+                    KernelCategory::BatchNorm,
+                    6.0 * n,
+                    3.0 * n * F32,
+                    n as usize,
+                    repeat,
+                ),
+            );
+            if training {
+                push(
+                    trace,
+                    Kernel::new(
+                        "at::native::batch_norm_backward_kernel",
+                        KernelCategory::BatchNorm,
+                        12.0 * n,
+                        6.0 * n * F32,
+                        n as usize,
+                        repeat,
+                    ),
+                );
+            }
         }
         LayerKind::Relu { n } => {
             let e = b * n as f64;
-            push(trace, Kernel::new(
-                "maxwell_scudnn_128x128_relu_interior_nn",
-                KernelCategory::Relu,
-                e,
-                2.0 * e * F32,
-                e as usize,
-                repeat,
-            ));
-            if training {
-                push(trace, Kernel::new(
-                    "element_wise_threshold_kernel",
-                    KernelCategory::ElementWise,
+            push(
+                trace,
+                Kernel::new(
+                    "maxwell_scudnn_128x128_relu_interior_nn",
+                    KernelCategory::Relu,
                     e,
                     2.0 * e * F32,
                     e as usize,
                     repeat,
-                ));
+                ),
+            );
+            if training {
+                push(
+                    trace,
+                    Kernel::new(
+                        "element_wise_threshold_kernel",
+                        KernelCategory::ElementWise,
+                        e,
+                        2.0 * e * F32,
+                        e as usize,
+                        repeat,
+                    ),
+                );
             }
         }
         LayerKind::Activation { n } => {
             let e = b * n as f64;
-            push(trace, Kernel::new(
-                "element_wise_mul_kernel",
-                KernelCategory::ElementWise,
-                4.0 * e,
-                2.0 * e * F32,
-                e as usize,
-                repeat,
-            ));
+            push(
+                trace,
+                Kernel::new(
+                    "element_wise_mul_kernel",
+                    KernelCategory::ElementWise,
+                    4.0 * e,
+                    2.0 * e * F32,
+                    e as usize,
+                    repeat,
+                ),
+            );
         }
         LayerKind::Pool { c, h_out, w_out, k } => {
             let out = b * (c * h_out * w_out) as f64;
             let window = (k * k) as f64;
-            push(trace, Kernel::new(
-                "AvePoolForward",
-                KernelCategory::Pooling,
-                out * window,
-                (out * window + out) * F32,
-                out as usize,
-                repeat,
-            ));
-            if training {
-                push(trace, Kernel::new(
-                    "MaxPoolBackward",
+            push(
+                trace,
+                Kernel::new(
+                    "AvePoolForward",
                     KernelCategory::Pooling,
                     out * window,
                     (out * window + out) * F32,
                     out as usize,
                     repeat,
-                ));
+                ),
+            );
+            if training {
+                push(
+                    trace,
+                    Kernel::new(
+                        "MaxPoolBackward",
+                        KernelCategory::Pooling,
+                        out * window,
+                        (out * window + out) * F32,
+                        out as usize,
+                        repeat,
+                    ),
+                );
             }
         }
-        LayerKind::Embedding { vocab: _, dim, lookups } => {
+        LayerKind::Embedding {
+            vocab: _,
+            dim,
+            lookups,
+        } => {
             let moved = b * (lookups * dim) as f64;
-            push(trace, Kernel::new(
-                "maxwell_scudnn_128x128_stridedB_interior_nn",
-                KernelCategory::DataArrangement,
-                moved * 0.5,
-                2.0 * moved * F32,
-                moved as usize,
-                repeat,
-            ));
-            if training {
-                // Scatter-add of embedding gradients.
-                push(trace, Kernel::new(
-                    "maxwell_scudnn_128x32_stridedB_splitK_interior_nn",
+            push(
+                trace,
+                Kernel::new(
+                    "maxwell_scudnn_128x128_stridedB_interior_nn",
                     KernelCategory::DataArrangement,
-                    moved,
-                    3.0 * moved * F32,
+                    moved * 0.5,
+                    2.0 * moved * F32,
                     moved as usize,
                     repeat,
-                ));
+                ),
+            );
+            if training {
+                // Scatter-add of embedding gradients.
+                push(
+                    trace,
+                    Kernel::new(
+                        "maxwell_scudnn_128x32_stridedB_splitK_interior_nn",
+                        KernelCategory::DataArrangement,
+                        moved,
+                        3.0 * moved * F32,
+                        moved as usize,
+                        repeat,
+                    ),
+                );
             }
         }
-        LayerKind::Rnn { kind, d_in, d_h, steps } => {
+        LayerKind::Rnn {
+            kind,
+            d_in,
+            d_h,
+            steps,
+        } => {
             let g = kind.gates() as f64;
             let per_step_macs = g * ((d_in + d_h) * d_h) as f64;
             let act_bytes = b * (d_in + 2 * d_h) as f64 * F32;
             let w_bytes = per_step_macs * F32;
             // One gate GEMM per timestep forward and two backward —
             // many small launches, which is what makes RNNs latency-bound.
-            push(trace, Kernel::new(
-                "maxwell_sgemm_128x64_nn",
-                KernelCategory::Gemm,
-                2.0 * b * per_step_macs,
-                act_bytes + w_bytes,
-                (b * d_h as f64 * g) as usize,
-                steps * repeat,
-            ));
-            if training {
-                push(trace, Kernel::new(
-                    "maxwell_sgemm_128x64_nt",
+            push(
+                trace,
+                Kernel::new(
+                    "maxwell_sgemm_128x64_nn",
                     KernelCategory::Gemm,
-                    4.0 * b * per_step_macs,
+                    2.0 * b * per_step_macs,
                     act_bytes + w_bytes,
                     (b * d_h as f64 * g) as usize,
                     steps * repeat,
-                ));
+                ),
+            );
+            if training {
+                push(
+                    trace,
+                    Kernel::new(
+                        "maxwell_sgemm_128x64_nt",
+                        KernelCategory::Gemm,
+                        4.0 * b * per_step_macs,
+                        act_bytes + w_bytes,
+                        (b * d_h as f64 * g) as usize,
+                        steps * repeat,
+                    ),
+                );
             }
             // Pointwise gate combinations.
             let gate_elems = b * (g * d_h as f64);
-            push(trace, Kernel::new(
-                "element_wise_mul_kernel",
-                KernelCategory::ElementWise,
-                6.0 * gate_elems,
-                3.0 * gate_elems * F32,
-                gate_elems as usize,
-                steps * repeat,
-            ));
+            push(
+                trace,
+                Kernel::new(
+                    "element_wise_mul_kernel",
+                    KernelCategory::ElementWise,
+                    6.0 * gate_elems,
+                    3.0 * gate_elems * F32,
+                    gate_elems as usize,
+                    steps * repeat,
+                ),
+            );
         }
-        LayerKind::Attention { d_model, heads: _, seq_q, seq_k } => {
+        LayerKind::Attention {
+            d_model,
+            heads: _,
+            seq_q,
+            seq_k,
+        } => {
             let proj_macs = (4 * seq_q * d_model * d_model) as f64;
             let score_macs = (2 * seq_q * seq_k * d_model) as f64;
-            push(trace, Kernel::new(
-                "maxwell_sgemm_128x64_nn",
-                KernelCategory::Gemm,
-                2.0 * b * proj_macs,
-                b * (2 * seq_q * d_model) as f64 * F32 + (4 * d_model * d_model) as f64 * F32,
-                (b * (seq_q * d_model) as f64) as usize,
-                repeat,
-            ));
-            push(trace, Kernel::new(
-                "maxwell_sgemm_128x64_nt",
-                KernelCategory::Gemm,
-                2.0 * b * score_macs,
-                b * (seq_q * seq_k) as f64 * F32,
-                (b * (seq_q * seq_k) as f64) as usize,
-                repeat,
-            ));
+            push(
+                trace,
+                Kernel::new(
+                    "maxwell_sgemm_128x64_nn",
+                    KernelCategory::Gemm,
+                    2.0 * b * proj_macs,
+                    b * (2 * seq_q * d_model) as f64 * F32 + (4 * d_model * d_model) as f64 * F32,
+                    (b * (seq_q * d_model) as f64) as usize,
+                    repeat,
+                ),
+            );
+            push(
+                trace,
+                Kernel::new(
+                    "maxwell_sgemm_128x64_nt",
+                    KernelCategory::Gemm,
+                    2.0 * b * score_macs,
+                    b * (seq_q * seq_k) as f64 * F32,
+                    (b * (seq_q * seq_k) as f64) as usize,
+                    repeat,
+                ),
+            );
             // Softmax over attention scores.
             let rows = b * (seq_q * seq_k) as f64;
-            push(trace, Kernel::new(
-                "softmax_warp_forward",
-                KernelCategory::ElementWise,
-                5.0 * rows,
-                2.0 * rows * F32,
-                rows as usize,
-                repeat,
-            ));
+            push(
+                trace,
+                Kernel::new(
+                    "softmax_warp_forward",
+                    KernelCategory::ElementWise,
+                    5.0 * rows,
+                    2.0 * rows * F32,
+                    rows as usize,
+                    repeat,
+                ),
+            );
+            if training {
+                // Backward through both projection and score GEMMs at the
+                // standard 1:2 fwd:bwd FLOP convention.
+                push(
+                    trace,
+                    Kernel::new(
+                        "maxwell_sgemm_128x64_nt",
+                        KernelCategory::Gemm,
+                        4.0 * b * (proj_macs + score_macs),
+                        b * (2 * seq_q * d_model) as f64 * F32
+                            + (4 * d_model * d_model) as f64 * F32,
+                        (b * (seq_q * d_model) as f64) as usize,
+                        repeat,
+                    ),
+                );
+            }
         }
         LayerKind::Softmax { rows, classes } => {
             let n = b * (rows * classes) as f64;
-            push(trace, Kernel::new(
-                "softmax_warp_forward",
-                KernelCategory::ElementWise,
-                5.0 * n,
-                2.0 * n * F32,
-                n as usize,
-                repeat,
-            ));
+            push(
+                trace,
+                Kernel::new(
+                    "softmax_warp_forward",
+                    KernelCategory::ElementWise,
+                    5.0 * n,
+                    2.0 * n * F32,
+                    n as usize,
+                    repeat,
+                ),
+            );
         }
         LayerKind::Elementwise { n, ops } => {
             let e = b * n as f64;
-            push(trace, Kernel::new(
-                "element_wise_add_kernel",
-                KernelCategory::ElementWise,
-                e * ops as f64,
-                3.0 * e * F32,
-                e as usize,
-                repeat,
-            ));
+            push(
+                trace,
+                Kernel::new(
+                    "element_wise_add_kernel",
+                    KernelCategory::ElementWise,
+                    e * ops as f64,
+                    3.0 * e * F32,
+                    e as usize,
+                    repeat,
+                ),
+            );
         }
         LayerKind::GridSample { c, h, w } => {
             let n = b * (c * h * w) as f64;
-            push(trace, Kernel::new(
-                "grid_sampler_2d_kernel",
-                KernelCategory::DataArrangement,
-                16.0 * n,
-                6.0 * n * F32,
-                n as usize,
-                repeat,
-            ));
+            push(
+                trace,
+                Kernel::new(
+                    "grid_sampler_2d_kernel",
+                    KernelCategory::DataArrangement,
+                    16.0 * n,
+                    6.0 * n * F32,
+                    n as usize,
+                    repeat,
+                ),
+            );
         }
     }
 }
@@ -430,10 +588,17 @@ mod tests {
     #[test]
     fn resnet_trace_is_convolution_heavy() {
         let trace = lower_training_iteration(&catalog::image_classification());
-        let conv_flops: f64 =
-            trace.iter().filter(|k| k.category == KernelCategory::Convolution).map(|k| k.flops * k.count as f64).sum();
+        let conv_flops: f64 = trace
+            .iter()
+            .filter(|k| k.category == KernelCategory::Convolution)
+            .map(|k| k.flops * k.count as f64)
+            .sum();
         let total_flops: f64 = trace.iter().map(|k| k.flops * k.count as f64).sum();
-        assert!(conv_flops / total_flops > 0.6, "conv share {}", conv_flops / total_flops);
+        assert!(
+            conv_flops / total_flops > 0.6,
+            "conv share {}",
+            conv_flops / total_flops
+        );
     }
 
     #[test]
@@ -444,8 +609,11 @@ mod tests {
             .filter(|k| k.category == KernelCategory::DataArrangement)
             .map(|k| k.bytes * k.count as f64)
             .sum();
-        let gemm_bytes: f64 =
-            trace.iter().filter(|k| k.category == KernelCategory::Gemm).map(|k| k.bytes * k.count as f64).sum();
+        let gemm_bytes: f64 = trace
+            .iter()
+            .filter(|k| k.category == KernelCategory::Gemm)
+            .map(|k| k.bytes * k.count as f64)
+            .sum();
         assert!(da_bytes > gemm_bytes, "DA {da_bytes} vs GEMM {gemm_bytes}");
     }
 
@@ -457,10 +625,86 @@ mod tests {
     }
 
     #[test]
+    fn inference_runs_one_launch_per_small_linear() {
+        // Regression: the strided-batched small-linear path used to emit
+        // its 3 training launches (fwd + dgrad + wgrad) in inference too.
+        let spec = catalog::learning_to_rank();
+        let train = lower_training_iteration(&spec);
+        let infer = lower_inference_iteration(&spec, spec.batch_size);
+        let launches = |trace: &[Kernel]| -> usize {
+            trace
+                .iter()
+                .filter(|k| {
+                    k.name.contains("splitK") && k.category == KernelCategory::DataArrangement
+                })
+                .map(|k| k.count)
+                .sum()
+        };
+        // Training: 3 launches per linear + embedding scatter + optimizer.
+        // Inference: 1 launch per linear + embedding arrangement only.
+        assert!(
+            launches(&train) > 2 * launches(&infer),
+            "{} vs {}",
+            launches(&train),
+            launches(&infer)
+        );
+        let small_linear = infer.iter().find(|k| k.name.contains("splitK")).unwrap();
+        assert_eq!(small_linear.count, 1);
+    }
+
+    #[test]
+    fn attention_trains_with_backward_gemms() {
+        // Regression: attention layers used to lower with no backward
+        // kernels, so transformer training traces under-counted FLOPs.
+        let spec = catalog::text_to_text();
+        let train = lower_training_iteration(&spec);
+        let infer = lower_inference_iteration(&spec, spec.batch_size);
+        let gemm = |trace: &[Kernel]| -> f64 {
+            trace
+                .iter()
+                .filter(|k| k.category == KernelCategory::Gemm)
+                .map(|k| k.flops * k.count as f64)
+                .sum()
+        };
+        let ratio = gemm(&train) / gemm(&infer);
+        assert!(
+            (2.5..3.5).contains(&ratio),
+            "GEMM train/infer ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn inference_traces_have_no_gradient_kernels() {
+        // Regression: LayerNorm used to lower onto a kernel *named*
+        // `batch_norm_backward_kernel` even in forward-only traces.
+        for spec in catalog::aibench_specs()
+            .into_iter()
+            .chain(catalog::mlperf_specs())
+        {
+            let trace = lower_inference_iteration(&spec, 1);
+            for k in &trace {
+                assert!(
+                    !k.name.contains("backward")
+                        && !k.name.contains("wgrad")
+                        && !k.name.contains("bn_bw")
+                        && !k.name.contains("DtoD"),
+                    "{}: gradient kernel {} in inference trace",
+                    spec.name,
+                    k.name
+                );
+            }
+        }
+    }
+
+    #[test]
     fn backward_flops_exceed_forward() {
         // Conv layers: wgrad + dgrad flops > fwd flops.
         let trace = lower_training_iteration(&catalog::image_classification());
-        let fwd: f64 = trace.iter().filter(|k| k.name.contains("winograd")).map(|k| k.flops * k.count as f64).sum();
+        let fwd: f64 = trace
+            .iter()
+            .filter(|k| k.name.contains("winograd"))
+            .map(|k| k.flops * k.count as f64)
+            .sum();
         let bwd: f64 = trace
             .iter()
             .filter(|k| k.name.contains("wgrad") || k.name.contains("splitK"))

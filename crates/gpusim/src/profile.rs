@@ -138,18 +138,24 @@ impl Simulator {
                 stalls: StallBreakdown::from_weights(cat_stalls[&category]),
             })
             .collect();
-        categories.sort_by(|a, b| b.share.partial_cmp(&a.share).unwrap_or(std::cmp::Ordering::Equal));
+        categories.sort_by(|a, b| {
+            b.share
+                .partial_cmp(&a.share)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
 
         // Hotspot functions: aggregate by name.
         let mut by_name: BTreeMap<&str, f64> = BTreeMap::new();
         for p in &kernels {
             *by_name.entry(p.kernel.name.as_str()).or_insert(0.0) += p.time_s;
         }
-        let mut hotspots: Vec<(String, f64)> =
-            by_name.into_iter().map(|(n, t)| (n.to_string(), 100.0 * t / total_time)).collect();
+        let mut hotspots: Vec<(String, f64)> = by_name
+            .into_iter()
+            .map(|(n, t)| (n.to_string(), 100.0 * t / total_time))
+            .collect();
         hotspots.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
 
-        let iterations = (spec.dataset_size + spec.batch_size - 1) / spec.batch_size;
+        let iterations = spec.dataset_size.div_ceil(spec.batch_size);
         // Per-iteration host-side overhead (data loading, Python/framework
         // dispatch) — without it, small-model epoch times are implausibly
         // cheap relative to the paper's Table 6.
@@ -188,7 +194,11 @@ mod tests {
                 assert!((0.0..=1.0).contains(&v), "{}: metric {v}", spec.name);
             }
             let share_total: f64 = p.categories.iter().map(|c| c.share).sum();
-            assert!((share_total - 1.0).abs() < 1e-9, "{}: shares {share_total}", spec.name);
+            assert!(
+                (share_total - 1.0).abs() < 1e-9,
+                "{}: shares {share_total}",
+                spec.name
+            );
         }
     }
 
@@ -196,13 +206,26 @@ mod tests {
     fn learning_to_rank_has_lowest_ipc_efficiency() {
         // Section 5.5.1: Learning-to-Rank shows the lowest IPC (data
         // arrangement bound); Text-to-Text shows the highest.
-        let profiles: Vec<ModelProfile> =
-            catalog::aibench_specs().iter().map(|s| sim().profile(s)).collect();
-        let l2r = profiles.iter().find(|p| p.name == "RankingDistillation").unwrap();
+        let profiles: Vec<ModelProfile> = catalog::aibench_specs()
+            .iter()
+            .map(|s| sim().profile(s))
+            .collect();
+        let l2r = profiles
+            .iter()
+            .find(|p| p.name == "RankingDistillation")
+            .unwrap();
         let t2t = profiles.iter().find(|p| p.name == "Transformer").unwrap();
         for p in &profiles {
-            assert!(l2r.metrics.ipc_efficiency <= p.metrics.ipc_efficiency + 1e-9, "{} below L2R", p.name);
-            assert!(t2t.metrics.ipc_efficiency >= p.metrics.ipc_efficiency - 1e-9, "{} above T2T", p.name);
+            assert!(
+                l2r.metrics.ipc_efficiency <= p.metrics.ipc_efficiency + 1e-9,
+                "{} below L2R",
+                p.name
+            );
+            assert!(
+                t2t.metrics.ipc_efficiency >= p.metrics.ipc_efficiency - 1e-9,
+                "{} above T2T",
+                p.name
+            );
         }
         assert!(t2t.metrics.ipc_efficiency >= l2r.metrics.ipc_efficiency + 0.2);
     }
@@ -210,7 +233,12 @@ mod tests {
     #[test]
     fn learning_to_rank_dominated_by_data_arrangement() {
         let p = sim().profile(&catalog::learning_to_rank());
-        assert_eq!(p.categories[0].category, KernelCategory::DataArrangement, "{:?}", p.categories[0]);
+        assert_eq!(
+            p.categories[0].category,
+            KernelCategory::DataArrangement,
+            "{:?}",
+            p.categories[0]
+        );
     }
 
     #[test]
@@ -242,7 +270,11 @@ mod tests {
         let expect = p.dataset_size as f64 / p.epoch_seconds;
         assert!((p.samples_per_second() - expect).abs() < 1e-9);
         // ResNet-50 on a TITAN-class GPU trains a few hundred samples/s.
-        assert!((50.0..5000.0).contains(&p.samples_per_second()), "{}", p.samples_per_second());
+        assert!(
+            (50.0..5000.0).contains(&p.samples_per_second()),
+            "{}",
+            p.samples_per_second()
+        );
     }
 
     #[test]
@@ -252,7 +284,11 @@ mod tests {
             let p = s.profile(&spec);
             assert!(p.epoch_joules > 0.0, "{}", spec.name);
             let mean_power = p.iteration_joules / p.iteration_seconds;
-            assert!(mean_power <= s.device().tdp_watts + 1e-6, "{}: {mean_power} W", spec.name);
+            assert!(
+                mean_power <= s.device().tdp_watts + 1e-6,
+                "{}: {mean_power} W",
+                spec.name
+            );
         }
     }
 

@@ -8,7 +8,7 @@
 //! 0.03M–68.4M parameters; MLPerf spans 0.213–24,500 M-FLOPs and
 //! 5.2M–49.53M parameters.
 
-use crate::spec::{Layer, LayerKind, ModelSpec, RnnKind};
+use crate::spec::{Layer, LayerKind, LayerRole, ModelSpec, RnnKind};
 
 /// Tracks spatial extent while emitting a convolutional trunk.
 struct ConvBuilder {
@@ -20,19 +20,36 @@ struct ConvBuilder {
 
 impl ConvBuilder {
     fn new(c: usize, h: usize, w: usize) -> Self {
-        ConvBuilder { layers: Vec::new(), c, h, w }
+        ConvBuilder {
+            layers: Vec::new(),
+            c,
+            h,
+            w,
+        }
     }
 
     fn conv(&mut self, c_out: usize, k: usize, stride: usize, bn: bool, relu: bool) -> &mut Self {
-        self.h = (self.h + stride - 1) / stride;
-        self.w = (self.w + stride - 1) / stride;
-        self.layers.push(Layer::once(LayerKind::Conv2d { c_in: self.c, c_out, k, h_out: self.h, w_out: self.w }));
+        self.h = self.h.div_ceil(stride);
+        self.w = self.w.div_ceil(stride);
+        self.layers.push(Layer::once(LayerKind::Conv2d {
+            c_in: self.c,
+            c_out,
+            k,
+            h_out: self.h,
+            w_out: self.w,
+        }));
         self.c = c_out;
         if bn {
-            self.layers.push(Layer::once(LayerKind::BatchNorm2d { c: self.c, h: self.h, w: self.w }));
+            self.layers.push(Layer::once(LayerKind::BatchNorm2d {
+                c: self.c,
+                h: self.h,
+                w: self.w,
+            }));
         }
         if relu {
-            self.layers.push(Layer::once(LayerKind::Relu { n: self.c * self.h * self.w }));
+            self.layers.push(Layer::once(LayerKind::Relu {
+                n: self.c * self.h * self.w,
+            }));
         }
         self
     }
@@ -49,7 +66,9 @@ impl ConvBuilder {
         }));
         self.c = c_out;
         if relu {
-            self.layers.push(Layer::once(LayerKind::Relu { n: self.c * self.h * self.w }));
+            self.layers.push(Layer::once(LayerKind::Relu {
+                n: self.c * self.h * self.w,
+            }));
         }
         self
     }
@@ -57,7 +76,12 @@ impl ConvBuilder {
     fn pool(&mut self, k: usize, stride: usize) -> &mut Self {
         self.h /= stride;
         self.w /= stride;
-        self.layers.push(Layer::once(LayerKind::Pool { c: self.c, h_out: self.h, w_out: self.w, k }));
+        self.layers.push(Layer::once(LayerKind::Pool {
+            c: self.c,
+            h_out: self.h,
+            w_out: self.w,
+            k,
+        }));
         self
     }
 
@@ -66,8 +90,13 @@ impl ConvBuilder {
         self.conv(mid, 1, 1, true, true);
         self.conv(mid, 3, stride, true, true);
         self.conv(out, 1, 1, true, false);
-        self.layers.push(Layer::once(LayerKind::Elementwise { n: self.c * self.h * self.w, ops: 1 }));
-        self.layers.push(Layer::once(LayerKind::Relu { n: self.c * self.h * self.w }));
+        self.layers.push(Layer::once(LayerKind::Elementwise {
+            n: self.c * self.h * self.w,
+            ops: 1,
+        }));
+        self.layers.push(Layer::once(LayerKind::Relu {
+            n: self.c * self.h * self.w,
+        }));
         self
     }
 
@@ -81,9 +110,9 @@ impl ConvBuilder {
 fn resnet50_trunk(h: usize, w: usize) -> (Vec<Layer>, usize, usize, usize) {
     let mut b = ConvBuilder::new(3, h, w);
     b.conv(64, 7, 2, true, true).pool(3, 2);
-    // Stage 1: 3 blocks, width 64→256.
-    for i in 0..3 {
-        b.bottleneck(64, 256, if i == 0 { 1 } else { 1 });
+    // Stage 1: 3 blocks, width 64→256 (no downsample; the stem pool did it).
+    for _ in 0..3 {
+        b.bottleneck(64, 256, 1);
         b.c = 256;
     }
     // Stage 2: 4 blocks, width 128→512, downsample on entry.
@@ -107,9 +136,20 @@ fn resnet50_trunk(h: usize, w: usize) -> (Vec<Layer>, usize, usize, usize) {
 /// DC-AI-C1 / MLPerf: ResNet-50 on ImageNet (224², 1000 classes).
 pub fn image_classification() -> ModelSpec {
     let (mut layers, c, h, _w) = resnet50_trunk(224, 224);
-    layers.push(Layer::once(LayerKind::Pool { c, h_out: 1, w_out: 1, k: h }));
-    layers.push(Layer::once(LayerKind::Linear { d_in: c, d_out: 1000 }));
-    layers.push(Layer::once(LayerKind::Softmax { rows: 1, classes: 1000 }));
+    layers.push(Layer::once(LayerKind::Pool {
+        c,
+        h_out: 1,
+        w_out: 1,
+        k: h,
+    }));
+    layers.push(Layer::once(LayerKind::Linear {
+        d_in: c,
+        d_out: 1000,
+    }));
+    layers.push(Layer::once(LayerKind::Softmax {
+        rows: 1,
+        classes: 1000,
+    }));
     ModelSpec::new("ResNet-50", layers, 3 * 224 * 224, 256, 1_281_167)
 }
 
@@ -117,23 +157,47 @@ pub fn image_classification() -> ModelSpec {
 /// LSUN bedrooms (64² RGB).
 pub fn image_generation() -> ModelSpec {
     let img = 64 * 64 * 3;
-    let mut layers = Vec::new();
     // Generator: z(128) -> 512 -> 512 -> 512 -> image.
-    layers.push(Layer::once(LayerKind::Linear { d_in: 128, d_out: 512 }));
+    let mut layers = vec![Layer::once(LayerKind::Linear {
+        d_in: 128,
+        d_out: 512,
+    })];
     layers.push(Layer::once(LayerKind::Relu { n: 512 }));
-    layers.push(Layer::repeated(LayerKind::Linear { d_in: 512, d_out: 512 }, 2));
+    layers.push(Layer::repeated(
+        LayerKind::Linear {
+            d_in: 512,
+            d_out: 512,
+        },
+        2,
+    ));
     layers.push(Layer::repeated(LayerKind::Relu { n: 512 }, 2));
-    layers.push(Layer::once(LayerKind::Linear { d_in: 512, d_out: img }));
+    layers.push(Layer::once(LayerKind::Linear {
+        d_in: 512,
+        d_out: img,
+    }));
     layers.push(Layer::once(LayerKind::Activation { n: img }));
     // Critic: image -> 512 -> 512 -> 512 -> 1.
-    layers.push(Layer::once(LayerKind::Linear { d_in: img, d_out: 512 }));
-    layers.push(Layer::repeated(LayerKind::Linear { d_in: 512, d_out: 512 }, 2));
+    layers.push(Layer::once(LayerKind::Linear {
+        d_in: img,
+        d_out: 512,
+    }));
+    layers.push(Layer::repeated(
+        LayerKind::Linear {
+            d_in: 512,
+            d_out: 512,
+        },
+        2,
+    ));
     layers.push(Layer::repeated(LayerKind::Relu { n: 512 }, 3));
-    layers.push(Layer::once(LayerKind::Linear { d_in: 512, d_out: 1 }));
+    layers.push(Layer::once(LayerKind::Linear {
+        d_in: 512,
+        d_out: 1,
+    }));
     ModelSpec::new("WassersteinGAN", layers, img, 64, 3_033_042)
 }
 
 /// Transformer encoder-decoder at a given width/depth/vocab.
+#[allow(clippy::too_many_arguments)] // one scalar per architectural knob
 fn transformer(
     name: &str,
     d: usize,
@@ -144,29 +208,69 @@ fn transformer(
     batch: usize,
     dataset: usize,
 ) -> ModelSpec {
-    let mut layers = Vec::new();
-    layers.push(Layer::once(LayerKind::Embedding { vocab, dim: d, lookups: 2 * seq }));
+    let mut layers = vec![Layer::once(LayerKind::Embedding {
+        vocab,
+        dim: d,
+        lookups: 2 * seq,
+    })];
     for _ in 0..layers_each {
         // Encoder block.
-        layers.push(Layer::once(LayerKind::Attention { d_model: d, heads: 8, seq_q: seq, seq_k: seq }));
+        layers.push(Layer::once(LayerKind::Attention {
+            d_model: d,
+            heads: 8,
+            seq_q: seq,
+            seq_k: seq,
+        }));
         layers.push(Layer::once(LayerKind::LayerNorm { rows: seq, d }));
-        layers.push(Layer::once(LayerKind::Linear { d_in: d, d_out: d_ff }));
+        layers.push(Layer::once(LayerKind::Linear {
+            d_in: d,
+            d_out: d_ff,
+        }));
         layers.push(Layer::once(LayerKind::Relu { n: seq * d_ff }));
-        layers.push(Layer::once(LayerKind::Linear { d_in: d_ff, d_out: d }));
+        layers.push(Layer::once(LayerKind::Linear {
+            d_in: d_ff,
+            d_out: d,
+        }));
         layers.push(Layer::once(LayerKind::LayerNorm { rows: seq, d }));
-        layers.push(Layer::once(LayerKind::Elementwise { n: 2 * seq * d, ops: 1 }));
+        layers.push(Layer::once(LayerKind::Elementwise {
+            n: 2 * seq * d,
+            ops: 1,
+        }));
     }
     for _ in 0..layers_each {
         // Decoder block: self + cross attention + FFN.
-        layers.push(Layer::repeated(LayerKind::Attention { d_model: d, heads: 8, seq_q: seq, seq_k: seq }, 2));
+        layers.push(Layer::repeated(
+            LayerKind::Attention {
+                d_model: d,
+                heads: 8,
+                seq_q: seq,
+                seq_k: seq,
+            },
+            2,
+        ));
         layers.push(Layer::repeated(LayerKind::LayerNorm { rows: seq, d }, 3));
-        layers.push(Layer::once(LayerKind::Linear { d_in: d, d_out: d_ff }));
+        layers.push(Layer::once(LayerKind::Linear {
+            d_in: d,
+            d_out: d_ff,
+        }));
         layers.push(Layer::once(LayerKind::Relu { n: seq * d_ff }));
-        layers.push(Layer::once(LayerKind::Linear { d_in: d_ff, d_out: d }));
-        layers.push(Layer::once(LayerKind::Elementwise { n: 3 * seq * d, ops: 1 }));
+        layers.push(Layer::once(LayerKind::Linear {
+            d_in: d_ff,
+            d_out: d,
+        }));
+        layers.push(Layer::once(LayerKind::Elementwise {
+            n: 3 * seq * d,
+            ops: 1,
+        }));
     }
-    layers.push(Layer::once(LayerKind::Linear { d_in: d, d_out: vocab }));
-    layers.push(Layer::once(LayerKind::Softmax { rows: seq, classes: vocab }));
+    layers.push(Layer::once(LayerKind::Linear {
+        d_in: d,
+        d_out: vocab,
+    }));
+    layers.push(Layer::once(LayerKind::Softmax {
+        rows: seq,
+        classes: vocab,
+    }));
     ModelSpec::new(name, layers, 2 * seq, batch, dataset)
 }
 
@@ -187,15 +291,38 @@ pub fn image_to_text() -> ModelSpec {
     b.conv(832, 3, 2, true, true);
     b.conv(1024, 3, 1, true, true);
     let (mut layers, c, h, _) = b.finish();
-    layers.push(Layer::once(LayerKind::Pool { c, h_out: 1, w_out: 1, k: h }));
-    layers.push(Layer::once(LayerKind::Linear { d_in: c, d_out: 512 }));
+    layers.push(Layer::once(LayerKind::Pool {
+        c,
+        h_out: 1,
+        w_out: 1,
+        k: h,
+    }));
+    layers.push(Layer::once(LayerKind::Linear {
+        d_in: c,
+        d_out: 512,
+    }));
     // Caption decoder: vocab 40k embeddings dominate the parameter count.
     let vocab = 48_000;
     let seq = 20;
-    layers.push(Layer::once(LayerKind::Embedding { vocab, dim: 512, lookups: seq }));
-    layers.push(Layer::once(LayerKind::Rnn { kind: RnnKind::Lstm, d_in: 512, d_h: 512, steps: seq }));
-    layers.push(Layer::once(LayerKind::Linear { d_in: 512, d_out: vocab }));
-    layers.push(Layer::once(LayerKind::Softmax { rows: seq, classes: vocab }));
+    layers.push(Layer::once(LayerKind::Embedding {
+        vocab,
+        dim: 512,
+        lookups: seq,
+    }));
+    layers.push(Layer::once(LayerKind::Rnn {
+        kind: RnnKind::Lstm,
+        d_in: 512,
+        d_h: 512,
+        steps: seq,
+    }));
+    layers.push(Layer::once(LayerKind::Linear {
+        d_in: 512,
+        d_out: vocab,
+    }));
+    layers.push(Layer::once(LayerKind::Softmax {
+        rows: seq,
+        classes: vocab,
+    }));
     ModelSpec::new("NeuralImageCaption", layers, 3 * 224 * 224, 64, 82_783)
 }
 
@@ -212,21 +339,27 @@ pub fn image_to_image() -> ModelSpec {
         for _ in 0..9 {
             g.conv(256, 3, 1, true, true);
             g.conv(256, 3, 1, true, false);
-            g.layers.push(Layer::once(LayerKind::Elementwise { n: 256 * 32 * 32, ops: 1 }));
+            g.layers.push(Layer::once(LayerKind::Elementwise {
+                n: 256 * 32 * 32,
+                ops: 1,
+            }));
         }
         g.deconv(128, 3, 2, true);
         g.deconv(64, 3, 2, true);
         g.conv(3, 7, 1, false, false);
-        let (gl, _, _, _) = g.finish();
+        let (mut gl, _, _, _) = g.finish();
+        // Each generator consumes a fresh 128² image (its own domain).
+        gl[0].role = LayerRole::Head;
         layers.extend(gl);
-        // 70x70 PatchGAN critic.
+        // 70x70 PatchGAN critic — a separate network over the translated image.
         let mut d = ConvBuilder::new(3, 128, 128);
         d.conv(64, 4, 2, false, true);
         d.conv(128, 4, 2, true, true);
         d.conv(256, 4, 2, true, true);
         d.conv(512, 4, 1, true, true);
         d.conv(1, 4, 1, false, false);
-        let (dl, _, _, _) = d.finish();
+        let (mut dl, _, _, _) = d.finish();
+        dl[0].role = LayerRole::Head;
         layers.extend(dl);
     }
     ModelSpec::new("CycleGAN", layers, 3 * 128 * 128, 1, 2_975)
@@ -242,10 +375,29 @@ pub fn speech_recognition() -> ModelSpec {
     let (mut layers, c, h, w) = b.finish();
     let d_in = c * h;
     let steps = w;
-    layers.push(Layer::once(LayerKind::Rnn { kind: RnnKind::Gru, d_in, d_h: 800, steps }));
-    layers.push(Layer::repeated(LayerKind::Rnn { kind: RnnKind::Gru, d_in: 1600, d_h: 800, steps }, 4));
-    layers.push(Layer::once(LayerKind::Linear { d_in: 1600, d_out: 29 }));
-    layers.push(Layer::once(LayerKind::Softmax { rows: steps, classes: 29 }));
+    layers.push(Layer::once(LayerKind::Rnn {
+        kind: RnnKind::Gru,
+        d_in,
+        d_h: 800,
+        steps,
+    }));
+    layers.push(Layer::repeated(
+        LayerKind::Rnn {
+            kind: RnnKind::Gru,
+            d_in: 1600,
+            d_h: 800,
+            steps,
+        },
+        4,
+    ));
+    layers.push(Layer::once(LayerKind::Linear {
+        d_in: 1600,
+        d_out: 29,
+    }));
+    layers.push(Layer::once(LayerKind::Softmax {
+        rows: steps,
+        classes: 29,
+    }));
     ModelSpec::new("DeepSpeech2", layers, bands * frames, 32, 281_241)
 }
 
@@ -263,9 +415,20 @@ pub fn face_embedding() -> ModelSpec {
     b.conv(1024, 3, 1, true, true);
     b.conv(1024, 3, 1, true, true);
     let (mut layers, c, h, _) = b.finish();
-    layers.push(Layer::once(LayerKind::Pool { c, h_out: 1, w_out: 1, k: h }));
-    layers.push(Layer::once(LayerKind::Linear { d_in: c, d_out: 4096 }));
-    layers.push(Layer::once(LayerKind::Linear { d_in: 4096, d_out: 128 }));
+    layers.push(Layer::once(LayerKind::Pool {
+        c,
+        h_out: 1,
+        w_out: 1,
+        k: h,
+    }));
+    layers.push(Layer::once(LayerKind::Linear {
+        d_in: c,
+        d_out: 4096,
+    }));
+    layers.push(Layer::once(LayerKind::Linear {
+        d_in: 4096,
+        d_out: 128,
+    }));
     ModelSpec::new("FaceNet", layers, 3 * 160 * 160, 90, 3_310_000)
 }
 
@@ -274,15 +437,33 @@ pub fn face_embedding() -> ModelSpec {
 pub fn face_recognition_3d() -> ModelSpec {
     let (mut layers, c, h, w) = resnet50_trunk(224, 224);
     // First conv is widened to 4 input channels; approximate by one extra
-    // depth-channel conv at the stem resolution.
+    // depth-channel conv at the stem resolution, a side branch off the
+    // RGB-D input rather than part of the RGB chain.
     layers.insert(
         0,
-        Layer::once(LayerKind::Conv2d { c_in: 1, c_out: 64, k: 7, h_out: 112, w_out: 112 }),
+        Layer::side(LayerKind::Conv2d {
+            c_in: 1,
+            c_out: 64,
+            k: 7,
+            h_out: 112,
+            w_out: 112,
+        }),
     );
     let _ = w;
-    layers.push(Layer::once(LayerKind::Pool { c, h_out: 1, w_out: 1, k: h }));
-    layers.push(Layer::once(LayerKind::Linear { d_in: c, d_out: 253 }));
-    layers.push(Layer::once(LayerKind::Softmax { rows: 1, classes: 253 }));
+    layers.push(Layer::once(LayerKind::Pool {
+        c,
+        h_out: 1,
+        w_out: 1,
+        k: h,
+    }));
+    layers.push(Layer::once(LayerKind::Linear {
+        d_in: c,
+        d_out: 253,
+    }));
+    layers.push(Layer::once(LayerKind::Softmax {
+        rows: 1,
+        classes: 253,
+    }));
     ModelSpec::new("RGB-D ResNet-50", layers, 4 * 224 * 224, 64, 77_715)
 }
 
@@ -290,33 +471,113 @@ pub fn face_recognition_3d() -> ModelSpec {
 /// inputs, 300 region proposals).
 pub fn object_detection() -> ModelSpec {
     let (mut layers, c, _h, _w) = resnet50_trunk(800, 1100);
-    // RPN head over the stride-16 map (wider 512-channel conv).
-    layers.push(Layer::once(LayerKind::Conv2d { c_in: c, c_out: 512, k: 3, h_out: 50, w_out: 69 }));
-    layers.push(Layer::once(LayerKind::Conv2d { c_in: 512, c_out: 24, k: 1, h_out: 50, w_out: 69 }));
+    let _ = c;
+    // RPN head over the stride-16 map — a side branch off the 1024-channel
+    // stage-3 activation (50×69 at stride 16), not the 2048-channel output,
+    // so it is spliced in right after the last stage-3 layer.
+    let stage3_end = layers
+        .iter()
+        .rposition(|l| matches!(l.kind, LayerKind::Relu { n } if n == 1024 * 50 * 69))
+        .expect("resnet50 trunk has a stage-3 tail")
+        + 1;
+    layers.splice(
+        stage3_end..stage3_end,
+        [
+            Layer::side(LayerKind::Conv2d {
+                c_in: 1024,
+                c_out: 512,
+                k: 3,
+                h_out: 50,
+                w_out: 69,
+            }),
+            Layer::side(LayerKind::Conv2d {
+                c_in: 512,
+                c_out: 24,
+                k: 1,
+                h_out: 50,
+                w_out: 69,
+            }),
+        ],
+    );
     // RoI Align: bilinear grid sampling of 300 proposal crops (7x7x1024),
     // plus per-proposal layout shuffling — the data-arrangement-heavy part
-    // of two-stage detection.
-    layers.push(Layer::shared(LayerKind::GridSample { c: 1024, h: 7, w: 7 }, 300));
+    // of two-stage detection. Starts the per-proposal head segment.
+    layers.push(
+        Layer::shared(
+            LayerKind::GridSample {
+                c: 1024,
+                h: 7,
+                w: 7,
+            },
+            300,
+        )
+        .with_role(LayerRole::Head),
+    );
     // 300 RoI heads with shared weights over pooled 1024-d crop features.
-    layers.push(Layer::shared(LayerKind::Pool { c: 1024, h_out: 1, w_out: 1, k: 7 }, 300));
-    layers.push(Layer::shared(LayerKind::Linear { d_in: 1024, d_out: 1024 }, 300));
-    layers.push(Layer::shared(LayerKind::Linear { d_in: 1024, d_out: 1024 }, 300));
-    layers.push(Layer::shared(LayerKind::Linear { d_in: 1024, d_out: 84 }, 300));
-    layers.push(Layer::once(LayerKind::Softmax { rows: 300, classes: 21 }));
+    layers.push(Layer::shared(
+        LayerKind::Pool {
+            c: 1024,
+            h_out: 1,
+            w_out: 1,
+            k: 7,
+        },
+        300,
+    ));
+    layers.push(Layer::shared(
+        LayerKind::Linear {
+            d_in: 1024,
+            d_out: 1024,
+        },
+        300,
+    ));
+    layers.push(Layer::shared(
+        LayerKind::Linear {
+            d_in: 1024,
+            d_out: 1024,
+        },
+        300,
+    ));
+    layers.push(Layer::shared(
+        LayerKind::Linear {
+            d_in: 1024,
+            d_out: 84,
+        },
+        300,
+    ));
+    layers.push(Layer::once(LayerKind::Softmax {
+        rows: 300,
+        classes: 21,
+    }));
     ModelSpec::new("Faster R-CNN", layers, 3 * 600 * 850, 1, 5_011)
 }
 
 /// DC-AI-C10 / MLPerf: Neural Collaborative Filtering on MovieLens.
 pub fn recommendation() -> ModelSpec {
     let (users, items, dim) = (138_493, 26_744, 32);
-    let mut layers = Vec::new();
-    layers.push(Layer::once(LayerKind::Embedding { vocab: users, dim, lookups: 1 }));
-    layers.push(Layer::once(LayerKind::Embedding { vocab: items, dim, lookups: 1 }));
-    layers.push(Layer::once(LayerKind::Linear { d_in: 2 * dim, d_out: 256 }));
+    let mut layers = vec![Layer::once(LayerKind::Embedding {
+        vocab: users,
+        dim,
+        lookups: 1,
+    })];
+    layers.push(Layer::once(LayerKind::Embedding {
+        vocab: items,
+        dim,
+        lookups: 1,
+    }));
+    layers.push(Layer::once(LayerKind::Linear {
+        d_in: 2 * dim,
+        d_out: 256,
+    }));
     layers.push(Layer::once(LayerKind::Relu { n: 256 }));
-    layers.push(Layer::once(LayerKind::Linear { d_in: 256, d_out: 128 }));
+    layers.push(Layer::once(LayerKind::Linear {
+        d_in: 256,
+        d_out: 128,
+    }));
     layers.push(Layer::once(LayerKind::Relu { n: 128 }));
-    layers.push(Layer::once(LayerKind::Linear { d_in: 128, d_out: 64 }));
+    layers.push(Layer::once(LayerKind::Linear {
+        d_in: 128,
+        d_out: 64,
+    }));
     layers.push(Layer::once(LayerKind::Linear { d_in: 64, d_out: 1 }));
     layers.push(Layer::once(LayerKind::Activation { n: 1 }));
     ModelSpec::new("NeuralCF", layers, 2, 1024, 5_000_000)
@@ -330,14 +591,27 @@ pub fn video_prediction() -> ModelSpec {
     b.conv(64, 5, 2, true, true);
     b.conv(128, 5, 2, true, true);
     let (mut layers, _, _, _) = b.finish();
-    layers.push(Layer::once(LayerKind::Rnn { kind: RnnKind::Lstm, d_in: 128 * 8 * 8, d_h: 512, steps: 10 }));
+    layers.push(Layer::once(LayerKind::Rnn {
+        kind: RnnKind::Lstm,
+        d_in: 128 * 8 * 8,
+        d_h: 512,
+        steps: 10,
+    }));
+    // Decoder reseeds from the conv-LSTM state volume.
     let mut d = ConvBuilder::new(128, 8, 8);
     d.deconv(64, 5, 2, true);
     d.deconv(32, 5, 2, true);
     d.deconv(3, 5, 2, false);
-    let (dl, _, _, _) = d.finish();
+    let (mut dl, _, _, _) = d.finish();
+    dl[0].role = LayerRole::Head;
     layers.extend(dl);
-    ModelSpec::new("MotionFocusedPredictive", layers, 3 * 64 * 64 * 10, 32, 59_000)
+    ModelSpec::new(
+        "MotionFocusedPredictive",
+        layers,
+        3 * 64 * 64 * 10,
+        32,
+        59_000,
+    )
 }
 
 /// DC-AI-C12: full-resolution recurrent image compression on ImageNet
@@ -349,13 +623,20 @@ pub fn image_compression() -> ModelSpec {
     b.conv(512, 3, 2, false, true);
     let (mut layers, _, _, _) = b.finish();
     // Recurrent refinement core over 16 iterations.
-    layers.push(Layer::once(LayerKind::Rnn { kind: RnnKind::Gru, d_in: 512, d_h: 512, steps: 16 }));
+    layers.push(Layer::once(LayerKind::Rnn {
+        kind: RnnKind::Gru,
+        d_in: 512,
+        d_h: 512,
+        steps: 16,
+    }));
     layers.push(Layer::once(LayerKind::Activation { n: 8 * 8 * 32 * 16 })); // binarizer
+                                                                            // Decoder reseeds from the binarized code volume.
     let mut d = ConvBuilder::new(512, 8, 8);
     d.deconv(256, 3, 2, true);
     d.deconv(64, 3, 2, true);
     d.deconv(3, 3, 2, false);
-    let (dl, _, _, _) = d.finish();
+    let (mut dl, _, _, _) = d.finish();
+    dl[0].role = LayerRole::Head;
     layers.extend(dl);
     ModelSpec::new("RecurrentCompression", layers, 3 * 64 * 64, 64, 1_281_167)
 }
@@ -372,10 +653,21 @@ pub fn object_reconstruction_3d() -> ModelSpec {
     b.conv(512, 3, 1, true, true);
     let (mut layers, c, h, w) = b.finish();
     let _ = (h, w);
-    layers.push(Layer::once(LayerKind::Pool { c, h_out: 7, w_out: 7, k: 4 }));
-    layers.push(Layer::once(LayerKind::Linear { d_in: c * 7 * 7, d_out: 1024 }));
+    layers.push(Layer::once(LayerKind::Pool {
+        c,
+        h_out: 7,
+        w_out: 7,
+        k: 4,
+    }));
+    layers.push(Layer::once(LayerKind::Linear {
+        d_in: c * 7 * 7,
+        d_out: 1024,
+    }));
     // Volume decoder: treat 3-D deconvs as stacked 2-D deconv slices.
-    layers.push(Layer::once(LayerKind::Linear { d_in: 1024, d_out: 4 * 4 * 4 * 256 }));
+    layers.push(Layer::once(LayerKind::Linear {
+        d_in: 1024,
+        d_out: 4 * 4 * 4 * 256,
+    }));
     let mut d = ConvBuilder::new(256, 8, 8);
     d.deconv(256, 3, 2, true);
     d.deconv(128, 3, 2, true);
@@ -388,20 +680,54 @@ pub fn object_reconstruction_3d() -> ModelSpec {
     for l in dl {
         layers.push(Layer::shared(l.kind, l.repeat * 32 * 3));
     }
-    layers.push(Layer::once(LayerKind::GridSample { c: dc, h: dh, w: dw }));
-    ModelSpec::new("PerspectiveTransformerNet", layers, 3 * 224 * 224, 8, 43_783)
+    layers.push(Layer::once(LayerKind::GridSample {
+        c: dc,
+        h: dh,
+        w: dw,
+    }));
+    ModelSpec::new(
+        "PerspectiveTransformerNet",
+        layers,
+        3 * 224 * 224,
+        8,
+        43_783,
+    )
 }
 
 /// DC-AI-C14: attentional sequence-to-sequence summarization on Gigaword.
 pub fn text_summarization() -> ModelSpec {
     let (vocab, d, seq_in, seq_out) = (50_000, 400, 50, 15);
-    let mut layers = Vec::new();
-    layers.push(Layer::once(LayerKind::Embedding { vocab, dim: d, lookups: seq_in + seq_out }));
-    layers.push(Layer::once(LayerKind::Rnn { kind: RnnKind::Lstm, d_in: d, d_h: d, steps: seq_in }));
-    layers.push(Layer::once(LayerKind::Rnn { kind: RnnKind::Lstm, d_in: d, d_h: d, steps: seq_out }));
-    layers.push(Layer::once(LayerKind::Attention { d_model: d, heads: 1, seq_q: seq_out, seq_k: seq_in }));
-    layers.push(Layer::once(LayerKind::Linear { d_in: d, d_out: vocab }));
-    layers.push(Layer::once(LayerKind::Softmax { rows: seq_out, classes: vocab }));
+    let mut layers = vec![Layer::once(LayerKind::Embedding {
+        vocab,
+        dim: d,
+        lookups: seq_in + seq_out,
+    })];
+    layers.push(Layer::once(LayerKind::Rnn {
+        kind: RnnKind::Lstm,
+        d_in: d,
+        d_h: d,
+        steps: seq_in,
+    }));
+    layers.push(Layer::once(LayerKind::Rnn {
+        kind: RnnKind::Lstm,
+        d_in: d,
+        d_h: d,
+        steps: seq_out,
+    }));
+    layers.push(Layer::once(LayerKind::Attention {
+        d_model: d,
+        heads: 1,
+        seq_q: seq_out,
+        seq_k: seq_in,
+    }));
+    layers.push(Layer::once(LayerKind::Linear {
+        d_in: d,
+        d_out: vocab,
+    }));
+    layers.push(Layer::once(LayerKind::Softmax {
+        rows: seq_out,
+        classes: vocab,
+    }));
     ModelSpec::new("Seq2SeqAttention", layers, seq_in, 64, 3_800_000)
 }
 
@@ -415,17 +741,28 @@ pub fn spatial_transformer() -> ModelSpec {
     b.conv(10, 5, 1, false, true).pool(2, 2);
     let (ll, lc, lh, lw) = b.finish();
     layers.extend(ll);
-    layers.push(Layer::once(LayerKind::Linear { d_in: lc * lh * lw, d_out: 32 }));
+    layers.push(Layer::once(LayerKind::Linear {
+        d_in: lc * lh * lw,
+        d_out: 32,
+    }));
     layers.push(Layer::once(LayerKind::Linear { d_in: 32, d_out: 6 }));
-    layers.push(Layer::once(LayerKind::GridSample { c: 1, h: 28, w: 28 }));
+    // The sampler warps the *original* 28² input with the predicted affine
+    // grid, starting the classifier segment.
+    layers.push(Layer::head(LayerKind::GridSample { c: 1, h: 28, w: 28 }));
     // Classifier.
     let mut cb = ConvBuilder::new(1, 28, 28);
     cb.conv(10, 5, 1, false, true).pool(2, 2);
     cb.conv(20, 5, 1, false, true).pool(2, 2);
     let (cl, cc, ch, cw) = cb.finish();
     layers.extend(cl);
-    layers.push(Layer::once(LayerKind::Linear { d_in: cc * ch * cw, d_out: 10 }));
-    layers.push(Layer::once(LayerKind::Softmax { rows: 1, classes: 10 }));
+    layers.push(Layer::once(LayerKind::Linear {
+        d_in: cc * ch * cw,
+        d_out: 10,
+    }));
+    layers.push(Layer::once(LayerKind::Softmax {
+        rows: 1,
+        classes: 10,
+    }));
     ModelSpec::new("SpatialTransformerNet", layers, 28 * 28, 256, 60_000)
 }
 
@@ -434,14 +771,29 @@ pub fn spatial_transformer() -> ModelSpec {
 /// smallest FLOPs, ~0.09 M-FLOPs).
 pub fn learning_to_rank() -> ModelSpec {
     let (items, dim) = (196_591, 10);
-    let mut layers = Vec::new();
-    layers.push(Layer::once(LayerKind::Embedding { vocab: items, dim, lookups: 3 }));
-    layers.push(Layer::once(LayerKind::Linear { d_in: 3 * dim, d_out: 100 }));
+    let mut layers = vec![Layer::once(LayerKind::Embedding {
+        vocab: items,
+        dim,
+        lookups: 3,
+    })];
+    layers.push(Layer::once(LayerKind::Linear {
+        d_in: 3 * dim,
+        d_out: 100,
+    }));
     layers.push(Layer::once(LayerKind::Relu { n: 100 }));
-    layers.push(Layer::once(LayerKind::Linear { d_in: 100, d_out: 100 }));
+    layers.push(Layer::once(LayerKind::Linear {
+        d_in: 100,
+        d_out: 100,
+    }));
     layers.push(Layer::once(LayerKind::Relu { n: 100 }));
-    layers.push(Layer::once(LayerKind::Linear { d_in: 100, d_out: 100 }));
-    layers.push(Layer::once(LayerKind::Linear { d_in: 100, d_out: 50 }));
+    layers.push(Layer::once(LayerKind::Linear {
+        d_in: 100,
+        d_out: 100,
+    }));
+    layers.push(Layer::once(LayerKind::Linear {
+        d_in: 100,
+        d_out: 50,
+    }));
     layers.push(Layer::once(LayerKind::Activation { n: 50 }));
     ModelSpec::new("RankingDistillation", layers, 3, 512, 6_442_890)
 }
@@ -451,14 +803,33 @@ pub fn learning_to_rank() -> ModelSpec {
 /// the spec models one representative child step.
 pub fn neural_architecture_search() -> ModelSpec {
     let (vocab, d) = (10_000, 400);
-    let mut layers = Vec::new();
     // Controller LSTM sampling 24 architecture decisions.
-    layers.push(Layer::once(LayerKind::Rnn { kind: RnnKind::Lstm, d_in: 64, d_h: 100, steps: 24 }));
+    let mut layers = vec![Layer::once(LayerKind::Rnn {
+        kind: RnnKind::Lstm,
+        d_in: 64,
+        d_h: 100,
+        steps: 24,
+    })];
     // Shared-weight child: embedding + recurrent cell + output projection.
-    layers.push(Layer::once(LayerKind::Embedding { vocab, dim: d, lookups: 35 }));
-    layers.push(Layer::once(LayerKind::Rnn { kind: RnnKind::Lstm, d_in: d, d_h: d, steps: 35 }));
-    layers.push(Layer::once(LayerKind::Linear { d_in: d, d_out: vocab }));
-    layers.push(Layer::once(LayerKind::Softmax { rows: 35, classes: vocab }));
+    layers.push(Layer::once(LayerKind::Embedding {
+        vocab,
+        dim: d,
+        lookups: 35,
+    }));
+    layers.push(Layer::once(LayerKind::Rnn {
+        kind: RnnKind::Lstm,
+        d_in: d,
+        d_h: d,
+        steps: 35,
+    }));
+    layers.push(Layer::once(LayerKind::Linear {
+        d_in: d,
+        d_out: vocab,
+    }));
+    layers.push(Layer::once(LayerKind::Softmax {
+        rows: 35,
+        classes: vocab,
+    }));
     ModelSpec::new("ENAS", layers, 35, 128, 929_589)
 }
 
@@ -469,15 +840,67 @@ pub fn neural_architecture_search() -> ModelSpec {
 /// MLPerf Object Detection (heavy): Mask R-CNN with a ResNet-50 backbone
 /// at 800² (per the paper's coverage numbers, the MLPerf FLOPs maximum).
 pub fn mlperf_object_detection_heavy() -> ModelSpec {
-    let (mut layers, c, _h, _w) = resnet50_trunk(800, 800);
-    layers.push(Layer::once(LayerKind::Conv2d { c_in: c, c_out: 256, k: 3, h_out: 50, w_out: 50 }));
-    layers.push(Layer::shared(LayerKind::GridSample { c: 256, h: 14, w: 14 }, 100));
-    layers.push(Layer::shared(LayerKind::Linear { d_in: 7 * 7 * 256, d_out: 1024 }, 100));
-    layers.push(Layer::shared(LayerKind::Linear { d_in: 1024, d_out: 1024 }, 100));
-    layers.push(Layer::shared(LayerKind::Linear { d_in: 1024, d_out: 324 }, 100));
-    // Mask head convs on 14² crops (shared weights across proposals).
-    layers.push(Layer::shared(LayerKind::Conv2d { c_in: 256, c_out: 256, k: 3, h_out: 14, w_out: 14 }, 100));
-    layers.push(Layer::once(LayerKind::Softmax { rows: 100, classes: 81 }));
+    let (mut layers, c, h, w) = resnet50_trunk(800, 800);
+    // FPN-style lateral conv on the 25×25 stride-32 output map.
+    layers.push(Layer::once(LayerKind::Conv2d {
+        c_in: c,
+        c_out: 256,
+        k: 3,
+        h_out: h,
+        w_out: w,
+    }));
+    // Box head: 7×7 RoIAlign crops, two FC layers, class scores + box deltas.
+    layers.push(
+        Layer::shared(LayerKind::GridSample { c: 256, h: 7, w: 7 }, 100).with_role(LayerRole::Head),
+    );
+    layers.push(Layer::shared(
+        LayerKind::Linear {
+            d_in: 7 * 7 * 256,
+            d_out: 1024,
+        },
+        100,
+    ));
+    layers.push(Layer::shared(
+        LayerKind::Linear {
+            d_in: 1024,
+            d_out: 1024,
+        },
+        100,
+    ));
+    layers.push(Layer::shared(
+        LayerKind::Linear {
+            d_in: 1024,
+            d_out: 324,
+        },
+        100,
+    ));
+    layers.push(Layer::once(LayerKind::Softmax {
+        rows: 100,
+        classes: 81,
+    }));
+    // Mask head: 14×14 RoIAlign crops + convs (shared weights across
+    // proposals), a separate per-proposal segment.
+    layers.push(
+        Layer::shared(
+            LayerKind::GridSample {
+                c: 256,
+                h: 14,
+                w: 14,
+            },
+            100,
+        )
+        .with_role(LayerRole::Head),
+    );
+    layers.push(Layer::shared(
+        LayerKind::Conv2d {
+            c_in: 256,
+            c_out: 256,
+            k: 3,
+            h_out: 14,
+            w_out: 14,
+        },
+        100,
+    ));
     ModelSpec::new("Mask R-CNN", layers, 3 * 800 * 800, 2, 118_287)
 }
 
@@ -504,9 +927,19 @@ pub fn mlperf_object_detection_light() -> ModelSpec {
     b.conv(512, 3, 2, true, true);
     b.conv(512, 3, 1, true, true);
     b.conv(256, 3, 2, true, true);
-    let (mut layers, _, _, _) = b.finish();
-    layers.push(Layer::once(LayerKind::Conv2d { c_in: 256, c_out: 486, k: 3, h_out: 10, w_out: 10 }));
-    layers.push(Layer::once(LayerKind::Softmax { rows: 8_732, classes: 81 }));
+    let (mut layers, hc, hh, hw) = b.finish();
+    // Detection head conv on the final 5×5 extra feature map.
+    layers.push(Layer::once(LayerKind::Conv2d {
+        c_in: hc,
+        c_out: 486,
+        k: 3,
+        h_out: hh,
+        w_out: hw,
+    }));
+    layers.push(Layer::once(LayerKind::Softmax {
+        rows: 8_732,
+        classes: 81,
+    }));
     ModelSpec::new("SSD-ResNet34", layers, 3 * 300 * 300, 32, 118_287)
 }
 
@@ -514,13 +947,43 @@ pub fn mlperf_object_detection_light() -> ModelSpec {
 /// encoder-decoder with attention.
 pub fn mlperf_translation_recurrent() -> ModelSpec {
     let (vocab, d, seq) = (32_000, 512, 50);
-    let mut layers = Vec::new();
-    layers.push(Layer::once(LayerKind::Embedding { vocab, dim: d, lookups: 2 * seq }));
-    layers.push(Layer::repeated(LayerKind::Rnn { kind: RnnKind::Lstm, d_in: d, d_h: d, steps: seq }, 4));
-    layers.push(Layer::repeated(LayerKind::Rnn { kind: RnnKind::Lstm, d_in: d, d_h: d, steps: seq }, 4));
-    layers.push(Layer::once(LayerKind::Attention { d_model: d, heads: 1, seq_q: seq, seq_k: seq }));
-    layers.push(Layer::once(LayerKind::Linear { d_in: d, d_out: vocab }));
-    layers.push(Layer::once(LayerKind::Softmax { rows: seq, classes: vocab }));
+    let mut layers = vec![Layer::once(LayerKind::Embedding {
+        vocab,
+        dim: d,
+        lookups: 2 * seq,
+    })];
+    layers.push(Layer::repeated(
+        LayerKind::Rnn {
+            kind: RnnKind::Lstm,
+            d_in: d,
+            d_h: d,
+            steps: seq,
+        },
+        4,
+    ));
+    layers.push(Layer::repeated(
+        LayerKind::Rnn {
+            kind: RnnKind::Lstm,
+            d_in: d,
+            d_h: d,
+            steps: seq,
+        },
+        4,
+    ));
+    layers.push(Layer::once(LayerKind::Attention {
+        d_model: d,
+        heads: 1,
+        seq_q: seq,
+        seq_k: seq,
+    }));
+    layers.push(Layer::once(LayerKind::Linear {
+        d_in: d,
+        d_out: vocab,
+    }));
+    layers.push(Layer::once(LayerKind::Softmax {
+        rows: seq,
+        classes: vocab,
+    }));
     ModelSpec::new("GNMT", layers, 2 * seq, 128, 4_500_000)
 }
 
@@ -528,7 +991,16 @@ pub fn mlperf_translation_recurrent() -> ModelSpec {
 /// shared-embedding vocabulary (keeping MLPerf's parameter ceiling at
 /// ~49.5M, as the paper's coverage figures report).
 pub fn mlperf_translation_nonrecurrent() -> ModelSpec {
-    transformer("Transformer (MLPerf)", 512, 6, 2048, 16_000, 33, 128, 4_500_000)
+    transformer(
+        "Transformer (MLPerf)",
+        512,
+        6,
+        2048,
+        16_000,
+        33,
+        128,
+        4_500_000,
+    )
 }
 
 /// MLPerf Reinforcement Learning: minigo-style policy/value network
@@ -540,12 +1012,21 @@ pub fn mlperf_reinforcement_learning() -> ModelSpec {
     for _ in 0..9 {
         b.conv(256, 3, 1, true, true);
         b.conv(256, 3, 1, true, false);
-        b.layers.push(Layer::once(LayerKind::Elementwise { n: 256 * 19 * 19, ops: 1 }));
+        b.layers.push(Layer::once(LayerKind::Elementwise {
+            n: 256 * 19 * 19,
+            ops: 1,
+        }));
     }
     b.conv(2, 1, 1, true, true);
     let (mut layers, _, _, _) = b.finish();
-    layers.push(Layer::once(LayerKind::Linear { d_in: 2 * 19 * 19, d_out: 362 }));
-    layers.push(Layer::once(LayerKind::Softmax { rows: 1, classes: 362 }));
+    layers.push(Layer::once(LayerKind::Linear {
+        d_in: 2 * 19 * 19,
+        d_out: 362,
+    }));
+    layers.push(Layer::once(LayerKind::Softmax {
+        rows: 1,
+        classes: 362,
+    }));
     ModelSpec::new("Minigo", layers, 17 * 19 * 19, 64, 2_000_000)
 }
 
@@ -610,6 +1091,107 @@ mod tests {
         let (_, c, h, w) = resnet50_trunk(224, 224);
         assert_eq!(c, 2048);
         assert_eq!((h, w), (7, 7));
+    }
+
+    #[test]
+    fn rpn_head_reads_the_stride_16_map() {
+        // Regression: the RPN convs tap the 1024-channel stage-3 activation
+        // (50×69 at stride 16); 2048 channels only exist at stride 32.
+        let spec = object_detection();
+        let rpn: Vec<_> = spec
+            .layers
+            .iter()
+            .filter(|l| l.role == LayerRole::Side)
+            .map(|l| &l.kind)
+            .collect();
+        assert_eq!(rpn.len(), 2);
+        match rpn[0] {
+            LayerKind::Conv2d {
+                c_in, h_out, w_out, ..
+            } => {
+                assert_eq!((*c_in, *h_out, *w_out), (1024, 50, 69));
+            }
+            other => panic!("unexpected RPN layer {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mask_rcnn_heads_match_backbone_and_roi_geometry() {
+        // Regression: the lateral conv consumes the actual 25×25 trunk
+        // output (it used to claim an impossible 50×50 from a 25×25 input),
+        // the box head pools 7×7 crops to feed the 7·7·256 FC layer, and
+        // the mask head runs on its own 14×14 RoIAlign segment.
+        let spec = mlperf_object_detection_heavy();
+        let conv = spec
+            .layers
+            .iter()
+            .find_map(|l| match l.kind {
+                LayerKind::Conv2d {
+                    c_in: 2048,
+                    h_out,
+                    w_out,
+                    ..
+                } => Some((h_out, w_out)),
+                _ => None,
+            })
+            .expect("lateral conv");
+        assert_eq!(conv, (25, 25));
+        let crops: Vec<_> = spec
+            .layers
+            .iter()
+            .filter_map(|l| match l.kind {
+                LayerKind::GridSample { h, w, .. } => Some((h, w, l.role)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            crops,
+            vec![(7, 7, LayerRole::Head), (14, 14, LayerRole::Head)]
+        );
+    }
+
+    #[test]
+    fn ssd_head_conv_matches_final_feature_map() {
+        // Regression: the detection head consumes the 5×5 extra feature
+        // layer output (it used to claim an impossible 10×10).
+        let spec = mlperf_object_detection_light();
+        let head = spec
+            .layers
+            .iter()
+            .rev()
+            .find_map(|l| match l.kind {
+                LayerKind::Conv2d {
+                    c_in,
+                    c_out: 486,
+                    h_out,
+                    w_out,
+                    ..
+                } => Some((c_in, h_out, w_out)),
+                _ => None,
+            })
+            .expect("detection head conv");
+        assert_eq!(head, (256, 5, 5));
+    }
+
+    #[test]
+    fn segment_heads_are_annotated() {
+        // Decoder/sampler segment entry points carry the Head role so the
+        // shape checker restarts propagation there.
+        for (spec, heads) in [
+            (image_to_image(), 4),
+            (video_prediction(), 1),
+            (image_compression(), 1),
+            (spatial_transformer(), 1),
+            (object_detection(), 1),
+            (mlperf_object_detection_heavy(), 2),
+        ] {
+            let found = spec
+                .layers
+                .iter()
+                .filter(|l| l.role == LayerRole::Head)
+                .count();
+            assert_eq!(found, heads, "{}", spec.name);
+        }
     }
 
     #[test]

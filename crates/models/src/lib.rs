@@ -22,7 +22,7 @@ pub mod catalog;
 pub mod scaled;
 pub mod spec;
 
-pub use spec::{Layer, LayerKind, ModelSpec, RnnKind};
+pub use spec::{Layer, LayerKind, LayerRole, ModelSpec, RnnKind};
 
 /// A scaled, trainable benchmark instance.
 ///
@@ -40,4 +40,9 @@ pub trait Trainer {
 
     /// Number of learnable parameters of the scaled model.
     fn param_count(&self) -> usize;
+
+    /// The model's registered parameters (handles share storage with the
+    /// trainer's own copies). Used by the tape sanitizer to probe for dead
+    /// parameters and non-finite values after a training epoch.
+    fn params(&self) -> Vec<aibench_autograd::Param>;
 }

@@ -47,7 +47,19 @@ impl ImageToText {
         params.extend(dec.params());
         params.extend(proj.params());
         let opt = Adam::new(params, 0.01);
-        ImageToText { ds, conv1, conv2, to_state, embed, dec, proj, opt, rng, batch: 16, eval_n: 48 }
+        ImageToText {
+            ds,
+            conv1,
+            conv2,
+            to_state,
+            embed,
+            dec,
+            proj,
+            opt,
+            rng,
+            batch: 16,
+            eval_n: 48,
+        }
     }
 
     /// Mean per-token cross-entropy on a batch (teacher forcing); trains
@@ -94,6 +106,10 @@ impl ImageToText {
 }
 
 impl Trainer for ImageToText {
+    fn params(&self) -> Vec<aibench_autograd::Param> {
+        self.opt.params().to_vec()
+    }
+
     fn train_epoch(&mut self) -> f32 {
         let mut total = 0.0;
         let mut count = 0;
@@ -138,6 +154,9 @@ mod tests {
         }
         let after = t.evaluate();
         assert!(after < before, "ppl before {before:.2}, after {after:.2}");
-        assert!(after < 6.0, "ppl should at least learn the caption grammar: {after:.2}");
+        assert!(
+            after < 6.0,
+            "ppl should at least learn the caption grammar: {after:.2}"
+        );
     }
 }

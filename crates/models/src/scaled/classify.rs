@@ -78,12 +78,20 @@ impl MiniResNet {
         let f = self.features(g, x, mode);
         self.head.forward(g, f)
     }
-}
 
-impl Module for MiniResNet {
-    fn params(&self) -> Vec<Param> {
+    /// Parameters of the feature extractor only (no classifier head), for
+    /// trainers that embed with [`MiniResNet::features`] and would
+    /// otherwise register weights their loss can never reach.
+    pub fn feature_params(&self) -> Vec<Param> {
         let mut ps = Vec::new();
-        for m in [&self.stem, &self.block1_a, &self.block1_b, &self.down, &self.block2_a, &self.block2_b] {
+        for m in [
+            &self.stem,
+            &self.block1_a,
+            &self.block1_b,
+            &self.down,
+            &self.block2_a,
+            &self.block2_b,
+        ] {
             ps.extend(m.params());
         }
         for bn in [
@@ -96,6 +104,18 @@ impl Module for MiniResNet {
         ] {
             ps.extend(bn.params());
         }
+        ps
+    }
+
+    /// Parameter count of the feature extractor only.
+    pub fn feature_param_count(&self) -> usize {
+        self.feature_params().iter().map(|p| p.len()).sum()
+    }
+}
+
+impl Module for MiniResNet {
+    fn params(&self) -> Vec<Param> {
+        let mut ps = self.feature_params();
         ps.extend(self.head.params());
         ps
     }
@@ -126,7 +146,11 @@ mod tests {
         let loss = g.softmax_cross_entropy(y, &[0, 2], None);
         g.backward(loss);
         for p in net.params() {
-            assert!(p.grad().sq_norm() > 0.0, "param {} got no gradient", p.name());
+            assert!(
+                p.grad().sq_norm() > 0.0,
+                "param {} got no gradient",
+                p.name()
+            );
         }
     }
 }

@@ -50,7 +50,18 @@ impl ImageCompression {
         params.push(dec_w1.clone());
         params.push(dec_w2.clone());
         let opt = Adam::new(params, 0.01);
-        ImageCompression { ds, enc1, enc2, dec_w1, dec_w2, opt, rng, size: 16, batch: 16, eval_n: 24 }
+        ImageCompression {
+            ds,
+            enc1,
+            enc2,
+            dec_w1,
+            dec_w2,
+            opt,
+            rng,
+            size: 16,
+            batch: 16,
+            eval_n: 24,
+        }
     }
 
     fn normalize(x: &Tensor) -> Tensor {
@@ -76,6 +87,10 @@ impl ImageCompression {
 }
 
 impl Trainer for ImageCompression {
+    fn params(&self) -> Vec<aibench_autograd::Param> {
+        self.opt.params().to_vec()
+    }
+
     fn train_epoch(&mut self) -> f32 {
         let mut total = 0.0;
         let mut count = 0;
@@ -129,7 +144,10 @@ mod tests {
             t.train_epoch();
         }
         let after = t.evaluate();
-        assert!(after > before, "MS-SSIM before {before:.3}, after {after:.3}");
+        assert!(
+            after > before,
+            "MS-SSIM before {before:.3}, after {after:.3}"
+        );
         assert!(after > 0.5, "MS-SSIM should exceed 0.5, got {after:.3}");
     }
 }

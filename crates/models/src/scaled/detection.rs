@@ -28,17 +28,26 @@ pub struct DetectionConfig {
 impl DetectionConfig {
     /// AIBench DC-AI-C9 (Faster R-CNN scale-down).
     pub fn aibench() -> Self {
-        DetectionConfig { width: 16, data_seed: 0xC9 }
+        DetectionConfig {
+            width: 16,
+            data_seed: 0xC9,
+        }
     }
 
     /// MLPerf heavy detector (wider backbone).
     pub fn mlperf_heavy() -> Self {
-        DetectionConfig { width: 24, data_seed: 0x0D1 }
+        DetectionConfig {
+            width: 24,
+            data_seed: 0x0D1,
+        }
     }
 
     /// MLPerf light detector (narrow backbone).
     pub fn mlperf_light() -> Self {
-        DetectionConfig { width: 8, data_seed: 0x0D2 }
+        DetectionConfig {
+            width: 8,
+            data_seed: 0x0D2,
+        }
     }
 }
 
@@ -83,7 +92,20 @@ impl ObjectDetection {
             p
         };
         let opt = Sgd::with_momentum(params, 0.06, 0.9, 1e-4);
-        ObjectDetection { backbone1, backbone2, backbone3, head, ds, opt, rng, classes, grid, cell: size / grid, batch: 16, eval_n: 96 }
+        ObjectDetection {
+            backbone1,
+            backbone2,
+            backbone3,
+            head,
+            ds,
+            opt,
+            rng,
+            classes,
+            grid,
+            cell: size / grid,
+            batch: 16,
+            eval_n: 96,
+        }
     }
 
     fn forward(&self, g: &mut Graph, x: Var) -> Var {
@@ -97,10 +119,7 @@ impl ObjectDetection {
     }
 
     /// Builds the per-cell training targets for one batch.
-    fn targets(
-        &self,
-        objs: &[Vec<(usize, BoundingBox)>],
-    ) -> (Tensor, Vec<usize>, Tensor, Tensor) {
+    fn targets(&self, objs: &[Vec<(usize, BoundingBox)>]) -> (Tensor, Vec<usize>, Tensor, Tensor) {
         let n = objs.len();
         let gcells = self.grid * self.grid;
         let mut obj_t = Tensor::zeros(&[n, 1, self.grid, self.grid]);
@@ -129,7 +148,6 @@ impl ObjectDetection {
         (obj_t, cls_t, box_t, box_mask)
     }
 
-
     /// Prints internal quality diagnostics (used by the tuning probe).
     pub fn diagnostics(&mut self) {
         let idx: Vec<usize> = (0..32).collect();
@@ -154,10 +172,14 @@ impl ObjectDetection {
                 pos_obj.push(pv.at(&[bi, 0, gy, gx]));
                 let mut best = 0;
                 for c in 1..self.classes {
-                    if pv.at(&[bi, 5 + c, gy, gx]) > pv.at(&[bi, 5 + best, gy, gx]) { best = c; }
+                    if pv.at(&[bi, 5 + c, gy, gx]) > pv.at(&[bi, 5 + best, gy, gx]) {
+                        best = c;
+                    }
                 }
                 cls_total += 1;
-                if best == *class { cls_hits += 1; }
+                if best == *class {
+                    cls_hits += 1;
+                }
                 let ox = pv.at(&[bi, 1, gy, gx]);
                 let oy = pv.at(&[bi, 2, gy, gx]);
                 let tw = (pv.at(&[bi, 3, gy, gx]) + BOX_PRIOR).clamp(-3.0, 3.0);
@@ -166,18 +188,33 @@ impl ObjectDetection {
                 let pcy = (gy as f32 + oy) * self.cell as f32;
                 let w = tw.exp() * self.cell as f32;
                 let h = th.exp() * self.cell as f32;
-                let pb = BoundingBox::new(pcx - w / 2.0, pcy - h / 2.0, pcx + w / 2.0, pcy + h / 2.0);
+                let pb =
+                    BoundingBox::new(pcx - w / 2.0, pcy - h / 2.0, pcx + w / 2.0, pcy + h / 2.0);
                 ious.push(aibench_data::metrics::box_iou(&pb, bb));
             }
-            for gy in 0..self.grid { for gx in 0..self.grid {
-                if !pos_cells[gy * self.grid + gx] { neg_obj.push(pv.at(&[bi, 0, gy, gx])); }
-            }}
+            for gy in 0..self.grid {
+                for gx in 0..self.grid {
+                    if !pos_cells[gy * self.grid + gx] {
+                        neg_obj.push(pv.at(&[bi, 0, gy, gx]));
+                    }
+                }
+            }
         }
         let mean = |v: &Vec<f32>| v.iter().sum::<f32>() / v.len().max(1) as f32;
-        println!("  pos obj logit {:.2}  neg obj logit {:.2}", mean(&pos_obj), mean(&neg_obj));
-        println!("  class acc at gt cells {:.3}", cls_hits as f32 / cls_total.max(1) as f32);
-        println!("  mean IoU at gt cells {:.3}  (>{:.0}% over 0.5)", mean(&ious),
-                 100.0 * ious.iter().filter(|&&i| i >= 0.5).count() as f32 / ious.len().max(1) as f32);
+        println!(
+            "  pos obj logit {:.2}  neg obj logit {:.2}",
+            mean(&pos_obj),
+            mean(&neg_obj)
+        );
+        println!(
+            "  class acc at gt cells {:.3}",
+            cls_hits as f32 / cls_total.max(1) as f32
+        );
+        println!(
+            "  mean IoU at gt cells {:.3}  (>{:.0}% over 0.5)",
+            mean(&ious),
+            100.0 * ious.iter().filter(|&&i| i >= 0.5).count() as f32 / ious.len().max(1) as f32
+        );
     }
 
     /// Decodes predictions into scored detections for mAP.
@@ -213,7 +250,12 @@ impl ObjectDetection {
                         image: image_offset + bi,
                         class: best_class,
                         score,
-                        bbox: BoundingBox::new(cx - w / 2.0, cy - h / 2.0, cx + w / 2.0, cy + h / 2.0),
+                        bbox: BoundingBox::new(
+                            cx - w / 2.0,
+                            cy - h / 2.0,
+                            cx + w / 2.0,
+                            cy + h / 2.0,
+                        ),
                     });
                 }
             }
@@ -223,6 +265,10 @@ impl ObjectDetection {
 }
 
 impl Trainer for ObjectDetection {
+    fn params(&self) -> Vec<aibench_autograd::Param> {
+        self.opt.params().to_vec()
+    }
+
     fn train_epoch(&mut self) -> f32 {
         let mut total = 0.0;
         let mut count = 0;
@@ -290,7 +336,10 @@ mod tests {
             t.train_epoch();
         }
         let after = t.evaluate();
-        assert!(after > before.max(0.3), "mAP before {before:.3}, after {after:.3}");
+        assert!(
+            after > before.max(0.3),
+            "mAP before {before:.3}, after {after:.3}"
+        );
     }
 
     #[test]

@@ -33,11 +33,22 @@ impl Face3dRecognition {
         // benchmark's convergence as wildly variable, and the scaled
         // surrogate reproduces that through a noisy loss landscape.
         let opt = Sgd::with_momentum(net.params(), 0.12, 0.9, 0.0);
-        Face3dRecognition { net, ds, opt, rng, batch: 20, eval_n: 60 }
+        Face3dRecognition {
+            net,
+            ds,
+            opt,
+            rng,
+            batch: 20,
+            eval_n: 60,
+        }
     }
 }
 
 impl Trainer for Face3dRecognition {
+    fn params(&self) -> Vec<aibench_autograd::Param> {
+        self.opt.params().to_vec()
+    }
+
     fn train_epoch(&mut self) -> f32 {
         let mut total = 0.0;
         let mut count = 0;
@@ -81,6 +92,9 @@ mod tests {
             t.train_epoch();
         }
         let acc = t.evaluate();
-        assert!(acc > 1.0 / 6.0 + 0.08, "accuracy {acc:.3} barely above chance");
+        assert!(
+            acc > 1.0 / 6.0 + 0.08,
+            "accuracy {acc:.3} barely above chance"
+        );
     }
 }

@@ -67,7 +67,16 @@ impl ImageGeneration {
         let critic = Mlp::new(ds.dim(), 48, 1, &mut rng);
         let g_opt = RmsProp::new(generator.params(), 2e-3);
         let c_opt = RmsProp::new(critic.params(), 2e-3);
-        ImageGeneration { ds, generator, critic, g_opt, c_opt, rng, batch: 32, iters_per_epoch: 20 }
+        ImageGeneration {
+            ds,
+            generator,
+            critic,
+            g_opt,
+            c_opt,
+            rng,
+            batch: 32,
+            iters_per_epoch: 20,
+        }
     }
 
     fn clip_critic(&self) {
@@ -130,6 +139,12 @@ impl ImageGeneration {
 }
 
 impl Trainer for ImageGeneration {
+    fn params(&self) -> Vec<aibench_autograd::Param> {
+        let mut p = self.g_opt.params().to_vec();
+        p.extend(self.c_opt.params().iter().cloned());
+        p
+    }
+
     fn train_epoch(&mut self) -> f32 {
         let mut last_em = 0.0;
         for _ in 0..self.iters_per_epoch {
@@ -178,7 +193,11 @@ impl Trainer for ImageGeneration {
     }
 
     fn param_count(&self) -> usize {
-        self.generator.params().iter().map(|p| p.len()).sum::<usize>()
+        self.generator
+            .params()
+            .iter()
+            .map(|p| p.len())
+            .sum::<usize>()
             + self.critic.params().iter().map(|p| p.len()).sum::<usize>()
     }
 }
@@ -205,6 +224,9 @@ mod tests {
             t.train_epoch();
         }
         let late = t.evaluate();
-        assert!(late < early, "moment distance early {early:.3}, late {late:.3}");
+        assert!(
+            late < early,
+            "moment distance early {early:.3}, late {late:.3}"
+        );
     }
 }

@@ -51,7 +51,19 @@ impl ImageToImage {
         gp.extend(gen3.params());
         let g_opt = Adam::with_betas(gp, 0.004, 0.5, 0.999);
         let c_opt = Adam::with_betas(critic.params(), 0.004, 0.5, 0.999);
-        ImageToImage { ds, gen1, gen2, up, gen3, critic, g_opt, c_opt, rng, batch: 16, eval_n: 32 }
+        ImageToImage {
+            ds,
+            gen1,
+            gen2,
+            up,
+            gen3,
+            critic,
+            g_opt,
+            c_opt,
+            rng,
+            batch: 16,
+            eval_n: 32,
+        }
     }
 
     fn generate(&self, g: &mut Graph, a: Var) -> Var {
@@ -75,6 +87,12 @@ impl ImageToImage {
 }
 
 impl Trainer for ImageToImage {
+    fn params(&self) -> Vec<aibench_autograd::Param> {
+        let mut p = self.g_opt.params().to_vec();
+        p.extend(self.c_opt.params().iter().cloned());
+        p
+    }
+
     fn train_epoch(&mut self) -> f32 {
         let mut total = 0.0;
         let mut count = 0;
@@ -150,6 +168,9 @@ mod tests {
             t.train_epoch();
         }
         let after = t.evaluate();
-        assert!(after > before.max(0.6), "pixel acc before {before:.3}, after {after:.3}");
+        assert!(
+            after > before.max(0.6),
+            "pixel acc before {before:.3}, after {after:.3}"
+        );
     }
 }

@@ -31,11 +31,22 @@ impl ImageClassification {
         let ds = ImageClassDataset::with_noise(8, 1, 12, 256, 0xC1, 0.35);
         let net = MiniResNet::new(1, 8, ds.classes(), &mut rng);
         let opt = Sgd::with_momentum(net.params(), 0.08, 0.9, 1e-4);
-        ImageClassification { net, ds, opt, rng, batch: 32, eval_n: 192 }
+        ImageClassification {
+            net,
+            ds,
+            opt,
+            rng,
+            batch: 32,
+            eval_n: 192,
+        }
     }
 }
 
 impl Trainer for ImageClassification {
+    fn params(&self) -> Vec<aibench_autograd::Param> {
+        self.opt.params().to_vec()
+    }
+
     fn train_epoch(&mut self) -> f32 {
         let mut total = 0.0;
         let mut count = 0;
@@ -81,7 +92,10 @@ mod tests {
             t.train_epoch();
         }
         let after = t.evaluate();
-        assert!(after > before.max(0.3), "accuracy before {before}, after {after}");
+        assert!(
+            after > before.max(0.3),
+            "accuracy before {before}, after {after}"
+        );
     }
 
     #[test]

@@ -18,8 +18,8 @@ mod image2image;
 mod image_classification;
 mod nas;
 mod ranking;
-mod reconstruction;
 mod recommendation;
+mod reconstruction;
 mod rl;
 mod speech;
 mod stn;
@@ -38,8 +38,8 @@ pub use image2image::ImageToImage;
 pub use image_classification::ImageClassification;
 pub use nas::NeuralArchitectureSearch;
 pub use ranking::LearningToRank;
-pub use reconstruction::ObjectReconstruction3d;
 pub use recommendation::Recommendation;
+pub use reconstruction::ObjectReconstruction3d;
 pub use rl::ReinforcementLearning;
 pub use speech::SpeechRecognition;
 pub use stn::SpatialTransformer;

@@ -66,7 +66,18 @@ impl NeuralArchitectureSearch {
         let child_opt = Adam::new(child_params, 0.01);
         let controller = Param::new("nas.controller", Tensor::zeros(&[DECISIONS, ACTIVATIONS]));
         let ctrl_opt = Adam::new(vec![controller.clone()], 0.05);
-        NeuralArchitectureSearch { ds, embed, cell, mix, proj, child_opt, controller, ctrl_opt, rng, baseline: 0.0 }
+        NeuralArchitectureSearch {
+            ds,
+            embed,
+            cell,
+            mix,
+            proj,
+            child_opt,
+            controller,
+            ctrl_opt,
+            rng,
+            baseline: 0.0,
+        }
     }
 
     fn apply_act(g: &mut Graph, x: Var, which: usize) -> Var {
@@ -120,7 +131,11 @@ impl NeuralArchitectureSearch {
             }
             options - 1
         };
-        Arch { act1: pick(0, ACTIVATIONS), act2: pick(1, ACTIVATIONS), skip: pick(2, 2) == 1 }
+        Arch {
+            act1: pick(0, ACTIVATIONS),
+            act2: pick(1, ACTIVATIONS),
+            skip: pick(2, 2) == 1,
+        }
     }
 
     fn argmax_arch(&self) -> Arch {
@@ -134,7 +149,11 @@ impl NeuralArchitectureSearch {
             }
             best
         };
-        Arch { act1: row(0, ACTIVATIONS), act2: row(1, ACTIVATIONS), skip: row(2, 2) == 1 }
+        Arch {
+            act1: row(0, ACTIVATIONS),
+            act2: row(1, ACTIVATIONS),
+            skip: row(2, 2) == 1,
+        }
     }
 
     fn validation_nll(&mut self, arch: Arch, n: usize) -> f32 {
@@ -146,6 +165,12 @@ impl NeuralArchitectureSearch {
 }
 
 impl Trainer for NeuralArchitectureSearch {
+    fn params(&self) -> Vec<aibench_autograd::Param> {
+        let mut p = self.child_opt.params().to_vec();
+        p.extend(self.ctrl_opt.params().iter().cloned());
+        p
+    }
+
     fn train_epoch(&mut self) -> f32 {
         // Phase 1: train shared child weights on sampled architectures.
         let mut child_loss_total = 0.0;
@@ -167,7 +192,10 @@ impl Trainer for NeuralArchitectureSearch {
         // Phase 2: REINFORCE the controller with reward = -validation NLL.
         let k = 6;
         let samples: Vec<Arch> = (0..k).map(|_| self.sample_arch()).collect();
-        let rewards: Vec<f32> = samples.iter().map(|&a| -self.validation_nll(a, 16)).collect();
+        let rewards: Vec<f32> = samples
+            .iter()
+            .map(|&a| -self.validation_nll(a, 16))
+            .collect();
         let mean_r: f32 = rewards.iter().sum::<f32>() / k as f32;
         self.baseline = 0.7 * self.baseline + 0.3 * mean_r;
         let mut g = Graph::new();
@@ -219,7 +247,10 @@ mod tests {
         }
         let after = t.evaluate();
         // Vocabulary is 8; an untrained model sits near 8, the floor is ~3.
-        assert!(after < before.min(7.5), "ppl before {before:.2}, after {after:.2}");
+        assert!(
+            after < before.min(7.5),
+            "ppl before {before:.2}, after {after:.2}"
+        );
     }
 
     #[test]
@@ -230,6 +261,9 @@ mod tests {
             t.train_epoch();
         }
         let after = t.controller.value().clone();
-        assert!(before.max_abs_diff(&after) > 1e-4, "controller never updated");
+        assert!(
+            before.max_abs_diff(&after) > 1e-4,
+            "controller never updated"
+        );
     }
 }

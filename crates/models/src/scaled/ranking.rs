@@ -25,8 +25,14 @@ struct MfRanker {
 impl MfRanker {
     fn new(u: usize, i: usize, dim: usize, rng: &mut Rng, tag: &str) -> Self {
         MfRanker {
-            users: Param::new(format!("{tag}.users"), Tensor::from_fn(&[u, dim], |_| rng.normal_with(0.0, 0.1))),
-            items: Param::new(format!("{tag}.items"), Tensor::from_fn(&[i, dim], |_| rng.normal_with(0.0, 0.1))),
+            users: Param::new(
+                format!("{tag}.users"),
+                Tensor::from_fn(&[u, dim], |_| rng.normal_with(0.0, 0.1)),
+            ),
+            items: Param::new(
+                format!("{tag}.items"),
+                Tensor::from_fn(&[i, dim], |_| rng.normal_with(0.0, 0.1)),
+            ),
         }
     }
 
@@ -86,8 +92,10 @@ impl LearningToRank {
         let mut topt = Adam::new(teacher.params(), 0.05);
         let pairs = ds.train_pairs();
         for _ in 0..60 {
-            let triples: Vec<(usize, usize, usize)> =
-                pairs.iter().map(|&(u, p)| (u, p, ds.sample_negative(u, &mut rng))).collect();
+            let triples: Vec<(usize, usize, usize)> = pairs
+                .iter()
+                .map(|&(u, p)| (u, p, ds.sample_negative(u, &mut rng)))
+                .collect();
             teacher.bpr_step(&triples, &mut topt);
         }
         // Teacher's top unobserved items become distillation targets.
@@ -109,11 +117,21 @@ impl LearningToRank {
             .collect();
         let student = MfRanker::new(ds.users(), ds.items(), DIM_STUDENT, &mut rng, "student");
         let opt = Adam::new(student.params(), 0.02);
-        LearningToRank { ds, student, opt, teacher_top, rng }
+        LearningToRank {
+            ds,
+            student,
+            opt,
+            teacher_top,
+            rng,
+        }
     }
 }
 
 impl Trainer for LearningToRank {
+    fn params(&self) -> Vec<aibench_autograd::Param> {
+        self.opt.params().to_vec()
+    }
+
     fn train_epoch(&mut self) -> f32 {
         // Observed positives plus teacher-distilled pseudo-positives.
         let mut triples: Vec<(usize, usize, usize)> = Vec::new();
@@ -141,8 +159,9 @@ impl Trainer for LearningToRank {
         let mut rankings = Vec::with_capacity(self.ds.users());
         let mut relevant = Vec::with_capacity(self.ds.users());
         for u in 0..self.ds.users() {
-            let mut ranked: Vec<usize> =
-                (0..items).filter(|i| !self.ds.train_positives(u).contains(i)).collect();
+            let mut ranked: Vec<usize> = (0..items)
+                .filter(|i| !self.ds.train_positives(u).contains(i))
+                .collect();
             ranked.sort_by(|&a, &b| {
                 scores.data()[u * items + b]
                     .partial_cmp(&scores.data()[u * items + a])
@@ -172,6 +191,9 @@ mod tests {
         }
         let after = t.evaluate();
         // Random precision@5 with 3 relevant of ~74 candidates ≈ 4%.
-        assert!(after > before.max(0.08), "P@5 before {before:.3}, after {after:.3}");
+        assert!(
+            after > before.max(0.08),
+            "P@5 before {before:.3}, after {after:.3}"
+        );
     }
 }

@@ -41,10 +41,24 @@ impl Recommendation {
         params.extend(fc2.params());
         params.extend(out.params());
         let opt = Adam::new(params, 0.01);
-        Recommendation { ds, user_emb, item_emb, fc1, fc2, out, opt, rng }
+        Recommendation {
+            ds,
+            user_emb,
+            item_emb,
+            fc1,
+            fc2,
+            out,
+            opt,
+            rng,
+        }
     }
 
-    fn score_batch(&self, g: &mut Graph, users: &[usize], items: &[usize]) -> aibench_autograd::Var {
+    fn score_batch(
+        &self,
+        g: &mut Graph,
+        users: &[usize],
+        items: &[usize],
+    ) -> aibench_autograd::Var {
         let ue = self.user_emb.forward(g, users);
         let ie = self.item_emb.forward(g, items);
         let x = g.concat(&[ue, ie], 1);
@@ -58,6 +72,10 @@ impl Recommendation {
 }
 
 impl Trainer for Recommendation {
+    fn params(&self) -> Vec<aibench_autograd::Param> {
+        self.opt.params().to_vec()
+    }
+
     fn train_epoch(&mut self) -> f32 {
         // One positive plus four sampled negatives per interaction (the NCF
         // recipe), shuffled into mini-batches.
@@ -97,7 +115,11 @@ impl Trainer for Recommendation {
             let scores = self.score_batch(&mut g, &users, &candidates);
             let sv = g.value(scores).data().to_vec();
             let mut order: Vec<usize> = (0..candidates.len()).collect();
-            order.sort_by(|&a, &b| sv[b].partial_cmp(&sv[a]).unwrap_or(std::cmp::Ordering::Equal));
+            order.sort_by(|&a, &b| {
+                sv[b]
+                    .partial_cmp(&sv[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
             rankings.push(order.iter().map(|&i| candidates[i]).collect::<Vec<usize>>());
             relevant.push(self.ds.held_out(u));
         }
@@ -125,6 +147,9 @@ mod tests {
             t.train_epoch();
         }
         let after = t.evaluate();
-        assert!(after > before.max(0.15), "HR@10 before {before:.3}, after {after:.3}");
+        assert!(
+            after > before.max(0.15),
+            "HR@10 before {before:.3}, after {after:.3}"
+        );
     }
 }

@@ -42,7 +42,17 @@ impl ObjectReconstruction3d {
         params.extend(fc.params());
         params.extend(decoder.params());
         let opt = Adam::new(params, 0.005);
-        ObjectReconstruction3d { ds, conv1, conv2, fc, decoder, opt, rng, batch: 16, eval_n: 24 }
+        ObjectReconstruction3d {
+            ds,
+            conv1,
+            conv2,
+            fc,
+            decoder,
+            opt,
+            rng,
+            batch: 16,
+            eval_n: 24,
+        }
     }
 
     fn logits(&self, g: &mut Graph, x: Tensor) -> aibench_autograd::Var {
@@ -61,6 +71,10 @@ impl ObjectReconstruction3d {
 }
 
 impl Trainer for ObjectReconstruction3d {
+    fn params(&self) -> Vec<aibench_autograd::Param> {
+        self.opt.params().to_vec()
+    }
+
     fn train_epoch(&mut self) -> f32 {
         let mut total = 0.0;
         let mut count = 0;
@@ -96,7 +110,10 @@ impl Trainer for ObjectReconstruction3d {
     }
 
     fn param_count(&self) -> usize {
-        self.conv1.param_count() + self.conv2.param_count() + self.fc.param_count() + self.decoder.param_count()
+        self.conv1.param_count()
+            + self.conv2.param_count()
+            + self.fc.param_count()
+            + self.decoder.param_count()
     }
 }
 

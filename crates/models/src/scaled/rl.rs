@@ -37,7 +37,14 @@ impl ReinforcementLearning {
         let mut params = policy1.params();
         params.extend(policy2.params());
         let opt = Adam::new(params, 0.01);
-        ReinforcementLearning { policy1, policy2, opt, rng, episodes_per_epoch: 32, baseline: 0.0 }
+        ReinforcementLearning {
+            policy1,
+            policy2,
+            opt,
+            rng,
+            episodes_per_epoch: 32,
+            baseline: 0.0,
+        }
     }
 
     fn state_tensor(pos: (usize, usize)) -> Tensor {
@@ -65,7 +72,11 @@ impl ReinforcementLearning {
         for t in 0..MAX_STEPS {
             if pos == goal {
                 // Earlier arrivals earn more.
-                return (states, actions, 1.0 + 0.5 * (MAX_STEPS - t) as f32 / MAX_STEPS as f32);
+                return (
+                    states,
+                    actions,
+                    1.0 + 0.5 * (MAX_STEPS - t) as f32 / MAX_STEPS as f32,
+                );
             }
             states.push(pos);
             let mut g = Graph::new();
@@ -96,7 +107,11 @@ impl ReinforcementLearning {
                 choice
             };
             actions.push(action);
-            let effective = if self.rng.bernoulli(SLIP) { self.rng.below(ACTIONS) } else { action };
+            let effective = if self.rng.bernoulli(SLIP) {
+                self.rng.below(ACTIONS)
+            } else {
+                action
+            };
             pos = Self::step(pos, effective);
         }
         let reached = f32::from(u8::from(pos == goal));
@@ -105,6 +120,10 @@ impl ReinforcementLearning {
 }
 
 impl Trainer for ReinforcementLearning {
+    fn params(&self) -> Vec<aibench_autograd::Param> {
+        self.opt.params().to_vec()
+    }
+
     fn train_epoch(&mut self) -> f32 {
         let mut total_reward = 0.0;
         for _ in 0..self.episodes_per_epoch {
@@ -170,7 +189,13 @@ mod tests {
             t.train_epoch();
         }
         let after = t.evaluate();
-        assert!(after >= before, "success before {before:.2}, after {after:.2}");
-        assert!(after > 0.3, "agent never learned to reach the goal: {after:.2}");
+        assert!(
+            after >= before,
+            "success before {before:.2}, after {after:.2}"
+        );
+        assert!(
+            after > 0.3,
+            "agent never learned to reach the goal: {after:.2}"
+        );
     }
 }

@@ -45,7 +45,16 @@ impl SpeechRecognition {
         params.extend(gru.params());
         params.extend(proj.params());
         let opt = Adam::new(params, 0.008);
-        SpeechRecognition { ds, conv, gru, proj, opt, rng, batch: 16, eval_n: 32 }
+        SpeechRecognition {
+            ds,
+            conv,
+            gru,
+            proj,
+            opt,
+            rng,
+            batch: 16,
+            eval_n: 32,
+        }
     }
 
     /// Framewise logits `[(frames)*b, phonemes]` (step-major) for a batch.
@@ -85,6 +94,10 @@ impl SpeechRecognition {
 }
 
 impl Trainer for SpeechRecognition {
+    fn params(&self) -> Vec<aibench_autograd::Param> {
+        self.opt.params().to_vec()
+    }
+
     fn train_epoch(&mut self) -> f32 {
         let mut total = 0.0;
         let mut count = 0;

@@ -38,7 +38,10 @@ impl SpatialTransformer {
         // The theta head starts at the identity transform: zero weights and
         // an identity-affine bias, the standard STN initialization.
         let theta_w = Param::new("stn.theta_w", Tensor::zeros(&[24, 6]));
-        let theta_b = Param::new("stn.theta_b", Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0], &[6]));
+        let theta_b = Param::new(
+            "stn.theta_b",
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0], &[6]),
+        );
         let cls_conv = Conv2d::new(1, 12, 3, 2, 1, &mut rng);
         let cls_fc = Linear::new(12 * 6 * 6, ds.classes(), &mut rng);
         let mut params = loc_conv.params();
@@ -48,7 +51,19 @@ impl SpatialTransformer {
         params.extend(cls_conv.params());
         params.extend(cls_fc.params());
         let opt = Adam::new(params, 0.01);
-        SpatialTransformer { ds, loc_conv, loc_fc, theta_w, theta_b, cls_conv, cls_fc, opt, rng, batch: 24, eval_n: 72 }
+        SpatialTransformer {
+            ds,
+            loc_conv,
+            loc_fc,
+            theta_w,
+            theta_b,
+            cls_conv,
+            cls_fc,
+            opt,
+            rng,
+            batch: 24,
+            eval_n: 72,
+        }
     }
 
     fn forward(&self, g: &mut Graph, x: Var, n: usize) -> Var {
@@ -77,6 +92,10 @@ impl SpatialTransformer {
 }
 
 impl Trainer for SpatialTransformer {
+    fn params(&self) -> Vec<aibench_autograd::Param> {
+        self.opt.params().to_vec()
+    }
+
     fn train_epoch(&mut self) -> f32 {
         let mut total = 0.0;
         let mut count = 0;
@@ -135,6 +154,9 @@ mod tests {
             t.train_epoch();
         }
         let after = t.evaluate();
-        assert!(after > before.max(0.3), "accuracy before {before:.3}, after {after:.3}");
+        assert!(
+            after > before.max(0.3),
+            "accuracy before {before:.3}, after {after:.3}"
+        );
     }
 }

@@ -44,7 +44,19 @@ impl TextSummarization {
         params.extend(att_proj.params());
         params.extend(proj.params());
         let opt = Adam::new(params, 0.01);
-        TextSummarization { ds, embed, enc, dec, att_proj, proj, opt, rng, d, batch: 16, eval_n: 32 }
+        TextSummarization {
+            ds,
+            embed,
+            enc,
+            dec,
+            att_proj,
+            proj,
+            opt,
+            rng,
+            d,
+            batch: 16,
+            eval_n: 32,
+        }
     }
 
     /// Encodes documents; returns hidden states `[b, L, d]` and the final
@@ -67,7 +79,15 @@ impl TextSummarization {
 
     /// One decoder step with Luong-style dot attention over the encoder
     /// states; returns vocabulary logits `[b, vocab]` and the new state.
-    fn decode_step(&self, g: &mut Graph, enc_states: Var, h: Var, input_ids: &[usize], b: usize, l: usize) -> (Var, Var) {
+    fn decode_step(
+        &self,
+        g: &mut Graph,
+        enc_states: Var,
+        h: Var,
+        input_ids: &[usize],
+        b: usize,
+        l: usize,
+    ) -> (Var, Var) {
         let x = self.embed.forward(g, input_ids);
         let h_new = self.dec.step(g, x, h);
         // Attention scores: enc_states [b, L, d] × h [b, d, 1] -> [b, L, 1].
@@ -87,11 +107,16 @@ impl TextSummarization {
 }
 
 impl Trainer for TextSummarization {
+    fn params(&self) -> Vec<aibench_autograd::Param> {
+        self.opt.params().to_vec()
+    }
+
     fn train_epoch(&mut self) -> f32 {
         let mut total = 0.0;
         let mut count = 0;
         for idx in batches(self.ds.len(), self.batch, &mut self.rng) {
-            let pairs: Vec<(Vec<usize>, Vec<usize>)> = idx.iter().map(|&i| self.ds.pair(i, false)).collect();
+            let pairs: Vec<(Vec<usize>, Vec<usize>)> =
+                idx.iter().map(|&i| self.ds.pair(i, false)).collect();
             let docs: Vec<Vec<usize>> = pairs.iter().map(|p| p.0.clone()).collect();
             let sums: Vec<Vec<usize>> = pairs.iter().map(|p| p.1.clone()).collect();
             let b = docs.len();
@@ -125,7 +150,8 @@ impl Trainer for TextSummarization {
         let mut refs = Vec::new();
         let mut hyps = Vec::new();
         for chunk in (0..self.eval_n).collect::<Vec<usize>>().chunks(16) {
-            let pairs: Vec<(Vec<usize>, Vec<usize>)> = chunk.iter().map(|&i| self.ds.pair(i, true)).collect();
+            let pairs: Vec<(Vec<usize>, Vec<usize>)> =
+                chunk.iter().map(|&i| self.ds.pair(i, true)).collect();
             let docs: Vec<Vec<usize>> = pairs.iter().map(|p| p.0.clone()).collect();
             let b = docs.len();
             let l = docs[0].len();
@@ -145,10 +171,16 @@ impl Trainer for TextSummarization {
             }
             for (bi, pair) in pairs.iter().enumerate() {
                 // Reference: tokens between BOS and EOS.
-                let reference: Vec<usize> =
-                    pair.1[1..].iter().take_while(|&&t| t != EOS && t != PAD).copied().collect();
-                let hypothesis: Vec<usize> =
-                    decoded[bi].iter().take_while(|&&t| t != EOS && t != PAD).copied().collect();
+                let reference: Vec<usize> = pair.1[1..]
+                    .iter()
+                    .take_while(|&&t| t != EOS && t != PAD)
+                    .copied()
+                    .collect();
+                let hypothesis: Vec<usize> = decoded[bi]
+                    .iter()
+                    .take_while(|&&t| t != EOS && t != PAD)
+                    .copied()
+                    .collect();
                 refs.push(reference);
                 hyps.push(hypothesis);
             }
@@ -177,7 +209,10 @@ mod tests {
             t.train_epoch();
         }
         let after = t.evaluate();
-        assert!(after > before, "Rouge-L before {before:.1}, after {after:.1}");
+        assert!(
+            after > before,
+            "Rouge-L before {before:.1}, after {after:.1}"
+        );
         assert!(after > 20.0, "Rouge-L should exceed 20, got {after:.1}");
     }
 }

@@ -21,6 +21,8 @@ pub enum TranslationArch {
     Recurrent,
 }
 
+// One Net exists per trainer, so the variant size gap costs nothing.
+#[allow(clippy::large_enum_variant)]
 enum Net {
     Transformer {
         encoder: TransformerBlock,
@@ -95,7 +97,9 @@ impl Translation {
         let mut params = embed.params();
         params.extend(proj.params());
         match &net {
-            Net::Transformer { encoder, decoder, .. } => {
+            Net::Transformer {
+                encoder, decoder, ..
+            } => {
                 params.extend(encoder.params());
                 params.extend(decoder.params());
             }
@@ -105,7 +109,17 @@ impl Translation {
             }
         }
         let opt = Adam::new(params, 0.01);
-        Translation { ds, embed, net, proj, opt, rng, d, batch: 16, eval_n: 48 }
+        Translation {
+            ds,
+            embed,
+            net,
+            proj,
+            opt,
+            rng,
+            d,
+            batch: 16,
+            eval_n: 48,
+        }
     }
 
     /// Embeds token grid `[b][w]` to `[b, w, d]`.
@@ -123,7 +137,11 @@ impl Translation {
         let b = srcs.len();
         let w_in = tgt_in[0].len();
         match &self.net {
-            Net::Transformer { encoder, decoder, pos } => {
+            Net::Transformer {
+                encoder,
+                decoder,
+                pos,
+            } => {
                 let src_e = self.embed_grid(g, srcs);
                 let sw = srcs[0].len();
                 let src_pos = g.input(aibench_tensor::ops::slice_axis(pos, 1, 0, sw));
@@ -180,7 +198,8 @@ impl Translation {
     }
 
     fn step_batch(&mut self, idx: &[usize], test: bool) -> (f32, f64) {
-        let pairs: Vec<(Vec<usize>, Vec<usize>)> = idx.iter().map(|&i| self.ds.pair(i, test)).collect();
+        let pairs: Vec<(Vec<usize>, Vec<usize>)> =
+            idx.iter().map(|&i| self.ds.pair(i, test)).collect();
         let srcs: Vec<Vec<usize>> = pairs.iter().map(|p| p.0.clone()).collect();
         let tgts: Vec<Vec<usize>> = pairs.iter().map(|p| p.1.clone()).collect();
         let tgt_in: Vec<Vec<usize>> = tgts.iter().map(|t| t[..t.len() - 1].to_vec()).collect();
@@ -211,6 +230,10 @@ impl Translation {
 }
 
 impl Trainer for Translation {
+    fn params(&self) -> Vec<aibench_autograd::Param> {
+        self.opt.params().to_vec()
+    }
+
     fn train_epoch(&mut self) -> f32 {
         let mut total = 0.0;
         let mut count = 0;
@@ -235,7 +258,9 @@ impl Trainer for Translation {
     fn param_count(&self) -> usize {
         let mut n = self.embed.param_count() + self.proj.param_count();
         n += match &self.net {
-            Net::Transformer { encoder, decoder, .. } => encoder.param_count() + decoder.param_count(),
+            Net::Transformer {
+                encoder, decoder, ..
+            } => encoder.param_count() + decoder.param_count(),
             Net::Recurrent { enc, dec } => enc.param_count() + dec.param_count(),
         };
         n
@@ -254,7 +279,10 @@ mod tests {
             t.train_epoch();
         }
         let after = t.evaluate();
-        assert!(after > before + 0.1, "token acc before {before:.3}, after {after:.3}");
+        assert!(
+            after > before + 0.1,
+            "token acc before {before:.3}, after {after:.3}"
+        );
     }
 
     #[test]
@@ -265,6 +293,9 @@ mod tests {
             t.train_epoch();
         }
         let after = t.evaluate();
-        assert!(after > before + 0.1, "token acc before {before:.3}, after {after:.3}");
+        assert!(
+            after > before + 0.1,
+            "token acc before {before:.3}, after {after:.3}"
+        );
     }
 }

@@ -39,7 +39,17 @@ impl VideoPrediction {
         params.extend(conv3.params());
         params.extend(out.params());
         let opt = Adam::new(params, 0.004);
-        VideoPrediction { ds, conv1, conv2, conv3, out, opt, rng, batch: 16, eval_n: 32 }
+        VideoPrediction {
+            ds,
+            conv1,
+            conv2,
+            conv3,
+            out,
+            opt,
+            rng,
+            batch: 16,
+            eval_n: 32,
+        }
     }
 
     fn predict(&self, g: &mut Graph, x: aibench_tensor::Tensor) -> aibench_autograd::Var {
@@ -56,6 +66,10 @@ impl VideoPrediction {
 }
 
 impl Trainer for VideoPrediction {
+    fn params(&self) -> Vec<aibench_autograd::Param> {
+        self.opt.params().to_vec()
+    }
+
     fn train_epoch(&mut self) -> f32 {
         let mut total = 0.0;
         let mut count = 0;
@@ -83,7 +97,10 @@ impl Trainer for VideoPrediction {
     }
 
     fn param_count(&self) -> usize {
-        self.conv1.param_count() + self.conv2.param_count() + self.conv3.param_count() + self.out.param_count()
+        self.conv1.param_count()
+            + self.conv2.param_count()
+            + self.conv3.param_count()
+            + self.out.param_count()
     }
 }
 

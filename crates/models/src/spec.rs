@@ -154,6 +154,29 @@ pub enum LayerKind {
     },
 }
 
+/// Where a layer sits in the model's dataflow, for static validation.
+///
+/// Most layers consume the previous layer's output (`Chain`). Specs that
+/// concatenate several sub-networks (a GAN's generator and critic, an
+/// encoder and a reseeded decoder) mark each sub-network entry point as a
+/// `Head`; branches that tap an intermediate activation without feeding the
+/// main chain (an RPN head, an auxiliary stem) are `Side` layers.
+/// `aibench-check` uses these annotations to know where shape propagation
+/// restarts instead of reporting a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LayerRole {
+    /// Consumes the previous chain layer's output (the default).
+    #[default]
+    Chain,
+    /// Starts a new dataflow segment (new input, latent, or reseeded
+    /// decoder state); the running shape restarts here.
+    Head,
+    /// A parallel branch off an intermediate activation: consecutive side
+    /// layers are checked against each other but the main chain's running
+    /// shape is preserved across them.
+    Side,
+}
+
 /// A layer with a repeat count (e.g. 16 identical residual blocks).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Layer {
@@ -164,22 +187,61 @@ pub struct Layer {
     /// Whether the repeats share one set of weights (e.g. the RoI head of
     /// Faster R-CNN runs once per proposal with shared parameters).
     pub share_params: bool,
+    /// Dataflow role (chain continuation, segment head, or side branch).
+    pub role: LayerRole,
 }
 
 impl Layer {
     /// A single (non-repeated) layer.
     pub fn once(kind: LayerKind) -> Self {
-        Layer { kind, repeat: 1, share_params: false }
+        Layer {
+            kind,
+            repeat: 1,
+            share_params: false,
+            role: LayerRole::Chain,
+        }
     }
 
     /// A layer repeated `repeat` times with independent weights.
+    ///
+    /// Non-shared repeats compose *sequentially* (each copy consumes the
+    /// previous copy's output), so the layer must be self-composable.
     pub fn repeated(kind: LayerKind, repeat: usize) -> Self {
-        Layer { kind, repeat, share_params: false }
+        Layer {
+            kind,
+            repeat,
+            share_params: false,
+            role: LayerRole::Chain,
+        }
     }
 
     /// A layer executed `repeat` times with one shared set of weights.
+    ///
+    /// Shared repeats are *parallel instances* over different slices of the
+    /// input (RoI heads, per-slice decoders), not a sequential composition.
     pub fn shared(kind: LayerKind, repeat: usize) -> Self {
-        Layer { kind, repeat, share_params: true }
+        Layer {
+            kind,
+            repeat,
+            share_params: true,
+            role: LayerRole::Chain,
+        }
+    }
+
+    /// A single layer that starts a new dataflow segment.
+    pub fn head(kind: LayerKind) -> Self {
+        Layer::once(kind).with_role(LayerRole::Head)
+    }
+
+    /// A single layer on a side branch off the current activation.
+    pub fn side(kind: LayerKind) -> Self {
+        Layer::once(kind).with_role(LayerRole::Side)
+    }
+
+    /// Overrides the dataflow role (builder-style).
+    pub fn with_role(mut self, role: LayerRole) -> Self {
+        self.role = role;
+        self
     }
 }
 
@@ -208,12 +270,20 @@ impl ModelSpec {
         batch_size: usize,
         dataset_size: usize,
     ) -> Self {
-        ModelSpec { name: name.into(), layers, input_elems, batch_size, dataset_size }
+        ModelSpec {
+            name: name.into(),
+            layers,
+            input_elems,
+            batch_size,
+            dataset_size,
+        }
     }
 
     /// Iterates layers expanded by their repeat counts.
     pub fn expanded_layers(&self) -> impl Iterator<Item = &LayerKind> {
-        self.layers.iter().flat_map(|l| std::iter::repeat(&l.kind).take(l.repeat))
+        self.layers
+            .iter()
+            .flat_map(|l| std::iter::repeat_n(&l.kind, l.repeat))
     }
 
     /// Total layer count after expanding repeats.

@@ -60,8 +60,17 @@ impl MultiHeadAttention {
     ///
     /// Panics if `d_model` is not divisible by `heads`.
     pub fn new(d_model: usize, heads: usize, rng: &mut Rng) -> Self {
-        assert_eq!(d_model % heads, 0, "d_model {d_model} not divisible by heads {heads}");
-        let mk = |name: &str, rng: &mut Rng| Param::new(name, xavier_uniform(&[d_model, d_model], d_model, d_model, rng));
+        assert_eq!(
+            d_model % heads,
+            0,
+            "d_model {d_model} not divisible by heads {heads}"
+        );
+        let mk = |name: &str, rng: &mut Rng| {
+            Param::new(
+                name,
+                xavier_uniform(&[d_model, d_model], d_model, d_model, rng),
+            )
+        };
         MultiHeadAttention {
             wq: mk("mha.wq", rng),
             wk: mk("mha.wk", rng),
@@ -95,7 +104,11 @@ impl MultiHeadAttention {
         let ks = g.value(kv).shape().to_vec();
         assert_eq!(qs.len(), 3, "attention expects [b, s, d] query, got {qs:?}");
         assert_eq!(ks.len(), 3, "attention expects [b, s, d] kv, got {ks:?}");
-        assert_eq!(qs[2], self.d_model, "query feature dim {} != d_model {}", qs[2], self.d_model);
+        assert_eq!(
+            qs[2], self.d_model,
+            "query feature dim {} != d_model {}",
+            qs[2], self.d_model
+        );
         let (b, sq, sk) = (qs[0], qs[1], ks[1]);
         assert_eq!(ks[0], b, "attention batch mismatch");
         if causal {
@@ -138,7 +151,12 @@ impl MultiHeadAttention {
 
 impl Module for MultiHeadAttention {
     fn params(&self) -> Vec<Param> {
-        vec![self.wq.clone(), self.wk.clone(), self.wv.clone(), self.wo.clone()]
+        vec![
+            self.wq.clone(),
+            self.wk.clone(),
+            self.wv.clone(),
+            self.wo.clone(),
+        ]
     }
 }
 
@@ -169,10 +187,21 @@ impl TransformerBlock {
         Self::build(d_model, heads, d_ff, true, true, rng)
     }
 
-    fn build(d_model: usize, heads: usize, d_ff: usize, causal: bool, cross: bool, rng: &mut Rng) -> Self {
+    fn build(
+        d_model: usize,
+        heads: usize,
+        d_ff: usize,
+        causal: bool,
+        cross: bool,
+        rng: &mut Rng,
+    ) -> Self {
         TransformerBlock {
             self_attn: MultiHeadAttention::new(d_model, heads, rng),
-            cross_attn: if cross { Some(MultiHeadAttention::new(d_model, heads, rng)) } else { None },
+            cross_attn: if cross {
+                Some(MultiHeadAttention::new(d_model, heads, rng))
+            } else {
+                None
+            },
             norm1: LayerNorm::new(d_model),
             norm2: LayerNorm::new(d_model),
             norm3: LayerNorm::new(d_model),
@@ -303,8 +332,15 @@ mod tests {
         let sq = g.square(y);
         let loss = g.sum(sq);
         g.backward(loss);
-        let nonzero = block.params().iter().filter(|p| p.grad().sq_norm() > 0.0).count();
+        let nonzero = block
+            .params()
+            .iter()
+            .filter(|p| p.grad().sq_norm() > 0.0)
+            .count();
         // All but norm2 (unused in encoder blocks) should receive gradient.
-        assert!(nonzero >= block.params().len() - 2, "only {nonzero} params got gradient");
+        assert!(
+            nonzero >= block.params().len() - 2,
+            "only {nonzero} params got gradient"
+        );
     }
 }

@@ -19,10 +19,20 @@ pub struct Conv2d {
 
 impl Conv2d {
     /// Creates a `k`×`k` convolution mapping `c_in` to `c_out` channels.
-    pub fn new(c_in: usize, c_out: usize, k: usize, stride: usize, pad: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        c_in: usize,
+        c_out: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut Rng,
+    ) -> Self {
         let fan_in = c_in * k * k;
         Conv2d {
-            weight: Param::new("conv.weight", kaiming_normal(&[c_out, c_in, k, k], fan_in, rng)),
+            weight: Param::new(
+                "conv.weight",
+                kaiming_normal(&[c_out, c_in, k, k], fan_in, rng),
+            ),
             bias: Some(Param::new("conv.bias", Tensor::zeros(&[c_out]))),
             args: Conv2dArgs::new(stride, pad),
         }
@@ -30,7 +40,14 @@ impl Conv2d {
 
     /// Creates a convolution without a bias term (the usual choice when a
     /// batch norm immediately follows).
-    pub fn new_no_bias(c_in: usize, c_out: usize, k: usize, stride: usize, pad: usize, rng: &mut Rng) -> Self {
+    pub fn new_no_bias(
+        c_in: usize,
+        c_out: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut Rng,
+    ) -> Self {
         let mut conv = Conv2d::new(c_in, c_out, k, stride, pad, rng);
         conv.bias = None;
         conv
@@ -128,7 +145,9 @@ impl BatchNorm2d {
                 let (y, mean, var) = g.batch_norm2d(x, gamma, beta, self.eps);
                 let mut rm = self.running_mean.borrow_mut();
                 let mut rv = self.running_var.borrow_mut();
-                *rm = rm.scale(1.0 - self.momentum).add(&mean.scale(self.momentum));
+                *rm = rm
+                    .scale(1.0 - self.momentum)
+                    .add(&mean.scale(self.momentum));
                 *rv = rv.scale(1.0 - self.momentum).add(&var.scale(self.momentum));
                 y
             }
@@ -181,7 +200,10 @@ mod tests {
             let _ = bn.forward(&mut g, xv, Mode::Train);
         }
         let rm = bn.running_mean();
-        assert!(rm.data().iter().all(|&m| (m - 5.0).abs() < 0.5), "running mean {rm:?}");
+        assert!(
+            rm.data().iter().all(|&m| (m - 5.0).abs() < 0.5),
+            "running mean {rm:?}"
+        );
     }
 
     #[test]

@@ -16,7 +16,10 @@ impl Embedding {
     /// Creates a table initialized from `N(0, 0.1)`.
     pub fn new(vocab: usize, dim: usize, rng: &mut Rng) -> Self {
         Embedding {
-            table: Param::new("embedding.table", Tensor::from_fn(&[vocab, dim], |_| rng.normal_with(0.0, 0.1))),
+            table: Param::new(
+                "embedding.table",
+                Tensor::from_fn(&[vocab, dim], |_| rng.normal_with(0.0, 0.1)),
+            ),
         }
     }
 

@@ -58,7 +58,10 @@ mod tests {
 
     #[test]
     fn param_count_sums_elements() {
-        let ps = vec![Param::new("a", Tensor::zeros(&[2, 3])), Param::new("b", Tensor::zeros(&[5]))];
+        let ps = vec![
+            Param::new("a", Tensor::zeros(&[2, 3])),
+            Param::new("b", Tensor::zeros(&[5])),
+        ];
         assert_eq!(ps.param_count(), 11);
     }
 

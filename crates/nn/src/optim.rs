@@ -16,12 +16,20 @@ pub trait Optimizer {
 
     /// The current learning rate.
     fn lr(&self) -> f32;
+
+    /// The parameters this optimizer updates (used by the tape sanitizer
+    /// to probe for dead or non-finite parameters).
+    fn params(&self) -> &[Param];
 }
 
 /// Rescales gradients in place so their global L2 norm is at most
 /// `max_norm`. Returns the pre-clipping norm.
 pub fn clip_grad_norm(params: &[Param], max_norm: f32) -> f32 {
-    let total: f32 = params.iter().map(|p| p.grad().sq_norm()).sum::<f32>().sqrt();
+    let total: f32 = params
+        .iter()
+        .map(|p| p.grad().sq_norm())
+        .sum::<f32>()
+        .sqrt();
     if total > max_norm && total > 0.0 {
         let scale = max_norm / total;
         for p in params {
@@ -51,7 +59,13 @@ impl Sgd {
     /// SGD with momentum and L2 weight decay.
     pub fn with_momentum(params: Vec<Param>, lr: f32, momentum: f32, weight_decay: f32) -> Self {
         let velocity = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
-        Sgd { params, lr, momentum, weight_decay, velocity }
+        Sgd {
+            params,
+            lr,
+            momentum,
+            weight_decay,
+            velocity,
+        }
     }
 }
 
@@ -85,6 +99,10 @@ impl Optimizer for Sgd {
     fn lr(&self) -> f32 {
         self.lr
     }
+
+    fn params(&self) -> &[Param] {
+        &self.params
+    }
 }
 
 /// The Adam optimizer (Kingma & Ba) with bias correction.
@@ -110,7 +128,16 @@ impl Adam {
     pub fn with_betas(params: Vec<Param>, lr: f32, beta1: f32, beta2: f32) -> Self {
         let m = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
         let v = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
-        Adam { params, lr, beta1, beta2, eps: 1e-8, t: 0, m, v }
+        Adam {
+            params,
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            t: 0,
+            m,
+            v,
+        }
     }
 }
 
@@ -149,6 +176,10 @@ impl Optimizer for Adam {
     fn lr(&self) -> f32 {
         self.lr
     }
+
+    fn params(&self) -> &[Param] {
+        &self.params
+    }
 }
 
 /// RMSProp (Tieleman & Hinton), the optimizer WGAN training prescribes.
@@ -165,7 +196,13 @@ impl RmsProp {
     /// RMSProp with smoothing constant `alpha = 0.99`.
     pub fn new(params: Vec<Param>, lr: f32) -> Self {
         let sq = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
-        RmsProp { params, lr, alpha: 0.99, eps: 1e-8, sq }
+        RmsProp {
+            params,
+            lr,
+            alpha: 0.99,
+            eps: 1e-8,
+            sq,
+        }
     }
 }
 
@@ -196,6 +233,10 @@ impl Optimizer for RmsProp {
 
     fn lr(&self) -> f32 {
         self.lr
+    }
+
+    fn params(&self) -> &[Param] {
+        &self.params
     }
 }
 
@@ -260,7 +301,7 @@ mod tests {
     fn clip_grad_norm_caps_norm() {
         let w = Param::new("w", Tensor::zeros(&[3]));
         w.accumulate_grad(&Tensor::from_vec(vec![3.0, 4.0, 0.0], &[3]));
-        let pre = clip_grad_norm(&[w.clone()], 1.0);
+        let pre = clip_grad_norm(std::slice::from_ref(&w), 1.0);
         assert!((pre - 5.0).abs() < 1e-5);
         assert!((w.grad().sq_norm().sqrt() - 1.0).abs() < 1e-5);
     }
@@ -269,7 +310,7 @@ mod tests {
     fn clip_grad_norm_no_op_below_cap() {
         let w = Param::new("w", Tensor::zeros(&[2]));
         w.accumulate_grad(&Tensor::from_vec(vec![0.3, 0.4], &[2]));
-        clip_grad_norm(&[w.clone()], 1.0);
+        clip_grad_norm(std::slice::from_ref(&w), 1.0);
         assert_eq!(w.grad().data(), &[0.3, 0.4]);
     }
 }

@@ -8,8 +8,14 @@ use crate::module::Module;
 
 fn gate_params(prefix: &str, d_in: usize, d_h: usize, rng: &mut Rng) -> (Param, Param, Param) {
     (
-        Param::new(format!("{prefix}.w"), xavier_uniform(&[d_in, d_h], d_in, d_h, rng)),
-        Param::new(format!("{prefix}.u"), xavier_uniform(&[d_h, d_h], d_h, d_h, rng)),
+        Param::new(
+            format!("{prefix}.w"),
+            xavier_uniform(&[d_in, d_h], d_in, d_h, rng),
+        ),
+        Param::new(
+            format!("{prefix}.u"),
+            xavier_uniform(&[d_h, d_h], d_h, d_h, rng),
+        ),
         Param::new(format!("{prefix}.b"), Tensor::zeros(&[d_h])),
     )
 }
@@ -114,9 +120,15 @@ impl GruCell {
 impl Module for GruCell {
     fn params(&self) -> Vec<Param> {
         vec![
-            self.z.0.clone(), self.z.1.clone(), self.z.2.clone(),
-            self.r.0.clone(), self.r.1.clone(), self.r.2.clone(),
-            self.h.0.clone(), self.h.1.clone(), self.h.2.clone(),
+            self.z.0.clone(),
+            self.z.1.clone(),
+            self.z.2.clone(),
+            self.r.0.clone(),
+            self.r.1.clone(),
+            self.r.2.clone(),
+            self.h.0.clone(),
+            self.h.1.clone(),
+            self.h.2.clone(),
         ]
     }
 }
@@ -168,17 +180,28 @@ impl LstmCell {
 
     /// Zero initial `(h, c)` state for a batch of `n`.
     pub fn zero_state(&self, g: &mut Graph, n: usize) -> (Var, Var) {
-        (g.input(Tensor::zeros(&[n, self.d_h])), g.input(Tensor::zeros(&[n, self.d_h])))
+        (
+            g.input(Tensor::zeros(&[n, self.d_h])),
+            g.input(Tensor::zeros(&[n, self.d_h])),
+        )
     }
 }
 
 impl Module for LstmCell {
     fn params(&self) -> Vec<Param> {
         vec![
-            self.i.0.clone(), self.i.1.clone(), self.i.2.clone(),
-            self.f.0.clone(), self.f.1.clone(), self.f.2.clone(),
-            self.o.0.clone(), self.o.1.clone(), self.o.2.clone(),
-            self.c.0.clone(), self.c.1.clone(), self.c.2.clone(),
+            self.i.0.clone(),
+            self.i.1.clone(),
+            self.i.2.clone(),
+            self.f.0.clone(),
+            self.f.1.clone(),
+            self.f.2.clone(),
+            self.o.0.clone(),
+            self.o.1.clone(),
+            self.o.2.clone(),
+            self.c.0.clone(),
+            self.c.1.clone(),
+            self.c.2.clone(),
         ]
     }
 }
@@ -224,7 +247,10 @@ mod tests {
             let mut g = Graph::new();
             let mut h = gru.zero_state(&mut g, 1);
             for t in 0..steps {
-                let x = g.input(Tensor::from_vec(vec![if t == 0 { first } else { 0.0 }], &[1, 1]));
+                let x = g.input(Tensor::from_vec(
+                    vec![if t == 0 { first } else { 0.0 }],
+                    &[1, 1],
+                ));
                 h = gru.step(&mut g, x, h);
             }
             let y = head.forward(&mut g, h);

@@ -65,7 +65,10 @@ mod tests {
 
     #[test]
     fn step_decay_halves() {
-        let s = LrSchedule::StepDecay { every: 10, gamma: 0.5 };
+        let s = LrSchedule::StepDecay {
+            every: 10,
+            gamma: 0.5,
+        };
         assert_eq!(s.factor(0), 1.0);
         assert_eq!(s.factor(9), 1.0);
         assert_eq!(s.factor(10), 0.5);
@@ -74,7 +77,10 @@ mod tests {
 
     #[test]
     fn cosine_endpoints() {
-        let s = LrSchedule::Cosine { total: 100, floor: 0.1 };
+        let s = LrSchedule::Cosine {
+            total: 100,
+            floor: 0.1,
+        };
         assert!((s.factor(0) - 1.0).abs() < 1e-6);
         assert!((s.factor(100) - 0.1).abs() < 1e-6);
         assert!(s.factor(50) > 0.1 && s.factor(50) < 1.0);

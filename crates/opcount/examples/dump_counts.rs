@@ -9,10 +9,20 @@ fn main() {
     println!("{:<28} {:>12} {:>14}", "model", "params(M)", "MFLOPs");
     for s in aibench_models::catalog::aibench_specs() {
         let c = aibench_opcount::count(&s);
-        println!("A {:<26} {:>12.3} {:>14.2}", s.name, c.params_m(), c.mflops());
+        println!(
+            "A {:<26} {:>12.3} {:>14.2}",
+            s.name,
+            c.params_m(),
+            c.mflops()
+        );
     }
     for s in aibench_models::catalog::mlperf_specs() {
         let c = aibench_opcount::count(&s);
-        println!("M {:<26} {:>12.3} {:>14.2}", s.name, c.params_m(), c.mflops());
+        println!(
+            "M {:<26} {:>12.3} {:>14.2}",
+            s.name,
+            c.params_m(),
+            c.mflops()
+        );
     }
 }

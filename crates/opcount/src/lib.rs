@@ -51,8 +51,20 @@ impl OpCount {
 /// Counts one layer.
 pub fn count_layer(kind: &LayerKind) -> OpCount {
     match *kind {
-        LayerKind::Conv2d { c_in, c_out, k, h_out, w_out }
-        | LayerKind::ConvTranspose2d { c_in, c_out, k, h_out, w_out } => OpCount {
+        LayerKind::Conv2d {
+            c_in,
+            c_out,
+            k,
+            h_out,
+            w_out,
+        }
+        | LayerKind::ConvTranspose2d {
+            c_in,
+            c_out,
+            k,
+            h_out,
+            w_out,
+        } => OpCount {
             params: (c_in * c_out * k * k) as u64,
             flops: (k * k * c_in * c_out * h_out * w_out) as f64,
         },
@@ -68,33 +80,55 @@ pub fn count_layer(kind: &LayerKind) -> OpCount {
             params: 2 * d as u64,
             flops: 6.0 * (rows * d) as f64,
         },
-        LayerKind::Relu { n } | LayerKind::Activation { n } => OpCount { params: 0, flops: n as f64 },
+        LayerKind::Relu { n } | LayerKind::Activation { n } => OpCount {
+            params: 0,
+            flops: n as f64,
+        },
         LayerKind::Pool { c, h_out, w_out, k } => OpCount {
             params: 0,
             flops: (c * h_out * w_out * k * k) as f64,
         },
-        LayerKind::Embedding { vocab, dim, lookups } => OpCount {
+        LayerKind::Embedding {
+            vocab,
+            dim,
+            lookups,
+        } => OpCount {
             params: (vocab * dim) as u64,
             flops: (lookups * dim) as f64,
         },
-        LayerKind::Rnn { kind, d_in, d_h, steps } => {
+        LayerKind::Rnn {
+            kind,
+            d_in,
+            d_h,
+            steps,
+        } => {
             let g = kind.gates();
             OpCount {
                 params: (g * (d_in * d_h + d_h * d_h + d_h)) as u64,
                 flops: (g * (d_in + d_h) * d_h * steps) as f64,
             }
         }
-        LayerKind::Attention { d_model, heads: _, seq_q, seq_k } => OpCount {
+        LayerKind::Attention {
+            d_model,
+            heads: _,
+            seq_q,
+            seq_k,
+        } => OpCount {
             params: (4 * d_model * d_model) as u64,
-            flops: (4 * seq_q * d_model * d_model) as f64
-                + 2.0 * (seq_q * seq_k * d_model) as f64,
+            flops: (4 * seq_q * d_model * d_model) as f64 + 2.0 * (seq_q * seq_k * d_model) as f64,
         },
         LayerKind::Softmax { rows, classes } => OpCount {
             params: 0,
             flops: 5.0 * (rows * classes) as f64,
         },
-        LayerKind::Elementwise { n, ops } => OpCount { params: 0, flops: (n * ops) as f64 },
-        LayerKind::GridSample { c, h, w } => OpCount { params: 0, flops: 11.0 * (c * h * w) as f64 },
+        LayerKind::Elementwise { n, ops } => OpCount {
+            params: 0,
+            flops: (n * ops) as f64,
+        },
+        LayerKind::GridSample { c, h, w } => OpCount {
+            params: 0,
+            flops: 11.0 * (c * h * w) as f64,
+        },
     }
 }
 
@@ -126,21 +160,36 @@ mod tests {
 
     #[test]
     fn conv_layer_counts() {
-        let c = count_layer(&LayerKind::Conv2d { c_in: 3, c_out: 8, k: 3, h_out: 4, w_out: 4 });
+        let c = count_layer(&LayerKind::Conv2d {
+            c_in: 3,
+            c_out: 8,
+            k: 3,
+            h_out: 4,
+            w_out: 4,
+        });
         assert_eq!(c.params, 216);
         assert_eq!(c.flops, 216.0 * 16.0);
     }
 
     #[test]
     fn lstm_counts_four_gates() {
-        let c = count_layer(&LayerKind::Rnn { kind: RnnKind::Lstm, d_in: 8, d_h: 8, steps: 2 });
+        let c = count_layer(&LayerKind::Rnn {
+            kind: RnnKind::Lstm,
+            d_in: 8,
+            d_h: 8,
+            steps: 2,
+        });
         assert_eq!(c.params, 4 * (64 + 64 + 8));
         assert_eq!(c.flops, (4 * 16 * 8 * 2) as f64);
     }
 
     #[test]
     fn embedding_has_params_but_negligible_flops() {
-        let c = count_layer(&LayerKind::Embedding { vocab: 1000, dim: 16, lookups: 3 });
+        let c = count_layer(&LayerKind::Embedding {
+            vocab: 1000,
+            dim: 16,
+            lookups: 3,
+        });
         assert_eq!(c.params, 16_000);
         assert!(c.flops < 100.0);
     }
@@ -148,15 +197,26 @@ mod tests {
     #[test]
     fn resnet50_lands_near_published_numbers() {
         let c = count(&catalog::image_classification());
-        assert!((20.0e6..30.0e6).contains(&(c.params as f64)), "params {}", c.params_m());
-        assert!((3_000.0..5_000.0).contains(&c.mflops()), "mflops {}", c.mflops());
+        assert!(
+            (20.0e6..30.0e6).contains(&(c.params as f64)),
+            "params {}",
+            c.params_m()
+        );
+        assert!(
+            (3_000.0..5_000.0).contains(&c.mflops()),
+            "mflops {}",
+            c.mflops()
+        );
     }
 
     fn ranges(specs: &[ModelSpec], skip: &str) -> (f64, f64, f64, f64) {
         let cs: Vec<OpCount> = specs.iter().filter(|s| s.name != skip).map(count).collect();
         let min_f = cs.iter().map(|c| c.mflops()).fold(f64::INFINITY, f64::min);
         let max_f = cs.iter().map(|c| c.mflops()).fold(0.0, f64::max);
-        let min_p = cs.iter().map(|c| c.params_m()).fold(f64::INFINITY, f64::min);
+        let min_p = cs
+            .iter()
+            .map(|c| c.params_m())
+            .fold(f64::INFINITY, f64::min);
         let max_p = cs.iter().map(|c| c.params_m()).fold(0.0, f64::max);
         (min_f, max_f, min_p, max_p)
     }
@@ -167,18 +227,36 @@ mod tests {
         // sixteen characterized benchmarks (NAS excluded).
         let (min_f, max_f, min_p, max_p) = ranges(&catalog::aibench_specs(), "ENAS");
         assert!(min_f < 1.0, "AIBench min MFLOPs {min_f} should be sub-1");
-        assert!(max_f > 50_000.0, "AIBench max MFLOPs {max_f} should exceed 50 G");
+        assert!(
+            max_f > 50_000.0,
+            "AIBench max MFLOPs {max_f} should exceed 50 G"
+        );
         assert!(min_p < 0.1, "AIBench min params {min_p}M should be tiny");
-        assert!(max_p > 50.0, "AIBench max params {max_p}M should exceed 50M");
+        assert!(
+            max_p > 50.0,
+            "AIBench max params {max_p}M should exceed 50M"
+        );
     }
 
     #[test]
     fn mlperf_ranges_are_narrower_than_aibench() {
         let (a_min_f, a_max_f, a_min_p, a_max_p) = ranges(&catalog::aibench_specs(), "ENAS");
         let (m_min_f, m_max_f, m_min_p, m_max_p) = ranges(&catalog::mlperf_specs(), "Minigo");
-        assert!(a_min_f <= m_min_f, "AIBench FLOPs floor must be lower: {a_min_f} vs {m_min_f}");
-        assert!(a_max_f >= m_max_f, "AIBench FLOPs ceiling must be higher: {a_max_f} vs {m_max_f}");
-        assert!(a_min_p <= m_min_p, "AIBench params floor must be lower: {a_min_p} vs {m_min_p}");
-        assert!(a_max_p >= m_max_p, "AIBench params ceiling must be higher: {a_max_p} vs {m_max_p}");
+        assert!(
+            a_min_f <= m_min_f,
+            "AIBench FLOPs floor must be lower: {a_min_f} vs {m_min_f}"
+        );
+        assert!(
+            a_max_f >= m_max_f,
+            "AIBench FLOPs ceiling must be higher: {a_max_f} vs {m_max_f}"
+        );
+        assert!(
+            a_min_p <= m_min_p,
+            "AIBench params floor must be lower: {a_min_p} vs {m_min_p}"
+        );
+        assert!(
+            a_max_p >= m_max_p,
+            "AIBench params ceiling must be higher: {a_max_p} vs {m_max_p}"
+        );
     }
 }

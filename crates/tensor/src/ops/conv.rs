@@ -37,7 +37,18 @@ impl Default for Conv2dArgs {
 }
 
 /// Unfolds one NCHW sample into an im2col matrix `[c*kh*kw, ho*wo]`.
-fn im2col(x: &[f32], c: usize, h: usize, w: usize, kh: usize, kw: usize, args: Conv2dArgs, ho: usize, wo: usize) -> Vec<f32> {
+#[allow(clippy::too_many_arguments)] // full conv geometry is inherently wide
+fn im2col(
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    args: Conv2dArgs,
+    ho: usize,
+    wo: usize,
+) -> Vec<f32> {
     let mut col = vec![0.0f32; c * kh * kw * ho * wo];
     let cols = ho * wo;
     for ci in 0..c {
@@ -65,7 +76,19 @@ fn im2col(x: &[f32], c: usize, h: usize, w: usize, kh: usize, kw: usize, args: C
 }
 
 /// Folds an im2col matrix back onto an NCHW sample, accumulating overlaps.
-fn col2im(col: &[f32], c: usize, h: usize, w: usize, kh: usize, kw: usize, args: Conv2dArgs, ho: usize, wo: usize, out: &mut [f32]) {
+#[allow(clippy::too_many_arguments)] // full conv geometry is inherently wide
+fn col2im(
+    col: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    args: Conv2dArgs,
+    ho: usize,
+    wo: usize,
+    out: &mut [f32],
+) {
     let cols = ho * wo;
     for ci in 0..c {
         for ki in 0..kh {
@@ -77,7 +100,8 @@ fn col2im(col: &[f32], c: usize, h: usize, w: usize, kh: usize, kw: usize, args:
                     if iy < 0 || iy >= h as isize {
                         continue;
                     }
-                    let dst_row = &mut out[(ci * h + iy as usize) * w..(ci * h + iy as usize + 1) * w];
+                    let dst_row =
+                        &mut out[(ci * h + iy as usize) * w..(ci * h + iy as usize + 1) * w];
                     for ox in 0..wo {
                         let ix = (ox * args.stride + kj) as isize - args.pad as isize;
                         if ix >= 0 && ix < w as isize {
@@ -98,12 +122,35 @@ fn col2im(col: &[f32], c: usize, h: usize, w: usize, kh: usize, kw: usize, args:
 /// Panics if ranks or channel counts disagree, or the kernel does not fit
 /// the padded input.
 pub fn conv2d(input: &Tensor, weight: &Tensor, args: Conv2dArgs) -> Tensor {
-    assert_eq!(input.ndim(), 4, "conv2d: input must be NCHW, got {:?}", input.shape());
-    assert_eq!(weight.ndim(), 4, "conv2d: weight must be [co,ci,kh,kw], got {:?}", weight.shape());
-    let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
-    let (co, ci, kh, kw) = (weight.shape()[0], weight.shape()[1], weight.shape()[2], weight.shape()[3]);
+    assert_eq!(
+        input.ndim(),
+        4,
+        "conv2d: input must be NCHW, got {:?}",
+        input.shape()
+    );
+    assert_eq!(
+        weight.ndim(),
+        4,
+        "conv2d: weight must be [co,ci,kh,kw], got {:?}",
+        weight.shape()
+    );
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (co, ci, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
     assert_eq!(c, ci, "conv2d: input channels {c} vs weight channels {ci}");
-    assert!(h + 2 * args.pad >= kh && w + 2 * args.pad >= kw, "conv2d: kernel larger than padded input");
+    assert!(
+        h + 2 * args.pad >= kh && w + 2 * args.pad >= kw,
+        "conv2d: kernel larger than padded input"
+    );
     let ho = args.out_extent(h, kh);
     let wo = args.out_extent(w, kw);
     let kdim = ci * kh * kw;
@@ -112,7 +159,14 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, args: Conv2dArgs) -> Tensor {
     for s in 0..n {
         let x = &input.data()[s * c * h * w..(s + 1) * c * h * w];
         let col = im2col(x, c, h, w, kh, kw, args, ho, wo);
-        gemm_into(weight.data(), &col, &mut out[s * co * cols..(s + 1) * co * cols], co, kdim, cols);
+        gemm_into(
+            weight.data(),
+            &col,
+            &mut out[s * co * cols..(s + 1) * co * cols],
+            co,
+            kdim,
+            cols,
+        );
     }
     Tensor::from_vec(out, &[n, co, ho, wo])
 }
@@ -126,17 +180,38 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, args: Conv2dArgs) -> Tensor {
 /// # Panics
 ///
 /// Panics on rank or channel mismatches.
-pub fn conv2d_backward_input(grad_output: &Tensor, weight: &Tensor, input_hw: (usize, usize), args: Conv2dArgs) -> Tensor {
-    assert_eq!(grad_output.ndim(), 4, "conv2d_backward_input: grad must be NCHW");
-    assert_eq!(weight.ndim(), 4, "conv2d_backward_input: weight must be 4-D");
+pub fn conv2d_backward_input(
+    grad_output: &Tensor,
+    weight: &Tensor,
+    input_hw: (usize, usize),
+    args: Conv2dArgs,
+) -> Tensor {
+    assert_eq!(
+        grad_output.ndim(),
+        4,
+        "conv2d_backward_input: grad must be NCHW"
+    );
+    assert_eq!(
+        weight.ndim(),
+        4,
+        "conv2d_backward_input: weight must be 4-D"
+    );
     let (n, co, ho, wo) = (
         grad_output.shape()[0],
         grad_output.shape()[1],
         grad_output.shape()[2],
         grad_output.shape()[3],
     );
-    let (cow, ci, kh, kw) = (weight.shape()[0], weight.shape()[1], weight.shape()[2], weight.shape()[3]);
-    assert_eq!(co, cow, "conv2d_backward_input: channel mismatch {co} vs {cow}");
+    let (cow, ci, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    assert_eq!(
+        co, cow,
+        "conv2d_backward_input: channel mismatch {co} vs {cow}"
+    );
     let (h, w) = input_hw;
     let kdim = ci * kh * kw;
     let cols = ho * wo;
@@ -148,7 +223,18 @@ pub fn conv2d_backward_input(grad_output: &Tensor, weight: &Tensor, input_hw: (u
         col.iter_mut().for_each(|v| *v = 0.0);
         let g = &grad_output.data()[s * co * cols..(s + 1) * co * cols];
         gemm_into(wt.data(), g, &mut col, kdim, co, cols);
-        col2im(&col, ci, h, w, kh, kw, args, ho, wo, &mut out[s * ci * h * w..(s + 1) * ci * h * w]);
+        col2im(
+            &col,
+            ci,
+            h,
+            w,
+            kh,
+            kw,
+            args,
+            ho,
+            wo,
+            &mut out[s * ci * h * w..(s + 1) * ci * h * w],
+        );
     }
     Tensor::from_vec(out, &[n, ci, h, w])
 }
@@ -158,10 +244,28 @@ pub fn conv2d_backward_input(grad_output: &Tensor, weight: &Tensor, input_hw: (u
 /// # Panics
 ///
 /// Panics on rank or batch mismatches.
-pub fn conv2d_backward_weight(input: &Tensor, grad_output: &Tensor, kernel_hw: (usize, usize), args: Conv2dArgs) -> Tensor {
-    assert_eq!(input.ndim(), 4, "conv2d_backward_weight: input must be NCHW");
-    assert_eq!(grad_output.ndim(), 4, "conv2d_backward_weight: grad must be NCHW");
-    let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+pub fn conv2d_backward_weight(
+    input: &Tensor,
+    grad_output: &Tensor,
+    kernel_hw: (usize, usize),
+    args: Conv2dArgs,
+) -> Tensor {
+    assert_eq!(
+        input.ndim(),
+        4,
+        "conv2d_backward_weight: input must be NCHW"
+    );
+    assert_eq!(
+        grad_output.ndim(),
+        4,
+        "conv2d_backward_weight: grad must be NCHW"
+    );
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
     let (n2, co, ho, wo) = (
         grad_output.shape()[0],
         grad_output.shape()[1],
@@ -191,8 +295,18 @@ mod tests {
 
     /// Direct (non-im2col) reference convolution.
     fn conv2d_direct(input: &Tensor, weight: &Tensor, args: Conv2dArgs) -> Tensor {
-        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
-        let (co, _, kh, kw) = (weight.shape()[0], weight.shape()[1], weight.shape()[2], weight.shape()[3]);
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let (co, _, kh, kw) = (
+            weight.shape()[0],
+            weight.shape()[1],
+            weight.shape()[2],
+            weight.shape()[3],
+        );
         let ho = args.out_extent(h, kh);
         let wo = args.out_extent(w, kw);
         let mut out = Tensor::zeros(&[n, co, ho, wo]);
@@ -224,15 +338,21 @@ mod tests {
     #[test]
     fn matches_direct_various_geometries() {
         let mut rng = Rng::seed_from(2);
-        for &(c, h, w, co, k, stride, pad) in
-            &[(1, 5, 5, 1, 3, 1, 0), (3, 8, 8, 4, 3, 1, 1), (2, 7, 9, 3, 3, 2, 1), (1, 4, 4, 2, 1, 1, 0)]
-        {
+        for &(c, h, w, co, k, stride, pad) in &[
+            (1, 5, 5, 1, 3, 1, 0),
+            (3, 8, 8, 4, 3, 1, 1),
+            (2, 7, 9, 3, 3, 2, 1),
+            (1, 4, 4, 2, 1, 1, 0),
+        ] {
             let x = Tensor::randn(&[2, c, h, w], &mut rng);
             let wt = Tensor::randn(&[co, c, k, k], &mut rng);
             let args = Conv2dArgs::new(stride, pad);
             let fast = conv2d(&x, &wt, args);
             let slow = conv2d_direct(&x, &wt, args);
-            assert!(fast.max_abs_diff(&slow) < 1e-4, "geometry ({c},{h},{w},{co},{k},{stride},{pad})");
+            assert!(
+                fast.max_abs_diff(&slow) < 1e-4,
+                "geometry ({c},{h},{w},{co},{k},{stride},{pad})"
+            );
         }
     }
 
@@ -253,7 +373,11 @@ mod tests {
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
             let num = (conv2d(&xp, &w, args).sum() - conv2d(&xm, &w, args).sum()) / (2.0 * eps);
-            assert!((num - gx.data()[i]).abs() < 1e-2, "dx[{i}]: numeric {num} vs analytic {}", gx.data()[i]);
+            assert!(
+                (num - gx.data()[i]).abs() < 1e-2,
+                "dx[{i}]: numeric {num} vs analytic {}",
+                gx.data()[i]
+            );
         }
     }
 
@@ -273,7 +397,11 @@ mod tests {
             let mut wm = w.clone();
             wm.data_mut()[i] -= eps;
             let num = (conv2d(&x, &wp, args).sum() - conv2d(&x, &wm, args).sum()) / (2.0 * eps);
-            assert!((num - gw.data()[i]).abs() < 2e-2, "dw[{i}]: numeric {num} vs analytic {}", gw.data()[i]);
+            assert!(
+                (num - gw.data()[i]).abs() < 2e-2,
+                "dw[{i}]: numeric {num} vs analytic {}",
+                gw.data()[i]
+            );
         }
     }
 

@@ -11,14 +11,21 @@ use crate::Tensor;
 pub fn concat(parts: &[&Tensor], axis: usize) -> Tensor {
     assert!(!parts.is_empty(), "concat of zero tensors");
     let rank = parts[0].ndim();
-    assert!(axis < rank, "concat axis {axis} out of range for rank {rank}");
+    assert!(
+        axis < rank,
+        "concat axis {axis} out of range for rank {rank}"
+    );
     let mut out_shape = parts[0].shape().to_vec();
     out_shape[axis] = 0;
     for p in parts {
         assert_eq!(p.ndim(), rank, "concat rank mismatch");
-        for d in 0..rank {
+        for (d, &expected) in out_shape.iter().enumerate() {
             if d != axis {
-                assert_eq!(p.shape()[d], out_shape[d].max(parts[0].shape()[d]), "concat extent mismatch on dim {d}");
+                assert_eq!(
+                    p.shape()[d],
+                    expected.max(parts[0].shape()[d]),
+                    "concat extent mismatch on dim {d}"
+                );
             }
         }
         out_shape[axis] += p.shape()[axis];
@@ -43,7 +50,12 @@ pub fn concat(parts: &[&Tensor], axis: usize) -> Tensor {
 /// Panics if the range exceeds the axis extent.
 pub fn slice_axis(x: &Tensor, axis: usize, start: usize, len: usize) -> Tensor {
     assert!(axis < x.ndim(), "slice axis {axis} out of range");
-    assert!(start + len <= x.shape()[axis], "slice [{start}, {}) exceeds extent {}", start + len, x.shape()[axis]);
+    assert!(
+        start + len <= x.shape()[axis],
+        "slice [{start}, {}) exceeds extent {}",
+        start + len,
+        x.shape()[axis]
+    );
     let mut out_shape = x.shape().to_vec();
     out_shape[axis] = len;
     let strides = row_major_strides(x.shape());
@@ -96,7 +108,10 @@ pub fn unpad2d(x: &Tensor, pad: usize) -> Tensor {
         return x.clone();
     }
     let (n, c, hp, wp) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
-    assert!(hp > 2 * pad && wp > 2 * pad, "unpad2d: nothing left after removing pad {pad}");
+    assert!(
+        hp > 2 * pad && wp > 2 * pad,
+        "unpad2d: nothing left after removing pad {pad}"
+    );
     let (h, w) = (hp - 2 * pad, wp - 2 * pad);
     let mut out = Tensor::zeros(&[n, c, h, w]);
     for s in 0..n {

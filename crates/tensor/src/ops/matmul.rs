@@ -29,7 +29,13 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(b.ndim(), 2, "matmul: rhs must be 2-D, got {:?}", b.shape());
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (k2, n) = (b.shape()[0], b.shape()[1]);
-    assert_eq!(k, k2, "matmul: inner dims {k} vs {k2} (lhs {:?}, rhs {:?})", a.shape(), b.shape());
+    assert_eq!(
+        k,
+        k2,
+        "matmul: inner dims {k} vs {k2} (lhs {:?}, rhs {:?})",
+        a.shape(),
+        b.shape()
+    );
     let mut out = vec![0.0f32; m * n];
     gemm_into(a.data(), b.data(), &mut out, m, k, n);
     Tensor::from_vec(out, &[m, n])
@@ -41,8 +47,18 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics if either input is not 3-D or batch/inner dimensions disagree.
 pub fn batch_matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.ndim(), 3, "batch_matmul: lhs must be 3-D, got {:?}", a.shape());
-    assert_eq!(b.ndim(), 3, "batch_matmul: rhs must be 3-D, got {:?}", b.shape());
+    assert_eq!(
+        a.ndim(),
+        3,
+        "batch_matmul: lhs must be 3-D, got {:?}",
+        a.shape()
+    );
+    assert_eq!(
+        b.ndim(),
+        3,
+        "batch_matmul: rhs must be 3-D, got {:?}",
+        b.shape()
+    );
     let (ba, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
     let (bb, k2, n) = (b.shape()[0], b.shape()[1], b.shape()[2]);
     assert_eq!(ba, bb, "batch_matmul: batch dims {ba} vs {bb}");

@@ -11,9 +11,22 @@ use crate::Tensor;
 ///
 /// Panics if the input is not 4-D or the window does not fit.
 pub fn max_pool2d(input: &Tensor, k: usize, stride: usize) -> (Tensor, Vec<usize>) {
-    assert_eq!(input.ndim(), 4, "max_pool2d: input must be NCHW, got {:?}", input.shape());
-    let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
-    assert!(h >= k && w >= k, "max_pool2d: window {k} larger than input {h}x{w}");
+    assert_eq!(
+        input.ndim(),
+        4,
+        "max_pool2d: input must be NCHW, got {:?}",
+        input.shape()
+    );
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    assert!(
+        h >= k && w >= k,
+        "max_pool2d: window {k} larger than input {h}x{w}"
+    );
     let ho = (h - k) / stride + 1;
     let wo = (w - k) / stride + 1;
     let mut out = Tensor::zeros(&[n, c, ho, wo]);
@@ -48,7 +61,11 @@ pub fn max_pool2d(input: &Tensor, k: usize, stride: usize) -> (Tensor, Vec<usize
 
 /// Routes output gradients back to the winning input positions of a prior
 /// [`max_pool2d`] call.
-pub fn max_pool2d_backward(grad_output: &Tensor, winners: &[usize], input_shape: &[usize]) -> Tensor {
+pub fn max_pool2d_backward(
+    grad_output: &Tensor,
+    winners: &[usize],
+    input_shape: &[usize],
+) -> Tensor {
     let mut gx = Tensor::zeros(input_shape);
     for (g, &idx) in grad_output.data().iter().zip(winners) {
         gx.data_mut()[idx] += g;
@@ -62,9 +79,22 @@ pub fn max_pool2d_backward(grad_output: &Tensor, winners: &[usize], input_shape:
 ///
 /// Panics if the input is not 4-D or the window does not fit.
 pub fn avg_pool2d(input: &Tensor, k: usize, stride: usize) -> Tensor {
-    assert_eq!(input.ndim(), 4, "avg_pool2d: input must be NCHW, got {:?}", input.shape());
-    let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
-    assert!(h >= k && w >= k, "avg_pool2d: window {k} larger than input {h}x{w}");
+    assert_eq!(
+        input.ndim(),
+        4,
+        "avg_pool2d: input must be NCHW, got {:?}",
+        input.shape()
+    );
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    assert!(
+        h >= k && w >= k,
+        "avg_pool2d: window {k} larger than input {h}x{w}"
+    );
     let ho = (h - k) / stride + 1;
     let wo = (w - k) / stride + 1;
     let inv = 1.0 / (k * k) as f32;
@@ -92,8 +122,18 @@ pub fn avg_pool2d(input: &Tensor, k: usize, stride: usize) -> Tensor {
 
 /// Gradient of [`avg_pool2d`]: spreads each output gradient uniformly over
 /// its window.
-pub fn avg_pool2d_backward(grad_output: &Tensor, input_shape: &[usize], k: usize, stride: usize) -> Tensor {
-    let (n, c, h, w) = (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
+pub fn avg_pool2d_backward(
+    grad_output: &Tensor,
+    input_shape: &[usize],
+    k: usize,
+    stride: usize,
+) -> Tensor {
+    let (n, c, h, w) = (
+        input_shape[0],
+        input_shape[1],
+        input_shape[2],
+        input_shape[3],
+    );
     let ho = grad_output.shape()[2];
     let wo = grad_output.shape()[3];
     let inv = 1.0 / (k * k) as f32;

@@ -28,8 +28,14 @@ impl Rng {
     /// Creates a generator from a seed. Any seed (including 0) is valid.
     pub fn seed_from(seed: u64) -> Self {
         // Avoid the all-zero state, which is a fixed point of xorshift.
-        let state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x2545_F491_4F6C_DD1D) | 1;
-        Rng { state, gauss_spare: None }
+        let state = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x2545_F491_4F6C_DD1D)
+            | 1;
+        Rng {
+            state,
+            gauss_spare: None,
+        }
     }
 
     /// Returns the next raw 64-bit output.

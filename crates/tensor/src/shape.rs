@@ -104,8 +104,16 @@ pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
     let ndim = a.len().max(b.len());
     let mut out = vec![0; ndim];
     for i in 0..ndim {
-        let da = if i < ndim - a.len() { 1 } else { a[i - (ndim - a.len())] };
-        let db = if i < ndim - b.len() { 1 } else { b[i - (ndim - b.len())] };
+        let da = if i < ndim - a.len() {
+            1
+        } else {
+            a[i - (ndim - a.len())]
+        };
+        let db = if i < ndim - b.len() {
+            1
+        } else {
+            b[i - (ndim - b.len())]
+        };
         out[i] = if da == db {
             da
         } else if da == 1 {
@@ -126,7 +134,11 @@ pub(crate) fn broadcast_strides(dims: &[usize], target: &[usize]) -> Vec<usize> 
     let offset = target.len() - dims.len();
     let mut out = vec![0; target.len()];
     for i in 0..dims.len() {
-        out[offset + i] = if dims[i] == 1 && target[offset + i] != 1 { 0 } else { strides[i] };
+        out[offset + i] = if dims[i] == 1 && target[offset + i] != 1 {
+            0
+        } else {
+            strides[i]
+        };
     }
     out
 }

@@ -37,7 +37,10 @@ impl Tensor {
 
     /// Creates a tensor filled with zeros.
     pub fn zeros(shape: &[usize]) -> Self {
-        Tensor { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
     }
 
     /// Creates a tensor filled with ones.
@@ -47,12 +50,18 @@ impl Tensor {
 
     /// Creates a tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
-        Tensor { shape: shape.to_vec(), data: vec![value; shape.iter().product()] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; shape.iter().product()],
+        }
     }
 
     /// Creates a 0-dimensional (scalar) tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: vec![], data: vec![value] }
+        Tensor {
+            shape: vec![],
+            data: vec![value],
+        }
     }
 
     /// Creates a tensor from a flat buffer.
@@ -70,13 +79,19 @@ impl Tensor {
             shape,
             expected
         );
-        Tensor { shape: shape.to_vec(), data }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Creates a tensor by calling `f` with each flat index.
     pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
         let n: usize = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: (0..n).map(&mut f).collect() }
+        Tensor {
+            shape: shape.to_vec(),
+            data: (0..n).map(&mut f).collect(),
+        }
     }
 
     /// Creates a 1-D tensor `[0, 1, ..., n-1]`.
@@ -139,7 +154,12 @@ impl Tensor {
     ///
     /// Panics if the tensor has more than one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.data.len(), 1, "item() on tensor with {} elements", self.data.len());
+        assert_eq!(
+            self.data.len(),
+            1,
+            "item() on tensor with {} elements",
+            self.data.len()
+        );
         self.data[0]
     }
 
@@ -163,11 +183,23 @@ impl Tensor {
     }
 
     fn flat_index(&self, idx: &[usize]) -> usize {
-        assert_eq!(idx.len(), self.shape.len(), "index rank {} vs tensor rank {}", idx.len(), self.shape.len());
+        assert_eq!(
+            idx.len(),
+            self.shape.len(),
+            "index rank {} vs tensor rank {}",
+            idx.len(),
+            self.shape.len()
+        );
         let strides = row_major_strides(&self.shape);
         let mut flat = 0;
         for (d, (&i, &s)) in idx.iter().zip(&strides).enumerate() {
-            assert!(i < self.shape[d], "index {} out of bounds for dim {} of extent {}", i, d, self.shape[d]);
+            assert!(
+                i < self.shape[d],
+                "index {} out of bounds for dim {} of extent {}",
+                i,
+                d,
+                self.shape[d]
+            );
             flat += i * s;
         }
         flat
@@ -184,13 +216,25 @@ impl Tensor {
     /// Panics if the element counts differ.
     pub fn reshape(&self, shape: &[usize]) -> Tensor {
         let expected: usize = shape.iter().product();
-        assert_eq!(self.data.len(), expected, "reshape: {:?} -> {:?} changes element count", self.shape, shape);
-        Tensor { shape: shape.to_vec(), data: self.data.clone() }
+        assert_eq!(
+            self.data.len(),
+            expected,
+            "reshape: {:?} -> {:?} changes element count",
+            self.shape,
+            shape
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
     }
 
     /// Flattens to 1-D.
     pub fn flatten(&self) -> Tensor {
-        Tensor { shape: vec![self.data.len()], data: self.data.clone() }
+        Tensor {
+            shape: vec![self.data.len()],
+            data: self.data.clone(),
+        }
     }
 
     /// Transposes a 2-D tensor.
@@ -199,7 +243,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not 2-D.
     pub fn t(&self) -> Tensor {
-        assert_eq!(self.ndim(), 2, "t() requires a 2-D tensor, got {:?}", self.shape);
+        assert_eq!(
+            self.ndim(),
+            2,
+            "t() requires a 2-D tensor, got {:?}",
+            self.shape
+        );
         let (r, c) = (self.shape[0], self.shape[1]);
         let mut out = Tensor::zeros(&[c, r]);
         for i in 0..r {
@@ -219,7 +268,11 @@ impl Tensor {
         assert_eq!(perm.len(), self.ndim(), "permute rank mismatch");
         let mut seen = vec![false; perm.len()];
         for &p in perm {
-            assert!(p < perm.len() && !seen[p], "permute: {:?} is not a permutation", perm);
+            assert!(
+                p < perm.len() && !seen[p],
+                "permute: {:?} is not a permutation",
+                perm
+            );
             seen[p] = true;
         }
         let out_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
@@ -246,7 +299,10 @@ impl Tensor {
 
     /// Applies `f` elementwise.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Applies `f` elementwise in place.
@@ -263,11 +319,23 @@ impl Tensor {
     /// Panics if the shapes do not broadcast.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         if self.shape == other.shape {
-            let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-            return Tensor { shape: self.shape.clone(), data };
+            let data = self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect();
+            return Tensor {
+                shape: self.shape.clone(),
+                data,
+            };
         }
-        let out_shape = broadcast_shapes(&self.shape, &other.shape)
-            .unwrap_or_else(|| panic!("shapes {:?} and {:?} do not broadcast", self.shape, other.shape));
+        let out_shape = broadcast_shapes(&self.shape, &other.shape).unwrap_or_else(|| {
+            panic!(
+                "shapes {:?} and {:?} do not broadcast",
+                self.shape, other.shape
+            )
+        });
         let sa = broadcast_strides(&self.shape, &out_shape);
         let sb = broadcast_strides(&other.shape, &out_shape);
         let out_strides = row_major_strides(&out_shape);
@@ -284,7 +352,10 @@ impl Tensor {
             }
             data.push(f(self.data[ia], other.data[ib]));
         }
-        Tensor { shape: out_shape, data }
+        Tensor {
+            shape: out_shape,
+            data,
+        }
     }
 
     /// Elementwise (broadcasting) addition.
@@ -438,7 +509,12 @@ impl Tensor {
     ///
     /// Panics if `axis >= ndim`.
     pub fn sum_axis(&self, axis: usize) -> Tensor {
-        assert!(axis < self.ndim(), "sum_axis: axis {} out of range for rank {}", axis, self.ndim());
+        assert!(
+            axis < self.ndim(),
+            "sum_axis: axis {} out of range for rank {}",
+            axis,
+            self.ndim()
+        );
         let mut out_shape = self.shape.clone();
         out_shape.remove(axis);
         let outer: usize = self.shape[..axis].iter().product();
@@ -515,7 +591,11 @@ impl Tensor {
     /// Panics if the shapes differ.
     pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
         assert_eq!(self.shape, other.shape, "max_abs_diff shape mismatch");
-        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
     }
 }
 
@@ -525,7 +605,13 @@ impl fmt::Debug for Tensor {
         if self.data.len() <= 8 {
             write!(f, " {:?}", self.data)
         } else {
-            write!(f, " [{:.4}, {:.4}, ... {:.4}]", self.data[0], self.data[1], self.data[self.data.len() - 1])
+            write!(
+                f,
+                " [{:.4}, {:.4}, ... {:.4}]",
+                self.data[0],
+                self.data[1],
+                self.data[self.data.len() - 1]
+            )
         }
     }
 }

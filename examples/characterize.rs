@@ -16,9 +16,19 @@ fn main() {
     let registry = Registry::aibench();
 
     println!("== model characteristics (full-scale specs) ==");
-    let mut t = TextTable::new(vec!["benchmark".into(), "algorithm".into(), "params (M)".into(), "M-FLOPs".into()]);
+    let mut t = TextTable::new(vec![
+        "benchmark".into(),
+        "algorithm".into(),
+        "params (M)".into(),
+        "M-FLOPs".into(),
+    ]);
     for c in model_characteristics(&registry) {
-        t.row(vec![c.code, c.algorithm, format!("{:.3}", c.params_m), format!("{:.2}", c.mflops)]);
+        t.row(vec![
+            c.code,
+            c.algorithm,
+            format!("{:.3}", c.params_m),
+            format!("{:.2}", c.mflops),
+        ]);
     }
     print!("{}", t.render());
 
@@ -42,7 +52,11 @@ fn main() {
             format!("{:.3}", m.achieved_occupancy),
             format!("{:.3}", m.ipc_efficiency),
             format!("{:.3}", m.dram_utilization),
-            format!("{} ({:.0}%)", profile.categories[0].category, 100.0 * profile.categories[0].share),
+            format!(
+                "{} ({:.0}%)",
+                profile.categories[0].category,
+                100.0 * profile.categories[0].share
+            ),
         ]);
     }
     print!("{}", t.render());

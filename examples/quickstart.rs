@@ -24,7 +24,13 @@ fn main() {
     }
     println!();
     match result.epochs_to_target {
-        Some(e) => println!("converged in {e} epochs ({:.1}s wall time)", result.wall_seconds),
-        None => println!("did not converge within the cap (final {:.3})", result.final_quality),
+        Some(e) => println!(
+            "converged in {e} epochs ({:.1}s wall time)",
+            result.wall_seconds
+        ),
+        None => println!(
+            "did not converge within the cap (final {:.3})",
+            result.final_quality
+        ),
     }
 }

@@ -18,13 +18,19 @@ use aibench_gpusim::DeviceConfig;
 
 /// One training session per benchmark: epochs to target (cap = 45).
 fn measured_epochs(registry: &Registry) -> std::collections::BTreeMap<String, f64> {
-    let cfg = RunConfig { max_epochs: 45, eval_every: 1 };
+    let cfg = RunConfig {
+        max_epochs: 45,
+        eval_every: 1,
+    };
     registry
         .benchmarks()
         .iter()
         .map(|b| {
             let res = aibench::runner::run_to_quality(b, 1, &cfg);
-            (b.id.code().to_string(), res.epochs_to_target.unwrap_or(cfg.max_epochs) as f64)
+            (
+                b.id.code().to_string(),
+                res.epochs_to_target.unwrap_or(cfg.max_epochs) as f64,
+            )
         })
         .collect()
 }
@@ -43,9 +49,16 @@ fn main() {
             let variation_pct = if use_paper {
                 b.paper.variation_pct
             } else {
-                let cfg = RunConfig { max_epochs: 45, eval_every: 1 };
+                let cfg = RunConfig {
+                    max_epochs: 45,
+                    eval_every: 1,
+                };
                 let rep = measure_variation(b, 4, &cfg);
-                println!("{}: measured variation {:?}", b.id.code(), rep.variation_pct);
+                println!(
+                    "{}: measured variation {:?}",
+                    b.id.code(),
+                    rep.variation_pct
+                );
                 rep.variation_pct
             };
             SubsetCandidate {

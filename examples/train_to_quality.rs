@@ -28,10 +28,19 @@ fn main() {
     println!("training {} ({}) with seed {seed}", benchmark.task, code);
     let result = run_to_quality(benchmark, seed, &RunConfig::default());
     for ((epoch, quality), loss) in result.quality_trace.iter().zip(&result.loss_trace) {
-        println!("epoch {epoch:>2}: loss {loss:>8.4}  {} = {quality:.4}", benchmark.metric);
+        println!(
+            "epoch {epoch:>2}: loss {loss:>8.4}  {} = {quality:.4}",
+            benchmark.metric
+        );
     }
     match result.epochs_to_target {
-        Some(e) => println!("reached {} {} in {e} epochs", benchmark.metric, benchmark.target),
-        None => println!("cap reached; final {} = {:.4}", benchmark.metric, result.final_quality),
+        Some(e) => println!(
+            "reached {} {} in {e} epochs",
+            benchmark.metric, benchmark.target
+        ),
+        None => println!(
+            "cap reached; final {} = {:.4}",
+            benchmark.metric, result.final_quality
+        ),
     }
 }

@@ -11,17 +11,32 @@ use aibench_gpusim::DeviceConfig;
 /// training.
 fn fixed_epochs(registry: &Registry, _v: f64) -> std::collections::BTreeMap<String, f64> {
     let measured: [(&str, f64); 17] = [
-        ("DC-AI-C1", 6.0), ("DC-AI-C2", 10.0), ("DC-AI-C3", 18.0), ("DC-AI-C4", 9.0),
-        ("DC-AI-C5", 4.0), ("DC-AI-C6", 3.0), ("DC-AI-C7", 4.0), ("DC-AI-C8", 16.0),
-        ("DC-AI-C9", 10.0), ("DC-AI-C10", 4.0), ("DC-AI-C11", 3.0), ("DC-AI-C12", 12.0),
-        ("DC-AI-C13", 9.0), ("DC-AI-C14", 9.0), ("DC-AI-C15", 3.0), ("DC-AI-C16", 6.0),
+        ("DC-AI-C1", 6.0),
+        ("DC-AI-C2", 10.0),
+        ("DC-AI-C3", 18.0),
+        ("DC-AI-C4", 9.0),
+        ("DC-AI-C5", 4.0),
+        ("DC-AI-C6", 3.0),
+        ("DC-AI-C7", 4.0),
+        ("DC-AI-C8", 16.0),
+        ("DC-AI-C9", 10.0),
+        ("DC-AI-C10", 4.0),
+        ("DC-AI-C11", 3.0),
+        ("DC-AI-C12", 12.0),
+        ("DC-AI-C13", 9.0),
+        ("DC-AI-C14", 9.0),
+        ("DC-AI-C15", 3.0),
+        ("DC-AI-C16", 6.0),
         ("DC-AI-C17", 25.0),
     ];
     registry
         .benchmarks()
         .iter()
         .map(|b| {
-            let e = measured.iter().find(|(c, _)| *c == b.id.code()).map_or(10.0, |(_, e)| *e);
+            let e = measured
+                .iter()
+                .find(|(c, _)| *c == b.id.code())
+                .map_or(10.0, |(_, e)| *e);
             (b.id.code().to_string(), e)
         })
         .collect()
@@ -61,9 +76,16 @@ fn figure2_extremes_match_paper() {
     let od = by("DC-AI-C9").mflops;
     let recon = by("DC-AI-C13").mflops;
     for c in &a {
-        assert!(c.mflops <= od.max(recon) + 1e-9, "{} exceeds OD/recon", c.code);
+        assert!(
+            c.mflops <= od.max(recon) + 1e-9,
+            "{} exceeds OD/recon",
+            c.code
+        );
     }
-    assert!((od / recon).max(recon / od) < 2.0, "OD {od} vs recon {recon}");
+    assert!(
+        (od / recon).max(recon / od) < 2.0,
+        "OD {od} vs recon {recon}"
+    );
 }
 
 #[test]
@@ -73,8 +95,14 @@ fn learning_to_rank_has_lowest_ipc_and_t2t_highest() {
     let l2r = ipc("DC-AI-C16");
     let t2t = ipc("DC-AI-C3");
     for (code, m) in &v {
-        assert!(l2r <= m.ipc_efficiency + 1e-9, "{code} has lower IPC than L2R");
-        assert!(t2t >= m.ipc_efficiency - 1e-9, "{code} has higher IPC than T2T");
+        assert!(
+            l2r <= m.ipc_efficiency + 1e-9,
+            "{code} has lower IPC than L2R"
+        );
+        assert!(
+            t2t >= m.ipc_efficiency - 1e-9,
+            "{code} has higher IPC than T2T"
+        );
     }
 }
 
@@ -83,13 +111,19 @@ fn subset_members_land_in_three_distinct_clusters() {
     // Figure 4: Image Classification, Object Detection, Learning-to-Rank
     // occupy three different clusters.
     let registry = Registry::aibench();
-    let features = combined_features(&registry, DeviceConfig::titan_xp(), &fixed_epochs(&registry, 10.0));
+    let features = combined_features(
+        &registry,
+        DeviceConfig::titan_xp(),
+        &fixed_epochs(&registry, 10.0),
+    );
     let points: Vec<Vec<f64>> = features.iter().map(|(_, f)| f.clone()).collect();
     let clusters = kmeans(&points, 3, 42);
-    let cluster_of = |code: &str| {
-        clusters[features.iter().position(|(c, _)| c == code).unwrap()]
-    };
-    let subset = [cluster_of("DC-AI-C1"), cluster_of("DC-AI-C9"), cluster_of("DC-AI-C16")];
+    let cluster_of = |code: &str| clusters[features.iter().position(|(c, _)| c == code).unwrap()];
+    let subset = [
+        cluster_of("DC-AI-C1"),
+        cluster_of("DC-AI-C9"),
+        cluster_of("DC-AI-C16"),
+    ];
     let mut distinct = subset.to_vec();
     distinct.sort_unstable();
     distinct.dedup();
@@ -99,7 +133,11 @@ fn subset_members_land_in_three_distinct_clusters() {
 #[test]
 fn tsne_embedding_is_deterministic_and_finite() {
     let registry = Registry::aibench();
-    let features = combined_features(&registry, DeviceConfig::titan_xp(), &fixed_epochs(&registry, 10.0));
+    let features = combined_features(
+        &registry,
+        DeviceConfig::titan_xp(),
+        &fixed_epochs(&registry, 10.0),
+    );
     let points: Vec<Vec<f64>> = features.iter().map(|(_, f)| f.clone()).collect();
     let a = tsne(&points, TsneParams::default(), 42);
     let b = tsne(&points, TsneParams::default(), 42);
@@ -123,12 +161,21 @@ fn subset_saves_roughly_the_papers_fraction() {
 fn epoch_cost_extremes_match_table6_shape() {
     let registry = Registry::aibench();
     let costs = training_costs(&registry, DeviceConfig::titan_xp(), |_| 1.0);
-    let by = |code: &str| costs.iter().find(|c| c.code == code).unwrap().sim_seconds_per_epoch;
+    let by = |code: &str| {
+        costs
+            .iter()
+            .find(|c| c.code == code)
+            .unwrap()
+            .sim_seconds_per_epoch
+    };
     // Image Classification's epoch dwarfs Spatial Transformer's; both
     // extremes match the paper's Table 6 ordering.
     let all: Vec<f64> = costs.iter().map(|c| c.sim_seconds_per_epoch).collect();
     let max = all.iter().copied().fold(0.0, f64::max);
     let min = all.iter().copied().fold(f64::INFINITY, f64::min);
     assert!(by("DC-AI-C1") > 0.3 * max, "IC should be near the top");
-    assert!(by("DC-AI-C15") < 10.0 * min, "STN should be near the bottom");
+    assert!(
+        by("DC-AI-C15") < 10.0 * min,
+        "STN should be near the bottom"
+    );
 }

@@ -40,10 +40,22 @@ fn subset_selection_with_paper_variation_recovers_paper_subset() {
     // Representative epochs-to-quality (the seed-1 measurements) for the
     // convergence-rate feature, so this test needs no training.
     let measured: [(&str, f64); 17] = [
-        ("DC-AI-C1", 6.0), ("DC-AI-C2", 10.0), ("DC-AI-C3", 18.0), ("DC-AI-C4", 9.0),
-        ("DC-AI-C5", 4.0), ("DC-AI-C6", 3.0), ("DC-AI-C7", 4.0), ("DC-AI-C8", 16.0),
-        ("DC-AI-C9", 10.0), ("DC-AI-C10", 4.0), ("DC-AI-C11", 3.0), ("DC-AI-C12", 12.0),
-        ("DC-AI-C13", 9.0), ("DC-AI-C14", 9.0), ("DC-AI-C15", 3.0), ("DC-AI-C16", 6.0),
+        ("DC-AI-C1", 6.0),
+        ("DC-AI-C2", 10.0),
+        ("DC-AI-C3", 18.0),
+        ("DC-AI-C4", 9.0),
+        ("DC-AI-C5", 4.0),
+        ("DC-AI-C6", 3.0),
+        ("DC-AI-C7", 4.0),
+        ("DC-AI-C8", 16.0),
+        ("DC-AI-C9", 10.0),
+        ("DC-AI-C10", 4.0),
+        ("DC-AI-C11", 3.0),
+        ("DC-AI-C12", 12.0),
+        ("DC-AI-C13", 9.0),
+        ("DC-AI-C14", 9.0),
+        ("DC-AI-C15", 3.0),
+        ("DC-AI-C16", 6.0),
         ("DC-AI-C17", 25.0),
     ];
     let epochs: std::collections::BTreeMap<String, f64> =
@@ -63,7 +75,11 @@ fn subset_selection_with_paper_variation_recovers_paper_subset() {
     let selection = select_subset(&candidates, 3, 42);
     let mut chosen = selection.chosen.clone();
     chosen.sort();
-    assert_eq!(chosen, vec!["DC-AI-C1", "DC-AI-C16", "DC-AI-C9"], "selected {chosen:?}");
+    assert_eq!(
+        chosen,
+        vec!["DC-AI-C1", "DC-AI-C16", "DC-AI-C9"],
+        "selected {chosen:?}"
+    );
 }
 
 #[test]

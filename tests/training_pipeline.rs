@@ -11,7 +11,10 @@ const FAST: [&str; 4] = ["DC-AI-C15", "DC-AI-C16", "DC-AI-C10", "DC-AI-C13"];
 #[test]
 fn fast_benchmarks_converge_to_their_targets() {
     let registry = Registry::aibench();
-    let cfg = RunConfig { max_epochs: 40, eval_every: 1 };
+    let cfg = RunConfig {
+        max_epochs: 40,
+        eval_every: 1,
+    };
     for code in FAST {
         let b = registry.get(code).unwrap();
         let res = run_to_quality(b, 1, &cfg);
@@ -32,7 +35,14 @@ fn fast_benchmarks_converge_to_their_targets() {
 fn quality_traces_are_recorded_per_epoch() {
     let registry = Registry::aibench();
     let b = registry.get("DC-AI-C15").unwrap();
-    let res = run_to_quality(b, 3, &RunConfig { max_epochs: 2, eval_every: 1 });
+    let res = run_to_quality(
+        b,
+        3,
+        &RunConfig {
+            max_epochs: 2,
+            eval_every: 1,
+        },
+    );
     assert_eq!(res.loss_trace.len(), res.epochs_run);
     assert_eq!(res.quality_trace.len(), res.epochs_run);
     assert!(res.quality_trace.iter().all(|(e, _)| *e >= 1));
@@ -42,17 +52,26 @@ fn quality_traces_are_recorded_per_epoch() {
 fn different_seeds_give_different_runs() {
     let registry = Registry::aibench();
     let b = registry.get("DC-AI-C15").unwrap();
-    let cfg = RunConfig { max_epochs: 2, eval_every: 1 };
+    let cfg = RunConfig {
+        max_epochs: 2,
+        eval_every: 1,
+    };
     let a = run_to_quality(b, 1, &cfg);
     let c = run_to_quality(b, 2, &cfg);
-    assert_ne!(a.loss_trace, c.loss_trace, "seeds must vary initialization/order");
+    assert_ne!(
+        a.loss_trace, c.loss_trace,
+        "seeds must vary initialization/order"
+    );
 }
 
 #[test]
 fn same_seed_reproduces_the_run_exactly() {
     let registry = Registry::aibench();
     let b = registry.get("DC-AI-C16").unwrap();
-    let cfg = RunConfig { max_epochs: 3, eval_every: 1 };
+    let cfg = RunConfig {
+        max_epochs: 3,
+        eval_every: 1,
+    };
     let a = run_to_quality(b, 7, &cfg);
     let c = run_to_quality(b, 7, &cfg);
     assert_eq!(a.loss_trace, c.loss_trace);
@@ -63,8 +82,20 @@ fn same_seed_reproduces_the_run_exactly() {
 fn repeatability_harness_reports_epochs_per_run() {
     let registry = Registry::aibench();
     let b = registry.get("DC-AI-C15").unwrap();
-    let rep = measure_variation(b, 3, &RunConfig { max_epochs: 30, eval_every: 1 });
-    assert_eq!(rep.epochs.len(), 3, "all runs should converge: {:?}", rep.epochs);
+    let rep = measure_variation(
+        b,
+        3,
+        &RunConfig {
+            max_epochs: 30,
+            eval_every: 1,
+        },
+    );
+    assert_eq!(
+        rep.epochs.len(),
+        3,
+        "all runs should converge: {:?}",
+        rep.epochs
+    );
     assert!(rep.variation_pct.is_some());
     assert!(rep.mean_epochs.unwrap() >= 1.0);
 }
@@ -75,7 +106,14 @@ fn mlperf_baselines_train() {
     let registry = Registry::mlperf();
     for code in ["MLPerf-Rec", "MLPerf-RL", "MLPerf-OD-Light"] {
         let b = registry.get(code).unwrap();
-        let res = run_to_quality(b, 1, &RunConfig { max_epochs: 1, eval_every: 1 });
+        let res = run_to_quality(
+            b,
+            1,
+            &RunConfig {
+                max_epochs: 1,
+                eval_every: 1,
+            },
+        );
         assert_eq!(res.epochs_run, 1, "{code}");
         assert!(res.final_quality.is_finite(), "{code}");
     }
