@@ -21,7 +21,7 @@ use std::path::{Path, PathBuf};
 const PROBE_EPOCHS: usize = 5;
 
 /// Probes one trainer: snapshots every registered parameter, trains up to
-/// [`PROBE_EPOCHS`] epochs, and reports parameters the tape never moved
+/// `PROBE_EPOCHS` (five) epochs, and reports parameters the tape never moved
 /// plus non-finite values or gradients.
 pub fn probe_trainer(bench: &str, trainer: &mut dyn Trainer) -> Vec<Diagnostic> {
     let mut out = Vec::new();

@@ -216,9 +216,40 @@ pub fn check_inference_purity(bench: &str, spec: &ModelSpec) -> Vec<Diagnostic> 
     out
 }
 
+/// Lints the deterministic-parallelism contract: the profile simulated on
+/// one thread and on the environment's full thread count must agree
+/// exactly (host-pool utilization aside — that legitimately differs), and
+/// the conservation lints of [`check_profile`] must hold for both.
+pub fn check_parallel_determinism(bench: &str, spec: &ModelSpec) -> Vec<Diagnostic> {
+    let sim = Simulator::new(DeviceConfig::titan_xp());
+    let max = aibench_parallel::default_threads();
+    aibench_parallel::set_threads(1);
+    let serial = sim.profile(spec);
+    aibench_parallel::set_threads(max);
+    let parallel = sim.profile(spec);
+    aibench_parallel::ParallelConfig::from_env().install();
+
+    let mut out = check_profile(bench, &serial);
+    out.extend(check_profile(bench, &parallel));
+    let mut a = serial;
+    let mut b = parallel;
+    a.host_pool = Default::default();
+    b.host_pool = Default::default();
+    if a != b {
+        out.push(Diagnostic::global(
+            bench,
+            "parallel-determinism",
+            "identical profiles at 1 thread and at the full thread count",
+            format!("profiles diverge between 1 and {max} thread(s)"),
+        ));
+    }
+    out
+}
+
 /// Runs every trace lint for one benchmark spec: classifier agreement on
 /// both training and inference traces, conservation on the simulated
-/// profile, the fwd:bwd band, and inference purity.
+/// profile at one thread *and* at the full thread count (which also lints
+/// parallel determinism), the fwd:bwd band, and inference purity.
 pub fn check_benchmark(bench: &str, spec: &ModelSpec) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     out.extend(check_trace(bench, &lower_training_iteration(spec)));
@@ -226,8 +257,7 @@ pub fn check_benchmark(bench: &str, spec: &ModelSpec) -> Vec<Diagnostic> {
         bench,
         &lower_inference_iteration(spec, spec.batch_size),
     ));
-    let sim = Simulator::new(DeviceConfig::titan_xp());
-    out.extend(check_profile(bench, &sim.profile(spec)));
+    out.extend(check_parallel_determinism(bench, spec));
     out.extend(check_fwd_bwd(bench, spec));
     out.extend(check_inference_purity(bench, spec));
     out
@@ -273,6 +303,13 @@ mod tests {
         let diags = check_trace("mini", &[k]);
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].rule, "kernel-category");
+    }
+
+    #[test]
+    fn profiles_agree_across_thread_counts() {
+        let spec = aibench::Registry::all().benchmarks()[0].spec();
+        let diags = check_parallel_determinism("mini", &spec);
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]

@@ -13,6 +13,7 @@ fn main() {
     let cfg = RunConfig {
         max_epochs: 45,
         eval_every: 1,
+        ..RunConfig::default()
     };
     for b in r.benchmarks() {
         if !b.id.is_aibench()

@@ -14,6 +14,7 @@ fn main() {
     let cfg = RunConfig {
         max_epochs: 45,
         eval_every: 1,
+        ..RunConfig::default()
     };
     for b in r.benchmarks() {
         let repeats = b.paper.repeats.unwrap_or(4) as usize;

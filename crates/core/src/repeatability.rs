@@ -83,6 +83,7 @@ mod tests {
             &RunConfig {
                 max_epochs: 1,
                 eval_every: 1,
+                ..RunConfig::default()
             },
         );
         assert_eq!(report.variation_pct, None);
@@ -98,6 +99,7 @@ mod tests {
             &RunConfig {
                 max_epochs: 40,
                 eval_every: 1,
+                ..RunConfig::default()
             },
         );
         assert_eq!(report.runs, 3);

@@ -13,6 +13,11 @@ pub struct RunConfig {
     pub max_epochs: usize,
     /// Evaluate every `eval_every` epochs (1 = every epoch).
     pub eval_every: usize,
+    /// Host threading configuration installed before the session runs.
+    /// `None` leaves the process-wide setting (from `AIBENCH_THREADS` or a
+    /// prior install) untouched. Thread count never changes results — the
+    /// kernels are deterministic by construction — only wall time.
+    pub parallel: Option<aibench_parallel::ParallelConfig>,
 }
 
 impl Default for RunConfig {
@@ -20,6 +25,7 @@ impl Default for RunConfig {
         RunConfig {
             max_epochs: 60,
             eval_every: 1,
+            parallel: None,
         }
     }
 }
@@ -56,6 +62,9 @@ impl RunResult {
 /// trains epoch by epoch, evaluating the quality metric, until the target
 /// is met or `config.max_epochs` is exhausted.
 pub fn run_to_quality(benchmark: &Benchmark, seed: u64, config: &RunConfig) -> RunResult {
+    if let Some(par) = config.parallel {
+        par.install();
+    }
     let start = Instant::now();
     let mut trainer = benchmark.build(seed);
     let mut quality_trace = Vec::new();
@@ -103,6 +112,7 @@ mod tests {
             &RunConfig {
                 max_epochs: 2,
                 eval_every: 1,
+                ..RunConfig::default()
             },
         );
         assert_eq!(res.epochs_run, 2);
@@ -121,6 +131,7 @@ mod tests {
             &RunConfig {
                 max_epochs: 40,
                 eval_every: 1,
+                ..RunConfig::default()
             },
         );
         assert!(
@@ -142,6 +153,7 @@ mod tests {
             &RunConfig {
                 max_epochs: 4,
                 eval_every: 2,
+                ..RunConfig::default()
             },
         );
         assert!(res.quality_trace.len() <= 2);

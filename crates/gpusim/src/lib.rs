@@ -43,3 +43,7 @@ pub use exec::{execute, KernelProfile, StallBreakdown, StallKind};
 pub use kernel::{Kernel, KernelCategory};
 pub use lower::{lower_inference_iteration, lower_training_iteration};
 pub use profile::{CategoryShare, MicroarchMetrics, ModelProfile, Simulator};
+
+// Re-exported so downstream crates can read [`ModelProfile::host_pool`]
+// without depending on `aibench-parallel` directly.
+pub use aibench_parallel::{ParallelConfig, PoolStats};

@@ -74,6 +74,10 @@ pub struct ModelProfile {
     pub kernels: Vec<KernelProfile>,
     /// Samples per epoch at paper scale (the spec's dataset size).
     pub dataset_size: usize,
+    /// Host worker-pool utilization while this profile was simulated:
+    /// parallel regions engaged and chunks executed per participant
+    /// (see [`aibench_parallel::PoolStats`]).
+    pub host_pool: aibench_parallel::PoolStats,
 }
 
 impl ModelProfile {
@@ -105,7 +109,12 @@ impl Simulator {
     /// executes every kernel, and aggregates.
     pub fn profile(&self, spec: &ModelSpec) -> ModelProfile {
         let trace = lower_training_iteration(spec);
-        let kernels: Vec<KernelProfile> = trace.iter().map(|k| execute(k, &self.device)).collect();
+        let pool_before = aibench_parallel::stats();
+        // Kernel cost models are independent, so the trace executes on all
+        // host threads; `parallel_map` preserves trace order.
+        let kernels: Vec<KernelProfile> =
+            aibench_parallel::parallel_map(trace.len(), 1, |i| execute(&trace[i], &self.device));
+        let host_pool = aibench_parallel::stats().delta(&pool_before);
         let total_time: f64 = kernels.iter().map(|p| p.time_s).sum();
         let total_energy: f64 = kernels.iter().map(|p| p.energy_j).sum();
 
@@ -173,6 +182,7 @@ impl Simulator {
             hotspots,
             kernels,
             dataset_size: spec.dataset_size,
+            host_pool,
         }
     }
 }
@@ -290,6 +300,21 @@ mod tests {
                 spec.name
             );
         }
+    }
+
+    #[test]
+    fn host_pool_stats_attribute_profile_work() {
+        let p = sim().profile(&catalog::image_classification());
+        assert_eq!(p.host_pool.threads, aibench_parallel::threads());
+        assert_eq!(p.host_pool.per_worker.len(), p.host_pool.threads);
+        if p.host_pool.threads > 1 {
+            // The kernel trace is far larger than one chunk, so the pool
+            // must have been engaged; every chunk is accounted to someone.
+            assert!(p.host_pool.regions >= 1);
+            assert!(p.host_pool.chunks() as usize >= p.kernels.len());
+        }
+        let imb = p.host_pool.imbalance();
+        assert!((0.0..=1.0).contains(&imb), "imbalance {imb}");
     }
 
     #[test]

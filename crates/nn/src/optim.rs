@@ -1,4 +1,8 @@
 //! Optimizers: SGD (with momentum), Adam, and RMSProp.
+//!
+//! Update rules are elementwise, so each optimizer runs its state and
+//! parameter sweeps multi-threaded over contiguous chunks (via
+//! `aibench-parallel`) with results independent of the thread count.
 
 use aibench_autograd::Param;
 use aibench_tensor::Tensor;
@@ -146,20 +150,36 @@ impl Optimizer for Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let chunk = aibench_parallel::ELEMWISE_CHUNK;
         for ((p, m), v) in self.params.iter().zip(&mut self.m).zip(&mut self.v) {
             let g = p.grad().clone();
             let b1 = self.beta1;
             let b2 = self.beta2;
-            for ((mi, vi), &gi) in m.data_mut().iter_mut().zip(v.data_mut()).zip(g.data()) {
-                *mi = b1 * *mi + (1.0 - b1) * gi;
-                *vi = b2 * *vi + (1.0 - b2) * gi * gi;
-            }
+            // Each moment update is independent per element, so the chunked
+            // parallel loops below are thread-count invariant.
+            aibench_parallel::parallel_slice_mut(m.data_mut(), chunk, |range, mc| {
+                for (mi, &gi) in mc.iter_mut().zip(&g.data()[range]) {
+                    *mi = b1 * *mi + (1.0 - b1) * gi;
+                }
+            });
+            aibench_parallel::parallel_slice_mut(v.data_mut(), chunk, |range, vc| {
+                for (vi, &gi) in vc.iter_mut().zip(&g.data()[range]) {
+                    *vi = b2 * *vi + (1.0 - b2) * gi * gi;
+                }
+            });
+            let (lr, eps) = (self.lr, self.eps);
             let mut val = p.value_mut();
-            for ((xi, &mi), &vi) in val.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
-                let mhat = mi / bc1;
-                let vhat = vi / bc2;
-                *xi -= self.lr * mhat / (vhat.sqrt() + self.eps);
-            }
+            aibench_parallel::parallel_slice_mut(val.data_mut(), chunk, |range, xc| {
+                for ((xi, &mi), &vi) in xc
+                    .iter_mut()
+                    .zip(&m.data()[range.clone()])
+                    .zip(&v.data()[range])
+                {
+                    let mhat = mi / bc1;
+                    let vhat = vi / bc2;
+                    *xi -= lr * mhat / (vhat.sqrt() + eps);
+                }
+            });
         }
     }
 
@@ -208,16 +228,26 @@ impl RmsProp {
 
 impl Optimizer for RmsProp {
     fn step(&mut self) {
+        let chunk = aibench_parallel::ELEMWISE_CHUNK;
         for (p, s) in self.params.iter().zip(&mut self.sq) {
             let g = p.grad().clone();
             let a = self.alpha;
-            for (si, &gi) in s.data_mut().iter_mut().zip(g.data()) {
-                *si = a * *si + (1.0 - a) * gi * gi;
-            }
+            aibench_parallel::parallel_slice_mut(s.data_mut(), chunk, |range, sc| {
+                for (si, &gi) in sc.iter_mut().zip(&g.data()[range]) {
+                    *si = a * *si + (1.0 - a) * gi * gi;
+                }
+            });
+            let (lr, eps) = (self.lr, self.eps);
             let mut val = p.value_mut();
-            for ((xi, &si), &gi) in val.data_mut().iter_mut().zip(s.data()).zip(g.data()) {
-                *xi -= self.lr * gi / (si.sqrt() + self.eps);
-            }
+            aibench_parallel::parallel_slice_mut(val.data_mut(), chunk, |range, xc| {
+                for ((xi, &si), &gi) in xc
+                    .iter_mut()
+                    .zip(&s.data()[range.clone()])
+                    .zip(&g.data()[range])
+                {
+                    *xi -= lr * gi / (si.sqrt() + eps);
+                }
+            });
         }
     }
 

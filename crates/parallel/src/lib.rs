@@ -1,0 +1,518 @@
+//! Deterministic multi-threaded execution for the AIBench kernels.
+//!
+//! This crate is a dependency-free, std-only threading runtime built around
+//! one rule: **thread count must never change numeric results**. Every
+//! primitive partitions its work into chunks whose boundaries depend only on
+//! the problem size (never on the thread count), each chunk is computed by
+//! exactly one thread with the same per-element order as serial code, and
+//! reductions combine per-chunk partials in ascending chunk order. A kernel
+//! built on these primitives is therefore bitwise identical for any
+//! `AIBENCH_THREADS` value — including 1 — which preserves the paper's
+//! run-to-run variation methodology (Section 5.4: CoV < 2% must measure the
+//! *benchmark*, not the host's scheduler).
+//!
+//! The worker pool is persistent: threads are spawned once (lazily, from
+//! `AIBENCH_THREADS` or the machine's available parallelism) and parked
+//! between regions, so per-region overhead is a broadcast wake-up rather
+//! than thread creation. The calling thread always participates, so a
+//! one-thread configuration executes entirely inline with zero
+//! synchronization.
+//!
+//! # Example
+//!
+//! ```
+//! use aibench_parallel as par;
+//!
+//! // A map over disjoint chunks: deterministic for any thread count.
+//! let mut squares = vec![0u64; 1000];
+//! par::parallel_slice_mut(&mut squares, 64, |range, out| {
+//!     for (v, i) in out.iter_mut().zip(range) {
+//!         *v = (i as u64) * (i as u64);
+//!     }
+//! });
+//! assert_eq!(squares[31], 961);
+//!
+//! // An order-stable reduction: partials are folded in chunk order.
+//! let total = par::parallel_reduce(
+//!     1000,
+//!     64,
+//!     || 0u64,
+//!     |range| range.map(|i| i as u64).sum(),
+//!     |acc, part| acc + part,
+//! );
+//! assert_eq!(total, 499_500);
+//! ```
+
+#![deny(missing_docs)]
+
+mod pool;
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub use pool::{default_threads, in_parallel_region, ThreadPool};
+
+/// Thread-count configuration, plumbed through the runner and the benches
+/// so thread sweeps are explicit rather than environmental.
+///
+/// # Example
+///
+/// ```
+/// use aibench_parallel::ParallelConfig;
+/// ParallelConfig::with_threads(1).install();
+/// assert_eq!(aibench_parallel::threads(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Number of participating threads (the caller plus `threads - 1`
+    /// pool workers); clamped to at least 1 on install.
+    pub threads: usize,
+}
+
+impl ParallelConfig {
+    /// The environment's configuration: `AIBENCH_THREADS` if set to a
+    /// positive integer, otherwise the machine's available parallelism.
+    pub fn from_env() -> Self {
+        ParallelConfig {
+            threads: pool::default_threads(),
+        }
+    }
+
+    /// An explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelConfig {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Makes this configuration the process-wide one, replacing the worker
+    /// pool if the thread count changed. Results of all kernels built on
+    /// this crate are unaffected by construction; only wall time changes.
+    pub fn install(self) {
+        pool::install_global(self.threads);
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig::from_env()
+    }
+}
+
+/// Number of threads parallel regions currently run on.
+pub fn threads() -> usize {
+    pool::global_pool().threads()
+}
+
+/// Sets the process-wide thread count (see [`ParallelConfig::install`]).
+pub fn set_threads(threads: usize) {
+    ParallelConfig::with_threads(threads).install()
+}
+
+/// Utilization snapshot of the process-wide pool (see [`stats`]).
+///
+/// Counters are cumulative; subtract two snapshots (via [`PoolStats::delta`])
+/// to attribute work to one phase, e.g. one simulated model profile.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PoolStats {
+    /// Configured thread count at snapshot time.
+    pub threads: usize,
+    /// Parallel regions that engaged the pool (inline-serial regions — too
+    /// little work, nested, or a one-thread pool — are not counted).
+    pub regions: u64,
+    /// Chunks executed per participant; index 0 is the calling thread.
+    pub per_worker: Vec<u64>,
+}
+
+impl PoolStats {
+    /// Total chunks executed across all participants.
+    pub fn chunks(&self) -> u64 {
+        self.per_worker.iter().sum()
+    }
+
+    /// Fraction of chunks taken by the busiest participant, in
+    /// `[1/threads, 1]`; lower is better balanced. Returns 1.0 when no
+    /// chunks ran.
+    pub fn imbalance(&self) -> f64 {
+        let total = self.chunks();
+        if total == 0 {
+            return 1.0;
+        }
+        let max = self.per_worker.iter().copied().max().unwrap_or(0);
+        max as f64 / total as f64
+    }
+
+    /// Counter-wise difference `self - earlier`, for attributing pool work
+    /// to a phase. Worker vectors of different lengths (the pool was
+    /// reconfigured in between) are compared position-wise.
+    pub fn delta(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            threads: self.threads,
+            regions: self.regions.saturating_sub(earlier.regions),
+            per_worker: self
+                .per_worker
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| c.saturating_sub(earlier.per_worker.get(i).copied().unwrap_or(0)))
+                .collect(),
+        }
+    }
+}
+
+/// Snapshots the process-wide pool's cumulative utilization counters.
+pub fn stats() -> PoolStats {
+    let pool = pool::global_pool();
+    PoolStats {
+        threads: pool.threads(),
+        regions: pool.counters.regions.load(Ordering::Relaxed),
+        per_worker: pool
+            .counters
+            .per_worker
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect(),
+    }
+}
+
+/// Splits `0..n` into `ceil(n / chunk)` fixed chunks and calls
+/// `f(chunk_index, index_range)` once per chunk. Chunk boundaries depend
+/// only on `n` and `chunk`, never on the thread count; chunks are claimed
+/// dynamically by the participating threads (or executed in ascending order
+/// serially). `f` must therefore be safe to call for disjoint ranges in any
+/// order — which every pure per-element computation is.
+///
+/// `chunk` is clamped to at least 1.
+pub fn for_each_chunk(n: usize, chunk: usize, f: impl Fn(usize, Range<usize>) + Sync) {
+    let chunk = chunk.max(1);
+    let nchunks = n.div_ceil(chunk);
+    if nchunks == 0 {
+        return;
+    }
+    let range_of = |c: usize| c * chunk..((c + 1) * chunk).min(n);
+    let pool = pool::global_pool();
+    if nchunks == 1 || pool.threads() == 1 || in_parallel_region() {
+        for c in 0..nchunks {
+            f(c, range_of(c));
+        }
+        return;
+    }
+    pool.counters.regions.fetch_add(1, Ordering::Relaxed);
+    let next = AtomicUsize::new(0);
+    pool.broadcast(&|who| loop {
+        let c = next.fetch_add(1, Ordering::Relaxed);
+        if c >= nchunks {
+            break;
+        }
+        f(c, range_of(c));
+        pool.counters.per_worker[who].fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+/// [`for_each_chunk`] without the chunk index: calls `f` on disjoint
+/// subranges of `0..n` covering it exactly once.
+pub fn parallel_for(n: usize, chunk: usize, f: impl Fn(Range<usize>) + Sync) {
+    for_each_chunk(n, chunk, |_, range| f(range));
+}
+
+/// Splits `data` into fixed `chunk`-sized pieces and calls
+/// `f(index_range, piece)` on each, in parallel. The ranges are the
+/// absolute element indices of the piece, so `f` can read aligned slices of
+/// other inputs. Writes are disjoint by construction, so results never
+/// depend on the thread count.
+pub fn parallel_slice_mut<T: Send>(
+    data: &mut [T],
+    chunk: usize,
+    f: impl Fn(Range<usize>, &mut [T]) + Sync,
+) {
+    let len = data.len();
+    let base = SendPtr(data.as_mut_ptr());
+    // Capture the `Sync` wrapper, not the raw pointer field (2021 edition
+    // closures capture disjoint fields by default).
+    let base = &base;
+    parallel_for(len, chunk, move |range| {
+        // SAFETY: `parallel_for` hands out disjoint subranges of `0..len`,
+        // each claimed by exactly one thread, so the reconstructed slices
+        // never alias; the borrow of `data` outlives the region.
+        let piece = unsafe { std::slice::from_raw_parts_mut(base.0.add(range.start), range.len()) };
+        f(range, piece);
+    });
+}
+
+/// A raw pointer that may cross thread boundaries. The primitives using it
+/// guarantee disjoint access per thread.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Order-stable parallel reduction.
+///
+/// `0..n` is split into fixed chunks (boundaries independent of thread
+/// count), `map` produces one partial per chunk, and `fold` combines the
+/// partials into `init()` **in ascending chunk order**. Serial and parallel
+/// execution perform the exact same sequence of `fold` applications, so
+/// floating-point results are bitwise identical for any thread count. The
+/// price is that all partials of a parallel run are buffered before
+/// folding; keep partials small (scalars or one flat buffer per chunk).
+pub fn parallel_reduce<T: Send>(
+    n: usize,
+    chunk: usize,
+    init: impl FnOnce() -> T,
+    map: impl Fn(Range<usize>) -> T + Sync,
+    mut fold: impl FnMut(T, T) -> T,
+) -> T {
+    let chunk = chunk.max(1);
+    let nchunks = n.div_ceil(chunk);
+    let range_of = |c: usize| c * chunk..((c + 1) * chunk).min(n);
+    let mut acc = init();
+    if nchunks == 0 {
+        return acc;
+    }
+    let pool = pool::global_pool();
+    if nchunks == 1 || pool.threads() == 1 || in_parallel_region() {
+        for c in 0..nchunks {
+            acc = fold(acc, map(range_of(c)));
+        }
+        return acc;
+    }
+    pool.counters.regions.fetch_add(1, Ordering::Relaxed);
+    let partials: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(nchunks));
+    let next = AtomicUsize::new(0);
+    pool.broadcast(&|who| loop {
+        let c = next.fetch_add(1, Ordering::Relaxed);
+        if c >= nchunks {
+            break;
+        }
+        let part = map(range_of(c));
+        partials
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((c, part));
+        pool.counters.per_worker[who].fetch_add(1, Ordering::Relaxed);
+    });
+    let mut partials = partials.into_inner().unwrap_or_else(|e| e.into_inner());
+    partials.sort_by_key(|&(c, _)| c); // restore deterministic fold order
+    for (_, part) in partials {
+        acc = fold(acc, part);
+    }
+    acc
+}
+
+/// Parallel map producing a `Vec` in index order: `out[i] = f(i)`.
+///
+/// Items are computed in fixed chunks and reassembled by chunk index, so
+/// the output order (and therefore any downstream order-sensitive
+/// aggregation) is independent of the thread count.
+pub fn parallel_map<T: Send>(n: usize, chunk: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let pieces: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::new());
+    for_each_chunk(n, chunk, |c, range| {
+        let part: Vec<T> = range.map(&f).collect();
+        pieces
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((c, part));
+    });
+    let mut pieces = pieces.into_inner().unwrap_or_else(|e| e.into_inner());
+    pieces.sort_by_key(|&(c, _)| c); // reassemble in index order
+    let mut out = Vec::with_capacity(n);
+    for (_, part) in pieces {
+        out.extend(part);
+    }
+    out
+}
+
+/// Canonical fixed chunk size (elements) for order-stable scalar
+/// reductions such as sums and squared norms.
+///
+/// This constant is part of the determinism contract: it defines where
+/// partial-sum boundaries fall, so changing it changes low-order bits of
+/// reduced values (for tensors larger than one chunk) exactly as a serial
+/// algorithm change would. It must never be derived from the thread count.
+pub const REDUCE_CHUNK: usize = 4096;
+
+/// Default chunk size (elements) for elementwise maps and copies. Pure
+/// per-element work is order-insensitive, so this is a performance knob
+/// only — large enough that chunk dispatch is amortized, small enough to
+/// split work across threads for mid-sized tensors.
+pub const ELEMWISE_CHUNK: usize = 8192;
+
+/// Order-stable sum of an `f32` slice: partial sums over fixed
+/// [`REDUCE_CHUNK`]-element chunks, folded in chunk order. Bitwise
+/// identical for any thread count; identical to a plain serial sum for
+/// slices no longer than one chunk.
+pub fn sum_f32(data: &[f32]) -> f32 {
+    parallel_reduce(
+        data.len(),
+        REDUCE_CHUNK,
+        || 0.0f32,
+        |range| data[range].iter().sum::<f32>(),
+        |acc, part| acc + part,
+    )
+}
+
+/// Order-stable sum of `f(x)` over an `f32` slice (chunked like
+/// [`sum_f32`]); used for squared norms and similar scalar reductions.
+pub fn sum_map_f32(data: &[f32], f: impl Fn(f32) -> f32 + Sync) -> f32 {
+    parallel_reduce(
+        data.len(),
+        REDUCE_CHUNK,
+        || 0.0f32,
+        |range| data[range].iter().map(|&x| f(x)).sum::<f32>(),
+        |acc, part| acc + part,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Tests mutate the global pool; serialize them.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_threads(n);
+        let r = f();
+        set_threads(1);
+        r
+    }
+
+    #[test]
+    fn chunk_boundaries_are_thread_independent() {
+        let boundaries = |threads: usize| {
+            with_threads(threads, || {
+                let seen = Mutex::new(Vec::new());
+                for_each_chunk(1000, 64, |c, r| {
+                    seen.lock().unwrap().push((c, r.start, r.end));
+                });
+                let mut v = seen.into_inner().unwrap();
+                v.sort_unstable();
+                v
+            })
+        };
+        let one = boundaries(1);
+        assert_eq!(one.len(), 16);
+        assert_eq!(one[15], (15, 960, 1000));
+        for t in [2, 3, 8] {
+            assert_eq!(boundaries(t), one, "thread count {t}");
+        }
+    }
+
+    #[test]
+    fn every_index_covered_exactly_once() {
+        with_threads(4, || {
+            let hits: Vec<AtomicU64> = (0..777).map(|_| AtomicU64::new(0)).collect();
+            parallel_for(777, 10, |r| {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        });
+    }
+
+    #[test]
+    fn slice_mut_writes_disjoint_pieces() {
+        with_threads(3, || {
+            let mut data = vec![0usize; 500];
+            parallel_slice_mut(&mut data, 7, |range, piece| {
+                for (v, i) in piece.iter_mut().zip(range) {
+                    *v = i * 2;
+                }
+            });
+            assert!(data.iter().enumerate().all(|(i, &v)| v == i * 2));
+        });
+    }
+
+    #[test]
+    fn reduce_is_bitwise_stable_across_thread_counts() {
+        // A sum whose result depends on association order: catches any
+        // thread-count-dependent fold order.
+        let data: Vec<f32> = (0..100_000)
+            .map(|i| ((i * 2654435761u64 as usize) % 1000) as f32 * 1e-3 + 1e-7)
+            .collect();
+        let reference = with_threads(1, || sum_f32(&data));
+        for t in [2, 3, 8] {
+            let got = with_threads(t, || sum_f32(&data));
+            assert_eq!(got.to_bits(), reference.to_bits(), "thread count {t}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        with_threads(4, || {
+            let out = parallel_map(1000, 13, |i| i * i);
+            assert_eq!(out.len(), 1000);
+            assert!(out.iter().enumerate().all(|(i, &v)| v == i * i));
+        });
+    }
+
+    #[test]
+    fn nested_regions_degrade_to_serial() {
+        with_threads(4, || {
+            let count = AtomicU64::new(0);
+            parallel_for(8, 1, |_| {
+                assert!(in_parallel_region());
+                // Nested region: must run inline without deadlock.
+                parallel_for(100, 10, |r| {
+                    count.fetch_add(r.len() as u64, Ordering::Relaxed);
+                });
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 800);
+        });
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        with_threads(4, || {
+            let result = std::panic::catch_unwind(|| {
+                parallel_for(64, 1, |r| {
+                    if r.start == 33 {
+                        panic!("boom from chunk 33");
+                    }
+                });
+            });
+            assert!(result.is_err());
+            // The pool must still be usable afterwards.
+            let sum = parallel_reduce(
+                100,
+                10,
+                || 0u64,
+                |r| r.map(|i| i as u64).sum(),
+                |a, b| a + b,
+            );
+            assert_eq!(sum, 4950);
+        });
+    }
+
+    #[test]
+    fn stats_count_engaged_regions() {
+        with_threads(2, || {
+            let before = stats();
+            parallel_for(100_000, 100, |_| {});
+            let after = stats();
+            let d = after.delta(&before);
+            assert_eq!(d.regions, 1);
+            assert_eq!(d.chunks(), 1000);
+            assert!(d.imbalance() >= 0.5 / d.threads as f64 && d.imbalance() <= 1.0);
+        });
+    }
+
+    #[test]
+    fn env_parsing_clamps_garbage() {
+        // Not set / garbage falls back to available parallelism >= 1.
+        assert!(default_threads() >= 1);
+        assert_eq!(ParallelConfig::with_threads(0).threads, 1);
+    }
+
+    #[test]
+    fn small_work_runs_inline() {
+        with_threads(4, || {
+            let before = stats();
+            parallel_for(10, 100, |r| assert_eq!(r, 0..10)); // one chunk
+            let d = stats().delta(&before);
+            assert_eq!(d.regions, 0, "single-chunk work must not engage the pool");
+        });
+    }
+}

@@ -1,0 +1,295 @@
+//! The persistent worker pool and the global pool registry.
+//!
+//! One [`ThreadPool`] owns `threads - 1` parked worker threads (the caller
+//! of a parallel region is always participant 0, so a one-thread pool spawns
+//! nothing and runs entirely inline). Work is published to every worker at
+//! once via [`ThreadPool::broadcast`]; the higher-level primitives in the
+//! crate root layer deterministic chunk scheduling on top of it.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+thread_local! {
+    /// Set while the current thread is executing inside a parallel region.
+    /// Nested regions detect it and degrade to inline serial execution,
+    /// which keeps the pool deadlock-free (a worker never waits on itself).
+    static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is already inside a parallel region.
+pub fn in_parallel_region() -> bool {
+    IN_PARALLEL_REGION.with(|f| f.get())
+}
+
+/// Runs `f` with the region marker set, restoring it afterwards (also on
+/// unwind, so a panicking task does not leave the marker stuck).
+fn with_region_marker<R>(f: impl FnOnce() -> R) -> R {
+    struct Reset(bool);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            IN_PARALLEL_REGION.with(|m| m.set(self.0));
+        }
+    }
+    let _reset = Reset(IN_PARALLEL_REGION.with(|m| m.replace(true)));
+    f()
+}
+
+/// A type-erased pointer to the borrowed job closure of one broadcast.
+///
+/// The pointee only lives for the duration of [`ThreadPool::broadcast`],
+/// which does not return (or unwind) before every worker has finished with
+/// it — that join is what makes the lifetime erasure sound.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared invocation from many threads is
+// allowed) and `broadcast` joins all workers before the borrow expires.
+unsafe impl Send for JobPtr {}
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    slot: Mutex<Slot>,
+    /// Signalled when a new job (or shutdown) is published.
+    work_ready: Condvar,
+    /// Signalled when a worker finishes its share of the current job.
+    work_done: Condvar,
+}
+
+struct Slot {
+    /// Monotonic id of the current job; workers run each epoch once.
+    epoch: u64,
+    job: Option<JobPtr>,
+    /// Workers still executing the current job.
+    remaining: usize,
+    /// First panic payload captured from a worker, if any.
+    panic: Option<Box<dyn Any + Send>>,
+    shutdown: bool,
+}
+
+/// Per-pool utilization counters (see [`PoolStats`]).
+pub(crate) struct Counters {
+    /// Parallel regions that actually engaged the pool.
+    pub(crate) regions: AtomicU64,
+    /// Chunks executed, per participant (index 0 = the calling thread).
+    pub(crate) per_worker: Vec<AtomicU64>,
+}
+
+/// A persistent pool of `threads - 1` worker threads plus the caller.
+///
+/// The pool is usually managed through the crate-level registry
+/// ([`crate::set_threads`], [`crate::threads`]) rather than constructed
+/// directly; constructing one is useful for tests that need an isolated
+/// pool.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Serializes broadcasts from distinct caller threads.
+    broadcast_lock: Mutex<()>,
+    threads: usize,
+    pub(crate) counters: Counters,
+}
+
+impl ThreadPool {
+    /// Creates a pool that runs parallel regions on `threads` participants:
+    /// the calling thread plus `threads - 1` spawned workers. `threads` is
+    /// clamped to at least 1.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(Slot {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("aibench-worker-{idx}"))
+                    .spawn(move || worker_loop(&shared, idx))
+                    .expect("spawn aibench worker thread")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            handles,
+            broadcast_lock: Mutex::new(()),
+            threads,
+            counters: Counters {
+                regions: AtomicU64::new(0),
+                per_worker: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            },
+        }
+    }
+
+    /// Number of participants (caller + workers) of a parallel region.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(participant_index)` concurrently on every participant —
+    /// the calling thread as index 0 and each worker as 1..threads — and
+    /// returns once all of them have finished. Panics from any participant
+    /// are re-raised on the caller after the join.
+    ///
+    /// Called from inside a parallel region (or on a one-thread pool) this
+    /// degrades to `f(0)` inline.
+    pub fn broadcast(&self, f: &(dyn Fn(usize) + Sync)) {
+        if self.threads == 1 || in_parallel_region() {
+            with_region_marker(|| f(0));
+            return;
+        }
+        let _serialize = self
+            .broadcast_lock
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        // SAFETY: erase the borrow lifetime of `f` for storage in the shared
+        // slot. The `JoinOnDrop` guard below blocks until every worker is
+        // done with the pointer before this frame can return or unwind.
+        let short = f as *const (dyn Fn(usize) + Sync + '_);
+        #[allow(clippy::missing_transmute_annotations)] // widens only the lifetime bound
+        let job = JobPtr(unsafe { std::mem::transmute(short) });
+        {
+            let mut slot = self.shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+            slot.epoch += 1;
+            slot.job = Some(job);
+            slot.remaining = self.handles.len();
+            self.shared.work_ready.notify_all();
+        }
+
+        struct JoinOnDrop<'a>(&'a Shared);
+        impl Drop for JoinOnDrop<'_> {
+            fn drop(&mut self) {
+                let mut slot = self.0.slot.lock().unwrap_or_else(|e| e.into_inner());
+                while slot.remaining > 0 {
+                    slot = self
+                        .0
+                        .work_done
+                        .wait(slot)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+                slot.job = None;
+            }
+        }
+        let join = JoinOnDrop(&self.shared);
+        let caller_result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| with_region_marker(|| f(0))));
+        drop(join); // blocks until every worker has finished
+        let worker_panic = {
+            let mut slot = self.shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+            slot.panic.take()
+        };
+        if let Some(payload) = worker_panic {
+            std::panic::resume_unwind(payload);
+        }
+        if let Err(payload) = caller_result {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+            slot.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ThreadPool({} threads)", self.threads)
+    }
+}
+
+fn worker_loop(shared: &Shared, idx: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.epoch != seen_epoch {
+                    seen_epoch = slot.epoch;
+                    break slot.job.expect("published epoch carries a job");
+                }
+                slot = shared
+                    .work_ready
+                    .wait(slot)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // SAFETY: the broadcaster keeps the pointee alive until `remaining`
+        // drops to zero, which only happens after this call returns.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_region_marker(|| unsafe { (*job.0)(idx) })
+        }));
+        let mut slot = shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+        if let Err(payload) = result {
+            slot.panic.get_or_insert(payload);
+        }
+        slot.remaining -= 1;
+        if slot.remaining == 0 {
+            shared.work_done.notify_all();
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Global pool registry
+// ----------------------------------------------------------------------
+
+static GLOBAL: RwLock<Option<Arc<ThreadPool>>> = RwLock::new(None);
+
+/// The process-wide pool, created on first use from [`default_threads`].
+pub(crate) fn global_pool() -> Arc<ThreadPool> {
+    if let Some(pool) = GLOBAL.read().unwrap_or_else(|e| e.into_inner()).as_ref() {
+        return Arc::clone(pool);
+    }
+    let mut slot = GLOBAL.write().unwrap_or_else(|e| e.into_inner());
+    Arc::clone(slot.get_or_insert_with(|| Arc::new(ThreadPool::new(default_threads()))))
+}
+
+/// Replaces the process-wide pool with one of `threads` participants.
+pub(crate) fn install_global(threads: usize) {
+    let threads = threads.max(1);
+    let mut slot = GLOBAL.write().unwrap_or_else(|e| e.into_inner());
+    if slot.as_ref().is_some_and(|p| p.threads() == threads) {
+        return;
+    }
+    // The old pool shuts down once every outstanding Arc is dropped.
+    *slot = Some(Arc::new(ThreadPool::new(threads)));
+}
+
+/// The thread count requested by the environment: `AIBENCH_THREADS` if it
+/// parses as a positive integer, otherwise [`std::thread::available_parallelism`].
+pub fn default_threads() -> usize {
+    match std::env::var("AIBENCH_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => available_threads(),
+        },
+        Err(_) => available_threads(),
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}

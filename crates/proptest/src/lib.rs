@@ -145,7 +145,7 @@ pub mod prop {
     pub mod collection {
         use crate::{Strategy, TestRng};
 
-        /// Length specification for [`vec`]: a range or an exact count.
+        /// Length specification for [`vec()`]: a range or an exact count.
         pub struct SizeRange {
             min: usize,
             max_exclusive: usize,

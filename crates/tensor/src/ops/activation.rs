@@ -1,6 +1,15 @@
 //! Numerically stable softmax family over the last axis.
+//!
+//! Both kernels parallelize over contiguous blocks of rows; every row is
+//! normalized by exactly one thread in serial order, so results are bitwise
+//! identical for every `AIBENCH_THREADS` value.
 
 use crate::Tensor;
+
+/// Rows handed to one worker at a time. Softmax rows are cheap, so chunks
+/// amortize scheduling; sized so a block of typical classifier rows
+/// (~10-1000 floats) stays around the elementwise chunk grain.
+const ROW_BLOCK: usize = 64;
 
 /// Softmax over the last axis, numerically stabilized by row-max
 /// subtraction.
@@ -19,23 +28,30 @@ use crate::Tensor;
 pub fn softmax_last(x: &Tensor) -> Tensor {
     assert!(x.ndim() >= 1, "softmax_last on scalar");
     let inner = *x.shape().last().unwrap();
-    let outer = x.len() / inner.max(1);
+    let data = x.data();
     let mut out = Tensor::zeros(x.shape());
-    for o in 0..outer {
-        let row = &x.data()[o * inner..(o + 1) * inner];
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let dst = &mut out.data_mut()[o * inner..(o + 1) * inner];
-        let mut z = 0.0;
-        for (d, &v) in dst.iter_mut().zip(row) {
-            let e = (v - m).exp();
-            *d = e;
-            z += e;
-        }
-        let inv = 1.0 / z;
-        for d in dst.iter_mut() {
-            *d *= inv;
-        }
-    }
+    aibench_parallel::parallel_slice_mut(
+        out.data_mut(),
+        ROW_BLOCK * inner.max(1),
+        |range, block| {
+            for (row, dst) in data[range]
+                .chunks(inner.max(1))
+                .zip(block.chunks_mut(inner.max(1)))
+            {
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut z = 0.0;
+                for (d, &v) in dst.iter_mut().zip(row) {
+                    let e = (v - m).exp();
+                    *d = e;
+                    z += e;
+                }
+                let inv = 1.0 / z;
+                for d in dst.iter_mut() {
+                    *d *= inv;
+                }
+            }
+        },
+    );
     out
 }
 
@@ -47,18 +63,25 @@ pub fn softmax_last(x: &Tensor) -> Tensor {
 pub fn log_softmax_last(x: &Tensor) -> Tensor {
     assert!(x.ndim() >= 1, "log_softmax_last on scalar");
     let inner = *x.shape().last().unwrap();
-    let outer = x.len() / inner.max(1);
+    let data = x.data();
     let mut out = Tensor::zeros(x.shape());
-    for o in 0..outer {
-        let row = &x.data()[o * inner..(o + 1) * inner];
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let z: f32 = row.iter().map(|&v| (v - m).exp()).sum();
-        let log_z = z.ln() + m;
-        let dst = &mut out.data_mut()[o * inner..(o + 1) * inner];
-        for (d, &v) in dst.iter_mut().zip(row) {
-            *d = v - log_z;
-        }
-    }
+    aibench_parallel::parallel_slice_mut(
+        out.data_mut(),
+        ROW_BLOCK * inner.max(1),
+        |range, block| {
+            for (row, dst) in data[range]
+                .chunks(inner.max(1))
+                .zip(block.chunks_mut(inner.max(1)))
+            {
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let z: f32 = row.iter().map(|&v| (v - m).exp()).sum();
+                let log_z = z.ln() + m;
+                for (d, &v) in dst.iter_mut().zip(row) {
+                    *d = v - log_z;
+                }
+            }
+        },
+    );
     out
 }
 

@@ -4,6 +4,13 @@
 //! The backward-input kernel doubles as the forward pass of transposed
 //! convolution (used by the GAN generators and decoder networks), exactly as
 //! cuDNN reuses its `wgrad`/`dgrad` engines.
+//!
+//! Forward and backward-input parallelize over samples (disjoint output
+//! blocks; a single-sample batch instead parallelizes the inner GEMM over
+//! out-channel rows). Backward-weight is a reduction over samples and uses
+//! `aibench-parallel`'s order-stable chunked reduce: per-sample partial
+//! gradients are folded in sample order, so all three kernels are bitwise
+//! identical for every `AIBENCH_THREADS` value.
 
 use super::matmul::gemm_into;
 use crate::Tensor;
@@ -156,18 +163,14 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, args: Conv2dArgs) -> Tensor {
     let kdim = ci * kh * kw;
     let cols = ho * wo;
     let mut out = vec![0.0f32; n * co * cols];
-    for s in 0..n {
+    // One sample per chunk; each sample's im2col + GEMM writes a disjoint
+    // output block.
+    aibench_parallel::parallel_slice_mut(&mut out, co * cols, |range, out_s| {
+        let s = range.start / (co * cols).max(1);
         let x = &input.data()[s * c * h * w..(s + 1) * c * h * w];
         let col = im2col(x, c, h, w, kh, kw, args, ho, wo);
-        gemm_into(
-            weight.data(),
-            &col,
-            &mut out[s * co * cols..(s + 1) * co * cols],
-            co,
-            kdim,
-            cols,
-        );
-    }
+        gemm_into(weight.data(), &col, out_s, co, kdim, cols);
+    });
     Tensor::from_vec(out, &[n, co, ho, wo])
 }
 
@@ -218,24 +221,15 @@ pub fn conv2d_backward_input(
     // weight^T: [kdim, co]
     let wt = weight.reshape(&[co, kdim]).t();
     let mut out = vec![0.0f32; n * ci * h * w];
-    let mut col = vec![0.0f32; kdim * cols];
-    for s in 0..n {
-        col.iter_mut().for_each(|v| *v = 0.0);
+    // One sample per chunk with a thread-local column buffer; each sample
+    // folds into a disjoint input-gradient block.
+    aibench_parallel::parallel_slice_mut(&mut out, ci * h * w, |range, out_s| {
+        let s = range.start / (ci * h * w).max(1);
+        let mut col = vec![0.0f32; kdim * cols];
         let g = &grad_output.data()[s * co * cols..(s + 1) * co * cols];
         gemm_into(wt.data(), g, &mut col, kdim, co, cols);
-        col2im(
-            &col,
-            ci,
-            h,
-            w,
-            kh,
-            kw,
-            args,
-            ho,
-            wo,
-            &mut out[s * ci * h * w..(s + 1) * ci * h * w],
-        );
-    }
+        col2im(&col, ci, h, w, kh, kw, args, ho, wo, out_s);
+    });
     Tensor::from_vec(out, &[n, ci, h, w])
 }
 
@@ -276,15 +270,31 @@ pub fn conv2d_backward_weight(
     let (kh, kw) = kernel_hw;
     let kdim = c * kh * kw;
     let cols = ho * wo;
-    let mut gw = vec![0.0f32; co * kdim];
-    for s in 0..n {
-        let x = &input.data()[s * c * h * w..(s + 1) * c * h * w];
-        let col = im2col(x, c, h, w, kh, kw, args, ho, wo);
-        // grad_w += g [co, cols] * col^T [cols, kdim]
-        let colt = Tensor::from_vec(col, &[kdim, cols]).t();
-        let g = &grad_output.data()[s * co * cols..(s + 1) * co * cols];
-        gemm_into(g, colt.data(), &mut gw, co, cols, kdim);
-    }
+    // Weight gradients sum over samples: an order-stable chunked reduction
+    // (one sample per chunk, partials folded in sample order) keeps the
+    // result identical for every thread count, including serial runs.
+    let gw = aibench_parallel::parallel_reduce(
+        n,
+        1,
+        || vec![0.0f32; co * kdim],
+        |range| {
+            let s = range.start;
+            let x = &input.data()[s * c * h * w..(s + 1) * c * h * w];
+            let col = im2col(x, c, h, w, kh, kw, args, ho, wo);
+            // grad_w_s = g [co, cols] * col^T [cols, kdim]
+            let colt = Tensor::from_vec(col, &[kdim, cols]).t();
+            let g = &grad_output.data()[s * co * cols..(s + 1) * co * cols];
+            let mut gw_s = vec![0.0f32; co * kdim];
+            gemm_into(g, colt.data(), &mut gw_s, co, cols, kdim);
+            gw_s
+        },
+        |mut acc, part| {
+            for (a, b) in acc.iter_mut().zip(&part) {
+                *a += b;
+            }
+            acc
+        },
+    );
     Tensor::from_vec(gw, &[co, c, kh, kw])
 }
 

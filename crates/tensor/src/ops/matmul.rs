@@ -1,10 +1,19 @@
 //! Blocked matrix multiplication.
+//!
+//! All entry points are multi-threaded over disjoint output-row blocks via
+//! `aibench-parallel`: each output row is produced entirely by one thread
+//! with the same inner-loop order as serial code, so results are bitwise
+//! identical for every `AIBENCH_THREADS` value.
 
 use crate::Tensor;
 
 /// Cache-blocking tile edge. 32×32 f32 tiles (4 KiB each) keep three tiles
 /// comfortably inside a typical 32 KiB L1 data cache.
 const TILE: usize = 32;
+
+/// Output rows handed to one worker at a time: a whole cache tile, so the
+/// parallel row partition coincides with the serial blocking.
+const ROW_CHUNK: usize = TILE;
 
 /// Matrix product of two 2-D tensors: `[m, k] x [k, n] -> [m, n]`.
 ///
@@ -64,30 +73,55 @@ pub fn batch_matmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(ba, bb, "batch_matmul: batch dims {ba} vs {bb}");
     assert_eq!(k, k2, "batch_matmul: inner dims {k} vs {k2}");
     let mut out = vec![0.0f32; ba * m * n];
-    for i in 0..ba {
+    // One batch entry per chunk; every entry's GEMM is independent.
+    aibench_parallel::parallel_slice_mut(&mut out, m * n, |range, out_i| {
+        let i = range.start / (m * n).max(1);
         gemm_into(
             &a.data()[i * m * k..(i + 1) * m * k],
             &b.data()[i * k * n..(i + 1) * k * n],
-            &mut out[i * m * n..(i + 1) * m * n],
+            out_i,
             m,
             k,
             n,
         );
-    }
+    });
     Tensor::from_vec(out, &[ba, m, n])
 }
 
-/// `out += a[m,k] * b[k,n]` over pre-zeroed `out`.
+/// `out += a[m,k] * b[k,n]` over pre-zeroed `out`, parallel over
+/// [`ROW_CHUNK`]-row blocks. Each output row accumulates in the same
+/// `k0`/`j0` tile order regardless of which thread owns it, so the result
+/// does not depend on the thread count.
 pub(crate) fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    for i0 in (0..m).step_by(TILE) {
-        let i1 = (i0 + TILE).min(m);
+    debug_assert_eq!(out.len(), m * n);
+    aibench_parallel::parallel_slice_mut(out, ROW_CHUNK * n, |rows, out_block| {
+        debug_assert_eq!(rows.start % n, 0);
+        let i_lo = rows.start / n;
+        let i_hi = rows.end / n;
+        gemm_rows_into(a, b, out_block, i_lo..i_hi, k, n);
+    });
+}
+
+/// Serial tile-blocked GEMM over the output rows `i_range`; `out_block` is
+/// the output slice for exactly those rows.
+fn gemm_rows_into(
+    a: &[f32],
+    b: &[f32],
+    out_block: &mut [f32],
+    i_range: std::ops::Range<usize>,
+    k: usize,
+    n: usize,
+) {
+    let (i_lo, i_hi) = (i_range.start, i_range.end);
+    for i0 in (i_lo..i_hi).step_by(TILE) {
+        let i1 = (i0 + TILE).min(i_hi);
         for k0 in (0..k).step_by(TILE) {
             let k1 = (k0 + TILE).min(k);
             for j0 in (0..n).step_by(TILE) {
                 let j1 = (j0 + TILE).min(n);
                 for i in i0..i1 {
                     let a_row = &a[i * k..i * k + k];
-                    let out_row = &mut out[i * n..i * n + n];
+                    let out_row = &mut out_block[(i - i_lo) * n..(i - i_lo) * n + n];
                     for kk in k0..k1 {
                         let av = a_row[kk];
                         if av == 0.0 {
@@ -113,15 +147,19 @@ pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
     let n = b.shape()[1];
     assert_eq!(k, b.shape()[0], "matmul_naive inner dim mismatch");
     let mut out = Tensor::zeros(&[m, n]);
-    for i in 0..m {
-        for j in 0..n {
+    let (a_data, b_data) = (a.data(), b.data());
+    // Row-parallel like the blocked kernel; each dot product is computed
+    // by one thread in index order, so results are thread-count invariant.
+    aibench_parallel::parallel_slice_mut(out.data_mut(), n.max(1), |range, out_row| {
+        let i = range.start / n.max(1);
+        for (j, o) in out_row.iter_mut().enumerate() {
             let mut acc = 0.0;
             for kk in 0..k {
-                acc += a.data()[i * k + kk] * b.data()[kk * n + j];
+                acc += a_data[i * k + kk] * b_data[kk * n + j];
             }
-            out.data_mut()[i * n + j] = acc;
+            *o = acc;
         }
-    }
+    });
     out
 }
 

@@ -1,4 +1,9 @@
 //! Max and average pooling over NCHW activations.
+//!
+//! All four kernels parallelize over (batch × channel) planes: each plane's
+//! outputs (or input gradients) are written by exactly one thread in the
+//! serial loop order, so results are bitwise identical for every
+//! `AIBENCH_THREADS` value.
 
 use crate::Tensor;
 
@@ -29,47 +34,76 @@ pub fn max_pool2d(input: &Tensor, k: usize, stride: usize) -> (Tensor, Vec<usize
     );
     let ho = (h - k) / stride + 1;
     let wo = (w - k) / stride + 1;
-    let mut out = Tensor::zeros(&[n, c, ho, wo]);
-    let mut winners = vec![0usize; n * c * ho * wo];
-    let mut oi = 0;
-    for s in 0..n {
-        for ci in 0..c {
-            let base = (s * c + ci) * h * w;
-            for oy in 0..ho {
-                for ox in 0..wo {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_idx = 0;
-                    for ky in 0..k {
-                        for kx in 0..k {
-                            let idx = base + (oy * stride + ky) * w + ox * stride + kx;
-                            let v = input.data()[idx];
-                            if v > best {
-                                best = v;
-                                best_idx = idx;
-                            }
+    let plane_out = ho * wo;
+    let in_data = input.data();
+    // Pass 1: the winning input index per output element, plane-parallel.
+    let mut winners = vec![0usize; n * c * plane_out];
+    aibench_parallel::parallel_slice_mut(&mut winners, plane_out, |range, win_plane| {
+        let plane = range.start / plane_out.max(1);
+        let base = plane * h * w;
+        let mut oi = 0;
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let idx = base + (oy * stride + ky) * w + ox * stride + kx;
+                        if in_data[idx] > best {
+                            best = in_data[idx];
+                            best_idx = idx;
                         }
                     }
-                    out.data_mut()[oi] = best;
-                    winners[oi] = best_idx;
-                    oi += 1;
                 }
+                win_plane[oi] = best_idx;
+                oi += 1;
             }
         }
-    }
+    });
+    // Pass 2: gather the winning values.
+    let mut out = Tensor::zeros(&[n, c, ho, wo]);
+    aibench_parallel::parallel_slice_mut(
+        out.data_mut(),
+        aibench_parallel::ELEMWISE_CHUNK,
+        |range, out_chunk| {
+            for (o, &idx) in out_chunk.iter_mut().zip(&winners[range]) {
+                *o = in_data[idx];
+            }
+        },
+    );
     (out, winners)
 }
 
 /// Routes output gradients back to the winning input positions of a prior
 /// [`max_pool2d`] call.
+///
+/// Parallelism exploits the structure [`max_pool2d`] guarantees: the
+/// winner of an output element always lies in the same (batch, channel)
+/// plane, so plane-sized gradient blocks are disjoint.
+///
+/// # Panics
+///
+/// Panics if a winner index falls outside its own plane (i.e. `winners`
+/// was not produced by [`max_pool2d`] for `input_shape`).
 pub fn max_pool2d_backward(
     grad_output: &Tensor,
     winners: &[usize],
     input_shape: &[usize],
 ) -> Tensor {
+    let plane_in: usize = input_shape[2] * input_shape[3];
+    let planes: usize = input_shape[0] * input_shape[1];
+    let plane_out = grad_output.len().checked_div(planes).unwrap_or(0);
+    let go = grad_output.data();
     let mut gx = Tensor::zeros(input_shape);
-    for (g, &idx) in grad_output.data().iter().zip(winners) {
-        gx.data_mut()[idx] += g;
-    }
+    aibench_parallel::parallel_slice_mut(gx.data_mut(), plane_in, |range, gx_plane| {
+        let plane = range.start / plane_in.max(1);
+        let base = plane * plane_in;
+        for oi in plane * plane_out..(plane + 1) * plane_out {
+            // Indexing the plane slice bounds-checks the same-plane
+            // guarantee documented above.
+            gx_plane[winners[oi] - base] += go[oi];
+        }
+    });
     gx
 }
 
@@ -97,64 +131,61 @@ pub fn avg_pool2d(input: &Tensor, k: usize, stride: usize) -> Tensor {
     );
     let ho = (h - k) / stride + 1;
     let wo = (w - k) / stride + 1;
+    let plane_out = ho * wo;
     let inv = 1.0 / (k * k) as f32;
+    let in_data = input.data();
     let mut out = Tensor::zeros(&[n, c, ho, wo]);
-    let mut oi = 0;
-    for s in 0..n {
-        for ci in 0..c {
-            let base = (s * c + ci) * h * w;
-            for oy in 0..ho {
-                for ox in 0..wo {
-                    let mut acc = 0.0;
-                    for ky in 0..k {
-                        for kx in 0..k {
-                            acc += input.data()[base + (oy * stride + ky) * w + ox * stride + kx];
-                        }
+    aibench_parallel::parallel_slice_mut(out.data_mut(), plane_out, |range, out_plane| {
+        let plane = range.start / plane_out.max(1);
+        let base = plane * h * w;
+        let mut oi = 0;
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let mut acc = 0.0;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        acc += in_data[base + (oy * stride + ky) * w + ox * stride + kx];
                     }
-                    out.data_mut()[oi] = acc * inv;
-                    oi += 1;
                 }
+                out_plane[oi] = acc * inv;
+                oi += 1;
             }
         }
-    }
+    });
     out
 }
 
 /// Gradient of [`avg_pool2d`]: spreads each output gradient uniformly over
-/// its window.
+/// its window, one (batch, channel) plane per thread.
 pub fn avg_pool2d_backward(
     grad_output: &Tensor,
     input_shape: &[usize],
     k: usize,
     stride: usize,
 ) -> Tensor {
-    let (n, c, h, w) = (
-        input_shape[0],
-        input_shape[1],
-        input_shape[2],
-        input_shape[3],
-    );
+    let (h, w) = (input_shape[2], input_shape[3]);
+    let plane_in = h * w;
     let ho = grad_output.shape()[2];
     let wo = grad_output.shape()[3];
+    let plane_out = ho * wo;
     let inv = 1.0 / (k * k) as f32;
+    let go = grad_output.data();
     let mut gx = Tensor::zeros(input_shape);
-    let mut oi = 0;
-    for s in 0..n {
-        for ci in 0..c {
-            let base = (s * c + ci) * h * w;
-            for oy in 0..ho {
-                for ox in 0..wo {
-                    let g = grad_output.data()[oi] * inv;
-                    oi += 1;
-                    for ky in 0..k {
-                        for kx in 0..k {
-                            gx.data_mut()[base + (oy * stride + ky) * w + ox * stride + kx] += g;
-                        }
+    aibench_parallel::parallel_slice_mut(gx.data_mut(), plane_in, |range, gx_plane| {
+        let plane = range.start / plane_in.max(1);
+        let mut oi = plane * plane_out;
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let g = go[oi] * inv;
+                oi += 1;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        gx_plane[(oy * stride + ky) * w + ox * stride + kx] += g;
                     }
                 }
             }
         }
-    }
+    });
     gx
 }
 
@@ -202,5 +233,27 @@ mod tests {
         let (y, _) = max_pool2d(&x, 2, 1);
         assert_eq!(y.shape(), &[1, 1, 2, 2]);
         assert_eq!(y.data(), &[4.0, 5.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn multi_plane_pooling_matches_per_plane() {
+        // 3 batches x 2 channels: plane-parallel results must equal the
+        // same pooling applied plane by plane.
+        let x = Tensor::from_fn(&[3, 2, 4, 4], |i| ((i * 7919) % 101) as f32);
+        let (y, winners) = max_pool2d(&x, 2, 2);
+        let a = avg_pool2d(&x, 2, 2);
+        for plane in 0..6 {
+            let xp = Tensor::from_vec(
+                x.data()[plane * 16..(plane + 1) * 16].to_vec(),
+                &[1, 1, 4, 4],
+            );
+            let (yp, wp) = max_pool2d(&xp, 2, 2);
+            let ap = avg_pool2d(&xp, 2, 2);
+            assert_eq!(&y.data()[plane * 4..(plane + 1) * 4], yp.data());
+            assert_eq!(&a.data()[plane * 4..(plane + 1) * 4], ap.data());
+            for (oi, &wi) in wp.iter().enumerate() {
+                assert_eq!(winners[plane * 4 + oi], wi + plane * 16);
+            }
+        }
     }
 }

@@ -298,33 +298,65 @@ impl Tensor {
     // ------------------------------------------------------------------
 
     /// Applies `f` elementwise.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+    ///
+    /// Runs multi-threaded over contiguous chunks for large tensors; each
+    /// element is mapped independently, so the result never depends on the
+    /// thread count.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut data = vec![0.0f32; self.data.len()];
+        aibench_parallel::parallel_slice_mut(
+            &mut data,
+            aibench_parallel::ELEMWISE_CHUNK,
+            |range, out| {
+                for (o, &x) in out.iter_mut().zip(&self.data[range]) {
+                    *o = f(x);
+                }
+            },
+        );
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data,
         }
     }
 
     /// Applies `f` elementwise in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
-            *x = f(*x);
-        }
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        aibench_parallel::parallel_slice_mut(
+            &mut self.data,
+            aibench_parallel::ELEMWISE_CHUNK,
+            |_, chunk| {
+                for x in chunk {
+                    *x = f(*x);
+                }
+            },
+        );
     }
 
     /// Broadcasting binary operation.
     ///
+    /// The same-shape fast path runs multi-threaded over contiguous chunks;
+    /// the general broadcasting path is serial (it is only hit for small
+    /// bias/scale operands in practice).
+    ///
     /// # Panics
     ///
     /// Panics if the shapes do not broadcast.
-    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         if self.shape == other.shape {
-            let data = self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect();
+            let mut data = vec![0.0f32; self.data.len()];
+            aibench_parallel::parallel_slice_mut(
+                &mut data,
+                aibench_parallel::ELEMWISE_CHUNK,
+                |range, out| {
+                    for ((o, &a), &b) in out
+                        .iter_mut()
+                        .zip(&self.data[range.clone()])
+                        .zip(&other.data[range])
+                    {
+                        *o = f(a, b);
+                    }
+                },
+            );
             return Tensor {
                 shape: self.shape.clone(),
                 data,
@@ -425,9 +457,15 @@ impl Tensor {
     /// Panics if the shapes differ.
     pub fn add_scaled_inplace(&mut self, other: &Tensor, alpha: f32) {
         assert_eq!(self.shape, other.shape, "add_scaled_inplace shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        aibench_parallel::parallel_slice_mut(
+            &mut self.data,
+            aibench_parallel::ELEMWISE_CHUNK,
+            |range, chunk| {
+                for (a, &b) in chunk.iter_mut().zip(&other.data[range]) {
+                    *a += alpha * b;
+                }
+            },
+        );
     }
 
     /// Reduces this tensor (by summation) down to `target` shape, inverting a
@@ -469,8 +507,12 @@ impl Tensor {
     // ------------------------------------------------------------------
 
     /// Sum of all elements.
+    ///
+    /// Accumulated in fixed [`aibench_parallel::REDUCE_CHUNK`]-sized blocks
+    /// folded in ascending order, so the result is bitwise identical for
+    /// every `AIBENCH_THREADS` value (including 1).
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        aibench_parallel::sum_f32(&self.data)
     }
 
     /// Mean of all elements.
@@ -575,8 +617,11 @@ impl Tensor {
     }
 
     /// Squared L2 norm of all elements.
+    ///
+    /// Uses the same order-stable chunked accumulation as [`Tensor::sum`],
+    /// so the result does not depend on the thread count.
     pub fn sq_norm(&self) -> f32 {
-        self.data.iter().map(|x| x * x).sum()
+        aibench_parallel::sum_map_f32(&self.data, |x| x * x)
     }
 
     /// True if every element is finite.

@@ -21,6 +21,7 @@ fn measured_epochs(registry: &Registry) -> std::collections::BTreeMap<String, f6
     let cfg = RunConfig {
         max_epochs: 45,
         eval_every: 1,
+        ..RunConfig::default()
     };
     registry
         .benchmarks()
@@ -52,6 +53,7 @@ fn main() {
                 let cfg = RunConfig {
                     max_epochs: 45,
                     eval_every: 1,
+                    ..RunConfig::default()
                 };
                 let rep = measure_variation(b, 4, &cfg);
                 println!(

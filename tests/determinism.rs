@@ -1,0 +1,149 @@
+//! Determinism-by-construction guarantees of `aibench-parallel`.
+//!
+//! Every kernel wired through the threading runtime must produce *bitwise*
+//! identical results for any `AIBENCH_THREADS` value — the property the
+//! paper's run-to-run variation methodology (Section 5.4) depends on: a
+//! coefficient of variation below 2% must measure the benchmark, never the
+//! host scheduler.
+//!
+//! Tests reconfigure the process-wide pool, so they serialize on a mutex
+//! and restore the environment's thread count afterwards.
+
+use std::sync::Mutex;
+
+use aibench::registry::Registry;
+use aibench::runner::{run_to_quality, RunConfig};
+use aibench_parallel::ParallelConfig;
+use aibench_tensor::{ops, Rng, Tensor};
+
+/// Serializes pool reconfiguration across the test harness's threads.
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+/// The thread counts swept by every test: serial, even, odd (so chunk
+/// boundaries never align with the worker count), and oversubscribed.
+const SWEEP: [usize; 4] = [1, 2, 3, 8];
+
+/// Runs `f` once per sweep entry and asserts all results are bitwise equal
+/// to the single-threaded baseline.
+fn bitwise_across_threads(what: &str, f: impl Fn() -> Vec<f32>) {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut baseline = None;
+    for &t in &SWEEP {
+        ParallelConfig::with_threads(t).install();
+        let got: Vec<u32> = f().iter().map(|v| v.to_bits()).collect();
+        match &baseline {
+            None => baseline = Some(got),
+            Some(expect) => assert_eq!(
+                expect, &got,
+                "{what}: {t}-thread result differs bitwise from serial"
+            ),
+        }
+    }
+    ParallelConfig::from_env().install();
+}
+
+#[test]
+fn matmul_bitwise_identical_across_threads() {
+    let mut rng = Rng::seed_from(11);
+    let a = Tensor::randn(&[37, 41], &mut rng);
+    let b = Tensor::randn(&[41, 29], &mut rng);
+    bitwise_across_threads("matmul", || ops::matmul(&a, &b).into_vec());
+    bitwise_across_threads("matmul_naive", || ops::matmul_naive(&a, &b).into_vec());
+    let ba = Tensor::randn(&[5, 13, 17], &mut rng);
+    let bb = Tensor::randn(&[5, 17, 7], &mut rng);
+    bitwise_across_threads("batch_matmul", || ops::batch_matmul(&ba, &bb).into_vec());
+}
+
+#[test]
+fn conv2d_forward_and_backward_bitwise_identical() {
+    let mut rng = Rng::seed_from(12);
+    let x = Tensor::randn(&[3, 4, 11, 11], &mut rng);
+    let w = Tensor::randn(&[6, 4, 3, 3], &mut rng);
+    let args = ops::Conv2dArgs::new(2, 1);
+    let y = ops::conv2d(&x, &w, args);
+    let gy = Tensor::randn(y.shape(), &mut rng);
+    bitwise_across_threads("conv2d forward", || ops::conv2d(&x, &w, args).into_vec());
+    bitwise_across_threads("conv2d backward input", || {
+        ops::conv2d_backward_input(&gy, &w, (11, 11), args).into_vec()
+    });
+    bitwise_across_threads("conv2d backward weight", || {
+        ops::conv2d_backward_weight(&x, &gy, (3, 3), args).into_vec()
+    });
+}
+
+#[test]
+fn pooling_bitwise_identical_across_threads() {
+    let mut rng = Rng::seed_from(13);
+    let x = Tensor::randn(&[4, 3, 10, 10], &mut rng);
+    let (y, winners) = ops::max_pool2d(&x, 2, 2);
+    let gy = Tensor::randn(y.shape(), &mut rng);
+    bitwise_across_threads("max_pool2d", || ops::max_pool2d(&x, 2, 2).0.into_vec());
+    bitwise_across_threads("max_pool2d_backward", || {
+        ops::max_pool2d_backward(&gy, &winners, x.shape()).into_vec()
+    });
+    bitwise_across_threads("avg_pool2d", || ops::avg_pool2d(&x, 3, 1).into_vec());
+    bitwise_across_threads("avg_pool2d_backward", || {
+        ops::avg_pool2d_backward(&gy, x.shape(), 2, 2).into_vec()
+    });
+}
+
+#[test]
+fn elementwise_and_reductions_bitwise_identical() {
+    let mut rng = Rng::seed_from(14);
+    // Larger than one ELEMWISE_CHUNK so the pool actually engages.
+    let x = Tensor::randn(&[3, 40_000], &mut rng);
+    let y = Tensor::randn(&[3, 40_000], &mut rng);
+    bitwise_across_threads("map", || x.map(|v| v.tanh()).into_vec());
+    bitwise_across_threads("zip", || x.zip(&y, |a, b| a * b + a).into_vec());
+    bitwise_across_threads("softmax_last", || ops::softmax_last(&x).into_vec());
+    bitwise_across_threads("log_softmax_last", || ops::log_softmax_last(&x).into_vec());
+    bitwise_across_threads("sum / sq_norm", || vec![x.sum(), x.sq_norm()]);
+    bitwise_across_threads("add_scaled_inplace", || {
+        let mut z = x.clone();
+        z.add_scaled_inplace(&y, 0.37);
+        z.into_vec()
+    });
+}
+
+#[test]
+fn training_session_bitwise_identical_across_threads() {
+    let registry = Registry::aibench();
+    let bench = registry.get("DC-AI-C15").expect("spatial transformer");
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut baseline: Option<(Vec<u32>, u64)> = None;
+    for &t in &SWEEP {
+        let cfg = RunConfig {
+            max_epochs: 2,
+            eval_every: 1,
+            parallel: Some(ParallelConfig::with_threads(t)),
+        };
+        let res = run_to_quality(bench, 3, &cfg);
+        let fingerprint = (
+            res.loss_trace.iter().map(|l| l.to_bits()).collect(),
+            res.final_quality.to_bits(),
+        );
+        match &baseline {
+            None => baseline = Some(fingerprint),
+            Some(expect) => assert_eq!(
+                expect, &fingerprint,
+                "{t}-thread training session diverged from serial"
+            ),
+        }
+    }
+    ParallelConfig::from_env().install();
+}
+
+#[test]
+fn gradcheck_passes_under_four_threads() {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    ParallelConfig::with_threads(4).install();
+    let mut rng = Rng::seed_from(15);
+    let x = Tensor::randn(&[2, 2, 5, 5], &mut rng);
+    let w = Tensor::randn(&[3, 2, 3, 3], &mut rng);
+    aibench_autograd::check_gradients(&[x, w], 1e-2, 1e-2, |g, vars| {
+        let y = g.conv2d(vars[0], vars[1], ops::Conv2dArgs::new(1, 1));
+        let p = g.max_pool2d(y, 2, 2);
+        g.sum(p)
+    });
+    ParallelConfig::from_env().install();
+}

@@ -14,6 +14,7 @@ fn fast_benchmarks_converge_to_their_targets() {
     let cfg = RunConfig {
         max_epochs: 40,
         eval_every: 1,
+        ..RunConfig::default()
     };
     for code in FAST {
         let b = registry.get(code).unwrap();
@@ -41,6 +42,7 @@ fn quality_traces_are_recorded_per_epoch() {
         &RunConfig {
             max_epochs: 2,
             eval_every: 1,
+            ..RunConfig::default()
         },
     );
     assert_eq!(res.loss_trace.len(), res.epochs_run);
@@ -55,6 +57,7 @@ fn different_seeds_give_different_runs() {
     let cfg = RunConfig {
         max_epochs: 2,
         eval_every: 1,
+        ..RunConfig::default()
     };
     let a = run_to_quality(b, 1, &cfg);
     let c = run_to_quality(b, 2, &cfg);
@@ -71,6 +74,7 @@ fn same_seed_reproduces_the_run_exactly() {
     let cfg = RunConfig {
         max_epochs: 3,
         eval_every: 1,
+        ..RunConfig::default()
     };
     let a = run_to_quality(b, 7, &cfg);
     let c = run_to_quality(b, 7, &cfg);
@@ -88,6 +92,7 @@ fn repeatability_harness_reports_epochs_per_run() {
         &RunConfig {
             max_epochs: 30,
             eval_every: 1,
+            ..RunConfig::default()
         },
     );
     assert_eq!(
@@ -112,6 +117,7 @@ fn mlperf_baselines_train() {
             &RunConfig {
                 max_epochs: 1,
                 eval_every: 1,
+                ..RunConfig::default()
             },
         );
         assert_eq!(res.epochs_run, 1, "{code}");
