@@ -140,6 +140,37 @@ impl Param {
     }
 }
 
+impl aibench_ckpt::Snapshot for Param {
+    /// Saves `{prefix}.value` and `{prefix}.grad`.
+    ///
+    /// The gradient accumulator is included for completeness even though
+    /// epoch-boundary snapshots always see it zeroed — a snapshot taken
+    /// mid-step still restores faithfully.
+    fn snapshot(&self, state: &mut aibench_ckpt::State, prefix: &str) {
+        use aibench_ckpt::key;
+        let p = self.inner.borrow();
+        state.put_f32s(
+            key(prefix, "value"),
+            p.value.shape(),
+            p.value.data().to_vec(),
+        );
+        state.put_f32s(key(prefix, "grad"), p.grad.shape(), p.grad.data().to_vec());
+    }
+}
+
+impl aibench_ckpt::Restore for Param {
+    fn restore(
+        &mut self,
+        state: &aibench_ckpt::State,
+        prefix: &str,
+    ) -> Result<(), aibench_ckpt::CkptError> {
+        use aibench_ckpt::key;
+        let mut p = self.inner.borrow_mut();
+        p.value.restore(state, &key(prefix, "value"))?;
+        p.grad.restore(state, &key(prefix, "grad"))
+    }
+}
+
 impl fmt::Debug for Param {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let p = self.inner.borrow();
@@ -168,6 +199,19 @@ mod tests {
         assert_eq!(p.grad().data(), &[2.0, 2.0]);
         p.zero_grad();
         assert_eq!(p.grad().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_value_and_grad() {
+        use aibench_ckpt::{Restore as _, Snapshot as _, State};
+        let p = Param::new("w", Tensor::from_vec(vec![1.5, -2.5], &[2]));
+        p.accumulate_grad(&Tensor::from_vec(vec![0.25, 4.0], &[2]));
+        let mut state = State::new();
+        p.snapshot(&mut state, "p0");
+        let mut q = Param::new("w", Tensor::zeros(&[2]));
+        q.restore(&state, "p0").unwrap();
+        assert_eq!(q.value().data(), &[1.5, -2.5]);
+        assert_eq!(q.grad().data(), &[0.25, 4.0]);
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Checkpoint ablation: snapshot size, snapshot/restore latency, and the
+//! end-to-end overhead checkpointing adds to a training session.
+//!
+//! Two tables:
+//!
+//! * per-benchmark snapshot cost for one representative model per
+//!   architecture family — encoded size, time to snapshot, time to
+//!   restore (decode + rebuild-from-seed + load);
+//! * training overhead — the same short session run plain and with a
+//!   checkpoint every epoch, asserting on the way that the checkpointed
+//!   run's result is bitwise identical to the plain one.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use aibench::ckpt::{restore_run, run_to_quality_resumable, snapshot_run, PartialRun};
+use aibench::runner::{run_to_quality, RunConfig};
+use aibench::Registry;
+use aibench_ckpt::MemorySink;
+
+/// Median wall time of `f` in microseconds over `samples` calls.
+fn median_us<R>(samples: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_nanos() as f64 / 1_000.0
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let registry = Registry::aibench();
+    // One representative per family: CNN, RNN, attention, GAN, RL.
+    let cases = [
+        "DC-AI-C15",
+        "DC-AI-C6",
+        "DC-AI-C3",
+        "DC-AI-C16",
+        "DC-AI-C10",
+    ];
+    let config = RunConfig {
+        max_epochs: 2,
+        eval_every: 1,
+        ..RunConfig::default()
+    };
+
+    println!("# Checkpoint cost per benchmark (scaled models, seed 1)");
+    println!(
+        "{:<12} {:>12} {:>14} {:>14}",
+        "benchmark", "bytes", "snapshot_us", "restore_us"
+    );
+    for code in cases {
+        let b = registry.get(code).expect("registered benchmark");
+        let mut trainer = b.build(1);
+        trainer.train_epoch();
+        let progress = PartialRun::fresh();
+        let bytes = snapshot_run(b, 1, &config, &progress, trainer.as_ref());
+        let snap_us = median_us(9, || {
+            snapshot_run(b, 1, &config, &progress, trainer.as_ref())
+        });
+        let rest_us = median_us(9, || restore_run(b, 1, &config, &bytes).expect("clean"));
+        println!(
+            "{:<12} {:>12} {:>14.0} {:>14.0}",
+            code,
+            bytes.len(),
+            snap_us,
+            rest_us
+        );
+    }
+
+    println!();
+    println!("# Training overhead: checkpoint every epoch vs no checkpoints");
+    println!(
+        "{:<12} {:>7} {:>12} {:>12} {:>9}",
+        "benchmark", "epochs", "plain_ms", "ckpt_ms", "overhead"
+    );
+    for code in cases {
+        let b = registry.get(code).expect("registered benchmark");
+        let plain = run_to_quality(b, 1, &config);
+        let ckpt_config = RunConfig {
+            checkpoint_every: 1,
+            ..config
+        };
+        let mut sink = MemorySink::new();
+        let ckpt = run_to_quality_resumable(b, 1, &ckpt_config, &mut sink);
+        assert!(
+            plain.deterministic_eq(&ckpt),
+            "{code}: checkpointing changed the training result"
+        );
+        println!(
+            "{:<12} {:>7} {:>12.1} {:>12.1} {:>8.1}%",
+            code,
+            plain.epochs_run,
+            plain.wall_seconds * 1e3,
+            ckpt.wall_seconds * 1e3,
+            (ckpt.wall_seconds / plain.wall_seconds - 1.0) * 100.0
+        );
+    }
+}

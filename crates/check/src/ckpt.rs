@@ -1,0 +1,166 @@
+//! Checkpoint lints: validates snapshot bytes against the `aibench-ckpt`
+//! wire format and proves snapshot/restore round-trips are byte-stable for
+//! every registered benchmark.
+//!
+//! [`check_snapshot`] is the lenient walker — it maps every defect the
+//! format validator collects (bad magic, version skew, checksum failures,
+//! truncation, framing damage, orphan bytes) onto stable rule names, so a
+//! damaged checkpoint produces a full inventory of what is wrong rather
+//! than only the first error. [`check_roundtrip`] is the semantic
+//! companion: a fresh snapshot of a just-built trainer must validate
+//! clean, restore into a rebuilt trainer, and re-snapshot to the *exact
+//! same bytes* — the property resumable training rests on.
+
+use crate::Diagnostic;
+use aibench::ckpt::{restore_run, snapshot_run, PartialRun};
+use aibench::runner::RunConfig;
+use aibench::Benchmark;
+use aibench_ckpt::{validate, CkptError};
+
+/// Stable rule name for one validator error.
+fn rule_for(err: &CkptError) -> &'static str {
+    match err {
+        CkptError::BadMagic => "ckpt-magic",
+        CkptError::VersionMismatch { .. } => "ckpt-version",
+        CkptError::HeaderChecksum => "ckpt-header-crc",
+        CkptError::SectionChecksum { .. } => "ckpt-crc",
+        CkptError::Truncated { .. } => "ckpt-truncated",
+        CkptError::OrphanBytes { .. } => "ckpt-orphan-section",
+        CkptError::DuplicateSection { .. } => "ckpt-duplicate-section",
+        CkptError::Malformed { .. } => "ckpt-malformed",
+        CkptError::MissingSection { .. }
+        | CkptError::MissingKey { .. }
+        | CkptError::WrongType { .. }
+        | CkptError::ShapeMismatch { .. }
+        | CkptError::MetaMismatch { .. } => "ckpt-missing",
+    }
+}
+
+/// Lints raw snapshot bytes: every defect the format validator finds
+/// becomes one diagnostic under its rule name. Clean bytes produce an
+/// empty list.
+pub fn check_snapshot(bench: &str, bytes: &[u8]) -> Vec<Diagnostic> {
+    validate(bytes)
+        .into_iter()
+        .map(|err| {
+            Diagnostic::global(
+                bench,
+                rule_for(&err),
+                "a well-formed snapshot".to_string(),
+                err.to_string(),
+            )
+        })
+        .collect()
+}
+
+/// Round-trip lint for one benchmark: snapshot a freshly built trainer,
+/// validate the bytes, restore into a rebuilt trainer, and require the
+/// re-snapshot to be byte-identical. Any asymmetry here means a trainer's
+/// `save_state`/`load_state` pair would silently perturb a resumed run.
+pub fn check_roundtrip(b: &Benchmark) -> Vec<Diagnostic> {
+    const SEED: u64 = 1;
+    let code = b.id.code();
+    let config = RunConfig::default();
+    let trainer = b.build(SEED);
+    let progress = PartialRun::fresh();
+    let bytes = snapshot_run(b, SEED, &config, &progress, trainer.as_ref());
+
+    let mut out = check_snapshot(code, &bytes);
+    match restore_run(b, SEED, &config, &bytes) {
+        Ok((restored, _)) => {
+            let again = snapshot_run(b, SEED, &config, &progress, restored.as_ref());
+            if again != bytes {
+                out.push(Diagnostic::global(
+                    code,
+                    "ckpt-roundtrip",
+                    "restore + re-snapshot to reproduce the bytes exactly",
+                    format!(
+                        "{} vs {} byte(s), first difference at offset {:?}",
+                        bytes.len(),
+                        again.len(),
+                        bytes.iter().zip(&again).position(|(a, b)| a != b)
+                    ),
+                ));
+            }
+        }
+        Err(err) => out.push(Diagnostic::global(
+            code,
+            "ckpt-roundtrip",
+            "a fresh snapshot to restore cleanly",
+            err.to_string(),
+        )),
+    }
+    out
+}
+
+/// Runs the round-trip lint over every benchmark in a registry.
+pub fn check_registry(registry: &aibench::Registry) -> crate::CheckReport {
+    let mut report = crate::CheckReport::new();
+    for b in registry.benchmarks() {
+        report.absorb(check_roundtrip(b));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aibench::Registry;
+
+    #[test]
+    fn fresh_snapshots_lint_clean_for_every_benchmark() {
+        let registry = Registry::all();
+        let report = check_registry(&registry);
+        assert!(
+            report.is_clean(),
+            "fresh snapshots produced diagnostics: {:?}",
+            report.diagnostics
+        );
+        assert_eq!(report.checks_run, registry.benchmarks().len());
+    }
+
+    #[test]
+    fn each_defect_maps_to_its_rule() {
+        let r = Registry::aibench();
+        let b = r.get("DC-AI-C15").unwrap();
+        let trainer = b.build(1);
+        let bytes = snapshot_run(
+            b,
+            1,
+            &RunConfig::default(),
+            &PartialRun::fresh(),
+            trainer.as_ref(),
+        );
+
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(check_snapshot("t", &bad)
+            .iter()
+            .any(|d| d.rule == "ckpt-magic"));
+
+        // Payload bit flip → section CRC.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 5;
+        bad[last] ^= 0x01;
+        assert!(check_snapshot("t", &bad)
+            .iter()
+            .any(|d| d.rule == "ckpt-crc"));
+
+        // Truncation.
+        let cut = bytes.len() / 2;
+        assert!(check_snapshot("t", &bytes[..cut])
+            .iter()
+            .any(|d| d.rule == "ckpt-truncated"));
+
+        // Trailing garbage.
+        let mut bad = bytes.clone();
+        bad.extend_from_slice(b"junk");
+        assert!(check_snapshot("t", &bad)
+            .iter()
+            .any(|d| d.rule == "ckpt-orphan-section"));
+
+        // Clean bytes are clean.
+        assert!(check_snapshot("t", &bytes).is_empty());
+    }
+}

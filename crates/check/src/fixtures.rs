@@ -3,7 +3,8 @@
 //! asserts every fixture produces at least one diagnostic of its family's
 //! rule, so a silently weakened rule fails the build rather than shipping.
 
-use crate::{counts, shape, tape, trace, Diagnostic};
+use crate::{ckpt, counts, shape, tape, trace, Diagnostic};
+use aibench_ckpt::{SnapshotFile, State};
 use aibench_gpusim::{DeviceConfig, Kernel, KernelCategory, Simulator};
 use aibench_models::{Layer, LayerKind, ModelSpec, Trainer};
 
@@ -14,6 +15,10 @@ pub const FIXTURES: &[&str] = &[
     "unmapped-kernel",
     "time-conservation",
     "dead-parameter",
+    "ckpt-truncation",
+    "ckpt-bit-flip",
+    "ckpt-version-mismatch",
+    "ckpt-orphan-section",
 ];
 
 /// Runs one fixture by name; `None` for an unknown name. Each returned
@@ -26,6 +31,10 @@ pub fn run(name: &str) -> Option<Vec<Diagnostic>> {
         "unmapped-kernel" => Some(unmapped_kernel()),
         "time-conservation" => Some(time_conservation()),
         "dead-parameter" => Some(dead_parameter()),
+        "ckpt-truncation" => Some(ckpt_truncation()),
+        "ckpt-bit-flip" => Some(ckpt_bit_flip()),
+        "ckpt-version-mismatch" => Some(ckpt_version_mismatch()),
+        "ckpt-orphan-section" => Some(ckpt_orphan_section()),
         _ => None,
     }
 }
@@ -148,6 +157,17 @@ fn dead_parameter() -> Vec<Diagnostic> {
         fn params(&self) -> Vec<Param> {
             self.opt.params().to_vec()
         }
+
+        fn save_state(&self, state: &mut aibench_ckpt::State) {
+            aibench_ckpt::Snapshot::snapshot(&self.opt, state, "opt");
+        }
+
+        fn load_state(
+            &mut self,
+            state: &aibench_ckpt::State,
+        ) -> Result<(), aibench_ckpt::CkptError> {
+            aibench_ckpt::Restore::restore(&mut self.opt, state, "opt")
+        }
     }
 
     let live = Param::new("w", Tensor::from_vec(vec![0.5, -0.5], &[2]));
@@ -155,6 +175,54 @@ fn dead_parameter() -> Vec<Diagnostic> {
     let opt = Sgd::new(vec![live.clone(), orphan], 0.1);
     let mut t = Lopsided { live, opt };
     tape::probe_trainer("fixture/dead-parameter", &mut t)
+}
+
+/// A small but structurally complete snapshot to damage: two sections with
+/// a few typed entries each.
+fn sample_snapshot() -> Vec<u8> {
+    let mut meta = State::new();
+    meta.put_str("code", "fixture");
+    meta.put_u64("seed", 42);
+    let mut trainer = State::new();
+    trainer.put_f32s("w", &[2, 2], vec![1.0, -2.0, 0.5, 4.0]);
+    trainer.put_u64("step", 7);
+    let mut file = SnapshotFile::new();
+    file.push("meta", meta);
+    file.push("trainer", trainer);
+    file.to_bytes()
+}
+
+/// A snapshot cut off mid-section, as an interrupted write would leave it.
+fn ckpt_truncation() -> Vec<Diagnostic> {
+    let bytes = sample_snapshot();
+    ckpt::check_snapshot("fixture/ckpt-truncation", &bytes[..bytes.len() / 2])
+}
+
+/// A snapshot with one payload bit flipped; the section CRC must notice.
+fn ckpt_bit_flip() -> Vec<Diagnostic> {
+    let mut bytes = sample_snapshot();
+    let last = bytes.len() - 5;
+    bytes[last] ^= 0x01;
+    ckpt::check_snapshot("fixture/ckpt-bit-flip", &bytes)
+}
+
+/// A snapshot written by a future (unknown) format version.
+fn ckpt_version_mismatch() -> Vec<Diagnostic> {
+    let mut meta = State::new();
+    meta.put_str("code", "fixture");
+    let mut file = SnapshotFile::new();
+    file.push("meta", meta);
+    ckpt::check_snapshot(
+        "fixture/ckpt-version-mismatch",
+        &file.to_bytes_with_version(99),
+    )
+}
+
+/// A snapshot with trailing bytes the section count does not account for.
+fn ckpt_orphan_section() -> Vec<Diagnostic> {
+    let mut bytes = sample_snapshot();
+    bytes.extend_from_slice(b"stray section bytes");
+    ckpt::check_snapshot("fixture/ckpt-orphan-section", &bytes)
 }
 
 #[cfg(test)]
@@ -169,6 +237,10 @@ mod tests {
             ("unmapped-kernel", "kernel-unmapped"),
             ("time-conservation", "time-conservation"),
             ("dead-parameter", "dead-parameter"),
+            ("ckpt-truncation", "ckpt-truncated"),
+            ("ckpt-bit-flip", "ckpt-crc"),
+            ("ckpt-version-mismatch", "ckpt-version"),
+            ("ckpt-orphan-section", "ckpt-orphan-section"),
         ];
         for &(fixture, rule) in expected_rules {
             let diags = run(fixture).expect("known fixture");

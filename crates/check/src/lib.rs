@@ -16,6 +16,9 @@
 //! * [`tape`] — a dynamic sanitizer for the autograd tape: one probe epoch
 //!   per scaled model flags dead parameters (no training effect),
 //!   NaN/Inf parameter values, and forward ops without gradcheck coverage.
+//! * [`ckpt`] — checkpoint lints: snapshot bytes are validated against the
+//!   `aibench-ckpt` wire format (magic, version, checksums, framing), and
+//!   every benchmark's snapshot/restore round-trip must be byte-stable.
 //!
 //! [`fixtures`] holds seeded-defect inputs proving each rule fires; the
 //! `aibench-check` binary runs everything over the benchmark registry and
@@ -23,6 +26,7 @@
 
 #![deny(missing_docs)]
 
+pub mod ckpt;
 pub mod counts;
 pub mod fixtures;
 pub mod shape;

@@ -2,24 +2,27 @@
 //! the full benchmark registry and exits nonzero on any violation.
 //!
 //! ```text
-//! aibench-check [--all | --specs | --traces | --tape] [--fixture NAME]
+//! aibench-check [--all | --specs | --traces | --tape | --ckpt]
+//!               [--benchmark CODE] [--fixture NAME]
 //! ```
 //!
 //! * `--specs`  shape inference + exact FLOP/param cross-check
 //! * `--traces` kernel classification and conservation lints
 //! * `--tape`   probe one training epoch per scaled model (slow)
+//! * `--ckpt`   snapshot wire-format + restore round-trip byte-stability
 //! * `--all`    everything above (default)
+//! * `--benchmark CODE` restrict any mode to one benchmark (e.g. DC-AI-C1)
 //! * `--fixture NAME` run one seeded-defect fixture (see `--list-fixtures`);
 //!   exits nonzero because the fixture's defect is detected
 
-use aibench::Registry;
-use aibench_check::{counts, fixtures, shape, tape, trace, CheckReport};
+use aibench::{Benchmark, Registry};
+use aibench_check::{ckpt, counts, fixtures, shape, tape, trace, CheckReport};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: aibench-check [--all | --specs | --traces | --tape] \
-         [--fixture NAME | --list-fixtures]"
+        "usage: aibench-check [--all | --specs | --traces | --tape | --ckpt] \
+         [--benchmark CODE] [--fixture NAME | --list-fixtures]"
     );
     ExitCode::from(2)
 }
@@ -28,16 +31,21 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode = None;
     let mut fixture = None;
+    let mut benchmark = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--all" | "--specs" | "--traces" | "--tape" => {
+            "--all" | "--specs" | "--traces" | "--tape" | "--ckpt" => {
                 if mode.replace(arg.clone()).is_some() {
                     return usage();
                 }
             }
             "--fixture" => match it.next() {
                 Some(name) => fixture = Some(name.clone()),
+                None => return usage(),
+            },
+            "--benchmark" => match it.next() {
+                Some(code) => benchmark = Some(code.clone()),
                 None => return usage(),
             },
             "--list-fixtures" => {
@@ -70,10 +78,20 @@ fn main() -> ExitCode {
 
     let mode = mode.unwrap_or_else(|| "--all".to_string());
     let registry = Registry::all();
+    let selected: Vec<&Benchmark> = match &benchmark {
+        Some(code) => match registry.benchmarks().iter().find(|b| b.id.code() == *code) {
+            Some(b) => vec![b],
+            None => {
+                eprintln!("unknown benchmark `{code}`");
+                return ExitCode::from(2);
+            }
+        },
+        None => registry.benchmarks().iter().collect(),
+    };
     let mut report = CheckReport::new();
 
     if mode == "--all" || mode == "--specs" {
-        for b in registry.benchmarks() {
+        for b in &selected {
             let spec = b.spec();
             let code = b.id.code();
             report.absorb(shape::check_spec(code, &spec));
@@ -82,13 +100,18 @@ fn main() -> ExitCode {
         report.absorb(tape::check_gradcheck_coverage());
     }
     if mode == "--all" || mode == "--traces" {
-        for b in registry.benchmarks() {
+        for b in &selected {
             report.absorb(trace::check_benchmark(b.id.code(), &b.spec()));
         }
     }
     if mode == "--all" || mode == "--tape" {
-        for b in registry.benchmarks() {
+        for b in &selected {
             report.absorb(tape::probe_benchmark(b));
+        }
+    }
+    if mode == "--all" || mode == "--ckpt" {
+        for b in &selected {
+            report.absorb(ckpt::check_roundtrip(b));
         }
     }
 
@@ -97,7 +120,7 @@ fn main() -> ExitCode {
     }
     println!(
         "aibench-check: {} benchmark(s), {} check batch(es), {} violation(s)",
-        registry.benchmarks().len(),
+        selected.len(),
         report.checks_run,
         report.diagnostics.len()
     );

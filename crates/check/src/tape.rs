@@ -248,6 +248,17 @@ mod tests {
         fn params(&self) -> Vec<Param> {
             self.opt.params().to_vec()
         }
+
+        fn save_state(&self, state: &mut aibench_ckpt::State) {
+            aibench_ckpt::Snapshot::snapshot(&self.opt, state, "opt");
+        }
+
+        fn load_state(
+            &mut self,
+            state: &aibench_ckpt::State,
+        ) -> Result<(), aibench_ckpt::CkptError> {
+            aibench_ckpt::Restore::restore(&mut self.opt, state, "opt")
+        }
     }
 
     #[test]

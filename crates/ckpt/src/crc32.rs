@@ -1,0 +1,58 @@
+//! CRC32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the per-section
+//! integrity check of the snapshot format.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// The CRC32 checksum of `bytes` (IEEE, as used by zip/png/ethernet).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(aibench_ckpt::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !bytes.iter().fold(!0u32, |c, &b| {
+        TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The standard check value plus a couple of fixed points.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"aibench"), crc32(b"aibench"));
+    }
+
+    #[test]
+    fn sensitive_to_any_byte() {
+        let base = crc32(b"hello world");
+        assert_ne!(base, crc32(b"hello worle"));
+        assert_ne!(base, crc32(b"iello world"));
+        assert_ne!(base, crc32(b"hello worl"));
+    }
+}

@@ -1,0 +1,137 @@
+//! The error type shared by decoding, validation, and restore.
+
+use std::fmt;
+
+/// Everything that can go wrong while decoding a snapshot or restoring
+/// state from one.
+///
+/// Decoding errors carry byte offsets so `aibench-check --ckpt` can point
+/// at the defect; restore errors carry the offending key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CkptError {
+    /// The stream ended before a read completed.
+    Truncated {
+        /// Byte offset at which the read started.
+        offset: usize,
+        /// Bytes the read needed.
+        needed: usize,
+    },
+    /// The file does not start with the snapshot magic.
+    BadMagic,
+    /// The format version is not the one this build writes.
+    VersionMismatch {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The header checksum does not match its contents.
+    HeaderChecksum,
+    /// A section's CRC32 does not match its name + payload.
+    SectionChecksum {
+        /// Name of the failing section (`"?"` if the name itself is
+        /// unreadable).
+        section: String,
+    },
+    /// The same section name appears more than once.
+    DuplicateSection {
+        /// The repeated name.
+        section: String,
+    },
+    /// Bytes remain after the last section the header declared — an orphan
+    /// section or appended garbage.
+    OrphanBytes {
+        /// Offset of the first orphan byte.
+        offset: usize,
+        /// Number of orphan bytes.
+        len: usize,
+    },
+    /// A required section is absent.
+    MissingSection {
+        /// The absent section.
+        section: String,
+    },
+    /// A required key is absent from a section.
+    MissingKey {
+        /// The absent key.
+        key: String,
+    },
+    /// A key holds a different value type than the reader expected.
+    WrongType {
+        /// The offending key.
+        key: String,
+        /// The type the reader asked for.
+        expected: &'static str,
+    },
+    /// A tensor value's shape differs from the destination's.
+    ShapeMismatch {
+        /// The offending key.
+        key: String,
+        /// Shape of the destination.
+        expected: Vec<usize>,
+        /// Shape found in the snapshot.
+        found: Vec<usize>,
+    },
+    /// The payload bytes are structurally invalid (bad tag, impossible
+    /// length, non-UTF-8 name…).
+    Malformed {
+        /// Byte offset of the defect within the stream.
+        offset: usize,
+        /// Human-readable description.
+        what: String,
+    },
+    /// The snapshot's metadata does not match the run being resumed
+    /// (different benchmark, seed, or run configuration).
+    MetaMismatch {
+        /// What disagreed.
+        what: String,
+    },
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Truncated { offset, needed } => {
+                write!(f, "truncated: needed {needed} byte(s) at offset {offset}")
+            }
+            CkptError::BadMagic => write!(f, "bad magic (not an aibench snapshot)"),
+            CkptError::VersionMismatch { found } => {
+                write!(
+                    f,
+                    "format version {found} (this build reads version {})",
+                    crate::FORMAT_VERSION
+                )
+            }
+            CkptError::HeaderChecksum => write!(f, "header checksum mismatch"),
+            CkptError::SectionChecksum { section } => {
+                write!(f, "section `{section}`: CRC32 mismatch")
+            }
+            CkptError::DuplicateSection { section } => {
+                write!(f, "section `{section}` appears more than once")
+            }
+            CkptError::OrphanBytes { offset, len } => {
+                write!(
+                    f,
+                    "{len} orphan byte(s) at offset {offset} after the declared sections"
+                )
+            }
+            CkptError::MissingSection { section } => write!(f, "missing section `{section}`"),
+            CkptError::MissingKey { key } => write!(f, "missing key `{key}`"),
+            CkptError::WrongType { key, expected } => {
+                write!(f, "key `{key}`: expected a {expected} value")
+            }
+            CkptError::ShapeMismatch {
+                key,
+                expected,
+                found,
+            } => write!(
+                f,
+                "key `{key}`: shape {found:?} does not match destination {expected:?}"
+            ),
+            CkptError::Malformed { offset, what } => {
+                write!(f, "malformed at offset {offset}: {what}")
+            }
+            CkptError::MetaMismatch { what } => write!(f, "metadata mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}

@@ -1,0 +1,180 @@
+//! Where snapshot bytes live between the save and the (possibly much later)
+//! resume.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A store for epoch-indexed snapshots.
+///
+/// The resumable runner saves through this trait and, on restart, walks
+/// [`CheckpointSink::epochs`] from newest to oldest looking for the latest
+/// snapshot that still validates. Implementations keep whole byte blobs;
+/// integrity is the format's job, not the sink's.
+pub trait CheckpointSink {
+    /// Stores the snapshot taken at the end of `epoch`, replacing any
+    /// previous bytes for that epoch.
+    fn save(&mut self, epoch: usize, bytes: &[u8]);
+
+    /// Epochs with a stored snapshot, ascending.
+    fn epochs(&self) -> Vec<usize>;
+
+    /// Loads the snapshot for `epoch`, if one is stored.
+    fn load(&self, epoch: usize) -> Option<Vec<u8>>;
+
+    /// Drops the snapshot for `epoch`, if present.
+    fn remove(&mut self, epoch: usize);
+}
+
+/// An in-memory sink for tests and fault-injection harnesses.
+///
+/// Doubles as the corruption bench: tests can grab the stored bytes with
+/// [`MemorySink::bytes_mut`] and flip bits in place.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    snapshots: BTreeMap<usize, Vec<u8>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Mutable access to the stored bytes for `epoch` (for corruption
+    /// tests).
+    pub fn bytes_mut(&mut self, epoch: usize) -> Option<&mut Vec<u8>> {
+        self.snapshots.get_mut(&epoch)
+    }
+}
+
+impl CheckpointSink for MemorySink {
+    fn save(&mut self, epoch: usize, bytes: &[u8]) {
+        self.snapshots.insert(epoch, bytes.to_vec());
+    }
+
+    fn epochs(&self) -> Vec<usize> {
+        self.snapshots.keys().copied().collect()
+    }
+
+    fn load(&self, epoch: usize) -> Option<Vec<u8>> {
+        self.snapshots.get(&epoch).cloned()
+    }
+
+    fn remove(&mut self, epoch: usize) {
+        self.snapshots.remove(&epoch);
+    }
+}
+
+/// A sink writing one `{prefix}-e{epoch:06}.aickpt` file per epoch under a
+/// directory — the store real interrupted runs resume from.
+///
+/// Saves go through a `.tmp` sibling and a rename, so a crash mid-write
+/// leaves either the old complete file or a `.tmp` the sink ignores, never
+/// a half-written snapshot under the final name. (Even without the rename
+/// the format would catch the truncation — this just keeps the newest
+/// *valid* snapshot newer.)
+#[derive(Debug, Clone)]
+pub struct DirSink {
+    dir: PathBuf,
+    prefix: String,
+}
+
+impl DirSink {
+    /// A sink over `dir` (created if absent) with the given filename
+    /// prefix, typically the benchmark code.
+    pub fn new(dir: impl Into<PathBuf>, prefix: impl Into<String>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(DirSink {
+            dir,
+            prefix: prefix.into(),
+        })
+    }
+
+    /// The file path used for `epoch`.
+    pub fn path_for(&self, epoch: usize) -> PathBuf {
+        self.dir.join(format!("{}-e{epoch:06}.aickpt", self.prefix))
+    }
+
+    fn epoch_of(&self, file_name: &str) -> Option<usize> {
+        let rest = file_name.strip_prefix(&self.prefix)?.strip_prefix("-e")?;
+        rest.strip_suffix(".aickpt")?.parse().ok()
+    }
+}
+
+impl CheckpointSink for DirSink {
+    fn save(&mut self, epoch: usize, bytes: &[u8]) {
+        let path = self.path_for(epoch);
+        let tmp = path.with_extension("aickpt.tmp");
+        // I/O failures surface as a missing snapshot at resume, which the
+        // runner already tolerates; a sink cannot do better than that.
+        let wrote = fs::File::create(&tmp)
+            .and_then(|mut f| f.write_all(bytes).and(f.sync_all()))
+            .is_ok();
+        if wrote {
+            let _ = fs::rename(&tmp, &path);
+        } else {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+
+    fn epochs(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = match fs::read_dir(&self.dir) {
+            Ok(entries) => entries
+                .filter_map(|e| e.ok())
+                .filter_map(|e| self.epoch_of(&e.file_name().to_string_lossy()))
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn load(&self, epoch: usize) -> Option<Vec<u8>> {
+        fs::read(self.path_for(epoch)).ok()
+    }
+
+    fn remove(&mut self, epoch: usize) {
+        let _ = fs::remove_file(self.path_for(epoch));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_round_trips_and_orders_epochs() {
+        let mut sink = MemorySink::new();
+        sink.save(10, b"ten");
+        sink.save(5, b"five");
+        sink.save(10, b"ten-again");
+        assert_eq!(sink.epochs(), vec![5, 10]);
+        assert_eq!(sink.load(10).unwrap(), b"ten-again");
+        assert_eq!(sink.load(5).unwrap(), b"five");
+        assert!(sink.load(7).is_none());
+        sink.remove(5);
+        assert_eq!(sink.epochs(), vec![10]);
+    }
+
+    #[test]
+    fn dir_sink_round_trips_and_filters_foreign_files() {
+        let dir = std::env::temp_dir().join(format!("aibench-ckpt-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut sink = DirSink::new(&dir, "DC-AI-C1").unwrap();
+        sink.save(3, b"abc");
+        sink.save(12, b"def");
+        // Foreign files in the same directory must be ignored.
+        fs::write(dir.join("notes.txt"), b"x").unwrap();
+        fs::write(dir.join("DC-AI-C2-e000001.aickpt"), b"other-run").unwrap();
+        assert_eq!(sink.epochs(), vec![3, 12]);
+        assert_eq!(sink.load(3).unwrap(), b"abc");
+        assert_eq!(sink.load(12).unwrap(), b"def");
+        sink.remove(3);
+        assert_eq!(sink.epochs(), vec![12]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

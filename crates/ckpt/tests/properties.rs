@@ -1,0 +1,123 @@
+//! Property tests for the snapshot container: arbitrary contents round-trip
+//! bit-exactly, and flipping any single byte of an encoded snapshot is
+//! always detected.
+
+use aibench_ckpt::{validate, SnapshotFile, State};
+use proptest::prelude::*;
+
+/// Builds a snapshot whose contents are fully determined by the sampled
+/// inputs, mixing every value type (including non-finite floats).
+fn build_file(
+    shape: &[usize],
+    raw_f32_bits: &[u32],
+    raw_f64_bits: &[u64],
+    counters: &[u64],
+    label: &str,
+) -> SnapshotFile {
+    let elems: usize = shape.iter().product();
+    let data: Vec<f32> = (0..elems)
+        .map(|i| f32::from_bits(raw_f32_bits[i % raw_f32_bits.len()].wrapping_add(i as u32)))
+        .collect();
+    let mut meta = State::new();
+    meta.put_str("label", label);
+    meta.put_u64s("counters", counters.to_vec());
+    meta.put_bool("flag", counters.len().is_multiple_of(2));
+    let mut tensors = State::new();
+    tensors.put_f32s("w", shape, data);
+    tensors.put_f64s(
+        "trace",
+        raw_f64_bits.iter().map(|&b| f64::from_bits(b)).collect(),
+    );
+    if let Some(&first) = raw_f32_bits.first() {
+        tensors.put_f32("scalar", f32::from_bits(first));
+    }
+    let mut file = SnapshotFile::new();
+    file.push("meta", meta);
+    file.push("tensors", tensors);
+    file
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Any snapshot — arbitrary shapes, arbitrary f32/f64 bit patterns
+    // (NaNs, infinities, subnormals included) — decodes back to an equal
+    // file, and re-encoding reproduces the exact bytes.
+    #[test]
+    fn round_trip_is_bit_exact(
+        dims in prop::collection::vec(1usize..6, 1..4),
+        f32_bits in prop::collection::vec(0u32..u32::MAX, 1..8),
+        f64_bits in prop::collection::vec(0u64..u64::MAX, 0..5),
+        counters in prop::collection::vec(0u64..u64::MAX, 0..6),
+    ) {
+        let file = build_file(&dims, &f32_bits, &f64_bits, &counters, "prop");
+        let bytes = file.to_bytes();
+        prop_assert!(validate(&bytes).is_empty());
+        let back = SnapshotFile::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &file);
+        prop_assert_eq!(back.to_bytes(), bytes);
+    }
+
+    // Flipping any single bit of any byte is detected by the strict
+    // decoder AND reported by the lenient validator.
+    #[test]
+    fn single_byte_corruption_is_always_detected(
+        dims in prop::collection::vec(1usize..5, 1..3),
+        f32_bits in prop::collection::vec(0u32..u32::MAX, 1..5),
+        byte_frac in 0.0f64..1.0,
+        bit in 0u32..8,
+    ) {
+        let file = build_file(&dims, &f32_bits, &[42], &[1, 2], "corrupt-me");
+        let bytes = file.to_bytes();
+        let idx = ((byte_frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        let mut corrupt = bytes.clone();
+        corrupt[idx] ^= 1u8 << bit;
+        prop_assert!(
+            SnapshotFile::from_bytes(&corrupt).is_err(),
+            "flip of bit {} at byte {}/{} slipped past the strict decoder",
+            bit, idx, bytes.len()
+        );
+        prop_assert!(
+            !validate(&corrupt).is_empty(),
+            "flip of bit {} at byte {}/{} slipped past the validator",
+            bit, idx, bytes.len()
+        );
+    }
+
+    // Truncating an encoded snapshot at any point is detected.
+    #[test]
+    fn any_truncation_is_detected(
+        dims in prop::collection::vec(1usize..5, 1..3),
+        f32_bits in prop::collection::vec(0u32..u32::MAX, 1..5),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let bytes = build_file(&dims, &f32_bits, &[7], &[3], "truncate-me").to_bytes();
+        let cut = (cut_frac * bytes.len() as f64) as usize;
+        // Cutting nothing is the well-formed file; cut at least one byte.
+        let cut = cut.min(bytes.len() - 1);
+        prop_assert!(SnapshotFile::from_bytes(&bytes[..cut]).is_err());
+        prop_assert!(!validate(&bytes[..cut]).is_empty());
+    }
+}
+
+/// Exhaustive (not sampled) single-byte sweep over one representative
+/// snapshot: every byte position, every bit.
+#[test]
+fn exhaustive_bit_flip_sweep_on_small_snapshot() {
+    let file = build_file(&[2, 2], &[0x3f80_0000, 0x7fc0_0001], &[5], &[9], "sweep");
+    let bytes = file.to_bytes();
+    for idx in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut corrupt = bytes.clone();
+            corrupt[idx] ^= 1u8 << bit;
+            assert!(
+                SnapshotFile::from_bytes(&corrupt).is_err(),
+                "flip of bit {bit} at byte {idx} undetected (strict)"
+            );
+            assert!(
+                !validate(&corrupt).is_empty(),
+                "flip of bit {bit} at byte {idx} undetected (validate)"
+            );
+        }
+    }
+}

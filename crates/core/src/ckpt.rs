@@ -1,0 +1,439 @@
+//! Resumable training sessions: periodic checkpoints, crash recovery, and
+//! the fault-injection harness that proves resumed runs are bitwise
+//! identical to uninterrupted ones.
+//!
+//! A snapshot is three sections in one [`SnapshotFile`]:
+//!
+//! * `meta` — run identity (benchmark code, seed, and the [`RunConfig`]
+//!   fields that shape the trajectory). Resume refuses a snapshot whose
+//!   identity disagrees with the session being resumed.
+//! * `progress` — the partial [`RunResult`]: epochs run, loss and quality
+//!   traces, convergence epoch.
+//! * `trainer` — everything training mutates, via
+//!   [`Trainer::save_state`]: parameters, optimizer moments, RNG position,
+//!   batch-norm running statistics, step counters.
+//!
+//! Architecture and datasets are deliberately *not* saved: the benchmark
+//! factory rebuilds them deterministically from the seed, and restore then
+//! overwrites the mutable state. That keeps snapshots small and makes a
+//! version-skewed or corrupted snapshot recoverable — the runner just falls
+//! back to the next older one.
+
+use std::time::Instant;
+
+use aibench_ckpt::{CheckpointSink, CkptError, SnapshotFile, State};
+use aibench_models::Trainer;
+
+use crate::registry::Benchmark;
+use crate::runner::{RunConfig, RunResult};
+
+/// The accumulated portion of a [`RunResult`] carried across sessions.
+#[derive(Debug, Clone)]
+pub struct PartialRun {
+    /// Epochs completed so far.
+    pub epochs_run: usize,
+    /// Convergence epoch, if reached.
+    pub epochs_to_target: Option<usize>,
+    /// `(epoch, quality)` per evaluation so far.
+    pub quality_trace: Vec<(usize, f64)>,
+    /// Mean training loss per epoch so far.
+    pub loss_trace: Vec<f32>,
+    /// Most recent quality (NaN before the first evaluation).
+    pub final_quality: f64,
+}
+
+impl PartialRun {
+    /// The empty progress of a fresh run.
+    pub fn fresh() -> Self {
+        PartialRun {
+            epochs_run: 0,
+            epochs_to_target: None,
+            quality_trace: Vec::new(),
+            loss_trace: Vec::new(),
+            final_quality: f64::NAN,
+        }
+    }
+}
+
+impl Default for PartialRun {
+    fn default() -> Self {
+        PartialRun::fresh()
+    }
+}
+
+/// Serializes the complete session state — run identity, progress, and the
+/// trainer's mutable state — into snapshot bytes.
+pub fn snapshot_run(
+    benchmark: &Benchmark,
+    seed: u64,
+    config: &RunConfig,
+    progress: &PartialRun,
+    trainer: &dyn Trainer,
+) -> Vec<u8> {
+    let mut meta = State::new();
+    meta.put_str("code", benchmark.id.code());
+    meta.put_u64("seed", seed);
+    meta.put_usize("max_epochs", config.max_epochs);
+    meta.put_usize("eval_every", config.eval_every);
+
+    let mut prog = State::new();
+    prog.put_usize("epochs_run", progress.epochs_run);
+    prog.put_bool("converged", progress.epochs_to_target.is_some());
+    prog.put_usize("epochs_to_target", progress.epochs_to_target.unwrap_or(0));
+    prog.put_u64s(
+        "quality_epochs",
+        progress
+            .quality_trace
+            .iter()
+            .map(|&(e, _)| e as u64)
+            .collect(),
+    );
+    prog.put_f64s(
+        "quality_values",
+        progress.quality_trace.iter().map(|&(_, q)| q).collect(),
+    );
+    prog.put_f32s(
+        "loss_trace",
+        &[progress.loss_trace.len()],
+        progress.loss_trace.clone(),
+    );
+    prog.put_f64("final_quality", progress.final_quality);
+
+    let mut trainer_state = State::new();
+    trainer.save_state(&mut trainer_state);
+
+    let mut file = SnapshotFile::new();
+    file.push("meta", meta);
+    file.push("progress", prog);
+    file.push("trainer", trainer_state);
+    file.to_bytes()
+}
+
+/// Strictly decodes snapshot bytes, verifies they belong to this exact run
+/// (same benchmark, seed, and trajectory-shaping config), rebuilds the
+/// trainer from the seed, and restores its state.
+///
+/// Any defect — corruption, truncation, version skew, identity mismatch,
+/// missing keys — surfaces as an error; the caller falls back to an older
+/// snapshot or a fresh start.
+pub fn restore_run(
+    benchmark: &Benchmark,
+    seed: u64,
+    config: &RunConfig,
+    bytes: &[u8],
+) -> Result<(Box<dyn Trainer>, PartialRun), CkptError> {
+    let file = SnapshotFile::from_bytes(bytes)?;
+
+    let meta = file.section("meta")?;
+    let mismatch = |what: String| CkptError::MetaMismatch { what };
+    if meta.str("code")? != benchmark.id.code() {
+        return Err(mismatch(format!(
+            "snapshot is for `{}`, resuming `{}`",
+            meta.str("code")?,
+            benchmark.id.code()
+        )));
+    }
+    if meta.u64("seed")? != seed {
+        return Err(mismatch(format!(
+            "snapshot seed {}, resuming seed {seed}",
+            meta.u64("seed")?
+        )));
+    }
+    if meta.usize("max_epochs")? != config.max_epochs
+        || meta.usize("eval_every")? != config.eval_every
+    {
+        return Err(mismatch(
+            "run configuration (max_epochs/eval_every) differs".to_string(),
+        ));
+    }
+
+    let prog = file.section("progress")?;
+    let epochs = prog.u64s("quality_epochs")?;
+    let values = prog.f64s("quality_values")?;
+    if epochs.len() != values.len() {
+        return Err(CkptError::MetaMismatch {
+            what: "quality trace epochs/values lengths differ".to_string(),
+        });
+    }
+    let progress = PartialRun {
+        epochs_run: prog.usize("epochs_run")?,
+        epochs_to_target: prog
+            .bool("converged")?
+            .then(|| prog.usize("epochs_to_target"))
+            .transpose()?,
+        quality_trace: epochs
+            .iter()
+            .zip(values)
+            .map(|(&e, &q)| (e as usize, q))
+            .collect(),
+        loss_trace: prog.f32s("loss_trace")?.1.to_vec(),
+        final_quality: prog.f64("final_quality")?,
+    };
+
+    let mut trainer = benchmark.build(seed);
+    trainer.load_state(file.section("trainer")?)?;
+    Ok((trainer, progress))
+}
+
+/// The engine behind the resumable runner: resumes from the newest valid
+/// snapshot in `sink`, trains to the quality target or the epoch cap, and
+/// saves a checkpoint every `config.checkpoint_every` epochs.
+///
+/// `epoch_budget` simulates a crash: after executing that many epochs *in
+/// this session*, the function returns `None` mid-run — exactly what a
+/// `kill -9` leaves behind, a sink holding whatever checkpoints were saved.
+fn run_session(
+    benchmark: &Benchmark,
+    seed: u64,
+    config: &RunConfig,
+    sink: &mut dyn CheckpointSink,
+    epoch_budget: Option<usize>,
+) -> Option<RunResult> {
+    if let Some(par) = config.parallel {
+        par.install();
+    }
+    let start = Instant::now();
+
+    // Resume: newest snapshot that decodes, matches this run, and restores
+    // cleanly wins; corrupt or mismatched ones are skipped in favor of the
+    // next older.
+    let mut trainer: Option<Box<dyn Trainer>> = None;
+    let mut progress = PartialRun::fresh();
+    let mut resumed_from = None;
+    for &epoch in sink.epochs().iter().rev() {
+        let Some(bytes) = sink.load(epoch) else {
+            continue;
+        };
+        if let Ok((t, p)) = restore_run(benchmark, seed, config, &bytes) {
+            trainer = Some(t);
+            progress = p;
+            resumed_from = Some(epoch);
+            break;
+        }
+    }
+    let mut trainer = trainer.unwrap_or_else(|| benchmark.build(seed));
+
+    // From here the loop mirrors `run_to_quality` exactly — same call
+    // sequence, same eval cadence — so the trajectory is bit-identical.
+    // `executed` counts epochs run in *this* session, for the kill budget.
+    for (executed, epoch) in (progress.epochs_run + 1..=config.max_epochs).enumerate() {
+        if epoch_budget.is_some_and(|budget| executed >= budget) {
+            return None; // simulated kill
+        }
+        progress.loss_trace.push(trainer.train_epoch());
+        progress.epochs_run = epoch;
+        let mut done = false;
+        if epoch % config.eval_every.max(1) == 0 || epoch == config.max_epochs {
+            let q = trainer.evaluate();
+            progress.quality_trace.push((epoch, q));
+            progress.final_quality = q;
+            if benchmark.target.met_by(q) {
+                progress.epochs_to_target = Some(epoch);
+                done = true;
+            }
+        }
+        if done {
+            break;
+        }
+        if config.checkpoint_every > 0 && epoch % config.checkpoint_every == 0 {
+            sink.save(
+                epoch,
+                &snapshot_run(benchmark, seed, config, &progress, trainer.as_ref()),
+            );
+        }
+    }
+
+    Some(RunResult {
+        code: benchmark.id.code().to_string(),
+        seed,
+        epochs_run: progress.epochs_run,
+        epochs_to_target: progress.epochs_to_target,
+        quality_trace: progress.quality_trace,
+        loss_trace: progress.loss_trace,
+        final_quality: progress.final_quality,
+        wall_seconds: start.elapsed().as_secs_f64(),
+        resumed_from,
+    })
+}
+
+/// Runs an entire training session like
+/// [`run_to_quality`](crate::runner::run_to_quality), but checkpointing
+/// every `config.checkpoint_every` epochs into `sink` and resuming from the
+/// newest valid snapshot already there.
+///
+/// The resumed result is [`RunResult::deterministic_eq`] to the result of
+/// an uninterrupted run with the same benchmark, seed, and config — at any
+/// `AIBENCH_THREADS` setting. Snapshots that fail their checksums (or
+/// belong to a different run) are skipped in favor of older ones; with no
+/// usable snapshot the session starts from scratch.
+pub fn run_to_quality_resumable(
+    benchmark: &Benchmark,
+    seed: u64,
+    config: &RunConfig,
+    sink: &mut dyn CheckpointSink,
+) -> RunResult {
+    run_session(benchmark, seed, config, sink, None)
+        .expect("a session without an epoch budget always completes")
+}
+
+/// Runs a resumable session but aborts it — as a crash would — after
+/// `kill_after_epochs` epochs of work in this invocation. Returns the
+/// result only if the session finished before the kill; `None` means the
+/// "process died" and `sink` holds whatever checkpoints were written.
+pub fn run_until_killed(
+    benchmark: &Benchmark,
+    seed: u64,
+    config: &RunConfig,
+    sink: &mut dyn CheckpointSink,
+    kill_after_epochs: usize,
+) -> Option<RunResult> {
+    run_session(benchmark, seed, config, sink, Some(kill_after_epochs))
+}
+
+/// The outcome of a [`fault_injection_run`].
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// The final, completed result.
+    pub result: RunResult,
+    /// Sessions killed before completion.
+    pub kills: usize,
+    /// The epoch each successive session resumed from (`None` = scratch).
+    pub resume_points: Vec<Option<usize>>,
+}
+
+/// Repeatedly starts the session and kills it after `kill_every` epochs
+/// until one session runs to completion, restarting from the sink's
+/// snapshots each time — a deterministic stand-in for pulling the plug in a
+/// loop.
+///
+/// # Panics
+///
+/// Panics if the schedule cannot make progress (requires
+/// `kill_every >= config.checkpoint_every >= 1`, else every restart repeats
+/// the same epochs and dies before saving anything new).
+pub fn fault_injection_run(
+    benchmark: &Benchmark,
+    seed: u64,
+    config: &RunConfig,
+    sink: &mut dyn CheckpointSink,
+    kill_every: usize,
+) -> FaultReport {
+    assert!(
+        config.checkpoint_every >= 1 && kill_every >= config.checkpoint_every,
+        "fault injection needs kill_every >= checkpoint_every >= 1 to make progress"
+    );
+    let mut kills = 0;
+    let mut resume_points = Vec::new();
+    loop {
+        match run_session(benchmark, seed, config, sink, Some(kill_every)) {
+            Some(result) => {
+                resume_points.push(result.resumed_from);
+                return FaultReport {
+                    result,
+                    kills,
+                    resume_points,
+                };
+            }
+            None => {
+                kills += 1;
+                resume_points.push(sink.epochs().last().copied());
+                assert!(
+                    kills <= config.max_epochs + 2,
+                    "fault-injection loop made no progress after {kills} kills"
+                );
+            }
+        }
+    }
+}
+
+/// FNV-1a fingerprint over the raw bits of every parameter, in order — a
+/// compact witness that two trainers hold bitwise-identical weights.
+pub fn params_fingerprint(trainer: &dyn Trainer) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for p in trainer.params() {
+        for &x in p.value().data() {
+            for b in x.to_bits().to_le_bytes() {
+                mix(b);
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use aibench_ckpt::MemorySink;
+
+    fn cfg(max_epochs: usize, checkpoint_every: usize) -> RunConfig {
+        RunConfig {
+            max_epochs,
+            eval_every: 1,
+            checkpoint_every,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn resumable_without_checkpoints_matches_plain_runner() {
+        let r = Registry::aibench();
+        let b = r.get("DC-AI-C15").unwrap();
+        let config = cfg(3, 0);
+        let plain = crate::runner::run_to_quality(b, 1, &config);
+        let mut sink = MemorySink::new();
+        let resumable = run_to_quality_resumable(b, 1, &config, &mut sink);
+        assert!(plain.deterministic_eq(&resumable));
+        assert!(sink.epochs().is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_progress() {
+        let r = Registry::aibench();
+        let b = r.get("DC-AI-C15").unwrap();
+        let config = cfg(10, 0);
+        let mut trainer = b.build(7);
+        let mut progress = PartialRun::fresh();
+        progress.loss_trace.push(trainer.train_epoch());
+        progress.epochs_run = 1;
+        progress.quality_trace.push((1, 0.25));
+        progress.final_quality = 0.25;
+        let bytes = snapshot_run(b, 7, &config, &progress, trainer.as_ref());
+        let (restored, p2) = restore_run(b, 7, &config, &bytes).unwrap();
+        assert_eq!(p2.epochs_run, 1);
+        assert_eq!(p2.quality_trace, vec![(1, 0.25)]);
+        assert_eq!(
+            params_fingerprint(trainer.as_ref()),
+            params_fingerprint(restored.as_ref())
+        );
+    }
+
+    #[test]
+    fn restore_rejects_other_run_identities() {
+        let r = Registry::aibench();
+        let b = r.get("DC-AI-C15").unwrap();
+        let config = cfg(5, 0);
+        let trainer = b.build(1);
+        let bytes = snapshot_run(b, 1, &config, &PartialRun::fresh(), trainer.as_ref());
+        // Wrong seed.
+        assert!(matches!(
+            restore_run(b, 2, &config, &bytes),
+            Err(CkptError::MetaMismatch { .. })
+        ));
+        // Wrong benchmark.
+        let other = r.get("DC-AI-C8").unwrap();
+        assert!(matches!(
+            restore_run(other, 1, &config, &bytes),
+            Err(CkptError::MetaMismatch { .. })
+        ));
+        // Wrong trajectory-shaping config.
+        assert!(matches!(
+            restore_run(b, 1, &cfg(6, 0), &bytes),
+            Err(CkptError::MetaMismatch { .. })
+        ));
+    }
+}

@@ -9,6 +9,9 @@
 //!   instance and a quality target;
 //! * a training [`runner`] that executes entire training sessions to a
 //!   target quality and records epochs, quality traces, and wall time;
+//! * resumable sessions ([`ckpt`]): periodic checksummed checkpoints, crash
+//!   recovery from the newest valid snapshot, and a fault-injection harness
+//!   proving resumed runs are bitwise identical to uninterrupted ones;
 //! * a [`repeatability`] harness measuring run-to-run variation
 //!   (coefficient of variation of epochs-to-quality, Table 5);
 //! * [`cost`] accounting combining measured epochs with simulated
@@ -36,6 +39,7 @@
 #![deny(missing_docs)]
 
 pub mod characterize;
+pub mod ckpt;
 pub mod cost;
 pub mod id;
 pub mod inference;

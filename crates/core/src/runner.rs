@@ -18,6 +18,10 @@ pub struct RunConfig {
     /// prior install) untouched. Thread count never changes results — the
     /// kernels are deterministic by construction — only wall time.
     pub parallel: Option<aibench_parallel::ParallelConfig>,
+    /// Save a checkpoint every `checkpoint_every` epochs during resumable
+    /// sessions (`0` disables checkpointing). Plain [`run_to_quality`]
+    /// ignores this; see [`crate::ckpt::run_to_quality_resumable`].
+    pub checkpoint_every: usize,
 }
 
 impl Default for RunConfig {
@@ -26,6 +30,7 @@ impl Default for RunConfig {
             max_epochs: 60,
             eval_every: 1,
             parallel: None,
+            checkpoint_every: 0,
         }
     }
 }
@@ -49,12 +54,43 @@ pub struct RunResult {
     pub final_quality: f64,
     /// Wall-clock seconds spent training (scaled benchmark, this machine).
     pub wall_seconds: f64,
+    /// Epoch of the snapshot this session resumed from (`None` for a run
+    /// started from scratch).
+    pub resumed_from: Option<usize>,
 }
 
 impl RunResult {
     /// Whether the session converged to the target.
     pub fn converged(&self) -> bool {
         self.epochs_to_target.is_some()
+    }
+
+    /// Bitwise equality of everything the training computation determines:
+    /// epochs, quality trace, loss trace, and final quality, with floats
+    /// compared by raw bit pattern (so NaN == NaN and `-0.0 != 0.0`).
+    ///
+    /// `wall_seconds` (timing noise) and `resumed_from` (provenance of this
+    /// particular session, not of the training trajectory) are excluded —
+    /// an interrupted-and-resumed run must be `deterministic_eq` to an
+    /// uninterrupted one.
+    pub fn deterministic_eq(&self, other: &RunResult) -> bool {
+        self.code == other.code
+            && self.seed == other.seed
+            && self.epochs_run == other.epochs_run
+            && self.epochs_to_target == other.epochs_to_target
+            && self.quality_trace.len() == other.quality_trace.len()
+            && self
+                .quality_trace
+                .iter()
+                .zip(&other.quality_trace)
+                .all(|((ea, qa), (eb, qb))| ea == eb && qa.to_bits() == qb.to_bits())
+            && self.loss_trace.len() == other.loss_trace.len()
+            && self
+                .loss_trace
+                .iter()
+                .zip(&other.loss_trace)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && self.final_quality.to_bits() == other.final_quality.to_bits()
     }
 }
 
@@ -94,6 +130,7 @@ pub fn run_to_quality(benchmark: &Benchmark, seed: u64, config: &RunConfig) -> R
         loss_trace,
         final_quality,
         wall_seconds: start.elapsed().as_secs_f64(),
+        resumed_from: None,
     }
 }
 

@@ -1,0 +1,174 @@
+//! A resumable mini-batch cursor.
+//!
+//! [`batches`](crate::batch::batches) reshuffles a whole epoch at once,
+//! which is fine for epoch-granular checkpointing — the trainers simply
+//! re-enter `train_epoch` after a restore. `BatchCursor` is the
+//! finer-grained alternative: it walks the same shuffled order one batch at
+//! a time and carries its complete position (epoch, next batch, the live
+//! permutation, and the RNG) through [`Snapshot`]/[`Restore`], so a run can
+//! stop *between batches* and resume bit-identically.
+
+use aibench_ckpt::{key, CkptError, Restore, Snapshot, State};
+use aibench_tensor::Rng;
+
+/// A stateful iterator over shuffled index mini-batches of `0..len`,
+/// reshuffling at every epoch boundary, whose exact position is
+/// checkpointable.
+///
+/// # Example
+///
+/// ```
+/// use aibench_data::cursor::BatchCursor;
+/// use aibench_tensor::Rng;
+///
+/// let mut cur = BatchCursor::new(10, 4, Rng::seed_from(7));
+/// let first = cur.next_batch();
+/// assert_eq!(first.len(), 4);
+/// assert_eq!(cur.epoch(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchCursor {
+    len: usize,
+    batch_size: usize,
+    rng: Rng,
+    epoch: u64,
+    next_start: usize,
+    order: Vec<usize>,
+}
+
+impl BatchCursor {
+    /// A cursor over `0..len` in batches of `batch_size`, shuffled by
+    /// `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` or `batch_size == 0`.
+    pub fn new(len: usize, batch_size: usize, mut rng: Rng) -> Self {
+        assert!(len > 0, "BatchCursor over an empty dataset");
+        assert!(batch_size > 0, "batch_size must be positive");
+        let order = rng.permutation(len);
+        BatchCursor {
+            len,
+            batch_size,
+            rng,
+            epoch: 0,
+            next_start: 0,
+            order,
+        }
+    }
+
+    /// Zero-based index of the epoch the next batch belongs to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Batches already taken from the current epoch.
+    pub fn batches_into_epoch(&self) -> usize {
+        self.next_start.div_ceil(self.batch_size)
+    }
+
+    /// Batches per full epoch.
+    pub fn batches_per_epoch(&self) -> usize {
+        self.len.div_ceil(self.batch_size)
+    }
+
+    /// Returns the next mini-batch of indices, rolling into a freshly
+    /// shuffled epoch when the current one is exhausted. The final batch of
+    /// an epoch may be short.
+    pub fn next_batch(&mut self) -> Vec<usize> {
+        if self.next_start >= self.len {
+            self.order = self.rng.permutation(self.len);
+            self.next_start = 0;
+            self.epoch += 1;
+        }
+        let end = (self.next_start + self.batch_size).min(self.len);
+        let batch = self.order[self.next_start..end].to_vec();
+        self.next_start = end;
+        batch
+    }
+}
+
+impl Snapshot for BatchCursor {
+    fn snapshot(&self, state: &mut State, prefix: &str) {
+        state.put_usize(key(prefix, "len"), self.len);
+        state.put_usize(key(prefix, "batch_size"), self.batch_size);
+        state.put_u64(key(prefix, "epoch"), self.epoch);
+        state.put_usize(key(prefix, "next_start"), self.next_start);
+        state.put_u64s(
+            key(prefix, "order"),
+            self.order.iter().map(|&i| i as u64).collect(),
+        );
+        self.rng.snapshot(state, &key(prefix, "rng"));
+    }
+}
+
+impl Restore for BatchCursor {
+    fn restore(&mut self, state: &State, prefix: &str) -> Result<(), CkptError> {
+        let len = state.usize(&key(prefix, "len"))?;
+        let batch_size = state.usize(&key(prefix, "batch_size"))?;
+        if len != self.len || batch_size != self.batch_size {
+            return Err(CkptError::MetaMismatch {
+                what: format!(
+                    "cursor `{prefix}` is over {}/{}, snapshot is over {len}/{batch_size}",
+                    self.len, self.batch_size
+                ),
+            });
+        }
+        self.epoch = state.u64(&key(prefix, "epoch"))?;
+        self.next_start = state.usize(&key(prefix, "next_start"))?;
+        self.order = state
+            .u64s(&key(prefix, "order"))?
+            .iter()
+            .map(|&i| i as usize)
+            .collect();
+        self.rng.restore(state, &key(prefix, "rng"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_index_each_epoch() {
+        let mut cur = BatchCursor::new(23, 5, Rng::seed_from(3));
+        for _ in 0..3 {
+            let mut seen: Vec<usize> = Vec::new();
+            for _ in 0..cur.batches_per_epoch() {
+                seen.extend(cur.next_batch());
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, (0..23).collect::<Vec<_>>());
+        }
+        assert_eq!(cur.epoch(), 2);
+    }
+
+    #[test]
+    fn mid_epoch_restore_resumes_the_exact_stream() {
+        let mut cur = BatchCursor::new(17, 4, Rng::seed_from(9));
+        // Stop in the middle of the second epoch.
+        for _ in 0..7 {
+            cur.next_batch();
+        }
+        let mut state = State::new();
+        cur.snapshot(&mut state, "cursor");
+        let mut resumed = BatchCursor::new(17, 4, Rng::seed_from(0));
+        resumed.restore(&state, "cursor").unwrap();
+        for _ in 0..20 {
+            assert_eq!(cur.next_batch(), resumed.next_batch());
+        }
+        assert_eq!(cur.epoch(), resumed.epoch());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_geometry() {
+        let cur = BatchCursor::new(10, 2, Rng::seed_from(1));
+        let mut state = State::new();
+        cur.snapshot(&mut state, "cursor");
+        let mut other = BatchCursor::new(12, 2, Rng::seed_from(1));
+        assert!(matches!(
+            other.restore(&state, "cursor"),
+            Err(CkptError::MetaMismatch { .. })
+        ));
+    }
+}

@@ -26,5 +26,6 @@
 #![deny(missing_docs)]
 
 pub mod batch;
+pub mod cursor;
 pub mod metrics;
 pub mod synth;

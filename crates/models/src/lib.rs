@@ -45,4 +45,21 @@ pub trait Trainer {
     /// trainer's own copies). Used by the tape sanitizer to probe for dead
     /// parameters and non-finite values after a training epoch.
     fn params(&self) -> Vec<aibench_autograd::Param>;
+
+    /// Captures the trainer's complete mutable training state — parameters,
+    /// optimizer moments, RNG position, running statistics, step counters —
+    /// into `state` (top-level prefixes, one per component).
+    ///
+    /// Together with rebuilding the trainer from its seed, this must be
+    /// sufficient for [`Trainer::load_state`] to resume training
+    /// bit-identically: architecture and datasets are *not* saved, they are
+    /// reconstructed deterministically by the benchmark factory.
+    fn save_state(&self, state: &mut aibench_ckpt::State);
+
+    /// Restores state captured by [`Trainer::save_state`] into a trainer
+    /// freshly built from the same benchmark and seed.
+    ///
+    /// On error the trainer may be partially mutated; callers must discard
+    /// it and rebuild before retrying with a different snapshot.
+    fn load_state(&mut self, state: &aibench_ckpt::State) -> Result<(), aibench_ckpt::CkptError>;
 }

@@ -121,6 +121,65 @@ impl Module for MiniResNet {
     }
 }
 
+impl MiniResNet {
+    const NORM_NAMES: [&'static str; 6] = [
+        "stem_bn",
+        "block1_bn_a",
+        "block1_bn_b",
+        "down_bn",
+        "block2_bn_a",
+        "block2_bn_b",
+    ];
+
+    fn norm_layers(&self) -> [&BatchNorm2d; 6] {
+        [
+            &self.stem_bn,
+            &self.block1_bn_a,
+            &self.block1_bn_b,
+            &self.down_bn,
+            &self.block2_bn_a,
+            &self.block2_bn_b,
+        ]
+    }
+
+    fn norm_layers_mut(&mut self) -> [&mut BatchNorm2d; 6] {
+        [
+            &mut self.stem_bn,
+            &mut self.block1_bn_a,
+            &mut self.block1_bn_b,
+            &mut self.down_bn,
+            &mut self.block2_bn_a,
+            &mut self.block2_bn_b,
+        ]
+    }
+}
+
+impl aibench_ckpt::Snapshot for MiniResNet {
+    /// Saves the six batch-norm running statistics — the only mutable state
+    /// the network holds outside its trainable parameters (which travel
+    /// with the optimizer's snapshot).
+    fn snapshot(&self, state: &mut aibench_ckpt::State, prefix: &str) {
+        use aibench_ckpt::key;
+        for (name, bn) in Self::NORM_NAMES.iter().zip(self.norm_layers()) {
+            bn.snapshot(state, &key(prefix, name));
+        }
+    }
+}
+
+impl aibench_ckpt::Restore for MiniResNet {
+    fn restore(
+        &mut self,
+        state: &aibench_ckpt::State,
+        prefix: &str,
+    ) -> Result<(), aibench_ckpt::CkptError> {
+        use aibench_ckpt::key;
+        for (name, bn) in Self::NORM_NAMES.iter().zip(self.norm_layers_mut()) {
+            bn.restore(state, &key(prefix, name))?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

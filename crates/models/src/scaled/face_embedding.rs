@@ -68,6 +68,20 @@ impl FaceEmbedding {
 }
 
 impl Trainer for FaceEmbedding {
+    fn save_state(&self, state: &mut aibench_ckpt::State) {
+        use aibench_ckpt::Snapshot as _;
+        self.net.snapshot(state, "net");
+        self.opt.snapshot(state, "opt");
+        state.put_u64("step", self.step);
+    }
+
+    fn load_state(&mut self, state: &aibench_ckpt::State) -> Result<(), aibench_ckpt::CkptError> {
+        use aibench_ckpt::Restore as _;
+        self.net.restore(state, "net")?;
+        self.opt.restore(state, "opt")?;
+        state.u64("step").map(|s| self.step = s)
+    }
+
     fn params(&self) -> Vec<aibench_autograd::Param> {
         self.opt.params().to_vec()
     }

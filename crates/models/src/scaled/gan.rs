@@ -139,6 +139,20 @@ impl ImageGeneration {
 }
 
 impl Trainer for ImageGeneration {
+    fn save_state(&self, state: &mut aibench_ckpt::State) {
+        use aibench_ckpt::Snapshot as _;
+        self.g_opt.snapshot(state, "g_opt");
+        self.c_opt.snapshot(state, "c_opt");
+        self.rng.snapshot(state, "rng");
+    }
+
+    fn load_state(&mut self, state: &aibench_ckpt::State) -> Result<(), aibench_ckpt::CkptError> {
+        use aibench_ckpt::Restore as _;
+        self.g_opt.restore(state, "g_opt")?;
+        self.c_opt.restore(state, "c_opt")?;
+        self.rng.restore(state, "rng")
+    }
+
     fn params(&self) -> Vec<aibench_autograd::Param> {
         let mut p = self.g_opt.params().to_vec();
         p.extend(self.c_opt.params().iter().cloned());

@@ -43,6 +43,20 @@ impl ImageClassification {
 }
 
 impl Trainer for ImageClassification {
+    fn save_state(&self, state: &mut aibench_ckpt::State) {
+        use aibench_ckpt::Snapshot as _;
+        self.net.snapshot(state, "net");
+        self.opt.snapshot(state, "opt");
+        self.rng.snapshot(state, "rng");
+    }
+
+    fn load_state(&mut self, state: &aibench_ckpt::State) -> Result<(), aibench_ckpt::CkptError> {
+        use aibench_ckpt::Restore as _;
+        self.net.restore(state, "net")?;
+        self.opt.restore(state, "opt")?;
+        self.rng.restore(state, "rng")
+    }
+
     fn params(&self) -> Vec<aibench_autograd::Param> {
         self.opt.params().to_vec()
     }

@@ -165,6 +165,22 @@ impl NeuralArchitectureSearch {
 }
 
 impl Trainer for NeuralArchitectureSearch {
+    fn save_state(&self, state: &mut aibench_ckpt::State) {
+        use aibench_ckpt::Snapshot as _;
+        self.child_opt.snapshot(state, "child_opt");
+        self.ctrl_opt.snapshot(state, "ctrl_opt");
+        state.put_f32("baseline", self.baseline);
+        self.rng.snapshot(state, "rng");
+    }
+
+    fn load_state(&mut self, state: &aibench_ckpt::State) -> Result<(), aibench_ckpt::CkptError> {
+        use aibench_ckpt::Restore as _;
+        self.child_opt.restore(state, "child_opt")?;
+        self.ctrl_opt.restore(state, "ctrl_opt")?;
+        self.baseline = state.f32("baseline")?;
+        self.rng.restore(state, "rng")
+    }
+
     fn params(&self) -> Vec<aibench_autograd::Param> {
         let mut p = self.child_opt.params().to_vec();
         p.extend(self.ctrl_opt.params().iter().cloned());

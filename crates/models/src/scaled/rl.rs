@@ -120,6 +120,20 @@ impl ReinforcementLearning {
 }
 
 impl Trainer for ReinforcementLearning {
+    fn save_state(&self, state: &mut aibench_ckpt::State) {
+        use aibench_ckpt::Snapshot as _;
+        self.opt.snapshot(state, "opt");
+        state.put_f32("baseline", self.baseline);
+        self.rng.snapshot(state, "rng");
+    }
+
+    fn load_state(&mut self, state: &aibench_ckpt::State) -> Result<(), aibench_ckpt::CkptError> {
+        use aibench_ckpt::Restore as _;
+        self.opt.restore(state, "opt")?;
+        self.baseline = state.f32("baseline")?;
+        self.rng.restore(state, "rng")
+    }
+
     fn params(&self) -> Vec<aibench_autograd::Param> {
         self.opt.params().to_vec()
     }

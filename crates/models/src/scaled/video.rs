@@ -66,6 +66,18 @@ impl VideoPrediction {
 }
 
 impl Trainer for VideoPrediction {
+    fn save_state(&self, state: &mut aibench_ckpt::State) {
+        use aibench_ckpt::Snapshot as _;
+        self.opt.snapshot(state, "opt");
+        self.rng.snapshot(state, "rng");
+    }
+
+    fn load_state(&mut self, state: &aibench_ckpt::State) -> Result<(), aibench_ckpt::CkptError> {
+        use aibench_ckpt::Restore as _;
+        self.opt.restore(state, "opt")?;
+        self.rng.restore(state, "rng")
+    }
+
     fn params(&self) -> Vec<aibench_autograd::Param> {
         self.opt.params().to_vec()
     }

@@ -166,6 +166,36 @@ impl Module for BatchNorm2d {
     }
 }
 
+impl aibench_ckpt::Snapshot for BatchNorm2d {
+    /// Saves only the running statistics; `gamma`/`beta` are trainable
+    /// parameters and travel with the optimizer's snapshot.
+    fn snapshot(&self, state: &mut aibench_ckpt::State, prefix: &str) {
+        use aibench_ckpt::key;
+        self.running_mean
+            .borrow()
+            .snapshot(state, &key(prefix, "running_mean"));
+        self.running_var
+            .borrow()
+            .snapshot(state, &key(prefix, "running_var"));
+    }
+}
+
+impl aibench_ckpt::Restore for BatchNorm2d {
+    fn restore(
+        &mut self,
+        state: &aibench_ckpt::State,
+        prefix: &str,
+    ) -> Result<(), aibench_ckpt::CkptError> {
+        use aibench_ckpt::key;
+        self.running_mean
+            .borrow_mut()
+            .restore(state, &key(prefix, "running_mean"))?;
+        self.running_var
+            .borrow_mut()
+            .restore(state, &key(prefix, "running_var"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -270,6 +270,111 @@ impl Optimizer for RmsProp {
     }
 }
 
+// --- Checkpointing ------------------------------------------------------
+//
+// Each optimizer saves its parameters (value + grad, via `Param`'s own
+// impl) under `{prefix}.p{i}`, its moment buffers alongside them, and the
+// mutable scalars (`lr`, step counter). Hyperparameters fixed at
+// construction (betas, momentum, eps) are architecture, not state — the
+// resume path rebuilds the trainer from the benchmark spec and only
+// restores what training mutates.
+
+use aibench_ckpt::{key, CkptError, Restore, Snapshot, State};
+
+fn snapshot_params(params: &[Param], state: &mut State, prefix: &str) {
+    state.put_usize(key(prefix, "n"), params.len());
+    for (i, p) in params.iter().enumerate() {
+        p.snapshot(state, &key(prefix, &format!("p{i}")));
+    }
+}
+
+fn restore_params(params: &mut [Param], state: &State, prefix: &str) -> Result<(), CkptError> {
+    let n = state.usize(&key(prefix, "n"))?;
+    if n != params.len() {
+        return Err(CkptError::MetaMismatch {
+            what: format!(
+                "optimizer `{prefix}` holds {} parameter(s), snapshot has {n}",
+                params.len()
+            ),
+        });
+    }
+    for (i, p) in params.iter_mut().enumerate() {
+        p.restore(state, &key(prefix, &format!("p{i}")))?;
+    }
+    Ok(())
+}
+
+impl Snapshot for Sgd {
+    fn snapshot(&self, state: &mut State, prefix: &str) {
+        snapshot_params(&self.params, state, prefix);
+        state.put_f32(key(prefix, "lr"), self.lr);
+        for (i, v) in self.velocity.iter().enumerate() {
+            v.snapshot(state, &key(prefix, &format!("vel{i}")));
+        }
+    }
+}
+
+impl Restore for Sgd {
+    fn restore(&mut self, state: &State, prefix: &str) -> Result<(), CkptError> {
+        restore_params(&mut self.params, state, prefix)?;
+        self.lr = state.f32(&key(prefix, "lr"))?;
+        for (i, v) in self.velocity.iter_mut().enumerate() {
+            v.restore(state, &key(prefix, &format!("vel{i}")))?;
+        }
+        Ok(())
+    }
+}
+
+impl Snapshot for Adam {
+    fn snapshot(&self, state: &mut State, prefix: &str) {
+        snapshot_params(&self.params, state, prefix);
+        state.put_f32(key(prefix, "lr"), self.lr);
+        state.put_u64(key(prefix, "t"), u64::from(self.t));
+        for (i, m) in self.m.iter().enumerate() {
+            m.snapshot(state, &key(prefix, &format!("m{i}")));
+        }
+        for (i, v) in self.v.iter().enumerate() {
+            v.snapshot(state, &key(prefix, &format!("v{i}")));
+        }
+    }
+}
+
+impl Restore for Adam {
+    fn restore(&mut self, state: &State, prefix: &str) -> Result<(), CkptError> {
+        restore_params(&mut self.params, state, prefix)?;
+        self.lr = state.f32(&key(prefix, "lr"))?;
+        self.t = state.u64(&key(prefix, "t"))? as u32;
+        for (i, m) in self.m.iter_mut().enumerate() {
+            m.restore(state, &key(prefix, &format!("m{i}")))?;
+        }
+        for (i, v) in self.v.iter_mut().enumerate() {
+            v.restore(state, &key(prefix, &format!("v{i}")))?;
+        }
+        Ok(())
+    }
+}
+
+impl Snapshot for RmsProp {
+    fn snapshot(&self, state: &mut State, prefix: &str) {
+        snapshot_params(&self.params, state, prefix);
+        state.put_f32(key(prefix, "lr"), self.lr);
+        for (i, s) in self.sq.iter().enumerate() {
+            s.snapshot(state, &key(prefix, &format!("sq{i}")));
+        }
+    }
+}
+
+impl Restore for RmsProp {
+    fn restore(&mut self, state: &State, prefix: &str) -> Result<(), CkptError> {
+        restore_params(&mut self.params, state, prefix)?;
+        self.lr = state.f32(&key(prefix, "lr"))?;
+        for (i, s) in self.sq.iter_mut().enumerate() {
+            s.restore(state, &key(prefix, &format!("sq{i}")))?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,189 @@
+//! Property tests: optimizer checkpoints round-trip bit-exactly through the
+//! binary container for arbitrary parameter shapes and values, and a
+//! restored optimizer continues training identically to one that never
+//! stopped.
+
+use aibench_autograd::Param;
+use aibench_ckpt::{Restore as _, Snapshot as _, SnapshotFile, State};
+use aibench_nn::{Adam, Optimizer, RmsProp, Sgd};
+use aibench_tensor::{Rng, Tensor};
+use proptest::prelude::*;
+
+/// Builds a parameter list with the given shapes, values drawn from `rng`,
+/// and gradients already accumulated (so moment buffers get exercised).
+fn make_params(shapes: &[Vec<usize>], rng: &mut Rng) -> Vec<Param> {
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let p = Param::new(format!("p{i}"), Tensor::randn(s, rng));
+            p.accumulate_grad(&Tensor::randn(s, rng));
+            p
+        })
+        .collect()
+}
+
+/// Independent zero-initialized parameters with the same shapes — cloning a
+/// `Param` only clones the handle, so the restore target must be built
+/// from scratch for the test to prove anything.
+fn blank_params(shapes: &[Vec<usize>]) -> Vec<Param> {
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Param::new(format!("p{i}"), Tensor::zeros(s)))
+        .collect()
+}
+
+/// Steps `opt` a few times to populate moments, snapshots it through the
+/// full binary format, restores into `fresh`, and asserts the two produce
+/// bit-identical parameters after further steps.
+fn assert_resume_parity<O: Optimizer + aibench_ckpt::Snapshot + aibench_ckpt::Restore>(
+    mut opt: O,
+    mut fresh: O,
+    rng: &mut Rng,
+) {
+    for _ in 0..3 {
+        for p in opt.params() {
+            let g = Tensor::randn(&p.shape(), rng);
+            p.zero_grad();
+            p.accumulate_grad(&g);
+        }
+        opt.step();
+    }
+    // Round-trip through actual bytes, not just the State tree.
+    let mut state = State::new();
+    opt.snapshot(&mut state, "opt");
+    let mut file = SnapshotFile::new();
+    file.push("trainer", state);
+    let bytes = file.to_bytes();
+    let decoded = SnapshotFile::from_bytes(&bytes).unwrap();
+    fresh
+        .restore(decoded.section("trainer").unwrap(), "opt")
+        .unwrap();
+
+    // A second snapshot must reproduce the exact same bytes.
+    let mut state2 = State::new();
+    fresh.snapshot(&mut state2, "opt");
+    let mut file2 = SnapshotFile::new();
+    file2.push("trainer", state2);
+    assert_eq!(file2.to_bytes(), bytes, "snapshot after restore drifted");
+
+    // And further optimization must stay bit-identical. Both sides see the
+    // same gradient stream.
+    let mut grad_rng = rng.fork();
+    for _ in 0..3 {
+        let mut r2 = grad_rng.clone();
+        for p in opt.params() {
+            let g = Tensor::randn(&p.shape(), &mut grad_rng);
+            p.zero_grad();
+            p.accumulate_grad(&g);
+        }
+        for p in fresh.params() {
+            let g = Tensor::randn(&p.shape(), &mut r2);
+            p.zero_grad();
+            p.accumulate_grad(&g);
+        }
+        opt.step();
+        fresh.step();
+    }
+    for (a, b) in opt.params().iter().zip(fresh.params()) {
+        let av = a.value();
+        let bv = b.value();
+        assert_eq!(av.shape(), bv.shape());
+        for (x, y) in av.data().iter().zip(bv.data()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "post-resume divergence");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sgd_checkpoint_resume_is_bit_exact(
+        seed in 0u64..u64::MAX,
+        n_params in 1usize..4,
+        dim in 1usize..7,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let shapes: Vec<Vec<usize>> = (0..n_params).map(|i| vec![dim, i + 1]).collect();
+        let params = make_params(&shapes, &mut rng);
+        let fresh = blank_params(&shapes);
+        assert_resume_parity(
+            Sgd::with_momentum(params, 0.05, 0.9, 1e-4),
+            Sgd::with_momentum(fresh, 0.05, 0.9, 1e-4),
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn adam_checkpoint_resume_is_bit_exact(
+        seed in 0u64..u64::MAX,
+        n_params in 1usize..4,
+        dim in 1usize..7,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let shapes: Vec<Vec<usize>> = (0..n_params).map(|i| vec![i + 1, dim]).collect();
+        let params = make_params(&shapes, &mut rng);
+        let fresh = blank_params(&shapes);
+        assert_resume_parity(
+            Adam::new(params, 1e-3),
+            Adam::new(fresh, 1e-3),
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn rmsprop_checkpoint_resume_is_bit_exact(
+        seed in 0u64..u64::MAX,
+        dim in 1usize..9,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let shapes = vec![vec![dim], vec![dim, 2]];
+        let params = make_params(&shapes, &mut rng);
+        let fresh = blank_params(&shapes);
+        assert_resume_parity(
+            RmsProp::new(params, 1e-3),
+            RmsProp::new(fresh, 1e-3),
+            &mut rng,
+        );
+    }
+}
+
+#[test]
+fn restore_rejects_wrong_parameter_count() {
+    let mut rng = Rng::seed_from(1);
+    let params = make_params(&[vec![3]], &mut rng);
+    let opt = Sgd::new(params, 0.1);
+    let mut state = State::new();
+    opt.snapshot(&mut state, "opt");
+    let two = make_params(&[vec![3], vec![3]], &mut rng);
+    let mut other = Sgd::new(two, 0.1);
+    assert!(other.restore(&state, "opt").is_err());
+}
+
+#[test]
+fn batchnorm_running_stats_round_trip() {
+    use aibench_autograd::Graph;
+    use aibench_nn::{BatchNorm2d, Mode, Module as _};
+    let mut rng = Rng::seed_from(4);
+    let bn = BatchNorm2d::new(3);
+    // Drive a few training steps so the running stats move off init.
+    for _ in 0..4 {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::randn(&[2, 3, 4, 4], &mut rng));
+        let _ = bn.forward(&mut g, x, Mode::Train);
+    }
+    let mut state = State::new();
+    bn.snapshot(&mut state, "bn");
+    let mut fresh = BatchNorm2d::new(3);
+    fresh.restore(&state, "bn").unwrap();
+    assert_eq!(
+        bn.running_mean().data(),
+        fresh.running_mean().data(),
+        "running mean did not round-trip"
+    );
+    assert_eq!(bn.running_var().data(), fresh.running_var().data());
+    // Trainable params deliberately do NOT travel with the layer snapshot.
+    assert_eq!(fresh.params().len(), 2);
+}

@@ -1,0 +1,103 @@
+//! [`Snapshot`]/[`Restore`] implementations for the tensor layer.
+
+use aibench_ckpt::{key, CkptError, Restore, Snapshot, State};
+
+use crate::rng::{Rng, RngState};
+use crate::tensor::Tensor;
+
+impl Snapshot for Tensor {
+    /// Saves the tensor as `{prefix}` itself: one shaped `f32` entry.
+    fn snapshot(&self, state: &mut State, prefix: &str) {
+        state.put_f32s(prefix, self.shape(), self.data().to_vec());
+    }
+}
+
+impl Restore for Tensor {
+    /// Restores data in place; the snapshot's shape must match the
+    /// tensor's (restore replaces values, it does not reshape).
+    fn restore(&mut self, state: &State, prefix: &str) -> Result<(), CkptError> {
+        let (shape, data) = state.f32s(prefix)?;
+        if shape != self.shape() {
+            return Err(CkptError::ShapeMismatch {
+                key: prefix.to_string(),
+                expected: self.shape().to_vec(),
+                found: shape.to_vec(),
+            });
+        }
+        self.data_mut().copy_from_slice(data);
+        Ok(())
+    }
+}
+
+impl Snapshot for Rng {
+    /// Saves `{prefix}.state` and, when present, `{prefix}.gauss_spare`
+    /// (as raw `f32` bits so NaN-free exactness is moot — the bits are the
+    /// value).
+    fn snapshot(&self, state: &mut State, prefix: &str) {
+        let s = self.state();
+        state.put_u64(key(prefix, "state"), s.state);
+        state.put_bool(key(prefix, "has_spare"), s.gauss_spare.is_some());
+        state.put_f32(key(prefix, "gauss_spare"), s.gauss_spare.unwrap_or(0.0));
+    }
+}
+
+impl Restore for Rng {
+    fn restore(&mut self, state: &State, prefix: &str) -> Result<(), CkptError> {
+        let word = state.u64(&key(prefix, "state"))?;
+        let has_spare = state.bool(&key(prefix, "has_spare"))?;
+        let spare = state.f32(&key(prefix, "gauss_spare"))?;
+        *self = Rng::from_state(RngState {
+            state: word,
+            gauss_spare: has_spare.then_some(spare),
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_round_trip_is_bit_exact() {
+        let mut rng = Rng::seed_from(3);
+        let original = Tensor::randn(&[3, 4], &mut rng);
+        let mut state = State::new();
+        original.snapshot(&mut state, "w");
+        let mut dest = Tensor::zeros(&[3, 4]);
+        dest.restore(&state, "w").unwrap();
+        assert_eq!(
+            original
+                .data()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>(),
+            dest.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn tensor_restore_rejects_shape_mismatch() {
+        let original = Tensor::ones(&[2, 2]);
+        let mut state = State::new();
+        original.snapshot(&mut state, "w");
+        let mut dest = Tensor::zeros(&[4]);
+        assert!(matches!(
+            dest.restore(&state, "w"),
+            Err(CkptError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rng_round_trip_preserves_the_stream() {
+        let mut rng = Rng::seed_from(9);
+        let _ = rng.normal(); // leave a spare pending
+        let mut state = State::new();
+        rng.snapshot(&mut state, "rng");
+        let mut restored = Rng::seed_from(0);
+        restored.restore(&state, "rng").unwrap();
+        for _ in 0..50 {
+            assert_eq!(rng.normal().to_bits(), restored.normal().to_bits());
+        }
+    }
+}

@@ -22,12 +22,13 @@
 
 #![deny(missing_docs)]
 
+mod ckpt;
 mod rng;
 mod shape;
 mod tensor;
 
 pub mod ops;
 
-pub use rng::Rng;
+pub use rng::{Rng, RngState};
 pub use shape::{broadcast_shapes, Shape};
 pub use tensor::Tensor;

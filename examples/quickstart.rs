@@ -6,8 +6,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use aibench::ckpt::{run_to_quality_resumable, run_until_killed};
 use aibench::registry::Registry;
 use aibench::runner::{run_to_quality, RunConfig};
+use aibench_ckpt::{CheckpointSink, MemorySink};
 
 fn main() {
     let registry = Registry::aibench();
@@ -33,4 +35,31 @@ fn main() {
             result.final_quality
         ),
     }
+
+    // Interrupt and resume: checkpoint every epoch, kill the session after
+    // one epoch, then resume from the snapshot. The resumed result is
+    // bitwise identical to the uninterrupted run above.
+    println!();
+    println!("-- interrupt/resume demo --");
+    let config = RunConfig {
+        checkpoint_every: 1,
+        ..RunConfig::default()
+    };
+    let mut sink = MemorySink::new(); // DirSink persists across processes
+    let killed = run_until_killed(benchmark, 1, &config, &mut sink, 1);
+    assert!(killed.is_none(), "session was killed after one epoch");
+    println!(
+        "session killed; {} checkpoint(s) in the sink",
+        sink.epochs().len()
+    );
+    let resumed = run_to_quality_resumable(benchmark, 1, &config, &mut sink);
+    println!(
+        "resumed from epoch {:?}, finished at epoch {}",
+        resumed.resumed_from, resumed.epochs_run
+    );
+    assert!(
+        result.deterministic_eq(&resumed),
+        "resumed run diverged from the uninterrupted one"
+    );
+    println!("resumed result is bitwise identical to the uninterrupted run");
 }

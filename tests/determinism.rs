@@ -116,6 +116,7 @@ fn training_session_bitwise_identical_across_threads() {
             max_epochs: 2,
             eval_every: 1,
             parallel: Some(ParallelConfig::with_threads(t)),
+            ..RunConfig::default()
         };
         let res = run_to_quality(bench, 3, &cfg);
         let fingerprint = (
