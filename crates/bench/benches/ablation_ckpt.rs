@@ -85,7 +85,8 @@ fn main() {
             ..config
         };
         let mut sink = MemorySink::new();
-        let ckpt = run_to_quality_resumable(b, 1, &ckpt_config, &mut sink);
+        let ckpt =
+            run_to_quality_resumable(b, 1, &ckpt_config, &mut sink).expect("checkpoint save");
         assert!(
             plain.deterministic_eq(&ckpt),
             "{code}: checkpointing changed the training result"

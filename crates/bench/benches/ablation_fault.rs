@@ -1,0 +1,142 @@
+//! Fault-supervision ablation: what does wrapping the training loop in
+//! `aibench-fault`'s supervisor cost when nothing goes wrong?
+//!
+//! Three configurations of the same short session, per representative
+//! benchmark:
+//!
+//! * **plain** — `run_to_quality`, no supervision;
+//! * **sentinels off** — supervised run, empty schedule, every sentinel
+//!   disabled (isolates the harness cost: the panic boundary, the epoch
+//!   accounting, the per-epoch snapshot);
+//! * **supervised** — supervised run, empty schedule, default sentinels
+//!   (adds the per-epoch parameter/gradient scan and loss checks).
+//!
+//! Both supervised runs are asserted bitwise identical to the plain one on
+//! the way — the overhead table is only meaningful if supervision is
+//! observationally free.
+//!
+//! A second table measures recovery cost: a NaN loss injected mid-run,
+//! reported as the extra epochs executed and the wall-time ratio against
+//! the clean supervised run.
+
+use std::time::Instant;
+
+use aibench::runner::{run_to_quality, RunConfig};
+use aibench::Registry;
+use aibench_fault::{supervised_run, FaultKind, FaultSchedule, SentinelConfig, SupervisorConfig};
+
+/// Median wall seconds of `f` over `samples` calls.
+fn median_s(samples: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let registry = Registry::aibench();
+    // One representative per family: CNN, RNN, attention, GAN, RL.
+    let cases = [
+        "DC-AI-C15",
+        "DC-AI-C6",
+        "DC-AI-C3",
+        "DC-AI-C16",
+        "DC-AI-C10",
+    ];
+    let config = RunConfig {
+        max_epochs: 4,
+        eval_every: 1,
+        ..RunConfig::default()
+    };
+    let empty = FaultSchedule::empty();
+    let samples = 5;
+
+    println!("# Supervision overhead on a clean run (empty schedule, seed 1)");
+    println!(
+        "{:<12} {:>7} {:>10} {:>12} {:>12} {:>9} {:>9}",
+        "benchmark", "epochs", "plain_ms", "harness_ms", "sentinel_ms", "harness", "sentinel"
+    );
+    for code in cases {
+        let b = registry.get(code).expect("registered benchmark");
+        let off = SupervisorConfig {
+            sentinels: SentinelConfig::off(),
+            ..SupervisorConfig::default()
+        };
+        let on = SupervisorConfig::default();
+
+        // Identity first: the numbers below only matter if supervision is
+        // observationally free.
+        let plain = run_to_quality(b, 1, &config);
+        for (label, sup) in [("sentinels off", &off), ("sentinels on", &on)] {
+            let run = supervised_run(b, 1, &config, &empty, sup);
+            assert!(
+                plain.deterministic_eq(&run.result),
+                "{code}: supervision ({label}) changed the training result"
+            );
+            assert_eq!(run.fault_signature(), "clean", "{code}: {label}");
+        }
+
+        let plain_s = median_s(samples, || run_to_quality(b, 1, &config).final_quality);
+        let harness_s = median_s(samples, || {
+            supervised_run(b, 1, &config, &empty, &off)
+                .result
+                .final_quality
+        });
+        let sentinel_s = median_s(samples, || {
+            supervised_run(b, 1, &config, &empty, &on)
+                .result
+                .final_quality
+        });
+        println!(
+            "{:<12} {:>7} {:>10.1} {:>12.1} {:>12.1} {:>8.1}% {:>8.1}%",
+            code,
+            plain.epochs_run,
+            plain_s * 1e3,
+            harness_s * 1e3,
+            sentinel_s * 1e3,
+            (harness_s / plain_s - 1.0) * 100.0,
+            (sentinel_s / plain_s - 1.0) * 100.0
+        );
+    }
+
+    println!();
+    println!("# Recovery cost: NaN loss at epoch 2, rollback + LR*0.5 (seed 1)");
+    println!(
+        "{:<12} {:>7} {:>9} {:>10} {:>11} {:>9}",
+        "benchmark", "epochs", "executed", "clean_ms", "recover_ms", "ratio"
+    );
+    for code in cases {
+        let b = registry.get(code).expect("registered benchmark");
+        let sup = SupervisorConfig::default();
+        let schedule = FaultSchedule::new(1).inject(2, FaultKind::LossValue { value: f32::NAN });
+        let faulted = supervised_run(b, 1, &config, &schedule, &sup);
+        assert!(
+            faulted.recoveries > 0,
+            "{code}: the injected NaN must trigger a recovery"
+        );
+        let clean_s = median_s(samples, || {
+            supervised_run(b, 1, &config, &empty, &sup)
+                .result
+                .final_quality
+        });
+        let recover_s = median_s(samples, || {
+            supervised_run(b, 1, &config, &schedule, &sup)
+                .result
+                .final_quality
+        });
+        println!(
+            "{:<12} {:>7} {:>9} {:>10.1} {:>11.1} {:>8.2}x",
+            code,
+            faulted.result.epochs_run,
+            faulted.epochs_executed,
+            clean_s * 1e3,
+            recover_s * 1e3,
+            recover_s / clean_s
+        );
+    }
+}

@@ -33,6 +33,7 @@ fn rule_for(err: &CkptError) -> &'static str {
         | CkptError::WrongType { .. }
         | CkptError::ShapeMismatch { .. }
         | CkptError::MetaMismatch { .. } => "ckpt-missing",
+        CkptError::Io { .. } => "ckpt-io",
     }
 }
 

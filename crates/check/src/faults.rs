@@ -1,0 +1,251 @@
+//! Fault-supervision lints over `aibench-fault`: the supervised runner's
+//! contracts, checked per benchmark.
+//!
+//! * **Empty-schedule identity** — a supervised run with no injections must
+//!   be bitwise identical to the plain runner, and the sentinels must stay
+//!   silent on healthy training (no false positives).
+//! * **Injection replay** — the same seed + the same fault schedule must
+//!   reproduce the identical run: trajectory, fault log, and outcome.
+//! * **Resume integrity** — rollback recovery must skip an unreadable
+//!   newest snapshot and restore the next older one.
+//! * **Fault-kind coverage** — every [`TrainFault`] kind has a seeded
+//!   fixture whose defect is detected under its own rule.
+
+use aibench::runner::{run_to_quality, RunConfig};
+use aibench::{Benchmark, Registry};
+use aibench_fault::{
+    supervised_run, ActionTaken, FaultKind, FaultSchedule, SupervisedRun, SupervisorConfig,
+    TrainFault,
+};
+
+use crate::Diagnostic;
+
+/// Seed every fault lint trains under (matches the other dynamic probes).
+const SEED: u64 = 1;
+
+/// Short sessions are enough: the contracts under test are structural
+/// (identity, replay, rollback), not convergence.
+fn lint_config(max_epochs: usize) -> RunConfig {
+    RunConfig {
+        max_epochs,
+        eval_every: 1,
+        ..RunConfig::default()
+    }
+}
+
+/// Maps a [`TrainFault`] kind name to the stable diagnostic rule its
+/// detection is reported under.
+pub fn rule_for_kind(kind: &str) -> &'static str {
+    match kind {
+        "non-finite-loss" => "fault-non-finite-loss",
+        "loss-spike" => "fault-loss-spike",
+        "non-finite-param" => "fault-non-finite-param",
+        "exploding-grad-norm" => "fault-exploding-grad-norm",
+        "kernel-panic" => "fault-kernel-panic",
+        "checkpoint-io" => "fault-checkpoint-io",
+        "stalled-progress" => "fault-stalled-progress",
+        "budget-exhausted" => "fault-budget-exhausted",
+        _ => "fault-unknown-kind",
+    }
+}
+
+/// Renders a supervised run's fault log as diagnostics, one per event,
+/// each under the rule of its fault kind. Used by the seeded fixtures: an
+/// injected defect *must* surface here.
+pub fn diagnose(code: &str, run: &SupervisedRun) -> Vec<Diagnostic> {
+    run.faults
+        .iter()
+        .map(|event| {
+            Diagnostic::global(
+                code,
+                rule_for_kind(event.fault.kind()),
+                "a fault-free supervised run",
+                format!("{} (action: {})", event.fault, event.action.kind()),
+            )
+        })
+        .collect()
+}
+
+/// A supervised run under the empty schedule must be bitwise identical to
+/// the plain runner and record zero faults.
+pub fn check_empty_schedule_identity(benchmark: &Benchmark) -> Vec<Diagnostic> {
+    let code = benchmark.id.code();
+    let config = lint_config(2);
+    let plain = run_to_quality(benchmark, SEED, &config);
+    let supervised = supervised_run(
+        benchmark,
+        SEED,
+        &config,
+        &FaultSchedule::empty(),
+        &SupervisorConfig::default(),
+    );
+    let mut out = Vec::new();
+    if !plain.deterministic_eq(&supervised.result) {
+        out.push(Diagnostic::global(
+            code,
+            "fault-empty-schedule-identity",
+            "bitwise-identical trajectory under an empty fault schedule",
+            format!(
+                "plain ran {} epoch(s) to quality {:.6}; supervised ran {} to {:.6}",
+                plain.epochs_run,
+                plain.final_quality,
+                supervised.result.epochs_run,
+                supervised.result.final_quality
+            ),
+        ));
+    }
+    if !supervised.faults.is_empty() {
+        out.push(Diagnostic::global(
+            code,
+            "fault-sentinel-false-positive",
+            "silent sentinels on healthy training",
+            supervised.fault_signature(),
+        ));
+    }
+    out
+}
+
+/// The same seed + the same non-empty schedule must replay bit for bit:
+/// the injections must actually land, and two runs must agree on the
+/// trajectory, the fault log, and the outcome.
+pub fn check_injection_replay(benchmark: &Benchmark) -> Vec<Diagnostic> {
+    let code = benchmark.id.code();
+    let config = lint_config(2);
+    let schedule = FaultSchedule::new(SEED)
+        .inject(1, FaultKind::GradNan)
+        .inject(2, FaultKind::GradExplosion { scale: 1e12 });
+    let sup = SupervisorConfig::default();
+    let first = supervised_run(benchmark, SEED, &config, &schedule, &sup);
+    let second = supervised_run(benchmark, SEED, &config, &schedule, &sup);
+    let mut out = Vec::new();
+    if first.faults.is_empty() {
+        out.push(Diagnostic::global(
+            code,
+            "fault-injection-inert",
+            "scheduled gradient corruption reaches the trainer's parameters",
+            "no fault detected under a corrupting schedule",
+        ));
+    }
+    if !first.deterministic_eq(&second) {
+        out.push(Diagnostic::global(
+            code,
+            "fault-replay-divergence",
+            "identical runs under the same seed and schedule",
+            format!(
+                "fault logs `{}` vs `{}`, outcomes `{}` vs `{}`",
+                first.fault_signature(),
+                second.fault_signature(),
+                first.outcome.signature(),
+                second.outcome.signature()
+            ),
+        ));
+    }
+    out
+}
+
+/// Rollback recovery must skip an unreadable newest snapshot and restore
+/// the next older one. Snapshots exist at epochs 1 and 2 when the fault
+/// fires at epoch 3; the injected read failure forces the epoch-1 restore.
+pub fn check_resume_integrity(registry: &Registry) -> Vec<Diagnostic> {
+    let rule = "fault-resume-integrity";
+    let Some(benchmark) = registry
+        .benchmarks()
+        .iter()
+        .find(|b| b.id.code() == "DC-AI-C15")
+    else {
+        return vec![Diagnostic::global(
+            "registry",
+            rule,
+            "DC-AI-C15 registered for the rollback probe",
+            "benchmark missing from the registry",
+        )];
+    };
+    let schedule = FaultSchedule::new(8)
+        .inject(3, FaultKind::LoadFail)
+        .inject(3, FaultKind::LossValue { value: f32::NAN });
+    let run = supervised_run(
+        benchmark,
+        2,
+        &lint_config(40),
+        &schedule,
+        &SupervisorConfig::default(),
+    );
+    let restored = run.faults.iter().find_map(|e| match e.action {
+        ActionTaken::RolledBack { to_epoch, .. } => Some(to_epoch),
+        _ => None,
+    });
+    match restored {
+        Some(Some(1)) => Vec::new(),
+        Some(other) => vec![Diagnostic::global(
+            "DC-AI-C15",
+            rule,
+            "rollback skips the unreadable epoch-2 snapshot and restores epoch 1",
+            format!("restored {other:?}"),
+        )],
+        None => vec![Diagnostic::global(
+            "DC-AI-C15",
+            rule,
+            "a rollback recovery for the injected NaN loss",
+            format!("fault log `{}`", run.fault_signature()),
+        )],
+    }
+}
+
+/// Every [`TrainFault`] kind must have a seeded fixture (named
+/// `fault-<kind>`) whose injected defect is detected under that kind's
+/// rule.
+pub fn check_fixture_coverage() -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for kind in TrainFault::KINDS {
+        let fixture = format!("fault-{kind}");
+        let rule = rule_for_kind(kind);
+        match crate::fixtures::run(&fixture) {
+            Some(diags) if diags.iter().any(|d| d.rule == rule) => {}
+            Some(diags) => out.push(Diagnostic::global(
+                "fixtures",
+                "fault-kind-coverage",
+                format!("fixture `{fixture}` fires rule `{rule}`"),
+                format!(
+                    "fired {:?}",
+                    diags.iter().map(|d| d.rule).collect::<Vec<_>>()
+                ),
+            )),
+            None => out.push(Diagnostic::global(
+                "fixtures",
+                "fault-kind-coverage",
+                format!("a seeded fixture named `{fixture}`"),
+                "no such fixture",
+            )),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_benchmark_passes_identity_and_replay() {
+        let registry = Registry::aibench();
+        let b = registry.get("DC-AI-C15").unwrap();
+        assert!(check_empty_schedule_identity(b).is_empty());
+        assert!(check_injection_replay(b).is_empty());
+    }
+
+    #[test]
+    fn resume_integrity_is_clean_on_the_real_stack() {
+        assert!(check_resume_integrity(&Registry::aibench()).is_empty());
+    }
+
+    #[test]
+    fn every_fault_kind_is_covered_by_a_fixture() {
+        let missing = check_fixture_coverage();
+        assert!(missing.is_empty(), "{missing:?}");
+    }
+
+    #[test]
+    fn unknown_kind_maps_to_the_sentinel_rule() {
+        assert_eq!(rule_for_kind("not-a-kind"), "fault-unknown-kind");
+    }
+}

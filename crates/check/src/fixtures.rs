@@ -3,8 +3,13 @@
 //! asserts every fixture produces at least one diagnostic of its family's
 //! rule, so a silently weakened rule fails the build rather than shipping.
 
-use crate::{ckpt, counts, shape, tape, trace, Diagnostic};
-use aibench_ckpt::{SnapshotFile, State};
+use crate::{ckpt, counts, faults, shape, tape, trace, Diagnostic};
+use aibench::runner::RunConfig;
+use aibench_ckpt::{FailingSink, MemorySink, SnapshotFile, State};
+use aibench_fault::{
+    supervised_run, supervised_run_with_sink, FaultKind, FaultSchedule, RecoveryPolicy,
+    SentinelConfig, SupervisorConfig,
+};
 use aibench_gpusim::{DeviceConfig, Kernel, KernelCategory, Simulator};
 use aibench_models::{Layer, LayerKind, ModelSpec, Trainer};
 
@@ -19,6 +24,14 @@ pub const FIXTURES: &[&str] = &[
     "ckpt-bit-flip",
     "ckpt-version-mismatch",
     "ckpt-orphan-section",
+    "fault-non-finite-loss",
+    "fault-loss-spike",
+    "fault-non-finite-param",
+    "fault-exploding-grad-norm",
+    "fault-kernel-panic",
+    "fault-checkpoint-io",
+    "fault-stalled-progress",
+    "fault-budget-exhausted",
 ];
 
 /// Runs one fixture by name; `None` for an unknown name. Each returned
@@ -35,6 +48,14 @@ pub fn run(name: &str) -> Option<Vec<Diagnostic>> {
         "ckpt-bit-flip" => Some(ckpt_bit_flip()),
         "ckpt-version-mismatch" => Some(ckpt_version_mismatch()),
         "ckpt-orphan-section" => Some(ckpt_orphan_section()),
+        "fault-non-finite-loss" => Some(fault_non_finite_loss()),
+        "fault-loss-spike" => Some(fault_loss_spike()),
+        "fault-non-finite-param" => Some(fault_non_finite_param()),
+        "fault-exploding-grad-norm" => Some(fault_exploding_grad_norm()),
+        "fault-kernel-panic" => Some(fault_kernel_panic()),
+        "fault-checkpoint-io" => Some(fault_checkpoint_io()),
+        "fault-stalled-progress" => Some(fault_stalled_progress()),
+        "fault-budget-exhausted" => Some(fault_budget_exhausted()),
         _ => None,
     }
 }
@@ -225,6 +246,134 @@ fn ckpt_orphan_section() -> Vec<Diagnostic> {
     ckpt::check_snapshot("fixture/ckpt-orphan-section", &bytes)
 }
 
+/// Detect-without-recovering supervisor: every fault quarantines, so the
+/// fixture's injected defect surfaces as exactly its own fault kind.
+fn detect_only() -> SupervisorConfig {
+    SupervisorConfig {
+        policy: RecoveryPolicy::detect_only(),
+        ..SupervisorConfig::default()
+    }
+}
+
+/// Runs the rollback probe benchmark under supervision with a seeded
+/// schedule and renders the fault log as diagnostics.
+fn fault_probe(
+    name: &str,
+    schedule: FaultSchedule,
+    sup: &SupervisorConfig,
+    max_epochs: usize,
+) -> Vec<Diagnostic> {
+    let registry = aibench::Registry::aibench();
+    let benchmark = registry.get("DC-AI-C15").expect("rollback probe benchmark");
+    let config = RunConfig {
+        max_epochs,
+        eval_every: 1,
+        ..RunConfig::default()
+    };
+    let run = supervised_run(benchmark, 2, &config, &schedule, sup);
+    faults::diagnose(name, &run)
+}
+
+/// A training loss replaced by NaN at epoch 2.
+fn fault_non_finite_loss() -> Vec<Diagnostic> {
+    let schedule = FaultSchedule::new(1).inject(2, FaultKind::LossValue { value: f32::NAN });
+    fault_probe(
+        "fixture/fault-non-finite-loss",
+        schedule,
+        &detect_only(),
+        10,
+    )
+}
+
+/// A finite but absurd loss at epoch 3 (after a 1-epoch spike warmup).
+fn fault_loss_spike() -> Vec<Diagnostic> {
+    let schedule = FaultSchedule::new(2).inject(3, FaultKind::LossValue { value: 1e12 });
+    let sup = SupervisorConfig {
+        sentinels: SentinelConfig {
+            loss_spike_warmup: 1,
+            ..SentinelConfig::default()
+        },
+        ..detect_only()
+    };
+    fault_probe("fixture/fault-loss-spike", schedule, &sup, 10)
+}
+
+/// One parameter value poisoned with NaN at epoch 2.
+fn fault_non_finite_param() -> Vec<Diagnostic> {
+    let schedule = FaultSchedule::new(3).inject(2, FaultKind::ParamNan);
+    fault_probe(
+        "fixture/fault-non-finite-param",
+        schedule,
+        &detect_only(),
+        10,
+    )
+}
+
+/// One parameter's gradient blown up to 1e12 at epoch 2.
+fn fault_exploding_grad_norm() -> Vec<Diagnostic> {
+    let schedule = FaultSchedule::new(4).inject(2, FaultKind::GradExplosion { scale: 1e12 });
+    fault_probe(
+        "fixture/fault-exploding-grad-norm",
+        schedule,
+        &detect_only(),
+        10,
+    )
+}
+
+/// A parallel kernel that panics mid-region at epoch 2.
+fn fault_kernel_panic() -> Vec<Diagnostic> {
+    let schedule = FaultSchedule::new(5).inject(2, FaultKind::KernelPanic);
+    fault_probe("fixture/fault-kernel-panic", schedule, &detect_only(), 10)
+}
+
+/// A checkpoint sink whose save at epoch 1 fails (the `FailingSink` test
+/// double), under a schedule that injects nothing itself.
+fn fault_checkpoint_io() -> Vec<Diagnostic> {
+    let registry = aibench::Registry::aibench();
+    let benchmark = registry.get("DC-AI-C15").expect("rollback probe benchmark");
+    let config = RunConfig {
+        max_epochs: 4,
+        eval_every: 1,
+        ..RunConfig::default()
+    };
+    let mut sink = FailingSink::new(MemorySink::new()).fail_save_at(1);
+    let run = supervised_run_with_sink(
+        benchmark,
+        2,
+        &config,
+        &FaultSchedule::empty(),
+        &detect_only(),
+        &mut sink,
+    );
+    faults::diagnose("fixture/fault-checkpoint-io", &run)
+}
+
+/// A frozen quality metric with the stall sentinel opted in.
+fn fault_stalled_progress() -> Vec<Diagnostic> {
+    let schedule = FaultSchedule::new(6).inject_persistent(1, FaultKind::EvalFreeze);
+    let sup = SupervisorConfig {
+        sentinels: SentinelConfig {
+            stall_window: Some(3),
+            ..SentinelConfig::default()
+        },
+        ..detect_only()
+    };
+    fault_probe("fixture/fault-stalled-progress", schedule, &sup, 12)
+}
+
+/// A persistent NaN loss under a rollback policy with an effectively
+/// unlimited recovery cap: the epoch watchdog must end the run.
+fn fault_budget_exhausted() -> Vec<Diagnostic> {
+    let schedule =
+        FaultSchedule::new(7).inject_persistent(2, FaultKind::LossValue { value: f32::NAN });
+    let sup = SupervisorConfig {
+        max_recoveries: 1000,
+        epoch_budget_factor: 1,
+        ..SupervisorConfig::default()
+    };
+    fault_probe("fixture/fault-budget-exhausted", schedule, &sup, 3)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +390,14 @@ mod tests {
             ("ckpt-bit-flip", "ckpt-crc"),
             ("ckpt-version-mismatch", "ckpt-version"),
             ("ckpt-orphan-section", "ckpt-orphan-section"),
+            ("fault-non-finite-loss", "fault-non-finite-loss"),
+            ("fault-loss-spike", "fault-loss-spike"),
+            ("fault-non-finite-param", "fault-non-finite-param"),
+            ("fault-exploding-grad-norm", "fault-exploding-grad-norm"),
+            ("fault-kernel-panic", "fault-kernel-panic"),
+            ("fault-checkpoint-io", "fault-checkpoint-io"),
+            ("fault-stalled-progress", "fault-stalled-progress"),
+            ("fault-budget-exhausted", "fault-budget-exhausted"),
         ];
         for &(fixture, rule) in expected_rules {
             let diags = run(fixture).expect("known fixture");

@@ -19,6 +19,10 @@
 //! * [`ckpt`] — checkpoint lints: snapshot bytes are validated against the
 //!   `aibench-ckpt` wire format (magic, version, checksums, framing), and
 //!   every benchmark's snapshot/restore round-trip must be byte-stable.
+//! * [`faults`] — fault-supervision lints over `aibench-fault`: an empty
+//!   schedule must be bitwise identical to the plain runner, injections
+//!   must replay bit for bit, rollback must skip unreadable snapshots, and
+//!   every fault kind must have a seeded fixture that is detected.
 //!
 //! [`fixtures`] holds seeded-defect inputs proving each rule fires; the
 //! `aibench-check` binary runs everything over the benchmark registry and
@@ -28,6 +32,7 @@
 
 pub mod ckpt;
 pub mod counts;
+pub mod faults;
 pub mod fixtures;
 pub mod shape;
 pub mod tape;

@@ -2,7 +2,7 @@
 //! the full benchmark registry and exits nonzero on any violation.
 //!
 //! ```text
-//! aibench-check [--all | --specs | --traces | --tape | --ckpt]
+//! aibench-check [--all | --specs | --traces | --tape | --ckpt | --faults]
 //!               [--benchmark CODE] [--fixture NAME]
 //! ```
 //!
@@ -10,18 +10,20 @@
 //! * `--traces` kernel classification and conservation lints
 //! * `--tape`   probe one training epoch per scaled model (slow)
 //! * `--ckpt`   snapshot wire-format + restore round-trip byte-stability
+//! * `--faults` supervised-runner contracts: empty-schedule identity,
+//!   injection replay, rollback integrity, fault-kind coverage (slow)
 //! * `--all`    everything above (default)
 //! * `--benchmark CODE` restrict any mode to one benchmark (e.g. DC-AI-C1)
 //! * `--fixture NAME` run one seeded-defect fixture (see `--list-fixtures`);
 //!   exits nonzero because the fixture's defect is detected
 
 use aibench::{Benchmark, Registry};
-use aibench_check::{ckpt, counts, fixtures, shape, tape, trace, CheckReport};
+use aibench_check::{ckpt, counts, faults, fixtures, shape, tape, trace, CheckReport};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: aibench-check [--all | --specs | --traces | --tape | --ckpt] \
+        "usage: aibench-check [--all | --specs | --traces | --tape | --ckpt | --faults] \
          [--benchmark CODE] [--fixture NAME | --list-fixtures]"
     );
     ExitCode::from(2)
@@ -35,7 +37,7 @@ fn main() -> ExitCode {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--all" | "--specs" | "--traces" | "--tape" | "--ckpt" => {
+            "--all" | "--specs" | "--traces" | "--tape" | "--ckpt" | "--faults" => {
                 if mode.replace(arg.clone()).is_some() {
                     return usage();
                 }
@@ -113,6 +115,14 @@ fn main() -> ExitCode {
         for b in &selected {
             report.absorb(ckpt::check_roundtrip(b));
         }
+    }
+    if mode == "--all" || mode == "--faults" {
+        for b in &selected {
+            report.absorb(faults::check_empty_schedule_identity(b));
+            report.absorb(faults::check_injection_replay(b));
+        }
+        report.absorb(faults::check_resume_integrity(&registry));
+        report.absorb(faults::check_fixture_coverage());
     }
 
     for d in &report.diagnostics {

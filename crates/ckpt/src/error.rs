@@ -84,6 +84,17 @@ pub enum CkptError {
         /// What disagreed.
         what: String,
     },
+    /// A sink failed to store or retrieve snapshot bytes (disk full,
+    /// permission denied, injected `FailingSink` fault, …). The message is
+    /// the underlying I/O error's text — `std::io::Error` itself is neither
+    /// `Clone` nor `PartialEq`, so only its description crosses this
+    /// boundary.
+    Io {
+        /// The failed operation (`"save"` / `"load"`) and target.
+        op: String,
+        /// The underlying error's description.
+        what: String,
+    },
 }
 
 impl fmt::Display for CkptError {
@@ -130,6 +141,7 @@ impl fmt::Display for CkptError {
                 write!(f, "malformed at offset {offset}: {what}")
             }
             CkptError::MetaMismatch { what } => write!(f, "metadata mismatch: {what}"),
+            CkptError::Io { op, what } => write!(f, "checkpoint I/O failure during {op}: {what}"),
         }
     }
 }

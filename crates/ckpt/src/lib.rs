@@ -15,7 +15,9 @@
 //!   header + one CRC32-guarded section per subsystem. Single-byte
 //!   corruption anywhere in a file is always detected (property-tested).
 //! * [`CheckpointSink`] — where snapshot bytes go: [`MemorySink`] for tests
-//!   and fault injection, [`DirSink`] for real interrupted runs.
+//!   and fault injection, [`DirSink`] for real interrupted runs, and
+//!   [`FailingSink`] as the scheduled-I/O-failure test double. Storage
+//!   failures surface as typed [`CkptError::Io`] values, never silently.
 //! * [`validate`] — a lint-grade walker that collects *every* defect in a
 //!   byte stream (bad magic, version mismatch, checksum failures,
 //!   truncation, orphan trailing bytes, duplicate sections) instead of
@@ -36,5 +38,5 @@ mod state;
 pub use crc32::crc32;
 pub use error::CkptError;
 pub use format::{validate, SnapshotFile, FORMAT_VERSION, MAGIC};
-pub use sink::{CheckpointSink, DirSink, MemorySink};
+pub use sink::{CheckpointSink, DirSink, FailingSink, MemorySink};
 pub use state::{key, Restore, Snapshot, State, Value};

@@ -1,29 +1,38 @@
 //! Where snapshot bytes live between the save and the (possibly much later)
 //! resume.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+
+use crate::error::CkptError;
 
 /// A store for epoch-indexed snapshots.
 ///
 /// The resumable runner saves through this trait and, on restart, walks
 /// [`CheckpointSink::epochs`] from newest to oldest looking for the latest
 /// snapshot that still validates. Implementations keep whole byte blobs;
-/// integrity is the format's job, not the sink's.
+/// integrity is the format's job, not the sink's — but *availability* is
+/// the sink's job, so storage failures surface as [`CkptError::Io`] instead
+/// of being swallowed. What a failed save or load means (retry, fall back
+/// to an older snapshot, give up) is the caller's policy decision.
 pub trait CheckpointSink {
     /// Stores the snapshot taken at the end of `epoch`, replacing any
-    /// previous bytes for that epoch.
-    fn save(&mut self, epoch: usize, bytes: &[u8]);
+    /// previous bytes for that epoch. A returned error means the bytes are
+    /// *not* durably stored (any previous snapshot for that epoch is left
+    /// untouched where the backend permits).
+    fn save(&mut self, epoch: usize, bytes: &[u8]) -> Result<(), CkptError>;
 
     /// Epochs with a stored snapshot, ascending.
     fn epochs(&self) -> Vec<usize>;
 
-    /// Loads the snapshot for `epoch`, if one is stored.
-    fn load(&self, epoch: usize) -> Option<Vec<u8>>;
+    /// Loads the snapshot for `epoch`. `Ok(None)` means no snapshot is
+    /// stored for that epoch; `Err` means one may exist but could not be
+    /// read back.
+    fn load(&self, epoch: usize) -> Result<Option<Vec<u8>>, CkptError>;
 
-    /// Drops the snapshot for `epoch`, if present.
+    /// Drops the snapshot for `epoch`, if present (best effort).
     fn remove(&mut self, epoch: usize);
 }
 
@@ -50,16 +59,17 @@ impl MemorySink {
 }
 
 impl CheckpointSink for MemorySink {
-    fn save(&mut self, epoch: usize, bytes: &[u8]) {
+    fn save(&mut self, epoch: usize, bytes: &[u8]) -> Result<(), CkptError> {
         self.snapshots.insert(epoch, bytes.to_vec());
+        Ok(())
     }
 
     fn epochs(&self) -> Vec<usize> {
         self.snapshots.keys().copied().collect()
     }
 
-    fn load(&self, epoch: usize) -> Option<Vec<u8>> {
-        self.snapshots.get(&epoch).cloned()
+    fn load(&self, epoch: usize) -> Result<Option<Vec<u8>>, CkptError> {
+        Ok(self.snapshots.get(&epoch).cloned())
     }
 
     fn remove(&mut self, epoch: usize) {
@@ -74,7 +84,10 @@ impl CheckpointSink for MemorySink {
 /// leaves either the old complete file or a `.tmp` the sink ignores, never
 /// a half-written snapshot under the final name. (Even without the rename
 /// the format would catch the truncation — this just keeps the newest
-/// *valid* snapshot newer.)
+/// *valid* snapshot newer.) Every step of that path — create, write, sync,
+/// rename — reports failure as [`CkptError::Io`] so the caller knows the
+/// checkpoint does not exist, rather than discovering a silent gap at
+/// resume time.
 #[derive(Debug, Clone)]
 pub struct DirSink {
     dir: PathBuf,
@@ -102,22 +115,30 @@ impl DirSink {
         let rest = file_name.strip_prefix(&self.prefix)?.strip_prefix("-e")?;
         rest.strip_suffix(".aickpt")?.parse().ok()
     }
+
+    fn io_err(op: &str, path: &Path, e: std::io::Error) -> CkptError {
+        CkptError::Io {
+            op: format!("{op} {}", path.display()),
+            what: e.to_string(),
+        }
+    }
 }
 
 impl CheckpointSink for DirSink {
-    fn save(&mut self, epoch: usize, bytes: &[u8]) {
+    fn save(&mut self, epoch: usize, bytes: &[u8]) -> Result<(), CkptError> {
         let path = self.path_for(epoch);
         let tmp = path.with_extension("aickpt.tmp");
-        // I/O failures surface as a missing snapshot at resume, which the
-        // runner already tolerates; a sink cannot do better than that.
-        let wrote = fs::File::create(&tmp)
+        let write = fs::File::create(&tmp)
             .and_then(|mut f| f.write_all(bytes).and(f.sync_all()))
-            .is_ok();
-        if wrote {
-            let _ = fs::rename(&tmp, &path);
-        } else {
+            .map_err(|e| Self::io_err("save", &tmp, e));
+        if let Err(e) = write {
             let _ = fs::remove_file(&tmp);
+            return Err(e);
         }
+        fs::rename(&tmp, &path).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            Self::io_err("save", &path, e)
+        })
     }
 
     fn epochs(&self) -> Vec<usize> {
@@ -133,12 +154,109 @@ impl CheckpointSink for DirSink {
         out
     }
 
-    fn load(&self, epoch: usize) -> Option<Vec<u8>> {
-        fs::read(self.path_for(epoch)).ok()
+    fn load(&self, epoch: usize) -> Result<Option<Vec<u8>>, CkptError> {
+        let path = self.path_for(epoch);
+        match fs::read(&path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(Self::io_err("load", &path, e)),
+        }
     }
 
     fn remove(&mut self, epoch: usize) {
         let _ = fs::remove_file(self.path_for(epoch));
+    }
+}
+
+/// A wrapper sink that fails on schedule — the I/O-fault test double.
+///
+/// Failures are keyed by epoch and operation: a scheduled save fails
+/// *before* touching the inner sink (the snapshot is lost, as a full disk
+/// would lose it), and a scheduled load fails even though the inner sink
+/// still lists the epoch (as an unreadable sector would). Each scheduled
+/// failure fires every time until the test itself disarms it with
+/// [`FailingSink::clear`]; the supervised runner treats both shapes as
+/// [`CkptError::Io`] faults.
+#[derive(Debug, Clone, Default)]
+pub struct FailingSink<S> {
+    inner: S,
+    fail_saves: BTreeSet<usize>,
+    fail_loads: BTreeSet<usize>,
+    /// Count of injected save failures actually hit.
+    pub saves_failed: usize,
+    /// Count of injected load failures actually hit.
+    pub loads_failed: usize,
+}
+
+impl<S: CheckpointSink> FailingSink<S> {
+    /// Wraps `inner` with an empty failure schedule.
+    pub fn new(inner: S) -> Self {
+        FailingSink {
+            inner,
+            fail_saves: BTreeSet::new(),
+            fail_loads: BTreeSet::new(),
+            saves_failed: 0,
+            loads_failed: 0,
+        }
+    }
+
+    /// Schedules every save for `epoch` to fail.
+    pub fn fail_save_at(mut self, epoch: usize) -> Self {
+        self.fail_saves.insert(epoch);
+        self
+    }
+
+    /// Schedules every load for `epoch` to fail.
+    pub fn fail_load_at(mut self, epoch: usize) -> Self {
+        self.fail_loads.insert(epoch);
+        self
+    }
+
+    /// Clears the failure schedule (the wrapped sink becomes transparent).
+    pub fn clear(&mut self) {
+        self.fail_saves.clear();
+        self.fail_loads.clear();
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped sink (e.g. for corruption tests).
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+}
+
+impl<S: CheckpointSink> CheckpointSink for FailingSink<S> {
+    fn save(&mut self, epoch: usize, bytes: &[u8]) -> Result<(), CkptError> {
+        if self.fail_saves.contains(&epoch) {
+            self.saves_failed += 1;
+            return Err(CkptError::Io {
+                op: format!("save epoch {epoch}"),
+                what: "injected save failure (FailingSink)".to_string(),
+            });
+        }
+        self.inner.save(epoch, bytes)
+    }
+
+    fn epochs(&self) -> Vec<usize> {
+        self.inner.epochs()
+    }
+
+    fn load(&self, epoch: usize) -> Result<Option<Vec<u8>>, CkptError> {
+        if self.fail_loads.contains(&epoch) {
+            return Err(CkptError::Io {
+                op: format!("load epoch {epoch}"),
+                what: "injected load failure (FailingSink)".to_string(),
+            });
+        }
+        self.inner.load(epoch)
+    }
+
+    fn remove(&mut self, epoch: usize) {
+        self.inner.remove(epoch);
     }
 }
 
@@ -149,13 +267,13 @@ mod tests {
     #[test]
     fn memory_sink_round_trips_and_orders_epochs() {
         let mut sink = MemorySink::new();
-        sink.save(10, b"ten");
-        sink.save(5, b"five");
-        sink.save(10, b"ten-again");
+        sink.save(10, b"ten").unwrap();
+        sink.save(5, b"five").unwrap();
+        sink.save(10, b"ten-again").unwrap();
         assert_eq!(sink.epochs(), vec![5, 10]);
-        assert_eq!(sink.load(10).unwrap(), b"ten-again");
-        assert_eq!(sink.load(5).unwrap(), b"five");
-        assert!(sink.load(7).is_none());
+        assert_eq!(sink.load(10).unwrap().unwrap(), b"ten-again");
+        assert_eq!(sink.load(5).unwrap().unwrap(), b"five");
+        assert!(sink.load(7).unwrap().is_none());
         sink.remove(5);
         assert_eq!(sink.epochs(), vec![10]);
     }
@@ -165,16 +283,46 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("aibench-ckpt-test-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         let mut sink = DirSink::new(&dir, "DC-AI-C1").unwrap();
-        sink.save(3, b"abc");
-        sink.save(12, b"def");
+        sink.save(3, b"abc").unwrap();
+        sink.save(12, b"def").unwrap();
         // Foreign files in the same directory must be ignored.
         fs::write(dir.join("notes.txt"), b"x").unwrap();
         fs::write(dir.join("DC-AI-C2-e000001.aickpt"), b"other-run").unwrap();
         assert_eq!(sink.epochs(), vec![3, 12]);
-        assert_eq!(sink.load(3).unwrap(), b"abc");
-        assert_eq!(sink.load(12).unwrap(), b"def");
+        assert_eq!(sink.load(3).unwrap().unwrap(), b"abc");
+        assert_eq!(sink.load(12).unwrap().unwrap(), b"def");
         sink.remove(3);
         assert_eq!(sink.epochs(), vec![12]);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dir_sink_surfaces_save_errors() {
+        // Saving under a path whose parent was removed must report Io, not
+        // silently drop the snapshot.
+        let dir = std::env::temp_dir().join(format!("aibench-ckpt-gone-{}", std::process::id()));
+        let mut sink = DirSink::new(&dir, "X").unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+        match sink.save(1, b"bytes") {
+            Err(CkptError::Io { op, .. }) => assert!(op.starts_with("save")),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failing_sink_fails_on_schedule_and_counts() {
+        let mut sink = FailingSink::new(MemorySink::new())
+            .fail_save_at(2)
+            .fail_load_at(3);
+        sink.save(1, b"one").unwrap();
+        assert!(matches!(sink.save(2, b"two"), Err(CkptError::Io { .. })));
+        sink.save(3, b"three").unwrap();
+        assert_eq!(sink.saves_failed, 1);
+        // Epoch 2 never reached the inner sink.
+        assert_eq!(sink.epochs(), vec![1, 3]);
+        assert!(matches!(sink.load(3), Err(CkptError::Io { .. })));
+        assert_eq!(sink.load(1).unwrap().unwrap(), b"one");
+        sink.clear();
+        assert_eq!(sink.load(3).unwrap().unwrap(), b"three");
     }
 }

@@ -175,50 +175,63 @@ pub fn restore_run(
     Ok((trainer, progress))
 }
 
+/// Walks `sink` from the newest snapshot to the oldest and returns the
+/// first that decodes, matches this run's identity, and restores cleanly,
+/// together with its epoch. Unreadable (I/O error), corrupt, and mismatched
+/// snapshots are skipped in favor of the next older — that fallback *is*
+/// the recovery policy at this layer; callers that need to distinguish a
+/// clean miss from storage trouble (the supervised runner) inspect the sink
+/// themselves.
+pub fn latest_valid_restore(
+    benchmark: &Benchmark,
+    seed: u64,
+    config: &RunConfig,
+    sink: &dyn CheckpointSink,
+) -> Option<(Box<dyn Trainer>, PartialRun, usize)> {
+    for &epoch in sink.epochs().iter().rev() {
+        let Ok(Some(bytes)) = sink.load(epoch) else {
+            continue;
+        };
+        if let Ok((t, p)) = restore_run(benchmark, seed, config, &bytes) {
+            return Some((t, p, epoch));
+        }
+    }
+    None
+}
+
 /// The engine behind the resumable runner: resumes from the newest valid
 /// snapshot in `sink`, trains to the quality target or the epoch cap, and
 /// saves a checkpoint every `config.checkpoint_every` epochs.
 ///
 /// `epoch_budget` simulates a crash: after executing that many epochs *in
-/// this session*, the function returns `None` mid-run — exactly what a
+/// this session*, the function returns `Ok(None)` mid-run — exactly what a
 /// `kill -9` leaves behind, a sink holding whatever checkpoints were saved.
+/// A failed checkpoint *save* surfaces as `Err`: the caller asked for
+/// durable progress and did not get it, which must not look like success.
 fn run_session(
     benchmark: &Benchmark,
     seed: u64,
     config: &RunConfig,
     sink: &mut dyn CheckpointSink,
     epoch_budget: Option<usize>,
-) -> Option<RunResult> {
+) -> Result<Option<RunResult>, CkptError> {
     if let Some(par) = config.parallel {
         par.install();
     }
     let start = Instant::now();
 
-    // Resume: newest snapshot that decodes, matches this run, and restores
-    // cleanly wins; corrupt or mismatched ones are skipped in favor of the
-    // next older.
-    let mut trainer: Option<Box<dyn Trainer>> = None;
-    let mut progress = PartialRun::fresh();
-    let mut resumed_from = None;
-    for &epoch in sink.epochs().iter().rev() {
-        let Some(bytes) = sink.load(epoch) else {
-            continue;
+    let (mut trainer, mut progress, resumed_from) =
+        match latest_valid_restore(benchmark, seed, config, sink) {
+            Some((t, p, epoch)) => (t, p, Some(epoch)),
+            None => (benchmark.build(seed), PartialRun::fresh(), None),
         };
-        if let Ok((t, p)) = restore_run(benchmark, seed, config, &bytes) {
-            trainer = Some(t);
-            progress = p;
-            resumed_from = Some(epoch);
-            break;
-        }
-    }
-    let mut trainer = trainer.unwrap_or_else(|| benchmark.build(seed));
 
     // From here the loop mirrors `run_to_quality` exactly — same call
     // sequence, same eval cadence — so the trajectory is bit-identical.
     // `executed` counts epochs run in *this* session, for the kill budget.
     for (executed, epoch) in (progress.epochs_run + 1..=config.max_epochs).enumerate() {
         if epoch_budget.is_some_and(|budget| executed >= budget) {
-            return None; // simulated kill
+            return Ok(None); // simulated kill
         }
         progress.loss_trace.push(trainer.train_epoch());
         progress.epochs_run = epoch;
@@ -239,11 +252,11 @@ fn run_session(
             sink.save(
                 epoch,
                 &snapshot_run(benchmark, seed, config, &progress, trainer.as_ref()),
-            );
+            )?;
         }
     }
 
-    Some(RunResult {
+    Ok(Some(RunResult {
         code: benchmark.id.code().to_string(),
         seed,
         epochs_run: progress.epochs_run,
@@ -253,7 +266,7 @@ fn run_session(
         final_quality: progress.final_quality,
         wall_seconds: start.elapsed().as_secs_f64(),
         resumed_from,
-    })
+    }))
 }
 
 /// Runs an entire training session like
@@ -265,28 +278,29 @@ fn run_session(
 /// an uninterrupted run with the same benchmark, seed, and config — at any
 /// `AIBENCH_THREADS` setting. Snapshots that fail their checksums (or
 /// belong to a different run) are skipped in favor of older ones; with no
-/// usable snapshot the session starts from scratch.
+/// usable snapshot the session starts from scratch. A checkpoint that
+/// cannot be *written* is an `Err` — durability was requested and lost.
 pub fn run_to_quality_resumable(
     benchmark: &Benchmark,
     seed: u64,
     config: &RunConfig,
     sink: &mut dyn CheckpointSink,
-) -> RunResult {
+) -> Result<RunResult, CkptError> {
     run_session(benchmark, seed, config, sink, None)
-        .expect("a session without an epoch budget always completes")
+        .map(|result| result.expect("a session without an epoch budget always completes"))
 }
 
 /// Runs a resumable session but aborts it — as a crash would — after
 /// `kill_after_epochs` epochs of work in this invocation. Returns the
-/// result only if the session finished before the kill; `None` means the
-/// "process died" and `sink` holds whatever checkpoints were written.
+/// result only if the session finished before the kill; `Ok(None)` means
+/// the "process died" and `sink` holds whatever checkpoints were written.
 pub fn run_until_killed(
     benchmark: &Benchmark,
     seed: u64,
     config: &RunConfig,
     sink: &mut dyn CheckpointSink,
     kill_after_epochs: usize,
-) -> Option<RunResult> {
+) -> Result<Option<RunResult>, CkptError> {
     run_session(benchmark, seed, config, sink, Some(kill_after_epochs))
 }
 
@@ -317,7 +331,7 @@ pub fn fault_injection_run(
     config: &RunConfig,
     sink: &mut dyn CheckpointSink,
     kill_every: usize,
-) -> FaultReport {
+) -> Result<FaultReport, CkptError> {
     assert!(
         config.checkpoint_every >= 1 && kill_every >= config.checkpoint_every,
         "fault injection needs kill_every >= checkpoint_every >= 1 to make progress"
@@ -325,14 +339,14 @@ pub fn fault_injection_run(
     let mut kills = 0;
     let mut resume_points = Vec::new();
     loop {
-        match run_session(benchmark, seed, config, sink, Some(kill_every)) {
+        match run_session(benchmark, seed, config, sink, Some(kill_every))? {
             Some(result) => {
                 resume_points.push(result.resumed_from);
-                return FaultReport {
+                return Ok(FaultReport {
                     result,
                     kills,
                     resume_points,
-                };
+                });
             }
             None => {
                 kills += 1;
@@ -386,7 +400,7 @@ mod tests {
         let config = cfg(3, 0);
         let plain = crate::runner::run_to_quality(b, 1, &config);
         let mut sink = MemorySink::new();
-        let resumable = run_to_quality_resumable(b, 1, &config, &mut sink);
+        let resumable = run_to_quality_resumable(b, 1, &config, &mut sink).unwrap();
         assert!(plain.deterministic_eq(&resumable));
         assert!(sink.epochs().is_empty());
     }

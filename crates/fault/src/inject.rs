@@ -1,0 +1,153 @@
+//! The seeded fault-injection engine: applies one scheduled defect to live
+//! trainer state.
+//!
+//! Victim selection (which parameter, which entry, which bit) is driven by
+//! the schedule's own RNG — independent of the training seed — so the same
+//! `FaultSchedule` corrupts the same locations in every run, which is what
+//! makes supervised runs replayable.
+
+use aibench_models::Trainer;
+use aibench_nn::clip_grad_norm;
+use aibench_tensor::Rng;
+
+use crate::schedule::FaultKind;
+
+/// Applies one pre-step corruption to the trainer's parameters or
+/// gradients. Non-pre-step kinds are handled at their interception points
+/// by the supervisor and are ignored here.
+pub(crate) fn corrupt(trainer: &dyn Trainer, rng: &mut Rng, kind: FaultKind) {
+    let params = trainer.params();
+    if params.is_empty() {
+        return;
+    }
+    let victim = &params[rng.below(params.len())];
+    if victim.is_empty() {
+        return;
+    }
+    let index = rng.below(victim.len());
+    match kind {
+        FaultKind::GradNan => {
+            victim.grad_mut().data_mut()[index] = f32::NAN;
+        }
+        FaultKind::GradExplosion { scale } => {
+            victim.grad_mut().map_inplace(|_| scale);
+        }
+        FaultKind::ParamNan => {
+            victim.value_mut().data_mut()[index] = f32::NAN;
+        }
+        FaultKind::ParamBitFlip { bit } => {
+            let mut value = victim.value_mut();
+            let slot = &mut value.data_mut()[index];
+            *slot = f32::from_bits(slot.to_bits() ^ (1u32 << u32::from(bit.min(31))));
+        }
+        _ => {}
+    }
+}
+
+/// A deliberately faulty kernel: runs a parallel region whose middle chunk
+/// panics, exercising worker-pool panic propagation back to the caller.
+/// Chunk boundaries depend only on the problem size, so the panic fires
+/// deterministically at any thread count.
+pub(crate) fn faulty_kernel(epoch: usize) {
+    let mut buffer = vec![0.0f32; 1024];
+    aibench_parallel::parallel_slice_mut(&mut buffer, 128, |range, piece| {
+        if range.start == 512 {
+            // `resume_unwind` raises the panic without running the global
+            // panic hook: the fault is expected and caught one frame up,
+            // so it must not spray a backtrace onto stderr.
+            std::panic::resume_unwind(Box::new(format!("injected kernel fault at epoch {epoch}")));
+        }
+        piece.fill(1.0);
+    });
+}
+
+/// Zeroes every non-finite gradient entry and clips the global norm to
+/// `clip_norm`. Returns the number of entries zeroed.
+pub(crate) fn sanitize_grads(trainer: &dyn Trainer, clip_norm: f32) -> usize {
+    let params = trainer.params();
+    let mut zeroed = 0usize;
+    for p in &params {
+        for g in p.grad_mut().data_mut() {
+            if !g.is_finite() {
+                *g = 0.0;
+                zeroed += 1;
+            }
+        }
+    }
+    clip_grad_norm(&params, clip_norm);
+    zeroed
+}
+
+/// Renders a `catch_unwind` payload into a readable message.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aibench::Registry;
+
+    #[test]
+    fn grad_nan_corruption_is_seed_deterministic() {
+        let registry = Registry::aibench();
+        let b = registry.get("DC-AI-C15").unwrap();
+        let find_nan = |seed: u64| {
+            let trainer = b.build(1);
+            let mut rng = Rng::seed_from(seed);
+            corrupt(trainer.as_ref(), &mut rng, FaultKind::GradNan);
+            trainer
+                .params()
+                .iter()
+                .enumerate()
+                .flat_map(|(pi, p)| {
+                    let g = p.grad();
+                    let hits: Vec<(usize, usize)> = g
+                        .data()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, x)| x.is_nan())
+                        .map(|(ei, _)| (pi, ei))
+                        .collect();
+                    hits
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = find_nan(3);
+        assert_eq!(a.len(), 1, "exactly one poisoned entry");
+        assert_eq!(a, find_nan(3), "same schedule seed, same victim");
+    }
+
+    #[test]
+    fn sanitize_zeroes_nans_and_clips() {
+        let registry = Registry::aibench();
+        let b = registry.get("DC-AI-C15").unwrap();
+        let trainer = b.build(1);
+        let params = trainer.params();
+        params[0].grad_mut().data_mut()[0] = f32::NAN;
+        params[0].grad_mut().data_mut()[1] = 1e20;
+        let zeroed = sanitize_grads(trainer.as_ref(), 1.0);
+        assert_eq!(zeroed, 1);
+        let mut sq = 0.0f64;
+        for p in &params {
+            for &g in p.grad().data() {
+                assert!(g.is_finite());
+                sq += f64::from(g) * f64::from(g);
+            }
+        }
+        assert!(sq.sqrt() <= 1.0 + 1e-3);
+    }
+
+    #[test]
+    fn faulty_kernel_panics_and_is_catchable() {
+        let caught =
+            std::panic::catch_unwind(|| faulty_kernel(7)).expect_err("the kernel must panic");
+        assert!(panic_message(&*caught).contains("epoch 7"));
+    }
+}

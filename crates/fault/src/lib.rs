@@ -1,0 +1,47 @@
+//! `aibench-fault`: supervised suite execution with a typed failure
+//! taxonomy, numeric sentinels, seeded fault injection, and deterministic
+//! recovery.
+//!
+//! The supervisor wraps the training loop of
+//! [`run_to_quality`](aibench::runner::run_to_quality) in four layers:
+//!
+//! * **Taxonomy** ([`TrainFault`]) — every way a training session fails,
+//!   as typed values carrying logical epochs, never wall-clock time.
+//! * **Sentinels** ([`SentinelConfig`]) — cheap read-only checks around
+//!   each step: parameter/gradient finiteness, gradient-norm limits, loss
+//!   spikes, and (opt-in) stalled quality progress. Their overhead is
+//!   measured by the `ablation_fault` bench.
+//! * **Injection** ([`FaultSchedule`]) — a seeded, deterministic plan of
+//!   defects: NaN-poisoned gradients, parameter bit flips, panicking
+//!   kernels, failing checkpoint saves, frozen evaluations. Same schedule,
+//!   same damage, every run.
+//! * **Recovery** ([`RecoveryPolicy`]) — deterministic responses: skip the
+//!   poisoned step with gradient sanitizing, roll back to the last valid
+//!   snapshot with a learning-rate reduction, degrade to single-threaded
+//!   execution, retry checkpoint saves with logical-epoch backoff, and
+//!   quarantine when retrying stops making sense.
+//!
+//! The whole stack preserves the workspace's core invariant: same seed +
+//! same schedule ⇒ bitwise-identical [`SupervisedRun`], at any thread
+//! count, and an *empty* schedule is bitwise identical to the unsupervised
+//! runner.
+
+#![deny(missing_docs)]
+
+mod inject;
+pub mod policy;
+pub mod schedule;
+pub mod sentinel;
+pub mod suite;
+pub mod supervisor;
+pub mod taxonomy;
+
+pub use inject::panic_message;
+pub use policy::{RecoveryAction, RecoveryPolicy};
+pub use schedule::{FaultKind, FaultSchedule, Injection};
+pub use sentinel::SentinelConfig;
+pub use suite::{run_suite, SuiteEntry, SuitePlan, SuiteReport};
+pub use supervisor::{
+    supervised_run, supervised_run_with_sink, Outcome, SupervisedRun, SupervisorConfig,
+};
+pub use taxonomy::{ActionTaken, FaultEvent, TrainFault};

@@ -1,0 +1,179 @@
+//! Deterministic fault schedules: *what* to inject, *when* (logical
+//! epochs), and whether the defect is transient or persistent.
+//!
+//! A schedule is pure data and is never mutated by a run — the supervisor
+//! tracks which one-shot entries have fired in its own state, so the same
+//! `FaultSchedule` value can drive any number of runs and every one of them
+//! observes the identical injection sequence.
+
+use aibench_tensor::Rng;
+
+/// One kind of injectable defect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Poison one gradient entry with NaN (picked by the schedule's RNG).
+    GradNan,
+    /// Overwrite one parameter's gradient with a huge constant.
+    GradExplosion {
+        /// The value every gradient entry is set to.
+        scale: f32,
+    },
+    /// Poison one parameter *value* entry with NaN.
+    ParamNan,
+    /// Flip one bit of one parameter value (entry and parameter picked by
+    /// the schedule's RNG).
+    ParamBitFlip {
+        /// Which bit of the f32 representation to flip (0 = LSB of the
+        /// mantissa, 30 = top exponent bit).
+        bit: u8,
+    },
+    /// Replace the epoch's reported training loss with `value` (use NaN for
+    /// a non-finite loss, a huge finite value for a spike).
+    LossValue {
+        /// The substituted loss.
+        value: f32,
+    },
+    /// Panic inside a parallel kernel region during the training step.
+    KernelPanic,
+    /// Fail the checkpoint save due at this epoch.
+    SaveFail,
+    /// During the next rollback at or after this epoch, treat the newest
+    /// snapshot as unreadable (exercises the fall-back-to-older path).
+    LoadFail,
+    /// Freeze the quality metric: evaluations at firing epochs report the
+    /// value first observed under the freeze (persistent entries simulate a
+    /// permanently stalled run).
+    EvalFreeze,
+}
+
+impl FaultKind {
+    /// Whether the injection corrupts trainer state before the step (as
+    /// opposed to intercepting the step, evaluation, or checkpointing).
+    pub fn is_pre_step(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::GradNan
+                | FaultKind::GradExplosion { .. }
+                | FaultKind::ParamNan
+                | FaultKind::ParamBitFlip { .. }
+        )
+    }
+}
+
+/// One scheduled injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Injection {
+    /// The 1-based logical epoch the defect first applies at.
+    pub epoch: usize,
+    /// What to inject.
+    pub kind: FaultKind,
+    /// `false`: fires exactly once (at `epoch`, consumed even if the run
+    /// later re-executes that epoch after a rollback — a transient fault).
+    /// `true`: fires at *every* epoch `>= epoch` — a persistent defect no
+    /// amount of retrying escapes.
+    pub persistent: bool,
+}
+
+/// A deterministic injection plan for one supervised run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    /// Seeds the RNG that picks injection victims (which parameter, which
+    /// entry, which bit). Independent of the training seed.
+    pub seed: u64,
+    /// The scheduled injections.
+    pub injections: Vec<Injection>,
+}
+
+impl FaultSchedule {
+    /// The empty schedule: a supervised run under it is bitwise identical
+    /// to an unsupervised one.
+    pub fn empty() -> Self {
+        FaultSchedule {
+            seed: 0,
+            injections: Vec::new(),
+        }
+    }
+
+    /// A schedule with no injections yet, drawing victims from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultSchedule {
+            seed,
+            injections: Vec::new(),
+        }
+    }
+
+    /// Adds a one-shot injection at `epoch`.
+    pub fn inject(mut self, epoch: usize, kind: FaultKind) -> Self {
+        self.injections.push(Injection {
+            epoch,
+            kind,
+            persistent: false,
+        });
+        self
+    }
+
+    /// Adds a persistent injection firing at every epoch `>= epoch`.
+    pub fn inject_persistent(mut self, epoch: usize, kind: FaultKind) -> Self {
+        self.injections.push(Injection {
+            epoch,
+            kind,
+            persistent: true,
+        });
+        self
+    }
+
+    /// Whether the schedule injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.injections.is_empty()
+    }
+
+    /// Generates `count` one-shot injections at seeded epochs in
+    /// `1..=max_epoch`, cycling through the recoverable kinds — a quick way
+    /// to build property-test corpora.
+    pub fn seeded(seed: u64, max_epoch: usize, count: usize) -> Self {
+        let mut rng = Rng::seed_from(seed ^ 0x5eed_fa17);
+        let mut schedule = FaultSchedule::new(seed);
+        for i in 0..count {
+            let epoch = 1 + rng.below(max_epoch.max(1));
+            let kind = match i % 5 {
+                0 => FaultKind::GradNan,
+                1 => FaultKind::GradExplosion { scale: 1e12 },
+                2 => FaultKind::ParamNan,
+                3 => FaultKind::LossValue { value: f32::NAN },
+                _ => FaultKind::SaveFail,
+            };
+            schedule = schedule.inject(epoch, kind);
+        }
+        schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_in_order() {
+        let s = FaultSchedule::new(7)
+            .inject(3, FaultKind::GradNan)
+            .inject_persistent(5, FaultKind::KernelPanic);
+        assert_eq!(s.injections.len(), 2);
+        assert!(!s.injections[0].persistent);
+        assert!(s.injections[1].persistent);
+        assert!(!s.is_empty());
+        assert!(FaultSchedule::empty().is_empty());
+    }
+
+    #[test]
+    fn seeded_schedules_are_reproducible() {
+        let a = FaultSchedule::seeded(11, 10, 6);
+        let b = FaultSchedule::seeded(11, 10, 6);
+        // Compare rendered forms: schedules may carry NaN payloads, which
+        // derived float equality treats as unequal.
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(a.injections.len(), 6);
+        assert!(a.injections.iter().all(|i| (1..=10).contains(&i.epoch)));
+        let c = FaultSchedule::seeded(12, 10, 6);
+        assert_ne!(format!("{a:?}"), format!("{c:?}"));
+    }
+}

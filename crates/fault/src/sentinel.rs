@@ -1,0 +1,206 @@
+//! Numeric sentinels: cheap read-only checks the supervisor runs around
+//! every training step.
+//!
+//! Sentinels only *read* trainer state (parameter values, gradients, the
+//! loss trace), so enabling them never perturbs the training trajectory —
+//! a supervised run under an empty fault schedule stays bitwise identical
+//! to an unsupervised one. Their cost is measured by the `ablation_fault`
+//! bench.
+
+use aibench::QualityTarget;
+use aibench_models::Trainer;
+
+use crate::taxonomy::TrainFault;
+
+/// Sentinel thresholds.
+///
+/// Defaults are deliberately loose: a healthy run on any registered
+/// benchmark never trips them, so every firing is a genuine anomaly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SentinelConfig {
+    /// Scan parameter values for NaN/Inf before each step.
+    pub params_finite: bool,
+    /// Global gradient L2-norm limit (`0.0` disables the norm check; a
+    /// non-finite norm always fires when the scan is enabled).
+    pub grad_norm_limit: f32,
+    /// A loss is a spike when it exceeds `loss_spike_factor` times the best
+    /// recent loss magnitude (`0.0` disables).
+    pub loss_spike_factor: f32,
+    /// Epochs to wait before spike detection arms (early losses are noisy).
+    pub loss_spike_warmup: usize,
+    /// Declare a stall after this many evaluations without improvement.
+    /// `None` (the default) disables stall detection — runs that legitimately
+    /// plateau below target should end as `MissedTarget`, not be killed.
+    pub stall_window: Option<usize>,
+}
+
+impl Default for SentinelConfig {
+    fn default() -> Self {
+        SentinelConfig {
+            params_finite: true,
+            grad_norm_limit: 1e8,
+            loss_spike_factor: 1e4,
+            loss_spike_warmup: 3,
+            stall_window: None,
+        }
+    }
+}
+
+impl SentinelConfig {
+    /// All sentinels disabled — detection then rests on injections and
+    /// panics only. Used to isolate sentinel cost in the ablation.
+    pub fn off() -> Self {
+        SentinelConfig {
+            params_finite: false,
+            grad_norm_limit: 0.0,
+            loss_spike_factor: 0.0,
+            loss_spike_warmup: 0,
+            stall_window: None,
+        }
+    }
+}
+
+/// Pre-step scan: parameter finiteness, then the global gradient norm.
+/// Read-only; returns the first fault found.
+pub fn check_params(
+    trainer: &dyn Trainer,
+    config: &SentinelConfig,
+    epoch: usize,
+) -> Option<TrainFault> {
+    if !config.params_finite && config.grad_norm_limit <= 0.0 {
+        return None;
+    }
+    let params = trainer.params();
+    if config.params_finite {
+        for p in &params {
+            if p.value().data().iter().any(|x| !x.is_finite()) {
+                return Some(TrainFault::NonFiniteParam {
+                    epoch,
+                    param: p.name(),
+                });
+            }
+        }
+    }
+    if config.grad_norm_limit > 0.0 {
+        let mut sq = 0.0f64;
+        for p in &params {
+            for &g in p.grad().data() {
+                sq += f64::from(g) * f64::from(g);
+            }
+        }
+        let norm = sq.sqrt() as f32;
+        if !norm.is_finite() || norm > config.grad_norm_limit {
+            return Some(TrainFault::ExplodingGradNorm {
+                epoch,
+                norm,
+                limit: config.grad_norm_limit,
+            });
+        }
+    }
+    None
+}
+
+/// Post-step loss check: finiteness, then spike-vs-recent-baseline.
+/// `history` is the loss trace *before* this epoch's entry.
+pub fn check_loss(
+    loss: f32,
+    epoch: usize,
+    history: &[f32],
+    config: &SentinelConfig,
+) -> Option<TrainFault> {
+    if !loss.is_finite() {
+        return Some(TrainFault::NonFiniteLoss { epoch, loss });
+    }
+    if config.loss_spike_factor > 0.0 && epoch > config.loss_spike_warmup && !history.is_empty() {
+        // Baseline: the smallest loss magnitude in the last five epochs,
+        // floored so a fully converged (near-zero loss) run does not turn
+        // ordinary jitter into "spikes".
+        let baseline = history
+            .iter()
+            .rev()
+            .take(5)
+            .map(|l| l.abs())
+            .fold(f32::INFINITY, f32::min);
+        if baseline.is_finite() && loss.abs() > config.loss_spike_factor * baseline.max(1e-3) {
+            return Some(TrainFault::LossSpike {
+                epoch,
+                loss,
+                baseline,
+            });
+        }
+    }
+    None
+}
+
+/// Stall check over the quality trace: fires when none of the last `window`
+/// evaluations improved on the best quality seen before them.
+pub fn check_stall(
+    target: &QualityTarget,
+    quality_trace: &[(usize, f64)],
+    window: usize,
+    epoch: usize,
+) -> Option<TrainFault> {
+    let window = window.max(1);
+    if quality_trace.len() <= window {
+        return None;
+    }
+    let split = quality_trace.len() - window;
+    let (before, recent) = quality_trace.split_at(split);
+    let mut best = before[0].1;
+    for &(_, q) in &before[1..] {
+        if target.better(q, best) {
+            best = q;
+        }
+    }
+    if recent.iter().any(|&(_, q)| target.better(q, best)) {
+        return None;
+    }
+    Some(TrainFault::StalledProgress {
+        epoch,
+        window,
+        best,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_sentinel_flags_nan_and_spike() {
+        let cfg = SentinelConfig::default();
+        assert!(matches!(
+            check_loss(f32::NAN, 1, &[], &cfg),
+            Some(TrainFault::NonFiniteLoss { .. })
+        ));
+        let history = [0.9, 0.5, 0.4, 0.35];
+        assert!(check_loss(0.34, 5, &history, &cfg).is_none());
+        assert!(matches!(
+            check_loss(1e9, 5, &history, &cfg),
+            Some(TrainFault::LossSpike { .. })
+        ));
+        // Inside the warmup, spikes pass.
+        assert!(check_loss(1e9, 2, &[0.9], &cfg).is_none());
+        // Near-zero baselines are floored, jitter is not a spike.
+        assert!(check_loss(0.5, 9, &[1e-9, 1e-9, 1e-9, 1e-9], &cfg).is_none());
+    }
+
+    #[test]
+    fn stall_fires_only_after_a_full_flat_window() {
+        let target = QualityTarget::at_least(0.9);
+        let trace = [(1, 0.2), (2, 0.4), (3, 0.4), (4, 0.4), (5, 0.4)];
+        assert!(check_stall(&target, &trace[..3], 3, 3).is_none());
+        assert!(check_stall(&target, &trace, 3, 5).is_some());
+        let improving = [(1, 0.2), (2, 0.4), (3, 0.4), (4, 0.5), (5, 0.6)];
+        assert!(check_stall(&target, &improving, 3, 5).is_none());
+    }
+
+    #[test]
+    fn lower_better_stall_respects_direction() {
+        let target = QualityTarget::at_most(0.1);
+        let worsening = [(1, 0.5), (2, 0.5), (3, 0.5), (4, 0.6)];
+        assert!(check_stall(&target, &worsening, 2, 4).is_some());
+        let improving = [(1, 0.5), (2, 0.5), (3, 0.4), (4, 0.3)];
+        assert!(check_stall(&target, &improving, 2, 4).is_none());
+    }
+}

@@ -1,0 +1,766 @@
+//! The supervised training loop: runs one benchmark to its quality target
+//! under numeric sentinels, scheduled fault injection, and deterministic
+//! recovery policies.
+//!
+//! # Determinism contract
+//!
+//! Same seed + same [`FaultSchedule`] ⇒ the same [`SupervisedRun`], bit for
+//! bit ([`SupervisedRun::deterministic_eq`]), at any thread count. Under an
+//! empty schedule the supervised result is bitwise identical to the plain
+//! runner's ([`run_to_quality`](aibench::runner::run_to_quality)): the
+//! sentinels only read state, the step guard only wraps calls, and snapshots
+//! are proven side-effect-free by the resumable-training test suite.
+//!
+//! Every recovery decision is keyed on *logical* epochs — retry backoff,
+//! stall windows, and the watchdog budget count steps, never wall-clock
+//! time — so the recovery sequence itself replays identically.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use aibench::ckpt::{restore_run, snapshot_run, PartialRun};
+use aibench::registry::Benchmark;
+use aibench::runner::{RunConfig, RunResult};
+use aibench_ckpt::{CheckpointSink, CkptError, MemorySink};
+use aibench_models::Trainer;
+use aibench_tensor::Rng;
+
+use crate::inject;
+use crate::policy::{RecoveryAction, RecoveryPolicy};
+use crate::schedule::{FaultKind, FaultSchedule};
+use crate::sentinel::{self, SentinelConfig};
+use crate::taxonomy::{ActionTaken, FaultEvent, TrainFault};
+
+/// Supervisor configuration: sentinels, recovery policy, and the rollback
+/// snapshot cadence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Sentinel thresholds.
+    pub sentinels: SentinelConfig,
+    /// Fault-to-action mapping.
+    pub policy: RecoveryPolicy,
+    /// Save a rollback snapshot every this many epochs (`0` disables
+    /// snapshots — every rollback then restarts from scratch).
+    pub snapshot_every: usize,
+    /// Recoveries tolerated before the run is quarantined.
+    pub max_recoveries: usize,
+    /// Watchdog: the run may execute at most
+    /// `epoch_budget_factor * max_epochs + 8` epochs including re-runs
+    /// after rollbacks; exceeding it quarantines with
+    /// [`TrainFault::BudgetExhausted`].
+    pub epoch_budget_factor: usize,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            sentinels: SentinelConfig::default(),
+            policy: RecoveryPolicy::default(),
+            snapshot_every: 1,
+            max_recoveries: 8,
+            epoch_budget_factor: 4,
+        }
+    }
+}
+
+/// How a supervised run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Reached the quality target with no recoveries.
+    Converged,
+    /// Reached the quality target after `attempts` recoveries.
+    Recovered {
+        /// Number of recovery actions taken on the way.
+        attempts: usize,
+    },
+    /// Exhausted `max_epochs` without reaching the target (no fault ended
+    /// the run — it just did not get there).
+    MissedTarget,
+    /// The supervisor stopped retrying: the terminal fault.
+    Quarantined {
+        /// The fault that ended the run.
+        fault: TrainFault,
+    },
+}
+
+impl Outcome {
+    /// Stable outcome name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Outcome::Converged => "converged",
+            Outcome::Recovered { .. } => "recovered",
+            Outcome::MissedTarget => "missed-target",
+            Outcome::Quarantined { .. } => "quarantined",
+        }
+    }
+
+    /// Whether the run reached its quality target.
+    pub fn reached_target(&self) -> bool {
+        matches!(self, Outcome::Converged | Outcome::Recovered { .. })
+    }
+
+    /// NaN-stable signature (`recovered:2`, `quarantined:kernel-panic`, …).
+    pub fn signature(&self) -> String {
+        match self {
+            Outcome::Converged => "converged".to_string(),
+            Outcome::Recovered { attempts } => format!("recovered:{attempts}"),
+            Outcome::MissedTarget => "missed-target".to_string(),
+            Outcome::Quarantined { fault } => format!("quarantined:{}", fault.kind()),
+        }
+    }
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Outcome::Converged => write!(f, "converged"),
+            Outcome::Recovered { attempts } => write!(f, "recovered ({attempts} recoveries)"),
+            Outcome::MissedTarget => write!(f, "missed target"),
+            Outcome::Quarantined { fault } => write!(f, "quarantined: {fault}"),
+        }
+    }
+}
+
+/// The complete record of one supervised training session.
+#[derive(Debug, Clone)]
+pub struct SupervisedRun {
+    /// The training result (whatever trajectory survived recovery).
+    pub result: RunResult,
+    /// How the session ended.
+    pub outcome: Outcome,
+    /// Every fault detected, with the action taken, in detection order.
+    pub faults: Vec<FaultEvent>,
+    /// Total recovery actions taken.
+    pub recoveries: usize,
+    /// Epochs executed including re-runs after rollbacks (`>=
+    /// result.epochs_run`; the difference is the work recovery repeated).
+    pub epochs_executed: usize,
+    /// Whether execution was degraded to a single thread along the way.
+    pub degraded_serial: bool,
+}
+
+impl SupervisedRun {
+    /// Deterministic signature of the fault log (`"clean"` when empty).
+    /// Built from kinds and epochs only, so it is total even when fault
+    /// payloads carry NaN.
+    pub fn fault_signature(&self) -> String {
+        if self.faults.is_empty() {
+            return "clean".to_string();
+        }
+        let parts: Vec<String> = self.faults.iter().map(|e| e.signature()).collect();
+        parts.join(";")
+    }
+
+    /// Bitwise-determinism equality: the training result (floats compared
+    /// by bit pattern), the outcome, and the full fault/recovery sequence
+    /// must all match. Wall time is excluded.
+    pub fn deterministic_eq(&self, other: &SupervisedRun) -> bool {
+        self.result.deterministic_eq(&other.result)
+            && self.outcome.signature() == other.outcome.signature()
+            && self.recoveries == other.recoveries
+            && self.epochs_executed == other.epochs_executed
+            && self.fault_signature() == other.fault_signature()
+    }
+}
+
+/// What the loop does after a fault was handled.
+enum Flow {
+    /// The damage was repaired in place; the epoch proceeds.
+    Proceed,
+    /// State was rolled back; restart the loop at the (earlier) next epoch.
+    Restart,
+    /// The run is quarantined; stop.
+    Stop,
+}
+
+struct Supervisor<'a> {
+    benchmark: &'a Benchmark,
+    seed: u64,
+    config: &'a RunConfig,
+    schedule: &'a FaultSchedule,
+    sup: &'a SupervisorConfig,
+    sink: &'a mut dyn CheckpointSink,
+    rng: Rng,
+    /// Which one-shot schedule entries have fired.
+    fired: Vec<bool>,
+    trainer: Box<dyn Trainer>,
+    progress: PartialRun,
+    faults: Vec<FaultEvent>,
+    recoveries: usize,
+    executed: usize,
+    budget: usize,
+    degraded_serial: bool,
+    quarantined: Option<TrainFault>,
+    frozen_quality: Option<f64>,
+    /// Pending checkpoint-save retry: `(retry_epoch, attempt)`.
+    save_retry: Option<(usize, usize)>,
+    ckpt_abandoned: bool,
+}
+
+impl<'a> Supervisor<'a> {
+    /// Handles one detected fault per the policy. `pre_step` is true when
+    /// the fault was caught before the training step consumed any state —
+    /// the only point where in-place gradient sanitizing is sound; the
+    /// supervisor coerces sanitize (and misplaced save-retry) actions to a
+    /// rollback everywhere else.
+    fn handle(&mut self, fault: TrainFault, pre_step: bool) -> Flow {
+        let mut action = self.sup.policy.action_for(&fault);
+        match action {
+            RecoveryAction::SkipAndSanitize { .. } if !pre_step => {
+                action = RecoveryAction::Rollback { lr_factor: 0.5 };
+            }
+            RecoveryAction::RetrySave { .. } => {
+                action = RecoveryAction::Rollback { lr_factor: 1.0 };
+            }
+            _ => {}
+        }
+        if !matches!(action, RecoveryAction::Quarantine)
+            && self.recoveries >= self.sup.max_recoveries
+        {
+            return self.quarantine(fault);
+        }
+        match action {
+            RecoveryAction::Quarantine => self.quarantine(fault),
+            RecoveryAction::SkipAndSanitize { clip_norm } => {
+                let zeroed = inject::sanitize_grads(self.trainer.as_ref(), clip_norm);
+                self.recoveries += 1;
+                self.faults.push(FaultEvent {
+                    fault,
+                    action: ActionTaken::SanitizedGrads {
+                        zeroed,
+                        clipped_to: clip_norm,
+                    },
+                });
+                Flow::Proceed
+            }
+            RecoveryAction::Rollback { lr_factor } => {
+                self.rollback(fault, lr_factor, false);
+                Flow::Restart
+            }
+            RecoveryAction::RollbackSerial { lr_factor } => {
+                aibench_parallel::set_threads(1);
+                self.degraded_serial = true;
+                self.rollback(fault, lr_factor, true);
+                Flow::Restart
+            }
+            RecoveryAction::RetrySave { .. } => unreachable!("coerced to Rollback above"),
+        }
+    }
+
+    fn quarantine(&mut self, fault: TrainFault) -> Flow {
+        self.faults.push(FaultEvent {
+            fault: fault.clone(),
+            action: ActionTaken::Quarantined,
+        });
+        self.quarantined = Some(fault);
+        Flow::Stop
+    }
+
+    /// Restores the newest valid snapshot (scratch if none survives),
+    /// scales the learning rate, and records the event. Snapshots that are
+    /// unreadable or fail their checksums are skipped in favor of older
+    /// ones — recovery never resumes from corrupt state. A scheduled
+    /// `LoadFail` injection makes the newest snapshot unreadable for this
+    /// rollback, forcing the fall-back path.
+    fn rollback(&mut self, fault: TrainFault, lr_factor: f32, serial: bool) {
+        let at_epoch = fault.epoch();
+        let mut skip_newest = false;
+        for (i, inj) in self.schedule.injections.iter().enumerate() {
+            if matches!(inj.kind, FaultKind::LoadFail) && at_epoch >= inj.epoch {
+                if inj.persistent {
+                    skip_newest = true;
+                } else if !self.fired[i] {
+                    self.fired[i] = true;
+                    skip_newest = true;
+                }
+            }
+        }
+        let mut restored: Option<(Box<dyn Trainer>, PartialRun, usize)> = None;
+        for (slot, &epoch) in self.sink.epochs().iter().rev().enumerate() {
+            if slot == 0 && skip_newest {
+                continue;
+            }
+            let Ok(Some(bytes)) = self.sink.load(epoch) else {
+                continue;
+            };
+            if let Ok((t, p)) = restore_run(self.benchmark, self.seed, self.config, &bytes) {
+                restored = Some((t, p, epoch));
+                break;
+            }
+        }
+        let to_epoch = match restored {
+            Some((trainer, progress, epoch)) => {
+                self.trainer = trainer;
+                self.progress = progress;
+                Some(epoch)
+            }
+            None => {
+                self.trainer = self.benchmark.build(self.seed);
+                self.progress = PartialRun::fresh();
+                None
+            }
+        };
+        // Restore reset the learning rate to the snapshotted value; apply
+        // the reduction on top so the retried trajectory cools down.
+        // Snapshots taken later bake the reduction in, so repeated
+        // rollbacks compound.
+        self.trainer.scale_lr(lr_factor);
+        self.save_retry = None;
+        self.recoveries += 1;
+        self.faults.push(FaultEvent {
+            fault,
+            action: ActionTaken::RolledBack {
+                to_epoch,
+                lr_factor,
+                serial,
+            },
+        });
+    }
+
+    /// Saves a rollback snapshot when the cadence (or a pending retry) says
+    /// so, turning save failures — injected or real — into checkpoint-I/O
+    /// faults with deterministic, logical-epoch backoff.
+    fn maybe_save(&mut self, epoch: usize, injected_fail: bool) -> Flow {
+        if self.ckpt_abandoned || self.sup.snapshot_every == 0 {
+            return Flow::Proceed;
+        }
+        let due_cadence = epoch.is_multiple_of(self.sup.snapshot_every);
+        let due_retry = self.save_retry.is_some_and(|(at, _)| epoch >= at);
+        if !due_cadence && !due_retry {
+            return Flow::Proceed;
+        }
+        let bytes = snapshot_run(
+            self.benchmark,
+            self.seed,
+            self.config,
+            &self.progress,
+            self.trainer.as_ref(),
+        );
+        let saved = if injected_fail {
+            Err(CkptError::Io {
+                op: "save".to_string(),
+                what: "injected sink failure".to_string(),
+            })
+        } else {
+            self.sink.save(epoch, &bytes)
+        };
+        let Err(err) = saved else {
+            self.save_retry = None;
+            return Flow::Proceed;
+        };
+        let fault = TrainFault::CheckpointIo {
+            epoch,
+            error: err.to_string(),
+        };
+        let RecoveryAction::RetrySave {
+            backoff_epochs,
+            max_attempts,
+        } = self.sup.policy.checkpoint_io
+        else {
+            return self.handle(fault, false);
+        };
+        if self.recoveries >= self.sup.max_recoveries {
+            return self.quarantine(fault);
+        }
+        self.recoveries += 1;
+        let attempt = self.save_retry.map_or(1, |(_, a)| a + 1);
+        if attempt > max_attempts {
+            self.faults.push(FaultEvent {
+                fault,
+                action: ActionTaken::AbandonedCheckpointing,
+            });
+            self.ckpt_abandoned = true;
+            self.save_retry = None;
+        } else {
+            // Doubling backoff in logical epochs, capped so the retry stays
+            // within a short horizon.
+            let delay = backoff_epochs.max(1) << (attempt - 1).min(4);
+            let retry_epoch = epoch + delay;
+            self.faults.push(FaultEvent {
+                fault,
+                action: ActionTaken::RetriedSave {
+                    retry_epoch,
+                    attempt,
+                },
+            });
+            self.save_retry = Some((retry_epoch, attempt));
+        }
+        Flow::Proceed
+    }
+
+    fn run(mut self, start: Instant) -> SupervisedRun {
+        'session: while self.progress.epochs_run < self.config.max_epochs {
+            let epoch = self.progress.epochs_run + 1;
+            self.executed += 1;
+            if self.executed > self.budget {
+                let fault = TrainFault::BudgetExhausted {
+                    executed: self.executed,
+                    budget: self.budget,
+                };
+                self.quarantine(fault);
+                break 'session;
+            }
+
+            // Scheduled injections due this epoch. One-shot entries are
+            // consumed even if recovery re-runs this epoch (a transient
+            // fault does not recur); persistent entries re-fire every time.
+            let mut panic_due = false;
+            let mut loss_override: Option<f32> = None;
+            let mut eval_frozen = false;
+            let mut save_fail = false;
+            for i in 0..self.schedule.injections.len() {
+                let inj = self.schedule.injections[i];
+                if matches!(inj.kind, FaultKind::LoadFail) {
+                    continue; // applies at rollback time, not here
+                }
+                let due = if inj.persistent {
+                    epoch >= inj.epoch
+                } else {
+                    !self.fired[i] && epoch == inj.epoch
+                };
+                if !due {
+                    continue;
+                }
+                if !inj.persistent {
+                    self.fired[i] = true;
+                }
+                match inj.kind {
+                    FaultKind::GradNan
+                    | FaultKind::GradExplosion { .. }
+                    | FaultKind::ParamNan
+                    | FaultKind::ParamBitFlip { .. } => {
+                        inject::corrupt(self.trainer.as_ref(), &mut self.rng, inj.kind);
+                    }
+                    FaultKind::LossValue { value } => loss_override = Some(value),
+                    FaultKind::KernelPanic => panic_due = true,
+                    FaultKind::SaveFail => save_fail = true,
+                    FaultKind::EvalFreeze => eval_frozen = true,
+                    FaultKind::LoadFail => unreachable!("skipped above"),
+                }
+            }
+
+            // Pre-step sentinels — run after injection so fresh damage is
+            // caught before the optimizer consumes it.
+            if let Some(fault) =
+                sentinel::check_params(self.trainer.as_ref(), &self.sup.sentinels, epoch)
+            {
+                match self.handle(fault, true) {
+                    Flow::Proceed => {}
+                    Flow::Restart => continue 'session,
+                    Flow::Stop => break 'session,
+                }
+            }
+
+            // The guarded training step: panics anywhere inside the step —
+            // including inside parallel kernel regions, which the worker
+            // pool forwards to the caller — surface here as typed faults.
+            let step = {
+                let trainer = self.trainer.as_mut();
+                catch_unwind(AssertUnwindSafe(|| {
+                    if panic_due {
+                        inject::faulty_kernel(epoch);
+                    }
+                    trainer.train_epoch()
+                }))
+            };
+            let loss = match step {
+                Ok(loss) => loss_override.unwrap_or(loss),
+                Err(payload) => {
+                    let fault = TrainFault::KernelPanic {
+                        epoch,
+                        message: inject::panic_message(&*payload),
+                    };
+                    // A panic mid-step leaves the trainer in an unknown
+                    // state: the only sound continuations are rollback or
+                    // quarantine (`handle` coerces sanitize away).
+                    match self.handle(fault, false) {
+                        Flow::Proceed | Flow::Restart => continue 'session,
+                        Flow::Stop => break 'session,
+                    }
+                }
+            };
+
+            // Post-step loss sentinels (checked against the pre-push trace).
+            let loss_fault =
+                sentinel::check_loss(loss, epoch, &self.progress.loss_trace, &self.sup.sentinels);
+            self.progress.loss_trace.push(loss);
+            self.progress.epochs_run = epoch;
+            if let Some(fault) = loss_fault {
+                match self.handle(fault, false) {
+                    Flow::Proceed => {}
+                    Flow::Restart => continue 'session,
+                    Flow::Stop => break 'session,
+                }
+            }
+
+            // Evaluation — same cadence as the plain runner, so an empty
+            // schedule reproduces its trajectory exactly.
+            let mut done = false;
+            if epoch.is_multiple_of(self.config.eval_every.max(1))
+                || epoch == self.config.max_epochs
+            {
+                let evaluated = {
+                    let trainer = self.trainer.as_mut();
+                    catch_unwind(AssertUnwindSafe(|| trainer.evaluate()))
+                };
+                let quality = match evaluated {
+                    Ok(q) => q,
+                    Err(payload) => {
+                        let fault = TrainFault::KernelPanic {
+                            epoch,
+                            message: inject::panic_message(&*payload),
+                        };
+                        match self.handle(fault, false) {
+                            Flow::Proceed | Flow::Restart => continue 'session,
+                            Flow::Stop => break 'session,
+                        }
+                    }
+                };
+                // A frozen evaluation keeps reporting the first quality
+                // observed under the freeze — a stalled-epoch simulation.
+                // The real evaluation still runs so trainer state advances
+                // identically.
+                let quality = if eval_frozen {
+                    *self.frozen_quality.get_or_insert(quality)
+                } else {
+                    quality
+                };
+                self.progress.quality_trace.push((epoch, quality));
+                self.progress.final_quality = quality;
+                if self.benchmark.target.met_by(quality) {
+                    self.progress.epochs_to_target = Some(epoch);
+                    done = true;
+                }
+                if !done {
+                    if let Some(window) = self.sup.sentinels.stall_window {
+                        if let Some(fault) = sentinel::check_stall(
+                            &self.benchmark.target,
+                            &self.progress.quality_trace,
+                            window,
+                            epoch,
+                        ) {
+                            match self.handle(fault, false) {
+                                Flow::Proceed => {}
+                                Flow::Restart => continue 'session,
+                                Flow::Stop => break 'session,
+                            }
+                        }
+                    }
+                }
+            }
+            if done {
+                break 'session;
+            }
+
+            // Rollback snapshot, after all of the epoch's checks passed —
+            // a snapshot is only ever taken of state the sentinels cleared.
+            match self.maybe_save(epoch, save_fail) {
+                Flow::Proceed => {}
+                Flow::Restart => continue 'session,
+                Flow::Stop => break 'session,
+            }
+        }
+
+        let result = RunResult {
+            code: self.benchmark.id.code().to_string(),
+            seed: self.seed,
+            epochs_run: self.progress.epochs_run,
+            epochs_to_target: self.progress.epochs_to_target,
+            quality_trace: self.progress.quality_trace,
+            loss_trace: self.progress.loss_trace,
+            final_quality: self.progress.final_quality,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            resumed_from: None,
+        };
+        let outcome = match self.quarantined {
+            Some(fault) => Outcome::Quarantined { fault },
+            None if result.converged() => {
+                if self.recoveries == 0 {
+                    Outcome::Converged
+                } else {
+                    Outcome::Recovered {
+                        attempts: self.recoveries,
+                    }
+                }
+            }
+            None => Outcome::MissedTarget,
+        };
+        SupervisedRun {
+            result,
+            outcome,
+            faults: self.faults,
+            recoveries: self.recoveries,
+            epochs_executed: self.executed,
+            degraded_serial: self.degraded_serial,
+        }
+    }
+}
+
+/// Runs one benchmark under supervision with an in-memory rollback sink.
+/// See the module docs for the determinism contract.
+pub fn supervised_run(
+    benchmark: &Benchmark,
+    seed: u64,
+    config: &RunConfig,
+    schedule: &FaultSchedule,
+    sup: &SupervisorConfig,
+) -> SupervisedRun {
+    let mut sink = MemorySink::new();
+    supervised_run_with_sink(benchmark, seed, config, schedule, sup, &mut sink)
+}
+
+/// [`supervised_run`] with a caller-provided rollback sink (a `DirSink`
+/// for durable snapshots, or a pre-seeded sink in tests). The session
+/// always starts from scratch; the sink is the supervisor's rollback
+/// store, not a resume source.
+pub fn supervised_run_with_sink(
+    benchmark: &Benchmark,
+    seed: u64,
+    config: &RunConfig,
+    schedule: &FaultSchedule,
+    sup: &SupervisorConfig,
+    sink: &mut dyn CheckpointSink,
+) -> SupervisedRun {
+    if let Some(par) = config.parallel {
+        par.install();
+    }
+    let prior_threads = aibench_parallel::threads();
+    let start = Instant::now();
+    let supervisor = Supervisor {
+        benchmark,
+        seed,
+        config,
+        schedule,
+        sup,
+        sink,
+        rng: Rng::seed_from(schedule.seed),
+        fired: vec![false; schedule.injections.len()],
+        trainer: benchmark.build(seed),
+        progress: PartialRun::fresh(),
+        faults: Vec::new(),
+        recoveries: 0,
+        executed: 0,
+        budget: sup.epoch_budget_factor.max(1) * config.max_epochs.max(1) + 8,
+        degraded_serial: false,
+        quarantined: None,
+        frozen_quality: None,
+        save_retry: None,
+        ckpt_abandoned: false,
+    };
+    let run = supervisor.run(start);
+    if run.degraded_serial {
+        // Graceful degradation is per-run; restore the ambient thread
+        // configuration for whoever runs next.
+        aibench_parallel::set_threads(prior_threads);
+    }
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aibench::Registry;
+
+    fn cfg(max_epochs: usize) -> RunConfig {
+        RunConfig {
+            max_epochs,
+            eval_every: 1,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn empty_schedule_reports_clean_convergence() {
+        let registry = Registry::aibench();
+        let b = registry.get("DC-AI-C15").unwrap();
+        let run = supervised_run(
+            b,
+            2,
+            &cfg(40),
+            &FaultSchedule::empty(),
+            &SupervisorConfig::default(),
+        );
+        assert!(matches!(run.outcome, Outcome::Converged), "{}", run.outcome);
+        assert_eq!(run.fault_signature(), "clean");
+        assert_eq!(run.epochs_executed, run.result.epochs_run);
+    }
+
+    #[test]
+    fn loss_nan_rolls_back_and_recovers() {
+        let registry = Registry::aibench();
+        let b = registry.get("DC-AI-C15").unwrap();
+        let schedule = FaultSchedule::new(3).inject(2, FaultKind::LossValue { value: f32::NAN });
+        let run = supervised_run(b, 2, &cfg(40), &schedule, &SupervisorConfig::default());
+        assert!(
+            matches!(run.outcome, Outcome::Recovered { attempts: 1 }),
+            "{}",
+            run.outcome
+        );
+        assert_eq!(run.faults.len(), 1);
+        assert_eq!(run.faults[0].fault.kind(), "non-finite-loss");
+        assert!(matches!(
+            run.faults[0].action,
+            ActionTaken::RolledBack {
+                to_epoch: Some(1),
+                ..
+            }
+        ));
+        // The re-run epochs show up in the executed count.
+        assert!(run.epochs_executed > run.result.epochs_run);
+    }
+
+    #[test]
+    fn persistent_fault_quarantines_instead_of_hanging() {
+        let registry = Registry::aibench();
+        let b = registry.get("DC-AI-C15").unwrap();
+        let schedule =
+            FaultSchedule::new(3).inject_persistent(2, FaultKind::LossValue { value: f32::NAN });
+        let run = supervised_run(b, 2, &cfg(10), &schedule, &SupervisorConfig::default());
+        assert!(
+            matches!(run.outcome, Outcome::Quarantined { .. }),
+            "{}",
+            run.outcome
+        );
+        let budget = SupervisorConfig::default().epoch_budget_factor * 10 + 8;
+        assert!(run.epochs_executed <= budget + 1);
+    }
+
+    #[test]
+    fn save_failures_back_off_then_abandon() {
+        let registry = Registry::aibench();
+        let b = registry.get("DC-AI-C15").unwrap();
+        // Every save fails from epoch 1 on.
+        let schedule = FaultSchedule::new(3).inject_persistent(1, FaultKind::SaveFail);
+        let run = supervised_run(b, 2, &cfg(40), &schedule, &SupervisorConfig::default());
+        assert!(run.outcome.reached_target(), "{}", run.outcome);
+        let kinds: Vec<&str> = run.faults.iter().map(|e| e.action.kind()).collect();
+        assert!(kinds.contains(&"retry-save"));
+        assert!(kinds.contains(&"abandon-ckpt"));
+        assert!(run.faults.iter().all(|e| e.fault.kind() == "checkpoint-io"));
+    }
+
+    #[test]
+    fn stall_window_detects_frozen_quality() {
+        let registry = Registry::aibench();
+        let b = registry.get("DC-AI-C15").unwrap();
+        let schedule = FaultSchedule::new(3).inject_persistent(1, FaultKind::EvalFreeze);
+        let sup = SupervisorConfig {
+            sentinels: SentinelConfig {
+                stall_window: Some(3),
+                ..SentinelConfig::default()
+            },
+            ..SupervisorConfig::default()
+        };
+        let run = supervised_run(b, 2, &cfg(40), &schedule, &sup);
+        assert!(
+            matches!(
+                run.outcome,
+                Outcome::Quarantined {
+                    fault: TrainFault::StalledProgress { .. }
+                }
+            ),
+            "{}",
+            run.outcome
+        );
+    }
+}

@@ -62,4 +62,15 @@ pub trait Trainer {
     /// On error the trainer may be partially mutated; callers must discard
     /// it and rebuild before retrying with a different snapshot.
     fn load_state(&mut self, state: &aibench_ckpt::State) -> Result<(), aibench_ckpt::CkptError>;
+
+    /// Multiplies every optimizer's learning rate by `factor`.
+    ///
+    /// This is the recovery hook supervised execution uses after rolling a
+    /// diverged run back to its last valid snapshot: restore resets the
+    /// learning rate to the snapshotted value, and the supervisor then
+    /// applies a reduction so the retried trajectory does not reproduce the
+    /// divergence verbatim. Trainers with several optimizers (GAN
+    /// generator/critic pairs) scale all of them. The default is a no-op
+    /// for toy trainers without an optimizer.
+    fn scale_lr(&mut self, _factor: f32) {}
 }

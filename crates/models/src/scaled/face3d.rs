@@ -45,6 +45,10 @@ impl Face3dRecognition {
 }
 
 impl Trainer for Face3dRecognition {
+    fn scale_lr(&mut self, factor: f32) {
+        self.opt.scale_lr(factor);
+    }
+
     fn save_state(&self, state: &mut aibench_ckpt::State) {
         use aibench_ckpt::Snapshot as _;
         self.net.snapshot(state, "net");

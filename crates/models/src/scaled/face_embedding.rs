@@ -68,6 +68,10 @@ impl FaceEmbedding {
 }
 
 impl Trainer for FaceEmbedding {
+    fn scale_lr(&mut self, factor: f32) {
+        self.opt.scale_lr(factor);
+    }
+
     fn save_state(&self, state: &mut aibench_ckpt::State) {
         use aibench_ckpt::Snapshot as _;
         self.net.snapshot(state, "net");

@@ -87,6 +87,11 @@ impl ImageToImage {
 }
 
 impl Trainer for ImageToImage {
+    fn scale_lr(&mut self, factor: f32) {
+        self.g_opt.scale_lr(factor);
+        self.c_opt.scale_lr(factor);
+    }
+
     fn save_state(&self, state: &mut aibench_ckpt::State) {
         use aibench_ckpt::Snapshot as _;
         self.g_opt.snapshot(state, "g_opt");

@@ -165,6 +165,11 @@ impl NeuralArchitectureSearch {
 }
 
 impl Trainer for NeuralArchitectureSearch {
+    fn scale_lr(&mut self, factor: f32) {
+        self.child_opt.scale_lr(factor);
+        self.ctrl_opt.scale_lr(factor);
+    }
+
     fn save_state(&self, state: &mut aibench_ckpt::State) {
         use aibench_ckpt::Snapshot as _;
         self.child_opt.snapshot(state, "child_opt");

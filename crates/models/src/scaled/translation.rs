@@ -230,6 +230,10 @@ impl Translation {
 }
 
 impl Trainer for Translation {
+    fn scale_lr(&mut self, factor: f32) {
+        self.opt.scale_lr(factor);
+    }
+
     fn save_state(&self, state: &mut aibench_ckpt::State) {
         use aibench_ckpt::Snapshot as _;
         self.opt.snapshot(state, "opt");

@@ -21,6 +21,15 @@ pub trait Optimizer {
     /// The current learning rate.
     fn lr(&self) -> f32;
 
+    /// Multiplies the learning rate by `factor` — the hook fault-recovery
+    /// policies use to cool a diverging run down after rolling back to a
+    /// valid snapshot (factor < 1) without knowing the optimizer's base
+    /// rate.
+    fn scale_lr(&mut self, factor: f32) {
+        let lr = self.lr();
+        self.set_lr(lr * factor);
+    }
+
     /// The parameters this optimizer updates (used by the tape sanitizer
     /// to probe for dead or non-finite parameters).
     fn params(&self) -> &[Param];
@@ -447,5 +456,14 @@ mod tests {
         w.accumulate_grad(&Tensor::from_vec(vec![0.3, 0.4], &[2]));
         clip_grad_norm(std::slice::from_ref(&w), 1.0);
         assert_eq!(w.grad().data(), &[0.3, 0.4]);
+    }
+
+    #[test]
+    fn scale_lr_compounds_multiplicatively() {
+        let w = Param::new("w", Tensor::zeros(&[2]));
+        let mut opt = Adam::new(vec![w], 0.01);
+        opt.scale_lr(0.5);
+        opt.scale_lr(0.5);
+        assert_eq!(opt.lr(), 0.01 * 0.25);
     }
 }

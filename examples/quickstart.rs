@@ -46,13 +46,14 @@ fn main() {
         ..RunConfig::default()
     };
     let mut sink = MemorySink::new(); // DirSink persists across processes
-    let killed = run_until_killed(benchmark, 1, &config, &mut sink, 1);
+    let killed = run_until_killed(benchmark, 1, &config, &mut sink, 1).expect("checkpoint save");
     assert!(killed.is_none(), "session was killed after one epoch");
     println!(
         "session killed; {} checkpoint(s) in the sink",
         sink.epochs().len()
     );
-    let resumed = run_to_quality_resumable(benchmark, 1, &config, &mut sink);
+    let resumed =
+        run_to_quality_resumable(benchmark, 1, &config, &mut sink).expect("checkpoint save");
     println!(
         "resumed from epoch {:?}, finished at epoch {}",
         resumed.resumed_from, resumed.epochs_run

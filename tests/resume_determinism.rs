@@ -40,7 +40,7 @@ fn kill_and_resume_is_bitwise_identical_across_families() {
 
         // Kill after two epochs, then resume to completion.
         let mut sink = MemorySink::new();
-        let killed = run_until_killed(b, seed, &config, &mut sink, 2);
+        let killed = run_until_killed(b, seed, &config, &mut sink, 2).unwrap();
         assert!(
             killed.is_none(),
             "{family}: session should have died at the epoch budget"
@@ -49,7 +49,7 @@ fn kill_and_resume_is_bitwise_identical_across_families() {
             !sink.epochs().is_empty(),
             "{family}: the killed session saved no checkpoints"
         );
-        let resumed = run_to_quality_resumable(b, seed, &config, &mut sink);
+        let resumed = run_to_quality_resumable(b, seed, &config, &mut sink).unwrap();
         assert_eq!(
             resumed.resumed_from,
             Some(2),
@@ -71,7 +71,7 @@ fn repeated_kills_still_converge_to_the_same_result() {
     let baseline = run_to_quality(b, 1, &config);
 
     let mut sink = MemorySink::new();
-    let report = fault_injection_run(b, 1, &config, &mut sink, 1);
+    let report = fault_injection_run(b, 1, &config, &mut sink, 1).unwrap();
     assert!(report.kills >= 1, "kill_every=1 must kill at least once");
     assert!(
         baseline.deterministic_eq(&report.result),
@@ -89,13 +89,15 @@ fn corrupt_newest_snapshot_falls_back_to_older_one() {
     let baseline = run_to_quality(b, 5, &config);
 
     let mut sink = MemorySink::new();
-    assert!(run_until_killed(b, 5, &config, &mut sink, 3).is_none());
+    assert!(run_until_killed(b, 5, &config, &mut sink, 3)
+        .unwrap()
+        .is_none());
     let newest = *sink.epochs().last().unwrap();
     assert!(newest >= 2, "need at least two snapshots for the fallback");
     // Flip one payload byte in the newest snapshot; its section CRC must
     // catch it, and resume must fall back to the older snapshot.
     sink.bytes_mut(newest).unwrap()[40] ^= 0x01;
-    let resumed = run_to_quality_resumable(b, 5, &config, &mut sink);
+    let resumed = run_to_quality_resumable(b, 5, &config, &mut sink).unwrap();
     assert!(
         resumed.resumed_from.unwrap() < newest,
         "resume used the corrupted snapshot at epoch {newest}"
@@ -114,12 +116,14 @@ fn all_snapshots_corrupt_restarts_from_scratch() {
     let baseline = run_to_quality(b, 9, &config);
 
     let mut sink = MemorySink::new();
-    assert!(run_until_killed(b, 9, &config, &mut sink, 2).is_none());
+    assert!(run_until_killed(b, 9, &config, &mut sink, 2)
+        .unwrap()
+        .is_none());
     let epochs: Vec<usize> = sink.epochs();
     for &e in &epochs {
         sink.bytes_mut(e).unwrap()[0] ^= 0xFF; // destroy the magic
     }
-    let resumed = run_to_quality_resumable(b, 9, &config, &mut sink);
+    let resumed = run_to_quality_resumable(b, 9, &config, &mut sink).unwrap();
     assert_eq!(resumed.resumed_from, None, "no snapshot was usable");
     assert!(baseline.deterministic_eq(&resumed));
 }
