@@ -5,6 +5,7 @@
 //! for the benchmark harnesses.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod coverage;
 mod kmeans;

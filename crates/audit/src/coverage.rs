@@ -1,0 +1,136 @@
+//! Snapshot-coverage analysis: does `save_state` capture everything the
+//! trainer mutates?
+//!
+//! The checkpoint layer can only restore what a trainer chose to save. A
+//! parameter the training loop updates but `save_state` omits is invisible
+//! to every resume test that compares final metrics — until a fault lands
+//! between the mutation and the comparison. This analysis closes that gap
+//! statically-ish: the effect recorder tells us which buffers an epoch
+//! *wrote* (the trainer's mutation fingerprint), and each written parameter
+//! must appear in the snapshot tree as a bitwise-equal tensor entry.
+
+use crate::Finding;
+use aibench_autograd::Param;
+use aibench_ckpt::{State, Value};
+use aibench_parallel::effects::{BufId, EffectReport};
+
+/// Checks that every parameter mutated during the recorded epoch has a
+/// bitwise-equal `F32s` entry (same shape, same bits) in the post-epoch
+/// snapshot tree. Parameters the epoch never wrote are exempt — frozen
+/// embeddings or buffers reconstructed from the seed need no entry.
+pub fn check_coverage(
+    subject: &str,
+    params: &[Param],
+    state: &State,
+    report: &EffectReport,
+) -> Vec<Finding> {
+    let written = report.written_buffers();
+    let mut findings = Vec::new();
+    for p in params {
+        let value = p.value();
+        if written.binary_search(&BufId::of(value.data())).is_err() {
+            continue;
+        }
+        if !has_bitwise_entry(state, &p.shape(), value.data()) {
+            findings.push(Finding {
+                subject: subject.to_string(),
+                rule: "snapshot-coverage",
+                expected: format!(
+                    "mutated parameter `{}` ({} element(s), shape {:?}) saved by \
+                     save_state with its exact post-epoch bits",
+                    p.name(),
+                    value.data().len(),
+                    p.shape(),
+                ),
+                found: format!(
+                    "the epoch wrote this parameter's buffer but no snapshot entry \
+                     matches it bitwise — it would not survive checkpoint/resume \
+                     ({} entr(ies) searched)",
+                    state.len(),
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Whether any tensor entry in the snapshot tree equals `data` bitwise with
+/// the same shape. Matching by content rather than by key keeps the
+/// analysis independent of each trainer's key-naming scheme.
+fn has_bitwise_entry(state: &State, shape: &[usize], data: &[f32]) -> bool {
+    state.iter().any(|(_, v)| match v {
+        Value::F32s { shape: s, data: d } => {
+            s == shape
+                && d.len() == data.len()
+                && d.iter().zip(data).all(|(a, b)| a.to_bits() == b.to_bits())
+        }
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::with_recording;
+    use aibench_ckpt::Snapshot as _;
+    use aibench_tensor::Tensor;
+
+    fn param(name: &str, len: usize, fill: f32) -> Param {
+        Param::new(name, Tensor::from_vec(vec![fill; len], &[len]))
+    }
+
+    #[test]
+    fn unwritten_params_need_no_snapshot_entry() {
+        let p = param("frozen", 64, 1.0);
+        let ((), report) = with_recording(|| {
+            // Epoch touches an unrelated buffer only.
+            let mut other = vec![0.0f32; 64];
+            aibench_parallel::parallel_slice_mut(&mut other, 16, |_, o| o.fill(2.0));
+        });
+        let state = State::new();
+        assert!(check_coverage("test", &[p], &state, &report).is_empty());
+    }
+
+    #[test]
+    fn written_param_with_bitwise_snapshot_passes() {
+        let p = param("w", 64, 0.0);
+        let ((), report) = with_recording(|| {
+            let mut v = p.value_mut();
+            aibench_parallel::parallel_slice_mut(v.data_mut(), 16, |range, o| {
+                for (x, i) in o.iter_mut().zip(range) {
+                    *x = i as f32 * 0.25;
+                }
+            });
+        });
+        let mut state = State::new();
+        p.snapshot(&mut state, "w");
+        assert!(check_coverage("test", &[p], &state, &report).is_empty());
+    }
+
+    #[test]
+    fn written_param_missing_from_snapshot_is_flagged() {
+        let p = param("forgotten", 64, 0.0);
+        let ((), report) = with_recording(|| {
+            let mut v = p.value_mut();
+            aibench_parallel::parallel_slice_mut(v.data_mut(), 16, |_, o| o.fill(3.0));
+        });
+        let state = State::new();
+        let findings = check_coverage("test", &[p], &state, &report);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "snapshot-coverage");
+        assert!(findings[0].expected.contains("forgotten"));
+    }
+
+    #[test]
+    fn stale_snapshot_bits_are_flagged() {
+        let p = param("stale", 32, 0.0);
+        let mut state = State::new();
+        p.snapshot(&mut state, "stale"); // snapshot BEFORE the mutation
+        let ((), report) = with_recording(|| {
+            let mut v = p.value_mut();
+            aibench_parallel::parallel_slice_mut(v.data_mut(), 8, |_, o| o.fill(7.0));
+        });
+        let findings = check_coverage("test", &[p], &state, &report);
+        assert_eq!(findings.len(), 1);
+    }
+}

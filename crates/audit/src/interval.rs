@@ -1,0 +1,152 @@
+//! Interval overlap detection over declared access sets.
+//!
+//! Accesses are half-open element ranges `[start, end)` within one buffer.
+//! The race detector needs exactly one primitive from this module: find
+//! pairs of accesses, from *different* chunks, whose ranges intersect and
+//! where at least one side mutates. A line sweep over start-sorted accesses
+//! with an active list pruned by range end keeps this near-linear for the
+//! disjoint access sets that correct kernels produce.
+
+use aibench_parallel::effects::{Access, AccessKind};
+
+/// Whether two half-open ranges share at least one element. Empty ranges
+/// never overlap anything.
+pub fn overlaps(a: &std::ops::Range<usize>, b: &std::ops::Range<usize>) -> bool {
+    a.start < b.end && b.start < a.end
+}
+
+/// Whether an overlapping pair of accesses from different chunks is a
+/// memory conflict.
+///
+/// Read-read sharing is always fine. Accumulate-accumulate overlap is
+/// *order-unstable*, not a memory race — it is reported by the
+/// accumulation lint instead, so it is excluded here. Every other mixed
+/// pair involves a plain write racing another access.
+pub fn conflicting_kinds(a: AccessKind, b: AccessKind) -> bool {
+    !matches!(
+        (a, b),
+        (AccessKind::Read, AccessKind::Read) | (AccessKind::Accumulate, AccessKind::Accumulate)
+    )
+}
+
+/// Finds up to `cap` conflicting pairs among accesses to **one buffer**:
+/// overlapping ranges, different chunks, [`conflicting_kinds`]. Pairs are
+/// returned in sweep order (ascending range start of the later access).
+pub fn conflicting_pairs<'a>(accesses: &[&'a Access], cap: usize) -> Vec<(&'a Access, &'a Access)> {
+    let mut sorted: Vec<&Access> = accesses.to_vec();
+    sorted.sort_by_key(|a| (a.range.start, a.range.end, a.chunk));
+    let mut active: Vec<&Access> = Vec::new();
+    let mut out = Vec::new();
+    for a in sorted {
+        if a.range.is_empty() {
+            continue;
+        }
+        active.retain(|b| b.range.end > a.range.start);
+        for b in &active {
+            debug_assert!(overlaps(&a.range, &b.range));
+            if a.chunk != b.chunk && conflicting_kinds(a.kind, b.kind) {
+                out.push((*b, a));
+                if out.len() >= cap {
+                    return out;
+                }
+            }
+        }
+        active.push(a);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aibench_parallel::effects::BufId;
+
+    fn access(chunk: usize, kind: AccessKind, range: std::ops::Range<usize>) -> Access {
+        Access {
+            chunk,
+            buffer: BufId(0x1000),
+            kind,
+            range,
+        }
+    }
+
+    #[test]
+    fn adjacent_but_disjoint_ranges_do_not_conflict() {
+        // [0,8) and [8,16): touching endpoints share no element.
+        let a = access(0, AccessKind::Write, 0..8);
+        let b = access(1, AccessKind::Write, 8..16);
+        assert!(!overlaps(&a.range, &b.range));
+        assert!(conflicting_pairs(&[&a, &b], 8).is_empty());
+    }
+
+    #[test]
+    fn exact_overlap_is_a_conflict() {
+        let a = access(0, AccessKind::Write, 4..12);
+        let b = access(1, AccessKind::Write, 4..12);
+        let pairs = conflicting_pairs(&[&a, &b], 8);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0.chunk, 0);
+        assert_eq!(pairs[0].1.chunk, 1);
+    }
+
+    #[test]
+    fn off_by_one_halo_is_a_conflict() {
+        // Chunk 0 writes [0,9) — one element past its 8-element share —
+        // while chunk 1 writes [8,16): exactly the halo-write bug class.
+        let a = access(0, AccessKind::Write, 0..9);
+        let b = access(1, AccessKind::Write, 8..16);
+        let pairs = conflicting_pairs(&[&a, &b], 8);
+        assert_eq!(pairs.len(), 1);
+        // And shrinking the halo back by one element clears it.
+        let a2 = access(0, AccessKind::Write, 0..8);
+        assert!(conflicting_pairs(&[&a2, &b], 8).is_empty());
+    }
+
+    #[test]
+    fn read_read_sharing_is_clean() {
+        let a = access(0, AccessKind::Read, 0..100);
+        let b = access(1, AccessKind::Read, 0..100);
+        assert!(conflicting_pairs(&[&a, &b], 8).is_empty());
+    }
+
+    #[test]
+    fn read_write_overlap_across_chunks_conflicts() {
+        let r = access(0, AccessKind::Read, 0..100);
+        let w = access(1, AccessKind::Write, 50..60);
+        assert_eq!(conflicting_pairs(&[&r, &w], 8).len(), 1);
+    }
+
+    #[test]
+    fn same_chunk_overlap_is_not_a_conflict() {
+        // One chunk may freely read and write its own range.
+        let r = access(2, AccessKind::Read, 0..10);
+        let w = access(2, AccessKind::Write, 0..10);
+        assert!(conflicting_pairs(&[&r, &w], 8).is_empty());
+    }
+
+    #[test]
+    fn accumulate_pairs_route_to_the_lint_not_the_race() {
+        let a = access(0, AccessKind::Accumulate, 0..1);
+        let b = access(1, AccessKind::Accumulate, 0..1);
+        assert!(conflicting_pairs(&[&a, &b], 8).is_empty());
+        // But accumulate against a plain read or write is still a race.
+        let r = access(2, AccessKind::Read, 0..1);
+        assert_eq!(conflicting_pairs(&[&a, &r], 8).len(), 1);
+    }
+
+    #[test]
+    fn empty_ranges_never_conflict() {
+        let a = access(0, AccessKind::Write, 5..5);
+        let b = access(1, AccessKind::Write, 0..10);
+        assert!(conflicting_pairs(&[&a, &b], 8).is_empty());
+    }
+
+    #[test]
+    fn cap_limits_reported_pairs() {
+        let accesses: Vec<Access> = (0..10)
+            .map(|c| access(c, AccessKind::Write, 0..4))
+            .collect();
+        let refs: Vec<&Access> = accesses.iter().collect();
+        assert_eq!(conflicting_pairs(&refs, 3).len(), 3);
+    }
+}

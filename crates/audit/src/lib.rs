@@ -1,0 +1,137 @@
+//! `aibench-audit`: region-effect analyses over the deterministic kernel
+//! layer.
+//!
+//! `aibench-parallel`'s determinism contract — disjoint chunk writes,
+//! order-stable reductions, size-only chunk boundaries — is enforced by
+//! convention at every kernel call site. This crate checks the convention
+//! mechanically, using the access sets kernels declare through
+//! [`aibench_parallel::effects`] (compiled in via the `sanitize` feature,
+//! which depending on this crate enables):
+//!
+//! * [`race`] — cross-chunk write-write and read-write overlap detection
+//!   over each recorded parallel region's interval sets, reported with the
+//!   kernel name and the offending element ranges.
+//! * [`lints`] — determinism lints: float accumulation outside the
+//!   order-stable `parallel_reduce` combiners, RNG draws from inside a
+//!   parallel region, and chunk boundaries that change with the thread
+//!   count instead of depending only on problem size.
+//! * [`coverage`] — snapshot-coverage analysis: the buffers a trainer
+//!   mutates during an epoch (its *mutation fingerprint*) are diffed
+//!   against its `save_state` tree; a mutated parameter with no
+//!   bitwise-equal snapshot entry would silently not survive
+//!   checkpoint/resume.
+//!
+//! [`fixtures`] holds seeded defects (an intentionally racy kernel, an
+//! unstable reduction, a trainer that forgets state, and friends) proving
+//! each analysis fires. `aibench-check --audit` runs [`audit_benchmark`]
+//! over the full registry.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod coverage;
+pub mod fixtures;
+pub mod interval;
+pub mod lints;
+pub mod race;
+
+use aibench::Benchmark;
+use aibench_ckpt::State;
+use aibench_parallel::effects::{self, EffectReport};
+use std::fmt;
+use std::sync::Mutex;
+
+/// Seed every audit probe builds trainers from. Fixed so findings are
+/// reproducible run to run.
+pub const AUDIT_SEED: u64 = 2024;
+
+/// One audit violation: which analysis fired, where, and what it saw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Benchmark code, fixture name, or kernel label the finding is about.
+    pub subject: String,
+    /// Stable rule identifier (`region-race`, `unstable-accumulation`,
+    /// `rng-in-region`, `thread-dependent-chunking`, `snapshot-coverage`).
+    pub rule: &'static str,
+    /// The contract the subject was expected to uphold.
+    pub expected: String,
+    /// What the recorded effects actually show.
+    pub found: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: [{}] expected {}, found {}",
+            self.subject, self.rule, self.expected, self.found
+        )
+    }
+}
+
+/// The effect recorder is process-global, so audit sessions (and any test
+/// that records) must not interleave.
+static SESSION: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with effect recording on, returning its result plus everything
+/// recorded. Sessions are serialized process-wide; the recorder is drained
+/// on entry and exit, so concurrent test threads cannot contaminate each
+/// other's reports.
+pub fn with_recording<R>(f: impl FnOnce() -> R) -> (R, EffectReport) {
+    let _g = SESSION.lock().unwrap_or_else(|e| e.into_inner());
+    effects::start_recording();
+    let r = f();
+    (r, effects::take_report())
+}
+
+/// Audits one benchmark end to end: records a full training epoch of a
+/// fresh [`AUDIT_SEED`]-seeded trainer, then runs every analysis over the
+/// recording —
+///
+/// 1. race detection and the per-region lints,
+/// 2. snapshot coverage of the trainer's post-epoch `save_state` tree,
+/// 3. the chunking lint, by re-recording the same epoch (fresh same-seed
+///    trainer) at a different thread count and requiring identical chunk
+///    descriptors.
+///
+/// The configured thread count is restored before returning. An empty
+/// return means the benchmark upholds the determinism contract.
+pub fn audit_benchmark(b: &Benchmark) -> Vec<Finding> {
+    let _g = SESSION.lock().unwrap_or_else(|e| e.into_inner());
+    let code = b.id.code();
+    let base_threads = aibench_parallel::threads();
+
+    let mut trainer = b.build(AUDIT_SEED);
+    effects::start_recording();
+    trainer.train_epoch();
+    let report = effects::take_report();
+
+    let mut findings = race::detect_races(code, &report);
+    findings.extend(lints::lint_regions(code, &report));
+
+    let mut state = State::new();
+    trainer.save_state(&mut state);
+    findings.extend(coverage::check_coverage(
+        code,
+        &trainer.params(),
+        &state,
+        &report,
+    ));
+
+    let alt_threads = if base_threads == 1 { 4 } else { 1 };
+    aibench_parallel::set_threads(alt_threads);
+    let mut retrainer = b.build(AUDIT_SEED);
+    effects::start_recording();
+    retrainer.train_epoch();
+    let alt_report = effects::take_report();
+    aibench_parallel::set_threads(base_threads);
+    findings.extend(lints::lint_chunking(
+        code,
+        base_threads,
+        alt_threads,
+        &report,
+        &alt_report,
+    ));
+
+    findings
+}

@@ -1,0 +1,101 @@
+//! Cross-chunk race detection over recorded region effects.
+
+use crate::interval;
+use crate::Finding;
+use aibench_parallel::effects::{Access, AccessKind, BufId, EffectReport, RegionEffects};
+use std::collections::BTreeMap;
+
+/// At most this many conflicting pairs are reported per region — one is
+/// enough to fail the audit, a few help localize the bug, hundreds of
+/// repeats of the same halo error would drown the report.
+const PAIRS_PER_REGION: usize = 3;
+
+/// Scans every recorded region for cross-chunk conflicts: two chunks whose
+/// declared ranges on the same buffer overlap, at least one of them
+/// mutating. Disjoint-by-construction kernels (everything built on
+/// `parallel_slice_mut` with honest read declarations) come back clean.
+pub fn detect_races(subject: &str, report: &EffectReport) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for region in &report.regions {
+        // Group the region's accesses by buffer; a buffer nobody mutates
+        // cannot host a conflict, which skips the common shared-operand
+        // case (every chunk reading all of a weight matrix).
+        let mut by_buffer: BTreeMap<BufId, Vec<&Access>> = BTreeMap::new();
+        for a in &region.accesses {
+            by_buffer.entry(a.buffer).or_default().push(a);
+        }
+        for accesses in by_buffer.values() {
+            if accesses.iter().all(|a| a.kind == AccessKind::Read) {
+                continue;
+            }
+            for (a, b) in interval::conflicting_pairs(accesses, PAIRS_PER_REGION) {
+                findings.push(conflict_finding(subject, region, a, b));
+            }
+        }
+    }
+    findings
+}
+
+fn conflict_finding(subject: &str, region: &RegionEffects, a: &Access, b: &Access) -> Finding {
+    Finding {
+        subject: subject.to_string(),
+        rule: "region-race",
+        expected: format!(
+            "disjoint cross-chunk access sets in kernel `{}` ({}, n={}, chunk={})",
+            region.kernel, region.primitive, region.n, region.chunk
+        ),
+        found: format!(
+            "chunk {} {} [{}..{}) overlaps chunk {} {} [{}..{})",
+            a.chunk,
+            kind_name(a.kind),
+            a.range.start,
+            a.range.end,
+            b.chunk,
+            kind_name(b.kind),
+            b.range.start,
+            b.range.end,
+        ),
+    }
+}
+
+fn kind_name(kind: AccessKind) -> &'static str {
+    match kind {
+        AccessKind::Read => "reads",
+        AccessKind::Write => "writes",
+        AccessKind::Accumulate => "accumulates",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::with_recording;
+    use aibench_parallel::effects;
+
+    #[test]
+    fn clean_slice_mut_kernel_reports_no_races() {
+        let ((), report) = with_recording(|| {
+            let src = vec![1.0f32; 300];
+            let mut dst = vec![0.0f32; 300];
+            let _s = effects::kernel_scope("clean_copy");
+            aibench_parallel::parallel_slice_mut(&mut dst, 32, |range, out| {
+                effects::read(&src, range.clone());
+                for (o, i) in out.iter_mut().zip(range) {
+                    *o = src[i];
+                }
+            });
+        });
+        assert!(!report.regions.is_empty());
+        assert!(detect_races("test", &report).is_empty());
+    }
+
+    #[test]
+    fn declared_halo_write_is_reported_with_kernel_and_ranges() {
+        let findings = crate::fixtures::racy_kernel();
+        assert!(!findings.is_empty());
+        let f = &findings[0];
+        assert_eq!(f.rule, "region-race");
+        assert!(f.expected.contains("fixture_racy_halo"), "{f}");
+        assert!(f.found.contains("overlaps"), "{f}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests of the audit's no-false-positive guarantee: the shipped
+//! kernels declare disjoint cross-chunk access sets at every thread count,
+//! so the race detector and the per-region lints stay silent on them.
+
+use aibench_audit::{lints, race, with_recording};
+use aibench_tensor::ops::{conv2d, matmul, Conv2dArgs};
+use aibench_tensor::{Rng, Tensor};
+use proptest::prelude::*;
+
+/// Thread counts the contract is exercised at. `with_recording` serializes
+/// sessions process-wide, so mutating the global pool inside it is safe.
+const THREADS: [usize; 3] = [1, 4, 8];
+
+fn assert_clean(label: &str, threads: usize, f: impl Fn()) {
+    let base = aibench_parallel::threads();
+    let ((), report) = with_recording(|| {
+        aibench_parallel::set_threads(threads);
+        f();
+        aibench_parallel::set_threads(base);
+    });
+    assert!(
+        !report.regions.is_empty(),
+        "{label}: kernel recorded no regions at {threads} thread(s)"
+    );
+    let races = race::detect_races(label, &report);
+    assert!(races.is_empty(), "{label} at {threads} threads: {races:?}");
+    let lints = lints::lint_regions(label, &report);
+    assert!(lints.is_empty(), "{label} at {threads} threads: {lints:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn matmul_access_sets_are_disjoint_at_every_thread_count(
+        m in 1usize..9, k in 1usize..9, n in 1usize..9, s in 0u64..100
+    ) {
+        let mut rng = Rng::seed_from(s);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        for threads in THREADS {
+            assert_clean("matmul", threads, || {
+                matmul(&a, &b);
+            });
+        }
+    }
+
+    #[test]
+    fn conv2d_access_sets_are_disjoint_at_every_thread_count(
+        n in 1usize..3, cin in 1usize..3, hw in 3usize..7, s in 0u64..100
+    ) {
+        let mut rng = Rng::seed_from(s ^ 0xc0);
+        let input = Tensor::randn(&[n, cin, hw, hw], &mut rng);
+        let weight = Tensor::randn(&[2, cin, 3, 3], &mut rng);
+        for threads in THREADS {
+            assert_clean("conv2d", threads, || {
+                conv2d(&input, &weight, Conv2dArgs { stride: 1, pad: 1 });
+            });
+        }
+    }
+
+    #[test]
+    fn reductions_stay_order_stable_at_every_thread_count(
+        len in 1usize..4096, s in 0u64..100
+    ) {
+        let mut rng = Rng::seed_from(s ^ 0xdead);
+        let data = Tensor::randn(&[len], &mut rng);
+        let baseline = aibench_parallel::sum_f32(data.data());
+        for threads in THREADS {
+            assert_clean("sum_f32", threads, || {
+                let total = aibench_parallel::sum_f32(data.data());
+                assert_eq!(total.to_bits(), baseline.to_bits());
+            });
+        }
+    }
+}

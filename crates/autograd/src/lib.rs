@@ -29,6 +29,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod gradcheck;
 mod graph;

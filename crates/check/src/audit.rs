@@ -1,0 +1,56 @@
+//! Bridge to `aibench-audit`: region-effect race detection, determinism
+//! lints, and snapshot-coverage analysis, rendered as check diagnostics.
+//!
+//! Depending on `aibench-audit` compiles `aibench-parallel` with its
+//! `sanitize` feature, so the kernels running under this binary record the
+//! access sets the audit analyzes. The heavy lifting — recording a
+//! training epoch per benchmark at two thread counts and diffing the
+//! effects — lives in [`aibench_audit::audit_benchmark`]; this module only
+//! translates its findings into the [`Diagnostic`] shape the CLI reports.
+
+use crate::Diagnostic;
+use aibench::Benchmark;
+use aibench_audit::Finding;
+
+/// Converts audit findings into check diagnostics, preserving the audit's
+/// rule identifiers (`region-race`, `unstable-accumulation`,
+/// `rng-in-region`, `thread-dependent-chunking`, `snapshot-coverage`).
+pub fn to_diagnostics(findings: Vec<Finding>) -> Vec<Diagnostic> {
+    findings
+        .into_iter()
+        .map(|f| Diagnostic::global(f.subject, f.rule, f.expected, f.found))
+        .collect()
+}
+
+/// Audits one benchmark end to end (recorded epoch, race + lint pass,
+/// snapshot coverage, cross-thread-count chunking comparison).
+pub fn audit_benchmark(b: &Benchmark) -> Vec<Diagnostic> {
+    to_diagnostics(aibench_audit::audit_benchmark(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn findings_map_to_global_diagnostics() {
+        let diags = to_diagnostics(vec![Finding {
+            subject: "DC-AI-C1".into(),
+            rule: "region-race",
+            expected: "disjoint access sets".into(),
+            found: "overlap".into(),
+        }]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].benchmark, "DC-AI-C1");
+        assert_eq!(diags[0].rule, "region-race");
+        assert_eq!(diags[0].layer, None);
+    }
+
+    #[test]
+    fn first_registry_benchmark_audits_clean() {
+        let registry = aibench::Registry::all();
+        let b = &registry.benchmarks()[0];
+        let diags = audit_benchmark(b);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -3,7 +3,7 @@
 //! asserts every fixture produces at least one diagnostic of its family's
 //! rule, so a silently weakened rule fails the build rather than shipping.
 
-use crate::{ckpt, counts, faults, shape, tape, trace, Diagnostic};
+use crate::{audit, ckpt, counts, faults, shape, tape, trace, Diagnostic};
 use aibench::runner::RunConfig;
 use aibench_ckpt::{FailingSink, MemorySink, SnapshotFile, State};
 use aibench_fault::{
@@ -32,6 +32,11 @@ pub const FIXTURES: &[&str] = &[
     "fault-checkpoint-io",
     "fault-stalled-progress",
     "fault-budget-exhausted",
+    "audit-racy-kernel",
+    "audit-unstable-reduction",
+    "audit-unsnapshotted-state",
+    "audit-rng-in-region",
+    "audit-thread-chunking",
 ];
 
 /// Runs one fixture by name; `None` for an unknown name. Each returned
@@ -56,6 +61,21 @@ pub fn run(name: &str) -> Option<Vec<Diagnostic>> {
         "fault-checkpoint-io" => Some(fault_checkpoint_io()),
         "fault-stalled-progress" => Some(fault_stalled_progress()),
         "fault-budget-exhausted" => Some(fault_budget_exhausted()),
+        // The audit fixtures live next to the analyses they prove, in
+        // `aibench_audit::fixtures`; here they only need rendering.
+        "audit-racy-kernel" => Some(audit::to_diagnostics(aibench_audit::fixtures::racy_kernel())),
+        "audit-unstable-reduction" => Some(audit::to_diagnostics(
+            aibench_audit::fixtures::unstable_reduction(),
+        )),
+        "audit-unsnapshotted-state" => Some(audit::to_diagnostics(
+            aibench_audit::fixtures::unsnapshotted_state(),
+        )),
+        "audit-rng-in-region" => Some(audit::to_diagnostics(
+            aibench_audit::fixtures::rng_in_region(),
+        )),
+        "audit-thread-chunking" => Some(audit::to_diagnostics(
+            aibench_audit::fixtures::thread_dependent_chunking(),
+        )),
         _ => None,
     }
 }
@@ -398,6 +418,11 @@ mod tests {
             ("fault-checkpoint-io", "fault-checkpoint-io"),
             ("fault-stalled-progress", "fault-stalled-progress"),
             ("fault-budget-exhausted", "fault-budget-exhausted"),
+            ("audit-racy-kernel", "region-race"),
+            ("audit-unstable-reduction", "unstable-accumulation"),
+            ("audit-unsnapshotted-state", "snapshot-coverage"),
+            ("audit-rng-in-region", "rng-in-region"),
+            ("audit-thread-chunking", "thread-dependent-chunking"),
         ];
         for &(fixture, rule) in expected_rules {
             let diags = run(fixture).expect("known fixture");

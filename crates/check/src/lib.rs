@@ -19,6 +19,11 @@
 //! * [`ckpt`] — checkpoint lints: snapshot bytes are validated against the
 //!   `aibench-ckpt` wire format (magic, version, checksums, framing), and
 //!   every benchmark's snapshot/restore round-trip must be byte-stable.
+//! * [`audit`] — region-effect analyses over `aibench-audit`: cross-chunk
+//!   race detection on recorded access sets, determinism lints (unstable
+//!   accumulation, RNG in parallel regions, thread-dependent chunking),
+//!   and snapshot-coverage diffing of each trainer's mutation fingerprint
+//!   against its `save_state` tree.
 //! * [`faults`] — fault-supervision lints over `aibench-fault`: an empty
 //!   schedule must be bitwise identical to the plain runner, injections
 //!   must replay bit for bit, rollback must skip unreadable snapshots, and
@@ -29,7 +34,9 @@
 //! exits nonzero on any violation.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod ckpt;
 pub mod counts;
 pub mod faults;

@@ -2,7 +2,7 @@
 //! the full benchmark registry and exits nonzero on any violation.
 //!
 //! ```text
-//! aibench-check [--all | --specs | --traces | --tape | --ckpt | --faults]
+//! aibench-check [--all | --specs | --traces | --tape | --ckpt | --faults | --audit]
 //!               [--benchmark CODE] [--fixture NAME]
 //! ```
 //!
@@ -12,18 +12,22 @@
 //! * `--ckpt`   snapshot wire-format + restore round-trip byte-stability
 //! * `--faults` supervised-runner contracts: empty-schedule identity,
 //!   injection replay, rollback integrity, fault-kind coverage (slow)
+//! * `--audit`  region-effect audit: race detection over recorded access
+//!   sets, determinism lints, snapshot-coverage diffing (slow)
 //! * `--all`    everything above (default)
 //! * `--benchmark CODE` restrict any mode to one benchmark (e.g. DC-AI-C1)
 //! * `--fixture NAME` run one seeded-defect fixture (see `--list-fixtures`);
 //!   exits nonzero because the fixture's defect is detected
 
+#![forbid(unsafe_code)]
+
 use aibench::{Benchmark, Registry};
-use aibench_check::{ckpt, counts, faults, fixtures, shape, tape, trace, CheckReport};
+use aibench_check::{audit, ckpt, counts, faults, fixtures, shape, tape, trace, CheckReport};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: aibench-check [--all | --specs | --traces | --tape | --ckpt | --faults] \
+        "usage: aibench-check [--all | --specs | --traces | --tape | --ckpt | --faults | --audit] \
          [--benchmark CODE] [--fixture NAME | --list-fixtures]"
     );
     ExitCode::from(2)
@@ -37,7 +41,7 @@ fn main() -> ExitCode {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--all" | "--specs" | "--traces" | "--tape" | "--ckpt" | "--faults" => {
+            "--all" | "--specs" | "--traces" | "--tape" | "--ckpt" | "--faults" | "--audit" => {
                 if mode.replace(arg.clone()).is_some() {
                     return usage();
                 }
@@ -123,6 +127,11 @@ fn main() -> ExitCode {
         }
         report.absorb(faults::check_resume_integrity(&registry));
         report.absorb(faults::check_fixture_coverage());
+    }
+    if mode == "--all" || mode == "--audit" {
+        for b in &selected {
+            report.absorb(audit::audit_benchmark(b));
+        }
     }
 
     for d in &report.diagnostics {

@@ -28,6 +28,7 @@
 //! and `core` all implement its traits for their own types.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod crc32;
 mod error;

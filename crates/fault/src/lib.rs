@@ -27,6 +27,7 @@
 //! runner.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod inject;
 pub mod policy;

@@ -31,6 +31,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod device;
 mod exec;

@@ -17,6 +17,7 @@
 //! implements: one call per epoch plus a quality evaluation.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod catalog;
 pub mod scaled;

@@ -84,6 +84,7 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self) {
+        let _scope = aibench_parallel::effects::kernel_scope("sgd_step");
         for (p, v) in self.params.iter().zip(&mut self.velocity) {
             let mut update = p.grad().clone();
             if self.weight_decay > 0.0 {
@@ -160,6 +161,7 @@ impl Optimizer for Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         let chunk = aibench_parallel::ELEMWISE_CHUNK;
+        let _scope = aibench_parallel::effects::kernel_scope("adam_step");
         for ((p, m), v) in self.params.iter().zip(&mut self.m).zip(&mut self.v) {
             let g = p.grad().clone();
             let b1 = self.beta1;
@@ -167,11 +169,13 @@ impl Optimizer for Adam {
             // Each moment update is independent per element, so the chunked
             // parallel loops below are thread-count invariant.
             aibench_parallel::parallel_slice_mut(m.data_mut(), chunk, |range, mc| {
+                aibench_parallel::effects::read(g.data(), range.clone());
                 for (mi, &gi) in mc.iter_mut().zip(&g.data()[range]) {
                     *mi = b1 * *mi + (1.0 - b1) * gi;
                 }
             });
             aibench_parallel::parallel_slice_mut(v.data_mut(), chunk, |range, vc| {
+                aibench_parallel::effects::read(g.data(), range.clone());
                 for (vi, &gi) in vc.iter_mut().zip(&g.data()[range]) {
                     *vi = b2 * *vi + (1.0 - b2) * gi * gi;
                 }
@@ -179,6 +183,8 @@ impl Optimizer for Adam {
             let (lr, eps) = (self.lr, self.eps);
             let mut val = p.value_mut();
             aibench_parallel::parallel_slice_mut(val.data_mut(), chunk, |range, xc| {
+                aibench_parallel::effects::read(m.data(), range.clone());
+                aibench_parallel::effects::read(v.data(), range.clone());
                 for ((xi, &mi), &vi) in xc
                     .iter_mut()
                     .zip(&m.data()[range.clone()])
@@ -238,10 +244,12 @@ impl RmsProp {
 impl Optimizer for RmsProp {
     fn step(&mut self) {
         let chunk = aibench_parallel::ELEMWISE_CHUNK;
+        let _scope = aibench_parallel::effects::kernel_scope("rmsprop_step");
         for (p, s) in self.params.iter().zip(&mut self.sq) {
             let g = p.grad().clone();
             let a = self.alpha;
             aibench_parallel::parallel_slice_mut(s.data_mut(), chunk, |range, sc| {
+                aibench_parallel::effects::read(g.data(), range.clone());
                 for (si, &gi) in sc.iter_mut().zip(&g.data()[range]) {
                     *si = a * *si + (1.0 - a) * gi * gi;
                 }
@@ -249,6 +257,8 @@ impl Optimizer for RmsProp {
             let (lr, eps) = (self.lr, self.eps);
             let mut val = p.value_mut();
             aibench_parallel::parallel_slice_mut(val.data_mut(), chunk, |range, xc| {
+                aibench_parallel::effects::read(s.data(), range.clone());
+                aibench_parallel::effects::read(g.data(), range.clone());
                 for ((xi, &si), &gi) in xc
                     .iter_mut()
                     .zip(&s.data()[range.clone()])

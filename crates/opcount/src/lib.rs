@@ -24,6 +24,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 use aibench_models::{LayerKind, ModelSpec};
 

@@ -44,7 +44,9 @@
 //! ```
 
 #![deny(missing_docs)]
+#![deny(unsafe_code)]
 
+pub mod effects;
 mod pool;
 
 use std::ops::Range;
@@ -184,6 +186,18 @@ pub fn stats() -> PoolStats {
 ///
 /// `chunk` is clamped to at least 1.
 pub fn for_each_chunk(n: usize, chunk: usize, f: impl Fn(usize, Range<usize>) + Sync) {
+    for_each_chunk_tagged("for_each_chunk", n, chunk, f)
+}
+
+/// [`for_each_chunk`] with the opening primitive's name recorded in the
+/// region's effect descriptor (only meaningful under the `sanitize`
+/// feature; see [`effects`]).
+fn for_each_chunk_tagged(
+    primitive: &'static str,
+    n: usize,
+    chunk: usize,
+    f: impl Fn(usize, Range<usize>) + Sync,
+) {
     let chunk = chunk.max(1);
     let nchunks = n.div_ceil(chunk);
     if nchunks == 0 {
@@ -191,9 +205,10 @@ pub fn for_each_chunk(n: usize, chunk: usize, f: impl Fn(usize, Range<usize>) + 
     }
     let range_of = |c: usize| c * chunk..((c + 1) * chunk).min(n);
     let pool = pool::global_pool();
+    let region = effects::open_region(primitive, n, chunk, pool.threads());
     if nchunks == 1 || pool.threads() == 1 || in_parallel_region() {
         for c in 0..nchunks {
-            f(c, range_of(c));
+            effects::in_chunk(&region, c, || f(c, range_of(c)));
         }
         return;
     }
@@ -204,7 +219,7 @@ pub fn for_each_chunk(n: usize, chunk: usize, f: impl Fn(usize, Range<usize>) + 
         if c >= nchunks {
             break;
         }
-        f(c, range_of(c));
+        effects::in_chunk(&region, c, || f(c, range_of(c)));
         pool.counters.per_worker[who].fetch_add(1, Ordering::Relaxed);
     });
 }
@@ -212,7 +227,7 @@ pub fn for_each_chunk(n: usize, chunk: usize, f: impl Fn(usize, Range<usize>) + 
 /// [`for_each_chunk`] without the chunk index: calls `f` on disjoint
 /// subranges of `0..n` covering it exactly once.
 pub fn parallel_for(n: usize, chunk: usize, f: impl Fn(Range<usize>) + Sync) {
-    for_each_chunk(n, chunk, |_, range| f(range));
+    for_each_chunk_tagged("parallel_for", n, chunk, |_, range| f(range));
 }
 
 /// Splits `data` into fixed `chunk`-sized pieces and calls
@@ -226,14 +241,21 @@ pub fn parallel_slice_mut<T: Send>(
     f: impl Fn(Range<usize>, &mut [T]) + Sync,
 ) {
     let len = data.len();
+    let addr = data.as_ptr() as usize;
     let base = SendPtr(data.as_mut_ptr());
     // Capture the `Sync` wrapper, not the raw pointer field (2021 edition
     // closures capture disjoint fields by default).
     let base = &base;
-    parallel_for(len, chunk, move |range| {
-        // SAFETY: `parallel_for` hands out disjoint subranges of `0..len`,
-        // each claimed by exactly one thread, so the reconstructed slices
-        // never alias; the borrow of `data` outlives the region.
+    for_each_chunk_tagged("parallel_slice_mut", len, chunk, move |_, range| {
+        // The piece handed to `f` is written by this chunk exclusively;
+        // record that fact so the audit layer sees it without every caller
+        // having to declare the obvious.
+        effects::record_write_raw(addr, range.clone());
+        // SAFETY: `for_each_chunk_tagged` hands out disjoint subranges of
+        // `0..len`, each claimed by exactly one thread, so the
+        // reconstructed slices never alias; the borrow of `data` outlives
+        // the region.
+        #[allow(unsafe_code)]
         let piece = unsafe { std::slice::from_raw_parts_mut(base.0.add(range.start), range.len()) };
         f(range, piece);
     });
@@ -242,7 +264,15 @@ pub fn parallel_slice_mut<T: Send>(
 /// A raw pointer that may cross thread boundaries. The primitives using it
 /// guarantee disjoint access per thread.
 struct SendPtr<T>(*mut T);
+// SAFETY: `SendPtr` is only ever used by `parallel_slice_mut`, which hands
+// each thread a disjoint element range of the pointee; no two threads touch
+// the same element, and the exclusive borrow it was created from pins the
+// allocation for the whole region.
+#[allow(unsafe_code)]
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: see the `Send` impl above — shared references to the wrapper only
+// ever dereference disjoint ranges.
+#[allow(unsafe_code)]
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 /// Order-stable parallel reduction.
@@ -269,9 +299,11 @@ pub fn parallel_reduce<T: Send>(
         return acc;
     }
     let pool = pool::global_pool();
+    let region = effects::open_region("parallel_reduce", n, chunk, pool.threads());
     if nchunks == 1 || pool.threads() == 1 || in_parallel_region() {
         for c in 0..nchunks {
-            acc = fold(acc, map(range_of(c)));
+            let part = effects::in_chunk(&region, c, || map(range_of(c)));
+            acc = fold(acc, part);
         }
         return acc;
     }
@@ -283,7 +315,7 @@ pub fn parallel_reduce<T: Send>(
         if c >= nchunks {
             break;
         }
-        let part = map(range_of(c));
+        let part = effects::in_chunk(&region, c, || map(range_of(c)));
         partials
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -305,7 +337,7 @@ pub fn parallel_reduce<T: Send>(
 /// aggregation) is independent of the thread count.
 pub fn parallel_map<T: Send>(n: usize, chunk: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
     let pieces: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::new());
-    for_each_chunk(n, chunk, |c, range| {
+    for_each_chunk_tagged("parallel_map", n, chunk, |c, range| {
         let part: Vec<T> = range.map(&f).collect();
         pieces
             .lock()
@@ -345,7 +377,10 @@ pub fn sum_f32(data: &[f32]) -> f32 {
         data.len(),
         REDUCE_CHUNK,
         || 0.0f32,
-        |range| data[range].iter().sum::<f32>(),
+        |range| {
+            effects::read(data, range.clone());
+            data[range].iter().sum::<f32>()
+        },
         |acc, part| acc + part,
     )
 }
@@ -357,7 +392,10 @@ pub fn sum_map_f32(data: &[f32], f: impl Fn(f32) -> f32 + Sync) -> f32 {
         data.len(),
         REDUCE_CHUNK,
         || 0.0f32,
-        |range| data[range].iter().map(|&x| f(x)).sum::<f32>(),
+        |range| {
+            effects::read(data, range.clone());
+            data[range].iter().map(|&x| f(x)).sum::<f32>()
+        },
         |acc, part| acc + part,
     )
 }
@@ -460,6 +498,62 @@ mod tests {
                 });
             });
             assert_eq!(count.load(Ordering::Relaxed), 800);
+        });
+    }
+
+    #[test]
+    fn empty_slice_is_a_no_op() {
+        with_threads(4, || {
+            let mut data: Vec<f32> = Vec::new();
+            let before = stats();
+            parallel_slice_mut(&mut data, ELEMWISE_CHUNK, |_, _| {
+                panic!("must not be called for an empty slice");
+            });
+            assert_eq!(stats().delta(&before).regions, 0);
+            assert!(data.is_empty());
+            // The zero-length degenerate of the other primitives too.
+            assert_eq!(sum_f32(&[]), 0.0);
+            assert!(parallel_map(0, 8, |i| i).is_empty());
+        });
+    }
+
+    #[test]
+    fn slice_shorter_than_thread_count_is_covered_exactly() {
+        // More threads than elements: every element must still be written
+        // exactly once, with chunk boundaries from the size-only rule.
+        with_threads(8, || {
+            for len in 1..6usize {
+                let mut data = vec![0usize; len];
+                parallel_slice_mut(&mut data, 1, |range, piece| {
+                    piece[0] = range.start + 1;
+                });
+                assert!(
+                    data.iter().enumerate().all(|(i, &v)| v == i + 1),
+                    "len {len}"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn nested_slice_mut_degrades_without_aliasing() {
+        // A slice_mut region opened inside another parallel region must run
+        // inline on the calling thread and still hand out disjoint pieces.
+        with_threads(4, || {
+            let mut out = vec![0.0f32; 16];
+            parallel_slice_mut(&mut out, 1, |range, piece| {
+                let mut scratch = vec![0.0f32; 64];
+                parallel_slice_mut(&mut scratch, 8, |inner, s| {
+                    for (v, i) in s.iter_mut().zip(inner) {
+                        *v = (range.start * 100 + i) as f32;
+                    }
+                });
+                piece[0] = scratch.iter().sum();
+            });
+            for (i, &v) in out.iter().enumerate() {
+                let expect = (0..64).map(|j| (i * 100 + j) as f32).sum::<f32>();
+                assert_eq!(v.to_bits(), expect.to_bits(), "outer chunk {i}");
+            }
         });
     }
 

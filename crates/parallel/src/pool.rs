@@ -47,6 +47,7 @@ struct JobPtr(*const (dyn Fn(usize) + Sync));
 
 // SAFETY: the pointee is `Sync` (shared invocation from many threads is
 // allowed) and `broadcast` joins all workers before the borrow expires.
+#[allow(unsafe_code)]
 unsafe impl Send for JobPtr {}
 
 /// State shared between the pool handle and its workers.
@@ -156,6 +157,7 @@ impl ThreadPool {
         // done with the pointer before this frame can return or unwind.
         let short = f as *const (dyn Fn(usize) + Sync + '_);
         #[allow(clippy::missing_transmute_annotations)] // widens only the lifetime bound
+        #[allow(unsafe_code)]
         let job = JobPtr(unsafe { std::mem::transmute(short) });
         {
             let mut slot = self.shared.slot.lock().unwrap_or_else(|e| e.into_inner());
@@ -236,6 +238,7 @@ fn worker_loop(shared: &Shared, idx: usize) {
         };
         // SAFETY: the broadcaster keeps the pointee alive until `remaining`
         // drops to zero, which only happens after this call returns.
+        #[allow(unsafe_code)]
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             with_region_marker(|| unsafe { (*job.0)(idx) })
         }));

@@ -12,6 +12,8 @@
 //! without a persistence file, and there is no shrinking — a failing case
 //! panics with the standard assertion message instead.
 
+#![forbid(unsafe_code)]
+
 /// Deterministic splitmix64 generator driving all strategy sampling.
 #[derive(Debug, Clone)]
 pub struct TestRng {

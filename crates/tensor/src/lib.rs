@@ -21,6 +21,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod ckpt;
 mod rng;

@@ -4,6 +4,8 @@
 //! normalized by exactly one thread in serial order, so results are bitwise
 //! identical for every `AIBENCH_THREADS` value.
 
+use aibench_parallel::effects;
+
 use crate::Tensor;
 
 /// Rows handed to one worker at a time. Softmax rows are cheap, so chunks
@@ -30,10 +32,12 @@ pub fn softmax_last(x: &Tensor) -> Tensor {
     let inner = *x.shape().last().unwrap();
     let data = x.data();
     let mut out = Tensor::zeros(x.shape());
+    let _scope = effects::kernel_scope("softmax");
     aibench_parallel::parallel_slice_mut(
         out.data_mut(),
         ROW_BLOCK * inner.max(1),
         |range, block| {
+            effects::read(data, range.clone());
             for (row, dst) in data[range]
                 .chunks(inner.max(1))
                 .zip(block.chunks_mut(inner.max(1)))
@@ -65,10 +69,12 @@ pub fn log_softmax_last(x: &Tensor) -> Tensor {
     let inner = *x.shape().last().unwrap();
     let data = x.data();
     let mut out = Tensor::zeros(x.shape());
+    let _scope = effects::kernel_scope("log_softmax");
     aibench_parallel::parallel_slice_mut(
         out.data_mut(),
         ROW_BLOCK * inner.max(1),
         |range, block| {
+            effects::read(data, range.clone());
             for (row, dst) in data[range]
                 .chunks(inner.max(1))
                 .zip(block.chunks_mut(inner.max(1)))

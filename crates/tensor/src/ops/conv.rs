@@ -12,6 +12,8 @@
 //! gradients are folded in sample order, so all three kernels are bitwise
 //! identical for every `AIBENCH_THREADS` value.
 
+use aibench_parallel::effects;
+
 use super::matmul::gemm_into;
 use crate::Tensor;
 
@@ -163,10 +165,12 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, args: Conv2dArgs) -> Tensor {
     let kdim = ci * kh * kw;
     let cols = ho * wo;
     let mut out = vec![0.0f32; n * co * cols];
+    let _scope = effects::kernel_scope("conv2d_fwd");
     // One sample per chunk; each sample's im2col + GEMM writes a disjoint
     // output block.
     aibench_parallel::parallel_slice_mut(&mut out, co * cols, |range, out_s| {
         let s = range.start / (co * cols).max(1);
+        effects::read(input.data(), s * c * h * w..(s + 1) * c * h * w);
         let x = &input.data()[s * c * h * w..(s + 1) * c * h * w];
         let col = im2col(x, c, h, w, kh, kw, args, ho, wo);
         gemm_into(weight.data(), &col, out_s, co, kdim, cols);
@@ -221,10 +225,12 @@ pub fn conv2d_backward_input(
     // weight^T: [kdim, co]
     let wt = weight.reshape(&[co, kdim]).t();
     let mut out = vec![0.0f32; n * ci * h * w];
+    let _scope = effects::kernel_scope("conv2d_bwd_input");
     // One sample per chunk with a thread-local column buffer; each sample
     // folds into a disjoint input-gradient block.
     aibench_parallel::parallel_slice_mut(&mut out, ci * h * w, |range, out_s| {
         let s = range.start / (ci * h * w).max(1);
+        effects::read(grad_output.data(), s * co * cols..(s + 1) * co * cols);
         let mut col = vec![0.0f32; kdim * cols];
         let g = &grad_output.data()[s * co * cols..(s + 1) * co * cols];
         gemm_into(wt.data(), g, &mut col, kdim, co, cols);
@@ -273,12 +279,15 @@ pub fn conv2d_backward_weight(
     // Weight gradients sum over samples: an order-stable chunked reduction
     // (one sample per chunk, partials folded in sample order) keeps the
     // result identical for every thread count, including serial runs.
+    let _scope = effects::kernel_scope("conv2d_bwd_weight");
     let gw = aibench_parallel::parallel_reduce(
         n,
         1,
         || vec![0.0f32; co * kdim],
         |range| {
             let s = range.start;
+            effects::read(input.data(), s * c * h * w..(s + 1) * c * h * w);
+            effects::read(grad_output.data(), s * co * cols..(s + 1) * co * cols);
             let x = &input.data()[s * c * h * w..(s + 1) * c * h * w];
             let col = im2col(x, c, h, w, kh, kw, args, ho, wo);
             // grad_w_s = g [co, cols] * col^T [cols, kdim]

@@ -5,6 +5,8 @@
 //! with the same inner-loop order as serial code, so results are bitwise
 //! identical for every `AIBENCH_THREADS` value.
 
+use aibench_parallel::effects;
+
 use crate::Tensor;
 
 /// Cache-blocking tile edge. 32×32 f32 tiles (4 KiB each) keep three tiles
@@ -73,9 +75,12 @@ pub fn batch_matmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(ba, bb, "batch_matmul: batch dims {ba} vs {bb}");
     assert_eq!(k, k2, "batch_matmul: inner dims {k} vs {k2}");
     let mut out = vec![0.0f32; ba * m * n];
+    let _scope = effects::kernel_scope("batch_matmul");
     // One batch entry per chunk; every entry's GEMM is independent.
     aibench_parallel::parallel_slice_mut(&mut out, m * n, |range, out_i| {
         let i = range.start / (m * n).max(1);
+        effects::read(a.data(), i * m * k..(i + 1) * m * k);
+        effects::read(b.data(), i * k * n..(i + 1) * k * n);
         gemm_into(
             &a.data()[i * m * k..(i + 1) * m * k],
             &b.data()[i * k * n..(i + 1) * k * n],
@@ -94,10 +99,15 @@ pub fn batch_matmul(a: &Tensor, b: &Tensor) -> Tensor {
 /// does not depend on the thread count.
 pub(crate) fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(out.len(), m * n);
+    let _scope = effects::kernel_scope("gemm");
     aibench_parallel::parallel_slice_mut(out, ROW_CHUNK * n, |rows, out_block| {
         debug_assert_eq!(rows.start % n, 0);
         let i_lo = rows.start / n;
         let i_hi = rows.end / n;
+        // Each row block reads its own band of `a` and all of `b`; shared
+        // reads never conflict.
+        effects::read(a, i_lo * k..i_hi * k);
+        effects::read(b, 0..k * n);
         gemm_rows_into(a, b, out_block, i_lo..i_hi, k, n);
     });
 }
@@ -148,10 +158,13 @@ pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(k, b.shape()[0], "matmul_naive inner dim mismatch");
     let mut out = Tensor::zeros(&[m, n]);
     let (a_data, b_data) = (a.data(), b.data());
+    let _scope = effects::kernel_scope("matmul_naive");
     // Row-parallel like the blocked kernel; each dot product is computed
     // by one thread in index order, so results are thread-count invariant.
     aibench_parallel::parallel_slice_mut(out.data_mut(), n.max(1), |range, out_row| {
         let i = range.start / n.max(1);
+        effects::read(a_data, i * k..(i + 1) * k);
+        effects::read(b_data, 0..k * n);
         for (j, o) in out_row.iter_mut().enumerate() {
             let mut acc = 0.0;
             for kk in 0..k {

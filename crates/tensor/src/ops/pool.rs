@@ -5,6 +5,8 @@
 //! serial loop order, so results are bitwise identical for every
 //! `AIBENCH_THREADS` value.
 
+use aibench_parallel::effects;
+
 use crate::Tensor;
 
 /// Max-pools `[n, c, h, w]` with a `k`×`k` window and stride `stride`.
@@ -36,11 +38,13 @@ pub fn max_pool2d(input: &Tensor, k: usize, stride: usize) -> (Tensor, Vec<usize
     let wo = (w - k) / stride + 1;
     let plane_out = ho * wo;
     let in_data = input.data();
+    let _scope = effects::kernel_scope("max_pool2d");
     // Pass 1: the winning input index per output element, plane-parallel.
     let mut winners = vec![0usize; n * c * plane_out];
     aibench_parallel::parallel_slice_mut(&mut winners, plane_out, |range, win_plane| {
         let plane = range.start / plane_out.max(1);
         let base = plane * h * w;
+        effects::read(in_data, base..base + h * w);
         let mut oi = 0;
         for oy in 0..ho {
             for ox in 0..wo {
@@ -66,6 +70,7 @@ pub fn max_pool2d(input: &Tensor, k: usize, stride: usize) -> (Tensor, Vec<usize
         out.data_mut(),
         aibench_parallel::ELEMWISE_CHUNK,
         |range, out_chunk| {
+            effects::read(&winners, range.clone());
             for (o, &idx) in out_chunk.iter_mut().zip(&winners[range]) {
                 *o = in_data[idx];
             }
@@ -95,9 +100,12 @@ pub fn max_pool2d_backward(
     let plane_out = grad_output.len().checked_div(planes).unwrap_or(0);
     let go = grad_output.data();
     let mut gx = Tensor::zeros(input_shape);
+    let _scope = effects::kernel_scope("max_pool2d_bwd");
     aibench_parallel::parallel_slice_mut(gx.data_mut(), plane_in, |range, gx_plane| {
         let plane = range.start / plane_in.max(1);
         let base = plane * plane_in;
+        effects::read(go, plane * plane_out..(plane + 1) * plane_out);
+        effects::read(winners, plane * plane_out..(plane + 1) * plane_out);
         for oi in plane * plane_out..(plane + 1) * plane_out {
             // Indexing the plane slice bounds-checks the same-plane
             // guarantee documented above.
@@ -135,9 +143,11 @@ pub fn avg_pool2d(input: &Tensor, k: usize, stride: usize) -> Tensor {
     let inv = 1.0 / (k * k) as f32;
     let in_data = input.data();
     let mut out = Tensor::zeros(&[n, c, ho, wo]);
+    let _scope = effects::kernel_scope("avg_pool2d");
     aibench_parallel::parallel_slice_mut(out.data_mut(), plane_out, |range, out_plane| {
         let plane = range.start / plane_out.max(1);
         let base = plane * h * w;
+        effects::read(in_data, base..base + h * w);
         let mut oi = 0;
         for oy in 0..ho {
             for ox in 0..wo {
@@ -171,8 +181,10 @@ pub fn avg_pool2d_backward(
     let inv = 1.0 / (k * k) as f32;
     let go = grad_output.data();
     let mut gx = Tensor::zeros(input_shape);
+    let _scope = effects::kernel_scope("avg_pool2d_bwd");
     aibench_parallel::parallel_slice_mut(gx.data_mut(), plane_in, |range, gx_plane| {
         let plane = range.start / plane_in.max(1);
+        effects::read(go, plane * plane_out..(plane + 1) * plane_out);
         let mut oi = plane * plane_out;
         for oy in 0..ho {
             for ox in 0..wo {

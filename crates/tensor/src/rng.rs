@@ -40,6 +40,10 @@ impl Rng {
 
     /// Returns the next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
+        // Every draw funnels through here; under the audit sanitizer this
+        // flags draws made from inside a parallel region, where a shared
+        // generator's stream order would depend on chunk scheduling.
+        aibench_parallel::effects::note_rng_draw();
         let mut x = self.state;
         x ^= x >> 12;
         x ^= x << 25;

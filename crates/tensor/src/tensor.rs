@@ -304,10 +304,12 @@ impl Tensor {
     /// thread count.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
         let mut data = vec![0.0f32; self.data.len()];
+        let _scope = aibench_parallel::effects::kernel_scope("tensor_map");
         aibench_parallel::parallel_slice_mut(
             &mut data,
             aibench_parallel::ELEMWISE_CHUNK,
             |range, out| {
+                aibench_parallel::effects::read(&self.data, range.clone());
                 for (o, &x) in out.iter_mut().zip(&self.data[range]) {
                     *o = f(x);
                 }
@@ -321,6 +323,7 @@ impl Tensor {
 
     /// Applies `f` elementwise in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        let _scope = aibench_parallel::effects::kernel_scope("tensor_map_inplace");
         aibench_parallel::parallel_slice_mut(
             &mut self.data,
             aibench_parallel::ELEMWISE_CHUNK,
@@ -344,10 +347,13 @@ impl Tensor {
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         if self.shape == other.shape {
             let mut data = vec![0.0f32; self.data.len()];
+            let _scope = aibench_parallel::effects::kernel_scope("tensor_zip");
             aibench_parallel::parallel_slice_mut(
                 &mut data,
                 aibench_parallel::ELEMWISE_CHUNK,
                 |range, out| {
+                    aibench_parallel::effects::read(&self.data, range.clone());
+                    aibench_parallel::effects::read(&other.data, range.clone());
                     for ((o, &a), &b) in out
                         .iter_mut()
                         .zip(&self.data[range.clone()])
@@ -457,10 +463,12 @@ impl Tensor {
     /// Panics if the shapes differ.
     pub fn add_scaled_inplace(&mut self, other: &Tensor, alpha: f32) {
         assert_eq!(self.shape, other.shape, "add_scaled_inplace shape mismatch");
+        let _scope = aibench_parallel::effects::kernel_scope("add_scaled");
         aibench_parallel::parallel_slice_mut(
             &mut self.data,
             aibench_parallel::ELEMWISE_CHUNK,
             |range, chunk| {
+                aibench_parallel::effects::read(&other.data, range.clone());
                 for (a, &b) in chunk.iter_mut().zip(&other.data[range]) {
                     *a += alpha * b;
                 }
@@ -512,6 +520,7 @@ impl Tensor {
     /// folded in ascending order, so the result is bitwise identical for
     /// every `AIBENCH_THREADS` value (including 1).
     pub fn sum(&self) -> f32 {
+        let _scope = aibench_parallel::effects::kernel_scope("tensor_sum");
         aibench_parallel::sum_f32(&self.data)
     }
 
@@ -621,6 +630,7 @@ impl Tensor {
     /// Uses the same order-stable chunked accumulation as [`Tensor::sum`],
     /// so the result does not depend on the thread count.
     pub fn sq_norm(&self) -> f32 {
+        let _scope = aibench_parallel::effects::kernel_scope("tensor_sq_norm");
         aibench_parallel::sum_map_f32(&self.data, |x| x * x)
     }
 
