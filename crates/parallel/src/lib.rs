@@ -284,6 +284,36 @@ unsafe impl<T: Send> Sync for SendPtr<T> {}
 /// floating-point results are bitwise identical for any thread count. The
 /// price is that all partials of a parallel run are buffered before
 /// folding; keep partials small (scalars or one flat buffer per chunk).
+///
+/// # Ordering guarantee
+///
+/// The fold sequence is `fold(...fold(fold(init(), map(chunk 0)),
+/// map(chunk 1))..., map(chunk last))` — ascending chunk index, left
+/// associated — regardless of which threads computed which chunks or in
+/// what order they finished:
+///
+/// ```
+/// use aibench_parallel as par;
+/// // A non-commutative fold observes the exact chunk order:
+/// let order = par::parallel_reduce(
+///     100,
+///     9,
+///     Vec::new,
+///     |range| vec![range.start],
+///     |mut acc, part| {
+///         acc.extend(part);
+///         acc
+///     },
+/// );
+/// assert_eq!(order, (0..100).step_by(9).collect::<Vec<_>>());
+///
+/// // So float sums are bitwise reproducible at any thread count:
+/// let data: Vec<f32> = (0..50_000).map(|i| (i as f32).sin()).collect();
+/// let one = par::sum_f32(&data);
+/// par::set_threads(8);
+/// assert_eq!(par::sum_f32(&data).to_bits(), one.to_bits());
+/// par::set_threads(1);
+/// ```
 pub fn parallel_reduce<T: Send>(
     n: usize,
     chunk: usize,
@@ -368,10 +398,74 @@ pub const REDUCE_CHUNK: usize = 4096;
 /// split work across threads for mid-sized tensors.
 pub const ELEMWISE_CHUNK: usize = 8192;
 
-/// Order-stable sum of an `f32` slice: partial sums over fixed
-/// [`REDUCE_CHUNK`]-element chunks, folded in chunk order. Bitwise
-/// identical for any thread count; identical to a plain serial sum for
-/// slices no longer than one chunk.
+/// Number of independent accumulator lanes used inside one reduction
+/// chunk (see [`lane_sum_f32`]).
+///
+/// Like [`REDUCE_CHUNK`], this constant is part of the determinism
+/// contract: it fixes which elements each lane accumulates, so changing it
+/// changes low-order bits of reduced values exactly as a serial algorithm
+/// change would. It must never be derived from the thread count.
+pub const REDUCE_LANES: usize = 8;
+
+/// Blocked, order-stable sum of one slice: [`REDUCE_LANES`] accumulator
+/// lanes, lane `j` summing elements `j, j + LANES, j + 2*LANES, ...` in
+/// ascending order, then folded left-to-right (`((l0 + l1) + l2) + ...`).
+///
+/// The lane assignment and fold order depend only on the slice length, so
+/// the result is a pure function of the data — reproducible across runs,
+/// thread counts, and the `simd` feature — while the independent lanes let
+/// the compiler vectorize what a strictly sequential sum cannot. This is
+/// the per-chunk kernel of [`sum_f32`]; use it directly only when the data
+/// is known to fit one chunk.
+///
+/// # Example
+///
+/// ```
+/// use aibench_parallel::{lane_sum_f32, REDUCE_LANES};
+/// let data: Vec<f32> = (0..100).map(|i| i as f32).collect();
+/// // Emulate the documented order scalar-wise:
+/// let mut lanes = [0.0f32; REDUCE_LANES];
+/// for (i, &x) in data.iter().enumerate() {
+///     lanes[i % REDUCE_LANES] += x;
+/// }
+/// let expect = lanes.iter().skip(1).fold(lanes[0], |a, &l| a + l);
+/// assert_eq!(lane_sum_f32(&data).to_bits(), expect.to_bits());
+/// ```
+pub fn lane_sum_f32(data: &[f32]) -> f32 {
+    lane_sum_map_f32(data, |x| x)
+}
+
+/// [`lane_sum_f32`] over `f(x)` instead of `x` (same lane assignment and
+/// fold order).
+pub fn lane_sum_map_f32(data: &[f32], f: impl Fn(f32) -> f32) -> f32 {
+    let mut lanes = [0.0f32; REDUCE_LANES];
+    let mut groups = data.chunks_exact(REDUCE_LANES);
+    for g in groups.by_ref() {
+        for (l, &x) in lanes.iter_mut().zip(g) {
+            *l += f(x);
+        }
+    }
+    for (l, &x) in lanes.iter_mut().zip(groups.remainder()) {
+        *l += f(x);
+    }
+    lanes.iter().skip(1).fold(lanes[0], |a, &l| a + l)
+}
+
+/// Order-stable sum of an `f32` slice: [`lane_sum_f32`] partials over
+/// fixed [`REDUCE_CHUNK`]-element chunks, folded in chunk order. Bitwise
+/// identical for any thread count (including 1); within a chunk the
+/// blocked lane order of [`lane_sum_f32`] applies.
+///
+/// # Example
+///
+/// ```
+/// use aibench_parallel as par;
+/// let data = vec![0.5f32; 10_000];
+/// let reference = par::sum_f32(&data);
+/// par::set_threads(4);
+/// assert_eq!(par::sum_f32(&data).to_bits(), reference.to_bits());
+/// par::set_threads(1);
+/// ```
 pub fn sum_f32(data: &[f32]) -> f32 {
     parallel_reduce(
         data.len(),
@@ -379,14 +473,15 @@ pub fn sum_f32(data: &[f32]) -> f32 {
         || 0.0f32,
         |range| {
             effects::read(data, range.clone());
-            data[range].iter().sum::<f32>()
+            lane_sum_f32(&data[range])
         },
         |acc, part| acc + part,
     )
 }
 
-/// Order-stable sum of `f(x)` over an `f32` slice (chunked like
-/// [`sum_f32`]); used for squared norms and similar scalar reductions.
+/// Order-stable sum of `f(x)` over an `f32` slice (chunked and
+/// lane-blocked like [`sum_f32`]); used for squared norms and similar
+/// scalar reductions.
 pub fn sum_map_f32(data: &[f32], f: impl Fn(f32) -> f32 + Sync) -> f32 {
     parallel_reduce(
         data.len(),
@@ -394,7 +489,7 @@ pub fn sum_map_f32(data: &[f32], f: impl Fn(f32) -> f32 + Sync) -> f32 {
         || 0.0f32,
         |range| {
             effects::read(data, range.clone());
-            data[range].iter().map(|&x| f(x)).sum::<f32>()
+            lane_sum_map_f32(&data[range], &f)
         },
         |acc, part| acc + part,
     )

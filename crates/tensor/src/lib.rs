@@ -22,6 +22,7 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 
 mod ckpt;
 mod rng;

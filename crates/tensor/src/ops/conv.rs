@@ -14,8 +14,52 @@
 
 use aibench_parallel::effects;
 
-use super::matmul::gemm_into;
+use super::microkernel::gemm_into;
 use crate::Tensor;
+
+/// How [`conv2d`] lowers a given geometry.
+///
+/// Selection is a pure function of the shapes (never of data or thread
+/// count), so a given geometry always takes the same path and results stay
+/// deterministic. All paths accumulate each output element over
+/// `(c_in, kh, kw)` in ascending index order — the same order the im2col
+/// GEMM uses — so for unpadded geometries the paths are bitwise identical
+/// (padding contributes explicit `+0.0` terms on the im2col path only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvAlgo {
+    /// Unfold each sample into an im2col matrix, then one packed GEMM per
+    /// sample. The default for everything with real spatial extent.
+    Im2colGemm,
+    /// 1x1 kernel, stride 1, no padding: the convolution *is* a GEMM over
+    /// channels, computed in place with no unfold copy.
+    DirectGemm,
+    /// Tiny problems where allocating the im2col buffer dominates the
+    /// arithmetic: plain nested loops over the output.
+    DirectLoops,
+}
+
+/// Work (multiply-adds) below which [`ConvAlgo::DirectLoops`] wins over
+/// paying the im2col allocation + copy.
+const DIRECT_LOOPS_THRESHOLD_FLOPS: usize = 8 * 1024;
+
+impl ConvAlgo {
+    /// Selects the lowering for `conv2d(input, weight, args)` from shapes
+    /// alone: `input` is `[n, c, h, w]`, `weight` is `[co, ci, kh, kw]`.
+    pub fn select(input: &[usize], weight: &[usize], args: Conv2dArgs) -> ConvAlgo {
+        let (h, w) = (input[2], input[3]);
+        let (co, ci, kh, kw) = (weight[0], weight[1], weight[2], weight[3]);
+        if kh == 1 && kw == 1 && args.stride == 1 && args.pad == 0 {
+            return ConvAlgo::DirectGemm;
+        }
+        let ho = args.out_extent(h, kh);
+        let wo = args.out_extent(w, kw);
+        let flops_per_sample = co * ci * kh * kw * ho * wo;
+        if flops_per_sample < DIRECT_LOOPS_THRESHOLD_FLOPS {
+            return ConvAlgo::DirectLoops;
+        }
+        ConvAlgo::Im2colGemm
+    }
+}
 
 /// Geometry of a 2-D convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,18 +208,79 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, args: Conv2dArgs) -> Tensor {
     let wo = args.out_extent(w, kw);
     let kdim = ci * kh * kw;
     let cols = ho * wo;
+    let algo = ConvAlgo::select(input.shape(), weight.shape(), args);
     let mut out = vec![0.0f32; n * co * cols];
     let _scope = effects::kernel_scope("conv2d_fwd");
-    // One sample per chunk; each sample's im2col + GEMM writes a disjoint
-    // output block.
+    // One sample per chunk; each sample's lowering writes a disjoint
+    // output block. The algorithm is fixed per geometry (see [`ConvAlgo`]).
     aibench_parallel::parallel_slice_mut(&mut out, co * cols, |range, out_s| {
         let s = range.start / (co * cols).max(1);
         effects::read(input.data(), s * c * h * w..(s + 1) * c * h * w);
         let x = &input.data()[s * c * h * w..(s + 1) * c * h * w];
-        let col = im2col(x, c, h, w, kh, kw, args, ho, wo);
-        gemm_into(weight.data(), &col, out_s, co, kdim, cols);
+        match algo {
+            // 1x1/stride-1/unpadded: the sample itself is already the
+            // [c, h*w] im2col matrix — multiply in place, no copy.
+            ConvAlgo::DirectGemm => gemm_into(weight.data(), x, out_s, co, kdim, cols),
+            ConvAlgo::DirectLoops => conv_direct_sample(
+                x,
+                weight.data(),
+                out_s,
+                (c, h, w),
+                (co, kh, kw),
+                args,
+                ho,
+                wo,
+            ),
+            ConvAlgo::Im2colGemm => {
+                let col = im2col(x, c, h, w, kh, kw, args, ho, wo);
+                gemm_into(weight.data(), &col, out_s, co, kdim, cols);
+            }
+        }
     });
     Tensor::from_vec(out, &[n, co, ho, wo])
+}
+
+/// Direct (loop-nest) convolution of one sample: each output element
+/// accumulates over `(ci, ki, kj)` in ascending order — the im2col GEMM's
+/// exact order — skipping out-of-bounds taps instead of multiplying
+/// explicit zeros.
+#[allow(clippy::too_many_arguments)] // full conv geometry is inherently wide
+fn conv_direct_sample(
+    x: &[f32],
+    weight: &[f32],
+    out_s: &mut [f32],
+    (c, h, w): (usize, usize, usize),
+    (co, kh, kw): (usize, usize, usize),
+    args: Conv2dArgs,
+    ho: usize,
+    wo: usize,
+) {
+    for o in 0..co {
+        let w_filter = &weight[o * c * kh * kw..(o + 1) * c * kh * kw];
+        let out_plane = &mut out_s[o * ho * wo..(o + 1) * ho * wo];
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let mut acc = 0.0f32;
+                for ci in 0..c {
+                    for ki in 0..kh {
+                        let iy = (oy * args.stride + ki) as isize - args.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let x_row = &x[(ci * h + iy as usize) * w..(ci * h + iy as usize + 1) * w];
+                        let w_row = &w_filter[(ci * kh + ki) * kw..(ci * kh + ki + 1) * kw];
+                        for (kj, &wv) in w_row.iter().enumerate() {
+                            let ix = (ox * args.stride + kj) as isize - args.pad as isize;
+                            if ix >= 0 && ix < w as isize {
+                                acc += x_row[ix as usize] * wv;
+                            }
+                        }
+                    }
+                }
+                out_plane[oy * wo + ox] = acc;
+            }
+        }
+    }
 }
 
 /// Gradient of [`conv2d`] with respect to its input.
@@ -224,6 +329,9 @@ pub fn conv2d_backward_input(
     let cols = ho * wo;
     // weight^T: [kdim, co]
     let wt = weight.reshape(&[co, kdim]).t();
+    // For 1x1/stride-1/unpadded geometries col2im is the identity map, so
+    // the GEMM can write the input gradient directly (no column buffer).
+    let direct_1x1 = kh == 1 && kw == 1 && args.stride == 1 && args.pad == 0 && (ho, wo) == (h, w);
     let mut out = vec![0.0f32; n * ci * h * w];
     let _scope = effects::kernel_scope("conv2d_bwd_input");
     // One sample per chunk with a thread-local column buffer; each sample
@@ -231,10 +339,14 @@ pub fn conv2d_backward_input(
     aibench_parallel::parallel_slice_mut(&mut out, ci * h * w, |range, out_s| {
         let s = range.start / (ci * h * w).max(1);
         effects::read(grad_output.data(), s * co * cols..(s + 1) * co * cols);
-        let mut col = vec![0.0f32; kdim * cols];
         let g = &grad_output.data()[s * co * cols..(s + 1) * co * cols];
-        gemm_into(wt.data(), g, &mut col, kdim, co, cols);
-        col2im(&col, ci, h, w, kh, kw, args, ho, wo, out_s);
+        if direct_1x1 {
+            gemm_into(wt.data(), g, out_s, kdim, co, cols);
+        } else {
+            let mut col = vec![0.0f32; kdim * cols];
+            gemm_into(wt.data(), g, &mut col, kdim, co, cols);
+            col2im(&col, ci, h, w, kh, kw, args, ho, wo, out_s);
+        }
     });
     Tensor::from_vec(out, &[n, ci, h, w])
 }

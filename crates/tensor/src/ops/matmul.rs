@@ -1,27 +1,23 @@
-//! Blocked matrix multiplication.
+//! Matrix multiplication entry points.
 //!
-//! All entry points are multi-threaded over disjoint output-row blocks via
-//! `aibench-parallel`: each output row is produced entirely by one thread
-//! with the same inner-loop order as serial code, so results are bitwise
-//! identical for every `AIBENCH_THREADS` value.
+//! All products lower onto the packed cache-blocked microkernels in
+//! [`super::microkernel`], multi-threaded over disjoint output-row blocks
+//! via `aibench-parallel`: each output row is produced entirely by one
+//! thread with per-element accumulation in ascending `k` order, so results
+//! are bitwise identical for every `AIBENCH_THREADS` value — and bitwise
+//! identical to [`matmul_naive`].
 
 use aibench_parallel::effects;
 
+use super::microkernel::gemm_into;
 use crate::Tensor;
-
-/// Cache-blocking tile edge. 32×32 f32 tiles (4 KiB each) keep three tiles
-/// comfortably inside a typical 32 KiB L1 data cache.
-const TILE: usize = 32;
-
-/// Output rows handed to one worker at a time: a whole cache tile, so the
-/// parallel row partition coincides with the serial blocking.
-const ROW_CHUNK: usize = TILE;
 
 /// Matrix product of two 2-D tensors: `[m, k] x [k, n] -> [m, n]`.
 ///
-/// Uses i-k-j loop order with register accumulation and `TILE`-blocked
-/// traversal, which is typically 5-15x faster than the naive i-j-k order for
-/// the GEMM shapes used by the benchmark models.
+/// Lowers onto the packed register-tiled microkernel (see
+/// [`super::microkernel`]), which is typically 2-4x faster than the scalar
+/// tiled kernel for the GEMM shapes used by the benchmark models, and
+/// bitwise identical to the naive i-j-k loop.
 ///
 /// # Panics
 ///
@@ -93,63 +89,8 @@ pub fn batch_matmul(a: &Tensor, b: &Tensor) -> Tensor {
     Tensor::from_vec(out, &[ba, m, n])
 }
 
-/// `out += a[m,k] * b[k,n]` over pre-zeroed `out`, parallel over
-/// [`ROW_CHUNK`]-row blocks. Each output row accumulates in the same
-/// `k0`/`j0` tile order regardless of which thread owns it, so the result
-/// does not depend on the thread count.
-pub(crate) fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(out.len(), m * n);
-    let _scope = effects::kernel_scope("gemm");
-    aibench_parallel::parallel_slice_mut(out, ROW_CHUNK * n, |rows, out_block| {
-        debug_assert_eq!(rows.start % n, 0);
-        let i_lo = rows.start / n;
-        let i_hi = rows.end / n;
-        // Each row block reads its own band of `a` and all of `b`; shared
-        // reads never conflict.
-        effects::read(a, i_lo * k..i_hi * k);
-        effects::read(b, 0..k * n);
-        gemm_rows_into(a, b, out_block, i_lo..i_hi, k, n);
-    });
-}
-
-/// Serial tile-blocked GEMM over the output rows `i_range`; `out_block` is
-/// the output slice for exactly those rows.
-fn gemm_rows_into(
-    a: &[f32],
-    b: &[f32],
-    out_block: &mut [f32],
-    i_range: std::ops::Range<usize>,
-    k: usize,
-    n: usize,
-) {
-    let (i_lo, i_hi) = (i_range.start, i_range.end);
-    for i0 in (i_lo..i_hi).step_by(TILE) {
-        let i1 = (i0 + TILE).min(i_hi);
-        for k0 in (0..k).step_by(TILE) {
-            let k1 = (k0 + TILE).min(k);
-            for j0 in (0..n).step_by(TILE) {
-                let j1 = (j0 + TILE).min(n);
-                for i in i0..i1 {
-                    let a_row = &a[i * k..i * k + k];
-                    let out_row = &mut out_block[(i - i_lo) * n..(i - i_lo) * n + n];
-                    for kk in k0..k1 {
-                        let av = a_row[kk];
-                        if av == 0.0 {
-                            continue;
-                        }
-                        let b_row = &b[kk * n..kk * n + n];
-                        for j in j0..j1 {
-                            out_row[j] += av * b_row[j];
-                        }
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Naive reference GEMM, used only for validation and the matmul ablation
-/// bench.
+/// Naive reference GEMM, used for validation (the bitwise oracle of the
+/// microkernel regression tests) and the matmul ablation bench.
 pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.ndim(), 2, "matmul_naive: lhs must be 2-D");
     assert_eq!(b.ndim(), 2, "matmul_naive: rhs must be 2-D");
@@ -197,14 +138,20 @@ mod tests {
     }
 
     #[test]
-    fn blocked_matches_naive() {
+    fn blocked_matches_naive_bitwise() {
         let mut rng = Rng::seed_from(3);
         for &(m, k, n) in &[(1, 1, 1), (5, 7, 3), (33, 40, 65), (64, 64, 64)] {
             let a = Tensor::randn(&[m, k], &mut rng);
             let b = Tensor::randn(&[k, n], &mut rng);
             let fast = matmul(&a, &b);
             let slow = matmul_naive(&a, &b);
-            assert!(fast.max_abs_diff(&slow) < 1e-4, "mismatch at ({m},{k},{n})");
+            assert!(
+                fast.data()
+                    .iter()
+                    .zip(slow.data())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "mismatch at ({m},{k},{n})"
+            );
         }
     }
 

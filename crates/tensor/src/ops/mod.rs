@@ -8,10 +8,12 @@ mod activation;
 mod conv;
 mod manip;
 mod matmul;
+pub mod microkernel;
 mod pool;
 
 pub use activation::{log_softmax_last, softmax_last};
-pub use conv::{conv2d, conv2d_backward_input, conv2d_backward_weight, Conv2dArgs};
+pub use conv::{conv2d, conv2d_backward_input, conv2d_backward_weight, Conv2dArgs, ConvAlgo};
 pub use manip::{concat, pad2d, slice_axis, unpad2d};
 pub use matmul::{batch_matmul, matmul, matmul_naive};
+pub use microkernel::{gemm_path, set_gemm_path, GemmPath};
 pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward};

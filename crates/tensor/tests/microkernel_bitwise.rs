@@ -1,0 +1,235 @@
+//! Bitwise-identity regression tests for the microkernel rewrite.
+//!
+//! The determinism contract (see `ops::microkernel`): every GEMM path —
+//! packed, in-place register-tiled, scalar tiled — plus the conv2d
+//! algorithm variants and the lane-blocked reductions produce **bitwise
+//! identical** results to their naive references, at every thread count.
+//! Each kernel family is exercised in a single `#[test]` because the
+//! thread count and GEMM path are process-global; sweeping inside one test
+//! keeps the sweep race-free under the default parallel test runner.
+
+use std::sync::{Mutex, MutexGuard};
+
+use aibench_tensor::ops::{self, Conv2dArgs, GemmPath};
+use aibench_tensor::{Rng, Tensor};
+
+const THREADS: &[usize] = &[1, 4, 8];
+
+/// Serializes the tests in this file: thread count and GEMM path are
+/// process-global, and each test sweeps both.
+static GLOBALS: Mutex<()> = Mutex::new(());
+
+fn lock_globals() -> MutexGuard<'static, ()> {
+    GLOBALS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn fill(seed: u64, len: usize) -> Vec<f32> {
+    let mut rng = Rng::seed_from(seed);
+    (0..len).map(|_| rng.normal()).collect()
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Runs `f` at every thread count and on both GEMM paths, asserting all
+/// results are bitwise identical to the first; returns that result.
+fn sweep(label: &str, f: impl Fn() -> Tensor) -> Tensor {
+    let base_threads = aibench_parallel::threads();
+    let mut reference: Option<(Vec<u32>, Tensor)> = None;
+    for &t in THREADS {
+        aibench_parallel::set_threads(t);
+        for path in [GemmPath::Blocked, GemmPath::Scalar] {
+            ops::set_gemm_path(path);
+            let got = f();
+            match &reference {
+                None => reference = Some((bits(&got), got)),
+                Some((want, _)) => assert_eq!(
+                    &bits(&got),
+                    want,
+                    "{label}: result differs at {t} thread(s) on {path:?}"
+                ),
+            }
+        }
+    }
+    ops::set_gemm_path(GemmPath::Blocked);
+    aibench_parallel::set_threads(base_threads);
+    reference.expect("sweep ran").1
+}
+
+/// Odd GEMM shapes: zero-size, 1xN, Nx1, sub-microtile, non-multiples of
+/// every blocking parameter (MR=4, NR=8, TILE=32, MC=64, KC=256), and
+/// shapes straddling the packing threshold.
+#[test]
+fn gemm_all_paths_match_naive_across_threads() {
+    let _g = lock_globals();
+    let shapes: &[(usize, usize, usize)] = &[
+        (0, 0, 0),
+        (0, 5, 3),
+        (3, 0, 5),
+        (3, 5, 0),
+        (1, 1, 1),
+        (1, 300, 1),
+        (1, 7, 64),
+        (64, 7, 1),
+        (2, 20, 20),
+        (5, 7, 9),
+        (16, 20, 20),
+        (33, 257, 65),
+        (63, 64, 65),
+        (130, 70, 130),
+    ];
+    for &(m, k, n) in shapes {
+        let a = Tensor::from_vec(fill(m as u64 * 131 + n as u64, m * k), &[m, k]);
+        let b = Tensor::from_vec(fill(k as u64 * 37 + 5, k * n), &[k, n]);
+        let got = sweep(&format!("gemm({m},{k},{n})"), || a.matmul(&b));
+        let want = ops::matmul_naive(&a, &b);
+        assert_eq!(
+            bits(&got),
+            bits(&want),
+            "gemm({m},{k},{n}): blocked != naive"
+        );
+    }
+}
+
+/// Naive direct convolution with the same per-element accumulation order
+/// as the im2col GEMM: `(ci, ki, kj)` ascending, one mul + one add each.
+fn conv_naive(x: &Tensor, w: &Tensor, args: Conv2dArgs) -> Tensor {
+    let (n, ci, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (co, kh, kw) = (w.shape()[0], w.shape()[2], w.shape()[3]);
+    let ho = args.out_extent(h, kh);
+    let wo = args.out_extent(wd, kw);
+    let mut out = vec![0.0f32; n * co * ho * wo];
+    for s in 0..n {
+        for o in 0..co {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut acc = 0.0f32;
+                    for c in 0..ci {
+                        for ky in 0..kh {
+                            for kx in 0..kw {
+                                let iy = (oy * args.stride + ky) as isize - args.pad as isize;
+                                let ix = (ox * args.stride + kx) as isize - args.pad as isize;
+                                if iy < 0 || ix < 0 || iy >= h as isize || ix >= wd as isize {
+                                    continue;
+                                }
+                                let xv =
+                                    x.data()[((s * ci + c) * h + iy as usize) * wd + ix as usize];
+                                let wv = w.data()[((o * ci + c) * kh + ky) * kw + kx];
+                                acc += wv * xv;
+                            }
+                        }
+                    }
+                    out[((s * co + o) * ho + oy) * wo + ox] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, co, ho, wo])
+}
+
+/// `(n, ci, h, w, co, kh, kw, stride, pad)` of one conv test case.
+type ConvCase = (
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+);
+
+/// Conv shapes covering all three `ConvAlgo` variants (direct-loops tiny,
+/// 1x1 direct-GEMM, im2col), strides, padding, and odd extents.
+#[test]
+fn conv2d_matches_naive_across_threads_and_algos() {
+    let _g = lock_globals();
+    let cases: &[ConvCase] = &[
+        // (n, ci, h, w, co, kh, kw, stride, pad)
+        (1, 1, 3, 3, 1, 3, 3, 1, 0),    // tiny: DirectLoops
+        (2, 2, 5, 4, 3, 3, 3, 1, 1),    // odd extents, padded
+        (2, 3, 8, 8, 4, 1, 1, 1, 0),    // 1x1: DirectGemm
+        (3, 4, 9, 9, 8, 3, 3, 2, 1),    // strided
+        (2, 8, 12, 12, 16, 3, 3, 1, 1), // CNN-trainer-like: Im2colGemm
+        (1, 2, 1, 7, 2, 1, 3, 1, 1),    // 1-row input
+    ];
+    for &(n, ci, h, w, co, kh, kw, stride, pad) in cases {
+        let x = Tensor::from_vec(
+            fill(7 + (n * ci * h) as u64, n * ci * h * w),
+            &[n, ci, h, w],
+        );
+        let wt = Tensor::from_vec(
+            fill(13 + (co * kh) as u64, co * ci * kh * kw),
+            &[co, ci, kh, kw],
+        );
+        let args = Conv2dArgs::new(stride, pad);
+        let label = format!("conv(n{n},ci{ci},{h}x{w},co{co},k{kh}x{kw},s{stride},p{pad})");
+        let got = sweep(&label, || ops::conv2d(&x, &wt, args));
+        let want = conv_naive(&x, &wt, args);
+        assert_eq!(bits(&got), bits(&want), "{label}: conv2d != naive");
+    }
+}
+
+/// Backward kernels: no independent naive oracle here, but the sweep
+/// pins bitwise identity across thread counts and across the two GEMM
+/// paths (two independent implementations agreeing exactly), including
+/// the dedicated 1x1 direct path of `conv2d_backward_input`.
+#[test]
+fn conv2d_backward_kernels_are_path_and_thread_invariant() {
+    let _g = lock_globals();
+    let cases: &[ConvCase] = &[
+        (2, 3, 8, 8, 4, 1, 1, 1, 0), // 1x1: direct backward-input path
+        (2, 2, 5, 4, 3, 3, 3, 1, 1),
+        (3, 4, 9, 9, 8, 3, 3, 2, 1),
+        (2, 8, 12, 12, 16, 3, 3, 1, 1),
+    ];
+    for &(n, ci, h, w, co, kh, kw, stride, pad) in cases {
+        let args = Conv2dArgs::new(stride, pad);
+        let (ho, wo) = (args.out_extent(h, kh), args.out_extent(w, kw));
+        let x = Tensor::from_vec(fill(23 + (ci * h) as u64, n * ci * h * w), &[n, ci, h, w]);
+        let wt = Tensor::from_vec(
+            fill(29 + (co * kw) as u64, co * ci * kh * kw),
+            &[co, ci, kh, kw],
+        );
+        let g = Tensor::from_vec(
+            fill(31 + (co * ho) as u64, n * co * ho * wo),
+            &[n, co, ho, wo],
+        );
+        sweep("conv2d_backward_input", || {
+            ops::conv2d_backward_input(&g, &wt, (h, w), args)
+        });
+        sweep("conv2d_backward_weight", || {
+            ops::conv2d_backward_weight(&x, &g, (kh, kw), args)
+        });
+    }
+}
+
+/// Lane-blocked reductions: bitwise thread-invariance over lengths around
+/// every boundary (empty, single lane, lane remainder, chunk remainder).
+#[test]
+fn reductions_are_bitwise_thread_invariant() {
+    let _g = lock_globals();
+    let base_threads = aibench_parallel::threads();
+    for &len in &[0usize, 1, 7, 8, 9, 4095, 4096, 4097, 100_000] {
+        let data = fill(len as u64 + 3, len);
+        let t = Tensor::from_vec(data.clone(), &[len]);
+        let mut sums = Vec::new();
+        let mut lane_sums = Vec::new();
+        for &threads in THREADS {
+            aibench_parallel::set_threads(threads);
+            sums.push(t.sum().to_bits());
+            lane_sums.push(aibench_parallel::sum_f32(&data).to_bits());
+        }
+        aibench_parallel::set_threads(base_threads);
+        assert!(
+            sums.windows(2).all(|w| w[0] == w[1]),
+            "Tensor::sum(len={len}) varies with thread count: {sums:?}"
+        );
+        assert!(
+            lane_sums.windows(2).all(|w| w[0] == w[1]),
+            "sum_f32(len={len}) varies with thread count: {lane_sums:?}"
+        );
+    }
+}
