@@ -200,6 +200,54 @@ fn trainer_suite(entries: &mut Vec<PerfEntry>) {
     }
 }
 
+fn dist_suite(entries: &mut Vec<PerfEntry>) {
+    use aibench_dist::{run_data_parallel, DistConfig, RunParams};
+
+    // One distributed CNN entry tracking data-parallel scaling overhead:
+    // the same DC-AI-C1 epoch run as a 4-worker group vs a 1-worker group
+    // through the same engine (identical total examples; the group adds
+    // per-replica optimizer steps and the tree all-reduce). The gate
+    // quantity is w1_ns / w4_ns — the per-epoch scaling efficiency — so a
+    // growing reduction/replication overhead shows up as a falling ratio.
+    let registry = Registry::aibench();
+    let bench = registry.get("DC-AI-C1").expect("CNN benchmark in registry");
+    let factory = |s: u64| {
+        bench
+            .build_data_parallel(s)
+            .expect("DC-AI-C1 trains data-parallel")
+    };
+    let params = RunParams {
+        max_epochs: 1,
+        eval_every: 1,
+        snapshot_every: 0,
+    };
+    let never = |_q: f64| false;
+    let reps = 3;
+    ops::set_gemm_path(GemmPath::Blocked);
+    let (w4, w1) = time_interleaved(
+        reps,
+        || {
+            std::hint::black_box(run_data_parallel(
+                &factory,
+                1,
+                &never,
+                &params,
+                &DistConfig::with_world(4),
+            ));
+        },
+        || {
+            std::hint::black_box(run_data_parallel(
+                &factory,
+                1,
+                &never,
+                &params,
+                &DistConfig::with_world(1),
+            ));
+        },
+    );
+    entries.push(entry("dist_cnn_epoch_w4", "dist", reps, w4, w1));
+}
+
 /// Most recent `BENCH_*.json` in `dir` (lexicographically latest name —
 /// the `YYYY-MM-DD` date format makes that chronological), if any.
 fn latest_snapshot(dir: &Path) -> Option<(PathBuf, PerfSnapshot)> {
@@ -252,6 +300,7 @@ fn main() {
     conv_suite(&mut entries);
     reduce_suite(&mut entries);
     trainer_suite(&mut entries);
+    dist_suite(&mut entries);
 
     let now = SystemTime::now()
         .duration_since(UNIX_EPOCH)
@@ -276,7 +325,7 @@ fn main() {
         );
     }
     println!();
-    for kind in ["gemm", "conv", "reduce", "trainer"] {
+    for kind in ["gemm", "conv", "reduce", "trainer", "dist"] {
         if let Some(g) = snapshot.geomean_speedup(kind) {
             println!("geomean speedup ({kind:>7}): {g:.2}x");
         }

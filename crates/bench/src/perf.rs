@@ -42,7 +42,9 @@ pub struct PerfEntry {
     /// Stable benchmark name (`gemm_256`, `trainer_cnn_epoch`, ...).
     /// Entries are matched across snapshots by this name.
     pub name: String,
-    /// Suite the entry belongs to: `gemm`, `conv`, `reduce`, or `trainer`.
+    /// Suite the entry belongs to: `gemm`, `conv`, `reduce`, `trainer`,
+    /// or `dist` (where the "baseline" is a 1-worker group and the ratio
+    /// is per-epoch data-parallel scaling efficiency).
     pub kind: String,
     /// Number of timed repetitions the minima were taken over.
     pub reps: usize,
@@ -167,7 +169,7 @@ impl PerfSnapshot {
 /// than [`REGRESSION_THRESHOLD`] between two snapshots.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Regression {
-    /// Suite kind (`gemm`, `conv`, `reduce`, `trainer`).
+    /// Suite kind (`gemm`, `conv`, `reduce`, `trainer`, `dist`).
     pub kind: String,
     /// Geomean speedup in the previous (reference) snapshot.
     pub prev_speedup: f64,

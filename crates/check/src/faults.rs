@@ -45,6 +45,10 @@ pub fn rule_for_kind(kind: &str) -> &'static str {
         "checkpoint-io" => "fault-checkpoint-io",
         "stalled-progress" => "fault-stalled-progress",
         "budget-exhausted" => "fault-budget-exhausted",
+        "straggler-delay" => "fault-straggler-delay",
+        "worker-drop" => "fault-worker-drop",
+        "corrupt-grad-shard" => "fault-corrupt-grad-shard",
+        "lost-contribution" => "fault-lost-contribution",
         _ => "fault-unknown-kind",
     }
 }
@@ -61,6 +65,30 @@ pub fn diagnose(code: &str, run: &SupervisedRun) -> Vec<Diagnostic> {
                 rule_for_kind(event.fault.kind()),
                 "a fault-free supervised run",
                 format!("{} (action: {})", event.fault, event.action.kind()),
+            )
+        })
+        .collect()
+}
+
+/// Renders a distributed run's fault log as diagnostics, one per event,
+/// by lifting each [`aibench_dist::DistFaultEvent`] into the sequential
+/// taxonomy ([`aibench_fault::FaultEvent::from_dist`]) and reporting it
+/// under its kind's rule. Used by the distributed seeded fixtures.
+pub fn diagnose_dist(code: &str, run: &aibench_dist::DistRunResult) -> Vec<Diagnostic> {
+    run.faults
+        .iter()
+        .map(|event| {
+            let lifted = aibench_fault::FaultEvent::from_dist(event);
+            Diagnostic::global(
+                code,
+                rule_for_kind(lifted.fault.kind()),
+                "a fault-free distributed run",
+                format!(
+                    "{} (action: {}, world after: {})",
+                    lifted.fault,
+                    lifted.action.kind(),
+                    event.world_after
+                ),
             )
         })
         .collect()

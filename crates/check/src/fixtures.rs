@@ -6,6 +6,7 @@
 use crate::{audit, ckpt, counts, faults, shape, tape, trace, Diagnostic};
 use aibench::runner::RunConfig;
 use aibench_ckpt::{FailingSink, MemorySink, SnapshotFile, State};
+use aibench_dist::{DistConfig, DistFaultKind, DistSchedule};
 use aibench_fault::{
     supervised_run, supervised_run_with_sink, FaultKind, FaultSchedule, RecoveryPolicy,
     SentinelConfig, SupervisorConfig,
@@ -32,6 +33,10 @@ pub const FIXTURES: &[&str] = &[
     "fault-checkpoint-io",
     "fault-stalled-progress",
     "fault-budget-exhausted",
+    "fault-straggler-delay",
+    "fault-worker-drop",
+    "fault-corrupt-grad-shard",
+    "fault-lost-contribution",
     "audit-racy-kernel",
     "audit-unstable-reduction",
     "audit-unsnapshotted-state",
@@ -61,6 +66,10 @@ pub fn run(name: &str) -> Option<Vec<Diagnostic>> {
         "fault-checkpoint-io" => Some(fault_checkpoint_io()),
         "fault-stalled-progress" => Some(fault_stalled_progress()),
         "fault-budget-exhausted" => Some(fault_budget_exhausted()),
+        "fault-straggler-delay" => Some(fault_straggler_delay()),
+        "fault-worker-drop" => Some(fault_worker_drop()),
+        "fault-corrupt-grad-shard" => Some(fault_corrupt_grad_shard()),
+        "fault-lost-contribution" => Some(fault_lost_contribution()),
         // The audit fixtures live next to the analyses they prove, in
         // `aibench_audit::fixtures`; here they only need rendering.
         "audit-racy-kernel" => Some(audit::to_diagnostics(aibench_audit::fixtures::racy_kernel())),
@@ -394,6 +403,59 @@ fn fault_budget_exhausted() -> Vec<Diagnostic> {
     fault_probe("fixture/fault-budget-exhausted", schedule, &sup, 3)
 }
 
+/// Runs a two-worker distributed session of the probe benchmark under a
+/// seeded distributed fault schedule and renders the engine's fault log
+/// as diagnostics. Recovery is left to the default `DistPolicy` — the
+/// point here is that every injected distributed defect is *recorded*
+/// under its own rule, whatever the engine does about it.
+fn dist_fault_probe(name: &str, schedule: DistSchedule) -> Vec<Diagnostic> {
+    let registry = aibench::Registry::aibench();
+    let benchmark = registry
+        .get("DC-AI-C15")
+        .expect("distributed probe benchmark");
+    let config = RunConfig {
+        max_epochs: 2,
+        eval_every: 1,
+        ..RunConfig::default()
+    };
+    let dist = DistConfig {
+        schedule,
+        ..DistConfig::with_world(2)
+    };
+    let report = aibench::distributed::run_distributed_to_quality(benchmark, 2, &config, &dist)
+        .expect("DC-AI-C15 supports data-parallel training");
+    faults::diagnose_dist(name, &report.dist)
+}
+
+/// Worker 1 runs 3 ticks late at epoch 1, step 2; the default policy
+/// absorbs the delay into logical time.
+fn fault_straggler_delay() -> Vec<Diagnostic> {
+    let schedule =
+        DistSchedule::empty().inject(1, 2, 1, DistFaultKind::StragglerDelay { ticks: 3 });
+    dist_fault_probe("fixture/fault-straggler-delay", schedule)
+}
+
+/// Worker 1 drops out mid-epoch; the survivor takes over via
+/// exclude-and-reshard.
+fn fault_worker_drop() -> Vec<Diagnostic> {
+    let schedule = DistSchedule::empty().inject(1, 2, 1, DistFaultKind::WorkerDrop);
+    dist_fault_probe("fixture/fault-worker-drop", schedule)
+}
+
+/// Worker 0's gradient shard arrives with flipped bits; the CRC sentinel
+/// catches it and the shard is quarantined out of the reduction.
+fn fault_corrupt_grad_shard() -> Vec<Diagnostic> {
+    let schedule = DistSchedule::empty().inject(1, 1, 0, DistFaultKind::CorruptGradShard);
+    dist_fault_probe("fixture/fault-corrupt-grad-shard", schedule)
+}
+
+/// Worker 1's all-reduce contribution never arrives; the group rolls back
+/// to the epoch-boundary snapshot and replays the epoch.
+fn fault_lost_contribution() -> Vec<Diagnostic> {
+    let schedule = DistSchedule::empty().inject(1, 1, 1, DistFaultKind::LostContribution);
+    dist_fault_probe("fixture/fault-lost-contribution", schedule)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,6 +480,10 @@ mod tests {
             ("fault-checkpoint-io", "fault-checkpoint-io"),
             ("fault-stalled-progress", "fault-stalled-progress"),
             ("fault-budget-exhausted", "fault-budget-exhausted"),
+            ("fault-straggler-delay", "fault-straggler-delay"),
+            ("fault-worker-drop", "fault-worker-drop"),
+            ("fault-corrupt-grad-shard", "fault-corrupt-grad-shard"),
+            ("fault-lost-contribution", "fault-lost-contribution"),
             ("audit-racy-kernel", "region-race"),
             ("audit-unstable-reduction", "unstable-accumulation"),
             ("audit-unsnapshotted-state", "snapshot-coverage"),

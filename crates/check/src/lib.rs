@@ -28,6 +28,11 @@
 //!   schedule must be bitwise identical to the plain runner, injections
 //!   must replay bit for bit, rollback must skip unreadable snapshots, and
 //!   every fault kind must have a seeded fixture that is detected.
+//! * [`dist`] — distributed-training lints over `aibench-dist`: strided
+//!   sharding must partition every batch, a 1-worker group must be bitwise
+//!   identical to the sequential runner, distributed fault schedules must
+//!   replay bit for bit, and multi-worker runs must be invariant to the
+//!   thread count.
 //!
 //! [`fixtures`] holds seeded-defect inputs proving each rule fires; the
 //! `aibench-check` binary runs everything over the benchmark registry and
@@ -39,6 +44,7 @@
 pub mod audit;
 pub mod ckpt;
 pub mod counts;
+pub mod dist;
 pub mod faults;
 pub mod fixtures;
 pub mod shape;

@@ -2,7 +2,7 @@
 //! the full benchmark registry and exits nonzero on any violation.
 //!
 //! ```text
-//! aibench-check [--all | --specs | --traces | --tape | --ckpt | --faults | --audit]
+//! aibench-check [--all | --specs | --traces | --tape | --ckpt | --faults | --audit | --dist]
 //!               [--benchmark CODE] [--fixture NAME]
 //! ```
 //!
@@ -14,6 +14,9 @@
 //!   injection replay, rollback integrity, fault-kind coverage (slow)
 //! * `--audit`  region-effect audit: race detection over recorded access
 //!   sets, determinism lints, snapshot-coverage diffing (slow)
+//! * `--dist`   distributed contracts: shard partitioning, 1-worker
+//!   identity with the sequential runner, fault-schedule replay, and
+//!   thread-count invariance (slow)
 //! * `--all`    everything above (default)
 //! * `--benchmark CODE` restrict any mode to one benchmark (e.g. DC-AI-C1)
 //! * `--fixture NAME` run one seeded-defect fixture (see `--list-fixtures`);
@@ -22,13 +25,13 @@
 #![forbid(unsafe_code)]
 
 use aibench::{Benchmark, Registry};
-use aibench_check::{audit, ckpt, counts, faults, fixtures, shape, tape, trace, CheckReport};
+use aibench_check::{audit, ckpt, counts, dist, faults, fixtures, shape, tape, trace, CheckReport};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: aibench-check [--all | --specs | --traces | --tape | --ckpt | --faults | --audit] \
-         [--benchmark CODE] [--fixture NAME | --list-fixtures]"
+        "usage: aibench-check [--all | --specs | --traces | --tape | --ckpt | --faults | --audit \
+         | --dist] [--benchmark CODE] [--fixture NAME | --list-fixtures]"
     );
     ExitCode::from(2)
 }
@@ -41,7 +44,8 @@ fn main() -> ExitCode {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--all" | "--specs" | "--traces" | "--tape" | "--ckpt" | "--faults" | "--audit" => {
+            "--all" | "--specs" | "--traces" | "--tape" | "--ckpt" | "--faults" | "--audit"
+            | "--dist" => {
                 if mode.replace(arg.clone()).is_some() {
                     return usage();
                 }
@@ -132,6 +136,14 @@ fn main() -> ExitCode {
         for b in &selected {
             report.absorb(audit::audit_benchmark(b));
         }
+    }
+    if mode == "--all" || mode == "--dist" {
+        report.absorb(dist::check_shard_partition());
+        for b in &selected {
+            report.absorb(dist::check_single_worker_equivalence(b));
+        }
+        report.absorb(dist::check_replay_stability(&registry));
+        report.absorb(dist::check_thread_invariance(&registry));
     }
 
     for d in &report.diagnostics {

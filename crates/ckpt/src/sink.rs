@@ -126,6 +126,10 @@ impl DirSink {
 
 impl CheckpointSink for DirSink {
     fn save(&mut self, epoch: usize, bytes: &[u8]) -> Result<(), CkptError> {
+        // The directory may not exist yet (fresh path, or removed since the
+        // sink was built); (re)create it so the first save of a run never
+        // depends on who created the sink.
+        fs::create_dir_all(&self.dir).map_err(|e| Self::io_err("save", &self.dir, e))?;
         let path = self.path_for(epoch);
         let tmp = path.with_extension("aickpt.tmp");
         let write = fs::File::create(&tmp)
@@ -298,15 +302,31 @@ mod tests {
 
     #[test]
     fn dir_sink_surfaces_save_errors() {
-        // Saving under a path whose parent was removed must report Io, not
-        // silently drop the snapshot.
-        let dir = std::env::temp_dir().join(format!("aibench-ckpt-gone-{}", std::process::id()));
+        // Saving into a "directory" whose path is occupied by a regular
+        // file must report Io, not silently drop the snapshot.
+        let dir = std::env::temp_dir().join(format!("aibench-ckpt-blocked-{}", std::process::id()));
         let mut sink = DirSink::new(&dir, "X").unwrap();
         fs::remove_dir_all(&dir).unwrap();
+        fs::write(&dir, b"not a directory").unwrap();
         match sink.save(1, b"bytes") {
             Err(CkptError::Io { op, .. }) => assert!(op.starts_with("save")),
             other => panic!("expected Io error, got {other:?}"),
         }
+        let _ = fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn dir_sink_recreates_a_removed_directory_on_save() {
+        // Regression: the first save of a run must succeed even when the
+        // sink's directory vanished after construction (or the sink was
+        // deserialized pointing at a fresh path) — save (re)creates it.
+        let dir = std::env::temp_dir().join(format!("aibench-ckpt-fresh-{}", std::process::id()));
+        let mut sink = DirSink::new(&dir, "X").unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+        sink.save(1, b"bytes").unwrap();
+        assert_eq!(sink.epochs(), vec![1]);
+        assert_eq!(sink.load(1).unwrap().unwrap(), b"bytes");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! * resumable sessions ([`ckpt`]): periodic checksummed checkpoints, crash
 //!   recovery from the newest valid snapshot, and a fault-injection harness
 //!   proving resumed runs are bitwise identical to uninterrupted ones;
+//! * [`distributed`] sessions: simulated elastic data-parallel training
+//!   (`aibench-dist`) over the benchmarks whose trainers expose replica
+//!   hooks, with worker fault injection and deterministic recovery;
 //! * a [`repeatability`] harness measuring run-to-run variation
 //!   (coefficient of variation of epochs-to-quality, Table 5);
 //! * [`cost`] accounting combining measured epochs with simulated
@@ -42,6 +45,7 @@
 pub mod characterize;
 pub mod ckpt;
 pub mod cost;
+pub mod distributed;
 pub mod id;
 pub mod inference;
 pub mod quality;

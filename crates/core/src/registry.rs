@@ -64,6 +64,30 @@ impl Benchmark {
     pub fn spec(&self) -> ModelSpec {
         (self.spec)()
     }
+
+    /// Whether this benchmark's scaled trainer implements the
+    /// [`aibench_models::DataParallel`] hooks, i.e. can run as a replica of
+    /// a simulated data-parallel group (`aibench-dist`).
+    pub fn supports_data_parallel(&self) -> bool {
+        matches!(
+            self.id,
+            BenchmarkId::ImageClassification
+                | BenchmarkId::MlperfImageClassification
+                | BenchmarkId::SpatialTransformer
+        )
+    }
+
+    /// Builds a fresh data-parallel replica seeded with `seed`, or `None`
+    /// for benchmarks whose trainers do not implement the hooks.
+    pub fn build_data_parallel(&self, seed: u64) -> Option<Box<dyn aibench_models::DataParallel>> {
+        match self.id {
+            BenchmarkId::ImageClassification | BenchmarkId::MlperfImageClassification => {
+                Some(Box::new(ImageClassification::new(seed)))
+            }
+            BenchmarkId::SpatialTransformer => Some(Box::new(SpatialTransformer::new(seed))),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Debug for Benchmark {

@@ -29,4 +29,5 @@
 pub mod batch;
 pub mod cursor;
 pub mod metrics;
+pub mod shard;
 pub mod synth;

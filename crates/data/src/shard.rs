@@ -1,0 +1,224 @@
+//! Deterministic data sharding for simulated data-parallel training.
+//!
+//! Every worker in a data-parallel group walks the *same* shuffled batch
+//! stream (all replicas are built from the same seed, so their
+//! [`BatchCursor`]s are bitwise identical) and takes a strided slice of
+//! each global batch: rank `r` of `w` keeps the elements at positions
+//! `r, r + w, r + 2w, …` within the batch. The rule has three properties
+//! the distributed runner depends on:
+//!
+//! * **Coverage** — the union of all `w` shards of a batch is exactly the
+//!   batch: no index is dropped and none is duplicated.
+//! * **Determinism** — the shard depends only on `(world, rank)` and the
+//!   shared permutation, never on execution order or thread count.
+//! * **Elasticity** — re-sharding after a membership change is just a
+//!   `(world, rank)` reassignment; the underlying stream position is
+//!   untouched, so all survivors stay in lockstep.
+
+use aibench_ckpt::{key, CkptError, Restore, Snapshot, State};
+use aibench_tensor::Rng;
+
+use crate::cursor::BatchCursor;
+
+/// The strided shard of one global batch: the elements of `batch` at
+/// positions congruent to `rank` modulo `world`.
+///
+/// # Panics
+///
+/// Panics if `world == 0` or `rank >= world`.
+///
+/// # Example
+///
+/// ```
+/// use aibench_data::shard::shard_of_batch;
+///
+/// let batch = [10, 11, 12, 13, 14];
+/// assert_eq!(shard_of_batch(&batch, 2, 0), vec![10, 12, 14]);
+/// assert_eq!(shard_of_batch(&batch, 2, 1), vec![11, 13]);
+/// ```
+pub fn shard_of_batch(batch: &[usize], world: usize, rank: usize) -> Vec<usize> {
+    assert!(world > 0, "world size must be positive");
+    assert!(rank < world, "rank {rank} out of range for world {world}");
+    batch.iter().skip(rank).step_by(world).copied().collect()
+}
+
+/// A [`BatchCursor`] wrapped with a `(world, rank)` shard assignment.
+///
+/// All members of a data-parallel group construct their cursor from the
+/// same `(len, batch_size, rng)` triple, so the underlying global batch
+/// stream is identical everywhere; [`ShardedCursor::next_batch`] advances
+/// that shared stream by one global batch and returns only this rank's
+/// strided slice of it. With `world == 1` the cursor degenerates to the
+/// plain [`BatchCursor`] stream.
+#[derive(Debug, Clone)]
+pub struct ShardedCursor {
+    inner: BatchCursor,
+    world: usize,
+    rank: usize,
+}
+
+impl ShardedCursor {
+    /// A sharded cursor over `0..len` in global batches of `batch_size`,
+    /// shuffled by `rng`, keeping rank `rank`'s shard of a `world`-worker
+    /// group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`, `batch_size == 0`, `world == 0`, or
+    /// `rank >= world`.
+    pub fn new(len: usize, batch_size: usize, rng: Rng, world: usize, rank: usize) -> Self {
+        assert!(world > 0, "world size must be positive");
+        assert!(rank < world, "rank {rank} out of range for world {world}");
+        ShardedCursor {
+            inner: BatchCursor::new(len, batch_size, rng),
+            world,
+            rank,
+        }
+    }
+
+    /// The group size this cursor shards for.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// This cursor's rank within the group.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Zero-based epoch of the next global batch.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch()
+    }
+
+    /// Global batches per full epoch (identical for every rank).
+    pub fn batches_per_epoch(&self) -> usize {
+        self.inner.batches_per_epoch()
+    }
+
+    /// Reassigns the shard geometry without touching the stream position —
+    /// the deterministic re-sharding step after an elastic membership
+    /// change. Applies from the next batch onward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world == 0` or `rank >= world`.
+    pub fn set_shard(&mut self, world: usize, rank: usize) {
+        assert!(world > 0, "world size must be positive");
+        assert!(rank < world, "rank {rank} out of range for world {world}");
+        self.world = world;
+        self.rank = rank;
+    }
+
+    /// Advances the shared stream by one global batch and returns this
+    /// rank's shard of it. The shard may be empty when the (possibly
+    /// short, end-of-epoch) global batch has fewer than `rank + 1`
+    /// elements.
+    pub fn next_batch(&mut self) -> Vec<usize> {
+        let global = self.inner.next_batch();
+        shard_of_batch(&global, self.world, self.rank)
+    }
+}
+
+impl Snapshot for ShardedCursor {
+    fn snapshot(&self, state: &mut State, prefix: &str) {
+        state.put_usize(key(prefix, "world"), self.world);
+        state.put_usize(key(prefix, "rank"), self.rank);
+        self.inner.snapshot(state, &key(prefix, "inner"));
+    }
+}
+
+impl Restore for ShardedCursor {
+    fn restore(&mut self, state: &State, prefix: &str) -> Result<(), CkptError> {
+        let world = state.usize(&key(prefix, "world"))?;
+        let rank = state.usize(&key(prefix, "rank"))?;
+        if world == 0 || rank >= world {
+            return Err(CkptError::MetaMismatch {
+                what: format!("cursor `{prefix}` snapshot has invalid shard {rank}/{world}"),
+            });
+        }
+        self.inner.restore(state, &key(prefix, "inner"))?;
+        self.world = world;
+        self.rank = rank;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::BatchCursor;
+
+    /// One epoch of every rank's stream, merged, must equal one epoch of
+    /// the single-worker stream batch for batch — no drop, no dup, order
+    /// within each global batch preserved by position.
+    fn assert_union_matches(len: usize, batch_size: usize, world: usize, seed: u64) {
+        let mut single = BatchCursor::new(len, batch_size, Rng::seed_from(seed));
+        let mut shards: Vec<ShardedCursor> = (0..world)
+            .map(|r| ShardedCursor::new(len, batch_size, Rng::seed_from(seed), world, r))
+            .collect();
+        for _ in 0..single.batches_per_epoch() * 2 {
+            let global = single.next_batch();
+            let mut merged = vec![usize::MAX; global.len()];
+            for (r, cur) in shards.iter_mut().enumerate() {
+                for (j, idx) in cur.next_batch().into_iter().enumerate() {
+                    merged[r + j * world] = idx;
+                }
+            }
+            assert_eq!(merged, global, "len={len} bs={batch_size} world={world}");
+        }
+    }
+
+    #[test]
+    fn shard_union_covers_every_global_batch() {
+        for &world in &[1usize, 2, 3, 7] {
+            for &(len, bs) in &[(23usize, 5usize), (24, 8), (7, 7), (100, 13), (9, 2)] {
+                assert_union_matches(len, bs, world, 11);
+            }
+        }
+    }
+
+    #[test]
+    fn world_one_is_the_plain_cursor() {
+        let mut plain = BatchCursor::new(17, 4, Rng::seed_from(3));
+        let mut sharded = ShardedCursor::new(17, 4, Rng::seed_from(3), 1, 0);
+        for _ in 0..12 {
+            assert_eq!(plain.next_batch(), sharded.next_batch());
+        }
+    }
+
+    #[test]
+    fn resharding_keeps_the_stream_position() {
+        let mut a = ShardedCursor::new(20, 6, Rng::seed_from(5), 3, 1);
+        let mut reference = BatchCursor::new(20, 6, Rng::seed_from(5));
+        a.next_batch();
+        reference.next_batch();
+        // Shrink the group: rank 1 of 3 becomes rank 0 of 2.
+        a.set_shard(2, 0);
+        let global = reference.next_batch();
+        assert_eq!(a.next_batch(), shard_of_batch(&global, 2, 0));
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_shard_and_position() {
+        let mut cur = ShardedCursor::new(19, 4, Rng::seed_from(7), 3, 2);
+        for _ in 0..6 {
+            cur.next_batch();
+        }
+        let mut state = State::new();
+        cur.snapshot(&mut state, "cursor");
+        let mut resumed = ShardedCursor::new(19, 4, Rng::seed_from(0), 1, 0);
+        resumed.restore(&state, "cursor").unwrap();
+        assert_eq!(resumed.world(), 3);
+        assert_eq!(resumed.rank(), 2);
+        for _ in 0..10 {
+            assert_eq!(cur.next_batch(), resumed.next_batch());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 out of range")]
+    fn rank_must_be_below_world() {
+        ShardedCursor::new(10, 2, Rng::seed_from(1), 2, 2);
+    }
+}

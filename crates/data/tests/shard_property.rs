@@ -1,0 +1,64 @@
+//! Property tests of the data-parallel sharding rule: for any world size
+//! and ragged dataset geometry, the union of the N worker shard streams is
+//! exactly the single-worker cursor stream — no index dropped, none
+//! duplicated, position within each global batch preserved.
+
+use aibench_data::cursor::BatchCursor;
+use aibench_data::shard::{shard_of_batch, ShardedCursor};
+use aibench_tensor::Rng;
+use proptest::prelude::*;
+
+/// Merges one global batch's shards back by strided position.
+fn merge_shards(shards: &[Vec<usize>], world: usize, global_len: usize) -> Vec<usize> {
+    let mut merged = vec![usize::MAX; global_len];
+    for (r, shard) in shards.iter().enumerate() {
+        for (j, &idx) in shard.iter().enumerate() {
+            merged[r + j * world] = idx;
+        }
+    }
+    merged
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn shard_union_equals_single_worker_stream(
+        len in 1usize..120,
+        batch in 1usize..17,
+        world_pick in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let world = [1usize, 2, 3, 7][world_pick];
+        let mut single = BatchCursor::new(len, batch, Rng::seed_from(seed));
+        let mut cursors: Vec<ShardedCursor> = (0..world)
+            .map(|r| ShardedCursor::new(len, batch, Rng::seed_from(seed), world, r))
+            .collect();
+        // Two full epochs, including the ragged end-of-epoch batch and the
+        // epoch-boundary reshuffle.
+        for _ in 0..single.batches_per_epoch() * 2 {
+            let global = single.next_batch();
+            let shards: Vec<Vec<usize>> =
+                cursors.iter_mut().map(|c| c.next_batch()).collect();
+            let total: usize = shards.iter().map(Vec::len).sum();
+            prop_assert_eq!(total, global.len());
+            prop_assert_eq!(merge_shards(&shards, world, global.len()), global);
+        }
+    }
+
+    #[test]
+    fn shards_are_disjoint_and_complete(
+        global in prop::collection::vec(0usize..1000, 1..40),
+        world_pick in 0usize..4,
+    ) {
+        let world = [1usize, 2, 3, 7][world_pick];
+        let mut seen: Vec<usize> = Vec::new();
+        for r in 0..world {
+            seen.extend(shard_of_batch(&global, world, r));
+        }
+        let mut expected = global.clone();
+        seen.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(seen, expected);
+    }
+}

@@ -1,0 +1,270 @@
+//! Distributed fault taxonomy: injectable worker-level faults, the recovery
+//! policy mapping each kind to an action, and the event record a run keeps.
+//!
+//! Injections are addressed by `(epoch, step, worker)` and are one-shot:
+//! once a fault fires it stays consumed even when the recovery action
+//! replays the epoch from its boundary snapshot, so a recovered run makes
+//! forward progress instead of re-tripping forever. Persistence across
+//! process restarts is *not* needed — snapshots are cut at epoch
+//! boundaries, so a resumed run re-enters an epoch at its start and
+//! re-fires exactly the injections an uninterrupted run would have.
+
+use crate::membership::WorkerId;
+
+/// An injectable distributed fault kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DistFaultKind {
+    /// The worker is late by `ticks` units of logical time.
+    StragglerDelay {
+        /// Logical-time delay the straggler adds to the step.
+        ticks: u64,
+    },
+    /// The worker disappears mid-epoch and never answers again.
+    WorkerDrop,
+    /// The worker's gradient shard is corrupted in flight (bad CRC).
+    CorruptGradShard,
+    /// The worker's all-reduce contribution is lost before arrival.
+    LostContribution,
+}
+
+impl DistFaultKind {
+    /// Stable machine-readable kind label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DistFaultKind::StragglerDelay { .. } => "straggler-delay",
+            DistFaultKind::WorkerDrop => "worker-drop",
+            DistFaultKind::CorruptGradShard => "corrupt-grad-shard",
+            DistFaultKind::LostContribution => "lost-contribution",
+        }
+    }
+}
+
+/// One scheduled fault: `kind` strikes `worker` at 1-based `(epoch, step)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistInjection {
+    /// 1-based epoch at which the fault fires.
+    pub epoch: usize,
+    /// 1-based step within the epoch at which the fault fires.
+    pub step: usize,
+    /// The worker the fault strikes.
+    pub worker: WorkerId,
+    /// What goes wrong.
+    pub kind: DistFaultKind,
+}
+
+/// A deterministic, replayable schedule of distributed faults.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DistSchedule {
+    injections: Vec<DistInjection>,
+}
+
+impl DistSchedule {
+    /// A schedule with no faults.
+    pub fn empty() -> Self {
+        DistSchedule::default()
+    }
+
+    /// Adds a fault firing at 1-based `(epoch, step)` against `worker`.
+    pub fn inject(
+        mut self,
+        epoch: usize,
+        step: usize,
+        worker: WorkerId,
+        kind: DistFaultKind,
+    ) -> Self {
+        self.injections.push(DistInjection {
+            epoch,
+            step,
+            worker,
+            kind,
+        });
+        self
+    }
+
+    /// Whether the schedule holds no injections.
+    pub fn is_empty(&self) -> bool {
+        self.injections.is_empty()
+    }
+
+    /// The scheduled injections, in insertion order.
+    pub fn injections(&self) -> &[DistInjection] {
+        &self.injections
+    }
+
+    /// Derives a reproducible random schedule of `count` faults against a
+    /// `world`-sized group over `max_epoch` epochs of `steps` steps each.
+    /// The same seed always yields the same schedule.
+    pub fn seeded(seed: u64, world: usize, max_epoch: usize, steps: usize, count: usize) -> Self {
+        let mut rng = aibench_tensor::Rng::seed_from(seed ^ 0xD157_FA17);
+        let mut schedule = DistSchedule::empty();
+        for _ in 0..count {
+            let epoch = 1 + rng.below(max_epoch.max(1));
+            let step = 1 + rng.below(steps.max(1));
+            let worker = rng.below(world.max(1)) as WorkerId;
+            let kind = match rng.below(4) {
+                0 => DistFaultKind::StragglerDelay {
+                    ticks: 1 + rng.below(12) as u64,
+                },
+                1 => DistFaultKind::WorkerDrop,
+                2 => DistFaultKind::CorruptGradShard,
+                _ => DistFaultKind::LostContribution,
+            };
+            schedule = schedule.inject(epoch, step, worker, kind);
+        }
+        schedule
+    }
+}
+
+/// The recovery action the runner takes against a detected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistAction {
+    /// Remove the worker from the group, reassign shards over the survivors,
+    /// and replay the epoch from its boundary snapshot.
+    ExcludeAndReshard,
+    /// Restore every replica from the epoch-boundary snapshot and replay the
+    /// epoch with the same membership.
+    RollbackToSnapshot,
+    /// Drop the bad contribution from this step's all-reduce and reweight
+    /// the survivors; membership is untouched.
+    QuarantineShard,
+    /// Account the delay in logical time and proceed; nothing is discarded.
+    AbsorbDelay,
+}
+
+impl DistAction {
+    /// Stable machine-readable action label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DistAction::ExcludeAndReshard => "exclude-reshard",
+            DistAction::RollbackToSnapshot => "rollback",
+            DistAction::QuarantineShard => "shard-quarantine",
+            DistAction::AbsorbDelay => "absorb-delay",
+        }
+    }
+}
+
+/// Maps each detected fault kind to its recovery action.
+///
+/// A worker drop always excludes (the worker is gone); the policy's other
+/// arms are free choices. `straggler_exclude_after` escalates a straggler
+/// to exclusion once its delay meets the threshold — slow workers are
+/// tolerated, dead-slow ones are cut loose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistPolicy {
+    /// Action for a straggler below the exclusion threshold.
+    pub straggler: DistAction,
+    /// Delay (ticks) at which a straggler is excluded instead.
+    pub straggler_exclude_after: u64,
+    /// Action for a corrupted gradient shard.
+    pub corrupt_shard: DistAction,
+    /// Action for a lost all-reduce contribution.
+    pub lost_contribution: DistAction,
+    /// Recoveries allowed before the run aborts.
+    pub max_recoveries: usize,
+}
+
+impl Default for DistPolicy {
+    fn default() -> Self {
+        DistPolicy {
+            straggler: DistAction::AbsorbDelay,
+            straggler_exclude_after: 16,
+            corrupt_shard: DistAction::QuarantineShard,
+            lost_contribution: DistAction::RollbackToSnapshot,
+            max_recoveries: 8,
+        }
+    }
+}
+
+/// One detected-and-handled fault in a run's event log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistFaultEvent {
+    /// 1-based epoch at which the fault fired.
+    pub epoch: usize,
+    /// 1-based step within the epoch.
+    pub step: usize,
+    /// The worker the fault struck.
+    pub worker: WorkerId,
+    /// What went wrong.
+    pub fault: DistFaultKind,
+    /// What the runner did about it.
+    pub action: DistAction,
+    /// Group size after the action took effect.
+    pub world_after: usize,
+}
+
+impl DistFaultEvent {
+    /// Compact `e{epoch}s{step}w{worker}:{kind}>{action}` signature; a run's
+    /// signature sequence is part of its deterministic identity.
+    pub fn signature(&self) -> String {
+        format!(
+            "e{}s{}w{}:{}>{}",
+            self.epoch,
+            self.step,
+            self.worker,
+            self.fault.name(),
+            self.action.name()
+        )
+    }
+}
+
+impl std::fmt::Display for DistFaultEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "epoch {} step {} worker {}: {} -> {} (world {})",
+            self.epoch,
+            self.step,
+            self.worker,
+            self.fault.name(),
+            self.action.name(),
+            self.world_after
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_schedules_replay() {
+        let a = DistSchedule::seeded(42, 4, 10, 8, 6);
+        let b = DistSchedule::seeded(42, 4, 10, 8, 6);
+        assert_eq!(a, b);
+        assert_eq!(a.injections().len(), 6);
+        assert!(a.injections().iter().all(|i| i.epoch >= 1
+            && i.epoch <= 10
+            && i.step >= 1
+            && i.step <= 8
+            && i.worker < 4));
+        let c = DistSchedule::seeded(43, 4, 10, 8, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn signatures_are_stable() {
+        let ev = DistFaultEvent {
+            epoch: 3,
+            step: 2,
+            worker: 1,
+            fault: DistFaultKind::WorkerDrop,
+            action: DistAction::ExcludeAndReshard,
+            world_after: 3,
+        };
+        assert_eq!(ev.signature(), "e3s2w1:worker-drop>exclude-reshard");
+    }
+
+    #[test]
+    fn kind_and_action_names_are_distinct() {
+        let kinds = [
+            DistFaultKind::StragglerDelay { ticks: 1 }.name(),
+            DistFaultKind::WorkerDrop.name(),
+            DistFaultKind::CorruptGradShard.name(),
+            DistFaultKind::LostContribution.name(),
+        ];
+        let mut sorted = kinds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), kinds.len());
+    }
+}

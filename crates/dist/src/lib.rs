@@ -1,0 +1,43 @@
+//! Simulated deterministic data-parallel training for the AIBench suite.
+//!
+//! `aibench-dist` runs N simulated workers over one shared shuffled batch
+//! stream: each rank takes a strided shard of every global batch
+//! (`aibench_data::shard`), computes its local gradient through the
+//! [`aibench_models::DataParallel`] hooks, and the group combines
+//! contributions with an order-stable weighted tree all-reduce before every
+//! replica applies the identical update. Three robustness mechanisms ride
+//! on that base:
+//!
+//! * **Elastic membership** — workers join and leave at epoch boundaries
+//!   ([`MembershipPlan`]); the group re-shards deterministically and a
+//!   joiner syncs to the group's current state.
+//! * **Fault injection** — seeded, replayable worker faults
+//!   ([`DistSchedule`]): straggler delays, mid-epoch drops, corrupted
+//!   gradient shards (CRC sentinel), lost all-reduce contributions.
+//! * **Recovery** — a total [`DistPolicy`] maps every fault to exclusion,
+//!   rollback, quarantine, or absorption, driven from per-epoch boundary
+//!   snapshots; [`run_data_parallel_resumable`] additionally persists group
+//!   snapshots through any `aibench_ckpt::CheckpointSink`.
+//!
+//! The headline guarantees, enforced by `tests/dist_determinism.rs`: a run
+//! is bitwise reproducible for a fixed world size at any thread count, a
+//! one-worker group is bit-identical to sequential `run_to_quality`
+//! training, and fault/elastic runs replay and resume bit-identically.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod fault;
+pub mod membership;
+pub mod reduce;
+
+pub use engine::{
+    run_data_parallel, run_data_parallel_resumable, DistConfig, DistRunResult, ReplicaFactory,
+    RunParams,
+};
+pub use fault::{
+    DistAction, DistFaultEvent, DistFaultKind, DistInjection, DistPolicy, DistSchedule,
+};
+pub use membership::{MembershipChange, MembershipEvent, MembershipPlan, WorkerId};
+pub use reduce::{crc_of, tree_reduce, GradShard};

@@ -1,0 +1,97 @@
+//! Elastic group membership: a plan of joins and leaves applied at epoch
+//! boundaries.
+//!
+//! Membership only ever changes between epochs — mid-epoch exits exist too,
+//! but those are *faults* (`DistFaultKind::WorkerDrop`), not plan entries.
+//! Keeping planned elasticity at boundaries is what lets the runner cut one
+//! consistent group snapshot per epoch and re-shard deterministically: after
+//! any change the live workers are re-ranked in ascending id order and each
+//! takes the stride of every global batch matching its new rank.
+
+/// Identifies a worker across its whole lifetime (stable under re-ranking).
+pub type WorkerId = u32;
+
+/// A planned membership change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipChange {
+    /// The worker joins the group, syncing to the group's current state.
+    Join(WorkerId),
+    /// The worker leaves gracefully; its state is parked in the snapshot.
+    Leave(WorkerId),
+}
+
+/// A membership change taking effect at the start of 1-based `epoch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipEvent {
+    /// 1-based epoch at whose boundary the change applies.
+    pub epoch: usize,
+    /// The change itself.
+    pub change: MembershipChange,
+}
+
+/// An ordered plan of boundary membership changes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MembershipPlan {
+    events: Vec<MembershipEvent>,
+}
+
+impl MembershipPlan {
+    /// A plan with no changes: the initial group runs to completion.
+    pub fn empty() -> Self {
+        MembershipPlan::default()
+    }
+
+    /// Plans `worker` to join at the boundary entering 1-based `epoch`.
+    pub fn join(mut self, epoch: usize, worker: WorkerId) -> Self {
+        self.events.push(MembershipEvent {
+            epoch,
+            change: MembershipChange::Join(worker),
+        });
+        self
+    }
+
+    /// Plans `worker` to leave at the boundary entering 1-based `epoch`.
+    pub fn leave(mut self, epoch: usize, worker: WorkerId) -> Self {
+        self.events.push(MembershipEvent {
+            epoch,
+            change: MembershipChange::Leave(worker),
+        });
+        self
+    }
+
+    /// Whether the plan holds no changes.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All planned events, in insertion order.
+    pub fn events(&self) -> &[MembershipEvent] {
+        &self.events
+    }
+
+    /// The changes applying at the boundary entering `epoch`, in plan order.
+    pub fn changes_at(&self, epoch: usize) -> impl Iterator<Item = MembershipChange> + '_ {
+        self.events
+            .iter()
+            .filter(move |e| e.epoch == epoch)
+            .map(|e| e.change)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn changes_filter_by_epoch_in_order() {
+        let plan = MembershipPlan::empty().join(3, 7).leave(2, 1).join(3, 8);
+        let at3: Vec<_> = plan.changes_at(3).collect();
+        assert_eq!(
+            at3,
+            vec![MembershipChange::Join(7), MembershipChange::Join(8)]
+        );
+        let at2: Vec<_> = plan.changes_at(2).collect();
+        assert_eq!(at2, vec![MembershipChange::Leave(1)]);
+        assert!(plan.changes_at(5).next().is_none());
+    }
+}

@@ -106,6 +106,13 @@ impl RecoveryPolicy {
             TrainFault::CheckpointIo { .. } => self.checkpoint_io,
             TrainFault::StalledProgress { .. } => self.stalled,
             TrainFault::BudgetExhausted { .. } => RecoveryAction::Quarantine,
+            // Distributed faults are recovered *inside* the data-parallel
+            // engine by its own `aibench_dist::DistPolicy`; one that still
+            // reaches a sequential supervisor is terminal.
+            TrainFault::StragglerDelay { .. }
+            | TrainFault::WorkerDropped { .. }
+            | TrainFault::CorruptGradShard { .. }
+            | TrainFault::LostContribution { .. } => RecoveryAction::Quarantine,
         }
     }
 }

@@ -82,12 +82,45 @@ pub enum TrainFault {
         /// The budget they exceeded.
         budget: usize,
     },
+    /// A data-parallel worker lagged the group by `ticks` of logical time
+    /// (distributed; see `aibench-dist`).
+    StragglerDelay {
+        /// Epoch the delay was detected at.
+        epoch: usize,
+        /// The lagging worker's id.
+        worker: u32,
+        /// Logical-time delay observed.
+        ticks: u64,
+    },
+    /// A data-parallel worker disappeared mid-epoch and never answered
+    /// again (distributed).
+    WorkerDropped {
+        /// Epoch the drop was detected at.
+        epoch: usize,
+        /// The dropped worker's id.
+        worker: u32,
+    },
+    /// A worker's gradient shard failed its CRC sentinel — corruption in
+    /// flight (distributed).
+    CorruptGradShard {
+        /// Epoch the corruption was detected at.
+        epoch: usize,
+        /// The worker whose shard was corrupted.
+        worker: u32,
+    },
+    /// A worker's all-reduce contribution never arrived (distributed).
+    LostContribution {
+        /// Epoch the loss was detected at.
+        epoch: usize,
+        /// The worker whose contribution was lost.
+        worker: u32,
+    },
 }
 
 impl TrainFault {
     /// Every fault kind name, in taxonomy order — the coverage contract the
     /// seeded check fixtures are validated against.
-    pub const KINDS: [&'static str; 8] = [
+    pub const KINDS: [&'static str; 12] = [
         "non-finite-loss",
         "loss-spike",
         "non-finite-param",
@@ -96,6 +129,10 @@ impl TrainFault {
         "checkpoint-io",
         "stalled-progress",
         "budget-exhausted",
+        "straggler-delay",
+        "worker-drop",
+        "corrupt-grad-shard",
+        "lost-contribution",
     ];
 
     /// Stable kind name (one of [`TrainFault::KINDS`]).
@@ -109,6 +146,10 @@ impl TrainFault {
             TrainFault::CheckpointIo { .. } => "checkpoint-io",
             TrainFault::StalledProgress { .. } => "stalled-progress",
             TrainFault::BudgetExhausted { .. } => "budget-exhausted",
+            TrainFault::StragglerDelay { .. } => "straggler-delay",
+            TrainFault::WorkerDropped { .. } => "worker-drop",
+            TrainFault::CorruptGradShard { .. } => "corrupt-grad-shard",
+            TrainFault::LostContribution { .. } => "lost-contribution",
         }
     }
 
@@ -121,7 +162,11 @@ impl TrainFault {
             | TrainFault::ExplodingGradNorm { epoch, .. }
             | TrainFault::KernelPanic { epoch, .. }
             | TrainFault::CheckpointIo { epoch, .. }
-            | TrainFault::StalledProgress { epoch, .. } => epoch,
+            | TrainFault::StalledProgress { epoch, .. }
+            | TrainFault::StragglerDelay { epoch, .. }
+            | TrainFault::WorkerDropped { epoch, .. }
+            | TrainFault::CorruptGradShard { epoch, .. }
+            | TrainFault::LostContribution { epoch, .. } => epoch,
             TrainFault::BudgetExhausted { executed, .. } => executed,
         }
     }
@@ -166,6 +211,25 @@ impl fmt::Display for TrainFault {
                 f,
                 "watchdog: {executed} epochs executed against a budget of {budget}"
             ),
+            TrainFault::StragglerDelay {
+                epoch,
+                worker,
+                ticks,
+            } => write!(
+                f,
+                "epoch {epoch}: worker {worker} straggled by {ticks} ticks"
+            ),
+            TrainFault::WorkerDropped { epoch, worker } => {
+                write!(f, "epoch {epoch}: worker {worker} dropped mid-epoch")
+            }
+            TrainFault::CorruptGradShard { epoch, worker } => write!(
+                f,
+                "epoch {epoch}: worker {worker}'s gradient shard failed its CRC"
+            ),
+            TrainFault::LostContribution { epoch, worker } => write!(
+                f,
+                "epoch {epoch}: worker {worker}'s all-reduce contribution was lost"
+            ),
         }
     }
 }
@@ -204,6 +268,24 @@ pub enum ActionTaken {
     AbandonedCheckpointing,
     /// The benchmark was quarantined — the supervisor stopped retrying.
     Quarantined,
+    /// A failed worker was removed from the data-parallel group and the
+    /// shards reassigned over the `world` survivors (distributed).
+    ExcludedAndResharded {
+        /// Group size after the exclusion.
+        world: usize,
+    },
+    /// One worker's gradient shard was dropped from the step's all-reduce
+    /// and the survivors reweighted; membership was untouched (distributed).
+    QuarantinedShard {
+        /// The worker whose shard was quarantined.
+        worker: u32,
+    },
+    /// A straggler's delay was accounted in logical time and the run
+    /// proceeded (distributed).
+    AbsorbedDelay {
+        /// Ticks of logical time absorbed.
+        ticks: u64,
+    },
 }
 
 impl ActionTaken {
@@ -216,6 +298,9 @@ impl ActionTaken {
             ActionTaken::RetriedSave { .. } => "retry-save",
             ActionTaken::AbandonedCheckpointing => "abandon-ckpt",
             ActionTaken::Quarantined => "quarantine",
+            ActionTaken::ExcludedAndResharded { .. } => "exclude-reshard",
+            ActionTaken::QuarantinedShard { .. } => "shard-quarantine",
+            ActionTaken::AbsorbedDelay { .. } => "absorb-delay",
         }
     }
 }
@@ -247,6 +332,15 @@ impl fmt::Display for ActionTaken {
             } => write!(f, "save retry {attempt} scheduled for epoch {retry_epoch}"),
             ActionTaken::AbandonedCheckpointing => write!(f, "abandoned checkpointing"),
             ActionTaken::Quarantined => write!(f, "quarantined"),
+            ActionTaken::ExcludedAndResharded { world } => {
+                write!(f, "excluded worker, resharded over {world} survivors")
+            }
+            ActionTaken::QuarantinedShard { worker } => {
+                write!(f, "quarantined worker {worker}'s gradient shard")
+            }
+            ActionTaken::AbsorbedDelay { ticks } => {
+                write!(f, "absorbed {ticks} ticks of delay")
+            }
         }
     }
 }
@@ -261,6 +355,52 @@ pub struct FaultEvent {
 }
 
 impl FaultEvent {
+    /// Lifts a distributed fault event (`aibench-dist`) into the suite-wide
+    /// taxonomy, so distributed and sequential fault logs share one report
+    /// format. A distributed rollback restores the *current epoch's
+    /// boundary* snapshot, i.e. the state at the end of `epoch - 1`.
+    pub fn from_dist(event: &aibench_dist::DistFaultEvent) -> FaultEvent {
+        let fault = match event.fault {
+            aibench_dist::DistFaultKind::StragglerDelay { ticks } => TrainFault::StragglerDelay {
+                epoch: event.epoch,
+                worker: event.worker,
+                ticks,
+            },
+            aibench_dist::DistFaultKind::WorkerDrop => TrainFault::WorkerDropped {
+                epoch: event.epoch,
+                worker: event.worker,
+            },
+            aibench_dist::DistFaultKind::CorruptGradShard => TrainFault::CorruptGradShard {
+                epoch: event.epoch,
+                worker: event.worker,
+            },
+            aibench_dist::DistFaultKind::LostContribution => TrainFault::LostContribution {
+                epoch: event.epoch,
+                worker: event.worker,
+            },
+        };
+        let action = match event.action {
+            aibench_dist::DistAction::ExcludeAndReshard => ActionTaken::ExcludedAndResharded {
+                world: event.world_after,
+            },
+            aibench_dist::DistAction::RollbackToSnapshot => ActionTaken::RolledBack {
+                to_epoch: Some(event.epoch.saturating_sub(1)),
+                lr_factor: 1.0,
+                serial: false,
+            },
+            aibench_dist::DistAction::QuarantineShard => ActionTaken::QuarantinedShard {
+                worker: event.worker,
+            },
+            aibench_dist::DistAction::AbsorbDelay => ActionTaken::AbsorbedDelay {
+                ticks: match event.fault {
+                    aibench_dist::DistFaultKind::StragglerDelay { ticks } => ticks,
+                    _ => 0,
+                },
+            },
+        };
+        FaultEvent { fault, action }
+    }
+
     /// Compact deterministic signature, e.g. `e4:non-finite-loss>rollback`.
     /// Float payloads are excluded, so the signature is total even over NaN.
     pub fn signature(&self) -> String {
@@ -321,9 +461,58 @@ mod tests {
                 executed: 99,
                 budget: 98,
             },
+            TrainFault::StragglerDelay {
+                epoch: 9,
+                worker: 2,
+                ticks: 7,
+            },
+            TrainFault::WorkerDropped {
+                epoch: 10,
+                worker: 1,
+            },
+            TrainFault::CorruptGradShard {
+                epoch: 11,
+                worker: 0,
+            },
+            TrainFault::LostContribution {
+                epoch: 12,
+                worker: 3,
+            },
         ];
         let kinds: Vec<&str> = faults.iter().map(|f| f.kind()).collect();
         assert_eq!(kinds, TrainFault::KINDS);
+    }
+
+    #[test]
+    fn dist_events_lift_into_the_taxonomy() {
+        let ev = aibench_dist::DistFaultEvent {
+            epoch: 3,
+            step: 2,
+            worker: 1,
+            fault: aibench_dist::DistFaultKind::WorkerDrop,
+            action: aibench_dist::DistAction::ExcludeAndReshard,
+            world_after: 2,
+        };
+        let lifted = FaultEvent::from_dist(&ev);
+        assert_eq!(lifted.signature(), "e3:worker-drop>exclude-reshard");
+        let rb = aibench_dist::DistFaultEvent {
+            epoch: 4,
+            step: 1,
+            worker: 0,
+            fault: aibench_dist::DistFaultKind::LostContribution,
+            action: aibench_dist::DistAction::RollbackToSnapshot,
+            world_after: 3,
+        };
+        let lifted = FaultEvent::from_dist(&rb);
+        assert_eq!(lifted.signature(), "e4:lost-contribution>rollback");
+        assert_eq!(
+            lifted.action,
+            ActionTaken::RolledBack {
+                to_epoch: Some(3),
+                lr_factor: 1.0,
+                serial: false
+            }
+        );
     }
 
     #[test]

@@ -75,3 +75,45 @@ pub trait Trainer {
     /// for toy trainers without an optimizer.
     fn scale_lr(&mut self, _factor: f32) {}
 }
+
+/// A trainer whose epoch decomposes into externally driven mini-batch
+/// steps, making it usable as one replica of a simulated data-parallel
+/// group (`aibench-dist`).
+///
+/// The contract ties the hooks to [`Trainer::train_epoch`]: driving one
+/// epoch's worth of batches from a cursor built over
+/// ([`DataParallel::train_len`], [`DataParallel::global_batch`],
+/// [`DataParallel::data_rng`]) through [`DataParallel::forward_backward`]
+/// followed by [`DataParallel::apply_update`] must reproduce
+/// `train_epoch`'s arithmetic bit for bit. The distributed runner relies
+/// on that factoring for its single-worker-equivalence guarantee, and on
+/// two further properties:
+///
+/// * `forward_backward` accumulates gradients into the handles returned by
+///   [`Trainer::params`] (in that order) and performs no optimizer update,
+///   so the runner can replace the local gradients with an all-reduced
+///   global gradient before calling `apply_update`;
+/// * [`Trainer::evaluate`] does not mutate training state, so evaluating
+///   one replica stands for the group.
+pub trait DataParallel: Trainer {
+    /// Number of training examples an epoch covers.
+    fn train_len(&self) -> usize;
+
+    /// The global mini-batch size one step consumes (shards of it are
+    /// distributed across the group's workers).
+    fn global_batch(&self) -> usize;
+
+    /// A clone of the trainer's data-order RNG in its current position.
+    /// Replicas built from the same seed return bitwise-identical RNGs, so
+    /// every group member derives the same shuffled batch stream.
+    fn data_rng(&self) -> aibench_tensor::Rng;
+
+    /// Runs forward and backward over the examples at `idx`, accumulating
+    /// mean-loss gradients into [`Trainer::params`], and returns the mean
+    /// loss. Must not step the optimizer.
+    fn forward_backward(&mut self, idx: &[usize]) -> f32;
+
+    /// Applies the optimizer update from the gradients currently stored in
+    /// [`Trainer::params`], then zeroes them.
+    fn apply_update(&mut self);
+}

@@ -9,7 +9,7 @@ use aibench_nn::{Mode, Module, Optimizer, Sgd};
 use aibench_tensor::Rng;
 
 use super::classify::MiniResNet;
-use crate::Trainer;
+use crate::{DataParallel, Trainer};
 
 /// The Image Classification benchmark trainer.
 #[derive(Debug)]
@@ -69,16 +69,9 @@ impl Trainer for ImageClassification {
         let mut total = 0.0;
         let mut count = 0;
         for idx in batches(self.ds.len(), self.batch, &mut self.rng) {
-            let (x, y) = self.ds.train_batch(&idx);
-            let mut g = Graph::new();
-            let xv = g.input(x);
-            let logits = self.net.forward(&mut g, xv, Mode::Train);
-            let loss = g.softmax_cross_entropy(logits, &y, None);
-            total += g.value(loss).item();
+            total += self.forward_backward(&idx);
             count += 1;
-            g.backward(loss);
-            self.opt.step();
-            self.opt.zero_grad();
+            self.apply_update();
         }
         total / count.max(1) as f32
     }
@@ -95,6 +88,36 @@ impl Trainer for ImageClassification {
 
     fn param_count(&self) -> usize {
         Module::param_count(&self.net)
+    }
+}
+
+impl DataParallel for ImageClassification {
+    fn train_len(&self) -> usize {
+        self.ds.len()
+    }
+
+    fn global_batch(&self) -> usize {
+        self.batch
+    }
+
+    fn data_rng(&self) -> Rng {
+        self.rng.clone()
+    }
+
+    fn forward_backward(&mut self, idx: &[usize]) -> f32 {
+        let (x, y) = self.ds.train_batch(idx);
+        let mut g = Graph::new();
+        let xv = g.input(x);
+        let logits = self.net.forward(&mut g, xv, Mode::Train);
+        let loss = g.softmax_cross_entropy(logits, &y, None);
+        let out = g.value(loss).item();
+        g.backward(loss);
+        out
+    }
+
+    fn apply_update(&mut self) {
+        self.opt.step();
+        self.opt.zero_grad();
     }
 }
 

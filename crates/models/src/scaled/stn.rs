@@ -10,7 +10,7 @@ use aibench_data::synth::StnDataset;
 use aibench_nn::{Adam, Conv2d, Linear, Module, Optimizer};
 use aibench_tensor::{Rng, Tensor};
 
-use crate::Trainer;
+use crate::{DataParallel, Trainer};
 
 /// The Spatial Transformer benchmark trainer.
 #[derive(Debug)]
@@ -116,17 +116,9 @@ impl Trainer for SpatialTransformer {
         let mut total = 0.0;
         let mut count = 0;
         for idx in batches(self.ds.len(), self.batch, &mut self.rng) {
-            let (x, y) = self.ds.train_batch(&idx);
-            let n = idx.len();
-            let mut g = Graph::new();
-            let xv = g.input(x);
-            let logits = self.forward(&mut g, xv, n);
-            let loss = g.softmax_cross_entropy(logits, &y, None);
-            total += g.value(loss).item();
+            total += self.forward_backward(&idx);
             count += 1;
-            g.backward(loss);
-            self.opt.step();
-            self.opt.zero_grad();
+            self.apply_update();
         }
         total / count.max(1) as f32
     }
@@ -148,6 +140,37 @@ impl Trainer for SpatialTransformer {
             + self.theta_b.len()
             + self.cls_conv.param_count()
             + self.cls_fc.param_count()
+    }
+}
+
+impl DataParallel for SpatialTransformer {
+    fn train_len(&self) -> usize {
+        self.ds.len()
+    }
+
+    fn global_batch(&self) -> usize {
+        self.batch
+    }
+
+    fn data_rng(&self) -> Rng {
+        self.rng.clone()
+    }
+
+    fn forward_backward(&mut self, idx: &[usize]) -> f32 {
+        let (x, y) = self.ds.train_batch(idx);
+        let n = idx.len();
+        let mut g = Graph::new();
+        let xv = g.input(x);
+        let logits = self.forward(&mut g, xv, n);
+        let loss = g.softmax_cross_entropy(logits, &y, None);
+        let out = g.value(loss).item();
+        g.backward(loss);
+        out
+    }
+
+    fn apply_update(&mut self) {
+        self.opt.step();
+        self.opt.zero_grad();
     }
 }
 

@@ -11,13 +11,16 @@
 //! restore the environment's thread count afterwards (the same discipline
 //! as `tests/determinism.rs`).
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Mutex;
 
 use aibench::registry::Registry;
 use aibench::runner::{run_to_quality, RunConfig};
+use aibench_ckpt::{FailingSink, MemorySink};
+use aibench_dist::{run_data_parallel, DistConfig, DistFaultKind, DistSchedule, RunParams};
 use aibench_fault::{
-    supervised_run, FaultKind, FaultSchedule, Outcome, RecoveryPolicy, SentinelConfig,
-    SupervisorConfig, TrainFault,
+    supervised_run, supervised_run_with_sink, FaultEvent, FaultKind, FaultSchedule, Outcome,
+    RecoveryPolicy, SentinelConfig, SupervisorConfig, TrainFault,
 };
 use aibench_parallel::ParallelConfig;
 
@@ -264,6 +267,119 @@ fn seeded_schedules_replay_bit_for_bit() {
             b_run.fault_signature()
         );
     }
+}
+
+/// Every [`TrainFault`] kind — the sequential eight and the four
+/// distributed ones — must be exercised by at least one seeded scenario,
+/// and each must map to its designed [`aibench_fault::ActionTaken`].
+#[test]
+fn every_fault_kind_maps_to_its_recovery_action() {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let registry = Registry::aibench();
+    let b = registry.get("DC-AI-C15").unwrap();
+    let mut covered: BTreeMap<&'static str, BTreeSet<&'static str>> = BTreeMap::new();
+    let mut absorb = |events: &[FaultEvent]| {
+        for e in events {
+            covered
+                .entry(e.fault.kind())
+                .or_default()
+                .insert(e.action.kind());
+        }
+    };
+
+    // The eight sequential kinds, one seeded scenario each.
+    let sup = SupervisorConfig::default();
+    let nan = FaultSchedule::new(1).inject(2, FaultKind::LossValue { value: f32::NAN });
+    absorb(&supervised_run(b, 2, &cfg(20), &nan, &sup).faults);
+    let spike = FaultSchedule::new(2).inject(3, FaultKind::LossValue { value: 1e12 });
+    let spike_sup = SupervisorConfig {
+        sentinels: SentinelConfig {
+            loss_spike_warmup: 1,
+            ..SentinelConfig::default()
+        },
+        ..SupervisorConfig::default()
+    };
+    absorb(&supervised_run(b, 2, &cfg(20), &spike, &spike_sup).faults);
+    let param = FaultSchedule::new(3).inject(2, FaultKind::ParamNan);
+    absorb(&supervised_run(b, 2, &cfg(20), &param, &sup).faults);
+    let grad = FaultSchedule::new(4).inject(2, FaultKind::GradExplosion { scale: 1e12 });
+    absorb(&supervised_run(b, 2, &cfg(20), &grad, &sup).faults);
+    let panic = FaultSchedule::new(5).inject(2, FaultKind::KernelPanic);
+    absorb(&supervised_run(b, 2, &cfg(20), &panic, &sup).faults);
+    let mut sink = FailingSink::new(MemorySink::new()).fail_save_at(1);
+    absorb(
+        &supervised_run_with_sink(b, 2, &cfg(4), &FaultSchedule::empty(), &sup, &mut sink).faults,
+    );
+    let freeze = FaultSchedule::new(6).inject_persistent(1, FaultKind::EvalFreeze);
+    let stall_sup = SupervisorConfig {
+        sentinels: SentinelConfig {
+            stall_window: Some(3),
+            ..SentinelConfig::default()
+        },
+        ..SupervisorConfig::default()
+    };
+    absorb(&supervised_run(b, 2, &cfg(12), &freeze, &stall_sup).faults);
+    let persistent =
+        FaultSchedule::new(7).inject_persistent(2, FaultKind::LossValue { value: f32::NAN });
+    let budget_sup = SupervisorConfig {
+        max_recoveries: 1000,
+        epoch_budget_factor: 1,
+        ..SupervisorConfig::default()
+    };
+    absorb(&supervised_run(b, 2, &cfg(3), &persistent, &budget_sup).faults);
+
+    // The four distributed kinds, one two-worker session, lifted into the
+    // shared taxonomy via `FaultEvent::from_dist`.
+    let factory = |s: u64| {
+        b.build_data_parallel(s)
+            .expect("DC-AI-C15 is data-parallel")
+    };
+    let dist = DistConfig {
+        schedule: DistSchedule::empty()
+            .inject(1, 1, 0, DistFaultKind::StragglerDelay { ticks: 2 })
+            .inject(1, 2, 1, DistFaultKind::CorruptGradShard)
+            .inject(2, 1, 1, DistFaultKind::LostContribution)
+            .inject(2, 2, 1, DistFaultKind::WorkerDrop),
+        ..DistConfig::with_world(2)
+    };
+    let params = RunParams {
+        max_epochs: 2,
+        eval_every: 1,
+        snapshot_every: 0,
+    };
+    let group = run_data_parallel(&factory, 2, &|_| false, &params, &dist);
+    let lifted: Vec<FaultEvent> = group.faults.iter().map(FaultEvent::from_dist).collect();
+    absorb(&lifted);
+
+    let expected: &[(&str, &str)] = &[
+        ("non-finite-loss", "rollback"),
+        ("loss-spike", "rollback"),
+        ("non-finite-param", "rollback"),
+        ("exploding-grad-norm", "sanitize"),
+        ("kernel-panic", "rollback-serial"),
+        ("checkpoint-io", "retry-save"),
+        ("stalled-progress", "quarantine"),
+        ("budget-exhausted", "quarantine"),
+        ("straggler-delay", "absorb-delay"),
+        ("worker-drop", "exclude-reshard"),
+        ("corrupt-grad-shard", "shard-quarantine"),
+        ("lost-contribution", "rollback"),
+    ];
+    assert_eq!(expected.len(), TrainFault::KINDS.len());
+    for kind in TrainFault::KINDS {
+        let (_, action) = expected
+            .iter()
+            .find(|(k, _)| k == &kind)
+            .unwrap_or_else(|| panic!("no expectation for kind `{kind}`"));
+        let actions = covered
+            .get(kind)
+            .unwrap_or_else(|| panic!("kind `{kind}` never fired in any seeded scenario"));
+        assert!(
+            actions.contains(action),
+            "kind `{kind}` recovered via {actions:?}, expected `{action}`"
+        );
+    }
+    ParallelConfig::from_env().install();
 }
 
 #[test]
