@@ -1,0 +1,83 @@
+//! `aibench-load` — the serving load-test harness.
+//!
+//! Drives a fleet of simulated clients (default: 1000) through the
+//! in-process transport of `aibench-serve` and reports throughput, queue
+//! wait, and p99/p999 completion latency. With `--write-bench` the run is
+//! also compared against a serial supervised baseline and appended to the
+//! current `BENCH_*.json` as `serve`-kind entries (the same entries
+//! `aibench-perf` produces, from the same fixed trace).
+//!
+//! ```text
+//! aibench-load [--clients N] [--tenants N] [--budget N] [--epochs N]
+//! ```
+
+use aibench::registry::Registry;
+use aibench_bench::load::{
+    render, run_load, serial_baseline_seconds, serve_entries, LoadParams, LOAD_PROBE,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: aibench-load [--clients N] [--tenants N] [--budget N] [--epochs N] [--baseline]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut params = LoadParams::default();
+    let mut baseline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut grab = |what: &str| -> usize {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--{what} needs a positive integer");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--clients" => params.clients = grab("clients"),
+            "--tenants" => params.tenants = grab("tenants").max(1),
+            "--budget" => params.budget = grab("budget").max(1),
+            "--epochs" => params.epochs = grab("epochs").max(1),
+            "--baseline" => baseline = true,
+            _ => usage(),
+        }
+    }
+
+    println!(
+        "aibench-load: {} clients x {} epochs of {} across {} tenants (budget {})",
+        params.clients, params.epochs, LOAD_PROBE, params.tenants, params.budget
+    );
+    let registry = Registry::aibench();
+    let (report, stats) = run_load(&registry, &params);
+    assert_eq!(
+        stats.completed, params.clients,
+        "server dropped sessions: {} of {} finished",
+        stats.completed, params.clients
+    );
+    println!("{}", render(&params, &stats));
+    println!(
+        "schedule: {} events, signature hash {:016x}",
+        report.schedule.len(),
+        fxhash(report.schedule_signature().as_bytes()),
+    );
+
+    if baseline {
+        println!("running serial supervised baseline ...");
+        let serial = serial_baseline_seconds(&registry, &params);
+        println!("serial baseline  {serial:.2}s");
+        for e in serve_entries(&stats, serial) {
+            println!(
+                "  {:<22} {:>12} / {:>12} ns  ratio {:.3}",
+                e.name, e.scalar_ns, e.blocked_ns, e.speedup
+            );
+        }
+    }
+}
+
+/// Tiny stable hash so the full signature doesn't flood the terminal.
+fn fxhash(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3)
+    })
+}

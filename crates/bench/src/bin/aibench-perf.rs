@@ -248,6 +248,29 @@ fn dist_suite(entries: &mut Vec<PerfEntry>) {
     entries.push(entry("dist_cnn_epoch_w4", "dist", reps, w4, w1));
 }
 
+fn serve_suite(entries: &mut Vec<PerfEntry>) {
+    use aibench_bench::load::{run_load, serial_baseline_seconds, serve_entries, LoadParams};
+
+    // The serving subsystem's gate quantities, all same-machine ratios:
+    // scheduler efficiency against the bare supervised loop, tail-to-mean
+    // completion latency at p99/p999, and queue-wait fairness — measured on
+    // the fixed 1000-client load trace (`aibench-load`'s default workload).
+    let registry = Registry::aibench();
+    let params = LoadParams::default();
+    println!(
+        "running serve load trace ({} clients) + serial baseline ...",
+        params.clients
+    );
+    ops::set_gemm_path(GemmPath::Blocked);
+    let (_, stats) = run_load(&registry, &params);
+    assert_eq!(
+        stats.completed, params.clients,
+        "serve load dropped sessions"
+    );
+    let serial = serial_baseline_seconds(&registry, &params);
+    entries.extend(serve_entries(&stats, serial));
+}
+
 /// Most recent `BENCH_*.json` in `dir` (lexicographically latest name —
 /// the `YYYY-MM-DD` date format makes that chronological), if any.
 fn latest_snapshot(dir: &Path) -> Option<(PathBuf, PerfSnapshot)> {
@@ -301,6 +324,7 @@ fn main() {
     reduce_suite(&mut entries);
     trainer_suite(&mut entries);
     dist_suite(&mut entries);
+    serve_suite(&mut entries);
 
     let now = SystemTime::now()
         .duration_since(UNIX_EPOCH)
@@ -325,7 +349,7 @@ fn main() {
         );
     }
     println!();
-    for kind in ["gemm", "conv", "reduce", "trainer", "dist"] {
+    for kind in ["gemm", "conv", "reduce", "trainer", "dist", "serve"] {
         if let Some(g) = snapshot.geomean_speedup(kind) {
             println!("geomean speedup ({kind:>7}): {g:.2}x");
         }

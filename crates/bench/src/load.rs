@@ -1,0 +1,280 @@
+//! The serving load harness: drives thousands of simulated clients
+//! through the in-process transport of `aibench-serve` and reports
+//! throughput, queue wait, and tail completion latency.
+//!
+//! Both `aibench-load` (the standalone binary) and the `serve` suite of
+//! `aibench-perf` run the workload defined here, so the `BENCH_*.json`
+//! serve entries always describe the same fixed trace the load test runs.
+
+use aibench::registry::Registry;
+use aibench_fault::{supervised_run, SupervisorConfig};
+use aibench_serve::{run_trace, RunRequest, SchedAction, ServeConfig, ServeReport};
+
+use crate::perf::PerfEntry;
+
+/// The load-test workload: a fixed, fully deterministic request trace.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadParams {
+    /// Simulated clients (one request each).
+    pub clients: usize,
+    /// Tenants the clients are spread across round-robin.
+    pub tenants: usize,
+    /// Server worker budget.
+    pub budget: usize,
+    /// Epochs per session.
+    pub epochs: usize,
+}
+
+impl Default for LoadParams {
+    fn default() -> Self {
+        LoadParams {
+            clients: 1000,
+            tenants: 8,
+            budget: 8,
+            epochs: 2,
+        }
+    }
+}
+
+/// The cheap deterministic probe every load session trains.
+pub const LOAD_PROBE: &str = "DC-AI-C15";
+
+/// Builds the workload trace: `clients` requests spread round-robin over
+/// `tenants`, arriving in bursts of 32 per tick, with every 97th request
+/// arriving at elevated priority so the trace exercises preemption parks
+/// and resumes, not just FIFO drain.
+pub fn load_trace(params: &LoadParams) -> Vec<(u64, RunRequest)> {
+    (0..params.clients)
+        .map(|i| {
+            let tenant = format!("tenant-{:02}", i % params.tenants.max(1));
+            let mut req = RunRequest::new(&tenant, LOAD_PROBE, i as u64 + 1, params.epochs);
+            // Evaluate only at the final epoch: the load question is
+            // scheduling behavior, not quality traces.
+            req.eval_every = params.epochs;
+            if i % 97 == 96 {
+                req = req.with_priority(3);
+            }
+            ((i / 32) as u64, req)
+        })
+        .collect()
+}
+
+/// What one load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadStats {
+    /// Sessions that completed.
+    pub completed: usize,
+    /// Scheduler ticks to drain the trace.
+    pub ticks: u64,
+    /// End-to-end wall seconds for the whole run.
+    pub wall_seconds: f64,
+    /// Completed sessions per wall second.
+    pub throughput: f64,
+    /// Mean submit-to-finish latency, seconds.
+    pub mean_latency: f64,
+    /// 99th-percentile submit-to-finish latency, seconds.
+    pub p99_latency: f64,
+    /// 99.9th-percentile submit-to-finish latency, seconds.
+    pub p999_latency: f64,
+    /// Mean scheduler-tick queue wait before first admission.
+    pub mean_queue_wait: f64,
+    /// Worst-case queue wait, ticks.
+    pub max_queue_wait: u64,
+    /// Preemption parks the trace triggered.
+    pub parks: usize,
+}
+
+/// Sorted-percentile helper (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Summarizes a replayed load trace.
+pub fn stats_of(report: &ServeReport) -> LoadStats {
+    let mut latencies: Vec<f64> = report
+        .sessions
+        .iter()
+        .map(|s| s.done.result.wall_seconds)
+        .collect();
+    latencies.sort_by(f64::total_cmp);
+    let waits: Vec<u64> = report
+        .sessions
+        .iter()
+        .map(|s| s.done.queue_wait_ticks)
+        .collect();
+    let parks = report
+        .schedule
+        .iter()
+        .filter(|e| matches!(e.action, SchedAction::Park { .. }))
+        .count();
+    let n = report.sessions.len().max(1) as f64;
+    LoadStats {
+        completed: report.sessions.len(),
+        ticks: report.ticks,
+        wall_seconds: report.wall_seconds,
+        throughput: report.sessions.len() as f64 / report.wall_seconds.max(1e-9),
+        mean_latency: latencies.iter().sum::<f64>() / n,
+        p99_latency: percentile(&latencies, 0.99),
+        p999_latency: percentile(&latencies, 0.999),
+        mean_queue_wait: waits.iter().sum::<u64>() as f64 / n,
+        max_queue_wait: waits.iter().copied().max().unwrap_or(0),
+        parks,
+    }
+}
+
+/// Replays the load workload through a fresh server.
+pub fn run_load(registry: &Registry, params: &LoadParams) -> (ServeReport, LoadStats) {
+    let config = ServeConfig {
+        budget: params.budget,
+        ..ServeConfig::default()
+    };
+    let report = run_trace(registry, config, &load_trace(params));
+    let stats = stats_of(&report);
+    (report, stats)
+}
+
+/// Runs the same sessions back-to-back through the bare supervised loop —
+/// the no-scheduler baseline the serve wall time is gated against.
+pub fn serial_baseline_seconds(registry: &Registry, params: &LoadParams) -> f64 {
+    let start = std::time::Instant::now();
+    for (_, req) in load_trace(params) {
+        let benchmark = registry.get(&req.code).expect("load probe in registry");
+        let config = aibench::runner::RunConfig {
+            max_epochs: req.max_epochs,
+            eval_every: req.eval_every,
+            parallel: None,
+            checkpoint_every: 0,
+        };
+        std::hint::black_box(supervised_run(
+            benchmark,
+            req.seed,
+            &config,
+            &req.faults,
+            &SupervisorConfig::default(),
+        ));
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Converts one load run (plus its serial baseline) into `serve`-kind
+/// perf entries. All three are ratios of same-machine measurements, so
+/// they are stable across hosts:
+///
+/// * `serve_load_1k` — serial wall / served wall: the scheduler's
+///   efficiency against the bare supervised loop (≈1.0; falls if
+///   scheduling overhead grows);
+/// * `serve_tail_p99_1k` / `serve_tail_p999_1k` — mean latency / tail
+///   latency (falls if the tail blows up relative to the mean);
+/// * `serve_queue_wait_1k` — mean queue wait / worst queue wait in
+///   deterministic ticks (falls if fairness degrades and someone starves).
+pub fn serve_entries(stats: &LoadStats, serial_seconds: f64) -> Vec<PerfEntry> {
+    let ns = |s: f64| (s * 1e9).max(1.0) as u64;
+    let ratio_entry = |name: &str, num: u64, den: u64| PerfEntry {
+        name: name.to_string(),
+        kind: "serve".to_string(),
+        reps: 1,
+        blocked_ns: den,
+        scalar_ns: num,
+        speedup: num as f64 / den.max(1) as f64,
+    };
+    vec![
+        ratio_entry("serve_load_1k", ns(serial_seconds), ns(stats.wall_seconds)),
+        ratio_entry(
+            "serve_tail_p99_1k",
+            ns(stats.mean_latency),
+            ns(stats.p99_latency),
+        ),
+        ratio_entry(
+            "serve_tail_p999_1k",
+            ns(stats.mean_latency),
+            ns(stats.p999_latency),
+        ),
+        ratio_entry(
+            "serve_queue_wait_1k",
+            stats.mean_queue_wait.max(1.0) as u64,
+            stats.max_queue_wait.max(1),
+        ),
+    ]
+}
+
+/// Renders the stats block both binaries print.
+pub fn render(params: &LoadParams, stats: &LoadStats) -> String {
+    format!(
+        "clients          {}\n\
+         tenants          {}\n\
+         budget           {}\n\
+         completed        {}\n\
+         ticks            {}\n\
+         wall             {:.2}s\n\
+         throughput       {:.1} sessions/s\n\
+         latency mean     {:.3}s\n\
+         latency p99      {:.3}s\n\
+         latency p999     {:.3}s\n\
+         queue wait mean  {:.1} ticks\n\
+         queue wait max   {} ticks\n\
+         preemption parks {}",
+        params.clients,
+        params.tenants,
+        params.budget,
+        stats.completed,
+        stats.ticks,
+        stats.wall_seconds,
+        stats.throughput,
+        stats.mean_latency,
+        stats.p99_latency,
+        stats.p999_latency,
+        stats.mean_queue_wait,
+        stats.max_queue_wait,
+        stats.parks,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_load_drains_every_client() {
+        let registry = Registry::aibench();
+        let params = LoadParams {
+            clients: 24,
+            tenants: 3,
+            budget: 4,
+            epochs: 1,
+        };
+        let (report, stats) = run_load(&registry, &params);
+        assert_eq!(stats.completed, 24);
+        assert!(stats.p99_latency >= stats.mean_latency);
+        assert!(stats.p999_latency >= stats.p99_latency);
+        assert!(stats.max_queue_wait as f64 >= stats.mean_queue_wait);
+        // Same trace, same schedule: the load harness inherits the serve
+        // determinism contract.
+        let (again, _) = run_load(&registry, &params);
+        assert!(report.deterministic_eq(&again));
+    }
+
+    #[test]
+    fn trace_spreads_tenants_and_priorities() {
+        let params = LoadParams {
+            clients: 200,
+            tenants: 8,
+            budget: 8,
+            epochs: 2,
+        };
+        let trace = load_trace(&params);
+        assert_eq!(trace.len(), 200);
+        let elevated = trace.iter().filter(|(_, r)| r.priority > 0).count();
+        assert_eq!(elevated, 2);
+        let tenants: std::collections::BTreeSet<&str> =
+            trace.iter().map(|(_, r)| r.tenant.as_str()).collect();
+        assert_eq!(tenants.len(), 8);
+        assert!(
+            trace.windows(2).all(|w| w[0].0 <= w[1].0),
+            "arrivals sorted"
+        );
+    }
+}

@@ -3,7 +3,7 @@
 //! asserts every fixture produces at least one diagnostic of its family's
 //! rule, so a silently weakened rule fails the build rather than shipping.
 
-use crate::{audit, ckpt, counts, faults, shape, tape, trace, Diagnostic};
+use crate::{audit, ckpt, counts, faults, serve, shape, tape, trace, Diagnostic};
 use aibench::runner::RunConfig;
 use aibench_ckpt::{FailingSink, MemorySink, SnapshotFile, State};
 use aibench_dist::{DistConfig, DistFaultKind, DistSchedule};
@@ -13,6 +13,7 @@ use aibench_fault::{
 };
 use aibench_gpusim::{DeviceConfig, Kernel, KernelCategory, Simulator};
 use aibench_models::{Layer, LayerKind, ModelSpec, Trainer};
+use aibench_serve::{Quirks, ServeConfig};
 
 /// Names of all seeded-defect fixtures, in canonical order.
 pub const FIXTURES: &[&str] = &[
@@ -42,6 +43,9 @@ pub const FIXTURES: &[&str] = &[
     "audit-unsnapshotted-state",
     "audit-rng-in-region",
     "audit-thread-chunking",
+    "serve-starved-tenant",
+    "serve-lost-park-snapshot",
+    "serve-budget-overcommit",
 ];
 
 /// Runs one fixture by name; `None` for an unknown name. Each returned
@@ -85,6 +89,9 @@ pub fn run(name: &str) -> Option<Vec<Diagnostic>> {
         "audit-thread-chunking" => Some(audit::to_diagnostics(
             aibench_audit::fixtures::thread_dependent_chunking(),
         )),
+        "serve-starved-tenant" => Some(serve_starved_tenant()),
+        "serve-lost-park-snapshot" => Some(serve_lost_park_snapshot()),
+        "serve-budget-overcommit" => Some(serve_budget_overcommit()),
         _ => None,
     }
 }
@@ -456,6 +463,53 @@ fn fault_lost_contribution() -> Vec<Diagnostic> {
     dist_fault_probe("fixture/fault-lost-contribution", schedule)
 }
 
+/// A scheduler that breaks admission ties by arrival order alone
+/// (`starve_fifo`), letting the flooding tenant drain its whole queue
+/// before the lone tenant's request runs.
+fn serve_starved_tenant() -> Vec<Diagnostic> {
+    let registry = aibench::Registry::aibench();
+    let config = ServeConfig {
+        budget: 1,
+        quirks: Quirks {
+            starve_fifo: true,
+            ..Quirks::default()
+        },
+        ..ServeConfig::default()
+    };
+    serve::check_fair_share_with(&registry, config)
+}
+
+/// A scheduler that drops the park snapshot right after preempting a
+/// victim (`lose_park_snapshot`): the victim silently restarts from older
+/// state, and the schedule log's resume no longer matches its park.
+fn serve_lost_park_snapshot() -> Vec<Diagnostic> {
+    let registry = aibench::Registry::aibench();
+    let config = ServeConfig {
+        budget: 1,
+        quirks: Quirks {
+            lose_park_snapshot: true,
+            ..Quirks::default()
+        },
+        ..ServeConfig::default()
+    };
+    serve::check_preemption_snapshot_with(&registry, config)
+}
+
+/// A scheduler admitting one session beyond its worker budget
+/// (`overcommit_by`): replaying the schedule log exposes the extra
+/// concurrently running session.
+fn serve_budget_overcommit() -> Vec<Diagnostic> {
+    let registry = aibench::Registry::aibench();
+    let config = ServeConfig {
+        quirks: Quirks {
+            overcommit_by: 1,
+            ..Quirks::default()
+        },
+        ..ServeConfig::default()
+    };
+    serve::check_budget_invariant_with(&registry, config)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -489,6 +543,9 @@ mod tests {
             ("audit-unsnapshotted-state", "snapshot-coverage"),
             ("audit-rng-in-region", "rng-in-region"),
             ("audit-thread-chunking", "thread-dependent-chunking"),
+            ("serve-starved-tenant", "serve-fair-share"),
+            ("serve-lost-park-snapshot", "serve-preemption-snapshot"),
+            ("serve-budget-overcommit", "serve-budget-overcommit"),
         ];
         for &(fixture, rule) in expected_rules {
             let diags = run(fixture).expect("known fixture");

@@ -33,6 +33,11 @@
 //!   identical to the sequential runner, distributed fault schedules must
 //!   replay bit for bit, and multi-worker runs must be invariant to the
 //!   thread count.
+//! * [`serve`] — serving-layer lints over `aibench-serve`: a fixed request
+//!   trace must replay to the identical schedule and bits at any thread
+//!   count, a flooding tenant must not starve a lone one, every resume
+//!   must restore its park snapshot's epoch, and the running set must
+//!   never exceed the worker budget.
 //!
 //! [`fixtures`] holds seeded-defect inputs proving each rule fires; the
 //! `aibench-check` binary runs everything over the benchmark registry and
@@ -47,6 +52,7 @@ pub mod counts;
 pub mod dist;
 pub mod faults;
 pub mod fixtures;
+pub mod serve;
 pub mod shape;
 pub mod tape;
 pub mod trace;

@@ -2,8 +2,8 @@
 //! the full benchmark registry and exits nonzero on any violation.
 //!
 //! ```text
-//! aibench-check [--all | --specs | --traces | --tape | --ckpt | --faults | --audit | --dist]
-//!               [--benchmark CODE] [--fixture NAME]
+//! aibench-check [--all | --specs | --traces | --tape | --ckpt | --faults | --audit | --dist
+//!                | --serve] [--benchmark CODE] [--fixture NAME]
 //! ```
 //!
 //! * `--specs`  shape inference + exact FLOP/param cross-check
@@ -17,6 +17,9 @@
 //! * `--dist`   distributed contracts: shard partitioning, 1-worker
 //!   identity with the sequential runner, fault-schedule replay, and
 //!   thread-count invariance (slow)
+//! * `--serve`  serving contracts: schedule determinism across replays and
+//!   thread counts, fair-share admission, park/resume snapshot integrity,
+//!   and the worker-budget invariant (slow)
 //! * `--all`    everything above (default)
 //! * `--benchmark CODE` restrict any mode to one benchmark (e.g. DC-AI-C1)
 //! * `--fixture NAME` run one seeded-defect fixture (see `--list-fixtures`);
@@ -25,13 +28,15 @@
 #![forbid(unsafe_code)]
 
 use aibench::{Benchmark, Registry};
-use aibench_check::{audit, ckpt, counts, dist, faults, fixtures, shape, tape, trace, CheckReport};
+use aibench_check::{
+    audit, ckpt, counts, dist, faults, fixtures, serve, shape, tape, trace, CheckReport,
+};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: aibench-check [--all | --specs | --traces | --tape | --ckpt | --faults | --audit \
-         | --dist] [--benchmark CODE] [--fixture NAME | --list-fixtures]"
+         | --dist | --serve] [--benchmark CODE] [--fixture NAME | --list-fixtures]"
     );
     ExitCode::from(2)
 }
@@ -45,7 +50,7 @@ fn main() -> ExitCode {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--all" | "--specs" | "--traces" | "--tape" | "--ckpt" | "--faults" | "--audit"
-            | "--dist" => {
+            | "--dist" | "--serve" => {
                 if mode.replace(arg.clone()).is_some() {
                     return usage();
                 }
@@ -144,6 +149,12 @@ fn main() -> ExitCode {
         }
         report.absorb(dist::check_replay_stability(&registry));
         report.absorb(dist::check_thread_invariance(&registry));
+    }
+    if mode == "--all" || mode == "--serve" {
+        report.absorb(serve::check_schedule_determinism(&registry));
+        report.absorb(serve::check_fair_share(&registry));
+        report.absorb(serve::check_preemption_snapshot(&registry));
+        report.absorb(serve::check_budget_invariant(&registry));
     }
 
     for d in &report.diagnostics {

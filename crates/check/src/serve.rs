@@ -1,0 +1,321 @@
+//! Serving-layer lints over `aibench-serve`: the multi-tenant scheduler's
+//! contracts, checked by replaying fixed request traces through the live
+//! server core.
+//!
+//! * **Schedule determinism** — the same request trace replayed twice, and
+//!   again at a different thread count, must produce the identical
+//!   admission/preemption schedule and bitwise-identical per-session
+//!   results.
+//! * **Fair share** — a tenant flooding the queue must not starve a lone
+//!   tenant: accumulated service breaks admission ties, so the lone
+//!   tenant's request is admitted after at most one of the flooder's.
+//! * **Preemption snapshots** — every `resume@e` in the schedule log must
+//!   match the `park@e` that preceded it (a victim silently restarted from
+//!   older state is a lost snapshot), and a preempted-then-resumed session
+//!   must finish bitwise identical to the same session run uninterrupted.
+//! * **Budget invariant** — replaying the schedule log, the number of
+//!   concurrently running sessions must never exceed the worker budget.
+//!
+//! Each lint has a `_with` variant taking an explicit [`ServeConfig`] so
+//! the seeded-defect fixtures can switch on an `aibench_serve::Quirks`
+//! flag and prove the rule fires.
+
+use aibench::Registry;
+use aibench_fault::{FaultKind, FaultSchedule};
+use aibench_serve::{run_trace, RunRequest, SchedAction, ServeConfig, ServeReport};
+
+use crate::Diagnostic;
+
+/// Benchmark code every serving lint trains: cheap and deterministic.
+const PROBE: &str = "DC-AI-C15";
+
+fn probe_missing(rule: &'static str) -> Vec<Diagnostic> {
+    vec![Diagnostic::global(
+        "registry",
+        rule,
+        format!("{PROBE} registered for the serving probe"),
+        "benchmark missing from the registry",
+    )]
+}
+
+fn has_probe(registry: &Registry) -> bool {
+    registry.benchmarks().iter().any(|b| b.id.code() == PROBE)
+}
+
+/// The determinism probe trace: two tenants, a staggered arrival, one
+/// faulted session, one priority preempt.
+fn determinism_trace() -> Vec<(u64, RunRequest)> {
+    vec![
+        (0, RunRequest::new("acme", PROBE, 1, 3)),
+        (0, RunRequest::new("zeta", PROBE, 2, 2)),
+        (
+            1,
+            RunRequest::new("zeta", PROBE, 3, 2).with_faults(
+                FaultSchedule::new(4).inject(1, FaultKind::GradExplosion { scale: 1e12 }),
+            ),
+        ),
+        (2, RunRequest::new("ops", PROBE, 4, 2).with_priority(5)),
+    ]
+}
+
+/// The same trace replayed twice — and replayed at another thread count —
+/// must produce the identical schedule and bitwise-identical results.
+pub fn check_schedule_determinism(registry: &Registry) -> Vec<Diagnostic> {
+    let rule = "serve-schedule-determinism";
+    if !has_probe(registry) {
+        return probe_missing(rule);
+    }
+    let trace = determinism_trace();
+    let config = ServeConfig::default();
+    let mut out = Vec::new();
+
+    aibench_parallel::set_threads(1);
+    let first = run_trace(registry, config, &trace);
+    let replay = run_trace(registry, config, &trace);
+    aibench_parallel::set_threads(4);
+    let threaded = run_trace(registry, config, &trace);
+    aibench_parallel::ParallelConfig::default().install();
+
+    for (what, other) in [("replay", &replay), ("4-thread run", &threaded)] {
+        if first.schedule_signature() != other.schedule_signature() {
+            out.push(Diagnostic::global(
+                PROBE,
+                rule,
+                format!("the {what} reproduces the schedule"),
+                format!(
+                    "`{}` vs `{}`",
+                    first.schedule_signature(),
+                    other.schedule_signature()
+                ),
+            ));
+        } else if !first.deterministic_eq(other) {
+            out.push(Diagnostic::global(
+                PROBE,
+                rule,
+                format!("the {what} reproduces every session's bits"),
+                "identical schedule but diverging session results".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// The fair-share probe: one tenant floods four requests, a lone tenant
+/// submits one, all at tick 0, against a single worker slot.
+fn flood_trace() -> Vec<(u64, RunRequest)> {
+    let mut trace: Vec<(u64, RunRequest)> = (0..4)
+        .map(|i| (0, RunRequest::new("flood", PROBE, i + 1, 2)))
+        .collect();
+    trace.push((0, RunRequest::new("lone", PROBE, 9, 2)));
+    trace
+}
+
+/// Fair share with an explicit config (fixtures pass a quirked one).
+pub fn check_fair_share_with(registry: &Registry, config: ServeConfig) -> Vec<Diagnostic> {
+    let rule = "serve-fair-share";
+    if !has_probe(registry) {
+        return probe_missing(rule);
+    }
+    let report = run_trace(registry, config, &flood_trace());
+    // The lone tenant's session is the last submitted (id 4). Count how
+    // many flood admissions the scheduler placed before it: fair share
+    // lets exactly one through (the slot was empty; services were tied).
+    let admits: Vec<u64> = report
+        .schedule
+        .iter()
+        .filter(|e| matches!(e.action, SchedAction::Admit))
+        .map(|e| e.session)
+        .collect();
+    let lone = report
+        .sessions
+        .iter()
+        .find(|s| s.tenant == "lone")
+        .map(|s| s.session);
+    let Some(lone) = lone else {
+        return vec![Diagnostic::global(
+            PROBE,
+            rule,
+            "the lone tenant's session finishes",
+            "no finished session for tenant `lone`".to_string(),
+        )];
+    };
+    let ahead = admits.iter().take_while(|&&s| s != lone).count();
+    if ahead > 1 {
+        vec![Diagnostic::global(
+            PROBE,
+            rule,
+            "the lone tenant admitted after at most one flooding session",
+            format!("{ahead} flooding session(s) admitted first (order {admits:?})"),
+        )]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Fair share under the default single-slot configuration.
+pub fn check_fair_share(registry: &Registry) -> Vec<Diagnostic> {
+    check_fair_share_with(
+        registry,
+        ServeConfig {
+            budget: 1,
+            ..ServeConfig::default()
+        },
+    )
+}
+
+/// The preemption probe: a low-priority session holding the only slot, a
+/// high-priority arrival one tick later.
+fn preemption_trace() -> Vec<(u64, RunRequest)> {
+    vec![
+        (0, RunRequest::new("low", PROBE, 1, 4)),
+        (1, RunRequest::new("high", PROBE, 2, 1).with_priority(9)),
+    ]
+}
+
+/// Preemption snapshots with an explicit config (fixtures pass a quirked
+/// one).
+pub fn check_preemption_snapshot_with(registry: &Registry, config: ServeConfig) -> Vec<Diagnostic> {
+    let rule = "serve-preemption-snapshot";
+    if !has_probe(registry) {
+        return probe_missing(rule);
+    }
+    let preempted = run_trace(registry, config, &preemption_trace());
+    let mut out = resume_matches_park(&preempted, rule);
+    if !preempted
+        .schedule
+        .iter()
+        .any(|e| matches!(e.action, SchedAction::Park { .. }))
+    {
+        out.push(Diagnostic::global(
+            PROBE,
+            rule,
+            "the high-priority arrival preempts the running session",
+            format!("no park in schedule `{}`", preempted.schedule_signature()),
+        ));
+        return out;
+    }
+    // The victim, preempted and resumed, must still finish with the exact
+    // bits of an uninterrupted run.
+    let solo = run_trace(registry, config, &preemption_trace()[..1]);
+    if !preempted.sessions[0]
+        .done
+        .result
+        .deterministic_eq(&solo.sessions[0].done.result)
+    {
+        out.push(Diagnostic::global(
+            PROBE,
+            "serve-preemption-divergence",
+            "a preempted-then-resumed session bitwise identical to an uninterrupted one",
+            format!(
+                "{} epoch(s) to {:.9} preempted vs {} epoch(s) to {:.9} solo",
+                preempted.sessions[0].done.result.epochs_run,
+                preempted.sessions[0].done.result.final_quality,
+                solo.sessions[0].done.result.epochs_run,
+                solo.sessions[0].done.result.final_quality,
+            ),
+        ));
+    }
+    out
+}
+
+/// Walks a schedule log asserting every resume restores the epoch of the
+/// park that preceded it.
+fn resume_matches_park(report: &ServeReport, rule: &'static str) -> Vec<Diagnostic> {
+    let mut last_park: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+    let mut out = Vec::new();
+    for e in &report.schedule {
+        match e.action {
+            SchedAction::Park { at_epoch } => {
+                last_park.insert(e.session, at_epoch);
+            }
+            SchedAction::Resume { from_epoch } => {
+                let parked = last_park.remove(&e.session);
+                if from_epoch != parked {
+                    out.push(Diagnostic::global(
+                        PROBE,
+                        rule,
+                        format!(
+                            "session {} resumed from its park snapshot (epoch {:?})",
+                            e.session, parked
+                        ),
+                        match from_epoch {
+                            Some(epoch) => format!("resumed from epoch {epoch}"),
+                            None => "park snapshot lost; restarted from scratch".to_string(),
+                        },
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Preemption snapshots under the default single-slot configuration.
+pub fn check_preemption_snapshot(registry: &Registry) -> Vec<Diagnostic> {
+    check_preemption_snapshot_with(
+        registry,
+        ServeConfig {
+            budget: 1,
+            ..ServeConfig::default()
+        },
+    )
+}
+
+/// Budget invariant with an explicit config (fixtures pass a quirked one).
+pub fn check_budget_invariant_with(registry: &Registry, config: ServeConfig) -> Vec<Diagnostic> {
+    let rule = "serve-budget-overcommit";
+    if !has_probe(registry) {
+        return probe_missing(rule);
+    }
+    let report = run_trace(registry, config, &flood_trace());
+    // Replay the schedule log counting concurrently running sessions:
+    // admits and resumes occupy a slot, parks and finishes release one.
+    let mut running = 0usize;
+    let mut worst = 0usize;
+    let mut at_tick = 0u64;
+    for e in &report.schedule {
+        match e.action {
+            SchedAction::Admit | SchedAction::Resume { .. } => {
+                running += 1;
+                if running > worst {
+                    worst = running;
+                    at_tick = e.tick;
+                }
+            }
+            SchedAction::Park { .. } | SchedAction::Finish { .. } => {
+                running = running.saturating_sub(1);
+            }
+            SchedAction::Arrive | SchedAction::Reject { .. } => {}
+        }
+    }
+    if worst > config.budget {
+        vec![Diagnostic::global(
+            PROBE,
+            rule,
+            format!("at most {} session(s) running concurrently", config.budget),
+            format!("{worst} running at tick {at_tick}"),
+        )]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Budget invariant under a two-slot configuration.
+pub fn check_budget_invariant(registry: &Registry) -> Vec<Diagnostic> {
+    check_budget_invariant_with(registry, ServeConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_scheduler_passes_every_serving_lint() {
+        let registry = Registry::aibench();
+        assert!(check_schedule_determinism(&registry).is_empty());
+        assert!(check_fair_share(&registry).is_empty());
+        assert!(check_preemption_snapshot(&registry).is_empty());
+        assert!(check_budget_invariant(&registry).is_empty());
+    }
+}

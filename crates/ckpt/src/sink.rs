@@ -36,6 +36,27 @@ pub trait CheckpointSink {
     fn remove(&mut self, epoch: usize);
 }
 
+/// A mutable borrow of a sink is itself a sink, so drivers can be written
+/// generically over sink *ownership*: a one-shot runner borrows the
+/// caller's sink, a long-lived served session owns its own.
+impl<T: CheckpointSink + ?Sized> CheckpointSink for &mut T {
+    fn save(&mut self, epoch: usize, bytes: &[u8]) -> Result<(), CkptError> {
+        (**self).save(epoch, bytes)
+    }
+
+    fn epochs(&self) -> Vec<usize> {
+        (**self).epochs()
+    }
+
+    fn load(&self, epoch: usize) -> Result<Option<Vec<u8>>, CkptError> {
+        (**self).load(epoch)
+    }
+
+    fn remove(&mut self, epoch: usize) {
+        (**self).remove(epoch);
+    }
+}
+
 /// An in-memory sink for tests and fault-injection harnesses.
 ///
 /// Doubles as the corruption bench: tests can grab the stored bytes with
@@ -104,6 +125,23 @@ impl DirSink {
             dir,
             prefix: prefix.into(),
         })
+    }
+
+    /// A sink over `dir` namespaced to one *served session*: files are
+    /// named `{prefix}-s{session_id:06}-e{epoch:06}.aickpt`.
+    ///
+    /// Two tenants checkpointing the same benchmark code into the same
+    /// directory would otherwise clobber each other's snapshots (same
+    /// prefix, same epochs). The session infix keeps the stores disjoint
+    /// in both directions: this sink never lists a plain `{prefix}` file,
+    /// and a plain [`DirSink::new`] sink never lists a session file —
+    /// `-s000001-e000003` does not parse as an epoch suffix.
+    pub fn for_session(
+        dir: impl Into<PathBuf>,
+        prefix: impl Into<String>,
+        session_id: u64,
+    ) -> std::io::Result<Self> {
+        DirSink::new(dir, format!("{}-s{session_id:06}", prefix.into()))
     }
 
     /// The file path used for `epoch`.
@@ -298,6 +336,47 @@ mod tests {
         sink.remove(3);
         assert_eq!(sink.epochs(), vec![12]);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn session_sinks_with_the_same_code_never_clobber_each_other() {
+        // Regression for the multi-tenant collision: two sessions
+        // checkpointing the same benchmark code into the same directory
+        // used to race for the same `{code}-e{epoch}` paths.
+        let dir = std::env::temp_dir().join(format!("aibench-ckpt-sess-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut a = DirSink::for_session(&dir, "DC-AI-C1", 1).unwrap();
+        let mut b = DirSink::for_session(&dir, "DC-AI-C1", 2).unwrap();
+        a.save(3, b"tenant-a").unwrap();
+        b.save(3, b"tenant-b").unwrap();
+        assert_eq!(a.load(3).unwrap().unwrap(), b"tenant-a");
+        assert_eq!(b.load(3).unwrap().unwrap(), b"tenant-b");
+        assert_eq!(a.epochs(), vec![3]);
+        assert_eq!(b.epochs(), vec![3]);
+        // A plain sink for the same code sees neither session's files, and
+        // the sessions see neither the plain sink's nor each other's.
+        let mut plain = DirSink::new(&dir, "DC-AI-C1").unwrap();
+        assert!(plain.epochs().is_empty());
+        plain.save(3, b"plain").unwrap();
+        assert_eq!(a.load(3).unwrap().unwrap(), b"tenant-a");
+        assert_eq!(plain.load(3).unwrap().unwrap(), b"plain");
+        a.remove(3);
+        assert_eq!(b.epochs(), vec![3]);
+        assert_eq!(plain.epochs(), vec![3]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn borrowed_sink_is_a_sink() {
+        let mut inner = MemorySink::new();
+        {
+            let mut borrowed: &mut MemorySink = &mut inner;
+            CheckpointSink::save(&mut borrowed, 1, b"one").unwrap();
+            assert_eq!(CheckpointSink::epochs(&borrowed), vec![1]);
+            assert_eq!(CheckpointSink::load(&borrowed, 1).unwrap().unwrap(), b"one");
+            CheckpointSink::remove(&mut borrowed, 1);
+        }
+        assert!(inner.epochs().is_empty());
     }
 
     #[test]

@@ -19,13 +19,12 @@
 //! version-skewed or corrupted snapshot recoverable — the runner just falls
 //! back to the next older one.
 
-use std::time::Instant;
-
 use aibench_ckpt::{CheckpointSink, CkptError, SnapshotFile, State};
 use aibench_models::Trainer;
 
 use crate::registry::Benchmark;
 use crate::runner::{RunConfig, RunResult};
+use crate::session::TrainingSession;
 
 /// The accumulated portion of a [`RunResult`] carried across sessions.
 #[derive(Debug, Clone)]
@@ -215,58 +214,29 @@ fn run_session(
     sink: &mut dyn CheckpointSink,
     epoch_budget: Option<usize>,
 ) -> Result<Option<RunResult>, CkptError> {
-    if let Some(par) = config.parallel {
-        par.install();
-    }
-    let start = Instant::now();
+    let mut session = TrainingSession::resume(benchmark, seed, config, sink);
 
-    let (mut trainer, mut progress, resumed_from) =
-        match latest_valid_restore(benchmark, seed, config, sink) {
-            Some((t, p, epoch)) => (t, p, Some(epoch)),
-            None => (benchmark.build(seed), PartialRun::fresh(), None),
-        };
-
-    // From here the loop mirrors `run_to_quality` exactly — same call
-    // sequence, same eval cadence — so the trajectory is bit-identical.
-    // `executed` counts epochs run in *this* session, for the kill budget.
-    for (executed, epoch) in (progress.epochs_run + 1..=config.max_epochs).enumerate() {
+    // The session steps through exactly `run_to_quality`'s call sequence —
+    // same eval cadence — so the trajectory is bit-identical. `executed`
+    // counts epochs run in *this* session, for the kill budget.
+    let mut executed = 0;
+    while !session.finished() {
         if epoch_budget.is_some_and(|budget| executed >= budget) {
             return Ok(None); // simulated kill
         }
-        progress.loss_trace.push(trainer.train_epoch());
-        progress.epochs_run = epoch;
-        let mut done = false;
-        if epoch % config.eval_every.max(1) == 0 || epoch == config.max_epochs {
-            let q = trainer.evaluate();
-            progress.quality_trace.push((epoch, q));
-            progress.final_quality = q;
-            if benchmark.target.met_by(q) {
-                progress.epochs_to_target = Some(epoch);
-                done = true;
-            }
+        executed += 1;
+        session.step();
+        if session.converged() {
+            break; // converged runs never checkpoint their final epoch
         }
-        if done {
-            break;
-        }
-        if config.checkpoint_every > 0 && epoch % config.checkpoint_every == 0 {
-            sink.save(
-                epoch,
-                &snapshot_run(benchmark, seed, config, &progress, trainer.as_ref()),
-            )?;
+        if config.checkpoint_every > 0
+            && session.epochs_run().is_multiple_of(config.checkpoint_every)
+        {
+            session.checkpoint(sink)?;
         }
     }
 
-    Ok(Some(RunResult {
-        code: benchmark.id.code().to_string(),
-        seed,
-        epochs_run: progress.epochs_run,
-        epochs_to_target: progress.epochs_to_target,
-        quality_trace: progress.quality_trace,
-        loss_trace: progress.loss_trace,
-        final_quality: progress.final_quality,
-        wall_seconds: start.elapsed().as_secs_f64(),
-        resumed_from,
-    }))
+    Ok(Some(session.result()))
 }
 
 /// Runs an entire training session like

@@ -52,6 +52,7 @@ pub mod quality;
 pub mod registry;
 pub mod repeatability;
 pub mod runner;
+pub mod session;
 pub mod subset;
 pub mod suite_comparison;
 

@@ -65,6 +65,72 @@ impl RunResult {
         self.epochs_to_target.is_some()
     }
 
+    /// Encodes the result into a ckpt [`State`](aibench_ckpt::State) —
+    /// the compact typed byte format results cross the serving wire in
+    /// (no serde anywhere in the workspace). Floats round-trip bitwise,
+    /// NaN included, so [`RunResult::deterministic_eq`] survives
+    /// serialization.
+    pub fn to_state(&self) -> aibench_ckpt::State {
+        let mut state = aibench_ckpt::State::new();
+        state.put_str("code", &self.code);
+        state.put_u64("seed", self.seed);
+        state.put_usize("epochs_run", self.epochs_run);
+        state.put_bool("converged", self.epochs_to_target.is_some());
+        state.put_usize("epochs_to_target", self.epochs_to_target.unwrap_or(0));
+        state.put_u64s(
+            "quality_epochs",
+            self.quality_trace.iter().map(|&(e, _)| e as u64).collect(),
+        );
+        state.put_f64s(
+            "quality_values",
+            self.quality_trace.iter().map(|&(_, q)| q).collect(),
+        );
+        state.put_f32s(
+            "loss_trace",
+            &[self.loss_trace.len()],
+            self.loss_trace.clone(),
+        );
+        state.put_f64("final_quality", self.final_quality);
+        state.put_f64("wall_seconds", self.wall_seconds);
+        state.put_bool("resumed", self.resumed_from.is_some());
+        state.put_usize("resumed_from", self.resumed_from.unwrap_or(0));
+        state
+    }
+
+    /// Decodes a result encoded by [`RunResult::to_state`]. Any missing or
+    /// mistyped key surfaces as an error — wire corruption must never pass
+    /// for a result.
+    pub fn from_state(state: &aibench_ckpt::State) -> Result<RunResult, aibench_ckpt::CkptError> {
+        let epochs = state.u64s("quality_epochs")?;
+        let values = state.f64s("quality_values")?;
+        if epochs.len() != values.len() {
+            return Err(aibench_ckpt::CkptError::MetaMismatch {
+                what: "quality trace epochs/values lengths differ".to_string(),
+            });
+        }
+        Ok(RunResult {
+            code: state.str("code")?.to_string(),
+            seed: state.u64("seed")?,
+            epochs_run: state.usize("epochs_run")?,
+            epochs_to_target: state
+                .bool("converged")?
+                .then(|| state.usize("epochs_to_target"))
+                .transpose()?,
+            quality_trace: epochs
+                .iter()
+                .zip(values)
+                .map(|(&e, &q)| (e as usize, q))
+                .collect(),
+            loss_trace: state.f32s("loss_trace")?.1.to_vec(),
+            final_quality: state.f64("final_quality")?,
+            wall_seconds: state.f64("wall_seconds")?,
+            resumed_from: state
+                .bool("resumed")?
+                .then(|| state.usize("resumed_from"))
+                .transpose()?,
+        })
+    }
+
     /// Bitwise equality of everything the training computation determines:
     /// epochs, quality trace, loss trace, and final quality, with floats
     /// compared by raw bit pattern (so NaN == NaN and `-0.0 != 0.0`).

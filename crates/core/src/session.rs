@@ -1,0 +1,320 @@
+//! The session lifecycle API: an open, steppable training session.
+//!
+//! [`run_to_quality`](crate::runner::run_to_quality) and the resumable
+//! runner treat a session as a closed loop — start it, get a
+//! [`RunResult`] back. A scheduler (the `aibench-serve` server) needs the
+//! loop *open*: run one epoch, look at the progress, snapshot the session,
+//! park it to free its worker slot, and resume it later — bitwise
+//! identically — when capacity returns. [`TrainingSession`] is that open
+//! form; the closed runners are thin drivers over it.
+//!
+//! # Determinism contract
+//!
+//! Stepping a session epoch by epoch performs exactly the call sequence of
+//! [`run_to_quality`](crate::runner::run_to_quality) — `train_epoch`, then
+//! `evaluate` on the same cadence — so a driven session reproduces the
+//! plain runner's trajectory bit for bit. [`TrainingSession::park`] saves
+//! a snapshot through [`snapshot_run`] and
+//! [`TrainingSession::unpark`] restores it through the same strict path
+//! the resumable runner uses, so a parked-and-resumed session is
+//! [`RunResult::deterministic_eq`] to one that never stopped.
+
+use std::time::Instant;
+
+use aibench_ckpt::{CheckpointSink, CkptError};
+use aibench_models::Trainer;
+
+use crate::ckpt::{latest_valid_restore, snapshot_run, PartialRun};
+use crate::registry::Benchmark;
+use crate::runner::{RunConfig, RunResult};
+
+/// One open training session: a trainer plus its accumulated progress,
+/// steppable one epoch at a time and parkable between epochs.
+pub struct TrainingSession<'a> {
+    benchmark: &'a Benchmark,
+    seed: u64,
+    config: RunConfig,
+    /// `None` while parked: the trainer's state lives in the snapshot the
+    /// park wrote, not in memory.
+    trainer: Option<Box<dyn Trainer>>,
+    progress: PartialRun,
+    resumed_from: Option<usize>,
+    start: Instant,
+}
+
+impl<'a> TrainingSession<'a> {
+    /// Opens a fresh session at epoch 0. Installs `config.parallel` if set,
+    /// exactly like the closed runners.
+    pub fn fresh(benchmark: &'a Benchmark, seed: u64, config: &RunConfig) -> Self {
+        if let Some(par) = config.parallel {
+            par.install();
+        }
+        let start = Instant::now();
+        TrainingSession {
+            benchmark,
+            seed,
+            config: *config,
+            trainer: Some(benchmark.build(seed)),
+            progress: PartialRun::fresh(),
+            resumed_from: None,
+            start,
+        }
+    }
+
+    /// Opens a session from the newest valid snapshot in `sink`, falling
+    /// back to a fresh start when no snapshot survives validation.
+    pub fn resume(
+        benchmark: &'a Benchmark,
+        seed: u64,
+        config: &RunConfig,
+        sink: &dyn CheckpointSink,
+    ) -> Self {
+        if let Some(par) = config.parallel {
+            par.install();
+        }
+        let start = Instant::now();
+        let (trainer, progress, resumed_from) =
+            match latest_valid_restore(benchmark, seed, config, sink) {
+                Some((t, p, epoch)) => (t, p, Some(epoch)),
+                None => (benchmark.build(seed), PartialRun::fresh(), None),
+            };
+        TrainingSession {
+            benchmark,
+            seed,
+            config: *config,
+            trainer: Some(trainer),
+            progress,
+            resumed_from,
+            start,
+        }
+    }
+
+    /// The benchmark this session trains.
+    pub fn benchmark(&self) -> &'a Benchmark {
+        self.benchmark
+    }
+
+    /// The session's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Epochs committed so far.
+    pub fn epochs_run(&self) -> usize {
+        self.progress.epochs_run
+    }
+
+    /// The accumulated progress.
+    pub fn progress(&self) -> &PartialRun {
+        &self.progress
+    }
+
+    /// Whether the session reached its quality target.
+    pub fn converged(&self) -> bool {
+        self.progress.epochs_to_target.is_some()
+    }
+
+    /// Whether the session is over: converged, or out of epochs.
+    pub fn finished(&self) -> bool {
+        self.converged() || self.progress.epochs_run >= self.config.max_epochs
+    }
+
+    /// Whether the session is parked (trainer dropped; state lives in the
+    /// park snapshot).
+    pub fn is_parked(&self) -> bool {
+        self.trainer.is_none()
+    }
+
+    fn trainer_mut(&mut self) -> &mut dyn Trainer {
+        self.trainer
+            .as_deref_mut()
+            .expect("session is parked; unpark before stepping")
+    }
+
+    /// Runs the next epoch's training pass and returns its mean loss
+    /// *without* committing it — the split exists so supervised drivers can
+    /// inspect (or override) the loss before it enters the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is parked or [`finished`](Self::finished).
+    pub fn train_next(&mut self) -> f32 {
+        assert!(!self.finished(), "session is finished; no epochs left");
+        self.trainer_mut().train_epoch()
+    }
+
+    /// Commits `loss` as the next epoch's result and evaluates on the
+    /// runner's cadence (`eval_every`, plus always at the epoch cap).
+    /// Returns the quality if this epoch evaluated.
+    pub fn commit(&mut self, loss: f32) -> Option<f64> {
+        let epoch = self.progress.epochs_run + 1;
+        self.progress.loss_trace.push(loss);
+        self.progress.epochs_run = epoch;
+        if epoch.is_multiple_of(self.config.eval_every.max(1)) || epoch == self.config.max_epochs {
+            let q = self.trainer_mut().evaluate();
+            self.progress.quality_trace.push((epoch, q));
+            self.progress.final_quality = q;
+            if self.benchmark.target.met_by(q) {
+                self.progress.epochs_to_target = Some(epoch);
+            }
+            Some(q)
+        } else {
+            None
+        }
+    }
+
+    /// Runs and commits one epoch: [`train_next`](Self::train_next) then
+    /// [`commit`](Self::commit). Returns `(loss, quality)`.
+    pub fn step(&mut self) -> (f32, Option<f64>) {
+        let loss = self.train_next();
+        let quality = self.commit(loss);
+        (loss, quality)
+    }
+
+    /// Serializes the session (identity, progress, trainer state) into
+    /// snapshot bytes.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let trainer = self
+            .trainer
+            .as_deref()
+            .expect("session is parked; its state is already in the park snapshot");
+        snapshot_run(
+            self.benchmark,
+            self.seed,
+            &self.config,
+            &self.progress,
+            trainer,
+        )
+    }
+
+    /// Saves a snapshot of the current state into `sink` under the current
+    /// epoch.
+    pub fn checkpoint(&self, sink: &mut dyn CheckpointSink) -> Result<(), CkptError> {
+        sink.save(self.progress.epochs_run, &self.snapshot())
+    }
+
+    /// Parks the session: snapshots it into `sink` and drops the trainer,
+    /// freeing its memory and worker slot. Returns the epoch the park
+    /// snapshot was taken at. The session stays queryable (progress,
+    /// finished) but cannot step until [`unpark`](Self::unpark)ed.
+    pub fn park(&mut self, sink: &mut dyn CheckpointSink) -> Result<usize, CkptError> {
+        let epoch = self.progress.epochs_run;
+        sink.save(epoch, &self.snapshot())?;
+        self.trainer = None;
+        Ok(epoch)
+    }
+
+    /// Unparks (or rolls back) the session from the newest valid snapshot
+    /// in `sink`, returning the epoch restored from; with no usable
+    /// snapshot the session restarts from scratch and `None` is returned.
+    pub fn unpark(&mut self, sink: &dyn CheckpointSink) -> Option<usize> {
+        match latest_valid_restore(self.benchmark, self.seed, &self.config, sink) {
+            Some((trainer, progress, epoch)) => {
+                self.trainer = Some(trainer);
+                self.progress = progress;
+                Some(epoch)
+            }
+            None => {
+                self.trainer = Some(self.benchmark.build(self.seed));
+                self.progress = PartialRun::fresh();
+                None
+            }
+        }
+    }
+
+    /// Closes the session into a [`RunResult`].
+    pub fn result(&self) -> RunResult {
+        RunResult {
+            code: self.benchmark.id.code().to_string(),
+            seed: self.seed,
+            epochs_run: self.progress.epochs_run,
+            epochs_to_target: self.progress.epochs_to_target,
+            quality_trace: self.progress.quality_trace.clone(),
+            loss_trace: self.progress.loss_trace.clone(),
+            final_quality: self.progress.final_quality,
+            wall_seconds: self.start.elapsed().as_secs_f64(),
+            resumed_from: self.resumed_from,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::runner::run_to_quality;
+    use aibench_ckpt::MemorySink;
+
+    fn cfg(max_epochs: usize) -> RunConfig {
+        RunConfig {
+            max_epochs,
+            eval_every: 1,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn stepped_session_matches_plain_runner() {
+        let r = Registry::aibench();
+        let b = r.get("DC-AI-C15").unwrap();
+        let config = cfg(3);
+        let plain = run_to_quality(b, 1, &config);
+        let mut session = TrainingSession::fresh(b, 1, &config);
+        while !session.finished() {
+            session.step();
+        }
+        assert!(plain.deterministic_eq(&session.result()));
+    }
+
+    #[test]
+    fn park_and_unpark_is_bitwise_neutral() {
+        let r = Registry::aibench();
+        let b = r.get("DC-AI-C15").unwrap();
+        let config = cfg(4);
+        let plain = run_to_quality(b, 1, &config);
+
+        let mut sink = MemorySink::new();
+        let mut session = TrainingSession::fresh(b, 1, &config);
+        session.step();
+        session.step();
+        let parked_at = session.park(&mut sink).unwrap();
+        assert_eq!(parked_at, 2);
+        assert!(session.is_parked());
+        assert_eq!(session.epochs_run(), 2);
+        let resumed_from = session.unpark(&sink);
+        assert_eq!(resumed_from, Some(2));
+        while !session.finished() {
+            session.step();
+        }
+        assert!(plain.deterministic_eq(&session.result()));
+    }
+
+    #[test]
+    fn park_before_first_epoch_resumes_from_scratch_state() {
+        let r = Registry::aibench();
+        let b = r.get("DC-AI-C15").unwrap();
+        let config = cfg(2);
+        let plain = run_to_quality(b, 7, &config);
+        let mut sink = MemorySink::new();
+        let mut session = TrainingSession::fresh(b, 7, &config);
+        assert_eq!(session.park(&mut sink).unwrap(), 0);
+        assert_eq!(session.unpark(&sink), Some(0));
+        while !session.finished() {
+            session.step();
+        }
+        assert!(plain.deterministic_eq(&session.result()));
+    }
+
+    #[test]
+    fn unpark_without_snapshot_restarts_from_scratch() {
+        let r = Registry::aibench();
+        let b = r.get("DC-AI-C15").unwrap();
+        let config = cfg(2);
+        let mut session = TrainingSession::fresh(b, 1, &config);
+        session.step();
+        session.trainer = None; // park without saving: the defective path
+        let empty = MemorySink::new();
+        assert_eq!(session.unpark(&empty), None);
+        assert_eq!(session.epochs_run(), 0, "lost work restarts from scratch");
+    }
+}

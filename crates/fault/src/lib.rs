@@ -43,6 +43,7 @@ pub use schedule::{FaultKind, FaultSchedule, Injection};
 pub use sentinel::SentinelConfig;
 pub use suite::{run_suite, SuiteEntry, SuitePlan, SuiteReport};
 pub use supervisor::{
-    supervised_run, supervised_run_with_sink, Outcome, SupervisedRun, SupervisorConfig,
+    supervised_run, supervised_run_with_sink, Outcome, SupervisedRun, SupervisedSession,
+    SupervisorConfig, Tick,
 };
 pub use taxonomy::{ActionTaken, FaultEvent, TrainFault};

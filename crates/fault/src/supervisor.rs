@@ -99,6 +99,46 @@ impl Outcome {
         matches!(self, Outcome::Converged | Outcome::Recovered { .. })
     }
 
+    /// Encodes the outcome into `state` under `prefix`, in the ckpt typed
+    /// byte format. A quarantining fault is embedded under a `fault`
+    /// sub-prefix.
+    pub fn put_state(&self, state: &mut aibench_ckpt::State, prefix: &str) {
+        use aibench_ckpt::key;
+        state.put_str(key(prefix, "outcome"), self.kind());
+        match self {
+            Outcome::Converged | Outcome::MissedTarget => {}
+            Outcome::Recovered { attempts } => {
+                state.put_usize(key(prefix, "attempts"), *attempts);
+            }
+            Outcome::Quarantined { fault } => {
+                fault.put_state(state, &key(prefix, "fault"));
+            }
+        }
+    }
+
+    /// Decodes an outcome encoded by [`Outcome::put_state`].
+    pub fn take_state(
+        state: &aibench_ckpt::State,
+        prefix: &str,
+    ) -> Result<Outcome, aibench_ckpt::CkptError> {
+        use aibench_ckpt::key;
+        Ok(match state.str(&key(prefix, "outcome"))? {
+            "converged" => Outcome::Converged,
+            "missed-target" => Outcome::MissedTarget,
+            "recovered" => Outcome::Recovered {
+                attempts: state.usize(&key(prefix, "attempts"))?,
+            },
+            "quarantined" => Outcome::Quarantined {
+                fault: TrainFault::take_state(state, &key(prefix, "fault"))?,
+            },
+            other => {
+                return Err(aibench_ckpt::CkptError::MetaMismatch {
+                    what: format!("unknown outcome `{other}`"),
+                })
+            }
+        })
+    }
+
     /// NaN-stable signature (`recovered:2`, `quarantined:kernel-panic`, …).
     pub fn signature(&self) -> String {
         match self {
@@ -173,17 +213,56 @@ enum Flow {
     Stop,
 }
 
-struct Supervisor<'a> {
+/// What one [`SupervisedSession::tick`] accomplished.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tick {
+    /// An epoch was committed: its loss entered the trace, and `quality`
+    /// holds the evaluation if this epoch was on the eval cadence.
+    Progressed {
+        /// The committed (1-based) epoch.
+        epoch: usize,
+        /// The committed mean training loss (after any injected override).
+        loss: f32,
+        /// The quality measured this epoch, if it evaluated.
+        quality: Option<f64>,
+    },
+    /// A recovery action consumed the slot — state may have been rolled
+    /// back; no epoch was committed.
+    Recovering,
+    /// The session is over (converged, missed target, or quarantined);
+    /// nothing ran.
+    Done,
+}
+
+/// One supervised training session in steppable form: the engine behind
+/// [`supervised_run`], opened up so a scheduler (the `aibench-serve`
+/// server) can interleave many sessions on a bounded worker budget.
+///
+/// Each call to [`SupervisedSession::tick`] spends one supervision slot —
+/// one epoch attempt, including any injections due, sentinel checks, and
+/// at most one recovery action. Between ticks the session can be
+/// [`park`](SupervisedSession::park)ed (snapshot to its own sink, trainer
+/// dropped) and later [`unpark`](SupervisedSession::unpark)ed; because
+/// every piece of supervision state (injection bookkeeping, corruption RNG
+/// position, recovery counters) stays in the struct and the trainer
+/// round-trips through the strict snapshot path, a parked-and-resumed
+/// session is bitwise identical to one that never stopped.
+///
+/// The sink type is generic over *ownership*: the one-shot runners borrow
+/// the caller's sink (`&mut dyn CheckpointSink` is itself a sink), a
+/// served session owns a private `MemorySink`.
+pub struct SupervisedSession<'a, S: CheckpointSink> {
     benchmark: &'a Benchmark,
     seed: u64,
-    config: &'a RunConfig,
-    schedule: &'a FaultSchedule,
-    sup: &'a SupervisorConfig,
-    sink: &'a mut dyn CheckpointSink,
+    config: RunConfig,
+    schedule: FaultSchedule,
+    sup: SupervisorConfig,
+    sink: S,
     rng: Rng,
     /// Which one-shot schedule entries have fired.
     fired: Vec<bool>,
-    trainer: Box<dyn Trainer>,
+    /// `None` while parked: the trainer's state lives in the park snapshot.
+    trainer: Option<Box<dyn Trainer>>,
     progress: PartialRun,
     faults: Vec<FaultEvent>,
     recoveries: usize,
@@ -195,9 +274,55 @@ struct Supervisor<'a> {
     /// Pending checkpoint-save retry: `(retry_epoch, attempt)`.
     save_retry: Option<(usize, usize)>,
     ckpt_abandoned: bool,
+    completed: bool,
+    start: Instant,
 }
 
-impl<'a> Supervisor<'a> {
+impl<'a, S: CheckpointSink> SupervisedSession<'a, S> {
+    /// Opens a supervised session at epoch 0. `sink` is the session's
+    /// rollback and park store. Installs `config.parallel` if set.
+    pub fn new(
+        benchmark: &'a Benchmark,
+        seed: u64,
+        config: RunConfig,
+        schedule: FaultSchedule,
+        sup: SupervisorConfig,
+        sink: S,
+    ) -> Self {
+        if let Some(par) = config.parallel {
+            par.install();
+        }
+        let start = Instant::now();
+        SupervisedSession {
+            benchmark,
+            seed,
+            rng: Rng::seed_from(schedule.seed),
+            fired: vec![false; schedule.injections.len()],
+            trainer: Some(benchmark.build(seed)),
+            progress: PartialRun::fresh(),
+            faults: Vec::new(),
+            recoveries: 0,
+            executed: 0,
+            budget: sup.epoch_budget_factor.max(1) * config.max_epochs.max(1) + 8,
+            degraded_serial: false,
+            quarantined: None,
+            frozen_quality: None,
+            save_retry: None,
+            ckpt_abandoned: false,
+            completed: false,
+            start,
+            config,
+            schedule,
+            sup,
+            sink,
+        }
+    }
+
+    fn live_trainer(&self) -> &dyn Trainer {
+        self.trainer
+            .as_deref()
+            .expect("session is parked; unpark before use")
+    }
     /// Handles one detected fault per the policy. `pre_step` is true when
     /// the fault was caught before the training step consumed any state —
     /// the only point where in-place gradient sanitizing is sound; the
@@ -222,7 +347,7 @@ impl<'a> Supervisor<'a> {
         match action {
             RecoveryAction::Quarantine => self.quarantine(fault),
             RecoveryAction::SkipAndSanitize { clip_norm } => {
-                let zeroed = inject::sanitize_grads(self.trainer.as_ref(), clip_norm);
+                let zeroed = inject::sanitize_grads(self.live_trainer(), clip_norm);
                 self.recoveries += 1;
                 self.faults.push(FaultEvent {
                     fault,
@@ -283,19 +408,19 @@ impl<'a> Supervisor<'a> {
             let Ok(Some(bytes)) = self.sink.load(epoch) else {
                 continue;
             };
-            if let Ok((t, p)) = restore_run(self.benchmark, self.seed, self.config, &bytes) {
+            if let Ok((t, p)) = restore_run(self.benchmark, self.seed, &self.config, &bytes) {
                 restored = Some((t, p, epoch));
                 break;
             }
         }
         let to_epoch = match restored {
             Some((trainer, progress, epoch)) => {
-                self.trainer = trainer;
+                self.trainer = Some(trainer);
                 self.progress = progress;
                 Some(epoch)
             }
             None => {
-                self.trainer = self.benchmark.build(self.seed);
+                self.trainer = Some(self.benchmark.build(self.seed));
                 self.progress = PartialRun::fresh();
                 None
             }
@@ -304,7 +429,10 @@ impl<'a> Supervisor<'a> {
         // the reduction on top so the retried trajectory cools down.
         // Snapshots taken later bake the reduction in, so repeated
         // rollbacks compound.
-        self.trainer.scale_lr(lr_factor);
+        self.trainer
+            .as_deref_mut()
+            .expect("rollback always leaves a live trainer")
+            .scale_lr(lr_factor);
         self.save_retry = None;
         self.recoveries += 1;
         self.faults.push(FaultEvent {
@@ -332,9 +460,9 @@ impl<'a> Supervisor<'a> {
         let bytes = snapshot_run(
             self.benchmark,
             self.seed,
-            self.config,
+            &self.config,
             &self.progress,
-            self.trainer.as_ref(),
+            self.live_trainer(),
         );
         let saved = if injected_fail {
             Err(CkptError::Io {
@@ -388,179 +516,321 @@ impl<'a> Supervisor<'a> {
         Flow::Proceed
     }
 
-    fn run(mut self, start: Instant) -> SupervisedRun {
-        'session: while self.progress.epochs_run < self.config.max_epochs {
-            let epoch = self.progress.epochs_run + 1;
-            self.executed += 1;
-            if self.executed > self.budget {
-                let fault = TrainFault::BudgetExhausted {
-                    executed: self.executed,
-                    budget: self.budget,
-                };
-                self.quarantine(fault);
-                break 'session;
-            }
-
-            // Scheduled injections due this epoch. One-shot entries are
-            // consumed even if recovery re-runs this epoch (a transient
-            // fault does not recur); persistent entries re-fire every time.
-            let mut panic_due = false;
-            let mut loss_override: Option<f32> = None;
-            let mut eval_frozen = false;
-            let mut save_fail = false;
-            for i in 0..self.schedule.injections.len() {
-                let inj = self.schedule.injections[i];
-                if matches!(inj.kind, FaultKind::LoadFail) {
-                    continue; // applies at rollback time, not here
-                }
-                let due = if inj.persistent {
-                    epoch >= inj.epoch
-                } else {
-                    !self.fired[i] && epoch == inj.epoch
-                };
-                if !due {
-                    continue;
-                }
-                if !inj.persistent {
-                    self.fired[i] = true;
-                }
-                match inj.kind {
-                    FaultKind::GradNan
-                    | FaultKind::GradExplosion { .. }
-                    | FaultKind::ParamNan
-                    | FaultKind::ParamBitFlip { .. } => {
-                        inject::corrupt(self.trainer.as_ref(), &mut self.rng, inj.kind);
-                    }
-                    FaultKind::LossValue { value } => loss_override = Some(value),
-                    FaultKind::KernelPanic => panic_due = true,
-                    FaultKind::SaveFail => save_fail = true,
-                    FaultKind::EvalFreeze => eval_frozen = true,
-                    FaultKind::LoadFail => unreachable!("skipped above"),
-                }
-            }
-
-            // Pre-step sentinels — run after injection so fresh damage is
-            // caught before the optimizer consumes it.
-            if let Some(fault) =
-                sentinel::check_params(self.trainer.as_ref(), &self.sup.sentinels, epoch)
-            {
-                match self.handle(fault, true) {
-                    Flow::Proceed => {}
-                    Flow::Restart => continue 'session,
-                    Flow::Stop => break 'session,
-                }
-            }
-
-            // The guarded training step: panics anywhere inside the step —
-            // including inside parallel kernel regions, which the worker
-            // pool forwards to the caller — surface here as typed faults.
-            let step = {
-                let trainer = self.trainer.as_mut();
-                catch_unwind(AssertUnwindSafe(|| {
-                    if panic_due {
-                        inject::faulty_kernel(epoch);
-                    }
-                    trainer.train_epoch()
-                }))
+    /// Spends one supervision slot: one epoch attempt, including scheduled
+    /// injections, sentinel checks, and at most one recovery action. The
+    /// body performs exactly one iteration of [`supervised_run`]'s loop,
+    /// so driving `tick` until [`Tick::Done`] reproduces it bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is parked.
+    pub fn tick(&mut self) -> Tick {
+        if self.completed || self.progress.epochs_run >= self.config.max_epochs {
+            self.completed = true;
+            return Tick::Done;
+        }
+        // Once degraded, every slot runs serially. Degradation is
+        // per-session state reasserted each tick, so a scheduler
+        // interleaving many sessions can restore its ambient thread count
+        // between ticks without losing this session's degradation.
+        if self.degraded_serial {
+            aibench_parallel::set_threads(1);
+        }
+        let epoch = self.progress.epochs_run + 1;
+        self.executed += 1;
+        if self.executed > self.budget {
+            let fault = TrainFault::BudgetExhausted {
+                executed: self.executed,
+                budget: self.budget,
             };
-            let loss = match step {
-                Ok(loss) => loss_override.unwrap_or(loss),
+            self.quarantine(fault);
+            self.completed = true;
+            return Tick::Done;
+        }
+
+        // Scheduled injections due this epoch. One-shot entries are
+        // consumed even if recovery re-runs this epoch (a transient
+        // fault does not recur); persistent entries re-fire every time.
+        let mut panic_due = false;
+        let mut loss_override: Option<f32> = None;
+        let mut eval_frozen = false;
+        let mut save_fail = false;
+        for i in 0..self.schedule.injections.len() {
+            let inj = self.schedule.injections[i];
+            if matches!(inj.kind, FaultKind::LoadFail) {
+                continue; // applies at rollback time, not here
+            }
+            let due = if inj.persistent {
+                epoch >= inj.epoch
+            } else {
+                !self.fired[i] && epoch == inj.epoch
+            };
+            if !due {
+                continue;
+            }
+            if !inj.persistent {
+                self.fired[i] = true;
+            }
+            match inj.kind {
+                FaultKind::GradNan
+                | FaultKind::GradExplosion { .. }
+                | FaultKind::ParamNan
+                | FaultKind::ParamBitFlip { .. } => {
+                    inject::corrupt(
+                        self.trainer.as_deref().expect("session is parked"),
+                        &mut self.rng,
+                        inj.kind,
+                    );
+                }
+                FaultKind::LossValue { value } => loss_override = Some(value),
+                FaultKind::KernelPanic => panic_due = true,
+                FaultKind::SaveFail => save_fail = true,
+                FaultKind::EvalFreeze => eval_frozen = true,
+                FaultKind::LoadFail => unreachable!("skipped above"),
+            }
+        }
+
+        // Pre-step sentinels — run after injection so fresh damage is
+        // caught before the optimizer consumes it.
+        if let Some(fault) = sentinel::check_params(self.live_trainer(), &self.sup.sentinels, epoch)
+        {
+            match self.handle(fault, true) {
+                Flow::Proceed => {}
+                Flow::Restart => return Tick::Recovering,
+                Flow::Stop => {
+                    self.completed = true;
+                    return Tick::Done;
+                }
+            }
+        }
+
+        // The guarded training step: panics anywhere inside the step —
+        // including inside parallel kernel regions, which the worker
+        // pool forwards to the caller — surface here as typed faults.
+        let step = {
+            let trainer = self.trainer.as_deref_mut().expect("session is parked");
+            catch_unwind(AssertUnwindSafe(|| {
+                if panic_due {
+                    inject::faulty_kernel(epoch);
+                }
+                trainer.train_epoch()
+            }))
+        };
+        let loss = match step {
+            Ok(loss) => loss_override.unwrap_or(loss),
+            Err(payload) => {
+                let fault = TrainFault::KernelPanic {
+                    epoch,
+                    message: inject::panic_message(&*payload),
+                };
+                // A panic mid-step leaves the trainer in an unknown
+                // state: the only sound continuations are rollback or
+                // quarantine (`handle` coerces sanitize away).
+                return match self.handle(fault, false) {
+                    Flow::Proceed | Flow::Restart => Tick::Recovering,
+                    Flow::Stop => {
+                        self.completed = true;
+                        Tick::Done
+                    }
+                };
+            }
+        };
+
+        // Post-step loss sentinels (checked against the pre-push trace).
+        let loss_fault =
+            sentinel::check_loss(loss, epoch, &self.progress.loss_trace, &self.sup.sentinels);
+        self.progress.loss_trace.push(loss);
+        self.progress.epochs_run = epoch;
+        if let Some(fault) = loss_fault {
+            match self.handle(fault, false) {
+                Flow::Proceed => {}
+                Flow::Restart => return Tick::Recovering,
+                Flow::Stop => {
+                    self.completed = true;
+                    return Tick::Done;
+                }
+            }
+        }
+
+        // Evaluation — same cadence as the plain runner, so an empty
+        // schedule reproduces its trajectory exactly.
+        let mut done = false;
+        let mut quality = None;
+        if epoch.is_multiple_of(self.config.eval_every.max(1)) || epoch == self.config.max_epochs {
+            let evaluated = {
+                let trainer = self.trainer.as_deref_mut().expect("session is parked");
+                catch_unwind(AssertUnwindSafe(|| trainer.evaluate()))
+            };
+            let q = match evaluated {
+                Ok(q) => q,
                 Err(payload) => {
                     let fault = TrainFault::KernelPanic {
                         epoch,
                         message: inject::panic_message(&*payload),
                     };
-                    // A panic mid-step leaves the trainer in an unknown
-                    // state: the only sound continuations are rollback or
-                    // quarantine (`handle` coerces sanitize away).
-                    match self.handle(fault, false) {
-                        Flow::Proceed | Flow::Restart => continue 'session,
-                        Flow::Stop => break 'session,
-                    }
+                    return match self.handle(fault, false) {
+                        Flow::Proceed | Flow::Restart => Tick::Recovering,
+                        Flow::Stop => {
+                            self.completed = true;
+                            Tick::Done
+                        }
+                    };
                 }
             };
-
-            // Post-step loss sentinels (checked against the pre-push trace).
-            let loss_fault =
-                sentinel::check_loss(loss, epoch, &self.progress.loss_trace, &self.sup.sentinels);
-            self.progress.loss_trace.push(loss);
-            self.progress.epochs_run = epoch;
-            if let Some(fault) = loss_fault {
-                match self.handle(fault, false) {
-                    Flow::Proceed => {}
-                    Flow::Restart => continue 'session,
-                    Flow::Stop => break 'session,
-                }
+            // A frozen evaluation keeps reporting the first quality
+            // observed under the freeze — a stalled-epoch simulation.
+            // The real evaluation still runs so trainer state advances
+            // identically.
+            let q = if eval_frozen {
+                *self.frozen_quality.get_or_insert(q)
+            } else {
+                q
+            };
+            self.progress.quality_trace.push((epoch, q));
+            self.progress.final_quality = q;
+            quality = Some(q);
+            if self.benchmark.target.met_by(q) {
+                self.progress.epochs_to_target = Some(epoch);
+                done = true;
             }
-
-            // Evaluation — same cadence as the plain runner, so an empty
-            // schedule reproduces its trajectory exactly.
-            let mut done = false;
-            if epoch.is_multiple_of(self.config.eval_every.max(1))
-                || epoch == self.config.max_epochs
-            {
-                let evaluated = {
-                    let trainer = self.trainer.as_mut();
-                    catch_unwind(AssertUnwindSafe(|| trainer.evaluate()))
-                };
-                let quality = match evaluated {
-                    Ok(q) => q,
-                    Err(payload) => {
-                        let fault = TrainFault::KernelPanic {
-                            epoch,
-                            message: inject::panic_message(&*payload),
-                        };
+            if !done {
+                if let Some(window) = self.sup.sentinels.stall_window {
+                    if let Some(fault) = sentinel::check_stall(
+                        &self.benchmark.target,
+                        &self.progress.quality_trace,
+                        window,
+                        epoch,
+                    ) {
                         match self.handle(fault, false) {
-                            Flow::Proceed | Flow::Restart => continue 'session,
-                            Flow::Stop => break 'session,
-                        }
-                    }
-                };
-                // A frozen evaluation keeps reporting the first quality
-                // observed under the freeze — a stalled-epoch simulation.
-                // The real evaluation still runs so trainer state advances
-                // identically.
-                let quality = if eval_frozen {
-                    *self.frozen_quality.get_or_insert(quality)
-                } else {
-                    quality
-                };
-                self.progress.quality_trace.push((epoch, quality));
-                self.progress.final_quality = quality;
-                if self.benchmark.target.met_by(quality) {
-                    self.progress.epochs_to_target = Some(epoch);
-                    done = true;
-                }
-                if !done {
-                    if let Some(window) = self.sup.sentinels.stall_window {
-                        if let Some(fault) = sentinel::check_stall(
-                            &self.benchmark.target,
-                            &self.progress.quality_trace,
-                            window,
-                            epoch,
-                        ) {
-                            match self.handle(fault, false) {
-                                Flow::Proceed => {}
-                                Flow::Restart => continue 'session,
-                                Flow::Stop => break 'session,
+                            Flow::Proceed => {}
+                            Flow::Restart => return Tick::Recovering,
+                            Flow::Stop => {
+                                self.completed = true;
+                                return Tick::Done;
                             }
                         }
                     }
                 }
             }
-            if done {
-                break 'session;
-            }
-
-            // Rollback snapshot, after all of the epoch's checks passed —
-            // a snapshot is only ever taken of state the sentinels cleared.
-            match self.maybe_save(epoch, save_fail) {
-                Flow::Proceed => {}
-                Flow::Restart => continue 'session,
-                Flow::Stop => break 'session,
-            }
+        }
+        if done {
+            self.completed = true;
+            return Tick::Progressed {
+                epoch,
+                loss,
+                quality,
+            };
         }
 
+        // Rollback snapshot, after all of the epoch's checks passed —
+        // a snapshot is only ever taken of state the sentinels cleared.
+        match self.maybe_save(epoch, save_fail) {
+            Flow::Proceed => Tick::Progressed {
+                epoch,
+                loss,
+                quality,
+            },
+            Flow::Restart => Tick::Recovering,
+            Flow::Stop => {
+                self.completed = true;
+                Tick::Done
+            }
+        }
+    }
+
+    /// Parks the session between ticks: saves a snapshot at the current
+    /// epoch into the session's own sink and drops the trainer, freeing
+    /// its memory while the session waits for a worker slot. Supervision
+    /// bookkeeping — injection one-shot state, the corruption RNG
+    /// position, recovery counters, the fault log — stays in the struct,
+    /// so an unparked session continues bitwise identically.
+    pub fn park(&mut self) -> Result<usize, CkptError> {
+        let epoch = self.progress.epochs_run;
+        let bytes = snapshot_run(
+            self.benchmark,
+            self.seed,
+            &self.config,
+            &self.progress,
+            self.live_trainer(),
+        );
+        self.sink.save(epoch, &bytes)?;
+        self.trainer = None;
+        Ok(epoch)
+    }
+
+    /// Unparks the session from the newest valid snapshot in its sink,
+    /// returning the epoch restored from. `None` means no snapshot
+    /// survived validation: the session restarted from scratch and the
+    /// parked progress is lost (work the scheduler will have to re-run).
+    pub fn unpark(&mut self) -> Option<usize> {
+        for &epoch in self.sink.epochs().iter().rev() {
+            let Ok(Some(bytes)) = self.sink.load(epoch) else {
+                continue;
+            };
+            if let Ok((t, p)) = restore_run(self.benchmark, self.seed, &self.config, &bytes) {
+                self.trainer = Some(t);
+                self.progress = p;
+                return Some(epoch);
+            }
+        }
+        self.trainer = Some(self.benchmark.build(self.seed));
+        self.progress = PartialRun::fresh();
+        None
+    }
+
+    /// Whether the session is parked (trainer dropped; state lives in the
+    /// park snapshot).
+    pub fn is_parked(&self) -> bool {
+        self.trainer.is_none()
+    }
+
+    /// Whether the session is over: converged, missed its target with no
+    /// epochs left, or quarantined.
+    pub fn finished(&self) -> bool {
+        self.completed
+            || self.quarantined.is_some()
+            || self.progress.epochs_to_target.is_some()
+            || self.progress.epochs_run >= self.config.max_epochs
+    }
+
+    /// Epochs committed in the surviving trajectory.
+    pub fn epochs_run(&self) -> usize {
+        self.progress.epochs_run
+    }
+
+    /// Epochs executed including recovery re-runs.
+    pub fn epochs_executed(&self) -> usize {
+        self.executed
+    }
+
+    /// The accumulated progress.
+    pub fn progress(&self) -> &PartialRun {
+        &self.progress
+    }
+
+    /// Every fault detected so far, with the action taken.
+    pub fn faults(&self) -> &[FaultEvent] {
+        &self.faults
+    }
+
+    /// Recovery actions taken so far.
+    pub fn recoveries(&self) -> usize {
+        self.recoveries
+    }
+
+    /// Whether execution was degraded to a single thread.
+    pub fn degraded_serial(&self) -> bool {
+        self.degraded_serial
+    }
+
+    /// The session's rollback/park store — tests and seeded-defect
+    /// fixtures reach through this to tamper with the snapshots.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Closes the session into its [`SupervisedRun`] record.
+    pub fn into_run(self) -> SupervisedRun {
         let result = RunResult {
             code: self.benchmark.id.code().to_string(),
             seed: self.seed,
@@ -569,7 +839,7 @@ impl<'a> Supervisor<'a> {
             quality_trace: self.progress.quality_trace,
             loss_trace: self.progress.loss_trace,
             final_quality: self.progress.final_quality,
-            wall_seconds: start.elapsed().as_secs_f64(),
+            wall_seconds: self.start.elapsed().as_secs_f64(),
             resumed_from: None,
         };
         let outcome = match self.quarantined {
@@ -621,33 +891,13 @@ pub fn supervised_run_with_sink(
     sup: &SupervisorConfig,
     sink: &mut dyn CheckpointSink,
 ) -> SupervisedRun {
-    if let Some(par) = config.parallel {
-        par.install();
-    }
+    let mut session =
+        SupervisedSession::new(benchmark, seed, *config, schedule.clone(), *sup, sink);
+    // Captured after `new` installs `config.parallel`, so degradation
+    // restores the session's own configuration, as before.
     let prior_threads = aibench_parallel::threads();
-    let start = Instant::now();
-    let supervisor = Supervisor {
-        benchmark,
-        seed,
-        config,
-        schedule,
-        sup,
-        sink,
-        rng: Rng::seed_from(schedule.seed),
-        fired: vec![false; schedule.injections.len()],
-        trainer: benchmark.build(seed),
-        progress: PartialRun::fresh(),
-        faults: Vec::new(),
-        recoveries: 0,
-        executed: 0,
-        budget: sup.epoch_budget_factor.max(1) * config.max_epochs.max(1) + 8,
-        degraded_serial: false,
-        quarantined: None,
-        frozen_quality: None,
-        save_retry: None,
-        ckpt_abandoned: false,
-    };
-    let run = supervisor.run(start);
+    while !matches!(session.tick(), Tick::Done) {}
+    let run = session.into_run();
     if run.degraded_serial {
         // Graceful degradation is per-run; restore the ambient thread
         // configuration for whoever runs next.
@@ -737,6 +987,67 @@ mod tests {
         assert!(kinds.contains(&"retry-save"));
         assert!(kinds.contains(&"abandon-ckpt"));
         assert!(run.faults.iter().all(|e| e.fault.kind() == "checkpoint-io"));
+    }
+
+    #[test]
+    fn parked_session_resumes_bitwise_identical() {
+        let registry = Registry::aibench();
+        let b = registry.get("DC-AI-C15").unwrap();
+        // A schedule with a mid-run fault, so park/unpark must also carry
+        // the injection bookkeeping and recovery counters across.
+        let schedule = FaultSchedule::new(3).inject(2, FaultKind::LossValue { value: f32::NAN });
+        let sup = SupervisorConfig::default();
+        let baseline = supervised_run(b, 2, &cfg(8), &schedule, &sup);
+
+        let mut session =
+            SupervisedSession::new(b, 2, cfg(8), schedule.clone(), sup, MemorySink::new());
+        let mut ticks = 0;
+        loop {
+            if matches!(session.tick(), Tick::Done) {
+                break;
+            }
+            ticks += 1;
+            if ticks == 3 {
+                let at = session.park().unwrap();
+                assert!(session.is_parked());
+                let from = session.unpark();
+                assert_eq!(from, Some(at));
+            }
+        }
+        let parked = session.into_run();
+        assert!(
+            parked.deterministic_eq(&baseline),
+            "parked {} != baseline {}",
+            parked.outcome,
+            baseline.outcome
+        );
+    }
+
+    #[test]
+    fn unpark_without_any_snapshot_restarts_from_scratch() {
+        let registry = Registry::aibench();
+        let b = registry.get("DC-AI-C15").unwrap();
+        let mut session = SupervisedSession::new(
+            b,
+            2,
+            cfg(8),
+            FaultSchedule::empty(),
+            SupervisorConfig {
+                snapshot_every: 0, // no rollback snapshots to fall back on
+                ..SupervisorConfig::default()
+            },
+            MemorySink::new(),
+        );
+        session.tick();
+        session.tick();
+        assert_eq!(session.epochs_run(), 2);
+        let at = session.park().unwrap();
+        assert_eq!(at, 2);
+        // Lose the park snapshot: the session restarts from scratch.
+        session.sink_mut().remove(2);
+        assert_eq!(session.unpark(), None);
+        assert_eq!(session.epochs_run(), 0);
+        assert!(!session.finished());
     }
 
     #[test]

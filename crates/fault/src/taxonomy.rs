@@ -153,6 +153,149 @@ impl TrainFault {
         }
     }
 
+    /// Encodes the fault into `state` under `prefix`, in the ckpt typed
+    /// byte format (the workspace has no serde). Float payloads round-trip
+    /// bitwise, NaN included — a serialized fault log is as deterministic
+    /// as the in-memory one.
+    pub fn put_state(&self, state: &mut aibench_ckpt::State, prefix: &str) {
+        use aibench_ckpt::key;
+        state.put_str(key(prefix, "kind"), self.kind());
+        match self {
+            TrainFault::NonFiniteLoss { epoch, loss } => {
+                state.put_usize(key(prefix, "epoch"), *epoch);
+                state.put_f32(key(prefix, "loss"), *loss);
+            }
+            TrainFault::LossSpike {
+                epoch,
+                loss,
+                baseline,
+            } => {
+                state.put_usize(key(prefix, "epoch"), *epoch);
+                state.put_f32(key(prefix, "loss"), *loss);
+                state.put_f32(key(prefix, "baseline"), *baseline);
+            }
+            TrainFault::NonFiniteParam { epoch, param } => {
+                state.put_usize(key(prefix, "epoch"), *epoch);
+                state.put_str(key(prefix, "param"), param.as_str());
+            }
+            TrainFault::ExplodingGradNorm { epoch, norm, limit } => {
+                state.put_usize(key(prefix, "epoch"), *epoch);
+                state.put_f32(key(prefix, "norm"), *norm);
+                state.put_f32(key(prefix, "limit"), *limit);
+            }
+            TrainFault::KernelPanic { epoch, message } => {
+                state.put_usize(key(prefix, "epoch"), *epoch);
+                state.put_str(key(prefix, "message"), message.as_str());
+            }
+            TrainFault::CheckpointIo { epoch, error } => {
+                state.put_usize(key(prefix, "epoch"), *epoch);
+                state.put_str(key(prefix, "error"), error.as_str());
+            }
+            TrainFault::StalledProgress {
+                epoch,
+                window,
+                best,
+            } => {
+                state.put_usize(key(prefix, "epoch"), *epoch);
+                state.put_usize(key(prefix, "window"), *window);
+                state.put_f64(key(prefix, "best"), *best);
+            }
+            TrainFault::BudgetExhausted { executed, budget } => {
+                state.put_usize(key(prefix, "executed"), *executed);
+                state.put_usize(key(prefix, "budget"), *budget);
+            }
+            TrainFault::StragglerDelay {
+                epoch,
+                worker,
+                ticks,
+            } => {
+                state.put_usize(key(prefix, "epoch"), *epoch);
+                state.put_u64(key(prefix, "worker"), u64::from(*worker));
+                state.put_u64(key(prefix, "ticks"), *ticks);
+            }
+            TrainFault::WorkerDropped { epoch, worker }
+            | TrainFault::CorruptGradShard { epoch, worker }
+            | TrainFault::LostContribution { epoch, worker } => {
+                state.put_usize(key(prefix, "epoch"), *epoch);
+                state.put_u64(key(prefix, "worker"), u64::from(*worker));
+            }
+        }
+    }
+
+    /// Decodes a fault encoded by [`TrainFault::put_state`]. Unknown kinds
+    /// and missing or mistyped payload keys surface as errors.
+    pub fn take_state(
+        state: &aibench_ckpt::State,
+        prefix: &str,
+    ) -> Result<TrainFault, aibench_ckpt::CkptError> {
+        use aibench_ckpt::key;
+        let worker = |state: &aibench_ckpt::State| -> Result<u32, aibench_ckpt::CkptError> {
+            let w = state.u64(&key(prefix, "worker"))?;
+            u32::try_from(w).map_err(|_| aibench_ckpt::CkptError::MetaMismatch {
+                what: format!("worker id {w} exceeds u32"),
+            })
+        };
+        Ok(match state.str(&key(prefix, "kind"))? {
+            "non-finite-loss" => TrainFault::NonFiniteLoss {
+                epoch: state.usize(&key(prefix, "epoch"))?,
+                loss: state.f32(&key(prefix, "loss"))?,
+            },
+            "loss-spike" => TrainFault::LossSpike {
+                epoch: state.usize(&key(prefix, "epoch"))?,
+                loss: state.f32(&key(prefix, "loss"))?,
+                baseline: state.f32(&key(prefix, "baseline"))?,
+            },
+            "non-finite-param" => TrainFault::NonFiniteParam {
+                epoch: state.usize(&key(prefix, "epoch"))?,
+                param: state.str(&key(prefix, "param"))?.to_string(),
+            },
+            "exploding-grad-norm" => TrainFault::ExplodingGradNorm {
+                epoch: state.usize(&key(prefix, "epoch"))?,
+                norm: state.f32(&key(prefix, "norm"))?,
+                limit: state.f32(&key(prefix, "limit"))?,
+            },
+            "kernel-panic" => TrainFault::KernelPanic {
+                epoch: state.usize(&key(prefix, "epoch"))?,
+                message: state.str(&key(prefix, "message"))?.to_string(),
+            },
+            "checkpoint-io" => TrainFault::CheckpointIo {
+                epoch: state.usize(&key(prefix, "epoch"))?,
+                error: state.str(&key(prefix, "error"))?.to_string(),
+            },
+            "stalled-progress" => TrainFault::StalledProgress {
+                epoch: state.usize(&key(prefix, "epoch"))?,
+                window: state.usize(&key(prefix, "window"))?,
+                best: state.f64(&key(prefix, "best"))?,
+            },
+            "budget-exhausted" => TrainFault::BudgetExhausted {
+                executed: state.usize(&key(prefix, "executed"))?,
+                budget: state.usize(&key(prefix, "budget"))?,
+            },
+            "straggler-delay" => TrainFault::StragglerDelay {
+                epoch: state.usize(&key(prefix, "epoch"))?,
+                worker: worker(state)?,
+                ticks: state.u64(&key(prefix, "ticks"))?,
+            },
+            "worker-drop" => TrainFault::WorkerDropped {
+                epoch: state.usize(&key(prefix, "epoch"))?,
+                worker: worker(state)?,
+            },
+            "corrupt-grad-shard" => TrainFault::CorruptGradShard {
+                epoch: state.usize(&key(prefix, "epoch"))?,
+                worker: worker(state)?,
+            },
+            "lost-contribution" => TrainFault::LostContribution {
+                epoch: state.usize(&key(prefix, "epoch"))?,
+                worker: worker(state)?,
+            },
+            other => {
+                return Err(aibench_ckpt::CkptError::MetaMismatch {
+                    what: format!("unknown fault kind `{other}`"),
+                })
+            }
+        })
+    }
+
     /// The logical epoch the fault was detected at.
     pub fn epoch(&self) -> usize {
         match *self {

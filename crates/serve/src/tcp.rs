@@ -1,0 +1,143 @@
+//! The TCP transport: a single-threaded, nonblocking listener driving the
+//! deterministic [`ServerCore`] — accept submissions, step the scheduler,
+//! stream progress and final results back to each client.
+//!
+//! The transport is deliberately thin: every scheduling decision lives in
+//! the core, and the in-process load harness drives the identical core, so
+//! TCP adds delivery without adding nondeterminism to the schedule.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use aibench::registry::Registry;
+
+use crate::server::{ServeConfig, ServerCore};
+use crate::wire::{read_frame, write_frame, ClientMsg, ServerMsg};
+
+/// Serves until `expected_sessions` submissions have been accepted and
+/// every accepted session has finished, then returns the number served.
+/// Binds to `addr` (use port 0 to let the OS pick; the bound address is
+/// reported through `on_bound`).
+pub fn serve_sessions(
+    registry: &Registry,
+    config: ServeConfig,
+    addr: &str,
+    expected_sessions: usize,
+    on_bound: impl FnOnce(std::net::SocketAddr),
+) -> std::io::Result<usize> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    on_bound(listener.local_addr()?);
+
+    let mut core = ServerCore::new(registry, config);
+    let mut clients: BTreeMap<u64, TcpStream> = BTreeMap::new();
+    let mut accepted = 0usize;
+    let mut served = 0usize;
+
+    while served < expected_sessions {
+        // Accept any waiting connections; each carries one submission.
+        while accepted < expected_sessions {
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    stream.set_nodelay(true).ok();
+                    let Some(payload) = read_frame_blocking(&mut stream)? else {
+                        continue; // client connected and left
+                    };
+                    let reply = match ClientMsg::from_bytes(&payload) {
+                        Ok(ClientMsg::Submit(request)) => match core.submit(request) {
+                            Ok(session) => {
+                                clients.insert(session, stream.try_clone()?);
+                                accepted += 1;
+                                ServerMsg::Accepted { session }
+                            }
+                            Err(rejection) => {
+                                // A rejected submission still counts toward
+                                // the expected total, or the server would
+                                // wait forever for a session that will
+                                // never exist.
+                                accepted += 1;
+                                served += 1;
+                                ServerMsg::Rejected {
+                                    reason: rejection.reason,
+                                }
+                            }
+                        },
+                        Err(e) => ServerMsg::Rejected {
+                            reason: format!("malformed submission: {e}"),
+                        },
+                    };
+                    write_frame(&mut stream, &reply.to_bytes())?;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) => return Err(e),
+            }
+        }
+
+        if core.is_idle() {
+            if accepted < expected_sessions {
+                // Nothing to run yet; don't spin the accept loop hot.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            continue;
+        }
+        core.step();
+        for event in core.drain_events() {
+            if let Some(stream) = clients.get_mut(&event.session) {
+                let _ = write_frame(stream, &ServerMsg::Progress(event.clone()).to_bytes());
+            }
+        }
+        for done in core.drain_finished() {
+            if let Some(mut stream) = clients.remove(&done.session) {
+                let _ = write_frame(&mut stream, &ServerMsg::Done(done.clone()).to_bytes());
+                let _ = stream.flush();
+            }
+            served += 1;
+        }
+    }
+    Ok(served)
+}
+
+/// Reads one frame from a stream that may be mid-handshake: retries
+/// `WouldBlock` briefly (the socket inherits the listener's nonblocking
+/// flag on some platforms).
+fn read_frame_blocking(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    read_frame(stream)
+}
+
+/// Client helper: submits `request` to `addr`, then blocks collecting
+/// events until the final record arrives. Returns the streamed progress
+/// events and the final [`DoneMsg`](crate::wire::DoneMsg).
+pub fn submit_and_wait(
+    addr: std::net::SocketAddr,
+    request: crate::wire::RunRequest,
+) -> std::io::Result<(Vec<crate::wire::ProgressEvent>, crate::wire::DoneMsg)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    write_frame(&mut stream, &ClientMsg::Submit(request).to_bytes())?;
+    let mut events = Vec::new();
+    loop {
+        let Some(payload) = read_frame(&mut stream)? else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed before the final record",
+            ));
+        };
+        let msg = ServerMsg::from_bytes(&payload)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        match msg {
+            ServerMsg::Accepted { .. } => {}
+            ServerMsg::Rejected { reason } => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    reason,
+                ))
+            }
+            ServerMsg::Progress(event) => events.push(event),
+            ServerMsg::Done(done) => return Ok((events, done)),
+        }
+    }
+}

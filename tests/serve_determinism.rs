@@ -1,0 +1,220 @@
+//! End-to-end guarantees of the benchmark-serving subsystem
+//! (`aibench-serve`):
+//!
+//! * a fixed request trace replayed through the server produces the
+//!   identical admission/preemption schedule and bitwise-identical
+//!   per-session results at 1, 4, and 8 threads;
+//! * a session preempted by a higher-priority arrival — parked through an
+//!   `aibench-ckpt` snapshot and later resumed — finishes bitwise
+//!   identical to the same session run without preemption, for both the
+//!   CNN (DC-AI-C1) and attention (DC-AI-C14) trainers at 1 and 4
+//!   threads;
+//! * a tenant with a poisoned fault schedule is quarantined without
+//!   perturbing a clean neighbor's bits;
+//! * the full client path (TCP submit → progress stream → final record)
+//!   delivers the same result bits the core computed.
+//!
+//! Tests that reconfigure the process-wide pool serialize on a mutex and
+//! restore the environment's thread count afterwards (the same discipline
+//! as `tests/dist_determinism.rs`).
+
+use std::sync::Mutex;
+
+use aibench::registry::Registry;
+use aibench_fault::{FaultKind, FaultSchedule};
+use aibench_parallel::ParallelConfig;
+use aibench_serve::{run_trace, Event, RunRequest, ServeConfig};
+
+/// Serializes pool reconfiguration across the test harness's threads.
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+const PROBE: &str = "DC-AI-C15";
+
+/// A mixed trace: two tenants, staggered arrivals, one priority preempt,
+/// one poisoned session.
+fn mixed_trace() -> Vec<(u64, RunRequest)> {
+    vec![
+        (0, RunRequest::new("acme", PROBE, 1, 3)),
+        (0, RunRequest::new("acme", PROBE, 2, 3)),
+        (0, RunRequest::new("zeta", PROBE, 3, 2)),
+        (
+            1,
+            RunRequest::new("zeta", PROBE, 4, 2).with_faults(
+                FaultSchedule::new(9).inject(1, FaultKind::LossValue { value: f32::NAN }),
+            ),
+        ),
+        (3, RunRequest::new("ops", PROBE, 5, 2).with_priority(7)),
+    ]
+}
+
+#[test]
+fn fixed_trace_is_bitwise_identical_across_thread_counts() {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let registry = Registry::aibench();
+    let trace = mixed_trace();
+    let mut baseline = None;
+    for threads in [1usize, 4, 8] {
+        ParallelConfig::with_threads(threads).install();
+        let report = run_trace(&registry, ServeConfig::default(), &trace);
+        match &baseline {
+            None => baseline = Some(report),
+            Some(expect) => {
+                assert_eq!(
+                    expect.schedule_signature(),
+                    report.schedule_signature(),
+                    "{threads}-thread schedule diverged"
+                );
+                assert!(
+                    expect.deterministic_eq(&report),
+                    "{threads}-thread serve replay diverged from serial"
+                );
+            }
+        }
+    }
+    ParallelConfig::from_env().install();
+}
+
+/// Runs `code` solo, then inside a trace where a high-priority arrival
+/// preempts it mid-run, and asserts the preempted session's final result
+/// is bitwise identical to the uninterrupted one.
+fn assert_preemption_is_bitwise_neutral(code: &str, max_epochs: usize) {
+    let registry = Registry::aibench();
+    let solo = run_trace(
+        &registry,
+        ServeConfig {
+            budget: 1,
+            ..ServeConfig::default()
+        },
+        &[(0, RunRequest::new("low", code, 1, max_epochs))],
+    );
+    let preempted = run_trace(
+        &registry,
+        ServeConfig {
+            budget: 1,
+            ..ServeConfig::default()
+        },
+        &[
+            (0, RunRequest::new("low", code, 1, max_epochs)),
+            (1, RunRequest::new("high", PROBE, 2, 1).with_priority(9)),
+        ],
+    );
+    let sig = preempted.schedule_signature();
+    assert!(sig.contains("s0:park@"), "no preemption happened: {sig}");
+    assert!(sig.contains("s0:resume@"), "victim never resumed: {sig}");
+    assert!(
+        preempted.sessions[0]
+            .done
+            .result
+            .deterministic_eq(&solo.sessions[0].done.result),
+        "{code}: preempted-then-resumed differs from uninterrupted \
+         ({} epochs to {:.9} vs {} epochs to {:.9})",
+        preempted.sessions[0].done.result.epochs_run,
+        preempted.sessions[0].done.result.final_quality,
+        solo.sessions[0].done.result.epochs_run,
+        solo.sessions[0].done.result.final_quality,
+    );
+}
+
+#[test]
+fn preempted_cnn_session_is_bitwise_identical_to_uninterrupted() {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for threads in [1usize, 4] {
+        ParallelConfig::with_threads(threads).install();
+        assert_preemption_is_bitwise_neutral("DC-AI-C1", 3);
+    }
+    ParallelConfig::from_env().install();
+}
+
+#[test]
+fn preempted_attention_session_is_bitwise_identical_to_uninterrupted() {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for threads in [1usize, 4] {
+        ParallelConfig::with_threads(threads).install();
+        assert_preemption_is_bitwise_neutral("DC-AI-C14", 4);
+    }
+    ParallelConfig::from_env().install();
+}
+
+#[test]
+fn poisoned_tenant_is_quarantined_without_perturbing_neighbors() {
+    let registry = Registry::aibench();
+    let poisoned =
+        FaultSchedule::new(5).inject_persistent(1, FaultKind::LossValue { value: f32::NAN });
+    let both = run_trace(
+        &registry,
+        ServeConfig::default(),
+        &[
+            (
+                0,
+                RunRequest::new("chaos", PROBE, 1, 6).with_faults(poisoned),
+            ),
+            (0, RunRequest::new("calm", PROBE, 2, 3)),
+        ],
+    );
+    let solo = run_trace(
+        &registry,
+        ServeConfig::default(),
+        &[(0, RunRequest::new("calm", PROBE, 2, 3))],
+    );
+    assert!(
+        both.sessions[0]
+            .done
+            .outcome_signature
+            .starts_with("quarantined"),
+        "poisoned session: {}",
+        both.sessions[0].done.outcome_signature
+    );
+    assert_eq!(both.sessions[1].done.fault_signature, "clean");
+    assert!(
+        both.sessions[1]
+            .done
+            .result
+            .deterministic_eq(&solo.sessions[0].done.result),
+        "clean neighbor's bits changed when served next to a poisoned run"
+    );
+}
+
+#[test]
+fn tcp_round_trip_delivers_the_core_result() {
+    let registry = Registry::aibench();
+    // What the core would compute for this request alone.
+    let expected = run_trace(
+        &registry,
+        ServeConfig::default(),
+        &[(0, RunRequest::new("acme", PROBE, 7, 2))],
+    );
+
+    let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+    let server = std::thread::spawn(move || {
+        let registry = Registry::aibench();
+        aibench_serve::tcp::serve_sessions(
+            &registry,
+            ServeConfig::default(),
+            "127.0.0.1:0",
+            1,
+            move |addr| addr_tx.send(addr).unwrap(),
+        )
+    });
+    let addr = addr_rx.recv().expect("server never bound");
+    let (events, done) =
+        aibench_serve::tcp::submit_and_wait(addr, RunRequest::new("acme", PROBE, 7, 2))
+            .expect("client round trip");
+    assert_eq!(server.join().unwrap().unwrap(), 1);
+
+    assert!(
+        done.result
+            .deterministic_eq(&expected.sessions[0].done.result),
+        "result crossed TCP with different bits"
+    );
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.event, Event::Admitted { .. })));
+    let epochs: Vec<usize> = events
+        .iter()
+        .filter_map(|e| match e.event {
+            Event::Epoch { epoch, .. } => Some(epoch),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(epochs, vec![1, 2], "progress stream must cover every epoch");
+}
