@@ -2,23 +2,29 @@
 //!
 //! Drives a fleet of simulated clients (default: 1000) through the
 //! in-process transport of `aibench-serve` and reports throughput, queue
-//! wait, and p99/p999 completion latency. With `--write-bench` the run is
-//! also compared against a serial supervised baseline and appended to the
-//! current `BENCH_*.json` as `serve`-kind entries (the same entries
-//! `aibench-perf` produces, from the same fixed trace).
+//! wait, and p99/p999 completion latency. With `--baseline` the run is
+//! also compared against a serial supervised baseline and rendered as the
+//! `serve`-kind entries `aibench-perf` writes into `BENCH_*.json`. With
+//! `--chaos SEED` the same workload is additionally soaked under a seeded
+//! deterministic chaos schedule, and the recovery traffic (retries,
+//! reconnects, redeliveries, sheds) plus the chaos-vs-calm ratio entries
+//! are reported.
 //!
 //! ```text
 //! aibench-load [--clients N] [--tenants N] [--budget N] [--epochs N]
+//!              [--baseline] [--chaos SEED]
 //! ```
 
 use aibench::registry::Registry;
 use aibench_bench::load::{
-    render, run_load, serial_baseline_seconds, serve_entries, LoadParams, LOAD_PROBE,
+    chaos_entries, render, render_chaos, run_chaos_load, run_load, serial_baseline_seconds,
+    serve_entries, LoadParams, LOAD_PROBE,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: aibench-load [--clients N] [--tenants N] [--budget N] [--epochs N] [--baseline]"
+        "usage: aibench-load [--clients N] [--tenants N] [--budget N] [--epochs N] [--baseline] \
+         [--chaos SEED]"
     );
     std::process::exit(2);
 }
@@ -26,11 +32,12 @@ fn usage() -> ! {
 fn main() {
     let mut params = LoadParams::default();
     let mut baseline = false;
+    let mut chaos_seed: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut grab = |what: &str| -> usize {
             args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                eprintln!("--{what} needs a positive integer");
+                eprintln!("--{what} needs a non-negative integer");
                 usage()
             })
         };
@@ -40,6 +47,7 @@ fn main() {
             "--budget" => params.budget = grab("budget").max(1),
             "--epochs" => params.epochs = grab("epochs").max(1),
             "--baseline" => baseline = true,
+            "--chaos" => chaos_seed = Some(grab("chaos") as u64),
             _ => usage(),
         }
     }
@@ -61,6 +69,28 @@ fn main() {
         report.schedule.len(),
         fxhash(report.schedule_signature().as_bytes()),
     );
+
+    if let Some(seed) = chaos_seed {
+        println!("soaking the same workload under chaos seed {seed} ...");
+        let (chaos_report, chaos_stats) = run_chaos_load(&registry, &params, seed);
+        assert_eq!(
+            chaos_stats.completed + chaos_stats.failures,
+            params.clients,
+            "chaos soak lost track of sessions"
+        );
+        println!("{}", render_chaos(seed, &chaos_stats));
+        println!(
+            "chaos log: {} events, signature hash {:016x}",
+            chaos_report.chaos_log.len(),
+            fxhash(chaos_report.chaos_signature().as_bytes()),
+        );
+        for e in chaos_entries(&chaos_stats, &stats) {
+            println!(
+                "  {:<24} {:>12} / {:>12}  ratio {:.3}",
+                e.name, e.scalar_ns, e.blocked_ns, e.speedup
+            );
+        }
+    }
 
     if baseline {
         println!("running serial supervised baseline ...");

@@ -249,7 +249,9 @@ fn dist_suite(entries: &mut Vec<PerfEntry>) {
 }
 
 fn serve_suite(entries: &mut Vec<PerfEntry>) {
-    use aibench_bench::load::{run_load, serial_baseline_seconds, serve_entries, LoadParams};
+    use aibench_bench::load::{
+        chaos_entries, run_chaos_load, run_load, serial_baseline_seconds, serve_entries, LoadParams,
+    };
 
     // The serving subsystem's gate quantities, all same-machine ratios:
     // scheduler efficiency against the bare supervised loop, tail-to-mean
@@ -269,6 +271,17 @@ fn serve_suite(entries: &mut Vec<PerfEntry>) {
     );
     let serial = serial_baseline_seconds(&registry, &params);
     entries.extend(serve_entries(&stats, serial));
+
+    // The chaos soak of the same trace: recovery traffic and tail ratios
+    // under the fixed seed 42. Deterministic (logical counters only), so
+    // the ratios are stable across hosts and thread counts.
+    println!("soaking the same trace under chaos seed 42 ...");
+    let (_, chaos_stats) = run_chaos_load(&registry, &params, 42);
+    assert_eq!(
+        chaos_stats.completed, params.clients,
+        "chaos soak stranded sessions"
+    );
+    entries.extend(chaos_entries(&chaos_stats, &stats));
 }
 
 /// Most recent `BENCH_*.json` in `dir` (lexicographically latest name —

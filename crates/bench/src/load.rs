@@ -7,6 +7,7 @@
 //! serve entries always describe the same fixed trace the load test runs.
 
 use aibench::registry::Registry;
+use aibench_chaos::{run_soak, ChaosReport, ChaosSchedule, SoakConfig};
 use aibench_fault::{supervised_run, SupervisorConfig};
 use aibench_serve::{run_trace, RunRequest, SchedAction, ServeConfig, ServeReport};
 
@@ -137,6 +138,167 @@ pub fn run_load(registry: &Registry, params: &LoadParams) -> (ServeReport, LoadS
     (report, stats)
 }
 
+/// What one chaos-soaked load run measured: completion and tail latency
+/// over the surviving sessions, plus the recovery traffic the injected
+/// chaos provoked.
+#[derive(Debug, Clone)]
+pub struct ChaosLoadStats {
+    /// Sessions that completed despite the chaos.
+    pub completed: usize,
+    /// Sessions that ended in a terminal (non-retryable) failure.
+    pub failures: usize,
+    /// Scheduler ticks to drain the soak.
+    pub ticks: u64,
+    /// Chaos injections that actually fired.
+    pub chaos_events: usize,
+    /// Submit retransmissions clients performed.
+    pub retries: u64,
+    /// Lease-redeeming reconnects performed.
+    pub reconnects: u64,
+    /// Buffered events replayed to retransmitting/reconnecting clients.
+    pub redeliveries: u64,
+    /// Duplicate progress frames dropped by seq deduplication.
+    pub duplicates_dropped: u64,
+    /// Retryable `overloaded` rejections clients absorbed.
+    pub sheds: u64,
+    /// Mean submit-to-finish latency, seconds.
+    pub mean_latency: f64,
+    /// 99th-percentile submit-to-finish latency, seconds.
+    pub p99_latency: f64,
+    /// 99.9th-percentile submit-to-finish latency, seconds.
+    pub p999_latency: f64,
+}
+
+/// Summarizes a chaos soak of the load workload.
+pub fn chaos_stats_of(report: &ChaosReport) -> ChaosLoadStats {
+    let mut latencies: Vec<f64> = report
+        .outcomes
+        .iter()
+        .filter_map(|o| o.done.as_ref().map(|d| d.result.wall_seconds))
+        .collect();
+    latencies.sort_by(f64::total_cmp);
+    let n = latencies.len().max(1) as f64;
+    ChaosLoadStats {
+        completed: latencies.len(),
+        failures: report
+            .outcomes
+            .iter()
+            .filter(|o| o.failure.is_some())
+            .count(),
+        ticks: report.ticks,
+        chaos_events: report.chaos_log.len(),
+        retries: report.retries,
+        reconnects: report.reconnects,
+        redeliveries: report.redeliveries,
+        duplicates_dropped: report.duplicates_dropped,
+        sheds: report.sheds,
+        mean_latency: latencies.iter().sum::<f64>() / n,
+        p99_latency: percentile(&latencies, 0.99),
+        p999_latency: percentile(&latencies, 0.999),
+    }
+}
+
+/// Soaks the load workload under a seeded chaos schedule: the same
+/// requests as [`load_trace`] (arrival ticks dropped — the soak submits
+/// everything up front and lets retry/backoff pace admission), with the
+/// injection horizon scaled to the client count so faults land throughout
+/// the run rather than bunching at the start.
+pub fn run_chaos_load(
+    registry: &Registry,
+    params: &LoadParams,
+    seed: u64,
+) -> (ChaosReport, ChaosLoadStats) {
+    let requests: Vec<RunRequest> = load_trace(params).into_iter().map(|(_, r)| r).collect();
+    let horizon = (params.clients as u64 * 4).max(64);
+    let count = (params.clients / 8).max(4);
+    let schedule = ChaosSchedule::seeded(seed, horizon, count);
+    let config = SoakConfig {
+        serve: ServeConfig {
+            budget: params.budget,
+            ..ServeConfig::default()
+        },
+        ..SoakConfig::default()
+    };
+    let report = run_soak(registry, &requests, &schedule, config);
+    let stats = chaos_stats_of(&report);
+    (report, stats)
+}
+
+/// Converts a chaos soak (plus its calm twin's stats) into `serve`-kind
+/// perf entries. Like [`serve_entries`], all of these are ratios of
+/// same-machine, same-trace measurements:
+///
+/// * `serve_chaos_soak_1k` — calm ticks / soaked ticks: the deterministic
+///   tick overhead of riding out the chaos schedule (falls as recovery
+///   replay work grows);
+/// * `serve_chaos_tail_p99_1k` / `serve_chaos_tail_p999_1k` — mean / tail
+///   completion latency under chaos (falls if chaos blows up the tail);
+/// * `serve_chaos_recovery_1k` — completed sessions / (completed +
+///   retries + reconnects + redeliveries): the fraction of client traffic
+///   that was first-try useful (falls as retry amplification grows).
+pub fn chaos_entries(chaos: &ChaosLoadStats, calm: &LoadStats) -> Vec<PerfEntry> {
+    let ns = |s: f64| (s * 1e9).max(1.0) as u64;
+    let ratio_entry = |name: &str, num: u64, den: u64| PerfEntry {
+        name: name.to_string(),
+        kind: "serve".to_string(),
+        reps: 1,
+        blocked_ns: den,
+        scalar_ns: num,
+        speedup: num as f64 / den.max(1) as f64,
+    };
+    let recovery = chaos.retries + chaos.reconnects + chaos.redeliveries;
+    vec![
+        ratio_entry("serve_chaos_soak_1k", calm.ticks.max(1), chaos.ticks.max(1)),
+        ratio_entry(
+            "serve_chaos_tail_p99_1k",
+            ns(chaos.mean_latency),
+            ns(chaos.p99_latency),
+        ),
+        ratio_entry(
+            "serve_chaos_tail_p999_1k",
+            ns(chaos.mean_latency),
+            ns(chaos.p999_latency),
+        ),
+        ratio_entry(
+            "serve_chaos_recovery_1k",
+            chaos.completed as u64,
+            (chaos.completed as u64 + recovery).max(1),
+        ),
+    ]
+}
+
+/// Renders the chaos-soak stats block `aibench-load --chaos` prints.
+pub fn render_chaos(seed: u64, stats: &ChaosLoadStats) -> String {
+    format!(
+        "chaos seed       {}\n\
+         chaos events     {}\n\
+         completed        {}\n\
+         failures         {}\n\
+         ticks            {}\n\
+         retries          {}\n\
+         reconnects       {}\n\
+         redeliveries     {}\n\
+         dup frames drop  {}\n\
+         sheds absorbed   {}\n\
+         latency mean     {:.3}s\n\
+         latency p99      {:.3}s\n\
+         latency p999     {:.3}s",
+        seed,
+        stats.chaos_events,
+        stats.completed,
+        stats.failures,
+        stats.ticks,
+        stats.retries,
+        stats.reconnects,
+        stats.redeliveries,
+        stats.duplicates_dropped,
+        stats.sheds,
+        stats.mean_latency,
+        stats.p99_latency,
+        stats.p999_latency,
+    )
+}
+
 /// Runs the same sessions back-to-back through the bare supervised loop —
 /// the no-scheduler baseline the serve wall time is gated against.
 pub fn serial_baseline_seconds(registry: &Registry, params: &LoadParams) -> f64 {
@@ -255,6 +417,43 @@ mod tests {
         // determinism contract.
         let (again, _) = run_load(&registry, &params);
         assert!(report.deterministic_eq(&again));
+    }
+
+    #[test]
+    fn chaos_soak_completes_and_replays_bit_for_bit() {
+        let registry = Registry::aibench();
+        let params = LoadParams {
+            clients: 16,
+            tenants: 4,
+            budget: 4,
+            epochs: 1,
+        };
+        let (report, stats) = run_chaos_load(&registry, &params, 7);
+        assert_eq!(stats.completed, 16, "chaos stranded sessions");
+        assert_eq!(stats.failures, 0);
+        assert!(stats.chaos_events > 0, "seeded schedule never fired");
+        // The soak inherits the chaos determinism contract: same seed,
+        // same report, down to the recovery-traffic counters.
+        let (again, _) = run_chaos_load(&registry, &params, 7);
+        assert!(report.deterministic_eq(&again));
+        // Chaos must not change result bits: every completed session's
+        // result matches the calm serve run of the same request.
+        let (calm, calm_stats) = run_load(&registry, &params);
+        let calm_results: std::collections::BTreeMap<(String, u64), _> = calm
+            .sessions
+            .iter()
+            .map(|s| ((s.tenant.clone(), s.session), &s.done.result))
+            .collect();
+        assert_eq!(calm_results.len(), 16);
+        for ((tenant, _), done) in report.results() {
+            let twin = calm_results
+                .iter()
+                .find(|((t, _), r)| *t == tenant && r.deterministic_eq(&done.result));
+            assert!(twin.is_some(), "no calm twin for a chaos result");
+        }
+        let entries = chaos_entries(&stats, &calm_stats);
+        assert_eq!(entries.len(), 4);
+        assert!(entries.iter().all(|e| e.kind == "serve" && e.speedup > 0.0));
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! Chaos-layer lints over `aibench-chaos`: the serving stack's hardening
+//! contracts, checked by soaking a live `ServerCore` under seeded chaos.
+//!
+//! * **Chaos determinism** — the same seeded chaos schedule soaked twice,
+//!   and again at a different thread count, must replay the identical
+//!   chaos-event log, schedule, and per-client results.
+//! * **Empty-schedule identity** — a soak under the empty schedule must
+//!   be indistinguishable from a plain `run_trace` replay: identical
+//!   schedule signature, tick count, result bits, and zero recovery
+//!   traffic.
+//! * **Result invariance** — under any seeded chaos schedule, every
+//!   accepted session's final `RunResult` must be bitwise identical to
+//!   its chaos-free counterpart.
+//! * **Lease resume** — a client whose connection is reset mid-stream
+//!   must redeem its lease on reconnect and still receive its result.
+//! * **Idempotent submit** — retransmitting a submit with the same
+//!   `(tenant, submission)` key must attach to the existing session,
+//!   never create a second one.
+//! * **Load shed** — a full admission queue must shed with a retryable
+//!   `overloaded` rejection, not queue without bound.
+//!
+//! Each quirk-sensitive lint has a `_with` variant taking an explicit
+//! [`ServeConfig`] so the seeded-defect fixtures can switch on an
+//! `aibench_serve::Quirks` flag and prove the rule fires.
+
+use aibench::Registry;
+use aibench_chaos::{run_soak, ChaosKind, ChaosSchedule, ChaosSite, SoakConfig};
+use aibench_serve::{run_trace, RunRequest, ServeConfig, ServerCore};
+
+use crate::Diagnostic;
+
+/// Benchmark code every chaos lint soaks: cheap and deterministic.
+const PROBE: &str = "DC-AI-C15";
+
+fn probe_missing(rule: &'static str) -> Vec<Diagnostic> {
+    vec![Diagnostic::global(
+        "registry",
+        rule,
+        format!("{PROBE} registered for the chaos probe"),
+        "benchmark missing from the registry",
+    )]
+}
+
+fn has_probe(registry: &Registry) -> bool {
+    registry.benchmarks().iter().any(|b| b.id.code() == PROBE)
+}
+
+/// The soak workload: three tenants, four short sessions.
+fn soak_requests() -> Vec<RunRequest> {
+    vec![
+        RunRequest::new("acme", PROBE, 1, 3),
+        RunRequest::new("acme", PROBE, 2, 2),
+        RunRequest::new("zeta", PROBE, 3, 3),
+        RunRequest::new("ops", PROBE, 4, 2).with_priority(3),
+    ]
+}
+
+/// The seeded schedule the determinism and invariance lints share.
+fn seeded_schedule() -> ChaosSchedule {
+    ChaosSchedule::seeded(33, 60, 14)
+}
+
+/// The same seeded chaos soak run twice — and again at another thread
+/// count — must replay the identical chaos log, schedule, and bits.
+pub fn check_chaos_determinism(registry: &Registry) -> Vec<Diagnostic> {
+    let rule = "chaos-determinism";
+    if !has_probe(registry) {
+        return probe_missing(rule);
+    }
+    let requests = soak_requests();
+    let chaos = seeded_schedule();
+    let mut out = Vec::new();
+
+    aibench_parallel::set_threads(1);
+    let first = run_soak(registry, &requests, &chaos, SoakConfig::default());
+    let replay = run_soak(registry, &requests, &chaos, SoakConfig::default());
+    aibench_parallel::set_threads(4);
+    let threaded = run_soak(registry, &requests, &chaos, SoakConfig::default());
+    aibench_parallel::ParallelConfig::default().install();
+
+    if first.chaos_log.is_empty() {
+        out.push(Diagnostic::global(
+            PROBE,
+            rule,
+            "the seeded schedule actually fires injections",
+            "an empty chaos log",
+        ));
+    }
+    for (what, other) in [("replay", &replay), ("4-thread soak", &threaded)] {
+        if first.chaos_signature() != other.chaos_signature() {
+            out.push(Diagnostic::global(
+                PROBE,
+                rule,
+                format!("the {what} reproduces the chaos-event log"),
+                format!(
+                    "`{}` vs `{}`",
+                    first.chaos_signature(),
+                    other.chaos_signature()
+                ),
+            ));
+        } else if !first.deterministic_eq(other) {
+            out.push(Diagnostic::global(
+                PROBE,
+                rule,
+                format!("the {what} reproduces the schedule and every client's bits"),
+                "identical chaos log but diverging soak outcomes".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// A soak under the empty chaos schedule must be indistinguishable from
+/// a plain trace replay: same schedule, same ticks, same bits, zero
+/// recovery traffic.
+pub fn check_empty_schedule_identity(registry: &Registry) -> Vec<Diagnostic> {
+    let rule = "chaos-empty-identity";
+    if !has_probe(registry) {
+        return probe_missing(rule);
+    }
+    let requests = soak_requests();
+    let soak = run_soak(
+        registry,
+        &requests,
+        &ChaosSchedule::empty(),
+        SoakConfig::default(),
+    );
+    let mut out = Vec::new();
+    let traffic = soak.retries + soak.reconnects + soak.redeliveries + soak.duplicates_dropped;
+    if soak.chaos_signature() != "calm" || traffic != 0 {
+        out.push(Diagnostic::global(
+            PROBE,
+            rule,
+            "a calm soak with no injections and no recovery traffic",
+            format!(
+                "chaos `{}`, {traffic} recovery event(s)",
+                soak.chaos_signature()
+            ),
+        ));
+    }
+    let trace: Vec<(u64, RunRequest)> = requests
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (0u64, r.clone().with_submission(i as u64 + 1)))
+        .collect();
+    let plain = run_trace(registry, ServeConfig::default(), &trace);
+    if soak.schedule_signature() != plain.schedule_signature() || soak.ticks != plain.ticks {
+        out.push(Diagnostic::global(
+            PROBE,
+            rule,
+            "the calm soak replays the plain trace's schedule and clock",
+            format!(
+                "soak {} tick(s) `{}` vs trace {} tick(s) `{}`",
+                soak.ticks,
+                soak.schedule_signature(),
+                plain.ticks,
+                plain.schedule_signature()
+            ),
+        ));
+    }
+    for (outcome, session) in soak.outcomes.iter().zip(&plain.sessions) {
+        match &outcome.done {
+            Some(done) if done.result.deterministic_eq(&session.done.result) => {}
+            Some(_) => out.push(Diagnostic::global(
+                PROBE,
+                rule,
+                format!("client {}'s bits match the plain replay", outcome.client),
+                "diverging result bits under an empty schedule".to_string(),
+            )),
+            None => out.push(Diagnostic::global(
+                PROBE,
+                rule,
+                format!(
+                    "client {} completes under an empty schedule",
+                    outcome.client
+                ),
+                outcome
+                    .failure
+                    .clone()
+                    .unwrap_or_else(|| "no result".into()),
+            )),
+        }
+    }
+    out
+}
+
+/// Under a seeded chaos schedule, every session's result bits must match
+/// the chaos-free soak of the same requests.
+pub fn check_result_invariance(registry: &Registry) -> Vec<Diagnostic> {
+    let rule = "chaos-result-invariance";
+    if !has_probe(registry) {
+        return probe_missing(rule);
+    }
+    let requests = soak_requests();
+    let calm = run_soak(
+        registry,
+        &requests,
+        &ChaosSchedule::empty(),
+        SoakConfig::default(),
+    );
+    let chaotic = run_soak(
+        registry,
+        &requests,
+        &seeded_schedule(),
+        SoakConfig::default(),
+    );
+    let mut out = Vec::new();
+    let chaotic_results = chaotic.results();
+    for (key, calm_done) in calm.results() {
+        match chaotic_results.get(&key) {
+            Some(done) if done.result.deterministic_eq(&calm_done.result) => {}
+            Some(_) => out.push(Diagnostic::global(
+                PROBE,
+                rule,
+                format!("result bits for {key:?} survive the chaos unchanged"),
+                format!("bits diverged (chaos `{}`)", chaotic.chaos_signature()),
+            )),
+            None => out.push(Diagnostic::global(
+                PROBE,
+                rule,
+                format!("submission {key:?} completes under chaos"),
+                "the session was lost".to_string(),
+            )),
+        }
+    }
+    out
+}
+
+/// Lease resume with an explicit config (fixtures pass a quirked one):
+/// one long session, its connection reset mid-stream; the reconnecting
+/// client must redeem its lease and still get the final record.
+pub fn check_lease_resume_with(registry: &Registry, config: ServeConfig) -> Vec<Diagnostic> {
+    let rule = "chaos-lease-resume";
+    if !has_probe(registry) {
+        return probe_missing(rule);
+    }
+    let requests = vec![RunRequest::new("acme", PROBE, 1, 6)];
+    let chaos = ChaosSchedule::new(3).inject(ChaosSite::ServerToClient, 2, ChaosKind::Reset);
+    let soak = run_soak(
+        registry,
+        &requests,
+        &chaos,
+        SoakConfig {
+            serve: config,
+            ..SoakConfig::default()
+        },
+    );
+    let mut out = Vec::new();
+    if soak.reconnects == 0 {
+        out.push(Diagnostic::global(
+            PROBE,
+            rule,
+            "the reset connection reconnects with a lease redemption",
+            format!("{} reconnect(s)", soak.reconnects),
+        ));
+    }
+    if soak.lease_misses > 0 || soak.outcomes[0].done.is_none() {
+        out.push(Diagnostic::global(
+            PROBE,
+            rule,
+            "the reconnecting client redeems its lease and receives its result",
+            format!(
+                "{} lease miss(es); outcome {}",
+                soak.lease_misses,
+                soak.outcomes[0]
+                    .failure
+                    .as_deref()
+                    .unwrap_or("no final record"),
+            ),
+        ));
+    }
+    out
+}
+
+/// Lease resume under the default (un-quirked) configuration.
+pub fn check_lease_resume(registry: &Registry) -> Vec<Diagnostic> {
+    check_lease_resume_with(registry, ServeConfig::default())
+}
+
+/// Idempotent submission with an explicit config: retransmitting the same
+/// `(tenant, submission)` key must resolve to the existing session.
+pub fn check_idempotent_submit_with(registry: &Registry, config: ServeConfig) -> Vec<Diagnostic> {
+    let rule = "chaos-idempotent-submit";
+    if !has_probe(registry) {
+        return probe_missing(rule);
+    }
+    let mut core = ServerCore::new(registry, config);
+    let request = RunRequest::new("acme", PROBE, 7, 2).with_submission(42);
+    let first = core.submit(request.clone());
+    let retransmit = core.submit(request);
+    match (first, retransmit) {
+        (Ok(a), Ok(b)) if a == b => Vec::new(),
+        (Ok(a), Ok(b)) => vec![Diagnostic::global(
+            PROBE,
+            rule,
+            format!("the retransmit attaches to session {a}"),
+            format!("a duplicate session {b} was created"),
+        )],
+        (first, retransmit) => vec![Diagnostic::global(
+            PROBE,
+            rule,
+            "both submits of an idempotent key are accepted",
+            format!("first {first:?}, retransmit {retransmit:?}"),
+        )],
+    }
+}
+
+/// Idempotent submission under the default configuration.
+pub fn check_idempotent_submit(registry: &Registry) -> Vec<Diagnostic> {
+    check_idempotent_submit_with(registry, ServeConfig::default())
+}
+
+/// Load shedding with an explicit config: submits beyond the admission
+/// bound must be shed with a retryable `overloaded` rejection.
+pub fn check_load_shed_with(registry: &Registry, config: ServeConfig) -> Vec<Diagnostic> {
+    let rule = "chaos-load-shed";
+    if !has_probe(registry) {
+        return probe_missing(rule);
+    }
+    let mut core = ServerCore::new(registry, config);
+    let mut sheds = 0usize;
+    let mut hard_failures = Vec::new();
+    for i in 0..8u64 {
+        let tenant = format!("tenant-{i}");
+        match core.submit(RunRequest::new(&tenant, PROBE, i + 1, 2)) {
+            Ok(_) => {}
+            Err(r) if r.retryable && r.reason.starts_with("overloaded") => sheds += 1,
+            Err(r) => hard_failures.push(r.reason),
+        }
+    }
+    let mut out = Vec::new();
+    if sheds == 0 {
+        out.push(Diagnostic::global(
+            PROBE,
+            rule,
+            "submits beyond the queue bound are shed with a retryable rejection",
+            "8 submissions were all admitted against a bound of 2".to_string(),
+        ));
+    }
+    if !hard_failures.is_empty() {
+        out.push(Diagnostic::global(
+            PROBE,
+            rule,
+            "shed submissions are retryable, not hard failures",
+            hard_failures.join("; "),
+        ));
+    }
+    out
+}
+
+/// Load shedding with a tight bound on the default configuration.
+pub fn check_load_shed(registry: &Registry) -> Vec<Diagnostic> {
+    check_load_shed_with(
+        registry,
+        ServeConfig {
+            budget: 1,
+            max_queue: 2,
+            ..ServeConfig::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_configuration_passes_every_chaos_lint() {
+        let registry = Registry::aibench();
+        assert_eq!(check_empty_schedule_identity(&registry), Vec::new());
+        assert_eq!(check_lease_resume(&registry), Vec::new());
+        assert_eq!(check_idempotent_submit(&registry), Vec::new());
+        assert_eq!(check_load_shed(&registry), Vec::new());
+    }
+
+    #[test]
+    fn result_invariance_holds_under_the_seeded_schedule() {
+        let registry = Registry::aibench();
+        assert_eq!(check_result_invariance(&registry), Vec::new());
+    }
+}

@@ -49,6 +49,9 @@ pub fn rule_for_kind(kind: &str) -> &'static str {
         "worker-drop" => "fault-worker-drop",
         "corrupt-grad-shard" => "fault-corrupt-grad-shard",
         "lost-contribution" => "fault-lost-contribution",
+        "frame-corrupt" => "fault-frame-corrupt",
+        "connection-lost" => "fault-connection-lost",
+        "store-corrupt" => "fault-store-corrupt",
         _ => "fault-unknown-kind",
     }
 }

@@ -3,7 +3,7 @@
 //! asserts every fixture produces at least one diagnostic of its family's
 //! rule, so a silently weakened rule fails the build rather than shipping.
 
-use crate::{audit, ckpt, counts, faults, serve, shape, tape, trace, Diagnostic};
+use crate::{audit, chaos, ckpt, counts, faults, serve, shape, tape, trace, Diagnostic};
 use aibench::runner::RunConfig;
 use aibench_ckpt::{FailingSink, MemorySink, SnapshotFile, State};
 use aibench_dist::{DistConfig, DistFaultKind, DistSchedule};
@@ -38,6 +38,9 @@ pub const FIXTURES: &[&str] = &[
     "fault-worker-drop",
     "fault-corrupt-grad-shard",
     "fault-lost-contribution",
+    "fault-frame-corrupt",
+    "fault-connection-lost",
+    "fault-store-corrupt",
     "audit-racy-kernel",
     "audit-unstable-reduction",
     "audit-unsnapshotted-state",
@@ -46,6 +49,9 @@ pub const FIXTURES: &[&str] = &[
     "serve-starved-tenant",
     "serve-lost-park-snapshot",
     "serve-budget-overcommit",
+    "chaos-dropped-lease",
+    "chaos-duplicate-session",
+    "chaos-unbounded-queue",
 ];
 
 /// Runs one fixture by name; `None` for an unknown name. Each returned
@@ -74,6 +80,9 @@ pub fn run(name: &str) -> Option<Vec<Diagnostic>> {
         "fault-worker-drop" => Some(fault_worker_drop()),
         "fault-corrupt-grad-shard" => Some(fault_corrupt_grad_shard()),
         "fault-lost-contribution" => Some(fault_lost_contribution()),
+        "fault-frame-corrupt" => Some(fault_frame_corrupt()),
+        "fault-connection-lost" => Some(fault_connection_lost()),
+        "fault-store-corrupt" => Some(fault_store_corrupt()),
         // The audit fixtures live next to the analyses they prove, in
         // `aibench_audit::fixtures`; here they only need rendering.
         "audit-racy-kernel" => Some(audit::to_diagnostics(aibench_audit::fixtures::racy_kernel())),
@@ -92,6 +101,9 @@ pub fn run(name: &str) -> Option<Vec<Diagnostic>> {
         "serve-starved-tenant" => Some(serve_starved_tenant()),
         "serve-lost-park-snapshot" => Some(serve_lost_park_snapshot()),
         "serve-budget-overcommit" => Some(serve_budget_overcommit()),
+        "chaos-dropped-lease" => Some(chaos_dropped_lease()),
+        "chaos-duplicate-session" => Some(chaos_duplicate_session()),
+        "chaos-unbounded-queue" => Some(chaos_unbounded_queue()),
         _ => None,
     }
 }
@@ -510,6 +522,110 @@ fn serve_budget_overcommit() -> Vec<Diagnostic> {
     serve::check_budget_invariant_with(&registry, config)
 }
 
+/// Runs a tiny chaos soak and renders the lifted chaos-event log as
+/// diagnostics, one per lifted fault, each under the rule of its fault
+/// kind — the chaos analogue of [`faults::diagnose`].
+fn chaos_fault_probe(name: &str, schedule: aibench_chaos::ChaosSchedule) -> Vec<Diagnostic> {
+    let registry = aibench::Registry::aibench();
+    let report = aibench_chaos::run_soak(
+        &registry,
+        &[
+            aibench_serve::RunRequest::new("acme", "DC-AI-C15", 1, 3),
+            aibench_serve::RunRequest::new("zeta", "DC-AI-C15", 2, 3),
+        ],
+        &schedule,
+        aibench_chaos::SoakConfig::default(),
+    );
+    report
+        .lifted_faults()
+        .iter()
+        .map(|event| {
+            Diagnostic::global(
+                name,
+                faults::rule_for_kind(event.fault.kind()),
+                "a chaos-free serving soak",
+                format!("{} (action: {})", event.fault, event.action.kind()),
+            )
+        })
+        .collect()
+}
+
+/// A submit frame with one flipped bit: the CRC refuses it, the client
+/// retransmits, and the chaos log lifts to `frame-corrupt`.
+fn fault_frame_corrupt() -> Vec<Diagnostic> {
+    let schedule = aibench_chaos::ChaosSchedule::new(11).inject(
+        aibench_chaos::ChaosSite::ClientToServer,
+        1,
+        aibench_chaos::ChaosKind::BitFlip { bit: 65 },
+    );
+    chaos_fault_probe("fixture/fault-frame-corrupt", schedule)
+}
+
+/// A mid-stream connection reset: the client reconnects and redeems its
+/// lease, and the chaos log lifts to `connection-lost`.
+fn fault_connection_lost() -> Vec<Diagnostic> {
+    let schedule = aibench_chaos::ChaosSchedule::new(12).inject(
+        aibench_chaos::ChaosSite::ServerToClient,
+        4,
+        aibench_chaos::ChaosKind::Reset,
+    );
+    chaos_fault_probe("fixture/fault-connection-lost", schedule)
+}
+
+/// A torn checkpoint write: CRC validation rejects the snapshot on load
+/// and recovery falls back, and the chaos log lifts to `store-corrupt`.
+fn fault_store_corrupt() -> Vec<Diagnostic> {
+    let schedule = aibench_chaos::ChaosSchedule::new(13).inject(
+        aibench_chaos::ChaosSite::Store,
+        0,
+        aibench_chaos::ChaosKind::TornWrite { keep: 8 },
+    );
+    chaos_fault_probe("fixture/fault-store-corrupt", schedule)
+}
+
+/// A server that forgets a disconnected client's buffered events and
+/// result (`drop_lease`): the reconnecting client finds no lease to
+/// redeem and is stranded.
+fn chaos_dropped_lease() -> Vec<Diagnostic> {
+    let config = ServeConfig {
+        quirks: Quirks {
+            drop_lease: true,
+            ..Quirks::default()
+        },
+        ..ServeConfig::default()
+    };
+    chaos::check_lease_resume_with(&aibench::Registry::aibench(), config)
+}
+
+/// A server that ignores idempotency keys (`duplicate_submission`): a
+/// retransmitted submit creates a second session instead of attaching to
+/// the first.
+fn chaos_duplicate_session() -> Vec<Diagnostic> {
+    let config = ServeConfig {
+        quirks: Quirks {
+            duplicate_submission: true,
+            ..Quirks::default()
+        },
+        ..ServeConfig::default()
+    };
+    chaos::check_idempotent_submit_with(&aibench::Registry::aibench(), config)
+}
+
+/// A server that ignores its admission bound (`ignore_queue_bound`):
+/// nothing is ever shed and the queue grows without limit.
+fn chaos_unbounded_queue() -> Vec<Diagnostic> {
+    let config = ServeConfig {
+        budget: 1,
+        max_queue: 2,
+        quirks: Quirks {
+            ignore_queue_bound: true,
+            ..Quirks::default()
+        },
+        ..ServeConfig::default()
+    };
+    chaos::check_load_shed_with(&aibench::Registry::aibench(), config)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -538,6 +654,9 @@ mod tests {
             ("fault-worker-drop", "fault-worker-drop"),
             ("fault-corrupt-grad-shard", "fault-corrupt-grad-shard"),
             ("fault-lost-contribution", "fault-lost-contribution"),
+            ("fault-frame-corrupt", "fault-frame-corrupt"),
+            ("fault-connection-lost", "fault-connection-lost"),
+            ("fault-store-corrupt", "fault-store-corrupt"),
             ("audit-racy-kernel", "region-race"),
             ("audit-unstable-reduction", "unstable-accumulation"),
             ("audit-unsnapshotted-state", "snapshot-coverage"),
@@ -546,6 +665,9 @@ mod tests {
             ("serve-starved-tenant", "serve-fair-share"),
             ("serve-lost-park-snapshot", "serve-preemption-snapshot"),
             ("serve-budget-overcommit", "serve-budget-overcommit"),
+            ("chaos-dropped-lease", "chaos-lease-resume"),
+            ("chaos-duplicate-session", "chaos-idempotent-submit"),
+            ("chaos-unbounded-queue", "chaos-load-shed"),
         ];
         for &(fixture, rule) in expected_rules {
             let diags = run(fixture).expect("known fixture");

@@ -38,6 +38,12 @@
 //!   count, a flooding tenant must not starve a lone one, every resume
 //!   must restore its park snapshot's epoch, and the running set must
 //!   never exceed the worker budget.
+//! * [`chaos`] — chaos-hardening lints over `aibench-chaos`: a seeded
+//!   chaos soak must replay bit for bit at any thread count, the empty
+//!   schedule must be a true no-op, chaos must never change result bits,
+//!   reset connections must lease-resume, retransmitted submissions must
+//!   stay idempotent, and a full queue must shed load with a retryable
+//!   rejection.
 //!
 //! [`fixtures`] holds seeded-defect inputs proving each rule fires; the
 //! `aibench-check` binary runs everything over the benchmark registry and
@@ -47,6 +53,7 @@
 #![forbid(unsafe_code)]
 
 pub mod audit;
+pub mod chaos;
 pub mod ckpt;
 pub mod counts;
 pub mod dist;

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! aibench-check [--all | --specs | --traces | --tape | --ckpt | --faults | --audit | --dist
-//!                | --serve] [--benchmark CODE] [--fixture NAME]
+//!                | --serve | --chaos] [--benchmark CODE] [--fixture NAME]
 //! ```
 //!
 //! * `--specs`  shape inference + exact FLOP/param cross-check
@@ -20,6 +20,10 @@
 //! * `--serve`  serving contracts: schedule determinism across replays and
 //!   thread counts, fair-share admission, park/resume snapshot integrity,
 //!   and the worker-budget invariant (slow)
+//! * `--chaos`  chaos-hardening contracts: seeded-soak determinism across
+//!   replays and thread counts, empty-schedule identity, result-bit
+//!   invariance under chaos, lease resume after connection resets,
+//!   idempotent submission, and load shedding (slow)
 //! * `--all`    everything above (default)
 //! * `--benchmark CODE` restrict any mode to one benchmark (e.g. DC-AI-C1)
 //! * `--fixture NAME` run one seeded-defect fixture (see `--list-fixtures`);
@@ -29,14 +33,14 @@
 
 use aibench::{Benchmark, Registry};
 use aibench_check::{
-    audit, ckpt, counts, dist, faults, fixtures, serve, shape, tape, trace, CheckReport,
+    audit, chaos, ckpt, counts, dist, faults, fixtures, serve, shape, tape, trace, CheckReport,
 };
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: aibench-check [--all | --specs | --traces | --tape | --ckpt | --faults | --audit \
-         | --dist | --serve] [--benchmark CODE] [--fixture NAME | --list-fixtures]"
+         | --dist | --serve | --chaos] [--benchmark CODE] [--fixture NAME | --list-fixtures]"
     );
     ExitCode::from(2)
 }
@@ -50,7 +54,7 @@ fn main() -> ExitCode {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--all" | "--specs" | "--traces" | "--tape" | "--ckpt" | "--faults" | "--audit"
-            | "--dist" | "--serve" => {
+            | "--dist" | "--serve" | "--chaos" => {
                 if mode.replace(arg.clone()).is_some() {
                     return usage();
                 }
@@ -155,6 +159,14 @@ fn main() -> ExitCode {
         report.absorb(serve::check_fair_share(&registry));
         report.absorb(serve::check_preemption_snapshot(&registry));
         report.absorb(serve::check_budget_invariant(&registry));
+    }
+    if mode == "--all" || mode == "--chaos" {
+        report.absorb(chaos::check_chaos_determinism(&registry));
+        report.absorb(chaos::check_empty_schedule_identity(&registry));
+        report.absorb(chaos::check_result_invariance(&registry));
+        report.absorb(chaos::check_lease_resume(&registry));
+        report.absorb(chaos::check_idempotent_submit(&registry));
+        report.absorb(chaos::check_load_shed(&registry));
     }
 
     for d in &report.diagnostics {

@@ -57,6 +57,27 @@ impl<T: CheckpointSink + ?Sized> CheckpointSink for &mut T {
     }
 }
 
+/// A boxed sink is itself a sink, so a server can pick each session's
+/// storage backend at runtime (in-memory, on-disk, chaos-wrapped) behind
+/// one `Box<dyn CheckpointSink>` without re-monomorphizing the session.
+impl<T: CheckpointSink + ?Sized> CheckpointSink for Box<T> {
+    fn save(&mut self, epoch: usize, bytes: &[u8]) -> Result<(), CkptError> {
+        (**self).save(epoch, bytes)
+    }
+
+    fn epochs(&self) -> Vec<usize> {
+        (**self).epochs()
+    }
+
+    fn load(&self, epoch: usize) -> Result<Option<Vec<u8>>, CkptError> {
+        (**self).load(epoch)
+    }
+
+    fn remove(&mut self, epoch: usize) {
+        (**self).remove(epoch);
+    }
+}
+
 /// An in-memory sink for tests and fault-injection harnesses.
 ///
 /// Doubles as the corruption bench: tests can grab the stored bytes with
@@ -377,6 +398,16 @@ mod tests {
             CheckpointSink::remove(&mut borrowed, 1);
         }
         assert!(inner.epochs().is_empty());
+    }
+
+    #[test]
+    fn boxed_sink_is_a_sink() {
+        let mut boxed: Box<dyn CheckpointSink> = Box::new(MemorySink::new());
+        boxed.save(2, b"two").unwrap();
+        assert_eq!(boxed.epochs(), vec![2]);
+        assert_eq!(boxed.load(2).unwrap().unwrap(), b"two");
+        boxed.remove(2);
+        assert!(boxed.epochs().is_empty());
     }
 
     #[test]

@@ -113,6 +113,12 @@ impl RecoveryPolicy {
             | TrainFault::WorkerDropped { .. }
             | TrainFault::CorruptGradShard { .. }
             | TrainFault::LostContribution { .. } => RecoveryAction::Quarantine,
+            // Chaos faults are recovered by the transport and storage
+            // layers (retransmit, lease redemption, store rollback); one
+            // that reaches a sequential supervisor is terminal.
+            TrainFault::FrameCorrupt { .. }
+            | TrainFault::ConnectionLost { .. }
+            | TrainFault::StoreCorrupt { .. } => RecoveryAction::Quarantine,
         }
     }
 }

@@ -758,6 +758,19 @@ impl<'a, S: CheckpointSink> SupervisedSession<'a, S> {
         Ok(epoch)
     }
 
+    /// The park transition without a park snapshot, for when the park
+    /// save failed (a chaos store fault): drops the trainer at the
+    /// current epoch anyway, returning that epoch. The next
+    /// [`unpark`](SupervisedSession::unpark) restores the newest
+    /// surviving rollback snapshot — or restarts from scratch — and
+    /// re-runs the gap, which the rollback contract makes
+    /// bitwise-neutral.
+    pub fn park_without_snapshot(&mut self) -> usize {
+        let epoch = self.progress.epochs_run;
+        self.trainer = None;
+        epoch
+    }
+
     /// Unparks the session from the newest valid snapshot in its sink,
     /// returning the epoch restored from. `None` means no snapshot
     /// survived validation: the session restarted from scratch and the

@@ -115,12 +115,38 @@ pub enum TrainFault {
         /// The worker whose contribution was lost.
         worker: u32,
     },
+    /// A wire frame arrived damaged — bit-flipped, truncated, or cut by a
+    /// short write — and was rejected by the CRC-checked frame format
+    /// (serving; `epoch` carries the logical scheduler tick).
+    FrameCorrupt {
+        /// Logical scheduler tick of the detection.
+        epoch: usize,
+        /// Direction-global index of the damaged frame.
+        frame: u64,
+    },
+    /// A client's connection died mid-session — reset, or poisoned by an
+    /// undecodable frame (serving; `epoch` carries the logical tick).
+    ConnectionLost {
+        /// Logical scheduler tick the connection died at.
+        epoch: usize,
+        /// The session whose stream was cut.
+        session: u64,
+    },
+    /// A stored snapshot came back damaged — torn write or bit rot —
+    /// detected by validation at load time (serving/storage; `epoch`
+    /// carries the index of the chaotic store operation).
+    StoreCorrupt {
+        /// Index of the store operation that was corrupted.
+        epoch: usize,
+        /// What was done to the stored bytes.
+        detail: String,
+    },
 }
 
 impl TrainFault {
     /// Every fault kind name, in taxonomy order — the coverage contract the
     /// seeded check fixtures are validated against.
-    pub const KINDS: [&'static str; 12] = [
+    pub const KINDS: [&'static str; 15] = [
         "non-finite-loss",
         "loss-spike",
         "non-finite-param",
@@ -133,6 +159,9 @@ impl TrainFault {
         "worker-drop",
         "corrupt-grad-shard",
         "lost-contribution",
+        "frame-corrupt",
+        "connection-lost",
+        "store-corrupt",
     ];
 
     /// Stable kind name (one of [`TrainFault::KINDS`]).
@@ -150,6 +179,9 @@ impl TrainFault {
             TrainFault::WorkerDropped { .. } => "worker-drop",
             TrainFault::CorruptGradShard { .. } => "corrupt-grad-shard",
             TrainFault::LostContribution { .. } => "lost-contribution",
+            TrainFault::FrameCorrupt { .. } => "frame-corrupt",
+            TrainFault::ConnectionLost { .. } => "connection-lost",
+            TrainFault::StoreCorrupt { .. } => "store-corrupt",
         }
     }
 
@@ -218,6 +250,18 @@ impl TrainFault {
             | TrainFault::LostContribution { epoch, worker } => {
                 state.put_usize(key(prefix, "epoch"), *epoch);
                 state.put_u64(key(prefix, "worker"), u64::from(*worker));
+            }
+            TrainFault::FrameCorrupt { epoch, frame } => {
+                state.put_usize(key(prefix, "epoch"), *epoch);
+                state.put_u64(key(prefix, "frame"), *frame);
+            }
+            TrainFault::ConnectionLost { epoch, session } => {
+                state.put_usize(key(prefix, "epoch"), *epoch);
+                state.put_u64(key(prefix, "session"), *session);
+            }
+            TrainFault::StoreCorrupt { epoch, detail } => {
+                state.put_usize(key(prefix, "epoch"), *epoch);
+                state.put_str(key(prefix, "detail"), detail.as_str());
             }
         }
     }
@@ -288,6 +332,18 @@ impl TrainFault {
                 epoch: state.usize(&key(prefix, "epoch"))?,
                 worker: worker(state)?,
             },
+            "frame-corrupt" => TrainFault::FrameCorrupt {
+                epoch: state.usize(&key(prefix, "epoch"))?,
+                frame: state.u64(&key(prefix, "frame"))?,
+            },
+            "connection-lost" => TrainFault::ConnectionLost {
+                epoch: state.usize(&key(prefix, "epoch"))?,
+                session: state.u64(&key(prefix, "session"))?,
+            },
+            "store-corrupt" => TrainFault::StoreCorrupt {
+                epoch: state.usize(&key(prefix, "epoch"))?,
+                detail: state.str(&key(prefix, "detail"))?.to_string(),
+            },
             other => {
                 return Err(aibench_ckpt::CkptError::MetaMismatch {
                     what: format!("unknown fault kind `{other}`"),
@@ -309,7 +365,10 @@ impl TrainFault {
             | TrainFault::StragglerDelay { epoch, .. }
             | TrainFault::WorkerDropped { epoch, .. }
             | TrainFault::CorruptGradShard { epoch, .. }
-            | TrainFault::LostContribution { epoch, .. } => epoch,
+            | TrainFault::LostContribution { epoch, .. }
+            | TrainFault::FrameCorrupt { epoch, .. }
+            | TrainFault::ConnectionLost { epoch, .. }
+            | TrainFault::StoreCorrupt { epoch, .. } => epoch,
             TrainFault::BudgetExhausted { executed, .. } => executed,
         }
     }
@@ -373,6 +432,15 @@ impl fmt::Display for TrainFault {
                 f,
                 "epoch {epoch}: worker {worker}'s all-reduce contribution was lost"
             ),
+            TrainFault::FrameCorrupt { epoch, frame } => {
+                write!(f, "tick {epoch}: wire frame {frame} rejected as corrupt")
+            }
+            TrainFault::ConnectionLost { epoch, session } => {
+                write!(f, "tick {epoch}: session {session}'s connection was lost")
+            }
+            TrainFault::StoreCorrupt { epoch, detail } => {
+                write!(f, "store op {epoch}: stored snapshot corrupted ({detail})")
+            }
         }
     }
 }
@@ -429,6 +497,18 @@ pub enum ActionTaken {
         /// Ticks of logical time absorbed.
         ticks: u64,
     },
+    /// The damaged or lost frame was retransmitted under exponential
+    /// backoff (serving).
+    Retransmitted {
+        /// 1-based retry attempt.
+        attempt: usize,
+    },
+    /// The disconnected session's lease was redeemed on reconnect: missed
+    /// progress was replayed and the buffered result delivered (serving).
+    LeaseRedeemed {
+        /// Progress events replayed from the lease buffer.
+        replayed: usize,
+    },
 }
 
 impl ActionTaken {
@@ -444,6 +524,8 @@ impl ActionTaken {
             ActionTaken::ExcludedAndResharded { .. } => "exclude-reshard",
             ActionTaken::QuarantinedShard { .. } => "shard-quarantine",
             ActionTaken::AbsorbedDelay { .. } => "absorb-delay",
+            ActionTaken::Retransmitted { .. } => "retransmit",
+            ActionTaken::LeaseRedeemed { .. } => "lease-resume",
         }
     }
 }
@@ -483,6 +565,12 @@ impl fmt::Display for ActionTaken {
             }
             ActionTaken::AbsorbedDelay { ticks } => {
                 write!(f, "absorbed {ticks} ticks of delay")
+            }
+            ActionTaken::Retransmitted { attempt } => {
+                write!(f, "retransmitted (attempt {attempt}, exponential backoff)")
+            }
+            ActionTaken::LeaseRedeemed { replayed } => {
+                write!(f, "lease redeemed, {replayed} event(s) replayed")
             }
         }
     }
@@ -620,6 +708,18 @@ mod tests {
             TrainFault::LostContribution {
                 epoch: 12,
                 worker: 3,
+            },
+            TrainFault::FrameCorrupt {
+                epoch: 13,
+                frame: 7,
+            },
+            TrainFault::ConnectionLost {
+                epoch: 14,
+                session: 2,
+            },
+            TrainFault::StoreCorrupt {
+                epoch: 15,
+                detail: "torn".into(),
             },
         ];
         let kinds: Vec<&str> = faults.iter().map(|f| f.kind()).collect();

@@ -35,7 +35,11 @@ pub mod tcp;
 pub mod wire;
 
 pub use server::{
-    run_trace, schedule_signature, Quirks, SchedAction, SchedEvent, ServeConfig, ServeReport,
-    ServerCore, SessionResult,
+    run_trace, schedule_signature, Quirks, Rejection, SchedAction, SchedEvent, ServeConfig,
+    ServeReport, ServerCore, SessionResult,
+};
+pub use tcp::{
+    drain_stream, reconnect_and_wait, serve_sessions, serve_sessions_with, submit_and_wait,
+    submit_with_retry,
 };
 pub use wire::{ClientMsg, DoneMsg, Event, ProgressEvent, RunRequest, ServerMsg};

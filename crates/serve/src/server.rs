@@ -48,6 +48,15 @@ pub struct Quirks {
     pub lose_park_snapshot: bool,
     /// Admit this many sessions beyond the worker budget.
     pub overcommit_by: usize,
+    /// Forget a disconnected client's buffered events and final result,
+    /// so a reconnecting client cannot redeem its lease.
+    pub drop_lease: bool,
+    /// Ignore idempotency keys: every submit creates a fresh session even
+    /// when `(tenant, submission)` was accepted before.
+    pub duplicate_submission: bool,
+    /// Ignore `max_queue`: admit submissions into an unbounded queue
+    /// instead of shedding load.
+    pub ignore_queue_bound: bool,
 }
 
 /// Server configuration.
@@ -55,6 +64,10 @@ pub struct Quirks {
 pub struct ServeConfig {
     /// Worker budget: sessions running concurrently (admitted, not parked).
     pub budget: usize,
+    /// Admission-queue bound: a submit arriving with this many sessions
+    /// already queued is shed with a retryable `overloaded` rejection.
+    /// `usize::MAX` (the default) never sheds.
+    pub max_queue: usize,
     /// Supervision applied to every session.
     pub sup: SupervisorConfig,
     /// Seeded defects (all off by default).
@@ -65,6 +78,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             budget: 2,
+            max_queue: usize::MAX,
             sup: SupervisorConfig::default(),
             quirks: Quirks::default(),
         }
@@ -147,6 +161,9 @@ pub fn schedule_signature(log: &[SchedEvent]) -> String {
 pub struct Rejection {
     /// Human-readable reason (also recorded in the schedule log).
     pub reason: String,
+    /// Whether retrying the same submission later can succeed (`true`
+    /// for load shedding, `false` for validation errors).
+    pub retryable: bool,
 }
 
 enum SessionState<'a> {
@@ -154,8 +171,10 @@ enum SessionState<'a> {
     /// deep queue costs queue entries, not model memory.
     Queued,
     /// Admitted at least once (running if listed in `running`, otherwise
-    /// parked awaiting re-admission).
-    Active(Box<SupervisedSession<'a, MemorySink>>),
+    /// parked awaiting re-admission). The sink is boxed so each session's
+    /// store can be picked at admission time (in-memory by default, a
+    /// chaos-wrapped sink under injection).
+    Active(Box<SupervisedSession<'a, Box<dyn CheckpointSink>>>),
 }
 
 struct Served<'a> {
@@ -164,8 +183,13 @@ struct Served<'a> {
     first_admit: Option<u64>,
     state: SessionState<'a>,
     emitted_faults: usize,
+    /// Last progress seq handed out for this session (1-based stream).
+    seq: u64,
     started: Instant,
 }
+
+/// Builds a session's checkpoint store at admission time.
+type SinkFactory<'a> = Box<dyn FnMut(u64) -> Box<dyn CheckpointSink> + 'a>;
 
 /// The deterministic serving core, transport-agnostic: `submit` requests,
 /// `step` the scheduler, drain `events` and finished sessions. The TCP
@@ -182,6 +206,11 @@ pub struct ServerCore<'a> {
     running: Vec<u64>,
     /// Epoch slots consumed per tenant — the fair-share accounting.
     tenant_service: BTreeMap<String, u64>,
+    /// Accepted idempotency keys: `(tenant, submission) -> session`.
+    /// Entries outlive their sessions so a retransmitted submit after
+    /// finish still resolves instead of re-running.
+    submissions: BTreeMap<(String, u64), u64>,
+    sink_factory: Option<SinkFactory<'a>>,
     schedule: Vec<SchedEvent>,
     events: Vec<ProgressEvent>,
     finished: Vec<DoneMsg>,
@@ -199,15 +228,42 @@ impl<'a> ServerCore<'a> {
             pending: Vec::new(),
             running: Vec::new(),
             tenant_service: BTreeMap::new(),
+            submissions: BTreeMap::new(),
+            sink_factory: None,
             schedule: Vec::new(),
             events: Vec::new(),
             finished: Vec::new(),
         }
     }
 
+    /// Overrides the per-session checkpoint store (default: a private
+    /// in-memory sink per session). The chaos harness wraps sinks here
+    /// to inject torn writes, disk-full errors, and snapshot bit rot.
+    pub fn set_sink_factory(&mut self, factory: impl FnMut(u64) -> Box<dyn CheckpointSink> + 'a) {
+        self.sink_factory = Some(Box::new(factory));
+    }
+
+    /// Resolves an accepted idempotency key to its session id — the
+    /// lease lookup a reconnecting client's transport performs.
+    pub fn lookup_submission(&self, tenant: &str, submission: u64) -> Option<u64> {
+        self.submissions
+            .get(&(tenant.to_string(), submission))
+            .copied()
+    }
+
     /// Submits one request at the current tick. Admission control happens
-    /// on the next [`step`](ServerCore::step); validation happens here.
+    /// on the next [`step`](ServerCore::step); validation, idempotency
+    /// resolution, and load shedding happen here. A retransmitted submit
+    /// (same non-zero `(tenant, submission)` key as an accepted one)
+    /// returns the existing session id without consuming a new one, so
+    /// retries never perturb the schedule.
     pub fn submit(&mut self, request: RunRequest) -> Result<u64, Rejection> {
+        if request.submission != 0 && !self.config.quirks.duplicate_submission {
+            let key = (request.tenant.clone(), request.submission);
+            if let Some(&existing) = self.submissions.get(&key) {
+                return Ok(existing);
+            }
+        }
         let id = self.next_session;
         self.next_session += 1;
         let reason = if self.registry.get(&request.code).is_none() {
@@ -225,13 +281,38 @@ impl<'a> ServerCore<'a> {
                     reason: reason.clone(),
                 },
             });
-            return Err(Rejection { reason });
+            return Err(Rejection {
+                reason,
+                retryable: false,
+            });
+        }
+        if self.pending.len() >= self.config.max_queue && !self.config.quirks.ignore_queue_bound {
+            let reason = format!(
+                "overloaded: {} session(s) queued (bound {})",
+                self.pending.len(),
+                self.config.max_queue
+            );
+            self.schedule.push(SchedEvent {
+                tick: self.tick,
+                session: id,
+                action: SchedAction::Reject {
+                    reason: reason.clone(),
+                },
+            });
+            return Err(Rejection {
+                reason,
+                retryable: true,
+            });
         }
         self.schedule.push(SchedEvent {
             tick: self.tick,
             session: id,
             action: SchedAction::Arrive,
         });
+        if request.submission != 0 {
+            self.submissions
+                .insert((request.tenant.clone(), request.submission), id);
+        }
         self.sessions.insert(
             id,
             Served {
@@ -240,11 +321,19 @@ impl<'a> ServerCore<'a> {
                 first_admit: None,
                 state: SessionState::Queued,
                 emitted_faults: 0,
+                seq: 0,
                 started: Instant::now(),
             },
         );
         self.pending.push(id);
         Ok(id)
+    }
+
+    /// Advances the clock one tick without scheduling or training — the
+    /// chaos `TickStall` injection point. Queue waits lengthen; no
+    /// session state changes.
+    pub fn stall_tick(&mut self) {
+        self.tick += 1;
     }
 
     /// Whether all submitted work has finished.
@@ -318,21 +407,27 @@ impl<'a> ServerCore<'a> {
                     parallel: None,
                     checkpoint_every: 0,
                 };
+                let sink: Box<dyn CheckpointSink> = match &mut self.sink_factory {
+                    Some(factory) => factory(id),
+                    None => Box::new(MemorySink::new()),
+                };
                 served.state = SessionState::Active(Box::new(SupervisedSession::new(
                     benchmark,
                     served.request.seed,
                     config,
                     served.request.faults.clone(),
                     self.config.sup,
-                    MemorySink::new(),
+                    sink,
                 )));
                 self.schedule.push(SchedEvent {
                     tick,
                     session: id,
                     action: SchedAction::Admit,
                 });
+                served.seq += 1;
                 self.events.push(ProgressEvent {
                     session: id,
+                    seq: served.seq,
                     tick,
                     event: Event::Admitted { tick },
                 });
@@ -344,8 +439,10 @@ impl<'a> ServerCore<'a> {
                     session: id,
                     action: SchedAction::Resume { from_epoch },
                 });
+                served.seq += 1;
                 self.events.push(ProgressEvent {
                     session: id,
+                    seq: served.seq,
                     tick,
                     event: Event::Resumed { from_epoch },
                 });
@@ -361,9 +458,14 @@ impl<'a> ServerCore<'a> {
         let SessionState::Active(session) = &mut served.state else {
             unreachable!("only active sessions run");
         };
-        let at_epoch = session
-            .park()
-            .expect("in-memory park sink cannot fail to save");
+        let at_epoch = match session.park() {
+            Ok(epoch) => epoch,
+            // The park save failed (a chaos store fault). Park anyway:
+            // the session resumes from the newest older rollback
+            // snapshot — or scratch — and re-runs the gap, which the
+            // rollback contract makes bitwise-neutral.
+            Err(_) => session.park_without_snapshot(),
+        };
         if lose {
             session.sink_mut().remove(at_epoch);
         }
@@ -372,8 +474,10 @@ impl<'a> ServerCore<'a> {
             session: id,
             action: SchedAction::Park { at_epoch },
         });
+        served.seq += 1;
         self.events.push(ProgressEvent {
             session: id,
+            seq: served.seq,
             tick,
             event: Event::Parked { at_epoch },
         });
@@ -427,8 +531,10 @@ impl<'a> ServerCore<'a> {
             // Stream any faults the tick surfaced before the tick's own
             // event, preserving detection order.
             for fault in &session.faults()[served.emitted_faults..] {
+                served.seq += 1;
                 self.events.push(ProgressEvent {
                     session: id,
+                    seq: served.seq,
                     tick,
                     event: Event::Fault {
                         signature: fault.signature(),
@@ -446,8 +552,10 @@ impl<'a> ServerCore<'a> {
                     loss,
                     quality,
                 } => {
+                    served.seq += 1;
                     self.events.push(ProgressEvent {
                         session: id,
+                        seq: served.seq,
                         tick,
                         event: Event::Epoch {
                             epoch,
@@ -775,6 +883,103 @@ mod tests {
         assert!(err.reason.contains("max_epochs"));
         assert_eq!(server.schedule_log().len(), 2);
         assert!(server.is_idle());
+    }
+
+    #[test]
+    fn duplicate_submission_attaches_to_the_existing_session() {
+        let registry = Registry::aibench();
+        let mut server = ServerCore::new(&registry, ServeConfig::default());
+        let submit = || RunRequest::new("t", PROBE, 1, 2).with_submission(7);
+        let first = server.submit(submit()).unwrap();
+        let dup = server.submit(submit()).unwrap();
+        assert_eq!(first, dup);
+        assert_eq!(server.lookup_submission("t", 7), Some(first));
+        // A different tenant reusing the key is a distinct session.
+        let other = server
+            .submit(RunRequest::new("u", PROBE, 1, 2).with_submission(7))
+            .unwrap();
+        assert_ne!(first, other);
+        // The retransmit consumed no session id and left no schedule
+        // trace: two arrivals only.
+        let arrivals = server
+            .schedule_log()
+            .iter()
+            .filter(|e| matches!(e.action, SchedAction::Arrive))
+            .count();
+        assert_eq!(arrivals, 2);
+        // The key still resolves after the session finishes.
+        while !server.is_idle() {
+            server.step();
+        }
+        assert_eq!(server.submit(submit()).unwrap(), first);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_load_with_a_retryable_rejection() {
+        let registry = Registry::aibench();
+        let config = ServeConfig {
+            budget: 1,
+            max_queue: 2,
+            ..ServeConfig::default()
+        };
+        let mut server = ServerCore::new(&registry, config);
+        for i in 0..2 {
+            server
+                .submit(RunRequest::new("t", PROBE, i + 1, 2))
+                .unwrap();
+        }
+        let err = server
+            .submit(RunRequest::new("t", PROBE, 9, 2))
+            .unwrap_err();
+        assert!(err.retryable);
+        assert!(err.reason.contains("overloaded"));
+        // Validation failures stay non-retryable.
+        let err = server
+            .submit(RunRequest::new("t", "NO-SUCH", 1, 2))
+            .unwrap_err();
+        assert!(!err.retryable);
+        // Draining the queue lets a retry through.
+        while !server.is_idle() {
+            server.step();
+        }
+        assert!(server.submit(RunRequest::new("t", PROBE, 9, 2)).is_ok());
+    }
+
+    #[test]
+    fn stall_ticks_lengthen_queue_waits_only() {
+        let registry = Registry::aibench();
+        let mut server = ServerCore::new(&registry, ServeConfig::default());
+        server.stall_tick();
+        server.stall_tick();
+        let id = server.submit(RunRequest::new("t", PROBE, 1, 2)).unwrap();
+        while !server.is_idle() {
+            server.step();
+        }
+        let done = server.drain_finished();
+        assert_eq!(done[0].session, id);
+        assert_eq!(done[0].queue_wait_ticks, 0);
+        assert_eq!(done[0].result.epochs_run, 2);
+    }
+
+    #[test]
+    fn progress_events_carry_a_dense_per_session_seq() {
+        let registry = Registry::aibench();
+        let mut server = ServerCore::new(&registry, ServeConfig::default());
+        let a = server.submit(RunRequest::new("t", PROBE, 1, 3)).unwrap();
+        let b = server.submit(RunRequest::new("t", PROBE, 2, 2)).unwrap();
+        while !server.is_idle() {
+            server.step();
+        }
+        let events = server.drain_events();
+        for id in [a, b] {
+            let seqs: Vec<u64> = events
+                .iter()
+                .filter(|e| e.session == id)
+                .map(|e| e.seq)
+                .collect();
+            let expected: Vec<u64> = (1..=seqs.len() as u64).collect();
+            assert_eq!(seqs, expected, "session {id}");
+        }
     }
 
     /// Shared helper: every `Resume` must restore the epoch of that

@@ -33,14 +33,38 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
     w.flush()
 }
 
-/// Reads one length-prefixed frame. `Ok(None)` means the peer closed the
-/// connection cleanly at a frame boundary.
+/// Fills `buf`, tolerating `Interrupted` and arbitrarily short reads.
+/// Returns the bytes actually read: less than `buf.len()` only on a clean
+/// EOF mid-fill.
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+/// Reads one length-prefixed frame, looping over short reads and
+/// `Interrupted` until the full frame arrives or a hard error. `Ok(None)`
+/// means the peer closed the connection cleanly at a frame boundary; an
+/// EOF *inside* a frame is an `UnexpectedEof` error, never a truncated
+/// payload handed to the decoder.
 pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
     let mut len_bytes = [0u8; 4];
-    match r.read_exact(&mut len_bytes) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
+    let got = read_full(r, &mut len_bytes)?;
+    if got == 0 {
+        return Ok(None);
+    }
+    if got < len_bytes.len() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed inside a frame length prefix",
+        ));
     }
     let len = u32::from_le_bytes(len_bytes);
     if len > MAX_FRAME {
@@ -50,7 +74,13 @@ pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
         ));
     }
     let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
+    let got = read_full(r, &mut payload)?;
+    if got < payload.len() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            format!("connection closed {got} byte(s) into a {len}-byte frame"),
+        ));
+    }
     Ok(Some(payload))
 }
 
@@ -177,6 +207,11 @@ pub fn take_schedule(state: &State, prefix: &str) -> Result<FaultSchedule, CkptE
 pub struct RunRequest {
     /// Tenant identity (the fair-share accounting key).
     pub tenant: String,
+    /// Client-chosen idempotency key, unique per `(tenant, submission)`.
+    /// A retransmitted submit with the same key attaches to the already
+    /// accepted session instead of creating a duplicate. `0` opts out
+    /// (every submit is distinct — the pre-chaos behavior).
+    pub submission: u64,
     /// Benchmark code (e.g. `DC-AI-C15`).
     pub code: String,
     /// Training seed.
@@ -196,6 +231,7 @@ impl RunRequest {
     pub fn new(tenant: &str, code: &str, seed: u64, max_epochs: usize) -> Self {
         RunRequest {
             tenant: tenant.to_string(),
+            submission: 0,
             code: code.to_string(),
             seed,
             max_epochs,
@@ -211,6 +247,12 @@ impl RunRequest {
         self
     }
 
+    /// Sets the idempotency key (non-zero enables submit deduplication).
+    pub fn with_submission(mut self, submission: u64) -> Self {
+        self.submission = submission;
+        self
+    }
+
     /// Sets the fault schedule.
     pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
         self.faults = faults;
@@ -219,6 +261,7 @@ impl RunRequest {
 
     fn put(&self, state: &mut State) {
         state.put_str("tenant", self.tenant.as_str());
+        state.put_u64("submission", self.submission);
         state.put_str("code", self.code.as_str());
         state.put_u64("seed", self.seed);
         state.put_usize("max_epochs", self.max_epochs);
@@ -231,6 +274,7 @@ impl RunRequest {
         let priority = state.u64("priority")?;
         Ok(RunRequest {
             tenant: state.str("tenant")?.to_string(),
+            submission: state.u64("submission")?,
             code: state.str("code")?.to_string(),
             seed: state.u64("seed")?,
             max_epochs: state.usize("max_epochs")?,
@@ -348,11 +392,16 @@ impl Event {
     }
 }
 
-/// One progress event, stamped with its session and scheduler tick.
+/// One progress event, stamped with its session, scheduler tick, and a
+/// per-session sequence number.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProgressEvent {
     /// Server-assigned session id.
     pub session: u64,
+    /// Per-session 1-based sequence number: the client's dedupe and
+    /// replay cursor. Duplicated frames repeat a seq (drop them);
+    /// a reconnecting client asks for everything after its last seq.
+    pub seq: u64,
     /// Scheduler tick the event happened at.
     pub tick: u64,
     /// What happened.
@@ -384,6 +433,18 @@ pub struct DoneMsg {
 pub enum ClientMsg {
     /// Submit one benchmark run.
     Submit(RunRequest),
+    /// Redeem the lease of an already-submitted session after a dropped
+    /// connection: re-attach to `(tenant, submission)` and replay every
+    /// buffered event with `seq > after_seq`.
+    Reconnect {
+        /// Tenant identity of the original submit.
+        tenant: String,
+        /// Idempotency key of the original submit (non-zero).
+        submission: u64,
+        /// Last progress seq the client saw; the server replays from
+        /// `after_seq + 1`.
+        after_seq: u64,
+    },
 }
 
 /// A message from server to client.
@@ -398,6 +459,9 @@ pub enum ServerMsg {
     Rejected {
         /// Why.
         reason: String,
+        /// Whether retrying the same submission later can succeed
+        /// (`true` for load shedding, `false` for validation errors).
+        retryable: bool,
     },
     /// A progress event for the client's session.
     Progress(ProgressEvent),
@@ -425,6 +489,16 @@ impl ClientMsg {
                 state.put_str("type", "submit");
                 req.put(state);
             }),
+            ClientMsg::Reconnect {
+                tenant,
+                submission,
+                after_seq,
+            } => encode(|state| {
+                state.put_str("type", "reconnect");
+                state.put_str("tenant", tenant.as_str());
+                state.put_u64("submission", *submission);
+                state.put_u64("after_seq", *after_seq);
+            }),
         }
     }
 
@@ -433,6 +507,11 @@ impl ClientMsg {
         let state = msg_state(bytes)?;
         match state.str("type")? {
             "submit" => Ok(ClientMsg::Submit(RunRequest::take(&state)?)),
+            "reconnect" => Ok(ClientMsg::Reconnect {
+                tenant: state.str("tenant")?.to_string(),
+                submission: state.u64("submission")?,
+                after_seq: state.u64("after_seq")?,
+            }),
             other => Err(CkptError::MetaMismatch {
                 what: format!("unknown client message `{other}`"),
             }),
@@ -448,13 +527,15 @@ impl ServerMsg {
                 state.put_str("type", "accepted");
                 state.put_u64("session", *session);
             }),
-            ServerMsg::Rejected { reason } => encode(|state| {
+            ServerMsg::Rejected { reason, retryable } => encode(|state| {
                 state.put_str("type", "rejected");
                 state.put_str("reason", reason.as_str());
+                state.put_bool("retryable", *retryable);
             }),
             ServerMsg::Progress(progress) => encode(|state| {
                 state.put_str("type", "progress");
                 state.put_u64("session", progress.session);
+                state.put_u64("seq", progress.seq);
                 state.put_u64("tick", progress.tick);
                 progress.event.put(state);
             }),
@@ -482,9 +563,11 @@ impl ServerMsg {
             },
             "rejected" => ServerMsg::Rejected {
                 reason: state.str("reason")?.to_string(),
+                retryable: state.bool("retryable")?,
             },
             "progress" => ServerMsg::Progress(ProgressEvent {
                 session: state.u64("session")?,
+                seq: state.u64("seq")?,
                 tick: state.u64("tick")?,
                 event: Event::take(&state)?,
             }),
@@ -537,7 +620,9 @@ mod tests {
             .with_priority(2)
             .with_faults(schedule());
         let bytes = ClientMsg::Submit(req.clone()).to_bytes();
-        let ClientMsg::Submit(back) = ClientMsg::from_bytes(&bytes).unwrap();
+        let ClientMsg::Submit(back) = ClientMsg::from_bytes(&bytes).unwrap() else {
+            panic!("wrong message");
+        };
         assert_eq!(back.tenant, req.tenant);
         assert_eq!(back.priority, 2);
         assert_eq!(back.faults.seed, 7);
@@ -555,11 +640,97 @@ mod tests {
     }
 
     #[test]
+    fn reconnect_and_submission_round_trip() {
+        let req = RunRequest::new("acme", "DC-AI-C15", 3, 8).with_submission(42);
+        let bytes = ClientMsg::Submit(req).to_bytes();
+        let ClientMsg::Submit(back) = ClientMsg::from_bytes(&bytes).unwrap() else {
+            panic!("wrong message");
+        };
+        assert_eq!(back.submission, 42);
+
+        let bytes = ClientMsg::Reconnect {
+            tenant: "acme".to_string(),
+            submission: 42,
+            after_seq: 7,
+        }
+        .to_bytes();
+        let ClientMsg::Reconnect {
+            tenant,
+            submission,
+            after_seq,
+        } = ClientMsg::from_bytes(&bytes).unwrap()
+        else {
+            panic!("wrong message");
+        };
+        assert_eq!((tenant.as_str(), submission, after_seq), ("acme", 42, 7));
+
+        let bytes = ServerMsg::Rejected {
+            reason: "admission queue full".to_string(),
+            retryable: true,
+        }
+        .to_bytes();
+        let ServerMsg::Rejected { retryable, .. } = ServerMsg::from_bytes(&bytes).unwrap() else {
+            panic!("wrong message");
+        };
+        assert!(retryable);
+    }
+
+    #[test]
+    fn interrupted_and_short_reads_still_deliver_the_frame() {
+        /// Delivers the underlying bytes one at a time, interleaving an
+        /// `Interrupted` error before every real byte.
+        struct Hostile<'a> {
+            bytes: &'a [u8],
+            at: usize,
+            interrupt_next: bool,
+        }
+        impl Read for Hostile<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.interrupt_next {
+                    self.interrupt_next = false;
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::Interrupted,
+                        "signal",
+                    ));
+                }
+                self.interrupt_next = true;
+                if self.at >= self.bytes.len() || buf.is_empty() {
+                    return Ok(0);
+                }
+                buf[0] = self.bytes[self.at];
+                self.at += 1;
+                Ok(1)
+            }
+        }
+        let msg = ServerMsg::Accepted { session: 3 }.to_bytes();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        let mut r = Hostile {
+            bytes: &buf,
+            at: 0,
+            interrupt_next: true,
+        };
+        let frame = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(frame, msg);
+        assert!(read_frame(&mut r).unwrap().is_none());
+
+        // A clean EOF inside a frame is an error, not a short payload.
+        let mut truncated = Hostile {
+            bytes: &buf[..buf.len() - 1],
+            at: 0,
+            interrupt_next: false,
+        };
+        let err = read_frame(&mut truncated).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
     fn frames_round_trip_over_a_buffer() {
         let msgs = vec![
             ServerMsg::Accepted { session: 9 }.to_bytes(),
             ServerMsg::Progress(ProgressEvent {
                 session: 9,
+                seq: 1,
                 tick: 4,
                 event: Event::Epoch {
                     epoch: 1,
@@ -570,6 +741,7 @@ mod tests {
             .to_bytes(),
             ServerMsg::Rejected {
                 reason: "unknown benchmark".to_string(),
+                retryable: false,
             }
             .to_bytes(),
         ];

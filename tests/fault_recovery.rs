@@ -269,9 +269,10 @@ fn seeded_schedules_replay_bit_for_bit() {
     }
 }
 
-/// Every [`TrainFault`] kind — the sequential eight and the four
-/// distributed ones — must be exercised by at least one seeded scenario,
-/// and each must map to its designed [`aibench_fault::ActionTaken`].
+/// Every [`TrainFault`] kind — the sequential eight, the four distributed
+/// ones, and the three transport/storage kinds the chaos layer lifts —
+/// must be exercised by at least one seeded scenario, and each must map
+/// to its designed [`aibench_fault::ActionTaken`].
 #[test]
 fn every_fault_kind_maps_to_its_recovery_action() {
     let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
@@ -351,6 +352,37 @@ fn every_fault_kind_maps_to_its_recovery_action() {
     let lifted: Vec<FaultEvent> = group.faults.iter().map(FaultEvent::from_dist).collect();
     absorb(&lifted);
 
+    // The three transport/storage kinds, fired through one chaos soak:
+    // a corrupt inbound frame (retransmitted), a mid-stream connection
+    // reset (lease-resumed), and a torn checkpoint write (rolled back on
+    // the load path). The soak's chaos log lifts into the same taxonomy.
+    let chaos = aibench_chaos::ChaosSchedule::new(21)
+        .inject(
+            aibench_chaos::ChaosSite::ClientToServer,
+            1,
+            aibench_chaos::ChaosKind::BitFlip { bit: 65 },
+        )
+        .inject(
+            aibench_chaos::ChaosSite::ServerToClient,
+            4,
+            aibench_chaos::ChaosKind::Reset,
+        )
+        .inject(
+            aibench_chaos::ChaosSite::Store,
+            0,
+            aibench_chaos::ChaosKind::TornWrite { keep: 8 },
+        );
+    let soak = aibench_chaos::run_soak(
+        &registry,
+        &[
+            aibench_serve::RunRequest::new("acme", "DC-AI-C15", 1, 3),
+            aibench_serve::RunRequest::new("zeta", "DC-AI-C15", 2, 3),
+        ],
+        &chaos,
+        aibench_chaos::SoakConfig::default(),
+    );
+    absorb(&soak.lifted_faults());
+
     let expected: &[(&str, &str)] = &[
         ("non-finite-loss", "rollback"),
         ("loss-spike", "rollback"),
@@ -364,6 +396,9 @@ fn every_fault_kind_maps_to_its_recovery_action() {
         ("worker-drop", "exclude-reshard"),
         ("corrupt-grad-shard", "shard-quarantine"),
         ("lost-contribution", "rollback"),
+        ("frame-corrupt", "retransmit"),
+        ("connection-lost", "lease-resume"),
+        ("store-corrupt", "rollback"),
     ];
     assert_eq!(expected.len(), TrainFault::KINDS.len());
     for kind in TrainFault::KINDS {

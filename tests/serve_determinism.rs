@@ -12,7 +12,10 @@
 //! * a tenant with a poisoned fault schedule is quarantined without
 //!   perturbing a clean neighbor's bits;
 //! * the full client path (TCP submit → progress stream → final record)
-//!   delivers the same result bits the core computed.
+//!   delivers the same result bits the core computed;
+//! * a client that disconnects mid-progress-stream detaches only its own
+//!   delivery: the serve loop survives, the session completes, and a
+//!   concurrent client's stream and result bits are unaffected.
 //!
 //! Tests that reconfigure the process-wide pool serialize on a mutex and
 //! restore the environment's thread count afterwards (the same discipline
@@ -217,4 +220,78 @@ fn tcp_round_trip_delivers_the_core_result() {
         })
         .collect();
     assert_eq!(epochs, vec![1, 2], "progress stream must cover every epoch");
+}
+
+/// Regression: a client disconnecting mid-progress-stream must detach
+/// only its own delivery. The serve loop keeps running, the abandoned
+/// session still completes, and a concurrent client's stream and final
+/// bits are untouched.
+#[test]
+fn dead_client_mid_stream_does_not_abort_the_serve_loop() {
+    use aibench_serve::wire::{read_frame, write_frame, ClientMsg, ServerMsg};
+
+    let registry = Registry::aibench();
+    let survivor_request = RunRequest::new("zeta", PROBE, 7, 3);
+    let expected = run_trace(
+        &registry,
+        ServeConfig::default(),
+        &[(0, survivor_request.clone())],
+    );
+
+    let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+    let server = std::thread::spawn(move || {
+        let registry = Registry::aibench();
+        aibench_serve::tcp::serve_sessions(
+            &registry,
+            ServeConfig::default(),
+            "127.0.0.1:0",
+            2,
+            move |addr| addr_tx.send(addr).unwrap(),
+        )
+    });
+    let addr = addr_rx.recv().expect("server never bound");
+
+    // The doomed client: submit a longer session, read until the stream
+    // is demonstrably live, then drop the socket mid-stream.
+    {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        let doomed = RunRequest::new("acme", PROBE, 5, 4);
+        write_frame(&mut stream, &ClientMsg::Submit(doomed).to_bytes()).unwrap();
+        loop {
+            let payload = read_frame(&mut stream)
+                .expect("stream readable")
+                .expect("server open");
+            if matches!(
+                ServerMsg::from_bytes(&payload).expect("valid frame"),
+                ServerMsg::Progress(_)
+            ) {
+                break;
+            }
+        }
+    }
+
+    // The survivor: a full round trip while the doomed session is still
+    // running (or finishing) next to it.
+    let (events, done) =
+        aibench_serve::tcp::submit_and_wait(addr, survivor_request).expect("survivor round trip");
+    // Both sessions count as served: the abandoned one completed too.
+    assert_eq!(server.join().unwrap().unwrap(), 2);
+
+    assert!(
+        done.result
+            .deterministic_eq(&expected.sessions[0].done.result),
+        "the dead neighbor changed the survivor's bits"
+    );
+    let epochs: Vec<usize> = events
+        .iter()
+        .filter_map(|e| match e.event {
+            Event::Epoch { epoch, .. } => Some(epoch),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        epochs,
+        vec![1, 2, 3],
+        "the survivor's stream must be complete and in order"
+    );
 }
